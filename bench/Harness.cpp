@@ -1,0 +1,95 @@
+//===- bench/Harness.cpp - shared experiment harness ---------------------------===//
+
+#include "bench/Harness.h"
+
+#include "interp/Checksum.h"
+#include "support/Format.h"
+#include "vir/Compile.h"
+
+#include <cstdio>
+
+using namespace lv;
+using namespace lv::bench;
+
+int TestCorpus::firstPlausible(int K) const {
+  int N = std::min<int>(K, static_cast<int>(Samples.size()));
+  for (int I = 0; I < N; ++I)
+    if (Samples[static_cast<size_t>(I)].Plausible)
+      return I;
+  return -1;
+}
+
+bool TestCorpus::allFailCompile(int K) const {
+  int N = std::min<int>(K, static_cast<int>(Samples.size()));
+  for (int I = 0; I < N; ++I)
+    if (Samples[static_cast<size_t>(I)].Compiles)
+      return false;
+  return true;
+}
+
+std::vector<TestCorpus> lv::bench::buildCorpus(int K, uint64_t Seed) {
+  std::vector<TestCorpus> Out;
+  llm::SimulatedLLM Model(Seed);
+  for (const tsvc::TsvcTest &T : tsvc::suite()) {
+    TestCorpus TC;
+    TC.Test = &T;
+    vir::CompileResult SC = vir::compileFunction(T.Source);
+    llm::Prompt P;
+    P.ScalarSource = T.Source;
+    for (int I = 0; I < K; ++I) {
+      llm::Completion C = Model.complete(P, static_cast<uint64_t>(I));
+      CandidateRecord R;
+      R.Source = C.Source;
+      vir::CompileResult VC = vir::compileFunction(C.Source);
+      R.Compiles = VC.ok();
+      if (R.Compiles && SC.ok() &&
+          C.Source.find("_mm256_") != std::string::npos) {
+        interp::ChecksumOutcome O = interp::runChecksumTest(*SC.Fn, *VC.Fn);
+        R.Plausible = O.Verdict == interp::TestVerdict::Plausible;
+      }
+      TC.Samples.push_back(std::move(R));
+    }
+    Out.push_back(std::move(TC));
+  }
+  return Out;
+}
+
+ChecksumTally lv::bench::tallyAt(const std::vector<TestCorpus> &Corpus,
+                                 int K) {
+  ChecksumTally T;
+  for (const TestCorpus &TC : Corpus) {
+    if (TC.firstPlausible(K) >= 0)
+      ++T.Plausible;
+    else if (TC.allFailCompile(K))
+      ++T.CannotCompile;
+    else
+      ++T.NotEquivalent;
+  }
+  return T;
+}
+
+std::vector<FunnelRecord>
+lv::bench::runFunnel(const std::vector<TestCorpus> &Corpus,
+                     const core::EquivConfig &Cfg) {
+  std::vector<FunnelRecord> Out;
+  for (const TestCorpus &TC : Corpus) {
+    FunnelRecord R;
+    R.Name = TC.Test->Name;
+    int Idx = TC.firstPlausible(static_cast<int>(TC.Samples.size()));
+    R.HadPlausible = Idx >= 0;
+    if (R.HadPlausible)
+      R.Result = core::checkEquivalence(
+          TC.Test->Source, TC.Samples[static_cast<size_t>(Idx)].Source, Cfg);
+    Out.push_back(std::move(R));
+  }
+  return Out;
+}
+
+void lv::bench::printHeader(const std::string &Title) {
+  std::printf("\n==== %s ====\n", Title.c_str());
+}
+
+void lv::bench::printRow3(const char *Label, const std::string &Paper,
+                          const std::string &Measured) {
+  std::printf("  %-34s %14s %14s\n", Label, Paper.c_str(), Measured.c_str());
+}

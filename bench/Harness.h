@@ -1,0 +1,79 @@
+//===- bench/Harness.h - shared experiment harness --------------*- C++ -*-===//
+///
+/// \file
+/// Shared machinery for the paper-reproduction benchmarks: completion
+/// corpus generation (the simulated GPT-4 sampled k times per TSVC test),
+/// checksum classification, the Algorithm-1 funnel, and table printing.
+/// Every experiment binary reports "paper" vs "measured" columns so
+/// EXPERIMENTS.md can be regenerated from the bench output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_BENCH_HARNESS_H
+#define LV_BENCH_HARNESS_H
+
+#include "core/Equivalence.h"
+#include "llm/Client.h"
+#include "tsvc/Suite.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lv {
+namespace bench {
+
+/// Global experiment seed (fixed for reproducibility).
+inline constexpr uint64_t ExperimentSeed = 0xC60;
+
+/// One sampled completion with its checksum classification.
+struct CandidateRecord {
+  std::string Source;
+  bool Compiles = false;
+  bool Plausible = false;
+};
+
+/// All samples for one TSVC test.
+struct TestCorpus {
+  const tsvc::TsvcTest *Test = nullptr;
+  std::vector<CandidateRecord> Samples;
+
+  /// Index of the first plausible sample in the first \p K, or -1.
+  int firstPlausible(int K) const;
+  /// True if every one of the first \p K samples failed to compile.
+  bool allFailCompile(int K) const;
+};
+
+/// Samples \p K completions for every TSVC test (single LLM invocation per
+/// sample, no feedback — the paper's "code completions" setting of §4.1.1)
+/// and classifies each with checksum testing.
+std::vector<TestCorpus> buildCorpus(int K, uint64_t Seed = ExperimentSeed);
+
+/// Table-2 style classification for a given k.
+struct ChecksumTally {
+  int Plausible = 0;
+  int NotEquivalent = 0;
+  int CannotCompile = 0;
+};
+ChecksumTally tallyAt(const std::vector<TestCorpus> &Corpus, int K);
+
+/// Per-test funnel record for Table 3.
+struct FunnelRecord {
+  std::string Name;
+  bool HadPlausible = false;
+  core::EquivResult Result;
+};
+
+/// Runs Algorithm 1 on the first plausible candidate of each test.
+std::vector<FunnelRecord> runFunnel(const std::vector<TestCorpus> &Corpus,
+                                    const core::EquivConfig &Cfg);
+
+/// Pretty-printing helpers (stdout).
+void printHeader(const std::string &Title);
+void printRow3(const char *Label, const std::string &Paper,
+               const std::string &Measured);
+
+} // namespace bench
+} // namespace lv
+
+#endif // LV_BENCH_HARNESS_H

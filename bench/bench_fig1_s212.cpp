@@ -1,0 +1,115 @@
+//===- bench/bench_fig1_s212.cpp - Figure 1(c) reproduction -------------------===//
+//
+// Reproduces the paper's motivating measurement (Fig. 1c): GPT-4's s212
+// vectorization versus the three compilers, which none of them vectorize
+// (GCC/Clang keep scalar code; ICC emits markedly better scalar code).
+// Paper speedups: 2.09x vs ICC, 7.35x vs Clang, 8.08x vs GCC.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Harness.h"
+#include "compilers/Baselines.h"
+#include "interp/Interp.h"
+#include "minic/Parser.h"
+#include "support/Rng.h"
+#include "vir/Lower.h"
+
+#include <cstdio>
+
+using namespace lv;
+using namespace lv::bench;
+
+// GPT-4's vectorization from the paper's Figure 1(b), verbatim modulo
+// whitespace.
+static const char *S212Gpt4 = R"(
+#include <immintrin.h>
+void s212(int n, int *a, int *b, int *c, int *d) {
+  int i;
+  __m256i a_vec, b_vec, c_vec, a_next_vec, d_vec, prod_vec, sum_vec;
+  for (i = 0; i < n - 1 - (n - 1) % 8; i += 8) {
+    a_vec = _mm256_loadu_si256((__m256i *)&a[i]);
+    b_vec = _mm256_loadu_si256((__m256i *)&b[i]);
+    c_vec = _mm256_loadu_si256((__m256i *)&c[i]);
+    a_next_vec = _mm256_loadu_si256((__m256i *)&a[i + 1]);
+    d_vec = _mm256_loadu_si256((__m256i *)&d[i]);
+    prod_vec = _mm256_mullo_epi32(a_vec, c_vec);
+    _mm256_storeu_si256((__m256i *)&a[i], prod_vec);
+    prod_vec = _mm256_mullo_epi32(a_next_vec, d_vec);
+    sum_vec = _mm256_add_epi32(b_vec, prod_vec);
+    _mm256_storeu_si256((__m256i *)&b[i], sum_vec);
+  }
+  for (; i < n - 1; i++) {
+    a[i] *= c[i];
+    b[i] += a[i + 1] * d[i];
+  }
+})";
+
+static double cycles(const minic::Function &F, double Factor, int N) {
+  vir::LowerResult L = vir::lowerToVIR(F);
+  if (!L.ok())
+    return -1;
+  interp::CostModel CM;
+  interp::ExecConfig Cfg;
+  Cfg.Costs = &CM;
+  interp::MemoryImage Mem;
+  Rng R(4242);
+  for (size_t I = 0; I < L.Fn->Memories.size(); ++I) {
+    std::vector<int32_t> Buf(static_cast<size_t>(N + 64));
+    for (int32_t &V : Buf)
+      V = R.rangeInt(-50, 50);
+    Mem.Regions.push_back(std::move(Buf));
+  }
+  std::vector<int32_t> Args;
+  for (const vir::VParam &P : L.Fn->Params)
+    if (!P.IsPointer)
+      Args.push_back(N);
+  interp::ExecResult E = interp::execute(*L.Fn, Args, Mem, Cfg);
+  return E.ok() ? E.Cycles * Factor : -1;
+}
+
+int main() {
+  printHeader("Figure 1(c): s212, GPT-4 code vs compiler baselines");
+  const tsvc::TsvcTest *T = tsvc::findTest("s212");
+  minic::ParseResult SP = minic::parseFunction(T->Source);
+  minic::ParseResult VP = minic::parseFunction(S212Gpt4);
+  if (!SP.ok() || !VP.ok()) {
+    std::printf("  parse failure\n");
+    return 1;
+  }
+  const int N = 32000; // the TSVC workload size
+  double Llm = cycles(*VP.Fn, 1.0, N);
+
+  struct PaperRow {
+    compilers::CompilerId C;
+    double Paper;
+  };
+  const PaperRow Rows[] = {{compilers::CompilerId::ICC, 2.09},
+                           {compilers::CompilerId::Clang, 7.35},
+                           {compilers::CompilerId::GCC, 8.08}};
+  std::printf("\n  %-8s %12s %12s %12s\n", "baseline", "vectorized?",
+              "speedup", "paper");
+  double IccUp = 0, ClangUp = 0, GccUp = 0;
+  for (const PaperRow &Row : Rows) {
+    compilers::CompileOutcome O = compilers::compileWith(Row.C, *SP.Fn);
+    // Fig. 1(c) measures GCC/Clang/ICC on the *scalar* loop (none of them
+    // vectorize s212 in the paper's setup); our ICC model's stronger
+    // dependence analysis is exercised in Fig. 6 instead, so measure its
+    // scalar code here.
+    double Base = cycles(*SP.Fn, O.CycleFactor, N);
+    double Up = Base / Llm;
+    std::printf("  %-8s %12s %11.2fx %11.2fx\n",
+                compilers::compilerName(Row.C), O.Vectorized ? "yes" : "no",
+                Up, Row.Paper);
+    if (Row.C == compilers::CompilerId::ICC)
+      IccUp = Up;
+    if (Row.C == compilers::CompilerId::Clang)
+      ClangUp = Up;
+    if (Row.C == compilers::CompilerId::GCC)
+      GccUp = Up;
+  }
+  bool ShapeOk = IccUp > 1.2 && IccUp < ClangUp && ClangUp <= GccUp &&
+                 GccUp > 4.0;
+  std::printf("\n  shape (ICC smallest speedup, GCC largest, all > 1): %s\n",
+              ShapeOk ? "OK" : "MISMATCH");
+  return ShapeOk ? 0 : 1;
+}

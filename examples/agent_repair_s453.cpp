@@ -1,0 +1,54 @@
+//===- examples/agent_repair_s453.cpp - the §4.4.2 repair dialogue ------------===//
+//
+// Replays the paper's s453 walkthrough: the vectorizer agent's first
+// attempt broadcasts the induction scalar (wrong), the compiler tester
+// feeds back a concrete input/output mismatch, and the second attempt uses
+// the correct lane ramp. Prints the full agent transcript and then
+// formally verifies the repaired candidate.
+//
+//===----------------------------------------------------------------------===//
+
+#include "agents/Fsm.h"
+#include "core/Equivalence.h"
+#include "llm/Client.h"
+#include "tsvc/Suite.h"
+
+#include <cstdio>
+
+using namespace lv;
+
+int main() {
+  const tsvc::TsvcTest *T = tsvc::findTest("s453");
+  std::printf("scalar s453:\n%s\n\n", T->Source.c_str());
+
+  // Search seeds until the first attempt misfires and the loop repairs it
+  // (the paper's two-attempt run).
+  for (uint64_t Seed = 0; Seed < 64; ++Seed) {
+    llm::SimulatedLLM Model(Seed);
+    agents::FsmConfig Cfg;
+    agents::MultiAgentFsm Fsm(Model, Cfg);
+    agents::FsmResult R = Fsm.run(T->Source);
+    if (!(R.Plausible && R.Attempts >= 2))
+      continue;
+
+    std::printf("seed %llu: repaired in %d attempts; transcript:\n\n",
+                static_cast<unsigned long long>(Seed), R.Attempts);
+    for (const agents::Message &M : R.Transcript)
+      std::printf("--- %s -> %s ---\n%s\n\n", M.From.c_str(), M.To.c_str(),
+                  M.Content.c_str());
+
+    std::printf("FSM states: ");
+    for (agents::State S : R.Transitions)
+      std::printf("%s ", agents::stateName(S));
+    std::printf("\n\n");
+
+    core::EquivResult E = core::checkEquivalence(T->Source,
+                                                 R.FinalCandidate);
+    std::printf("formal verification of the repaired candidate: %s "
+                "(stage: %s)\n",
+                core::outcomeName(E.Final), core::stageName(E.DecidedBy));
+    return 0;
+  }
+  std::printf("no seed in range produced a multi-attempt repair\n");
+  return 1;
+}

@@ -1,0 +1,116 @@
+//===- agents/Fsm.cpp - multi-agent finite state machine -----------------------===//
+
+#include "agents/Fsm.h"
+
+#include "deps/Analysis.h"
+#include "minic/Parser.h"
+#include "support/Format.h"
+#include "vir/Compile.h"
+
+using namespace lv;
+using namespace lv::agents;
+
+const char *lv::agents::stateName(State S) {
+  switch (S) {
+  case State::Init: return "Init";
+  case State::Vectorize: return "Vectorize";
+  case State::Compile: return "Compile";
+  case State::Test: return "Test";
+  case State::Feedback: return "Feedback";
+  case State::Done: return "Done";
+  case State::Failed: return "Failed";
+  }
+  return "?";
+}
+
+FsmResult MultiAgentFsm::run(const std::string &ScalarSource) {
+  FsmResult R;
+  R.Transitions.push_back(State::Init);
+
+  // The user proxy prepares the task, optionally with Clang-style
+  // dependence remarks explaining why the compiler will not vectorize.
+  llm::Prompt P;
+  P.ScalarSource = ScalarSource;
+  P.Temperature = Cfg.Temperature;
+  std::string ProxyMsg =
+      "Vectorize the following C loop for an AVX2 target using intrinsics. "
+      "Preserve the function signature and semantics.\n" +
+      ScalarSource;
+  if (Cfg.ProvideDependenceFeedback) {
+    minic::ParseResult PR = minic::parseFunction(ScalarSource);
+    if (PR.ok()) {
+      deps::LoopAnalysis LA = deps::analyzeFunction(*PR.Fn);
+      P.DependenceFeedback = deps::renderCompilerFeedback(LA);
+      ProxyMsg += "\nCompiler dependence analysis:\n" + P.DependenceFeedback;
+    }
+  }
+  R.Transcript.push_back({"user-proxy", "vectorizer", ProxyMsg});
+
+  vir::CompileResult SC = vir::compileFunction(ScalarSource);
+  if (!SC.ok()) {
+    R.Transcript.push_back(
+        {"compiler-tester", "user-proxy",
+         "the scalar input does not compile: " + SC.Error});
+    R.Transitions.push_back(State::Failed);
+    return R;
+  }
+
+  for (int Attempt = 0; Attempt < Cfg.MaxAttempts; ++Attempt) {
+    R.Attempts = Attempt + 1;
+    R.Transitions.push_back(State::Vectorize);
+    llm::Completion C =
+        Client.complete(P, static_cast<uint64_t>(Attempt));
+    R.Transcript.push_back({"vectorizer", "compiler-tester",
+                            format("[%s]\n", C.Rationale.c_str()) +
+                                C.Source});
+    R.FinalCandidate = C.Source;
+
+    // Compile.
+    R.Transitions.push_back(State::Compile);
+    vir::CompileResult VC = vir::compileFunction(C.Source);
+    if (!VC.ok()) {
+      R.Transitions.push_back(State::Feedback);
+      std::string FB = "the candidate does not compile:\nerror: " + VC.Error;
+      R.Transcript.push_back({"compiler-tester", "vectorizer", FB});
+      P.FailureFeedback.push_back(FB);
+      continue;
+    }
+
+    // A candidate that contains no vector intrinsics is not a
+    // vectorization; reject it (covers the model's echo fallback).
+    if (C.Source.find("_mm256_") == std::string::npos) {
+      R.Transitions.push_back(State::Feedback);
+      std::string FB = "the candidate is not vectorized: no AVX2 "
+                       "intrinsics found";
+      R.Transcript.push_back({"compiler-tester", "vectorizer", FB});
+      P.FailureFeedback.push_back(FB);
+      continue;
+    }
+
+    // Test.
+    R.Transitions.push_back(State::Test);
+    interp::ChecksumOutcome O =
+        interp::runChecksumTest(*SC.Fn, *VC.Fn, Cfg.Checksum);
+    R.LastChecksum = O;
+    if (O.Verdict == interp::TestVerdict::Plausible) {
+      R.Transcript.push_back(
+          {"compiler-tester", "user-proxy",
+           "checksum testing found no discrepancy: candidate is "
+           "plausible"});
+      R.Transitions.push_back(State::Done);
+      R.Plausible = true;
+      return R;
+    }
+    // Feedback with the concrete distinguishing example (paper §4.4.2).
+    R.Transitions.push_back(State::Feedback);
+    std::string FB = "checksum testing failed: " + O.Detail;
+    if (!O.FirstMismatch.Where.empty())
+      FB += format("\ninput bound n=%d, %s: expected %d, got %d",
+                   O.FirstMismatch.N, O.FirstMismatch.Where.c_str(),
+                   O.FirstMismatch.Expected, O.FirstMismatch.Actual);
+    R.Transcript.push_back({"compiler-tester", "vectorizer", FB});
+    P.FailureFeedback.push_back(FB);
+  }
+  R.Transitions.push_back(State::Failed);
+  return R;
+}

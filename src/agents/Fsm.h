@@ -1,0 +1,86 @@
+//===- agents/Fsm.h - multi-agent finite state machine ----------*- C++ -*-===//
+///
+/// \file
+/// The multi-agent FSM of paper §2.2/Fig. 3: a user proxy agent opens a
+/// dialogue with the vectorizer assistant agent, attaching the scalar code
+/// and Clang-style dependence remarks; the vectorizer consults the LLM; the
+/// compiler tester assistant compiles the candidate and runs checksum
+/// testing; failures are fed back to the vectorizer for repair. The loop
+/// runs until a plausible candidate emerges or the attempt budget (10 in
+/// the paper) is exhausted.
+///
+/// States: Init -> Vectorize -> Compile -> Test -> {Done | Feedback ->
+/// Vectorize} -> Failed. The transcript records every agent message so the
+/// examples can replay the paper's s453 repair dialogue (§4.4.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_AGENTS_FSM_H
+#define LV_AGENTS_FSM_H
+
+#include "interp/Checksum.h"
+#include "llm/Client.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lv {
+namespace agents {
+
+/// FSM states (for the transition log).
+enum class State : uint8_t {
+  Init,
+  Vectorize,
+  Compile,
+  Test,
+  Feedback,
+  Done,
+  Failed,
+};
+
+const char *stateName(State S);
+
+/// One message in the agent conversation.
+struct Message {
+  std::string From;
+  std::string To;
+  std::string Content;
+};
+
+/// FSM configuration.
+struct FsmConfig {
+  int MaxAttempts = 10; ///< The paper's repair budget.
+  bool ProvideDependenceFeedback = true; ///< Clang remarks in the prompt.
+  double Temperature = 1.0;
+  interp::ChecksumConfig Checksum;
+};
+
+/// Result of a run.
+struct FsmResult {
+  bool Plausible = false;
+  int Attempts = 0;
+  std::string FinalCandidate; ///< Last candidate source (plausible or not).
+  interp::ChecksumOutcome LastChecksum;
+  std::vector<Message> Transcript;
+  std::vector<State> Transitions;
+};
+
+/// The orchestrator.
+class MultiAgentFsm {
+public:
+  MultiAgentFsm(llm::LLMClient &Client, FsmConfig Cfg)
+      : Client(Client), Cfg(Cfg) {}
+
+  /// Runs the dialogue for one scalar function.
+  FsmResult run(const std::string &ScalarSource);
+
+private:
+  llm::LLMClient &Client;
+  FsmConfig Cfg;
+};
+
+} // namespace agents
+} // namespace lv
+
+#endif // LV_AGENTS_FSM_H

@@ -1,0 +1,148 @@
+//===- compilers/Baselines.cpp - GCC/Clang/ICC auto-vectorizer models ---------===//
+
+#include "compilers/Baselines.h"
+
+#include "deps/Analysis.h"
+#include "llm/Vectorizer.h"
+#include "minic/GotoElim.h"
+
+using namespace lv;
+using namespace lv::compilers;
+
+const char *lv::compilers::compilerName(CompilerId C) {
+  switch (C) {
+  case CompilerId::GCC: return "GCC";
+  case CompilerId::Clang: return "Clang";
+  case CompilerId::ICC: return "ICC";
+  }
+  return "?";
+}
+
+const CompilerInfo &lv::compilers::compilerInfo(CompilerId C) {
+  static const CompilerInfo Infos[] = {
+      {"GCC", "10.5.0", "-O3 -mavx2 -lm -W",
+       "-O3 -mavx2 -lm -ftree-vectorizer-verbose=3 -ftree-vectorize "
+       "-fopt-info-vec-optimized"},
+      {"Clang", "19.0.0", "-O3 -mavx2 -lm -fno-tree-vectorize",
+       "-O3 -mavx2 -fstrict-aliasing -fvectorize -fslp-vectorize-aggressive "
+       "-Rpass-analysis=loop-vectorize -lm"},
+      {"ICC", "2021.10.0", "-restrict -std=c99 -O3 -ip -no-vec",
+       "-restrict -std=c99 -O3 -ip -vec -xAVX2"},
+  };
+  return Infos[static_cast<size_t>(C)];
+}
+
+/// Decides legality for one compiler from the analysis.
+static bool decideVectorize(CompilerId C, const deps::LoopAnalysis &LA,
+                            std::string &Reason) {
+  if (!LA.HasLoop) {
+    Reason = "no loop found";
+    return false;
+  }
+  const deps::LoopShape &L = LA.inner();
+  if (!L.Canonical || L.Step != 1) {
+    Reason = "loop is not in canonical unit-stride form";
+    return false;
+  }
+  if (LA.HasIndirectAccess) {
+    Reason = "irregular (gather/scatter) memory access";
+    return false;
+  }
+  if (LA.HasNonAffineAccess) {
+    Reason = "could not analyze memory subscripts";
+    return false;
+  }
+  if (LA.HasBreakOrReturn) {
+    Reason = "loop has multiple exits";
+    return false;
+  }
+  if (LA.HasGoto) {
+    // Only ICC's if-converter handles the goto-restructured flow.
+    if (C != CompilerId::ICC) {
+      Reason = "control flow cannot be converted to data flow";
+      return false;
+    }
+  }
+  for (const deps::ArrayAccess &A : LA.Accesses) {
+    if (!A.Sub.Valid || A.Sub.Coef != 1) {
+      Reason = "unsupported subscript pattern";
+      return false;
+    }
+  }
+  for (const deps::Dependence &D : LA.Deps) {
+    if (D.LoopCarried && !(D.DistanceKnown && D.Distance > 0)) {
+      Reason = "loop-carried dependence prevents vectorization";
+      return false;
+    }
+    if (D.MayBeSpurious) {
+      // Spurious positive-distance read: only ICC's dependence analysis
+      // proves it safe (§4.3 "Dependence": GCC and Clang often disable
+      // vectorization entirely).
+      if (C != CompilerId::ICC) {
+        Reason = "possible backward dependence between a[i] and a[i+k]";
+        return false;
+      }
+    }
+  }
+  int GuardedInd = 0;
+  for (const deps::ScalarUpdate &U : LA.Scalars) {
+    switch (U.K) {
+    case deps::ScalarUpdate::Reduction:
+      continue; // all three handle reductions (§4.3 "Reduction")
+    case deps::ScalarUpdate::Induction:
+      if (U.GuardedUpdate) {
+        ++GuardedInd;
+        continue;
+      }
+      continue; // derived inductions are standard
+    case deps::ScalarUpdate::Wraparound:
+      // Needs peeling: ICC only (§4.3 s291/s292).
+      if (C != CompilerId::ICC) {
+        Reason = "first-order recurrence requires loop peeling";
+        return false;
+      }
+      continue;
+    case deps::ScalarUpdate::Other:
+      Reason = "unvectorizable cross-iteration scalar";
+      return false;
+    }
+  }
+  if (GuardedInd == 1) {
+    Reason = "conditional induction variable";
+    return false;
+  }
+  return true;
+}
+
+CompileOutcome lv::compilers::compileWith(CompilerId C,
+                                          const minic::Function &F) {
+  CompileOutcome Out;
+  // Quality factors: ICC's scalar code is markedly better (software
+  // pipelining, unrolling); its vector code slightly better too.
+  switch (C) {
+  case CompilerId::GCC: Out.CycleFactor = 1.05; break;
+  case CompilerId::Clang: Out.CycleFactor = 1.0; break;
+  case CompilerId::ICC: Out.CycleFactor = 0.72; break;
+  }
+
+  minic::FunctionPtr Clone = F.clone();
+  std::string GErr = minic::eliminateGotos(*Clone);
+  deps::LoopAnalysis LA = deps::analyzeFunction(GErr.empty() ? *Clone : F);
+  std::string Reason;
+  bool Legal = decideVectorize(C, LA, Reason);
+  if (Legal) {
+    // Wraparound loops pass ICC's legality but our generator does not peel;
+    // fall back to scalar if generation fails.
+    llm::GenResult G = llm::vectorizeFunction(F, llm::FaultPlan());
+    if (G.Fn && G.SoundByConstruction) {
+      Out.Vectorized = true;
+      Out.Code = std::move(G.Fn);
+      return Out;
+    }
+    Reason = "vectorization legal but code generation not profitable";
+  }
+  Out.Vectorized = false;
+  Out.Reason = Reason;
+  Out.Code = F.clone();
+  return Out;
+}

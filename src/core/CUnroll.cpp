@@ -1,0 +1,173 @@
+//===- core/CUnroll.cpp - C-level unrolling (paper §3.2) ----------------------===//
+
+#include "core/CUnroll.h"
+
+#include "minic/Printer.h"
+#include "support/Format.h"
+
+using namespace lv;
+using namespace lv::core;
+using minic::Expr;
+using minic::ExprPtr;
+using minic::Function;
+using minic::FunctionPtr;
+using minic::Stmt;
+using minic::StmtPtr;
+
+/// Finds the statement list containing the first `for`, returning the list
+/// and the index. Searches nested blocks/ifs (not loop bodies).
+static std::vector<StmtPtr> *findFirstLoop(std::vector<StmtPtr> &List,
+                                           size_t &Index) {
+  for (size_t I = 0; I < List.size(); ++I) {
+    Stmt &S = *List[I];
+    if (S.K == Stmt::For) {
+      Index = I;
+      return &List;
+    }
+    if (S.K == Stmt::Block) {
+      std::vector<StmtPtr> *Found = findFirstLoop(S.Body, Index);
+      if (Found)
+        return Found;
+    }
+  }
+  return nullptr;
+}
+
+/// True if the subtree contains a `continue` not nested in an inner loop.
+static bool hasTopLevelContinue(const Stmt &S) {
+  if (S.K == Stmt::Continue)
+    return true;
+  if (S.K == Stmt::For)
+    return false; // inner loop captures its own continues
+  for (const StmtPtr &Sub : S.Body)
+    if (Sub && hasTopLevelContinue(*Sub))
+      return true;
+  return false;
+}
+
+/// Rewrites `break` (not nested in an inner loop) into `return`, as the
+/// paper's preprocessing does.
+static void breakToReturn(Stmt &S) {
+  if (S.K == Stmt::Break) {
+    S.K = Stmt::Return;
+    return;
+  }
+  if (S.K == Stmt::For)
+    return;
+  for (StmtPtr &Sub : S.Body)
+    if (Sub)
+      breakToReturn(*Sub);
+}
+
+UnrollResult lv::core::unrollStraightLine(const Function &F, int Copies,
+                                          bool DropLaterLoops) {
+  UnrollResult R;
+  FunctionPtr Clone = F.clone();
+  if (!Clone->BodyBlock) {
+    R.Error = "function has no body";
+    return R;
+  }
+  size_t Index = 0;
+  std::vector<StmtPtr> *List = findFirstLoop(Clone->BodyBlock->Body, Index);
+  if (!List) {
+    R.Error = "no loop to unroll";
+    return R;
+  }
+  Stmt &Loop = *(*List)[Index];
+  if (!Loop.forBody()) {
+    R.Error = "loop has no body";
+    return R;
+  }
+  if (hasTopLevelContinue(*Loop.forBody())) {
+    R.Error = "continue in loop body is not supported by C-level unrolling";
+    return R;
+  }
+
+  std::vector<StmtPtr> Repl;
+  if (Loop.InitStmt && Loop.InitStmt->K != Stmt::Empty)
+    Repl.push_back(Loop.InitStmt->clone());
+  for (int K = 0; K < Copies; ++K) {
+    StmtPtr BodyCopy = Loop.forBody()->clone();
+    breakToReturn(*BodyCopy);
+    // Each copy is its own block: goto-flag declarations and local temps
+    // stay unique by scoping (the paper's label renaming / decl dedup).
+    std::vector<StmtPtr> IterStmts;
+    IterStmts.push_back(std::move(BodyCopy));
+    if (Loop.StepExpr)
+      IterStmts.push_back(Stmt::makeExpr(Loop.StepExpr->clone()));
+    Repl.push_back(Stmt::makeBlock(std::move(IterStmts)));
+  }
+
+  // Splice the replacement in place of the loop.
+  List->erase(List->begin() + static_cast<long>(Index));
+  for (size_t K = 0; K < Repl.size(); ++K)
+    List->insert(List->begin() + static_cast<long>(Index + K),
+                 std::move(Repl[K]));
+
+  if (DropLaterLoops) {
+    for (size_t I = Index + Repl.size(); I < List->size();) {
+      if ((*List)[I]->K == Stmt::For)
+        List->erase(List->begin() + static_cast<long>(I));
+      else
+        ++I;
+    }
+  }
+
+  R.Fn = std::move(Clone);
+  return R;
+}
+
+UnrollResult lv::core::elevateOuterLoop(const Function &F,
+                                        std::string &OuterHeader) {
+  UnrollResult R;
+  FunctionPtr Clone = F.clone();
+  if (!Clone->BodyBlock) {
+    R.Error = "function has no body";
+    return R;
+  }
+  size_t Index = 0;
+  std::vector<StmtPtr> *List = findFirstLoop(Clone->BodyBlock->Body, Index);
+  if (!List) {
+    R.Error = "no loop found";
+    return R;
+  }
+  Stmt &Outer = *(*List)[Index];
+
+  // Canonical header rendering for the identity check (init; cond; step).
+  std::string Header;
+  if (Outer.InitStmt && Outer.InitStmt->K == Stmt::Decl) {
+    Header += minic::printStmt(*Outer.InitStmt, 0);
+  } else if (Outer.InitStmt && Outer.InitStmt->K == Stmt::ExprSt) {
+    Header += minic::printExpr(*Outer.InitStmt->Cond) + ";";
+  }
+  if (Outer.Cond)
+    Header += " " + minic::printExpr(*Outer.Cond) + ";";
+  if (Outer.StepExpr)
+    Header += " " + minic::printExpr(*Outer.StepExpr);
+  OuterHeader = Header;
+
+  // The outer iterator becomes a parameter.
+  std::string Iter;
+  if (Outer.InitStmt && Outer.InitStmt->K == Stmt::Decl &&
+      Outer.InitStmt->Decls.size() == 1)
+    Iter = Outer.InitStmt->Decls[0].Name;
+  else if (Outer.InitStmt && Outer.InitStmt->K == Stmt::ExprSt &&
+           Outer.InitStmt->Cond->K == Expr::Assign &&
+           Outer.InitStmt->Cond->Kids[0]->K == Expr::VarRef)
+    Iter = Outer.InitStmt->Cond->Kids[0]->Name;
+  if (Iter.empty()) {
+    R.Error = "outer loop iterator not recognized";
+    return R;
+  }
+  minic::Param P;
+  P.Ty = minic::Type::Int;
+  P.Name = Iter;
+  Clone->Params.push_back(P);
+
+  // Replace the outer loop with its body.
+  StmtPtr Body = std::move(Outer.Body[0]);
+  (*List)[Index] = std::move(Body);
+
+  R.Fn = std::move(Clone);
+  return R;
+}

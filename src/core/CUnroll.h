@@ -1,0 +1,56 @@
+//===- core/CUnroll.h - C-level unrolling (paper §3.2) ---------*- C++ -*-===//
+///
+/// \file
+/// The paper's second domain-specific verification technique: instead of
+/// letting the validator unroll loops with per-iteration termination
+/// guards, pre-transform the *C source*: replace the loop with straight-
+/// line copies of the body (`i = start; body; i += step; body; ...`),
+/// skipping the `i < end` checks that are redundant once the divisibility
+/// assumption `(end - start) % m == 0` holds. `break` becomes `return`,
+/// goto labels stay unique by block scoping, and duplicate declarations are
+/// avoided by construction (each copy is its own block).
+///
+/// For nested loops, the outer loops must be syntactically identical on
+/// both sides; the outer iterator is elevated to a function parameter and
+/// only the inner loops are compared, for an arbitrary outer iteration
+/// (§3.2, "Nested loops").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_CORE_CUNROLL_H
+#define LV_CORE_CUNROLL_H
+
+#include "minic/AST.h"
+
+#include <string>
+
+namespace lv {
+namespace core {
+
+/// Result of the straight-lining transform.
+struct UnrollResult {
+  minic::FunctionPtr Fn; ///< Null on failure.
+  std::string Error;
+
+  bool ok() const { return Fn != nullptr; }
+};
+
+/// Replaces the first loop of \p F with \p Copies straight-line copies of
+/// its body. When \p DropLaterLoops is set, any `for` statement after the
+/// unrolled loop (e.g. a vector candidate's scalar epilogue, dead under the
+/// divisibility assumption) is removed.
+UnrollResult unrollStraightLine(const minic::Function &F, int Copies,
+                                bool DropLaterLoops);
+
+/// For a nest of depth 2: checks the outer loop header/structure, removes
+/// the outer loop and elevates its iterator to a parameter, leaving the
+/// inner loop as the function's only loop. \p OuterHeader receives a
+/// canonical rendering of the removed outer header for cross-checking the
+/// two sides.
+UnrollResult elevateOuterLoop(const minic::Function &F,
+                              std::string &OuterHeader);
+
+} // namespace core
+} // namespace lv
+
+#endif // LV_CORE_CUNROLL_H

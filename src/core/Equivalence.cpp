@@ -1,0 +1,327 @@
+//===- core/Equivalence.cpp - Algorithm 1: checkEquivalence -------------------===//
+
+#include "core/Equivalence.h"
+
+#include "core/CUnroll.h"
+#include "deps/Analysis.h"
+#include "support/Format.h"
+#include "vir/Compile.h"
+#include "vir/Lower.h"
+
+#include <numeric>
+
+using namespace lv;
+using namespace lv::core;
+using tv::TVResult;
+using tv::TVVerdict;
+
+const char *lv::core::stageName(Stage S) {
+  switch (S) {
+  case Stage::None: return "none";
+  case Stage::Checksum: return "checksum";
+  case Stage::Alive2Unroll: return "alive2-unroll";
+  case Stage::CUnroll: return "c-unroll";
+  case Stage::Splitting: return "spatial-splitting";
+  }
+  return "?";
+}
+
+const char *lv::core::outcomeName(EquivResult::Outcome O) {
+  switch (O) {
+  case EquivResult::CannotCompile: return "cannot-compile";
+  case EquivResult::Inequivalent: return "inequivalent";
+  case EquivResult::Equivalent: return "equivalent";
+  case EquivResult::Inconclusive: return "inconclusive";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Alignment facts extracted from both sides (paper §3.1).
+struct Alignment {
+  bool Valid = false;
+  int64_t Step1 = 1;       ///< Scalar loop step.
+  int64_t Step2 = 8;       ///< Vector loop step.
+  int64_t V = 8;           ///< lcm(Step1, Step2): elements per block.
+  int SrcCopies = 8;       ///< V / Step1.
+  int TgtCopies = 1;       ///< V / Step2.
+  int64_t Start = 0;
+  tv::DivAssumption Div;   ///< (end - start) % V == 0.
+  bool HasDiv = false;
+};
+
+} // namespace
+
+static Alignment computeAlignment(const minic::Function &S,
+                                  const minic::Function &V) {
+  Alignment A;
+  deps::LoopAnalysis LS = deps::analyzeFunction(S);
+  deps::LoopAnalysis LV = deps::analyzeFunction(V);
+  if (!LS.HasLoop || !LV.HasLoop)
+    return A;
+  const deps::LoopShape &IS = LS.inner();
+  const deps::LoopShape &IV = LV.inner();
+  if (!IS.Canonical || !IS.End.Valid || IS.Step <= 0)
+    return A;
+  A.Step1 = IS.Step;
+  A.Step2 = IV.StepKnown && IV.Step > 0 ? IV.Step : 8;
+  A.V = std::lcm(A.Step1, A.Step2);
+  if (A.V <= 0 || A.V > 64)
+    return A;
+  A.SrcCopies = static_cast<int>(A.V / A.Step1);
+  A.TgtCopies = static_cast<int>(A.V / A.Step2);
+  A.Start = IS.Start;
+  if (!IS.End.Param.empty()) {
+    A.Div.Param = IS.End.Param;
+    A.Div.Offset = static_cast<int32_t>(
+        IS.End.Offset + (IS.InclusiveEnd ? 1 : 0) - IS.Start);
+    A.Div.Mod = static_cast<int32_t>(A.V);
+    A.HasDiv = true;
+  }
+  A.Valid = true;
+  return A;
+}
+
+/// Elevates outer loops until both sides are single-loop functions with
+/// syntactically identical removed headers. Returns false when the nest
+/// shapes disagree (stage becomes inconclusive, as the paper's filter does).
+static bool elevateNests(minic::FunctionPtr &S, minic::FunctionPtr &V,
+                         std::string &Why) {
+  for (int Guard = 0; Guard < 3; ++Guard) {
+    deps::LoopAnalysis LS = deps::analyzeFunction(*S);
+    deps::LoopAnalysis LV = deps::analyzeFunction(*V);
+    if (!LS.HasLoop || !LV.HasLoop) {
+      Why = "loop nest missing on one side";
+      return false;
+    }
+    if (!LS.isNested() && !LV.isNested())
+      return true;
+    if (!LS.isNested() || !LV.isNested()) {
+      Why = "loop nest depth differs between source and candidate";
+      return false;
+    }
+    std::string HS, HV;
+    UnrollResult RS = elevateOuterLoop(*S, HS);
+    UnrollResult RV = elevateOuterLoop(*V, HV);
+    if (!RS.ok() || !RV.ok()) {
+      Why = RS.ok() ? RV.Error : RS.Error;
+      return false;
+    }
+    if (HS != HV) {
+      Why = format("outer loops are not syntactically identical:\n  "
+                   "source: %s\n  target: %s",
+                   HS.c_str(), HV.c_str());
+      return false;
+    }
+    S = std::move(RS.Fn);
+    V = std::move(RV.Fn);
+  }
+  Why = "loop nest deeper than supported";
+  return false;
+}
+
+/// Compiles an AST to VIR, reporting failures.
+static vir::VFunctionPtr lowerAst(const minic::Function &F,
+                                  std::string &Err) {
+  vir::LowerResult R = vir::lowerToVIR(F);
+  if (!R.ok()) {
+    Err = R.Error;
+    return nullptr;
+  }
+  return std::move(R.Fn);
+}
+
+EquivResult lv::core::checkEquivalence(const std::string &ScalarSrc,
+                                       const std::string &VecSrc,
+                                       const EquivConfig &Cfg) {
+  EquivResult Out;
+
+  vir::CompileResult SC = vir::compileFunction(ScalarSrc);
+  if (!SC.ok()) {
+    Out.Final = EquivResult::CannotCompile;
+    Out.DecidedBy = Stage::Checksum;
+    Out.Detail = "scalar source failed to compile: " + SC.Error;
+    return Out;
+  }
+  vir::CompileResult VC = vir::compileFunction(VecSrc);
+  if (!VC.ok()) {
+    Out.Final = EquivResult::CannotCompile;
+    Out.DecidedBy = Stage::Checksum;
+    Out.Detail = "candidate failed to compile: " + VC.Error;
+    return Out;
+  }
+
+  // Stage 1: checksum testing (paper §2.1).
+  Out.ChecksumRes = interp::runChecksumTest(*SC.Fn, *VC.Fn, Cfg.Checksum);
+  if (Out.ChecksumRes.Verdict == interp::TestVerdict::NotEquivalent) {
+    Out.Final = EquivResult::Inequivalent;
+    Out.DecidedBy = Stage::Checksum;
+    Out.Detail = Out.ChecksumRes.Detail;
+    return Out;
+  }
+  if (Out.ChecksumRes.Verdict == interp::TestVerdict::Error) {
+    Out.Final = EquivResult::Inequivalent;
+    Out.DecidedBy = Stage::Checksum;
+    Out.Detail = "checksum harness: " + Out.ChecksumRes.Detail;
+    return Out;
+  }
+
+  // Prepare TV-side ASTs: elevate nested loops (paper §3.1 "Nested loops").
+  minic::FunctionPtr STv = SC.Ast->clone();
+  minic::FunctionPtr VTv = VC.Ast->clone();
+  std::string NestWhy;
+  bool NestOk = elevateNests(STv, VTv, NestWhy);
+  if (!NestOk) {
+    Out.Final = EquivResult::Inconclusive;
+    Out.Detail = "nested-loop handling: " + NestWhy;
+    return Out;
+  }
+
+  Alignment Align = computeAlignment(*STv, *VTv);
+  if (!Align.Valid) {
+    Out.Final = EquivResult::Inconclusive;
+    Out.Detail = "loop alignment failed (non-canonical loop shapes)";
+    return Out;
+  }
+
+  std::string LowerErr;
+  vir::VFunctionPtr SV = lowerAst(*STv, LowerErr);
+  vir::VFunctionPtr VV = SV ? lowerAst(*VTv, LowerErr) : nullptr;
+  if (!SV || !VV) {
+    Out.Final = EquivResult::Inconclusive;
+    Out.Detail = "TV lowering failed: " + LowerErr;
+    return Out;
+  }
+
+  // Stage 2: checkWithAlive2Unroll — guarded symbolic unrolling.
+  if (Cfg.EnableAlive2) {
+    tv::RefineOptions RO;
+    RO.ScalarMax = Cfg.ScalarMax;
+    RO.SrcExec.UnrollBound =
+        static_cast<int>(Cfg.ScalarMax / Align.Step1) + 2;
+    RO.TgtExec.UnrollBound =
+        static_cast<int>(Cfg.ScalarMax / Align.Step2) + 2;
+    RO.SrcExec.MemWindow = Cfg.ScalarMax + 8;
+    RO.TgtExec.MemWindow = Cfg.ScalarMax + 8;
+    RO.CompareWindow = Cfg.ScalarMax + 8;
+    if (Align.HasDiv)
+      RO.Divs.push_back(Align.Div);
+    RO.Budget.MaxConflicts = Cfg.Alive2Budget;
+    RO.MaxTerms = Cfg.MaxTerms;
+    Out.Alive2Res = tv::checkRefinement(*SV, *VV, RO);
+    if (Out.Alive2Res.V == TVVerdict::Equivalent ||
+        Out.Alive2Res.V == TVVerdict::Inequivalent) {
+      Out.Final = Out.Alive2Res.V == TVVerdict::Equivalent
+                      ? EquivResult::Equivalent
+                      : EquivResult::Inequivalent;
+      Out.DecidedBy = Stage::Alive2Unroll;
+      Out.Detail = Out.Alive2Res.Detail;
+      Out.Counterexample = Out.Alive2Res.Counterexample;
+      return Out;
+    }
+  }
+
+  // Stage 3: checkWithCUnroll — straight-line one aligned block.
+  UnrollResult SU, VU;
+  if (Cfg.EnableCUnroll || Cfg.EnableSplitting) {
+    SU = unrollStraightLine(*STv, Align.SrcCopies, /*DropLaterLoops=*/true);
+    VU = unrollStraightLine(*VTv, Align.TgtCopies, /*DropLaterLoops=*/true);
+  }
+  if (Cfg.EnableCUnroll) {
+    if (SU.ok() && VU.ok()) {
+      std::string E2;
+      vir::VFunctionPtr SUV = lowerAst(*SU.Fn, E2);
+      vir::VFunctionPtr VUV = SUV ? lowerAst(*VU.Fn, E2) : nullptr;
+      if (SUV && VUV) {
+        tv::RefineOptions RO;
+        RO.ScalarMax = Cfg.ScalarMax;
+        RO.SrcExec.MemWindow =
+            static_cast<int>(Align.Start + Align.V) + 10;
+        RO.TgtExec.MemWindow = RO.SrcExec.MemWindow;
+        RO.CompareWindow = RO.SrcExec.MemWindow;
+        if (Align.HasDiv)
+          RO.Divs.push_back(Align.Div);
+        RO.Budget.MaxConflicts = Cfg.CUnrollBudget;
+        RO.MaxTerms = Cfg.MaxTerms;
+        Out.CUnrollRes = tv::checkRefinement(*SUV, *VUV, RO);
+        if (Out.CUnrollRes.V == TVVerdict::Equivalent ||
+            Out.CUnrollRes.V == TVVerdict::Inequivalent) {
+          Out.Final = Out.CUnrollRes.V == TVVerdict::Equivalent
+                          ? EquivResult::Equivalent
+                          : EquivResult::Inequivalent;
+          Out.DecidedBy = Stage::CUnroll;
+          Out.Detail = Out.CUnrollRes.Detail;
+          Out.Counterexample = Out.CUnrollRes.Counterexample;
+          return Out;
+        }
+      } else {
+        Out.CUnrollRes.V = TVVerdict::Unsupported;
+        Out.CUnrollRes.Detail = E2;
+      }
+    } else {
+      Out.CUnrollRes.V = TVVerdict::Unsupported;
+      Out.CUnrollRes.Detail = SU.ok() ? VU.Error : SU.Error;
+    }
+  }
+
+  // Stage 4: checkWithSpatialSplitting — per-cell queries under the
+  // conservative no-loop-carried-dependence precondition.
+  if (Cfg.EnableSplitting) {
+    deps::LoopAnalysis LS = deps::analyzeFunction(*STv);
+    deps::LoopAnalysis LV2 = deps::analyzeFunction(*VTv);
+    bool TargetAligned = true;
+    for (const deps::ArrayAccess &A : LV2.Accesses)
+      if (!A.Sub.Valid || A.Sub.Coef != 1 || A.Sub.Offset != 0)
+        TargetAligned = false;
+    Out.SplittingEligible =
+        LS.spatialSplittingEligible() && TargetAligned && SU.ok() && VU.ok();
+    if (Out.SplittingEligible) {
+      std::string E3;
+      vir::VFunctionPtr SUV = lowerAst(*SU.Fn, E3);
+      vir::VFunctionPtr VUV = SUV ? lowerAst(*VU.Fn, E3) : nullptr;
+      if (SUV && VUV) {
+        bool AllEq = true;
+        bool AnyInconcl = false;
+        for (int J = 0; J < static_cast<int>(Align.V); ++J) {
+          tv::RefineOptions RO;
+          RO.ScalarMax = Cfg.ScalarMax;
+          RO.SrcExec.MemWindow =
+              static_cast<int>(Align.Start + Align.V) + 10;
+          RO.TgtExec.MemWindow = RO.SrcExec.MemWindow;
+          RO.CellFilter = static_cast<int>(Align.Start) + J;
+          if (Align.HasDiv)
+            RO.Divs.push_back(Align.Div);
+          RO.Budget.MaxConflicts = Cfg.SplitBudget;
+          RO.MaxTerms = Cfg.MaxTerms;
+          TVResult RJ = tv::checkRefinement(*SUV, *VUV, RO);
+          Out.SplitRes.push_back(RJ);
+          if (RJ.V == TVVerdict::Inequivalent) {
+            Out.Final = EquivResult::Inequivalent;
+            Out.DecidedBy = Stage::Splitting;
+            Out.Detail =
+                format("cell %d: %s", RO.CellFilter, RJ.Detail.c_str());
+            Out.Counterexample = RJ.Counterexample;
+            return Out;
+          }
+          if (RJ.V != TVVerdict::Equivalent) {
+            AllEq = false;
+            AnyInconcl = true;
+          }
+        }
+        if (AllEq) {
+          Out.Final = EquivResult::Equivalent;
+          Out.DecidedBy = Stage::Splitting;
+          Out.Detail = format("all %d per-cell queries verified",
+                              static_cast<int>(Align.V));
+          return Out;
+        }
+        (void)AnyInconcl;
+      }
+    }
+  }
+
+  Out.Final = EquivResult::Inconclusive;
+  Out.Detail = "all stages inconclusive";
+  return Out;
+}

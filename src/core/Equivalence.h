@@ -1,0 +1,90 @@
+//===- core/Equivalence.h - Algorithm 1: checkEquivalence ------*- C++ -*-===//
+///
+/// \file
+/// The paper's Algorithm 1: staged equivalence checking of a vectorized
+/// candidate V against scalar source S.
+///
+///   1. checksumTesting(S, V)          -> Inequivalent | Plausible
+///   2. checkWithAlive2Unroll(S, V)    -> guarded symbolic unrolling with
+///      loop alignment and the divisibility assumption (§3.1)
+///   3. checkWithCUnroll(S, V)         -> C-level straight-lining of one
+///      aligned block on both sides (§3.2)
+///   4. checkWithSpatialSplitting(S,V) -> per-cell queries under the
+///      conservative no-loop-carried-dependence check (§3.3)
+///
+/// Each stage may return Inconclusive (budget exhaustion — the paper's
+/// Alive2 timeout/memout); the next stage then runs. Nested loops are
+/// handled by requiring syntactically identical outer loops and elevating
+/// the outer iterator to a parameter before stages 2-4.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_CORE_EQUIVALENCE_H
+#define LV_CORE_EQUIVALENCE_H
+
+#include "interp/Checksum.h"
+#include "tv/Refine.h"
+
+#include <string>
+#include <vector>
+
+namespace lv {
+namespace core {
+
+/// Which stage settled the verdict.
+enum class Stage : uint8_t {
+  None,
+  Checksum,
+  Alive2Unroll,
+  CUnroll,
+  Splitting,
+};
+
+const char *stageName(Stage S);
+
+/// Configuration (budgets double as the ablation knobs).
+struct EquivConfig {
+  interp::ChecksumConfig Checksum;
+  int32_t ScalarMax = 16;        ///< Bounded domain for scalar params.
+  uint64_t Alive2Budget = 25'000; ///< Conflicts for stage 2.
+  uint64_t CUnrollBudget = 25'000;
+  uint64_t SplitBudget = 10'000; ///< Per-cell budget for stage 4.
+  size_t MaxTerms = 600'000;     ///< Symbolic-encoding cap (memout knob).
+  bool EnableAlive2 = true;      ///< Ablation: skip stage 2.
+  bool EnableCUnroll = true;     ///< Ablation: skip stage 3.
+  bool EnableSplitting = true;   ///< Ablation: skip stage 4.
+};
+
+/// Full result with per-stage evidence.
+struct EquivResult {
+  enum Outcome : uint8_t {
+    CannotCompile,
+    Inequivalent,
+    Equivalent,
+    Inconclusive,
+  } Final = Inconclusive;
+  Stage DecidedBy = Stage::None;
+  std::string Detail;
+  std::string Counterexample;
+
+  interp::ChecksumOutcome ChecksumRes;
+  tv::TVResult Alive2Res;
+  tv::TVResult CUnrollRes;
+  std::vector<tv::TVResult> SplitRes; ///< One per compared cell.
+  bool SplittingEligible = false;
+
+  bool equivalent() const { return Final == Equivalent; }
+};
+
+const char *outcomeName(EquivResult::Outcome O);
+
+/// Runs Algorithm 1 on source text. \p VecSrc failing to compile yields
+/// CannotCompile (Table 2's row).
+EquivResult checkEquivalence(const std::string &ScalarSrc,
+                             const std::string &VecSrc,
+                             const EquivConfig &Cfg = EquivConfig());
+
+} // namespace core
+} // namespace lv
+
+#endif // LV_CORE_EQUIVALENCE_H

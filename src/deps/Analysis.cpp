@@ -1,0 +1,736 @@
+//===- deps/Analysis.cpp - AST-level loop & dependence analysis --------------===//
+
+#include "deps/Analysis.h"
+
+#include "support/Format.h"
+
+#include <map>
+#include <set>
+
+using namespace lv;
+using namespace lv::deps;
+using minic::BinOp;
+using minic::Expr;
+using minic::Stmt;
+using minic::UnOp;
+
+namespace {
+
+/// Collects the analysis for one function.
+class Analyzer {
+public:
+  explicit Analyzer(const minic::Function &F) : F(F) {}
+
+  LoopAnalysis run();
+
+private:
+  const minic::Function &F;
+  LoopAnalysis LA;
+  /// Derived induction variables: name -> {coef over iter, offset at the
+  /// *start* of an iteration}. The innermost iterator itself maps to
+  /// {1, 0}.
+  std::map<std::string, std::pair<int64_t, int64_t>> IndVars;
+  /// Scalars assigned a constant before the loop and never reassigned
+  /// inside it (e.g. `int m = 1; ... a[i + m]`): folded into subscripts.
+  std::map<std::string, int64_t> PreLoopConsts;
+
+  void collectPreLoopConsts();
+
+  void findNest(const Stmt &S);
+  void resolveWraparounds(const Stmt &Body);
+  LoopShape shapeOf(const Stmt &Loop);
+  void scanBody(const Stmt &S, bool Conditional);
+  void scanExpr(const Expr &E, bool Conditional, bool IsWriteTarget);
+  AffineSubscript affineOf(const Expr &E) const;
+  void classifyScalars(const Stmt &Body);
+  void computeDependences();
+
+  static bool exprIsConst(const Expr &E, int64_t &V) {
+    if (E.K == Expr::IntLit) {
+      V = E.Value;
+      return true;
+    }
+    if (E.K == Expr::Unary && E.UOp == UnOp::Neg &&
+        E.Kids[0]->K == Expr::IntLit) {
+      V = -E.Kids[0]->Value;
+      return true;
+    }
+    return false;
+  }
+};
+
+} // namespace
+
+/// Parses a bound expression of the form `param`, `param + c`, `param - c`,
+/// or a constant.
+static BoundSpec boundOf(const Expr &E) {
+  BoundSpec B;
+  if (E.K == Expr::IntLit) {
+    B.Valid = true;
+    B.Offset = E.Value;
+    return B;
+  }
+  if (E.K == Expr::VarRef) {
+    B.Valid = true;
+    B.Param = E.Name;
+    return B;
+  }
+  if (E.K == Expr::Binary &&
+      (E.BOp == BinOp::Add || E.BOp == BinOp::Sub) &&
+      E.Kids[0]->K == Expr::VarRef && E.Kids[1]->K == Expr::IntLit) {
+    B.Valid = true;
+    B.Param = E.Kids[0]->Name;
+    B.Offset = E.BOp == BinOp::Add ? E.Kids[1]->Value : -E.Kids[1]->Value;
+    return B;
+  }
+  return B;
+}
+
+LoopShape Analyzer::shapeOf(const Stmt &Loop) {
+  LoopShape S;
+  S.Loop = &Loop;
+  // Iterator and start: `int i = c` or `i = c` in the init.
+  if (Loop.InitStmt) {
+    const Stmt &Init = *Loop.InitStmt;
+    if (Init.K == Stmt::Decl && Init.Decls.size() == 1 &&
+        Init.Decls[0].Init) {
+      S.Iter = Init.Decls[0].Name;
+      S.StartKnown = exprIsConst(*Init.Decls[0].Init, S.Start);
+    } else if (Init.K == Stmt::ExprSt && Init.Cond->K == Expr::Assign &&
+               Init.Cond->IsPlainAssign &&
+               Init.Cond->Kids[0]->K == Expr::VarRef) {
+      S.Iter = Init.Cond->Kids[0]->Name;
+      S.StartKnown = exprIsConst(*Init.Cond->Kids[1], S.Start);
+    }
+  }
+  // Condition: `i < bound` or `i <= bound`.
+  if (Loop.Cond && Loop.Cond->K == Expr::Binary &&
+      (Loop.Cond->BOp == BinOp::Lt || Loop.Cond->BOp == BinOp::Le) &&
+      Loop.Cond->Kids[0]->K == Expr::VarRef &&
+      (S.Iter.empty() || Loop.Cond->Kids[0]->Name == S.Iter)) {
+    if (S.Iter.empty())
+      S.Iter = Loop.Cond->Kids[0]->Name;
+    S.End = boundOf(*Loop.Cond->Kids[1]);
+    S.InclusiveEnd = Loop.Cond->BOp == BinOp::Le;
+  }
+  // Step: `i++` / `i += c`.
+  if (Loop.StepExpr) {
+    const Expr &St = *Loop.StepExpr;
+    if (St.K == Expr::Unary &&
+        (St.UOp == UnOp::PostInc || St.UOp == UnOp::PreInc) &&
+        St.Kids[0]->K == Expr::VarRef && St.Kids[0]->Name == S.Iter) {
+      S.Step = 1;
+      S.StepKnown = true;
+    } else if (St.K == Expr::Assign && !St.IsPlainAssign &&
+               St.BOp == BinOp::Add && St.Kids[0]->K == Expr::VarRef &&
+               St.Kids[0]->Name == S.Iter) {
+      S.StepKnown = exprIsConst(*St.Kids[1], S.Step);
+    }
+  }
+  S.Canonical = !S.Iter.empty() && S.StartKnown && S.StepKnown &&
+                S.End.Valid && S.Step > 0;
+  return S;
+}
+
+void Analyzer::findNest(const Stmt &S) {
+  if (S.K == Stmt::For) {
+    LA.HasLoop = true;
+    LA.Nest.push_back(shapeOf(S));
+    // Descend: the first nested for (if any) continues the nest.
+    const Stmt *Body = S.forBody();
+    if (Body) {
+      const Stmt *OnlyFor = nullptr;
+      int ForCount = 0;
+      std::vector<const Stmt *> Work = {Body};
+      // Look only one structural level deep (block of statements).
+      if (Body->K == Stmt::Block) {
+        for (const minic::StmtPtr &Sub : Body->Body)
+          if (Sub->K == Stmt::For) {
+            ++ForCount;
+            OnlyFor = Sub.get();
+          }
+      } else if (Body->K == Stmt::For) {
+        ForCount = 1;
+        OnlyFor = Body;
+      }
+      if (ForCount == 1 && OnlyFor) {
+        findNest(*OnlyFor);
+        return;
+      }
+    }
+    return;
+  }
+  if (S.InitStmt)
+    findNest(*S.InitStmt);
+  for (const minic::StmtPtr &Sub : S.Body) {
+    if (Sub)
+      findNest(*Sub);
+    if (LA.HasLoop)
+      return; // analyze the first loop nest only
+  }
+}
+
+AffineSubscript Analyzer::affineOf(const Expr &E) const {
+  AffineSubscript A;
+  int64_t C;
+  if (Analyzer::exprIsConst(E, C)) {
+    A.Valid = true;
+    A.Coef = 0;
+    A.Offset = C;
+    return A;
+  }
+  if (E.K == Expr::VarRef) {
+    auto It = IndVars.find(E.Name);
+    if (It != IndVars.end()) {
+      A.Valid = true;
+      A.Coef = It->second.first;
+      A.Offset = It->second.second;
+      A.ViaInduction = E.Name != LA.inner().Iter;
+      return A;
+    }
+    auto CIt = PreLoopConsts.find(E.Name);
+    if (CIt != PreLoopConsts.end()) {
+      A.Valid = true;
+      A.Coef = 0;
+      A.Offset = CIt->second;
+      return A;
+    }
+    return A;
+  }
+  if (E.K == Expr::Binary) {
+    AffineSubscript L = affineOf(*E.Kids[0]);
+    AffineSubscript R = affineOf(*E.Kids[1]);
+    if (!L.Valid || !R.Valid)
+      return A;
+    switch (E.BOp) {
+    case BinOp::Add:
+      A.Valid = true;
+      A.Coef = L.Coef + R.Coef;
+      A.Offset = L.Offset + R.Offset;
+      break;
+    case BinOp::Sub:
+      A.Valid = true;
+      A.Coef = L.Coef - R.Coef;
+      A.Offset = L.Offset - R.Offset;
+      break;
+    case BinOp::Mul:
+      if (L.Coef == 0) {
+        A.Valid = true;
+        A.Coef = L.Offset * R.Coef;
+        A.Offset = L.Offset * R.Offset;
+      } else if (R.Coef == 0) {
+        A.Valid = true;
+        A.Coef = L.Coef * R.Offset;
+        A.Offset = L.Offset * R.Offset;
+      }
+      break;
+    default:
+      break;
+    }
+    A.ViaInduction = L.ViaInduction || R.ViaInduction;
+    return A;
+  }
+  return A;
+}
+
+void Analyzer::scanExpr(const Expr &E, bool Conditional, bool IsWriteTarget) {
+  if (E.K == Expr::Index && E.Kids[0]->K == Expr::VarRef) {
+    ArrayAccess AA;
+    AA.Array = E.Kids[0]->Name;
+    AA.IsWrite = IsWriteTarget;
+    AA.Conditional = Conditional;
+    AA.Sub = affineOf(*E.Kids[1]);
+    // Record variables used in the subscript.
+    {
+      std::vector<const Expr *> SW = {E.Kids[1].get()};
+      while (!SW.empty()) {
+        const Expr *W = SW.back();
+        SW.pop_back();
+        if (W->K == Expr::VarRef)
+          LA.SubscriptVars.push_back(W->Name);
+        for (const minic::ExprPtr &Kid : W->Kids)
+          if (Kid)
+            SW.push_back(Kid.get());
+      }
+    }
+    // Indirect when the subscript itself reads an array.
+    const Expr *Sub = E.Kids[1].get();
+    std::vector<const Expr *> Work = {Sub};
+    while (!Work.empty()) {
+      const Expr *W = Work.back();
+      Work.pop_back();
+      if (W->K == Expr::Index)
+        AA.Indirect = true;
+      for (const minic::ExprPtr &Kid : W->Kids)
+        if (Kid)
+          Work.push_back(Kid.get());
+    }
+    if (AA.Indirect)
+      LA.HasIndirectAccess = true;
+    if (!AA.Sub.Valid)
+      LA.HasNonAffineAccess = true;
+    LA.Accesses.push_back(AA);
+    scanExpr(*E.Kids[1], Conditional, false);
+    return;
+  }
+  switch (E.K) {
+  case Expr::Assign:
+    scanExpr(*E.Kids[0], Conditional, true);
+    if (!E.IsPlainAssign)
+      scanExpr(*E.Kids[0], Conditional, false); // compound also reads
+    scanExpr(*E.Kids[1], Conditional, false);
+    return;
+  case Expr::Unary:
+    if (E.UOp == UnOp::PreInc || E.UOp == UnOp::PostInc ||
+        E.UOp == UnOp::PreDec || E.UOp == UnOp::PostDec) {
+      scanExpr(*E.Kids[0], Conditional, true);
+      scanExpr(*E.Kids[0], Conditional, false);
+      return;
+    }
+    break;
+  case Expr::Ternary:
+    scanExpr(*E.Kids[0], Conditional, false);
+    scanExpr(*E.Kids[1], true, false);
+    scanExpr(*E.Kids[2], true, false);
+    return;
+  default:
+    break;
+  }
+  for (const minic::ExprPtr &Kid : E.Kids)
+    if (Kid)
+      scanExpr(*Kid, Conditional, IsWriteTarget && E.K == Expr::Index);
+}
+
+void Analyzer::scanBody(const Stmt &S, bool Conditional) {
+  switch (S.K) {
+  case Stmt::ExprSt:
+    scanExpr(*S.Cond, Conditional, false);
+    return;
+  case Stmt::Decl:
+    for (const minic::Declarator &D : S.Decls)
+      if (D.Init)
+        scanExpr(*D.Init, Conditional, false);
+    return;
+  case Stmt::If:
+    LA.HasControlFlow = true;
+    scanExpr(*S.Cond, Conditional, false);
+    if (S.thenArm())
+      scanBody(*S.Body[0], true);
+    if (S.elseArm())
+      scanBody(*S.Body[1], true);
+    return;
+  case Stmt::Block:
+    for (const minic::StmtPtr &Sub : S.Body)
+      scanBody(*Sub, Conditional);
+    return;
+  case Stmt::Goto:
+  case Stmt::Label:
+    LA.HasGoto = true;
+    return;
+  case Stmt::Break:
+  case Stmt::Return:
+    LA.HasBreakOrReturn = true;
+    if (S.K == Stmt::Return && S.Cond)
+      scanExpr(*S.Cond, Conditional, false);
+    return;
+  case Stmt::For:
+    // Nested loop body already part of the nest scan; treat accesses in it
+    // as part of the innermost loop only when this IS the innermost.
+    return;
+  default:
+    return;
+  }
+}
+
+void Analyzer::classifyScalars(const Stmt &Body) {
+  // Find assignments to scalars in the loop body and classify them.
+  std::vector<std::pair<const Expr *, bool>> Assigns; // expr, conditional
+  std::set<std::string> Locals;
+  std::vector<std::pair<const Stmt *, bool>> Work = {{&Body, false}};
+  while (!Work.empty()) {
+    auto [S, Cond] = Work.back();
+    Work.pop_back();
+    switch (S->K) {
+    case Stmt::ExprSt:
+      if (S->Cond->K == Expr::Assign || S->Cond->K == Expr::Unary)
+        Assigns.push_back({S->Cond.get(), Cond});
+      break;
+    case Stmt::Decl:
+      for (const minic::Declarator &D : S->Decls)
+        Locals.insert(D.Name);
+      break;
+    case Stmt::If:
+      if (S->thenArm())
+        Work.push_back({S->Body[0].get(), true});
+      if (S->elseArm())
+        Work.push_back({S->Body[1].get(), true});
+      break;
+    case Stmt::Block:
+      for (const minic::StmtPtr &Sub : S->Body)
+        Work.push_back({Sub.get(), Cond});
+      break;
+    default:
+      break;
+    }
+  }
+  LA.BodyLocals.assign(Locals.begin(), Locals.end());
+  const std::string &Iter = LA.inner().Iter;
+  for (auto [E, Cond] : Assigns) {
+    // Iteration-private temporaries are not cross-iteration scalars.
+    if (E->K == Expr::Assign && E->Kids[0]->K == Expr::VarRef &&
+        Locals.count(E->Kids[0]->Name))
+      continue;
+    if (E->K == Expr::Unary && E->Kids[0]->K == Expr::VarRef &&
+        Locals.count(E->Kids[0]->Name))
+      continue;
+    // ++x / x++ on a scalar.
+    if (E->K == Expr::Unary && E->Kids[0]->K == Expr::VarRef &&
+        E->Kids[0]->Name != Iter) {
+      bool Inc = E->UOp == UnOp::PreInc || E->UOp == UnOp::PostInc;
+      bool Dec = E->UOp == UnOp::PreDec || E->UOp == UnOp::PostDec;
+      if (!Inc && !Dec)
+        continue;
+      ScalarUpdate U;
+      U.K = ScalarUpdate::Induction;
+      U.Name = E->Kids[0]->Name;
+      U.Step = Inc ? 1 : -1;
+      U.GuardedUpdate = Cond;
+      LA.Scalars.push_back(U);
+      IndVars.emplace(U.Name, std::make_pair<int64_t, int64_t>(1, 0));
+      continue;
+    }
+    if (E->K != Expr::Assign || E->Kids[0]->K != Expr::VarRef)
+      continue;
+    const std::string &Name = E->Kids[0]->Name;
+    if (Name == Iter)
+      continue;
+    ScalarUpdate U;
+    U.Name = Name;
+    U.GuardedUpdate = Cond;
+    int64_t C;
+    const Expr &RHS = *E->Kids[1];
+    if (!E->IsPlainAssign &&
+        (E->BOp == BinOp::Add || E->BOp == BinOp::Sub) &&
+        exprIsConst(RHS, C)) {
+      U.K = ScalarUpdate::Induction;
+      U.Step = E->BOp == BinOp::Add ? C : -C;
+    } else if (!E->IsPlainAssign) {
+      // x op= expr: a reduction when expr does not mention x.
+      std::set<std::string> Vars;
+      std::vector<const Expr *> WorkE = {&RHS};
+      while (!WorkE.empty()) {
+        const Expr *W = WorkE.back();
+        WorkE.pop_back();
+        if (W->K == Expr::VarRef)
+          Vars.insert(W->Name);
+        for (const minic::ExprPtr &Kid : W->Kids)
+          if (Kid)
+            WorkE.push_back(Kid.get());
+      }
+      U.K = Vars.count(Name) ? ScalarUpdate::Other : ScalarUpdate::Reduction;
+    } else if (E->IsPlainAssign && RHS.K == Expr::VarRef) {
+      // x = i / x = y: wraparound candidates (value of a previous
+      // iteration used before redefinition); the consumer resolves chains.
+      U.K = ScalarUpdate::Wraparound;
+    } else {
+      U.K = ScalarUpdate::Other;
+    }
+    LA.Scalars.push_back(U);
+  }
+}
+
+void Analyzer::computeDependences() {
+  for (size_t I = 0; I < LA.Accesses.size(); ++I) {
+    const ArrayAccess &W = LA.Accesses[I];
+    if (!W.IsWrite)
+      continue;
+    for (size_t J = 0; J < LA.Accesses.size(); ++J) {
+      if (I == J)
+        continue;
+      const ArrayAccess &O = LA.Accesses[J];
+      if (O.Array != W.Array)
+        continue;
+      if (O.IsWrite && J < I)
+        continue; // count each output-dep pair once
+      Dependence D;
+      D.Array = W.Array;
+      D.K = O.IsWrite ? Dependence::Output
+                      : (J > I ? Dependence::Anti : Dependence::Flow);
+      // For a write W at index c1*i + o1 and access O at c1*i + o2, the
+      // dependence distance is (o1 - o2) / c1 when coefficients match.
+      // Unit-coef write vs invariant (coef-0) read below the loop start:
+      // the written range [start, ...) never touches the read cell.
+      if (W.Sub.Valid && O.Sub.Valid && W.Sub.Coef == 1 &&
+          O.Sub.Coef == 0 && LA.inner().StartKnown &&
+          O.Sub.Offset < LA.inner().Start + W.Sub.Offset)
+        continue; // provably independent
+      if (W.Sub.Valid && O.Sub.Valid && W.Sub.Coef == O.Sub.Coef &&
+          W.Sub.Coef != 0 &&
+          (W.Sub.Offset - O.Sub.Offset) % W.Sub.Coef == 0) {
+        D.DistanceKnown = true;
+        D.Distance = (O.Sub.Offset - W.Sub.Offset) / W.Sub.Coef;
+        D.LoopCarried = D.Distance != 0;
+      } else if (W.Sub.Valid && O.Sub.Valid && W.Sub.Coef == O.Sub.Coef &&
+                 W.Sub.Coef != 0) {
+        D.DistanceKnown = true;
+        D.Distance = 0; // non-integer distance: independent
+        D.LoopCarried = false;
+        continue;       // provably no dependence
+      } else {
+        D.DistanceKnown = false;
+        D.LoopCarried = true; // conservative
+      }
+      if (D.DistanceKnown && D.Distance == 0 && !O.IsWrite) {
+        // Same-iteration flow/anti within the statement order: not
+        // loop-carried; record only if between different accesses.
+        D.LoopCarried = false;
+      }
+      // "Spurious" pattern: a[i] written, a[i+1] read (positive-distance
+      // read of a not-yet-written element); vectorizable by pre-loading.
+      if (!O.IsWrite && D.DistanceKnown && D.Distance > 0)
+        D.MayBeSpurious = true;
+      if (D.DistanceKnown && D.Distance == 0 && O.IsWrite)
+        D.LoopCarried = false;
+      LA.Deps.push_back(D);
+    }
+  }
+}
+
+void Analyzer::collectPreLoopConsts() {
+  // Top-level statements before the first loop: constant decls/assigns.
+  if (!F.BodyBlock)
+    return;
+  for (const minic::StmtPtr &S : F.BodyBlock->Body) {
+    if (S->K == Stmt::For)
+      break;
+    if (S->K == Stmt::Decl) {
+      for (const minic::Declarator &D : S->Decls) {
+        int64_t V;
+        if (D.Init && exprIsConst(*D.Init, V))
+          PreLoopConsts[D.Name] = V;
+      }
+    } else if (S->K == Stmt::ExprSt && S->Cond->K == Expr::Assign &&
+               S->Cond->IsPlainAssign &&
+               S->Cond->Kids[0]->K == Expr::VarRef) {
+      int64_t V;
+      if (exprIsConst(*S->Cond->Kids[1], V))
+        PreLoopConsts[S->Cond->Kids[0]->Name] = V;
+      else
+        PreLoopConsts.erase(S->Cond->Kids[0]->Name);
+    }
+  }
+  // Invalidate anything written inside the loop (any statement after the
+  // point where the loop begins; conservatively scan the whole function
+  // body for assignments below the pre-loop region).
+  std::vector<const Stmt *> Work;
+  bool SeenLoop = false;
+  for (const minic::StmtPtr &S : F.BodyBlock->Body) {
+    if (S->K == Stmt::For)
+      SeenLoop = true;
+    if (SeenLoop)
+      Work.push_back(S.get());
+  }
+  while (!Work.empty()) {
+    const Stmt *S = Work.back();
+    Work.pop_back();
+    std::vector<const Expr *> Exprs;
+    if (S->Cond)
+      Exprs.push_back(S->Cond.get());
+    if (S->StepExpr)
+      Exprs.push_back(S->StepExpr.get());
+    if (S->InitStmt)
+      Work.push_back(S->InitStmt.get());
+    for (const minic::StmtPtr &Sub : S->Body)
+      if (Sub)
+        Work.push_back(Sub.get());
+    while (!Exprs.empty()) {
+      const Expr *E = Exprs.back();
+      Exprs.pop_back();
+      if ((E->K == Expr::Assign ||
+           (E->K == Expr::Unary &&
+            (E->UOp == minic::UnOp::PreInc || E->UOp == minic::UnOp::PostInc ||
+             E->UOp == minic::UnOp::PreDec ||
+             E->UOp == minic::UnOp::PostDec))) &&
+          E->Kids[0]->K == Expr::VarRef)
+        PreLoopConsts.erase(E->Kids[0]->Name);
+      for (const minic::ExprPtr &Kid : E->Kids)
+        if (Kid)
+          Exprs.push_back(Kid.get());
+    }
+  }
+}
+
+LoopAnalysis Analyzer::run() {
+  if (F.BodyBlock)
+    findNest(*F.BodyBlock);
+  if (!LA.HasLoop || LA.Nest.empty())
+    return LA;
+  collectPreLoopConsts();
+  const LoopShape &Inner = LA.Nest.back();
+  if (!Inner.Iter.empty())
+    IndVars.emplace(Inner.Iter, std::make_pair<int64_t, int64_t>(1, 0));
+  const Stmt *Body = Inner.Loop->forBody();
+  if (Body) {
+    classifyScalars(*Body); // populates derived induction variables
+    resolveWraparounds(*Body);
+    scanBody(*Body, false);
+  }
+  computeDependences();
+  return LA;
+}
+
+void Analyzer::resolveWraparounds(const Stmt &Body) {
+  // `w = i` carries depth 1 (entry value i-1); `w2 = w` inherits w's entry
+  // value, one iteration older. Resolved wraparounds join IndVars so their
+  // subscript uses become affine (b[im1] == b[i - 1]).
+  std::map<std::string, std::string> AssignedFrom;
+  if (Body.K == Stmt::Block) {
+    for (const minic::StmtPtr &S : Body.Body) {
+      if (S->K != Stmt::ExprSt || S->Cond->K != Expr::Assign ||
+          !S->Cond->IsPlainAssign || S->Cond->Kids[0]->K != Expr::VarRef ||
+          S->Cond->Kids[1]->K != Expr::VarRef)
+        continue;
+      AssignedFrom[S->Cond->Kids[0]->Name] = S->Cond->Kids[1]->Name;
+    }
+  }
+  const std::string &Iter = LA.inner().Iter;
+  std::map<std::string, int64_t> Depth;
+  for (int Round = 0; Round < 4; ++Round) {
+    for (ScalarUpdate &U : LA.Scalars) {
+      if (U.K != ScalarUpdate::Wraparound || U.GuardedUpdate ||
+          Depth.count(U.Name))
+        continue;
+      auto It = AssignedFrom.find(U.Name);
+      if (It == AssignedFrom.end())
+        continue;
+      if (It->second == Iter)
+        Depth[U.Name] = 1;
+      else if (Depth.count(It->second))
+        Depth[U.Name] = Depth[It->second] + 1;
+    }
+  }
+  for (ScalarUpdate &U : LA.Scalars) {
+    if (U.K != ScalarUpdate::Wraparound)
+      continue;
+    auto It = Depth.find(U.Name);
+    U.Step = It == Depth.end() ? 0 : It->second;
+    if (U.Step > 0 && U.Step <= 4)
+      IndVars[U.Name] = {1, -U.Step};
+  }
+}
+
+bool LoopAnalysis::hasLoopCarriedDependence() const {
+  for (const Dependence &D : Deps)
+    if (D.LoopCarried && !(D.K == Dependence::Anti && D.MayBeSpurious))
+      return true;
+  for (const ScalarUpdate &U : Scalars)
+    if (U.K != ScalarUpdate::Wraparound)
+      return true;
+  return false;
+}
+
+bool LoopAnalysis::spatialSplittingEligible() const {
+  if (!HasLoop || isNested())
+    return false;
+  const LoopShape &L = inner();
+  if (!L.Canonical || L.Step != 1)
+    return false;
+  for (const ArrayAccess &A : Accesses)
+    if (!A.Sub.Valid || A.Sub.Coef != 1 || A.Sub.Offset != 0 || A.Indirect)
+      return false;
+  return Scalars.empty();
+}
+
+bool LoopAnalysis::hasReduction() const {
+  for (const ScalarUpdate &U : Scalars)
+    if (U.K == ScalarUpdate::Reduction)
+      return true;
+  return false;
+}
+
+LoopAnalysis lv::deps::analyzeFunction(const minic::Function &F) {
+  Analyzer A(F);
+  return A.run();
+}
+
+std::string lv::deps::renderCompilerFeedback(const LoopAnalysis &LA) {
+  std::string Out;
+  if (!LA.HasLoop)
+    return "remark: no loop found\n";
+  const LoopShape &L = LA.inner();
+  if (L.Canonical) {
+    appendf(Out, "remark: loop over '%s' start=%lld step=%lld bound=%s%+lld%s\n",
+            L.Iter.c_str(), static_cast<long long>(L.Start),
+            static_cast<long long>(L.Step),
+            L.End.Param.empty() ? "" : L.End.Param.c_str(),
+            static_cast<long long>(L.End.Offset),
+            L.InclusiveEnd ? " (inclusive)" : "");
+  } else {
+    Out += "remark: loop is not in canonical form\n";
+  }
+  if (LA.isNested())
+    appendf(Out, "remark: loop nest of depth %zu; only the innermost loop "
+                 "is considered for vectorization\n",
+            LA.Nest.size());
+  for (const Dependence &D : LA.Deps) {
+    const char *Kind = D.K == Dependence::Flow
+                           ? "flow (read-after-write)"
+                           : (D.K == Dependence::Anti
+                                  ? "anti (write-after-read)"
+                                  : "output (write-after-write)");
+    if (D.MayBeSpurious)
+      appendf(Out,
+              "remark: %s dependence on array '%s' with positive distance "
+              "%lld; it reads elements not yet written this iteration and "
+              "can be resolved by loading before storing\n",
+              Kind, D.Array.c_str(), static_cast<long long>(D.Distance));
+    else if (D.LoopCarried && D.DistanceKnown)
+      appendf(Out,
+              "remark: loop-carried %s dependence on array '%s' at "
+              "distance %lld prevents vectorization\n",
+              Kind, D.Array.c_str(), static_cast<long long>(D.Distance));
+    else if (D.LoopCarried)
+      appendf(Out,
+              "remark: possible loop-carried %s dependence on array '%s' "
+              "(unknown distance) prevents vectorization\n",
+              Kind, D.Array.c_str());
+  }
+  for (const ScalarUpdate &U : LA.Scalars) {
+    switch (U.K) {
+    case ScalarUpdate::Induction:
+      appendf(Out,
+              "remark: scalar '%s' is a derived induction variable with "
+              "step %lld%s\n",
+              U.Name.c_str(), static_cast<long long>(U.Step),
+              U.GuardedUpdate ? " (conditionally updated)" : "");
+      break;
+    case ScalarUpdate::Reduction:
+      appendf(Out, "remark: scalar '%s' is a reduction\n", U.Name.c_str());
+      break;
+    case ScalarUpdate::Wraparound:
+      appendf(Out, "remark: scalar '%s' carries the previous iteration's "
+                   "value (wraparound)\n",
+              U.Name.c_str());
+      break;
+    case ScalarUpdate::Other:
+      appendf(Out, "remark: scalar '%s' is updated across iterations in a "
+                   "way the analysis cannot classify\n",
+              U.Name.c_str());
+      break;
+    }
+  }
+  if (LA.HasControlFlow)
+    Out += "remark: loop body contains control flow; if-conversion or "
+           "masking is required to vectorize\n";
+  if (LA.HasGoto)
+    Out += "remark: loop body contains goto statements\n";
+  if (LA.HasIndirectAccess)
+    Out += "remark: indirect (gather/scatter) memory access detected\n";
+  if (LA.HasNonAffineAccess)
+    Out += "remark: non-affine subscript defeats dependence analysis\n";
+  if (LA.HasBreakOrReturn)
+    Out += "remark: early exit (break/return) in loop body\n";
+  if (Out.empty())
+    Out = "remark: loop looks trivially vectorizable\n";
+  return Out;
+}

@@ -1,0 +1,148 @@
+//===- deps/Analysis.h - AST-level loop & dependence analysis --*- C++ -*-===//
+///
+/// \file
+/// Loop analysis over the mini-C AST: canonical-form recognition (iterator,
+/// bounds, stride), affine subscript extraction, data-dependence testing
+/// (flow/anti/output with distances), and scalar-update classification
+/// (inductions, reductions, wraparound variables).
+///
+/// Three clients consume this analysis, mirroring the paper:
+///  * the multi-agent FSM renders it as the "Clang dependence feedback"
+///    included in the vectorizer agent's prompt (§2.2.2),
+///  * the compiler baseline models gate their vectorization legality on it
+///    (conservative GCC/Clang vs ICC behavior, §4.3),
+///  * the pipeline uses bounds for loop alignment (§3.1) and the
+///    conservative no-loop-carried-dependence check for spatial case
+///    splitting (§3.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_DEPS_ANALYSIS_H
+#define LV_DEPS_ANALYSIS_H
+
+#include "minic/AST.h"
+
+#include <string>
+#include <vector>
+
+namespace lv {
+namespace deps {
+
+/// A subscript in the canonical affine form `Coef * i + Offset` over the
+/// innermost loop iterator (or a secondary induction variable equated to
+/// the iterator).
+struct AffineSubscript {
+  bool Valid = false;   ///< False: non-affine or not analyzable.
+  int64_t Coef = 0;     ///< Iterator coefficient.
+  int64_t Offset = 0;   ///< Constant offset.
+  bool ViaInduction = false; ///< Subscript uses a derived induction var.
+};
+
+/// One array access in the loop body.
+struct ArrayAccess {
+  std::string Array;
+  bool IsWrite = false;
+  bool Conditional = false; ///< Under an if/ternary guard.
+  AffineSubscript Sub;
+  bool Indirect = false;    ///< Subscript itself loads an array (a[b[i]]).
+};
+
+/// Dependence between two accesses to the same array.
+struct Dependence {
+  enum Kind : uint8_t { Flow, Anti, Output } K = Flow;
+  std::string Array;
+  int64_t Distance = 0;    ///< In iterations; valid when DistanceKnown.
+  bool DistanceKnown = false;
+  bool LoopCarried = false;
+  bool MayBeSpurious = false; ///< Anti-dep satisfiable by load reordering.
+};
+
+/// Classification of a scalar updated inside the loop.
+struct ScalarUpdate {
+  enum Kind : uint8_t {
+    Induction,  ///< x += c every iteration.
+    Reduction,  ///< x = x op expr (op in +, -, min, max, ...).
+    Wraparound, ///< x = f(i) assigned after use (e.g. im1 = i).
+    Other,      ///< Unclassified cross-iteration scalar.
+  } K = Other;
+  std::string Name;
+  /// Induction: the per-iteration step. Wraparound: the resolved chain
+  /// depth (entry value == i - Step), or 0 when unresolved.
+  int64_t Step = 0;
+  bool GuardedUpdate = false; ///< Updated under a condition.
+};
+
+/// The loop bound expressed as `Param + Offset` (for the §3.1 divisibility
+/// assumption); Valid is false when the bound has another shape.
+struct BoundSpec {
+  bool Valid = false;
+  std::string Param;  ///< Empty when the bound is the constant Offset.
+  int64_t Offset = 0;
+};
+
+/// Canonical description of one loop in the nest.
+struct LoopShape {
+  const minic::Stmt *Loop = nullptr;
+  bool Canonical = false;  ///< for (i = c; i < bound; i += step).
+  std::string Iter;
+  int64_t Start = 0;
+  bool StartKnown = false;
+  int64_t Step = 1;
+  bool StepKnown = false;
+  BoundSpec End;
+  bool InclusiveEnd = false; ///< i <= bound.
+};
+
+/// Full analysis of the (innermost) loop of a function.
+struct LoopAnalysis {
+  bool HasLoop = false;
+  std::vector<LoopShape> Nest;   ///< Outermost first.
+  std::vector<ArrayAccess> Accesses;
+  std::vector<Dependence> Deps;
+  std::vector<ScalarUpdate> Scalars;
+  bool HasControlFlow = false;   ///< if/ternary in the innermost body.
+  bool HasGoto = false;
+  bool HasIndirectAccess = false;
+  bool HasNonAffineAccess = false;
+  bool HasBreakOrReturn = false;
+  /// Scalars declared inside the loop body: iteration-private temporaries,
+  /// never loop-carried (excluded from ScalarUpdate classification).
+  std::vector<std::string> BodyLocals;
+  /// Variables appearing inside array subscripts (distinguishes a guarded
+  /// induction used for packing from a guarded counter, §4.1.3).
+  std::vector<std::string> SubscriptVars;
+
+  bool usedInSubscript(const std::string &Name) const {
+    for (const std::string &V : SubscriptVars)
+      if (V == Name)
+        return true;
+    return false;
+  }
+
+  const LoopShape &inner() const { return Nest.back(); }
+  bool isNested() const { return Nest.size() > 1; }
+
+  /// Any loop-carried flow or output dependence (conservative).
+  bool hasLoopCarriedDependence() const;
+
+  /// True when every access is `a[i]`-shaped, stride 1, no cross-iteration
+  /// scalars — the conservative precondition for spatial case splitting
+  /// (paper §3.3).
+  bool spatialSplittingEligible() const;
+
+  /// Scalar reduction present (sum += ...).
+  bool hasReduction() const;
+};
+
+/// Analyzes the first (outermost) loop of \p F and its nest.
+LoopAnalysis analyzeFunction(const minic::Function &F);
+
+/// Renders the analysis as compiler-style remarks — the "dependence
+/// analysis information from the Clang compiler" that the user proxy agent
+/// feeds to the vectorizer agent (paper Fig. 3).
+std::string renderCompilerFeedback(const LoopAnalysis &LA);
+
+} // namespace deps
+} // namespace lv
+
+#endif // LV_DEPS_ANALYSIS_H

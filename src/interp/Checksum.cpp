@@ -1,0 +1,178 @@
+//===- interp/Checksum.cpp - checksum-based testing --------------------------===//
+
+#include "interp/Checksum.h"
+
+#include "support/Format.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+
+using namespace lv;
+using namespace lv::interp;
+using namespace lv::vir;
+
+namespace {
+
+/// Scalar arguments for one run, matched by parameter name.
+struct ArgPlan {
+  std::vector<int32_t> ForFn(const VFunction &F) const {
+    std::vector<int32_t> Out;
+    for (const VParam &P : F.Params) {
+      if (P.IsPointer)
+        continue;
+      auto It = std::find_if(Named.begin(), Named.end(),
+                             [&](const auto &KV) { return KV.first == P.Name; });
+      Out.push_back(It == Named.end() ? 0 : It->second);
+    }
+    return Out;
+  }
+  std::vector<std::pair<std::string, int32_t>> Named;
+};
+
+} // namespace
+
+/// Checks that both functions agree on the parameter list (names + kinds).
+static bool signaturesMatch(const VFunction &A, const VFunction &B,
+                            std::string &Why) {
+  if (A.Params.size() != B.Params.size()) {
+    Why = "parameter count differs";
+    return false;
+  }
+  for (size_t I = 0; I < A.Params.size(); ++I) {
+    if (A.Params[I].Name != B.Params[I].Name ||
+        A.Params[I].IsPointer != B.Params[I].IsPointer) {
+      Why = format("parameter %zu differs ('%s' vs '%s')", I,
+                   A.Params[I].Name.c_str(), B.Params[I].Name.c_str());
+      return false;
+    }
+  }
+  if (A.ReturnsValue != B.ReturnsValue) {
+    Why = "return type differs";
+    return false;
+  }
+  return true;
+}
+
+/// Builds the per-parameter-region input image (param regions only).
+static MemoryImage makeInputs(const VFunction &F, int BufferLen, Rng &R,
+                              int32_t Lo, int32_t Hi) {
+  MemoryImage M;
+  for (size_t I = 0; I < F.Memories.size(); ++I) {
+    M.Regions.emplace_back();
+    if (!F.Memories[I].IsParam)
+      continue; // allocated by the interpreter
+    std::vector<int32_t> Buf(static_cast<size_t>(BufferLen));
+    for (int32_t &V : Buf)
+      V = R.rangeInt(Lo, Hi);
+    M.Regions.back() = std::move(Buf);
+  }
+  return M;
+}
+
+/// Copies param-region contents from \p Src into a fresh image shaped for
+/// \p F (regions are matched by name so local arrays don't shift indices).
+static MemoryImage remapInputs(const VFunction &F, const VFunction &SrcFn,
+                               const MemoryImage &Src) {
+  MemoryImage M;
+  for (size_t I = 0; I < F.Memories.size(); ++I) {
+    M.Regions.emplace_back();
+    if (!F.Memories[I].IsParam)
+      continue;
+    for (size_t J = 0; J < SrcFn.Memories.size(); ++J) {
+      if (SrcFn.Memories[J].IsParam &&
+          SrcFn.Memories[J].Name == F.Memories[I].Name) {
+        M.Regions.back() = Src.Regions[J];
+        break;
+      }
+    }
+  }
+  return M;
+}
+
+ChecksumOutcome lv::interp::runChecksumTest(const VFunction &Scalar,
+                                            const VFunction &Vec,
+                                            const ChecksumConfig &Cfg) {
+  ChecksumOutcome Out;
+  std::string Why;
+  if (!signaturesMatch(Scalar, Vec, Why)) {
+    Out.Verdict = TestVerdict::NotEquivalent;
+    Out.Detail = "signature mismatch: " + Why;
+    return Out;
+  }
+
+  Rng R(Cfg.Seed);
+  for (int N : Cfg.NValues) {
+    for (int Run = 0; Run < Cfg.RunsPerN; ++Run) {
+      Rng StreamR = R.fork(hashCombine(static_cast<uint64_t>(N),
+                                       static_cast<uint64_t>(Run)));
+      MemoryImage RefMem = makeInputs(Scalar, Cfg.BufferLen, StreamR,
+                                      Cfg.ValueMin, Cfg.ValueMax);
+      MemoryImage CandMem = remapInputs(Vec, Scalar, RefMem);
+
+      ArgPlan Plan;
+      for (const VParam &P : Scalar.Params) {
+        if (P.IsPointer)
+          continue;
+        int32_t V =
+            P.Name == "n" ? N : StreamR.rangeInt(0, 16);
+        Plan.Named.emplace_back(P.Name, V);
+      }
+
+      ExecResult RefRes = execute(Scalar, Plan.ForFn(Scalar), RefMem);
+      if (!RefRes.ok()) {
+        // The reference itself misbehaves on this input: not usable as an
+        // oracle; skip the run (the harness stays Plausible).
+        continue;
+      }
+      ExecResult CandRes = execute(Vec, Plan.ForFn(Vec), CandMem);
+      if (!CandRes.ok()) {
+        Out.Verdict = TestVerdict::NotEquivalent;
+        Out.FirstMismatch.N = N;
+        Out.FirstMismatch.TrapMsg = CandRes.St == ExecResult::OutOfFuel
+                                        ? "candidate did not terminate"
+                                        : CandRes.TrapMsg;
+        Out.Detail = format("candidate failed at n=%d: %s", N,
+                            Out.FirstMismatch.TrapMsg.c_str());
+        return Out;
+      }
+      if (Scalar.ReturnsValue && RefRes.RetVal != CandRes.RetVal) {
+        Out.Verdict = TestVerdict::NotEquivalent;
+        Out.FirstMismatch = {"return value", N, RefRes.RetVal,
+                             CandRes.RetVal, ""};
+        Out.Detail = format("return value differs at n=%d: expected %d, "
+                            "got %d",
+                            N, RefRes.RetVal, CandRes.RetVal);
+        return Out;
+      }
+      // Compare every parameter region elementwise (by name).
+      for (size_t I = 0; I < Scalar.Memories.size(); ++I) {
+        if (!Scalar.Memories[I].IsParam)
+          continue;
+        const std::vector<int32_t> &RefBuf = RefMem.Regions[I];
+        const std::vector<int32_t> *CandBuf = nullptr;
+        for (size_t J = 0; J < Vec.Memories.size(); ++J)
+          if (Vec.Memories[J].IsParam &&
+              Vec.Memories[J].Name == Scalar.Memories[I].Name)
+            CandBuf = &CandMem.Regions[J];
+        if (!CandBuf)
+          continue;
+        for (size_t K = 0; K < RefBuf.size(); ++K) {
+          if (RefBuf[K] == (*CandBuf)[K])
+            continue;
+          Out.Verdict = TestVerdict::NotEquivalent;
+          Out.FirstMismatch = {
+              format("array '%s' index %zu", Scalar.Memories[I].Name.c_str(),
+                     K),
+              N, RefBuf[K], (*CandBuf)[K], ""};
+          Out.Detail = format(
+              "output mismatch at n=%d, %s: expected %d, got %d", N,
+              Out.FirstMismatch.Where.c_str(), RefBuf[K], (*CandBuf)[K]);
+          return Out;
+        }
+      }
+    }
+  }
+  Out.Verdict = TestVerdict::Plausible;
+  Out.Detail = "all runs matched";
+  return Out;
+}

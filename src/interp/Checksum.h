@@ -1,0 +1,76 @@
+//===- interp/Checksum.h - checksum-based testing ---------------*- C++ -*-===//
+///
+/// \file
+/// Checksum-based equivalence testing (paper §2.1): initialize the input
+/// arrays with random values, run the scalar and the vectorized function on
+/// identical inputs, and compare every output array and the return value.
+/// A pair that survives all runs is Plausible; any mismatch, crash, or hang
+/// of the candidate is NotEquivalent.
+///
+/// Loop bounds are multiples of the vector width (as in the paper's harness,
+/// where n = 32000): candidates without an epilogue loop are not penalized
+/// for the remainder, and latent UB (speculative loads) goes unnoticed —
+/// that blind spot is exactly what the symbolic verifier later closes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_INTERP_CHECKSUM_H
+#define LV_INTERP_CHECKSUM_H
+
+#include "interp/Interp.h"
+#include "vir/IR.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lv {
+namespace interp {
+
+/// Verdict of checksum testing.
+enum class TestVerdict : uint8_t {
+  Plausible,     ///< No run distinguished the two functions.
+  NotEquivalent, ///< Outputs differ / candidate crashed or hung.
+  Error,         ///< Harness could not run (signature mismatch etc).
+};
+
+/// Harness parameters.
+struct ChecksumConfig {
+  uint64_t Seed = 0x5eed;
+  int RunsPerN = 2;                      ///< Random input sets per bound.
+  std::vector<int> NValues = {0, 8, 64, 256}; ///< Multiples of the width.
+  int BufferLen = 512;                   ///< Allocation per array param.
+  int32_t ValueMin = -1000;
+  int32_t ValueMax = 1000;
+};
+
+/// A concrete distinguishing example, reported back to the vectorizer agent
+/// by the compiler-tester agent in the multi-agent FSM.
+struct Mismatch {
+  std::string Where;   ///< e.g. "region a index 3" or "return value".
+  int N = 0;           ///< Loop bound of the failing run.
+  int32_t Expected = 0;
+  int32_t Actual = 0;
+  std::string TrapMsg; ///< Non-empty when the candidate trapped/hung.
+};
+
+/// Outcome with diagnostics.
+struct ChecksumOutcome {
+  TestVerdict Verdict = TestVerdict::Error;
+  Mismatch FirstMismatch; ///< Valid when Verdict == NotEquivalent.
+  std::string Detail;
+
+  bool plausible() const { return Verdict == TestVerdict::Plausible; }
+};
+
+/// Runs checksum testing of candidate \p Vec against reference \p Scalar.
+/// Scalar parameters are matched by name; the parameter named "n" receives
+/// the loop bound.
+ChecksumOutcome runChecksumTest(const vir::VFunction &Scalar,
+                                const vir::VFunction &Vec,
+                                const ChecksumConfig &Cfg = ChecksumConfig());
+
+} // namespace interp
+} // namespace lv
+
+#endif // LV_INTERP_CHECKSUM_H

@@ -1,0 +1,580 @@
+//===- interp/Interp.cpp - concrete VIR interpreter -------------------------===//
+
+#include "interp/Interp.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+#include <cstring>
+
+using namespace lv;
+using namespace lv::interp;
+using namespace lv::vir;
+
+double CostModel::costOf(Op O) const {
+  switch (O) {
+  case Op::ConstI32:
+  case Op::Copy:
+    return 0.0; // register renaming / immediate materialization
+  case Op::Mul:
+    return ScalarMul;
+  case Op::SDiv:
+  case Op::SRem:
+    return ScalarDiv;
+  case Op::Load:
+    return ScalarLoad;
+  case Op::Store:
+    return ScalarStore;
+  case Op::VMul:
+    return VectorMul;
+  case Op::VLoad:
+    return VectorLoad;
+  case Op::VStore:
+    return VectorStore;
+  case Op::VBlend:
+  case Op::VSelect:
+    return VectorBlend;
+  case Op::VPermute:
+  case Op::VHAdd:
+    return VectorPermute;
+  case Op::VMaskLoad:
+  case Op::VMaskStore:
+    return VectorMaskMem;
+  case Op::VBroadcast:
+  case Op::VBuild:
+  case Op::VAdd:
+  case Op::VSub:
+  case Op::VMinS:
+  case Op::VMaxS:
+  case Op::VAnd:
+  case Op::VOr:
+  case Op::VXor:
+  case Op::VAndNot:
+  case Op::VAbs:
+  case Op::VCmpGt:
+  case Op::VCmpEq:
+  case Op::VShlI:
+  case Op::VShrLI:
+  case Op::VShrAI:
+  case Op::VShlV:
+  case Op::VShrLV:
+  case Op::VShrAV:
+  case Op::VExtract:
+  case Op::VInsert:
+    return VectorAlu;
+  default:
+    return ScalarAlu;
+  }
+}
+
+namespace {
+
+using VecVal = std::array<int32_t, Lanes>;
+
+/// Control-flow signal propagated out of region execution.
+enum class Signal { Normal, Broke, Continued, Returned, Trapped, Fuel };
+
+/// The interpreter state machine.
+class Interp {
+public:
+  Interp(const VFunction &F, MemoryImage &Mem, const ExecConfig &Cfg)
+      : F(F), Mem(Mem), Cfg(Cfg) {
+    Scalars.assign(static_cast<size_t>(F.numRegs()), 0);
+    Vectors.assign(static_cast<size_t>(F.numRegs()), VecVal{});
+  }
+
+  ExecResult run(const std::vector<int32_t> &ScalarArgs);
+
+private:
+  const VFunction &F;
+  MemoryImage &Mem;
+  const ExecConfig &Cfg;
+  std::vector<int32_t> Scalars;
+  std::vector<VecVal> Vectors;
+  ExecResult Result;
+
+  int32_t s(int R) const { return Scalars[static_cast<size_t>(R)]; }
+  const VecVal &v(int R) const { return Vectors[static_cast<size_t>(R)]; }
+  void setS(int R, int32_t V) { Scalars[static_cast<size_t>(R)] = V; }
+  void setV(int R, const VecVal &V) { Vectors[static_cast<size_t>(R)] = V; }
+
+  Signal trap(const std::string &Msg) {
+    Result.St = ExecResult::Trap;
+    Result.TrapMsg = Msg;
+    return Signal::Trapped;
+  }
+
+  bool charge(Op O) {
+    ++Result.Steps;
+    if (Cfg.Costs)
+      Result.Cycles += Cfg.Costs->costOf(O);
+    return Result.Steps <= Cfg.MaxSteps;
+  }
+
+  Signal execInstr(const Instr &I);
+  Signal execRegion(const Region &R);
+  Signal execNode(const Node &N);
+
+  std::vector<int32_t> *region(int64_t Idx) {
+    if (Idx < 0 || Idx >= static_cast<int64_t>(Mem.Regions.size()))
+      return nullptr;
+    return &Mem.Regions[static_cast<size_t>(Idx)];
+  }
+};
+
+} // namespace
+
+static int32_t wrapAdd(int32_t A, int32_t B) {
+  return static_cast<int32_t>(static_cast<uint32_t>(A) +
+                              static_cast<uint32_t>(B));
+}
+static int32_t wrapSub(int32_t A, int32_t B) {
+  return static_cast<int32_t>(static_cast<uint32_t>(A) -
+                              static_cast<uint32_t>(B));
+}
+static int32_t wrapMul(int32_t A, int32_t B) {
+  return static_cast<int32_t>(static_cast<uint32_t>(A) *
+                              static_cast<uint32_t>(B));
+}
+
+/// AVX2 immediate-count shift semantics: counts >= 32 saturate.
+static int32_t vshl(int32_t X, int64_t C) {
+  if (C < 0 || C >= 32)
+    return 0;
+  return static_cast<int32_t>(static_cast<uint32_t>(X) << C);
+}
+static int32_t vshrl(int32_t X, int64_t C) {
+  if (C < 0 || C >= 32)
+    return 0;
+  return static_cast<int32_t>(static_cast<uint32_t>(X) >> C);
+}
+static int32_t vshra(int32_t X, int64_t C) {
+  if (C < 0 || C >= 32)
+    C = 31;
+  return X >> C;
+}
+
+Signal Interp::execInstr(const Instr &I) {
+  if (!charge(I.Opcode)) {
+    Result.St = ExecResult::OutOfFuel;
+    return Signal::Fuel;
+  }
+  auto A = [&](size_t K) { return I.Args[K]; };
+  switch (I.Opcode) {
+  case Op::ConstI32:
+    setS(I.Rd, static_cast<int32_t>(I.Imm));
+    return Signal::Normal;
+  case Op::Copy:
+    if (F.RegTypes[static_cast<size_t>(I.Rd)] == VType::V8I32)
+      setV(I.Rd, v(A(0)));
+    else
+      setS(I.Rd, s(A(0)));
+    return Signal::Normal;
+  case Op::Add:
+    setS(I.Rd, wrapAdd(s(A(0)), s(A(1))));
+    return Signal::Normal;
+  case Op::Sub:
+    setS(I.Rd, wrapSub(s(A(0)), s(A(1))));
+    return Signal::Normal;
+  case Op::Mul:
+    setS(I.Rd, wrapMul(s(A(0)), s(A(1))));
+    return Signal::Normal;
+  case Op::SDiv: {
+    int32_t D = s(A(1));
+    int32_t N = s(A(0));
+    if (D == 0)
+      return trap("integer division by zero");
+    if (N == INT32_MIN && D == -1)
+      return trap("signed division overflow");
+    // Compilers strength-reduce division by powers of two to shifts; the
+    // cost model follows suit (refund the divider, charge ALU ops).
+    if (Cfg.Costs && D > 0 && (D & (D - 1)) == 0)
+      Result.Cycles -= Cfg.Costs->ScalarDiv - 2 * Cfg.Costs->ScalarAlu;
+    setS(I.Rd, N / D);
+    return Signal::Normal;
+  }
+  case Op::SRem: {
+    int32_t D = s(A(1));
+    int32_t N = s(A(0));
+    if (D == 0)
+      return trap("integer remainder by zero");
+    if (N == INT32_MIN && D == -1)
+      return trap("signed remainder overflow");
+    if (Cfg.Costs && D > 0 && (D & (D - 1)) == 0)
+      Result.Cycles -= Cfg.Costs->ScalarDiv - 2 * Cfg.Costs->ScalarAlu;
+    setS(I.Rd, N % D);
+    return Signal::Normal;
+  }
+  case Op::Shl:
+    setS(I.Rd, static_cast<int32_t>(static_cast<uint32_t>(s(A(0)))
+                                    << (s(A(1)) & 31)));
+    return Signal::Normal;
+  case Op::AShr:
+    setS(I.Rd, s(A(0)) >> (s(A(1)) & 31));
+    return Signal::Normal;
+  case Op::LShr:
+    setS(I.Rd, static_cast<int32_t>(static_cast<uint32_t>(s(A(0))) >>
+                                    (s(A(1)) & 31)));
+    return Signal::Normal;
+  case Op::And:
+    setS(I.Rd, s(A(0)) & s(A(1)));
+    return Signal::Normal;
+  case Op::Or:
+    setS(I.Rd, s(A(0)) | s(A(1)));
+    return Signal::Normal;
+  case Op::Xor:
+    setS(I.Rd, s(A(0)) ^ s(A(1)));
+    return Signal::Normal;
+  case Op::ICmp: {
+    int32_t L = s(A(0)), R = s(A(1));
+    bool V = false;
+    switch (I.P) {
+    case Pred::EQ: V = L == R; break;
+    case Pred::NE: V = L != R; break;
+    case Pred::SLT: V = L < R; break;
+    case Pred::SLE: V = L <= R; break;
+    case Pred::SGT: V = L > R; break;
+    case Pred::SGE: V = L >= R; break;
+    }
+    setS(I.Rd, V ? 1 : 0);
+    return Signal::Normal;
+  }
+  case Op::Select:
+    setS(I.Rd, s(A(0)) != 0 ? s(A(1)) : s(A(2)));
+    return Signal::Normal;
+  case Op::SAbs: {
+    int32_t X = s(A(0));
+    setS(I.Rd, X < 0 ? wrapSub(0, X) : X);
+    return Signal::Normal;
+  }
+  case Op::SMax:
+    setS(I.Rd, s(A(0)) > s(A(1)) ? s(A(0)) : s(A(1)));
+    return Signal::Normal;
+  case Op::SMin:
+    setS(I.Rd, s(A(0)) < s(A(1)) ? s(A(0)) : s(A(1)));
+    return Signal::Normal;
+  case Op::Load: {
+    std::vector<int32_t> *R = region(I.Imm);
+    int64_t Off = s(A(0));
+    if (!R || Off < 0 || Off >= static_cast<int64_t>(R->size()))
+      return trap(format("out-of-bounds load @%s[%lld]",
+                         F.Memories[static_cast<size_t>(I.Imm)].Name.c_str(),
+                         static_cast<long long>(Off)));
+    setS(I.Rd, (*R)[static_cast<size_t>(Off)]);
+    return Signal::Normal;
+  }
+  case Op::Store: {
+    std::vector<int32_t> *R = region(I.Imm);
+    int64_t Off = s(A(0));
+    if (!R || Off < 0 || Off >= static_cast<int64_t>(R->size()))
+      return trap(format("out-of-bounds store @%s[%lld]",
+                         F.Memories[static_cast<size_t>(I.Imm)].Name.c_str(),
+                         static_cast<long long>(Off)));
+    (*R)[static_cast<size_t>(Off)] = s(A(1));
+    return Signal::Normal;
+  }
+  case Op::VBroadcast: {
+    VecVal V;
+    V.fill(s(A(0)));
+    setV(I.Rd, V);
+    return Signal::Normal;
+  }
+  case Op::VBuild: {
+    VecVal V;
+    for (int L = 0; L < Lanes; ++L)
+      V[static_cast<size_t>(L)] = s(A(static_cast<size_t>(L)));
+    setV(I.Rd, V);
+    return Signal::Normal;
+  }
+  case Op::VAdd:
+  case Op::VSub:
+  case Op::VMul:
+  case Op::VMinS:
+  case Op::VMaxS:
+  case Op::VAnd:
+  case Op::VOr:
+  case Op::VXor:
+  case Op::VAndNot:
+  case Op::VCmpGt:
+  case Op::VCmpEq: {
+    const VecVal &X = v(A(0));
+    const VecVal &Y = v(A(1));
+    VecVal R;
+    for (size_t L = 0; L < Lanes; ++L) {
+      switch (I.Opcode) {
+      case Op::VAdd: R[L] = wrapAdd(X[L], Y[L]); break;
+      case Op::VSub: R[L] = wrapSub(X[L], Y[L]); break;
+      case Op::VMul: R[L] = wrapMul(X[L], Y[L]); break;
+      case Op::VMinS: R[L] = X[L] < Y[L] ? X[L] : Y[L]; break;
+      case Op::VMaxS: R[L] = X[L] > Y[L] ? X[L] : Y[L]; break;
+      case Op::VAnd: R[L] = X[L] & Y[L]; break;
+      case Op::VOr: R[L] = X[L] | Y[L]; break;
+      case Op::VXor: R[L] = X[L] ^ Y[L]; break;
+      case Op::VAndNot: R[L] = ~X[L] & Y[L]; break;
+      case Op::VCmpGt: R[L] = X[L] > Y[L] ? -1 : 0; break;
+      case Op::VCmpEq: R[L] = X[L] == Y[L] ? -1 : 0; break;
+      default: break;
+      }
+    }
+    setV(I.Rd, R);
+    return Signal::Normal;
+  }
+  case Op::VAbs: {
+    const VecVal &X = v(A(0));
+    VecVal R;
+    for (size_t L = 0; L < Lanes; ++L)
+      R[L] = X[L] < 0 ? wrapSub(0, X[L]) : X[L];
+    setV(I.Rd, R);
+    return Signal::Normal;
+  }
+  case Op::VBlend: {
+    // blendv_epi8: per byte, take b's byte when the mask byte's MSB is set.
+    const VecVal &X = v(A(0));
+    const VecVal &Y = v(A(1));
+    const VecVal &M = v(A(2));
+    VecVal R;
+    for (size_t L = 0; L < Lanes; ++L) {
+      uint32_t XB = static_cast<uint32_t>(X[L]);
+      uint32_t YB = static_cast<uint32_t>(Y[L]);
+      uint32_t MB = static_cast<uint32_t>(M[L]);
+      uint32_t Out = 0;
+      for (int B = 0; B < 4; ++B) {
+        uint32_t Mask = 0xffu << (B * 8);
+        bool Take = (MB >> (B * 8 + 7)) & 1u;
+        Out |= (Take ? YB : XB) & Mask;
+      }
+      R[L] = static_cast<int32_t>(Out);
+    }
+    setV(I.Rd, R);
+    return Signal::Normal;
+  }
+  case Op::VSelect: {
+    bool C = s(A(0)) != 0;
+    setV(I.Rd, C ? v(A(1)) : v(A(2)));
+    return Signal::Normal;
+  }
+  case Op::VShlI:
+  case Op::VShrLI:
+  case Op::VShrAI: {
+    const VecVal &X = v(A(0));
+    int64_t C = s(A(1));
+    VecVal R;
+    for (size_t L = 0; L < Lanes; ++L) {
+      if (I.Opcode == Op::VShlI)
+        R[L] = vshl(X[L], C);
+      else if (I.Opcode == Op::VShrLI)
+        R[L] = vshrl(X[L], C);
+      else
+        R[L] = vshra(X[L], C);
+    }
+    setV(I.Rd, R);
+    return Signal::Normal;
+  }
+  case Op::VShlV:
+  case Op::VShrLV:
+  case Op::VShrAV: {
+    const VecVal &X = v(A(0));
+    const VecVal &C = v(A(1));
+    VecVal R;
+    for (size_t L = 0; L < Lanes; ++L) {
+      if (I.Opcode == Op::VShlV)
+        R[L] = vshl(X[L], C[L]);
+      else if (I.Opcode == Op::VShrLV)
+        R[L] = vshrl(X[L], C[L]);
+      else
+        R[L] = vshra(X[L], C[L]);
+    }
+    setV(I.Rd, R);
+    return Signal::Normal;
+  }
+  case Op::VExtract:
+    setS(I.Rd, v(A(0))[static_cast<size_t>(I.Imm)]);
+    return Signal::Normal;
+  case Op::VInsert: {
+    VecVal R = v(A(0));
+    R[static_cast<size_t>(I.Imm)] = s(A(1));
+    setV(I.Rd, R);
+    return Signal::Normal;
+  }
+  case Op::VPermute: {
+    const VecVal &X = v(A(0));
+    const VecVal &Idx = v(A(1));
+    VecVal R;
+    for (size_t L = 0; L < Lanes; ++L)
+      R[L] = X[static_cast<size_t>(Idx[L] & 7)];
+    setV(I.Rd, R);
+    return Signal::Normal;
+  }
+  case Op::VHAdd: {
+    const VecVal &X = v(A(0));
+    const VecVal &Y = v(A(1));
+    VecVal R;
+    R[0] = wrapAdd(X[0], X[1]);
+    R[1] = wrapAdd(X[2], X[3]);
+    R[2] = wrapAdd(Y[0], Y[1]);
+    R[3] = wrapAdd(Y[2], Y[3]);
+    R[4] = wrapAdd(X[4], X[5]);
+    R[5] = wrapAdd(X[6], X[7]);
+    R[6] = wrapAdd(Y[4], Y[5]);
+    R[7] = wrapAdd(Y[6], Y[7]);
+    setV(I.Rd, R);
+    return Signal::Normal;
+  }
+  case Op::VLoad: {
+    std::vector<int32_t> *R = region(I.Imm);
+    int64_t Off = s(A(0));
+    if (!R || Off < 0 || Off + Lanes > static_cast<int64_t>(R->size()))
+      return trap(format("out-of-bounds vector load @%s[%lld..%lld]",
+                         F.Memories[static_cast<size_t>(I.Imm)].Name.c_str(),
+                         static_cast<long long>(Off),
+                         static_cast<long long>(Off + Lanes - 1)));
+    VecVal V;
+    for (size_t L = 0; L < Lanes; ++L)
+      V[L] = (*R)[static_cast<size_t>(Off) + L];
+    setV(I.Rd, V);
+    return Signal::Normal;
+  }
+  case Op::VStore: {
+    std::vector<int32_t> *R = region(I.Imm);
+    int64_t Off = s(A(0));
+    if (!R || Off < 0 || Off + Lanes > static_cast<int64_t>(R->size()))
+      return trap(format("out-of-bounds vector store @%s[%lld..%lld]",
+                         F.Memories[static_cast<size_t>(I.Imm)].Name.c_str(),
+                         static_cast<long long>(Off),
+                         static_cast<long long>(Off + Lanes - 1)));
+    const VecVal &V = v(A(1));
+    for (size_t L = 0; L < Lanes; ++L)
+      (*R)[static_cast<size_t>(Off) + L] = V[L];
+    return Signal::Normal;
+  }
+  case Op::VMaskLoad: {
+    std::vector<int32_t> *R = region(I.Imm);
+    int64_t Off = s(A(0));
+    const VecVal &M = v(A(1));
+    VecVal V{};
+    for (size_t L = 0; L < Lanes; ++L) {
+      if (!(static_cast<uint32_t>(M[L]) >> 31))
+        continue; // inactive lanes do not touch memory
+      int64_t At = Off + static_cast<int64_t>(L);
+      if (!R || At < 0 || At >= static_cast<int64_t>(R->size()))
+        return trap("out-of-bounds masked load");
+      V[L] = (*R)[static_cast<size_t>(At)];
+    }
+    setV(I.Rd, V);
+    return Signal::Normal;
+  }
+  case Op::VMaskStore: {
+    std::vector<int32_t> *R = region(I.Imm);
+    int64_t Off = s(A(0));
+    const VecVal &M = v(A(1));
+    const VecVal &V = v(A(2));
+    for (size_t L = 0; L < Lanes; ++L) {
+      if (!(static_cast<uint32_t>(M[L]) >> 31))
+        continue;
+      int64_t At = Off + static_cast<int64_t>(L);
+      if (!R || At < 0 || At >= static_cast<int64_t>(R->size()))
+        return trap("out-of-bounds masked store");
+      (*R)[static_cast<size_t>(At)] = V[L];
+    }
+    return Signal::Normal;
+  }
+  }
+  return trap("unknown opcode");
+}
+
+Signal Interp::execNode(const Node &N) {
+  switch (N.K) {
+  case Node::Inst:
+    return execInstr(N.I);
+  case Node::If: {
+    if (Cfg.Costs) {
+      Result.Cycles += Cfg.Costs->Branch;
+    }
+    ++Result.Steps;
+    if (Result.Steps > Cfg.MaxSteps) {
+      Result.St = ExecResult::OutOfFuel;
+      return Signal::Fuel;
+    }
+    return s(N.CondReg) != 0 ? execRegion(N.BodyR) : execRegion(N.ElseR);
+  }
+  case Node::For: {
+    Signal Sig = execRegion(N.Init);
+    if (Sig != Signal::Normal)
+      return Sig;
+    for (;;) {
+      Sig = execRegion(N.CondCalc);
+      if (Sig != Signal::Normal)
+        return Sig;
+      if (Cfg.Costs)
+        Result.Cycles += Cfg.Costs->LoopIter;
+      if (s(N.CondReg) == 0)
+        return Signal::Normal;
+      Sig = execRegion(N.BodyR);
+      if (Sig == Signal::Broke)
+        return Signal::Normal;
+      if (Sig != Signal::Normal && Sig != Signal::Continued)
+        return Sig;
+      Sig = execRegion(N.StepR);
+      if (Sig != Signal::Normal)
+        return Sig;
+    }
+  }
+  case Node::Break:
+    return Signal::Broke;
+  case Node::Continue:
+    return Signal::Continued;
+  case Node::Ret:
+    Result.Returned = true;
+    if (N.CondReg >= 0)
+      Result.RetVal = s(N.CondReg);
+    return Signal::Returned;
+  }
+  return Signal::Normal;
+}
+
+Signal Interp::execRegion(const Region &R) {
+  for (const NodePtr &N : R.Nodes) {
+    Signal Sig = execNode(*N);
+    if (Sig != Signal::Normal)
+      return Sig;
+  }
+  return Signal::Normal;
+}
+
+ExecResult Interp::run(const std::vector<int32_t> &ScalarArgs) {
+  // Bind scalar parameters.
+  size_t ArgIdx = 0;
+  for (const VParam &P : F.Params) {
+    if (P.IsPointer)
+      continue;
+    if (ArgIdx >= ScalarArgs.size()) {
+      Result.St = ExecResult::Trap;
+      Result.TrapMsg = "missing scalar argument";
+      return Result;
+    }
+    setS(P.Reg, ScalarArgs[ArgIdx++]);
+  }
+  // Allocate local-array regions (zero initialized).
+  for (size_t I = 0; I < F.Memories.size(); ++I) {
+    const RegionInfo &M = F.Memories[I];
+    if (M.IsParam) {
+      if (I >= Mem.Regions.size()) {
+        Result.St = ExecResult::Trap;
+        Result.TrapMsg = format("missing memory for region @%s",
+                                M.Name.c_str());
+        return Result;
+      }
+      continue;
+    }
+    Mem.resize(I, static_cast<size_t>(M.LocalSize));
+  }
+  execRegion(F.Body);
+  return Result;
+}
+
+ExecResult lv::interp::execute(const VFunction &F,
+                               const std::vector<int32_t> &ScalarArgs,
+                               MemoryImage &Mem, const ExecConfig &Cfg) {
+  Interp I(F, Mem, Cfg);
+  return I.run(ScalarArgs);
+}

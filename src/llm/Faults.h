@@ -1,0 +1,58 @@
+//===- llm/Faults.h - fault catalog for the simulated LLM ------*- C++ -*-===//
+///
+/// \file
+/// The catalog of characteristic mistakes the simulated model can inject
+/// while vectorizing. Every entry is taken from the paper's qualitative
+/// findings: the s453 first-attempt induction bug (§4.4.2), the s124
+/// speculative load (§3.1/Fig. 4), unsafe hoisting and dependence mistakes
+/// (§4.1.3), and the "Cannot compile" row of Table 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_LLM_FAULTS_H
+#define LV_LLM_FAULTS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace lv {
+namespace llm {
+
+/// One injectable mistake.
+enum class Fault : uint8_t {
+  None,
+  CompileError,       ///< Misspelled intrinsic / missing declaration.
+  WrongInductionInit, ///< Broadcast of the scalar start instead of a lane
+                      ///< ramp — exactly the paper's s453 first attempt.
+  SpeculativeLoad,    ///< Plain loads for conditionally-read arrays — the
+                      ///< s124 UB that only symbolic verification catches.
+  UnsafeBlendStore,   ///< load+blend+store instead of a masked store for a
+                      ///< conditionally-written array.
+  BadBound,           ///< `i < E` instead of `i <= E - 8`: the last vector
+                      ///< iteration overruns.
+  OffByOneOffset,     ///< Drops a +1/-1 subscript offset (dependence slip).
+  WrongReductionInit, ///< Accumulator seeded with garbage instead of zero.
+  UnsafeHoist,        ///< Conditional statement hoisted out of its guard.
+  DropStatement,      ///< One body statement silently dropped.
+};
+
+/// The set of faults active for one completion.
+struct FaultPlan {
+  std::vector<Fault> Active;
+
+  bool has(Fault F) const {
+    for (Fault A : Active)
+      if (A == F)
+        return true;
+    return false;
+  }
+  bool clean() const { return Active.empty(); }
+};
+
+/// Short mnemonic for transcripts/tests.
+const char *faultName(Fault F);
+
+} // namespace llm
+} // namespace lv
+
+#endif // LV_LLM_FAULTS_H

@@ -1,0 +1,1052 @@
+//===- llm/Vectorizer.cpp - rule-based AVX2 vectorizer -----------------------===//
+
+#include "llm/Vectorizer.h"
+
+#include "minic/GotoElim.h"
+#include "minic/Intrinsics.h"
+#include "minic/Printer.h"
+#include "support/Format.h"
+
+#include <map>
+#include <set>
+
+using namespace lv;
+using namespace lv::llm;
+using minic::BinOp;
+using minic::Declarator;
+using minic::Expr;
+using minic::ExprPtr;
+using minic::Function;
+using minic::FunctionPtr;
+using minic::Stmt;
+using minic::StmtPtr;
+using minic::Type;
+using minic::UnOp;
+
+const char *lv::llm::faultName(Fault F) {
+  switch (F) {
+  case Fault::None: return "none";
+  case Fault::CompileError: return "compile-error";
+  case Fault::WrongInductionInit: return "wrong-induction-init";
+  case Fault::SpeculativeLoad: return "speculative-load";
+  case Fault::UnsafeBlendStore: return "unsafe-blend-store";
+  case Fault::BadBound: return "bad-bound";
+  case Fault::OffByOneOffset: return "off-by-one-offset";
+  case Fault::WrongReductionInit: return "wrong-reduction-init";
+  case Fault::UnsafeHoist: return "unsafe-hoist";
+  case Fault::DropStatement: return "drop-statement";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Expression-building shorthands.
+ExprPtr var(const std::string &N) { return Expr::makeVarRef(N); }
+ExprPtr lit(int64_t V) { return Expr::makeIntLit(V); }
+ExprPtr call(const char *N, std::vector<ExprPtr> Args) {
+  return Expr::makeCall(N, std::move(Args));
+}
+ExprPtr call1(const char *N, ExprPtr A) {
+  std::vector<ExprPtr> V;
+  V.push_back(std::move(A));
+  return Expr::makeCall(N, std::move(V));
+}
+ExprPtr call2(const char *N, ExprPtr A, ExprPtr B) {
+  std::vector<ExprPtr> V;
+  V.push_back(std::move(A));
+  V.push_back(std::move(B));
+  return Expr::makeCall(N, std::move(V));
+}
+ExprPtr call3(const char *N, ExprPtr A, ExprPtr B, ExprPtr C) {
+  std::vector<ExprPtr> V;
+  V.push_back(std::move(A));
+  V.push_back(std::move(B));
+  V.push_back(std::move(C));
+  return Expr::makeCall(N, std::move(V));
+}
+ExprPtr set1(ExprPtr A) { return call1("_mm256_set1_epi32", std::move(A)); }
+/// (__m256i *)&base[idx]
+ExprPtr vecPtrTo(const std::string &Array, ExprPtr Idx) {
+  return Expr::makeCast(
+      Type::VecPtr,
+      Expr::makeUnary(UnOp::AddrOf,
+                      Expr::makeIndex(var(Array), std::move(Idx))));
+}
+/// &base[idx] (int*)
+ExprPtr intPtrTo(const std::string &Array, ExprPtr Idx) {
+  return Expr::makeUnary(UnOp::AddrOf,
+                         Expr::makeIndex(var(Array), std::move(Idx)));
+}
+
+/// The strategy-driven generator for one function.
+class Generator {
+public:
+  Generator(const Function &Orig, const FaultPlan &Plan, bool ForceNaive)
+      : Plan(Plan), ForceNaive(ForceNaive) {
+    Clone = Orig.clone();
+  }
+
+  GenResult run();
+
+private:
+  FunctionPtr Clone;
+  const FaultPlan &Plan;
+  bool ForceNaive;
+  deps::LoopAnalysis LA;
+
+  // Generation state for the current vector iteration.
+  std::vector<StmtPtr> *Emit = nullptr; ///< Current statement sink.
+  std::map<std::string, std::string> VecTemps; ///< body-local -> vec name.
+  /// Preloaded / forwarded vector names per (array, lane-0 subscript text).
+  std::map<std::pair<std::string, std::string>, std::string> AvailVecs;
+  std::set<std::string> WrittenArrays;
+  std::map<std::string, int64_t> InductionStep; ///< name -> step.
+  std::set<std::string> InductionUpdated; ///< update already emitted/passed.
+  std::map<std::string, std::string> ReductionAcc; ///< scalar -> acc name.
+  /// Wraparound scalars: at body entry of iteration i the variable holds
+  /// i - depth (s291's im1 has depth 1, s292's im2 depth 2). Handled by
+  /// peeling `depth` iterations and substituting i - depth.
+  std::map<std::string, int64_t> WrapDepth;
+  int TempCounter = 0;
+  bool Failed = false;
+
+  std::string fresh(const char *Base) {
+    return format("%s_v%d", Base, TempCounter++);
+  }
+  void fail() { Failed = true; }
+
+  /// Counts VarRef occurrences of \p Name in the statement subtree (each
+  /// `x += e` update contributes one, as its LHS).
+  static int countVarRefs(const Stmt &S, const std::string &Name) {
+    int N = 0;
+    std::vector<const Expr *> Exprs;
+    std::vector<const Stmt *> Work = {&S};
+    while (!Work.empty()) {
+      const Stmt *W = Work.back();
+      Work.pop_back();
+      if (W->Cond)
+        Exprs.push_back(W->Cond.get());
+      if (W->StepExpr)
+        Exprs.push_back(W->StepExpr.get());
+      for (const Declarator &D : W->Decls)
+        if (D.Init)
+          Exprs.push_back(D.Init.get());
+      if (W->InitStmt)
+        Work.push_back(W->InitStmt.get());
+      for (const StmtPtr &Sub : W->Body)
+        if (Sub)
+          Work.push_back(Sub.get());
+    }
+    while (!Exprs.empty()) {
+      const Expr *E = Exprs.back();
+      Exprs.pop_back();
+      if (E->K == Expr::VarRef && E->Name == Name)
+        ++N;
+      for (const ExprPtr &Kid : E->Kids)
+        if (Kid)
+          Exprs.push_back(Kid.get());
+    }
+    return N;
+  }
+
+  /// True when the expression mentions no lane-varying variable (iterator,
+  /// induction, or vectorized temp).
+  bool isInvariantExpr(const Expr &E) const {
+    if (E.K == Expr::VarRef) {
+      if (E.Name == LA.inner().Iter || InductionStep.count(E.Name) ||
+          VecTemps.count(E.Name))
+        return false;
+    }
+    for (const ExprPtr &Kid : E.Kids)
+      if (Kid && !isInvariantExpr(*Kid))
+        return false;
+    return true;
+  }
+
+  void emitStmt(StmtPtr S) { Emit->push_back(std::move(S)); }
+  void emitVecDecl(const std::string &Name, ExprPtr Init) {
+    emitStmt(Stmt::makeDecl(Type::M256i, Name, std::move(Init)));
+  }
+
+  bool analyzeBlockers();
+  /// Lane-0 subscript for the vectorized loop: the original subscript with
+  /// post-update induction variables shifted by their step.
+  ExprPtr laneBase(const Expr &Subscript);
+  std::string subscriptKey(const Expr &Subscript);
+  ExprPtr vecExpr(const Expr &E, const std::string &Mask,
+                  bool CondContext);
+  ExprPtr vecLoad(const std::string &Array, const Expr &Subscript,
+                  const std::string &Mask, bool CondContext);
+  ExprPtr vecCond(const Expr &Cond, const std::string &Mask);
+  void vecStmt(const Stmt &S, const std::string &Mask);
+  void vecAssign(const Expr &E, const std::string &Mask);
+
+  StmtPtr buildVectorLoop();
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Blocker analysis
+//===----------------------------------------------------------------------===//
+
+bool Generator::analyzeBlockers() {
+  if (!LA.HasLoop)
+    return false;
+  const deps::LoopShape &L = LA.inner();
+  if (!L.Canonical || L.Step != 1 || !L.End.Valid)
+    return false;
+  if (LA.HasIndirectAccess || LA.HasNonAffineAccess || LA.HasBreakOrReturn)
+    return false;
+  for (const deps::ArrayAccess &A : LA.Accesses) {
+    if (!A.Sub.Valid)
+      return false;
+    if (A.Sub.Coef == 1)
+      continue;
+    // Loop-invariant reads (a[0], a[m]) broadcast safely when no write to
+    // the same array can alias them within the iteration space.
+    if (A.Sub.Coef == 0 && !A.IsWrite) {
+      bool Safe = true;
+      for (const deps::ArrayAccess &W : LA.Accesses)
+        if (W.IsWrite && W.Array == A.Array &&
+            !(W.Sub.Valid && W.Sub.Coef == 1 && L.Start > A.Sub.Offset))
+          Safe = false;
+      if (Safe)
+        continue;
+    }
+    return false;
+  }
+  // True recurrences: loop-carried dependence with non-positive distance.
+  // Loop-carried *output* dependences (overlapping writes, s244-style) are
+  // never safe for widening regardless of sign: the block's stores
+  // interleave differently than the scalar iterations'.
+  for (const deps::Dependence &D : LA.Deps) {
+    if (D.LoopCarried && D.K == deps::Dependence::Output)
+      return false;
+    if (D.LoopCarried && !(D.DistanceKnown && D.Distance > 0))
+      return false;
+  }
+  // Scalars: inductions ok (incl. the guarded-in-both-arms pattern);
+  // reductions with += ok; everything else blocks.
+  std::map<std::string, std::vector<const deps::ScalarUpdate *>> ByName;
+  for (const deps::ScalarUpdate &U : LA.Scalars)
+    ByName[U.Name].push_back(&U);
+  for (auto &[Name, Us] : ByName) {
+    const deps::ScalarUpdate &U0 = *Us[0];
+    if (U0.K == deps::ScalarUpdate::Induction) {
+      // A guarded `x += c` that is never used as a subscript is really a
+      // masked accumulator (vcnt-style): vectorize as a reduction.
+      if (U0.GuardedUpdate && Us.size() == 1 &&
+          !LA.usedInSubscript(Name)) {
+        ReductionAcc[Name] = "acc_" + Name;
+        continue;
+      }
+      bool Uniform = true;
+      for (const deps::ScalarUpdate *U : Us)
+        if (U->K != deps::ScalarUpdate::Induction || U->Step != U0.Step)
+          Uniform = false;
+      // A single *conditional* update used for packing is the paper's
+      // one-time-dependence bucket: unsupported.
+      if (!Uniform || (Us.size() == 1 && U0.GuardedUpdate) || Us.size() > 2)
+        return false;
+      InductionStep[Name] = U0.Step;
+      continue;
+    }
+    if (U0.K == deps::ScalarUpdate::Reduction) {
+      // Guarded reductions become masked adds; several updates to the same
+      // accumulator simply add into the same vector accumulator. A
+      // reduction variable that is *read* anywhere else in the body
+      // (prefix-sum, s3112) is a true recurrence: reject.
+      bool AllRed = true;
+      for (const deps::ScalarUpdate *U : Us)
+        if (U->K != deps::ScalarUpdate::Reduction)
+          AllRed = false;
+      if (!AllRed || countVarRefs(*L.Loop->forBody(), Name) >
+                         static_cast<int>(Us.size()))
+        return false;
+      ReductionAcc[Name] = "acc_" + Name;
+      continue;
+    }
+    if (U0.K == deps::ScalarUpdate::Wraparound && Us.size() == 1 &&
+        !U0.GuardedUpdate && U0.Step >= 1 && U0.Step <= 4) {
+      // Resolved by the dependence analysis: entry value == i - Step.
+      WrapDepth[Name] = U0.Step;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Expression translation
+//===----------------------------------------------------------------------===//
+
+ExprPtr Generator::laneBase(const Expr &Subscript) {
+  // Clone the subscript, shifting post-update induction variables.
+  ExprPtr C = Subscript.clone();
+  // Walk and rewrite VarRefs.
+  std::vector<Expr *> Work = {C.get()};
+  while (!Work.empty()) {
+    Expr *E = Work.back();
+    Work.pop_back();
+    if (E->K == Expr::VarRef) {
+      auto It = InductionStep.find(E->Name);
+      if (It != InductionStep.end() && InductionUpdated.count(E->Name)) {
+        // v -> (v + step): the value after this iteration's update.
+        ExprPtr Repl = Expr::makeBinary(BinOp::Add, var(E->Name),
+                                        lit(It->second));
+        *E = std::move(*Repl);
+        continue;
+      }
+    }
+    for (ExprPtr &Kid : E->Kids)
+      if (Kid)
+        Work.push_back(Kid.get());
+  }
+  return C;
+}
+
+std::string Generator::subscriptKey(const Expr &Subscript) {
+  return minic::printExpr(*laneBase(Subscript));
+}
+
+ExprPtr Generator::vecLoad(const std::string &Array, const Expr &Subscript,
+                           const std::string &Mask, bool CondContext) {
+  std::string Key = subscriptKey(Subscript);
+  auto It = AvailVecs.find({Array, Key});
+  if (It != AvailVecs.end())
+    return var(It->second);
+  ExprPtr Base = laneBase(Subscript);
+  if (Plan.has(Fault::OffByOneOffset) && Base->K == Expr::Binary &&
+      Base->BOp == BinOp::Add && Base->Kids[1]->K == Expr::IntLit &&
+      Base->Kids[1]->Value != 0) {
+    // Dependence slip: forget the offset.
+    Base = Base->Kids[0]->clone();
+  }
+  bool UseMask = CondContext && !Mask.empty() &&
+                 !Plan.has(Fault::SpeculativeLoad);
+  ExprPtr LoadE =
+      UseMask
+          ? call2("_mm256_maskload_epi32", intPtrTo(Array, std::move(Base)),
+                  var(Mask))
+          : call1("_mm256_loadu_si256", vecPtrTo(Array, std::move(Base)));
+  std::string Name = fresh((Array + "_vec").c_str());
+  emitVecDecl(Name, std::move(LoadE));
+  // Masked loads are context-specific: do not cache them for other paths.
+  if (!UseMask)
+    AvailVecs[{Array, Key}] = Name;
+  return var(Name);
+}
+
+ExprPtr Generator::vecCond(const Expr &Cond, const std::string &Mask) {
+  // Translates a scalar condition into an all-ones/zeros lane mask.
+  switch (Cond.K) {
+  case Expr::Binary: {
+    switch (Cond.BOp) {
+    case BinOp::Gt:
+    case BinOp::Lt:
+    case BinOp::Ge:
+    case BinOp::Le:
+    case BinOp::Eq:
+    case BinOp::Ne: {
+      ExprPtr A = vecExpr(*Cond.Kids[0], Mask, /*CondContext=*/false);
+      ExprPtr B = vecExpr(*Cond.Kids[1], Mask, /*CondContext=*/false);
+      if (!A || !B)
+        return nullptr;
+      switch (Cond.BOp) {
+      case BinOp::Gt:
+        return call2("_mm256_cmpgt_epi32", std::move(A), std::move(B));
+      case BinOp::Lt:
+        return call2("_mm256_cmpgt_epi32", std::move(B), std::move(A));
+      case BinOp::Eq:
+        return call2("_mm256_cmpeq_epi32", std::move(A), std::move(B));
+      case BinOp::Ne:
+        return call2("_mm256_xor_si256",
+                     call2("_mm256_cmpeq_epi32", std::move(A), std::move(B)),
+                     set1(lit(-1)));
+      case BinOp::Ge: {
+        // a >= b  ==  !(b > a)
+        return call2("_mm256_xor_si256",
+                     call2("_mm256_cmpgt_epi32", std::move(B), std::move(A)),
+                     set1(lit(-1)));
+      }
+      case BinOp::Le:
+        return call2("_mm256_xor_si256",
+                     call2("_mm256_cmpgt_epi32", std::move(A), std::move(B)),
+                     set1(lit(-1)));
+      default:
+        return nullptr;
+      }
+    }
+    case BinOp::LAnd: {
+      ExprPtr A = vecCond(*Cond.Kids[0], Mask);
+      ExprPtr B = vecCond(*Cond.Kids[1], Mask);
+      if (!A || !B)
+        return nullptr;
+      return call2("_mm256_and_si256", std::move(A), std::move(B));
+    }
+    case BinOp::LOr: {
+      ExprPtr A = vecCond(*Cond.Kids[0], Mask);
+      ExprPtr B = vecCond(*Cond.Kids[1], Mask);
+      if (!A || !B)
+        return nullptr;
+      return call2("_mm256_or_si256", std::move(A), std::move(B));
+    }
+    default:
+      break;
+    }
+    // Arithmetic condition: != 0.
+    ExprPtr A = vecExpr(Cond, Mask, false);
+    if (!A)
+      return nullptr;
+    return call2("_mm256_xor_si256",
+                 call2("_mm256_cmpeq_epi32", std::move(A),
+                       call("_mm256_setzero_si256", {})),
+                 set1(lit(-1)));
+  }
+  case Expr::Unary:
+    if (Cond.UOp == UnOp::LNot) {
+      ExprPtr A = vecCond(*Cond.Kids[0], Mask);
+      if (!A)
+        return nullptr;
+      return call2("_mm256_xor_si256", std::move(A), set1(lit(-1)));
+    }
+    break;
+  default:
+    break;
+  }
+  // value != 0 fallback.
+  ExprPtr A = vecExpr(Cond, Mask, false);
+  if (!A)
+    return nullptr;
+  return call2("_mm256_xor_si256",
+               call2("_mm256_cmpeq_epi32", std::move(A),
+                     call("_mm256_setzero_si256", {})),
+               set1(lit(-1)));
+}
+
+ExprPtr Generator::vecExpr(const Expr &E, const std::string &Mask,
+                           bool CondContext) {
+  switch (E.K) {
+  case Expr::IntLit:
+    return set1(lit(E.Value));
+  case Expr::VarRef: {
+    auto VT = VecTemps.find(E.Name);
+    if (VT != VecTemps.end())
+      return var(VT->second);
+    const deps::LoopShape &L = LA.inner();
+    if (E.Name == L.Iter) {
+      // i as a value: set1(i) + {0..7}.
+      return call2("_mm256_add_epi32", set1(var(E.Name)),
+                   call("_mm256_setr_epi32",
+                        [] {
+                          std::vector<ExprPtr> Ls;
+                          for (int K = 0; K < 8; ++K)
+                            Ls.push_back(lit(K));
+                          return Ls;
+                        }()));
+    }
+    auto Ind = InductionStep.find(E.Name);
+    if (Ind != InductionStep.end()) {
+      // Ramp: set1(v) + setr(step*(d+0), ..., step*(d+7)) where d is 1
+      // after the update statement, 0 before.
+      int64_t Step = Ind->second;
+      int64_t D = InductionUpdated.count(E.Name) ? 1 : 0;
+      if (Plan.has(Fault::WrongInductionInit)) {
+        // The s453 first attempt: broadcast + one scalar step.
+        return call2("_mm256_add_epi32", set1(var(E.Name)),
+                     set1(lit(Step)));
+      }
+      std::vector<ExprPtr> Ls;
+      for (int K = 0; K < 8; ++K)
+        Ls.push_back(lit(Step * (D + K)));
+      return call2("_mm256_add_epi32", set1(var(E.Name)),
+                   call("_mm256_setr_epi32", std::move(Ls)));
+    }
+    // Loop-invariant scalar.
+    return set1(var(E.Name));
+  }
+  case Expr::Index: {
+    if (E.Kids[0]->K != Expr::VarRef)
+      return nullptr;
+    // Loop-invariant subscript: broadcast the scalar element.
+    if (isInvariantExpr(*E.Kids[1]))
+      return set1(E.clone());
+    return vecLoad(E.Kids[0]->Name, *E.Kids[1], Mask, CondContext);
+  }
+  case Expr::Unary:
+    switch (E.UOp) {
+    case UnOp::Neg: {
+      ExprPtr A = vecExpr(*E.Kids[0], Mask, CondContext);
+      if (!A)
+        return nullptr;
+      return call2("_mm256_sub_epi32", call("_mm256_setzero_si256", {}),
+                   std::move(A));
+    }
+    case UnOp::BNot: {
+      ExprPtr A = vecExpr(*E.Kids[0], Mask, CondContext);
+      if (!A)
+        return nullptr;
+      return call2("_mm256_xor_si256", std::move(A), set1(lit(-1)));
+    }
+    case UnOp::LNot: {
+      ExprPtr A = vecExpr(*E.Kids[0], Mask, CondContext);
+      if (!A)
+        return nullptr;
+      // !x as 0/1.
+      return call2("_mm256_and_si256",
+                   call2("_mm256_cmpeq_epi32", std::move(A),
+                         call("_mm256_setzero_si256", {})),
+                   set1(lit(1)));
+    }
+    default:
+      return nullptr;
+    }
+  case Expr::Binary: {
+    const char *Intrin = nullptr;
+    switch (E.BOp) {
+    case BinOp::Add: Intrin = "_mm256_add_epi32"; break;
+    case BinOp::Sub: Intrin = "_mm256_sub_epi32"; break;
+    case BinOp::Mul: Intrin = "_mm256_mullo_epi32"; break;
+    case BinOp::And: Intrin = "_mm256_and_si256"; break;
+    case BinOp::Or: Intrin = "_mm256_or_si256"; break;
+    case BinOp::Xor: Intrin = "_mm256_xor_si256"; break;
+    default: break;
+    }
+    if (Intrin) {
+      ExprPtr A = vecExpr(*E.Kids[0], Mask, CondContext);
+      ExprPtr B = vecExpr(*E.Kids[1], Mask, CondContext);
+      if (!A || !B)
+        return nullptr;
+      return call2(Intrin, std::move(A), std::move(B));
+    }
+    if (E.BOp == BinOp::Shl || E.BOp == BinOp::Shr) {
+      if (E.Kids[1]->K != Expr::IntLit)
+        return nullptr;
+      ExprPtr A = vecExpr(*E.Kids[0], Mask, CondContext);
+      if (!A)
+        return nullptr;
+      const char *Sh =
+          E.BOp == BinOp::Shl ? "_mm256_slli_epi32" : "_mm256_srai_epi32";
+      return call2(Sh, std::move(A), lit(E.Kids[1]->Value));
+    }
+    // Comparison as a 0/1 value.
+    if (E.BOp == BinOp::Gt || E.BOp == BinOp::Lt || E.BOp == BinOp::Ge ||
+        E.BOp == BinOp::Le || E.BOp == BinOp::Eq || E.BOp == BinOp::Ne) {
+      ExprPtr M = vecCond(E, Mask);
+      if (!M)
+        return nullptr;
+      return call2("_mm256_and_si256", std::move(M), set1(lit(1)));
+    }
+    return nullptr; // division etc: not vectorizable on AVX2 i32
+  }
+  case Expr::Ternary: {
+    ExprPtr M = vecCond(*E.Kids[0], Mask);
+    ExprPtr A = vecExpr(*E.Kids[1], Mask, /*CondContext=*/true);
+    ExprPtr B = vecExpr(*E.Kids[2], Mask, /*CondContext=*/true);
+    if (!M || !A || !B)
+      return nullptr;
+    return call3("_mm256_blendv_epi8", std::move(B), std::move(A),
+                 std::move(M));
+  }
+  case Expr::Call: {
+    if (E.Name == "abs") {
+      ExprPtr A = vecExpr(*E.Kids[0], Mask, CondContext);
+      if (!A)
+        return nullptr;
+      return call1("_mm256_abs_epi32", std::move(A));
+    }
+    if (E.Name == "max" || E.Name == "min") {
+      ExprPtr A = vecExpr(*E.Kids[0], Mask, CondContext);
+      ExprPtr B = vecExpr(*E.Kids[1], Mask, CondContext);
+      if (!A || !B)
+        return nullptr;
+      return call2(E.Name == "max" ? "_mm256_max_epi32"
+                                   : "_mm256_min_epi32",
+                   std::move(A), std::move(B));
+    }
+    return nullptr;
+  }
+  default:
+    return nullptr;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Statement translation
+//===----------------------------------------------------------------------===//
+
+void Generator::vecAssign(const Expr &E, const std::string &Mask) {
+  const Expr &LHS = *E.Kids[0];
+  // Scalar targets.
+  if (LHS.K == Expr::VarRef) {
+    const std::string &Name = LHS.Name;
+    // Reduction: acc = add(acc, expr [masked]). A guarded accumulator
+    // (`if (c) x += k`) arrives as a compound add; only += reductions are
+    // supported, matching the engine's repertoire.
+    auto Red = ReductionAcc.find(Name);
+    if (Red != ReductionAcc.end()) {
+      if (E.IsPlainAssign || E.BOp != BinOp::Add)
+        return fail();
+      ExprPtr V = vecExpr(*E.Kids[1], Mask, !Mask.empty());
+      if (!V)
+        return fail();
+      if (!Mask.empty())
+        V = call2("_mm256_and_si256", std::move(V), var(Mask));
+      emitStmt(Stmt::makeExpr(Expr::makeAssign(
+          var(Red->second),
+          call2("_mm256_add_epi32", var(Red->second), std::move(V)))));
+      return;
+    }
+    // Induction update: handled by marking (scalar maintenance added at the
+    // end of the vector body).
+    if (InductionStep.count(Name)) {
+      InductionUpdated.insert(Name);
+      return;
+    }
+    // Body-local temp.
+    auto VT = VecTemps.find(Name);
+    if (VT != VecTemps.end()) {
+      ExprPtr V;
+      if (E.IsPlainAssign) {
+        V = vecExpr(*E.Kids[1], Mask, !Mask.empty());
+      } else {
+        Expr Read(Expr::VarRef);
+        Read.Name = Name;
+        ExprPtr Old = vecExpr(Read, Mask, false);
+        ExprPtr RHS = vecExpr(*E.Kids[1], Mask, !Mask.empty());
+        if (!Old || !RHS)
+          return fail();
+        switch (E.BOp) {
+        case BinOp::Add:
+          V = call2("_mm256_add_epi32", std::move(Old), std::move(RHS));
+          break;
+        case BinOp::Sub:
+          V = call2("_mm256_sub_epi32", std::move(Old), std::move(RHS));
+          break;
+        case BinOp::Mul:
+          V = call2("_mm256_mullo_epi32", std::move(Old), std::move(RHS));
+          break;
+        default:
+          return fail();
+        }
+      }
+      if (!V)
+        return fail();
+      if (!Mask.empty())
+        V = call3("_mm256_blendv_epi8", var(VT->second), std::move(V),
+                  var(Mask));
+      emitStmt(Stmt::makeExpr(
+          Expr::makeAssign(var(VT->second), std::move(V))));
+      return;
+    }
+    return fail();
+  }
+  // Array element target.
+  if (LHS.K != Expr::Index || LHS.Kids[0]->K != Expr::VarRef)
+    return fail();
+  const std::string &Array = LHS.Kids[0]->Name;
+  const Expr &Sub = *LHS.Kids[1];
+  ExprPtr RHSVec;
+  if (E.IsPlainAssign) {
+    RHSVec = vecExpr(*E.Kids[1], Mask, !Mask.empty());
+  } else {
+    ExprPtr Old = vecLoad(Array, Sub, Mask, !Mask.empty());
+    ExprPtr R = vecExpr(*E.Kids[1], Mask, !Mask.empty());
+    if (!Old || !R)
+      return fail();
+    switch (E.BOp) {
+    case BinOp::Add:
+      RHSVec = call2("_mm256_add_epi32", std::move(Old), std::move(R));
+      break;
+    case BinOp::Sub:
+      RHSVec = call2("_mm256_sub_epi32", std::move(Old), std::move(R));
+      break;
+    case BinOp::Mul:
+      RHSVec = call2("_mm256_mullo_epi32", std::move(Old), std::move(R));
+      break;
+    case BinOp::And:
+      RHSVec = call2("_mm256_and_si256", std::move(Old), std::move(R));
+      break;
+    case BinOp::Or:
+      RHSVec = call2("_mm256_or_si256", std::move(Old), std::move(R));
+      break;
+    case BinOp::Xor:
+      RHSVec = call2("_mm256_xor_si256", std::move(Old), std::move(R));
+      break;
+    default:
+      return fail();
+    }
+  }
+  if (!RHSVec)
+    return fail();
+  // Bind the stored value to a name for store-to-load forwarding.
+  std::string ValName = fresh((Array + "_st").c_str());
+  emitVecDecl(ValName, std::move(RHSVec));
+  std::string Key = subscriptKey(Sub);
+  WrittenArrays.insert(Array);
+  bool Hoisted = Plan.has(Fault::UnsafeHoist) && !Mask.empty();
+  if (Mask.empty() || Hoisted) {
+    emitStmt(Stmt::makeExpr(call2("_mm256_storeu_si256",
+                                  vecPtrTo(Array, laneBase(Sub)),
+                                  var(ValName))));
+    AvailVecs[{Array, Key}] = ValName;
+    return;
+  }
+  if (Plan.has(Fault::UnsafeBlendStore)) {
+    // load + blend + store: writes lanes the scalar program never writes.
+    ExprPtr Old = call1("_mm256_loadu_si256", vecPtrTo(Array, laneBase(Sub)));
+    std::string Blend = fresh((Array + "_bl").c_str());
+    emitVecDecl(Blend, call3("_mm256_blendv_epi8", std::move(Old),
+                             var(ValName), var(Mask)));
+    emitStmt(Stmt::makeExpr(call2("_mm256_storeu_si256",
+                                  vecPtrTo(Array, laneBase(Sub)),
+                                  var(Blend))));
+  } else {
+    emitStmt(Stmt::makeExpr(call3("_mm256_maskstore_epi32",
+                                  intPtrTo(Array, laneBase(Sub)), var(Mask),
+                                  var(ValName))));
+  }
+  // Under a mask the memory content is lane-dependent; conservatively
+  // invalidate forwarding for this subscript.
+  AvailVecs.erase({Array, Key});
+}
+
+void Generator::vecStmt(const Stmt &S, const std::string &Mask) {
+  if (Failed)
+    return;
+  if (Plan.has(Fault::DropStatement) && S.K == Stmt::ExprSt &&
+      !WrittenArrays.empty() && Mask.empty()) {
+    // Drop the first unconditional statement after some work was emitted.
+    return;
+  }
+  switch (S.K) {
+  case Stmt::Block:
+    for (const StmtPtr &Sub : S.Body)
+      vecStmt(*Sub, Mask);
+    return;
+  case Stmt::Empty:
+    return;
+  case Stmt::Decl: {
+    // Iteration-local temp: becomes a vector temp.
+    for (const Declarator &D : S.Decls) {
+      if (S.DeclTy.K != Type::Int || D.ArraySize >= 0)
+        return fail();
+      std::string VName = fresh((D.Name + "_vec").c_str());
+      VecTemps[D.Name] = VName;
+      ExprPtr Init;
+      if (D.Init) {
+        Init = vecExpr(*D.Init, Mask, !Mask.empty());
+        if (!Init)
+          return fail();
+      } else {
+        Init = call("_mm256_setzero_si256", {});
+      }
+      emitVecDecl(VName, std::move(Init));
+    }
+    return;
+  }
+  case Stmt::ExprSt: {
+    const Expr &E = *S.Cond;
+    if (E.K == Expr::Assign) {
+      vecAssign(E, Mask);
+      return;
+    }
+    if (E.K == Expr::Unary &&
+        (E.UOp == UnOp::PostInc || E.UOp == UnOp::PreInc ||
+         E.UOp == UnOp::PostDec || E.UOp == UnOp::PreDec) &&
+        E.Kids[0]->K == Expr::VarRef &&
+        InductionStep.count(E.Kids[0]->Name)) {
+      InductionUpdated.insert(E.Kids[0]->Name);
+      return;
+    }
+    return fail();
+  }
+  case Stmt::If: {
+    ExprPtr M = vecCond(*S.Cond, Mask);
+    if (!M)
+      return fail();
+    std::string MName = fresh("mask");
+    emitVecDecl(MName, std::move(M));
+    std::string ThenMask = MName;
+    if (!Mask.empty()) {
+      std::string Comb = fresh("mask_and");
+      emitVecDecl(Comb,
+                  call2("_mm256_and_si256", var(Mask), var(MName)));
+      ThenMask = Comb;
+    }
+    if (S.thenArm())
+      vecStmt(*S.Body[0], ThenMask);
+    if (S.elseArm()) {
+      std::string Inv = fresh("mask_not");
+      emitVecDecl(Inv,
+                  call2("_mm256_xor_si256", var(MName), set1(lit(-1))));
+      std::string ElseMask = Inv;
+      if (!Mask.empty()) {
+        std::string Comb = fresh("mask_and");
+        emitVecDecl(Comb,
+                    call2("_mm256_and_si256", var(Mask), var(Inv)));
+        ElseMask = Comb;
+      }
+      vecStmt(*S.Body[1], ElseMask);
+    }
+    return;
+  }
+  default:
+    return fail();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Loop assembly
+//===----------------------------------------------------------------------===//
+
+StmtPtr Generator::buildVectorLoop() {
+  const deps::LoopShape &L = LA.inner();
+  const Stmt &Loop = *L.Loop;
+
+  // End expression (exclusive): bound, or bound+1 for inclusive loops.
+  ExprPtr EndE = Loop.Cond->Kids[1]->clone();
+  if (L.InclusiveEnd)
+    EndE = Expr::makeBinary(BinOp::Add, std::move(EndE), lit(1));
+
+  std::vector<StmtPtr> Out;
+
+  // Reduction accumulators.
+  for (auto &[Scalar, Acc] : ReductionAcc) {
+    ExprPtr Init = Plan.has(Fault::WrongReductionInit)
+                       ? set1(lit(1))
+                       : call("_mm256_setzero_si256", {});
+    Out.push_back(Stmt::makeDecl(Type::M256i, Acc, std::move(Init)));
+  }
+
+  // Iterator declaration: `int i = Start;`.
+  Out.push_back(Stmt::makeDecl(Type::Int, L.Iter, lit(L.Start)));
+
+  // Wraparound peel: run `maxDepth` leading iterations in scalar form so
+  // every i - depth read stays in bounds (the loop-peeling transformation
+  // the paper credits ICC with on s291/s292).
+  if (!WrapDepth.empty()) {
+    int64_t MaxD = 0;
+    for (auto &[W, D] : WrapDepth)
+      MaxD = std::max(MaxD, D);
+    ExprPtr PeelCond = Expr::makeBinary(
+        BinOp::LAnd,
+        Expr::makeBinary(BinOp::Lt, var(L.Iter), lit(L.Start + MaxD)),
+        Loop.Cond->clone());
+    Out.push_back(Stmt::makeFor(
+        Stmt::makeEmpty(), std::move(PeelCond),
+        Loop.StepExpr ? Loop.StepExpr->clone() : nullptr,
+        Loop.forBody()->clone()));
+  }
+
+  // Main loop: for (; i <= End - 8; i += 8)  (BadBound: i < End).
+  ExprPtr CondE =
+      Plan.has(Fault::BadBound)
+          ? Expr::makeBinary(BinOp::Lt, var(L.Iter), EndE->clone())
+          : Expr::makeBinary(
+                BinOp::Le, var(L.Iter),
+                Expr::makeBinary(BinOp::Sub, EndE->clone(), lit(8)));
+  ExprPtr StepE = Expr::makeCompoundAssign(BinOp::Add, var(L.Iter), lit(8));
+
+  std::vector<StmtPtr> BodyStmts;
+  Emit = &BodyStmts;
+  AvailVecs.clear();
+  WrittenArrays.clear();
+  InductionUpdated.clear();
+  VecTemps.clear();
+
+  // Preload reads of arrays that the body also writes (resolving spurious
+  // positive-distance dependences by loading before any store).
+  std::set<std::string> Written;
+  for (const deps::ArrayAccess &A : LA.Accesses)
+    if (A.IsWrite)
+      Written.insert(A.Array);
+  std::set<std::pair<std::string, std::string>> Preloaded;
+  for (const deps::ArrayAccess &A : LA.Accesses) {
+    if (A.IsWrite || !Written.count(A.Array))
+      continue;
+    // Find the subscript expression: re-walk is avoided by re-deriving the
+    // lane-0 subscript from the affine form (coef 1): i + Offset.
+    ExprPtr SubE = A.Sub.Offset == 0
+                       ? var(L.Iter)
+                       : Expr::makeBinary(A.Sub.Offset > 0 ? BinOp::Add
+                                                           : BinOp::Sub,
+                                          var(L.Iter),
+                                          lit(std::abs(A.Sub.Offset)));
+    std::string Key = minic::printExpr(*SubE);
+    if (Preloaded.count({A.Array, Key}))
+      continue;
+    Preloaded.insert({A.Array, Key});
+    ExprPtr Base = SubE->clone();
+    if (Plan.has(Fault::OffByOneOffset) && A.Sub.Offset != 0)
+      Base = var(L.Iter);
+    std::string Name = fresh((A.Array + "_vec").c_str());
+    emitVecDecl(Name,
+                call1("_mm256_loadu_si256", vecPtrTo(A.Array, std::move(Base))));
+    AvailVecs[{A.Array, Key}] = Name;
+  }
+
+  // Translate the body. Wraparound variables are substituted by their
+  // entry value i - depth, and their reassignments dropped (the vector
+  // body maintains them once per block below).
+  const Stmt *Body = Loop.forBody();
+  if (!Body)
+    return nullptr;
+  StmtPtr BodyForVec = Body->clone();
+  if (!WrapDepth.empty()) {
+    auto substWrap = [&](auto &&Self, Stmt &S) -> void {
+      if (S.K == Stmt::ExprSt && S.Cond->K == Expr::Assign &&
+          S.Cond->IsPlainAssign && S.Cond->Kids[0]->K == Expr::VarRef &&
+          WrapDepth.count(S.Cond->Kids[0]->Name)) {
+        S.K = Stmt::Empty;
+        S.Cond = nullptr;
+        return;
+      }
+      std::vector<Expr *> Exprs;
+      if (S.Cond)
+        Exprs.push_back(S.Cond.get());
+      if (S.StepExpr)
+        Exprs.push_back(S.StepExpr.get());
+      for (minic::Declarator &D : S.Decls)
+        if (D.Init)
+          Exprs.push_back(D.Init.get());
+      while (!Exprs.empty()) {
+        Expr *E = Exprs.back();
+        Exprs.pop_back();
+        if (E->K == Expr::VarRef && WrapDepth.count(E->Name)) {
+          int64_t D = WrapDepth[E->Name];
+          ExprPtr Repl =
+              Expr::makeBinary(BinOp::Sub, var(LA.inner().Iter), lit(D));
+          *E = std::move(*Repl);
+          continue;
+        }
+        for (ExprPtr &Kid : E->Kids)
+          if (Kid)
+            Exprs.push_back(Kid.get());
+      }
+      if (S.InitStmt)
+        Self(Self, *S.InitStmt);
+      for (StmtPtr &Sub : S.Body)
+        if (Sub)
+          Self(Self, *Sub);
+    };
+    substWrap(substWrap, *BodyForVec);
+  }
+  vecStmt(*BodyForVec, std::string());
+  if (Failed)
+    return nullptr;
+
+  // Scalar maintenance for inductions: v += 8*step; wraparounds hold
+  // i + 8 - depth after a vector block.
+  for (auto &[Name, Step] : InductionStep)
+    BodyStmts.push_back(Stmt::makeExpr(
+        Expr::makeCompoundAssign(BinOp::Add, var(Name), lit(8 * Step))));
+  for (auto &[Name, D] : WrapDepth)
+    BodyStmts.push_back(Stmt::makeExpr(Expr::makeAssign(
+        var(Name),
+        Expr::makeBinary(BinOp::Add, var(L.Iter), lit(8 - D)))));
+
+  Out.push_back(Stmt::makeFor(Stmt::makeEmpty(), std::move(CondE),
+                              std::move(StepE),
+                              Stmt::makeBlock(std::move(BodyStmts))));
+
+  // Reduction finish: scalar += extracts.
+  for (auto &[Scalar, Acc] : ReductionAcc) {
+    ExprPtr Sum;
+    for (int K = 0; K < 8; ++K) {
+      ExprPtr Ext = call2("_mm256_extract_epi32", var(Acc), lit(K));
+      Sum = Sum ? Expr::makeBinary(BinOp::Add, std::move(Sum), std::move(Ext))
+                : std::move(Ext);
+    }
+    Out.push_back(Stmt::makeExpr(
+        Expr::makeCompoundAssign(BinOp::Add, var(Scalar), std::move(Sum))));
+  }
+
+  // Epilogue: original loop with empty init (iterator continues).
+  StmtPtr Epilogue = Stmt::makeFor(
+      Stmt::makeEmpty(), Loop.Cond->clone(),
+      Loop.StepExpr ? Loop.StepExpr->clone() : nullptr,
+      Loop.forBody()->clone());
+  Out.push_back(std::move(Epilogue));
+
+  return Stmt::makeBlock(std::move(Out));
+}
+
+GenResult Generator::run() {
+  GenResult R;
+  // Restructure gotos first (the model "understands" the goto pattern).
+  std::string GErr = minic::eliminateGotos(*Clone);
+  if (!GErr.empty())
+    return R;
+  LA = deps::analyzeFunction(*Clone);
+  bool Sound = analyzeBlockers();
+  if (!Sound && !ForceNaive)
+    return R;
+  if (!Sound) {
+    // Naive mode: pretend the blockers are not there — widen anyway when
+    // the shapes allow it at all (wrong code, the model's failure mode).
+    if (!LA.HasLoop || !LA.inner().Canonical || LA.inner().Step != 1 ||
+        !LA.inner().End.Valid || LA.HasIndirectAccess ||
+        LA.HasNonAffineAccess || LA.HasBreakOrReturn)
+      return R;
+    for (const deps::ArrayAccess &A : LA.Accesses)
+      if (!A.Sub.Valid || A.Sub.Coef != 1)
+        return R;
+    // Treat every cross-iteration scalar as a (possibly bogus) induction.
+    for (const deps::ScalarUpdate &U : LA.Scalars) {
+      if (U.K == deps::ScalarUpdate::Induction ||
+          U.K == deps::ScalarUpdate::Wraparound)
+        InductionStep.emplace(U.Name, U.Step != 0 ? U.Step : 1);
+      else if (U.K == deps::ScalarUpdate::Reduction)
+        ReductionAcc.emplace(U.Name, "acc_" + U.Name);
+      else
+        InductionStep.emplace(U.Name, 1);
+    }
+  }
+
+  // Replace the innermost loop statement inside the (goto-free) clone.
+  StmtPtr NewLoop = buildVectorLoop();
+  if (!NewLoop || Failed)
+    return R;
+
+  // Find and replace the loop statement in the clone (structural walk over
+  // every child slot, covering unbraced nesting).
+  const Stmt *Target = LA.inner().Loop;
+  bool Replaced = false;
+  auto replaceIn = [&](auto &&Self, StmtPtr &S) -> bool {
+    if (S.get() == Target) {
+      S = std::move(NewLoop);
+      return true;
+    }
+    if (S->InitStmt && Self(Self, S->InitStmt))
+      return true;
+    for (StmtPtr &Sub : S->Body)
+      if (Sub && Self(Self, Sub))
+        return true;
+    return false;
+  };
+  for (StmtPtr &S : Clone->BodyBlock->Body)
+    if (replaceIn(replaceIn, S)) {
+      Replaced = true;
+      break;
+    }
+  if (!Replaced)
+    return R;
+
+  R.Fn = std::move(Clone);
+  R.SoundByConstruction = Sound && Plan.clean();
+  R.Strategy = !Sound ? "naive-widen"
+               : (!ReductionAcc.empty()
+                      ? "reduction"
+                      : (LA.HasControlFlow ? "blend-ifconvert" : "widen"));
+  return R;
+}
+
+GenResult lv::llm::vectorizeFunction(const Function &F, const FaultPlan &Plan,
+                                     bool ForceNaive) {
+  Generator G(F, Plan, ForceNaive);
+  return G.run();
+}

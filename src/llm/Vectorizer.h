@@ -1,0 +1,50 @@
+//===- llm/Vectorizer.h - rule-based AVX2 vectorizer -----------*- C++ -*-===//
+///
+/// \file
+/// The code-generation engine inside the simulated LLM: a genuine
+/// source-to-source vectorizer from scalar mini-C to AVX2-intrinsic mini-C.
+/// It implements the transformation repertoire the paper observes GPT-4
+/// using — plain widening, if-conversion via compare+blend (with masked
+/// loads/stores where required for soundness), reduction vectorization with
+/// a horizontal finish, derived-induction rewriting via lane ramps, and
+/// load-before-store reordering for spurious anti dependences — plus the
+/// fault hooks of llm/Faults.h so one engine can produce both GPT-4's
+/// correct outputs and its characteristic wrong ones.
+///
+/// Loops outside the repertoire (true recurrences, strided or indirect
+/// accesses, integer division in the body, non-canonical loops) yield
+/// either a *naive* (wrong) widening or no output; the competence model
+/// decides which, matching the paper's failure taxonomy (§4.1.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_LLM_VECTORIZER_H
+#define LV_LLM_VECTORIZER_H
+
+#include "deps/Analysis.h"
+#include "llm/Faults.h"
+#include "minic/AST.h"
+
+#include <string>
+
+namespace lv {
+namespace llm {
+
+/// What the generator produced.
+struct GenResult {
+  minic::FunctionPtr Fn; ///< Null when no strategy applies.
+  std::string Strategy;  ///< "widen", "blend", "reduction", ...
+  bool SoundByConstruction = false; ///< False for naive fallback output.
+};
+
+/// Vectorizes \p F (8 x i32 AVX2 target) under \p Plan's faults.
+/// \p ForceNaive requests the wrong-but-plausible-looking naive widening
+/// even when the loop has blocking dependences (used by the competence
+/// model for "model does not understand the dependence" outcomes).
+GenResult vectorizeFunction(const minic::Function &F, const FaultPlan &Plan,
+                            bool ForceNaive = false);
+
+} // namespace llm
+} // namespace lv
+
+#endif // LV_LLM_VECTORIZER_H

@@ -1,0 +1,202 @@
+//===- minic/AST.cpp - mini-C AST implementation --------------------------===//
+
+#include "minic/AST.h"
+
+#include <cassert>
+
+using namespace lv;
+using namespace lv::minic;
+
+const char *Type::str() const {
+  switch (K) {
+  case Void:
+    return "void";
+  case Int:
+    return "int";
+  case M256i:
+    return "__m256i";
+  case IntPtr:
+    return "int *";
+  case VecPtr:
+    return "__m256i *";
+  }
+  return "<?>";
+}
+
+ExprPtr Expr::clone() const {
+  auto E = std::make_unique<Expr>(K);
+  E->Value = Value;
+  E->Name = Name;
+  E->BOp = BOp;
+  E->UOp = UOp;
+  E->IsPlainAssign = IsPlainAssign;
+  E->CastTy = CastTy;
+  E->Ty = Ty;
+  E->Kids.reserve(Kids.size());
+  for (const ExprPtr &Kid : Kids)
+    E->Kids.push_back(Kid ? Kid->clone() : nullptr);
+  return E;
+}
+
+ExprPtr Expr::makeIntLit(int64_t V) {
+  auto E = std::make_unique<Expr>(IntLit);
+  E->Value = V;
+  return E;
+}
+
+ExprPtr Expr::makeVarRef(std::string Name) {
+  auto E = std::make_unique<Expr>(VarRef);
+  E->Name = std::move(Name);
+  return E;
+}
+
+ExprPtr Expr::makeIndex(ExprPtr Base, ExprPtr Idx) {
+  auto E = std::make_unique<Expr>(Index);
+  E->Kids.push_back(std::move(Base));
+  E->Kids.push_back(std::move(Idx));
+  return E;
+}
+
+ExprPtr Expr::makeUnary(UnOp Op, ExprPtr Sub) {
+  auto E = std::make_unique<Expr>(Unary);
+  E->UOp = Op;
+  E->Kids.push_back(std::move(Sub));
+  return E;
+}
+
+ExprPtr Expr::makeBinary(BinOp Op, ExprPtr L, ExprPtr R) {
+  auto E = std::make_unique<Expr>(Binary);
+  E->BOp = Op;
+  E->Kids.push_back(std::move(L));
+  E->Kids.push_back(std::move(R));
+  return E;
+}
+
+ExprPtr Expr::makeAssign(ExprPtr L, ExprPtr R) {
+  auto E = std::make_unique<Expr>(Assign);
+  E->IsPlainAssign = true;
+  E->Kids.push_back(std::move(L));
+  E->Kids.push_back(std::move(R));
+  return E;
+}
+
+ExprPtr Expr::makeCompoundAssign(BinOp Op, ExprPtr L, ExprPtr R) {
+  auto E = std::make_unique<Expr>(Assign);
+  E->IsPlainAssign = false;
+  E->BOp = Op;
+  E->Kids.push_back(std::move(L));
+  E->Kids.push_back(std::move(R));
+  return E;
+}
+
+ExprPtr Expr::makeTernary(ExprPtr C, ExprPtr T, ExprPtr El) {
+  auto E = std::make_unique<Expr>(Ternary);
+  E->Kids.push_back(std::move(C));
+  E->Kids.push_back(std::move(T));
+  E->Kids.push_back(std::move(El));
+  return E;
+}
+
+ExprPtr Expr::makeCall(std::string Callee, std::vector<ExprPtr> Args) {
+  auto E = std::make_unique<Expr>(Call);
+  E->Name = std::move(Callee);
+  E->Kids = std::move(Args);
+  return E;
+}
+
+ExprPtr Expr::makeCast(Type To, ExprPtr Sub) {
+  auto E = std::make_unique<Expr>(Cast);
+  E->CastTy = To;
+  E->Kids.push_back(std::move(Sub));
+  return E;
+}
+
+StmtPtr Stmt::clone() const {
+  auto S = std::make_unique<Stmt>(K);
+  S->DeclTy = DeclTy;
+  S->Decls.reserve(Decls.size());
+  for (const Declarator &D : Decls) {
+    Declarator ND;
+    ND.Name = D.Name;
+    ND.Init = D.Init ? D.Init->clone() : nullptr;
+    ND.ArraySize = D.ArraySize;
+    S->Decls.push_back(std::move(ND));
+  }
+  S->Cond = Cond ? Cond->clone() : nullptr;
+  S->InitStmt = InitStmt ? InitStmt->clone() : nullptr;
+  S->StepExpr = StepExpr ? StepExpr->clone() : nullptr;
+  S->Name = Name;
+  S->Body.reserve(Body.size());
+  for (const StmtPtr &B : Body)
+    S->Body.push_back(B ? B->clone() : nullptr);
+  return S;
+}
+
+StmtPtr Stmt::makeDecl(Type Ty, std::string Name, ExprPtr Init) {
+  auto S = std::make_unique<Stmt>(Decl);
+  S->DeclTy = Ty;
+  Declarator D;
+  D.Name = std::move(Name);
+  D.Init = std::move(Init);
+  S->Decls.push_back(std::move(D));
+  return S;
+}
+
+StmtPtr Stmt::makeExpr(ExprPtr E) {
+  auto S = std::make_unique<Stmt>(ExprSt);
+  S->Cond = std::move(E);
+  return S;
+}
+
+StmtPtr Stmt::makeBlock(std::vector<StmtPtr> Stmts) {
+  auto S = std::make_unique<Stmt>(Block);
+  S->Body = std::move(Stmts);
+  return S;
+}
+
+StmtPtr Stmt::makeIf(ExprPtr C, StmtPtr Then, StmtPtr Else) {
+  auto S = std::make_unique<Stmt>(If);
+  S->Cond = std::move(C);
+  S->Body.push_back(std::move(Then));
+  S->Body.push_back(std::move(Else));
+  return S;
+}
+
+StmtPtr Stmt::makeFor(StmtPtr Init, ExprPtr Cond, ExprPtr Step,
+                      StmtPtr Body) {
+  auto S = std::make_unique<Stmt>(For);
+  S->InitStmt = std::move(Init);
+  S->Cond = std::move(Cond);
+  S->StepExpr = std::move(Step);
+  S->Body.push_back(std::move(Body));
+  return S;
+}
+
+StmtPtr Stmt::makeReturn(ExprPtr E) {
+  auto S = std::make_unique<Stmt>(Return);
+  S->Cond = std::move(E);
+  return S;
+}
+
+StmtPtr Stmt::makeGoto(std::string L) {
+  auto S = std::make_unique<Stmt>(Goto);
+  S->Name = std::move(L);
+  return S;
+}
+
+StmtPtr Stmt::makeLabel(std::string L) {
+  auto S = std::make_unique<Stmt>(Label);
+  S->Name = std::move(L);
+  return S;
+}
+
+StmtPtr Stmt::makeEmpty() { return std::make_unique<Stmt>(Empty); }
+
+FunctionPtr Function::clone() const {
+  auto F = std::make_unique<Function>();
+  F->Name = Name;
+  F->RetTy = RetTy;
+  F->Params = Params;
+  F->BodyBlock = BodyBlock ? BodyBlock->clone() : nullptr;
+  return F;
+}

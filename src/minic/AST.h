@@ -1,0 +1,219 @@
+//===- minic/AST.h - mini-C abstract syntax tree ---------------*- C++ -*-===//
+///
+/// \file
+/// AST for the C subset used by the TSVC benchmark and by AVX2-intrinsic
+/// vectorizations: int scalars/pointers, __m256i vectors, for/if/goto
+/// control flow, and calls to SIMD intrinsics. Both the scalar inputs and
+/// the LLM-generated vectorized candidates are values of this AST.
+///
+/// Nodes are tagged structs (single Expr/Stmt types with a Kind enum) rather
+/// than a class hierarchy: every transformation in the pipeline (C-level
+/// unrolling, spatial splitting, the simulated LLM's rewrites) clones and
+/// edits trees, which is simplest over a uniform representation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_MINIC_AST_H
+#define LV_MINIC_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lv {
+namespace minic {
+
+//===----------------------------------------------------------------------===//
+// Types
+//===----------------------------------------------------------------------===//
+
+/// Scalar/vector/pointer types of the mini-C subset.
+struct Type {
+  enum Kind : uint8_t {
+    Void,
+    Int,    ///< 32-bit signed int.
+    M256i,  ///< 256-bit integer vector (8 x i32 in this project).
+    IntPtr, ///< int *
+    VecPtr, ///< __m256i *
+  };
+
+  Kind K = Void;
+
+  Type() = default;
+  /*implicit*/ Type(Kind K) : K(K) {}
+
+  bool operator==(const Type &O) const { return K == O.K; }
+  bool operator!=(const Type &O) const { return K != O.K; }
+
+  bool isPointer() const { return K == IntPtr || K == VecPtr; }
+  bool isVector() const { return K == M256i; }
+
+  /// Type name as written in C.
+  const char *str() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Binary operator kinds (also used for compound assignment).
+enum class BinOp : uint8_t {
+  Add, Sub, Mul, Div, Rem,
+  Shl, Shr,
+  Lt, Gt, Le, Ge, Eq, Ne,
+  And, Or, Xor,       // bitwise
+  LAnd, LOr,          // logical short-circuit
+  Comma,              // sequence; only in for-loop headers
+};
+
+/// Unary operator kinds.
+enum class UnOp : uint8_t {
+  Neg, LNot, BNot,
+  PreInc, PreDec, PostInc, PostDec,
+  Deref, AddrOf,
+};
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// A mini-C expression node.
+struct Expr {
+  enum Kind : uint8_t {
+    IntLit,  ///< Value holds the literal.
+    VarRef,  ///< Name holds the identifier.
+    Index,   ///< Kids[0][Kids[1]].
+    Unary,   ///< UOp applied to Kids[0].
+    Binary,  ///< Kids[0] BOp Kids[1].
+    Assign,  ///< Kids[0] op= Kids[1]; BOp is the compound op, IsPlainAssign
+             ///< distinguishes plain '='.
+    Ternary, ///< Kids[0] ? Kids[1] : Kids[2].
+    Call,    ///< Name(Kids...).
+    Cast,    ///< (CastTy)Kids[0].
+  };
+
+  Kind K;
+  int64_t Value = 0;       ///< IntLit payload.
+  std::string Name;        ///< VarRef / Call payload.
+  BinOp BOp = BinOp::Add;  ///< Binary / Assign payload.
+  UnOp UOp = UnOp::Neg;    ///< Unary payload.
+  bool IsPlainAssign = true;
+  Type CastTy;             ///< Cast payload.
+  std::vector<ExprPtr> Kids;
+
+  /// Type filled in by Sema; Void until then.
+  Type Ty;
+
+  explicit Expr(Kind K) : K(K) {}
+
+  /// Deep copy.
+  ExprPtr clone() const;
+
+  //===--------------------------------------------------------------------===
+  // Factories
+  //===--------------------------------------------------------------------===
+
+  static ExprPtr makeIntLit(int64_t V);
+  static ExprPtr makeVarRef(std::string Name);
+  static ExprPtr makeIndex(ExprPtr Base, ExprPtr Idx);
+  static ExprPtr makeUnary(UnOp Op, ExprPtr Sub);
+  static ExprPtr makeBinary(BinOp Op, ExprPtr L, ExprPtr R);
+  static ExprPtr makeAssign(ExprPtr L, ExprPtr R);
+  static ExprPtr makeCompoundAssign(BinOp Op, ExprPtr L, ExprPtr R);
+  static ExprPtr makeTernary(ExprPtr C, ExprPtr T, ExprPtr E);
+  static ExprPtr makeCall(std::string Callee, std::vector<ExprPtr> Args);
+  static ExprPtr makeCast(Type To, ExprPtr Sub);
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// One declarator in a declaration statement: `int i = 0` or `int buf[8]`.
+struct Declarator {
+  std::string Name;
+  ExprPtr Init;       ///< May be null.
+  int64_t ArraySize = -1; ///< >= 0 for local array declarations.
+};
+
+/// A mini-C statement node.
+struct Stmt {
+  enum Kind : uint8_t {
+    Decl,     ///< DeclTy Decls...;
+    ExprSt,   ///< E;
+    Block,    ///< { Body... }
+    If,       ///< if (Cond) Body[0] else Body[1]; Body[1] may be null slot.
+    For,      ///< for (InitStmt; Cond; StepExpr) Body[0].
+    Goto,     ///< goto Name;
+    Label,    ///< Name: (labels stand alone; following stmts are siblings).
+    Break,
+    Continue,
+    Return,   ///< return Cond; (Cond may be null).
+    Empty,    ///< ;
+  };
+
+  Kind K;
+  Type DeclTy;                     ///< Decl payload.
+  std::vector<Declarator> Decls;   ///< Decl payload.
+  ExprPtr Cond;                    ///< If/For condition, ExprSt/Return expr.
+  StmtPtr InitStmt;                ///< For init (Decl or ExprSt or Empty).
+  ExprPtr StepExpr;                ///< For step (may be null).
+  std::string Name;                ///< Goto/Label payload.
+  std::vector<StmtPtr> Body;       ///< Block stmts / If arms / For body.
+
+  explicit Stmt(Kind K) : K(K) {}
+
+  /// Deep copy.
+  StmtPtr clone() const;
+
+  //===--------------------------------------------------------------------===
+  // Factories
+  //===--------------------------------------------------------------------===
+
+  static StmtPtr makeDecl(Type Ty, std::string Name, ExprPtr Init);
+  static StmtPtr makeExpr(ExprPtr E);
+  static StmtPtr makeBlock(std::vector<StmtPtr> Stmts);
+  static StmtPtr makeIf(ExprPtr C, StmtPtr Then, StmtPtr Else);
+  static StmtPtr makeFor(StmtPtr Init, ExprPtr Cond, ExprPtr Step,
+                         StmtPtr Body);
+  static StmtPtr makeReturn(ExprPtr E);
+  static StmtPtr makeGoto(std::string L);
+  static StmtPtr makeLabel(std::string L);
+  static StmtPtr makeEmpty();
+
+  /// For If statements: then arm is Body[0], else arm Body[1] (may be null).
+  Stmt *thenArm() const { return Body.empty() ? nullptr : Body[0].get(); }
+  Stmt *elseArm() const { return Body.size() < 2 ? nullptr : Body[1].get(); }
+  Stmt *forBody() const { return Body.empty() ? nullptr : Body[0].get(); }
+};
+
+//===----------------------------------------------------------------------===//
+// Functions
+//===----------------------------------------------------------------------===//
+
+/// A function parameter.
+struct Param {
+  Type Ty;
+  std::string Name;
+};
+
+/// A mini-C function definition.
+struct Function {
+  std::string Name;
+  Type RetTy = Type::Void;
+  std::vector<Param> Params;
+  StmtPtr BodyBlock; ///< Always a Block statement.
+
+  /// Deep copy.
+  std::unique_ptr<Function> clone() const;
+};
+
+using FunctionPtr = std::unique_ptr<Function>;
+
+} // namespace minic
+} // namespace lv
+
+#endif // LV_MINIC_AST_H

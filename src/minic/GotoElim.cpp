@@ -1,0 +1,175 @@
+//===- minic/GotoElim.cpp - forward-goto elimination ------------------------===//
+
+#include "minic/GotoElim.h"
+
+#include "support/Format.h"
+
+#include <set>
+#include <vector>
+
+using namespace lv;
+using namespace lv::minic;
+
+static bool stmtContainsGoto(const Stmt &S) {
+  if (S.K == Stmt::Goto)
+    return true;
+  if (S.InitStmt && stmtContainsGoto(*S.InitStmt))
+    return true;
+  for (const StmtPtr &Sub : S.Body)
+    if (Sub && stmtContainsGoto(*Sub))
+      return true;
+  return false;
+}
+
+bool lv::minic::containsGoto(const Function &F) {
+  return F.BodyBlock && stmtContainsGoto(*F.BodyBlock);
+}
+
+namespace {
+
+/// Rewrites gotos within one function.
+class GotoEliminator {
+public:
+  std::string Error;
+
+  void runOnList(std::vector<StmtPtr> &Stmts);
+
+private:
+  /// Recurses into nested blocks so their label scopes are processed first.
+  void processNested(Stmt &S);
+
+  static std::string flagName(const std::string &Label) {
+    return "__skip_" + Label;
+  }
+
+  /// Replaces `goto L` with `__skip_L = 1` inside \p S (recursively), adding
+  /// the affected labels to \p Escaping.
+  void rewriteGotos(Stmt &S, std::set<std::string> &Escaping);
+
+  /// Collects labels appearing directly in a statement list.
+  static std::set<std::string> directLabels(const std::vector<StmtPtr> &L) {
+    std::set<std::string> Out;
+    for (const StmtPtr &S : L)
+      if (S && S->K == Stmt::Label)
+        Out.insert(S->Name);
+    return Out;
+  }
+
+  /// Builds `!__skip_A && !__skip_B && ...` over the active labels.
+  static ExprPtr makeGuard(const std::set<std::string> &Active) {
+    ExprPtr Guard;
+    for (const std::string &L : Active) {
+      ExprPtr NotF =
+          Expr::makeUnary(UnOp::LNot, Expr::makeVarRef(flagName(L)));
+      Guard = Guard ? Expr::makeBinary(BinOp::LAnd, std::move(Guard),
+                                       std::move(NotF))
+                    : std::move(NotF);
+    }
+    return Guard;
+  }
+};
+
+} // namespace
+
+void GotoEliminator::rewriteGotos(Stmt &S, std::set<std::string> &Escaping) {
+  if (S.K == Stmt::Goto) {
+    std::string Flag = flagName(S.Name);
+    Escaping.insert(S.Name);
+    // goto L  ==>  __skip_L = 1;
+    ExprPtr AssignE = Expr::makeAssign(Expr::makeVarRef(Flag),
+                                       Expr::makeIntLit(1));
+    S.K = Stmt::ExprSt;
+    S.Cond = std::move(AssignE);
+    S.Name.clear();
+    return;
+  }
+  if (S.InitStmt)
+    rewriteGotos(*S.InitStmt, Escaping);
+  for (StmtPtr &Sub : S.Body)
+    if (Sub)
+      rewriteGotos(*Sub, Escaping);
+}
+
+void GotoEliminator::processNested(Stmt &S) {
+  if (S.K == Stmt::Block) {
+    runOnList(S.Body);
+    return;
+  }
+  if (S.InitStmt)
+    processNested(*S.InitStmt);
+  for (StmtPtr &Sub : S.Body)
+    if (Sub)
+      processNested(*Sub);
+}
+
+void GotoEliminator::runOnList(std::vector<StmtPtr> &Stmts) {
+  // Handle inner label scopes (nested blocks) first, at their own level.
+  for (StmtPtr &S : Stmts)
+    if (S)
+      processNested(*S);
+
+  std::set<std::string> Labels = directLabels(Stmts);
+  // Gotos without a label at this level target an enclosing scope and are
+  // rewritten there; leave the list untouched.
+  if (Labels.empty())
+    return;
+
+  std::vector<StmtPtr> Out;
+  // Declare one flag per label, initialized to zero, at the top of the list.
+  for (const std::string &L : Labels)
+    Out.push_back(Stmt::makeDecl(Type::Int, flagName(L), Expr::makeIntLit(0)));
+
+  std::set<std::string> Active; // labels whose skip flag may be set
+  for (StmtPtr &S : Stmts) {
+    if (!S)
+      continue;
+    if (S->K == Stmt::Label) {
+      Active.erase(S->Name);
+      Labels.erase(S->Name);
+      continue; // drop the label itself
+    }
+    std::set<std::string> Escaping;
+    rewriteGotos(*S, Escaping);
+    // Validate: escaping labels must be forward (still pending in Labels).
+    for (const std::string &L : Escaping)
+      if (!Labels.count(L))
+        Error += format("unsupported backward goto '%s'\n", L.c_str());
+    if (!Active.empty()) {
+      // Declarations cannot be nested under a guard without breaking the
+      // scope of the declared names: hoist the declaration, guard the inits.
+      if (S->K == Stmt::Decl) {
+        std::vector<StmtPtr> GuardedInits;
+        for (Declarator &D : S->Decls) {
+          if (!D.Init)
+            continue;
+          GuardedInits.push_back(Stmt::makeExpr(Expr::makeAssign(
+              Expr::makeVarRef(D.Name), std::move(D.Init))));
+          D.Init = nullptr;
+        }
+        Out.push_back(std::move(S));
+        for (StmtPtr &GI : GuardedInits)
+          Out.push_back(Stmt::makeIf(makeGuard(Active), std::move(GI),
+                                     nullptr));
+      } else {
+        Out.push_back(
+            Stmt::makeIf(makeGuard(Active), std::move(S), nullptr));
+      }
+    } else {
+      Out.push_back(std::move(S));
+    }
+    for (const std::string &L : Escaping)
+      Active.insert(L);
+  }
+  Stmts = std::move(Out);
+}
+
+std::string lv::minic::eliminateGotos(Function &F) {
+  if (!containsGoto(F))
+    return std::string();
+  GotoEliminator GE;
+  if (F.BodyBlock)
+    GE.runOnList(F.BodyBlock->Body);
+  if (GE.Error.empty() && containsGoto(F))
+    return "goto elimination left residual gotos (unsupported jump shape)";
+  return GE.Error;
+}

@@ -1,0 +1,34 @@
+//===- minic/GotoElim.h - forward-goto elimination -------------*- C++ -*-===//
+///
+/// \file
+/// Structured control-flow recovery for forward gotos. Several TSVC kernels
+/// (e.g. s278) use forward gotos inside the loop body; the structured IR and
+/// all analyses require goto-free code. The pass rewrites each `goto L` as
+/// `__skip_L = 1` and guards every statement between the goto and the label
+/// with the negation of the active skip flags (a simplified Erosa-Hendren
+/// elimination restricted to forward jumps).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_MINIC_GOTOELIM_H
+#define LV_MINIC_GOTOELIM_H
+
+#include "minic/AST.h"
+
+#include <string>
+
+namespace lv {
+namespace minic {
+
+/// Rewrites all forward gotos in \p F into structured guards, in place.
+/// Returns an empty string on success, or a diagnostic if the function
+/// contains a backward goto (not supported; none occur in the TSVC subset).
+std::string eliminateGotos(Function &F);
+
+/// True if the function contains any goto statement.
+bool containsGoto(const Function &F);
+
+} // namespace minic
+} // namespace lv
+
+#endif // LV_MINIC_GOTOELIM_H

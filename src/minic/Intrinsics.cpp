@@ -1,0 +1,70 @@
+//===- minic/Intrinsics.cpp - AVX2 intrinsic catalog -----------------------===//
+
+#include "minic/Intrinsics.h"
+
+#include <unordered_map>
+
+using namespace lv;
+using namespace lv::minic;
+
+static std::unordered_map<std::string, IntrinInfo> buildTable() {
+  std::unordered_map<std::string, IntrinInfo> T;
+  const Type V = Type::M256i;
+  const Type I = Type::Int;
+  const Type VP = Type::VecPtr;
+  const Type IP = Type::IntPtr;
+
+  auto add = [&](const char *Name, IntrinOp Op, Type Ret,
+                 std::vector<Type> Params) {
+    IntrinInfo Info;
+    Info.Op = Op;
+    Info.RetTy = Ret;
+    Info.ParamTys = std::move(Params);
+    T.emplace(Name, std::move(Info));
+  };
+
+  add("_mm256_loadu_si256", IntrinOp::LoadU, V, {VP});
+  add("_mm256_load_si256", IntrinOp::LoadU, V, {VP});
+  add("_mm256_storeu_si256", IntrinOp::StoreU, Type::Void, {VP, V});
+  add("_mm256_store_si256", IntrinOp::StoreU, Type::Void, {VP, V});
+  add("_mm256_maskload_epi32", IntrinOp::MaskLoad, V, {IP, V});
+  add("_mm256_maskstore_epi32", IntrinOp::MaskStore, Type::Void, {IP, V, V});
+  add("_mm256_add_epi32", IntrinOp::Add, V, {V, V});
+  add("_mm256_sub_epi32", IntrinOp::Sub, V, {V, V});
+  add("_mm256_mullo_epi32", IntrinOp::MulLo, V, {V, V});
+  add("_mm256_min_epi32", IntrinOp::MinS, V, {V, V});
+  add("_mm256_max_epi32", IntrinOp::MaxS, V, {V, V});
+  add("_mm256_and_si256", IntrinOp::AndV, V, {V, V});
+  add("_mm256_or_si256", IntrinOp::OrV, V, {V, V});
+  add("_mm256_xor_si256", IntrinOp::XorV, V, {V, V});
+  add("_mm256_andnot_si256", IntrinOp::AndNot, V, {V, V});
+  add("_mm256_abs_epi32", IntrinOp::AbsV, V, {V});
+  add("_mm256_set1_epi32", IntrinOp::Set1, V, {I});
+  add("_mm256_setr_epi32", IntrinOp::SetR, V, {I, I, I, I, I, I, I, I});
+  add("_mm256_set_epi32", IntrinOp::Set, V, {I, I, I, I, I, I, I, I});
+  add("_mm256_setzero_si256", IntrinOp::SetZero, V, {});
+  add("_mm256_cmpgt_epi32", IntrinOp::CmpGt, V, {V, V});
+  add("_mm256_cmpeq_epi32", IntrinOp::CmpEq, V, {V, V});
+  add("_mm256_blendv_epi8", IntrinOp::BlendV, V, {V, V, V});
+  add("_mm256_slli_epi32", IntrinOp::ShlI, V, {V, I});
+  add("_mm256_srli_epi32", IntrinOp::ShrLI, V, {V, I});
+  add("_mm256_srai_epi32", IntrinOp::ShrAI, V, {V, I});
+  add("_mm256_sllv_epi32", IntrinOp::ShlV, V, {V, V});
+  add("_mm256_srlv_epi32", IntrinOp::ShrLV, V, {V, V});
+  add("_mm256_srav_epi32", IntrinOp::ShrAV, V, {V, V});
+  add("_mm256_extract_epi32", IntrinOp::Extract, I, {V, I});
+  add("_mm256_permutevar8x32_epi32", IntrinOp::PermuteVar, V, {V, V});
+  add("_mm256_hadd_epi32", IntrinOp::HAdd, V, {V, V});
+  add("abs", IntrinOp::ScalarAbs, I, {I});
+  add("max", IntrinOp::ScalarMax, I, {I, I});
+  add("min", IntrinOp::ScalarMin, I, {I, I});
+  return T;
+}
+
+const IntrinInfo &lv::minic::lookupIntrinsic(const std::string &Name) {
+  static const std::unordered_map<std::string, IntrinInfo> Table =
+      buildTable();
+  static const IntrinInfo Unknown;
+  auto It = Table.find(Name);
+  return It == Table.end() ? Unknown : It->second;
+}

@@ -1,0 +1,78 @@
+//===- minic/Intrinsics.h - AVX2 intrinsic catalog -------------*- C++ -*-===//
+///
+/// \file
+/// Catalog of the AVX2 intrinsics (and scalar builtins) understood by the
+/// toolchain. The table gives each intrinsic a signature (used by Sema) and
+/// a vector-IR opcode (used by lowering). This plays the role Clang's
+/// immintrin.h plays in the paper: defining what the LLM may call and how
+/// each call maps onto IR operations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_MINIC_INTRINSICS_H
+#define LV_MINIC_INTRINSICS_H
+
+#include "minic/AST.h"
+
+#include <string>
+
+namespace lv {
+namespace minic {
+
+/// Semantic operation an intrinsic lowers to. VL is the fixed vector length
+/// (8 x i32) of the AVX2 target.
+enum class IntrinOp : uint8_t {
+  None,       ///< Not an intrinsic.
+  LoadU,      ///< _mm256_loadu_si256
+  StoreU,     ///< _mm256_storeu_si256
+  MaskLoad,   ///< _mm256_maskload_epi32
+  MaskStore,  ///< _mm256_maskstore_epi32
+  Add,        ///< _mm256_add_epi32
+  Sub,        ///< _mm256_sub_epi32
+  MulLo,      ///< _mm256_mullo_epi32
+  MinS,       ///< _mm256_min_epi32
+  MaxS,       ///< _mm256_max_epi32
+  AndV,       ///< _mm256_and_si256
+  OrV,        ///< _mm256_or_si256
+  XorV,       ///< _mm256_xor_si256
+  AndNot,     ///< _mm256_andnot_si256 (~a & b)
+  AbsV,       ///< _mm256_abs_epi32
+  Set1,       ///< _mm256_set1_epi32
+  SetR,       ///< _mm256_setr_epi32 (arg i -> lane i)
+  Set,        ///< _mm256_set_epi32  (arg i -> lane 7-i)
+  SetZero,    ///< _mm256_setzero_si256
+  CmpGt,      ///< _mm256_cmpgt_epi32 (lanes all-ones/all-zeros)
+  CmpEq,      ///< _mm256_cmpeq_epi32
+  BlendV,     ///< _mm256_blendv_epi8 (mask MSB per byte; all-ones masks here)
+  ShlI,       ///< _mm256_slli_epi32
+  ShrLI,      ///< _mm256_srli_epi32
+  ShrAI,      ///< _mm256_srai_epi32
+  ShlV,       ///< _mm256_sllv_epi32
+  ShrLV,      ///< _mm256_srlv_epi32
+  ShrAV,      ///< _mm256_srav_epi32
+  Extract,    ///< _mm256_extract_epi32 (imm lane)
+  PermuteVar, ///< _mm256_permutevar8x32_epi32
+  HAdd,       ///< _mm256_hadd_epi32
+  ScalarAbs,  ///< abs()
+  ScalarMax,  ///< max() helper used by some TSVC kernels
+  ScalarMin,  ///< min() helper
+};
+
+/// Signature of an intrinsic.
+struct IntrinInfo {
+  IntrinOp Op = IntrinOp::None;
+  Type RetTy = Type::Void;
+  /// Parameter types; SetR/Set take 8 ints.
+  std::vector<Type> ParamTys;
+};
+
+/// Looks up \p Name; returns info with Op == None when unknown.
+const IntrinInfo &lookupIntrinsic(const std::string &Name);
+
+/// Vector length of the AVX2 i32 target.
+inline constexpr int VectorLanes = 8;
+
+} // namespace minic
+} // namespace lv
+
+#endif // LV_MINIC_INTRINSICS_H

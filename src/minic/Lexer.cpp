@@ -1,0 +1,274 @@
+//===- minic/Lexer.cpp - mini-C lexer --------------------------------------===//
+
+#include "minic/Lexer.h"
+
+#include "support/Format.h"
+
+#include <cctype>
+#include <unordered_map>
+
+using namespace lv;
+using namespace lv::minic;
+
+const char *lv::minic::tokName(Tok K) {
+  switch (K) {
+  case Tok::Eof: return "<eof>";
+  case Tok::Ident: return "identifier";
+  case Tok::Number: return "number";
+  case Tok::KwInt: return "int";
+  case Tok::KwVoid: return "void";
+  case Tok::KwM256i: return "__m256i";
+  case Tok::KwFor: return "for";
+  case Tok::KwIf: return "if";
+  case Tok::KwElse: return "else";
+  case Tok::KwGoto: return "goto";
+  case Tok::KwBreak: return "break";
+  case Tok::KwContinue: return "continue";
+  case Tok::KwReturn: return "return";
+  case Tok::KwConst: return "const";
+  case Tok::KwUnsigned: return "unsigned";
+  case Tok::LParen: return "(";
+  case Tok::RParen: return ")";
+  case Tok::LBrace: return "{";
+  case Tok::RBrace: return "}";
+  case Tok::LBracket: return "[";
+  case Tok::RBracket: return "]";
+  case Tok::Semi: return ";";
+  case Tok::Comma: return ",";
+  case Tok::Colon: return ":";
+  case Tok::Question: return "?";
+  case Tok::Plus: return "+";
+  case Tok::Minus: return "-";
+  case Tok::Star: return "*";
+  case Tok::Slash: return "/";
+  case Tok::Percent: return "%";
+  case Tok::Amp: return "&";
+  case Tok::Pipe: return "|";
+  case Tok::Caret: return "^";
+  case Tok::Tilde: return "~";
+  case Tok::Bang: return "!";
+  case Tok::Lt: return "<";
+  case Tok::Gt: return ">";
+  case Tok::Le: return "<=";
+  case Tok::Ge: return ">=";
+  case Tok::EqEq: return "==";
+  case Tok::BangEq: return "!=";
+  case Tok::Shl: return "<<";
+  case Tok::Shr: return ">>";
+  case Tok::AmpAmp: return "&&";
+  case Tok::PipePipe: return "||";
+  case Tok::Assign: return "=";
+  case Tok::PlusEq: return "+=";
+  case Tok::MinusEq: return "-=";
+  case Tok::StarEq: return "*=";
+  case Tok::SlashEq: return "/=";
+  case Tok::PercentEq: return "%=";
+  case Tok::ShlEq: return "<<=";
+  case Tok::ShrEq: return ">>=";
+  case Tok::AmpEq: return "&=";
+  case Tok::PipeEq: return "|=";
+  case Tok::CaretEq: return "^=";
+  case Tok::PlusPlus: return "++";
+  case Tok::MinusMinus: return "--";
+  }
+  return "<?>";
+}
+
+static Tok keywordKind(const std::string &S) {
+  static const std::unordered_map<std::string, Tok> Map = {
+      {"int", Tok::KwInt},           {"void", Tok::KwVoid},
+      {"__m256i", Tok::KwM256i},     {"for", Tok::KwFor},
+      {"if", Tok::KwIf},             {"else", Tok::KwElse},
+      {"goto", Tok::KwGoto},         {"break", Tok::KwBreak},
+      {"continue", Tok::KwContinue}, {"return", Tok::KwReturn},
+      {"const", Tok::KwConst},       {"unsigned", Tok::KwUnsigned},
+  };
+  auto It = Map.find(S);
+  return It == Map.end() ? Tok::Ident : It->second;
+}
+
+std::vector<Token> lv::minic::lex(const std::string &Source,
+                                  std::string &Error) {
+  std::vector<Token> Out;
+  size_t I = 0, N = Source.size();
+  int Line = 1, Col = 1;
+
+  auto advance = [&]() {
+    if (I < N && Source[I] == '\n') {
+      ++Line;
+      Col = 1;
+    } else {
+      ++Col;
+    }
+    ++I;
+  };
+  auto push = [&](Tok K, int L, int C) {
+    Token T;
+    T.K = K;
+    T.Line = L;
+    T.Col = C;
+    Out.push_back(std::move(T));
+  };
+
+  while (I < N) {
+    char C = Source[I];
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      advance();
+      continue;
+    }
+    // Preprocessor lines: skip to end of line.
+    if (C == '#' && Col == 1) {
+      while (I < N && Source[I] != '\n')
+        advance();
+      continue;
+    }
+    if (C == '#') { // tolerated mid-line (from model output noise)
+      while (I < N && Source[I] != '\n')
+        advance();
+      continue;
+    }
+    // Comments.
+    if (C == '/' && I + 1 < N && Source[I + 1] == '/') {
+      while (I < N && Source[I] != '\n')
+        advance();
+      continue;
+    }
+    if (C == '/' && I + 1 < N && Source[I + 1] == '*') {
+      advance();
+      advance();
+      while (I + 1 < N && !(Source[I] == '*' && Source[I + 1] == '/'))
+        advance();
+      if (I + 1 >= N) {
+        Error += format("%d:%d: unterminated block comment\n", Line, Col);
+        break;
+      }
+      advance();
+      advance();
+      continue;
+    }
+    int TLine = Line, TCol = Col;
+    // Identifiers / keywords.
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      std::string S;
+      while (I < N && (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+                       Source[I] == '_')) {
+        S += Source[I];
+        advance();
+      }
+      Tok K = keywordKind(S);
+      Token T;
+      T.K = K;
+      T.Line = TLine;
+      T.Col = TCol;
+      if (K == Tok::Ident)
+        T.Text = std::move(S);
+      Out.push_back(std::move(T));
+      continue;
+    }
+    // Numbers (decimal and hex).
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      int64_t V = 0;
+      if (C == '0' && I + 1 < N && (Source[I + 1] == 'x' ||
+                                    Source[I + 1] == 'X')) {
+        advance();
+        advance();
+        while (I < N &&
+               std::isxdigit(static_cast<unsigned char>(Source[I]))) {
+          char D = Source[I];
+          int Digit = std::isdigit(static_cast<unsigned char>(D))
+                          ? D - '0'
+                          : std::tolower(D) - 'a' + 10;
+          V = V * 16 + Digit;
+          advance();
+        }
+      } else {
+        while (I < N && std::isdigit(static_cast<unsigned char>(Source[I]))) {
+          V = V * 10 + (Source[I] - '0');
+          advance();
+        }
+      }
+      // Swallow integer suffixes.
+      while (I < N && (Source[I] == 'u' || Source[I] == 'U' ||
+                       Source[I] == 'l' || Source[I] == 'L'))
+        advance();
+      Token T;
+      T.K = Tok::Number;
+      T.Value = V;
+      T.Line = TLine;
+      T.Col = TCol;
+      Out.push_back(std::move(T));
+      continue;
+    }
+    // Punctuation; longest-match.
+    auto two = [&](char A, char B) {
+      return C == A && I + 1 < N && Source[I + 1] == B;
+    };
+    auto three = [&](char A, char B, char D) {
+      return C == A && I + 2 < N && Source[I + 1] == B && Source[I + 2] == D;
+    };
+    Tok K = Tok::Eof;
+    int Len = 1;
+    if (three('<', '<', '=')) { K = Tok::ShlEq; Len = 3; }
+    else if (three('>', '>', '=')) { K = Tok::ShrEq; Len = 3; }
+    else if (two('<', '<')) { K = Tok::Shl; Len = 2; }
+    else if (two('>', '>')) { K = Tok::Shr; Len = 2; }
+    else if (two('<', '=')) { K = Tok::Le; Len = 2; }
+    else if (two('>', '=')) { K = Tok::Ge; Len = 2; }
+    else if (two('=', '=')) { K = Tok::EqEq; Len = 2; }
+    else if (two('!', '=')) { K = Tok::BangEq; Len = 2; }
+    else if (two('&', '&')) { K = Tok::AmpAmp; Len = 2; }
+    else if (two('|', '|')) { K = Tok::PipePipe; Len = 2; }
+    else if (two('+', '=')) { K = Tok::PlusEq; Len = 2; }
+    else if (two('-', '=')) { K = Tok::MinusEq; Len = 2; }
+    else if (two('*', '=')) { K = Tok::StarEq; Len = 2; }
+    else if (two('/', '=')) { K = Tok::SlashEq; Len = 2; }
+    else if (two('%', '=')) { K = Tok::PercentEq; Len = 2; }
+    else if (two('&', '=')) { K = Tok::AmpEq; Len = 2; }
+    else if (two('|', '=')) { K = Tok::PipeEq; Len = 2; }
+    else if (two('^', '=')) { K = Tok::CaretEq; Len = 2; }
+    else if (two('+', '+')) { K = Tok::PlusPlus; Len = 2; }
+    else if (two('-', '-')) { K = Tok::MinusMinus; Len = 2; }
+    else {
+      switch (C) {
+      case '(': K = Tok::LParen; break;
+      case ')': K = Tok::RParen; break;
+      case '{': K = Tok::LBrace; break;
+      case '}': K = Tok::RBrace; break;
+      case '[': K = Tok::LBracket; break;
+      case ']': K = Tok::RBracket; break;
+      case ';': K = Tok::Semi; break;
+      case ',': K = Tok::Comma; break;
+      case ':': K = Tok::Colon; break;
+      case '?': K = Tok::Question; break;
+      case '+': K = Tok::Plus; break;
+      case '-': K = Tok::Minus; break;
+      case '*': K = Tok::Star; break;
+      case '/': K = Tok::Slash; break;
+      case '%': K = Tok::Percent; break;
+      case '&': K = Tok::Amp; break;
+      case '|': K = Tok::Pipe; break;
+      case '^': K = Tok::Caret; break;
+      case '~': K = Tok::Tilde; break;
+      case '!': K = Tok::Bang; break;
+      case '<': K = Tok::Lt; break;
+      case '>': K = Tok::Gt; break;
+      case '=': K = Tok::Assign; break;
+      default:
+        Error += format("%d:%d: unexpected character '%c'\n", Line, Col, C);
+        advance();
+        continue;
+      }
+    }
+    push(K, TLine, TCol);
+    for (int J = 0; J < Len; ++J)
+      advance();
+  }
+
+  Token Eof;
+  Eof.K = Tok::Eof;
+  Eof.Line = Line;
+  Eof.Col = Col;
+  Out.push_back(std::move(Eof));
+  return Out;
+}

@@ -1,0 +1,60 @@
+//===- minic/Lexer.h - mini-C lexer ----------------------------*- C++ -*-===//
+///
+/// \file
+/// Tokenizer for the mini-C subset. Preprocessor lines (e.g. the
+/// `#include <immintrin.h>` header of vectorized candidates) are skipped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_MINIC_LEXER_H
+#define LV_MINIC_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lv {
+namespace minic {
+
+/// Token kinds produced by the lexer.
+enum class Tok : uint8_t {
+  Eof,
+  Ident,
+  Number,
+  // Keywords.
+  KwInt, KwVoid, KwM256i, KwFor, KwIf, KwElse, KwGoto, KwBreak, KwContinue,
+  KwReturn, KwConst, KwUnsigned,
+  // Punctuation.
+  LParen, RParen, LBrace, RBrace, LBracket, RBracket,
+  Semi, Comma, Colon, Question,
+  Plus, Minus, Star, Slash, Percent,
+  Amp, Pipe, Caret, Tilde, Bang,
+  Lt, Gt, Le, Ge, EqEq, BangEq,
+  Shl, Shr,
+  AmpAmp, PipePipe,
+  Assign,
+  PlusEq, MinusEq, StarEq, SlashEq, PercentEq,
+  ShlEq, ShrEq, AmpEq, PipeEq, CaretEq,
+  PlusPlus, MinusMinus,
+};
+
+/// A lexed token with source location for diagnostics.
+struct Token {
+  Tok K = Tok::Eof;
+  std::string Text;  ///< Ident spelling.
+  int64_t Value = 0; ///< Number payload.
+  int Line = 0;
+  int Col = 0;
+};
+
+/// Lexes \p Source into tokens. On a lex error, appends a message to
+/// \p Error and stops (the Eof token is still appended).
+std::vector<Token> lex(const std::string &Source, std::string &Error);
+
+/// Human-readable token kind name (for diagnostics).
+const char *tokName(Tok K);
+
+} // namespace minic
+} // namespace lv
+
+#endif // LV_MINIC_LEXER_H

@@ -1,0 +1,590 @@
+//===- minic/Parser.cpp - mini-C recursive-descent parser ------------------===//
+
+#include "minic/Parser.h"
+
+#include "minic/Lexer.h"
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace lv;
+using namespace lv::minic;
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, std::string &Error)
+      : Tokens(std::move(Tokens)), Error(Error) {}
+
+  FunctionPtr parseFunctionDef();
+
+private:
+  std::vector<Token> Tokens;
+  std::string &Error;
+  size_t Pos = 0;
+  bool Failed = false;
+
+  const Token &cur() const { return Tokens[Pos]; }
+  const Token &peek(size_t N = 1) const {
+    size_t I = Pos + N;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  bool at(Tok K) const { return cur().K == K; }
+  void bump() {
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+  }
+  bool accept(Tok K) {
+    if (!at(K))
+      return false;
+    bump();
+    return true;
+  }
+  bool expect(Tok K) {
+    if (accept(K))
+      return true;
+    fail(format("%d:%d: expected '%s', found '%s'", cur().Line, cur().Col,
+                tokName(K), describe(cur()).c_str()));
+    return false;
+  }
+  void fail(const std::string &Msg) {
+    if (!Failed)
+      Error += Msg + "\n";
+    Failed = true;
+  }
+  static std::string describe(const Token &T) {
+    if (T.K == Tok::Ident)
+      return T.Text;
+    if (T.K == Tok::Number)
+      return format("%lld", static_cast<long long>(T.Value));
+    return tokName(T.K);
+  }
+
+  bool atTypeStart() const {
+    switch (cur().K) {
+    case Tok::KwInt:
+    case Tok::KwVoid:
+    case Tok::KwM256i:
+    case Tok::KwUnsigned:
+    case Tok::KwConst:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  Type parseType();
+  StmtPtr parseStmt();
+  StmtPtr parseBlock();
+  StmtPtr parseDecl();
+  StmtPtr parseFor();
+  StmtPtr parseIf();
+  StmtPtr parseSimpleStmtForHeader();
+
+  ExprPtr parseExpr() { return parseAssign(); }
+
+  /// Parses a unary operand and wraps it with \p Op; null on failure.
+  ExprPtr wrapOrNull(UnOp Op) {
+    ExprPtr Sub = parseUnary();
+    if (!Sub)
+      return nullptr;
+    return Expr::makeUnary(Op, std::move(Sub));
+  }
+
+  ExprPtr parseCommaExpr();
+  ExprPtr parseAssign();
+  ExprPtr parseTernary();
+  ExprPtr parseBinary(int MinPrec);
+  ExprPtr parseUnary();
+  ExprPtr parsePostfix();
+  ExprPtr parsePrimary();
+};
+
+} // namespace
+
+Type Parser::parseType() {
+  while (accept(Tok::KwConst))
+    ;
+  Type Base = Type::Void;
+  if (accept(Tok::KwInt) || accept(Tok::KwUnsigned)) {
+    Base = Type::Int;
+    accept(Tok::KwInt); // "unsigned int"
+  } else if (accept(Tok::KwM256i)) {
+    Base = Type::M256i;
+  } else if (accept(Tok::KwVoid)) {
+    Base = Type::Void;
+  } else {
+    fail(format("%d:%d: expected type, found '%s'", cur().Line, cur().Col,
+                describe(cur()).c_str()));
+  }
+  while (accept(Tok::KwConst))
+    ;
+  bool IsPtr = false;
+  while (accept(Tok::Star)) {
+    IsPtr = true;
+    // C99 `restrict` appears as an identifier; tolerate and skip it.
+    if (at(Tok::Ident) && (cur().Text == "restrict" || cur().Text == "__restrict"))
+      bump();
+    while (accept(Tok::KwConst))
+      ;
+  }
+  if (!IsPtr)
+    return Base;
+  if (Base.K == Type::M256i)
+    return Type::VecPtr;
+  return Type::IntPtr;
+}
+
+FunctionPtr Parser::parseFunctionDef() {
+  auto Fn = std::make_unique<Function>();
+  Fn->RetTy = parseType();
+  if (!at(Tok::Ident)) {
+    fail(format("%d:%d: expected function name", cur().Line, cur().Col));
+    return nullptr;
+  }
+  Fn->Name = cur().Text;
+  bump();
+  if (!expect(Tok::LParen))
+    return nullptr;
+  if (!accept(Tok::RParen)) {
+    do {
+      if (at(Tok::KwVoid) && peek().K == Tok::RParen) { // f(void)
+        bump();
+        break;
+      }
+      Param P;
+      P.Ty = parseType();
+      if (!at(Tok::Ident)) {
+        fail(format("%d:%d: expected parameter name", cur().Line, cur().Col));
+        return nullptr;
+      }
+      P.Name = cur().Text;
+      bump();
+      Fn->Params.push_back(std::move(P));
+    } while (accept(Tok::Comma));
+    if (!expect(Tok::RParen))
+      return nullptr;
+  }
+  Fn->BodyBlock = parseBlock();
+  if (Failed || !Fn->BodyBlock)
+    return nullptr;
+  if (!at(Tok::Eof)) {
+    fail(format("%d:%d: trailing tokens after function body", cur().Line,
+                cur().Col));
+    return nullptr;
+  }
+  return Fn;
+}
+
+StmtPtr Parser::parseBlock() {
+  if (!expect(Tok::LBrace))
+    return nullptr;
+  std::vector<StmtPtr> Stmts;
+  while (!at(Tok::RBrace) && !at(Tok::Eof) && !Failed) {
+    StmtPtr S = parseStmt();
+    if (!S)
+      return nullptr;
+    Stmts.push_back(std::move(S));
+  }
+  if (!expect(Tok::RBrace))
+    return nullptr;
+  return Stmt::makeBlock(std::move(Stmts));
+}
+
+StmtPtr Parser::parseDecl() {
+  Type Ty = parseType();
+  auto S = std::make_unique<Stmt>(Stmt::Decl);
+  S->DeclTy = Ty;
+  do {
+    if (!at(Tok::Ident)) {
+      fail(format("%d:%d: expected declarator name", cur().Line, cur().Col));
+      return nullptr;
+    }
+    Declarator D;
+    D.Name = cur().Text;
+    bump();
+    if (accept(Tok::LBracket)) {
+      if (!at(Tok::Number)) {
+        fail(format("%d:%d: expected constant array size", cur().Line,
+                    cur().Col));
+        return nullptr;
+      }
+      D.ArraySize = cur().Value;
+      bump();
+      if (!expect(Tok::RBracket))
+        return nullptr;
+    }
+    if (accept(Tok::Assign)) {
+      D.Init = parseExpr();
+      if (!D.Init)
+        return nullptr;
+    }
+    S->Decls.push_back(std::move(D));
+  } while (accept(Tok::Comma));
+  if (!expect(Tok::Semi))
+    return nullptr;
+  return S;
+}
+
+StmtPtr Parser::parseSimpleStmtForHeader() {
+  if (accept(Tok::Semi))
+    return Stmt::makeEmpty();
+  if (atTypeStart())
+    return parseDecl(); // consumes ';'
+  ExprPtr E = parseCommaExpr();
+  if (!E)
+    return nullptr;
+  if (!expect(Tok::Semi))
+    return nullptr;
+  return Stmt::makeExpr(std::move(E));
+}
+
+StmtPtr Parser::parseFor() {
+  expect(Tok::KwFor);
+  if (!expect(Tok::LParen))
+    return nullptr;
+  StmtPtr Init = parseSimpleStmtForHeader();
+  if (!Init)
+    return nullptr;
+  ExprPtr Cond;
+  if (!at(Tok::Semi)) {
+    Cond = parseExpr();
+    if (!Cond)
+      return nullptr;
+  }
+  if (!expect(Tok::Semi))
+    return nullptr;
+  ExprPtr Step;
+  if (!at(Tok::RParen)) {
+    Step = parseCommaExpr();
+    if (!Step)
+      return nullptr;
+  }
+  if (!expect(Tok::RParen))
+    return nullptr;
+  StmtPtr Body = parseStmt();
+  if (!Body)
+    return nullptr;
+  return Stmt::makeFor(std::move(Init), std::move(Cond), std::move(Step),
+                       std::move(Body));
+}
+
+StmtPtr Parser::parseIf() {
+  expect(Tok::KwIf);
+  if (!expect(Tok::LParen))
+    return nullptr;
+  ExprPtr Cond = parseExpr();
+  if (!Cond)
+    return nullptr;
+  if (!expect(Tok::RParen))
+    return nullptr;
+  StmtPtr Then = parseStmt();
+  if (!Then)
+    return nullptr;
+  StmtPtr Else;
+  if (accept(Tok::KwElse)) {
+    Else = parseStmt();
+    if (!Else)
+      return nullptr;
+  }
+  return Stmt::makeIf(std::move(Cond), std::move(Then), std::move(Else));
+}
+
+StmtPtr Parser::parseStmt() {
+  switch (cur().K) {
+  case Tok::LBrace:
+    return parseBlock();
+  case Tok::KwFor:
+    return parseFor();
+  case Tok::KwIf:
+    return parseIf();
+  case Tok::KwGoto: {
+    bump();
+    if (!at(Tok::Ident)) {
+      fail(format("%d:%d: expected label after goto", cur().Line, cur().Col));
+      return nullptr;
+    }
+    std::string L = cur().Text;
+    bump();
+    if (!expect(Tok::Semi))
+      return nullptr;
+    return Stmt::makeGoto(std::move(L));
+  }
+  case Tok::KwBreak:
+    bump();
+    if (!expect(Tok::Semi))
+      return nullptr;
+    return std::make_unique<Stmt>(Stmt::Break);
+  case Tok::KwContinue:
+    bump();
+    if (!expect(Tok::Semi))
+      return nullptr;
+    return std::make_unique<Stmt>(Stmt::Continue);
+  case Tok::KwReturn: {
+    bump();
+    ExprPtr E;
+    if (!at(Tok::Semi)) {
+      E = parseExpr();
+      if (!E)
+        return nullptr;
+    }
+    if (!expect(Tok::Semi))
+      return nullptr;
+    return Stmt::makeReturn(std::move(E));
+  }
+  case Tok::Semi:
+    bump();
+    return Stmt::makeEmpty();
+  default:
+    break;
+  }
+  if (atTypeStart())
+    return parseDecl();
+  // Label: `ident ':'`.
+  if (at(Tok::Ident) && peek().K == Tok::Colon) {
+    std::string L = cur().Text;
+    bump();
+    bump();
+    return Stmt::makeLabel(std::move(L));
+  }
+  ExprPtr E = parseExpr();
+  if (!E)
+    return nullptr;
+  if (!expect(Tok::Semi))
+    return nullptr;
+  return Stmt::makeExpr(std::move(E));
+}
+
+ExprPtr Parser::parseCommaExpr() {
+  ExprPtr L = parseExpr();
+  if (!L)
+    return nullptr;
+  while (accept(Tok::Comma)) {
+    ExprPtr R = parseExpr();
+    if (!R)
+      return nullptr;
+    L = Expr::makeBinary(BinOp::Comma, std::move(L), std::move(R));
+  }
+  return L;
+}
+
+ExprPtr Parser::parseAssign() {
+  ExprPtr L = parseTernary();
+  if (!L)
+    return nullptr;
+  auto compound = [&](BinOp Op) -> ExprPtr {
+    bump();
+    ExprPtr R = parseAssign();
+    if (!R)
+      return nullptr;
+    return Expr::makeCompoundAssign(Op, std::move(L), std::move(R));
+  };
+  switch (cur().K) {
+  case Tok::Assign: {
+    bump();
+    ExprPtr R = parseAssign();
+    if (!R)
+      return nullptr;
+    return Expr::makeAssign(std::move(L), std::move(R));
+  }
+  case Tok::PlusEq: return compound(BinOp::Add);
+  case Tok::MinusEq: return compound(BinOp::Sub);
+  case Tok::StarEq: return compound(BinOp::Mul);
+  case Tok::SlashEq: return compound(BinOp::Div);
+  case Tok::PercentEq: return compound(BinOp::Rem);
+  case Tok::ShlEq: return compound(BinOp::Shl);
+  case Tok::ShrEq: return compound(BinOp::Shr);
+  case Tok::AmpEq: return compound(BinOp::And);
+  case Tok::PipeEq: return compound(BinOp::Or);
+  case Tok::CaretEq: return compound(BinOp::Xor);
+  default:
+    return L;
+  }
+}
+
+ExprPtr Parser::parseTernary() {
+  ExprPtr C = parseBinary(0);
+  if (!C)
+    return nullptr;
+  if (!accept(Tok::Question))
+    return C;
+  ExprPtr T = parseAssign();
+  if (!T)
+    return nullptr;
+  if (!expect(Tok::Colon))
+    return nullptr;
+  ExprPtr E = parseTernary();
+  if (!E)
+    return nullptr;
+  return Expr::makeTernary(std::move(C), std::move(T), std::move(E));
+}
+
+/// Binary operator precedence table; higher binds tighter.
+static int precOf(Tok K, BinOp &Op) {
+  switch (K) {
+  case Tok::PipePipe: Op = BinOp::LOr; return 1;
+  case Tok::AmpAmp: Op = BinOp::LAnd; return 2;
+  case Tok::Pipe: Op = BinOp::Or; return 3;
+  case Tok::Caret: Op = BinOp::Xor; return 4;
+  case Tok::Amp: Op = BinOp::And; return 5;
+  case Tok::EqEq: Op = BinOp::Eq; return 6;
+  case Tok::BangEq: Op = BinOp::Ne; return 6;
+  case Tok::Lt: Op = BinOp::Lt; return 7;
+  case Tok::Gt: Op = BinOp::Gt; return 7;
+  case Tok::Le: Op = BinOp::Le; return 7;
+  case Tok::Ge: Op = BinOp::Ge; return 7;
+  case Tok::Shl: Op = BinOp::Shl; return 8;
+  case Tok::Shr: Op = BinOp::Shr; return 8;
+  case Tok::Plus: Op = BinOp::Add; return 9;
+  case Tok::Minus: Op = BinOp::Sub; return 9;
+  case Tok::Star: Op = BinOp::Mul; return 10;
+  case Tok::Slash: Op = BinOp::Div; return 10;
+  case Tok::Percent: Op = BinOp::Rem; return 10;
+  default:
+    return -1;
+  }
+}
+
+ExprPtr Parser::parseBinary(int MinPrec) {
+  ExprPtr L = parseUnary();
+  if (!L)
+    return nullptr;
+  for (;;) {
+    BinOp Op;
+    int Prec = precOf(cur().K, Op);
+    if (Prec < 0 || Prec < MinPrec)
+      return L;
+    bump();
+    ExprPtr R = parseBinary(Prec + 1);
+    if (!R)
+      return nullptr;
+    L = Expr::makeBinary(Op, std::move(L), std::move(R));
+  }
+}
+
+ExprPtr Parser::parseUnary() {
+  switch (cur().K) {
+  case Tok::Minus:
+    bump();
+    return wrapOrNull(UnOp::Neg);
+  case Tok::Bang:
+    bump();
+    return wrapOrNull(UnOp::LNot);
+  case Tok::Tilde:
+    bump();
+    return wrapOrNull(UnOp::BNot);
+  case Tok::Star:
+    bump();
+    return wrapOrNull(UnOp::Deref);
+  case Tok::Amp:
+    bump();
+    return wrapOrNull(UnOp::AddrOf);
+  case Tok::PlusPlus:
+    bump();
+    return wrapOrNull(UnOp::PreInc);
+  case Tok::MinusMinus:
+    bump();
+    return wrapOrNull(UnOp::PreDec);
+  case Tok::Plus: // unary plus: no-op
+    bump();
+    return parseUnary();
+  case Tok::LParen: {
+    // Cast if '(' starts a type.
+    Tok Next = peek().K;
+    if (Next == Tok::KwInt || Next == Tok::KwM256i || Next == Tok::KwConst ||
+        Next == Tok::KwUnsigned || Next == Tok::KwVoid) {
+      bump(); // '('
+      Type Ty = parseType();
+      if (!expect(Tok::RParen))
+        return nullptr;
+      ExprPtr Sub = parseUnary();
+      if (!Sub)
+        return nullptr;
+      return Expr::makeCast(Ty, std::move(Sub));
+    }
+    return parsePostfix();
+  }
+  default:
+    return parsePostfix();
+  }
+}
+
+ExprPtr Parser::parsePostfix() {
+  ExprPtr E = parsePrimary();
+  if (!E)
+    return nullptr;
+  for (;;) {
+    if (accept(Tok::LBracket)) {
+      ExprPtr Idx = parseExpr();
+      if (!Idx)
+        return nullptr;
+      if (!expect(Tok::RBracket))
+        return nullptr;
+      E = Expr::makeIndex(std::move(E), std::move(Idx));
+      continue;
+    }
+    if (at(Tok::PlusPlus)) {
+      bump();
+      E = Expr::makeUnary(UnOp::PostInc, std::move(E));
+      continue;
+    }
+    if (at(Tok::MinusMinus)) {
+      bump();
+      E = Expr::makeUnary(UnOp::PostDec, std::move(E));
+      continue;
+    }
+    return E;
+  }
+}
+
+ExprPtr Parser::parsePrimary() {
+  if (at(Tok::Number)) {
+    int64_t V = cur().Value;
+    bump();
+    return Expr::makeIntLit(V);
+  }
+  if (at(Tok::Ident)) {
+    std::string Name = cur().Text;
+    bump();
+    if (accept(Tok::LParen)) {
+      std::vector<ExprPtr> Args;
+      if (!accept(Tok::RParen)) {
+        do {
+          ExprPtr A = parseExpr();
+          if (!A)
+            return nullptr;
+          Args.push_back(std::move(A));
+        } while (accept(Tok::Comma));
+        if (!expect(Tok::RParen))
+          return nullptr;
+      }
+      return Expr::makeCall(std::move(Name), std::move(Args));
+    }
+    return Expr::makeVarRef(std::move(Name));
+  }
+  if (accept(Tok::LParen)) {
+    ExprPtr E = parseExpr();
+    if (!E)
+      return nullptr;
+    if (!expect(Tok::RParen))
+      return nullptr;
+    return E;
+  }
+  fail(format("%d:%d: expected expression, found '%s'", cur().Line, cur().Col,
+              describe(cur()).c_str()));
+  return nullptr;
+}
+
+ParseResult lv::minic::parseFunction(const std::string &Source) {
+  ParseResult R;
+  std::vector<Token> Tokens = lex(Source, R.Error);
+  if (!R.Error.empty())
+    return R;
+  Parser P(std::move(Tokens), R.Error);
+  R.Fn = P.parseFunctionDef();
+  if (!R.Fn && R.Error.empty())
+    R.Error = "parse failed";
+  return R;
+}

@@ -1,0 +1,36 @@
+//===- minic/Parser.h - mini-C recursive-descent parser --------*- C++ -*-===//
+///
+/// \file
+/// Parser producing a Function AST from mini-C source. Parse failures are
+/// reported as diagnostics (no exceptions); a null result plus a non-empty
+/// error string models the paper's "Cannot compile" outcome for malformed
+/// LLM completions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_MINIC_PARSER_H
+#define LV_MINIC_PARSER_H
+
+#include "minic/AST.h"
+
+#include <string>
+
+namespace lv {
+namespace minic {
+
+/// Result of parsing a translation unit that contains one function.
+struct ParseResult {
+  FunctionPtr Fn;    ///< Null on failure.
+  std::string Error; ///< Diagnostics accumulated during parsing.
+
+  bool ok() const { return Fn != nullptr; }
+};
+
+/// Parses \p Source, expecting exactly one function definition (preceded by
+/// optional preprocessor lines, which are ignored).
+ParseResult parseFunction(const std::string &Source);
+
+} // namespace minic
+} // namespace lv
+
+#endif // LV_MINIC_PARSER_H

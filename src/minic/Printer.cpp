@@ -1,0 +1,312 @@
+//===- minic/Printer.cpp - AST -> C source pretty printer ------------------===//
+
+#include "minic/Printer.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace lv;
+using namespace lv::minic;
+
+static const char *binOpSpelling(BinOp Op) {
+  switch (Op) {
+  case BinOp::Add: return "+";
+  case BinOp::Sub: return "-";
+  case BinOp::Mul: return "*";
+  case BinOp::Div: return "/";
+  case BinOp::Rem: return "%";
+  case BinOp::Shl: return "<<";
+  case BinOp::Shr: return ">>";
+  case BinOp::Lt: return "<";
+  case BinOp::Gt: return ">";
+  case BinOp::Le: return "<=";
+  case BinOp::Ge: return ">=";
+  case BinOp::Eq: return "==";
+  case BinOp::Ne: return "!=";
+  case BinOp::And: return "&";
+  case BinOp::Or: return "|";
+  case BinOp::Xor: return "^";
+  case BinOp::LAnd: return "&&";
+  case BinOp::LOr: return "||";
+  case BinOp::Comma: return ",";
+  }
+  return "?";
+}
+
+/// Precedence for parenthesization decisions; mirrors the parser table.
+static int binOpPrec(BinOp Op) {
+  switch (Op) {
+  case BinOp::Comma: return 0;
+  case BinOp::LOr: return 1;
+  case BinOp::LAnd: return 2;
+  case BinOp::Or: return 3;
+  case BinOp::Xor: return 4;
+  case BinOp::And: return 5;
+  case BinOp::Eq:
+  case BinOp::Ne: return 6;
+  case BinOp::Lt:
+  case BinOp::Gt:
+  case BinOp::Le:
+  case BinOp::Ge: return 7;
+  case BinOp::Shl:
+  case BinOp::Shr: return 8;
+  case BinOp::Add:
+  case BinOp::Sub: return 9;
+  case BinOp::Mul:
+  case BinOp::Div:
+  case BinOp::Rem: return 10;
+  }
+  return 0;
+}
+
+/// Precedence of an arbitrary expression for printing purposes.
+static int exprPrec(const Expr &E) {
+  switch (E.K) {
+  case Expr::IntLit:
+  case Expr::VarRef:
+  case Expr::Call:
+  case Expr::Index:
+    return 100;
+  case Expr::Unary:
+    switch (E.UOp) {
+    case UnOp::PostInc:
+    case UnOp::PostDec:
+      return 100;
+    default:
+      return 50;
+    }
+  case Expr::Cast:
+    return 50;
+  case Expr::Binary:
+    return binOpPrec(E.BOp);
+  case Expr::Ternary:
+    return -1;
+  case Expr::Assign:
+    return -2;
+  }
+  return 0;
+}
+
+static std::string printWithMinPrec(const Expr &E, int MinPrec) {
+  std::string S = printExpr(E);
+  if (exprPrec(E) < MinPrec)
+    return "(" + S + ")";
+  return S;
+}
+
+std::string lv::minic::printExpr(const Expr &E) {
+  switch (E.K) {
+  case Expr::IntLit:
+    return format("%lld", static_cast<long long>(E.Value));
+  case Expr::VarRef:
+    return E.Name;
+  case Expr::Index:
+    return printWithMinPrec(*E.Kids[0], 100) + "[" + printExpr(*E.Kids[1]) +
+           "]";
+  case Expr::Unary: {
+    const std::string Sub = printWithMinPrec(*E.Kids[0], 50);
+    switch (E.UOp) {
+    case UnOp::Neg: return "-" + Sub;
+    case UnOp::LNot: return "!" + Sub;
+    case UnOp::BNot: return "~" + Sub;
+    case UnOp::PreInc: return "++" + Sub;
+    case UnOp::PreDec: return "--" + Sub;
+    case UnOp::PostInc:
+      return printWithMinPrec(*E.Kids[0], 100) + "++";
+    case UnOp::PostDec:
+      return printWithMinPrec(*E.Kids[0], 100) + "--";
+    case UnOp::Deref: return "*" + Sub;
+    case UnOp::AddrOf: return "&" + Sub;
+    }
+    return "?";
+  }
+  case Expr::Binary: {
+    int Prec = binOpPrec(E.BOp);
+    // Left-associative: left child may share precedence, right must bind
+    // tighter.
+    return printWithMinPrec(*E.Kids[0], Prec) + " " + binOpSpelling(E.BOp) +
+           " " + printWithMinPrec(*E.Kids[1], Prec + 1);
+  }
+  case Expr::Assign: {
+    std::string Op =
+        E.IsPlainAssign ? "=" : std::string(binOpSpelling(E.BOp)) + "=";
+    return printWithMinPrec(*E.Kids[0], 100) + " " + Op + " " +
+           printWithMinPrec(*E.Kids[1], -2);
+  }
+  case Expr::Ternary:
+    return printWithMinPrec(*E.Kids[0], 0) + " ? " + printExpr(*E.Kids[1]) +
+           " : " + printExpr(*E.Kids[2]);
+  case Expr::Call: {
+    std::string S = E.Name + "(";
+    for (size_t I = 0; I < E.Kids.size(); ++I) {
+      if (I)
+        S += ", ";
+      S += printExpr(*E.Kids[I]);
+    }
+    return S + ")";
+  }
+  case Expr::Cast:
+    return "(" + std::string(E.CastTy.str()) + ")" +
+           printWithMinPrec(*E.Kids[0], 50);
+  }
+  return "?";
+}
+
+static void printStmtInto(const Stmt &S, int Indent, std::string &Out);
+
+static std::string indentStr(int Indent) {
+  return std::string(static_cast<size_t>(Indent) * 2, ' ');
+}
+
+/// Prints a statement used as a loop/if body: blocks inline, others on the
+/// next line with extra indent.
+static void printBodyInto(const Stmt *S, int Indent, std::string &Out) {
+  if (!S) {
+    Out += ";\n";
+    return;
+  }
+  if (S->K == Stmt::Block) {
+    Out += " {\n";
+    for (const StmtPtr &Sub : S->Body)
+      printStmtInto(*Sub, Indent + 1, Out);
+    Out += indentStr(Indent) + "}";
+    return;
+  }
+  Out += "\n";
+  printStmtInto(*S, Indent + 1, Out);
+  // Trim trailing newline so callers can decide.
+  if (!Out.empty() && Out.back() == '\n')
+    Out.pop_back();
+}
+
+/// Prints a declaration without trailing semicolon (used by for-init too).
+static std::string printDeclCore(const Stmt &S) {
+  std::string Out = S.DeclTy.K == Type::IntPtr
+                        ? "int *"
+                        : std::string(S.DeclTy.str()) + " ";
+  if (S.DeclTy.K == Type::VecPtr)
+    Out = "__m256i *";
+  for (size_t I = 0; I < S.Decls.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += S.Decls[I].Name;
+    if (S.Decls[I].ArraySize >= 0)
+      Out += format("[%lld]", static_cast<long long>(S.Decls[I].ArraySize));
+    if (S.Decls[I].Init)
+      Out += " = " + printExpr(*S.Decls[I].Init);
+  }
+  return Out;
+}
+
+static void printStmtInto(const Stmt &S, int Indent, std::string &Out) {
+  const std::string Ind = indentStr(Indent);
+  switch (S.K) {
+  case Stmt::Decl:
+    Out += Ind + printDeclCore(S) + ";\n";
+    return;
+  case Stmt::ExprSt:
+    Out += Ind + printExpr(*S.Cond) + ";\n";
+    return;
+  case Stmt::Block:
+    Out += Ind + "{\n";
+    for (const StmtPtr &Sub : S.Body)
+      printStmtInto(*Sub, Indent + 1, Out);
+    Out += Ind + "}\n";
+    return;
+  case Stmt::If: {
+    Out += Ind + "if (" + printExpr(*S.Cond) + ")";
+    printBodyInto(S.thenArm(), Indent, Out);
+    if (const Stmt *Else = S.elseArm()) {
+      if (Out.back() == '}')
+        Out += " else";
+      else
+        Out += "\n" + Ind + "else";
+      printBodyInto(Else, Indent, Out);
+    }
+    Out += "\n";
+    return;
+  }
+  case Stmt::For: {
+    Out += Ind + "for (";
+    if (S.InitStmt) {
+      switch (S.InitStmt->K) {
+      case Stmt::Decl:
+        Out += printDeclCore(*S.InitStmt);
+        break;
+      case Stmt::ExprSt:
+        Out += printExpr(*S.InitStmt->Cond);
+        break;
+      default:
+        break;
+      }
+    }
+    Out += "; ";
+    if (S.Cond)
+      Out += printExpr(*S.Cond);
+    Out += "; ";
+    if (S.StepExpr)
+      Out += printExpr(*S.StepExpr);
+    Out += ")";
+    printBodyInto(S.forBody(), Indent, Out);
+    Out += "\n";
+    return;
+  }
+  case Stmt::Goto:
+    Out += Ind + "goto " + S.Name + ";\n";
+    return;
+  case Stmt::Label:
+    Out += S.Name + ":\n";
+    return;
+  case Stmt::Break:
+    Out += Ind + "break;\n";
+    return;
+  case Stmt::Continue:
+    Out += Ind + "continue;\n";
+    return;
+  case Stmt::Return:
+    if (S.Cond)
+      Out += Ind + "return " + printExpr(*S.Cond) + ";\n";
+    else
+      Out += Ind + "return;\n";
+    return;
+  case Stmt::Empty:
+    Out += Ind + ";\n";
+    return;
+  }
+}
+
+std::string lv::minic::printStmt(const Stmt &S, int Indent) {
+  std::string Out;
+  printStmtInto(S, Indent, Out);
+  return Out;
+}
+
+std::string lv::minic::printFunction(const Function &F) {
+  std::string Out;
+  Out += std::string(F.RetTy.str());
+  if (F.RetTy.K != Type::IntPtr && F.RetTy.K != Type::VecPtr)
+    Out += " ";
+  Out += F.Name + "(";
+  for (size_t I = 0; I < F.Params.size(); ++I) {
+    if (I)
+      Out += ", ";
+    const Param &P = F.Params[I];
+    if (P.Ty.K == Type::IntPtr)
+      Out += "int *" + P.Name;
+    else if (P.Ty.K == Type::VecPtr)
+      Out += "__m256i *" + P.Name;
+    else
+      Out += std::string(P.Ty.str()) + " " + P.Name;
+  }
+  Out += ")";
+  if (!F.BodyBlock) {
+    Out += ";\n";
+    return Out;
+  }
+  Out += " ";
+  std::string Body = printStmt(*F.BodyBlock, 0);
+  // Body starts with "{\n"; keep as-is.
+  Out += Body;
+  return Out;
+}

@@ -1,0 +1,32 @@
+//===- minic/Printer.h - AST -> C source pretty printer --------*- C++ -*-===//
+///
+/// \file
+/// Regenerates compilable C text from a mini-C AST. Used for golden tests,
+/// the agents' conversation transcripts, and the C-level-unrolling pipeline
+/// stage (which round-trips through the AST).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_MINIC_PRINTER_H
+#define LV_MINIC_PRINTER_H
+
+#include "minic/AST.h"
+
+#include <string>
+
+namespace lv {
+namespace minic {
+
+/// Prints a whole function definition.
+std::string printFunction(const Function &F);
+
+/// Prints a single statement at the given indent level.
+std::string printStmt(const Stmt &S, int Indent = 0);
+
+/// Prints an expression.
+std::string printExpr(const Expr &E);
+
+} // namespace minic
+} // namespace lv
+
+#endif // LV_MINIC_PRINTER_H

@@ -1,0 +1,380 @@
+//===- minic/Sema.cpp - mini-C semantic checks -----------------------------===//
+
+#include "minic/Sema.h"
+
+#include "minic/Intrinsics.h"
+#include "support/Format.h"
+
+#include <cassert>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+using namespace lv;
+using namespace lv::minic;
+
+namespace {
+
+/// Walks the AST checking symbols and types.
+class Sema {
+public:
+  explicit Sema(Function &F) : F(F) {}
+
+  std::string run();
+
+private:
+  Function &F;
+  std::string Error;
+  std::vector<std::unordered_map<std::string, Type>> Scopes;
+  std::set<std::string> Labels;
+  std::vector<std::string> Gotos;
+  int LoopDepth = 0;
+
+  void err(const std::string &Msg) { Error += Msg + "\n"; }
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+
+  bool declare(const std::string &Name, Type Ty) {
+    auto &Top = Scopes.back();
+    if (Top.count(Name)) {
+      err(format("redeclaration of '%s'", Name.c_str()));
+      return false;
+    }
+    Top.emplace(Name, Ty);
+    return true;
+  }
+
+  const Type *lookup(const std::string &Name) const {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto Found = It->find(Name);
+      if (Found != It->end())
+        return &Found->second;
+    }
+    return nullptr;
+  }
+
+  void collectLabels(const Stmt &S);
+  void checkStmt(Stmt &S);
+  Type checkExpr(Expr &E);
+  Type checkLValue(Expr &E);
+};
+
+} // namespace
+
+void Sema::collectLabels(const Stmt &S) {
+  if (S.K == Stmt::Label) {
+    if (Labels.count(S.Name))
+      err(format("duplicate label '%s'", S.Name.c_str()));
+    Labels.insert(S.Name);
+  }
+  if (S.InitStmt)
+    collectLabels(*S.InitStmt);
+  for (const StmtPtr &Sub : S.Body)
+    if (Sub)
+      collectLabels(*Sub);
+}
+
+Type Sema::checkLValue(Expr &E) {
+  Type Ty = checkExpr(E);
+  switch (E.K) {
+  case Expr::VarRef:
+  case Expr::Index:
+    return Ty;
+  case Expr::Unary:
+    if (E.UOp == UnOp::Deref)
+      return Ty;
+    [[fallthrough]];
+  default:
+    err("expression is not assignable");
+    return Ty;
+  }
+}
+
+Type Sema::checkExpr(Expr &E) {
+  auto result = [&](Type Ty) {
+    E.Ty = Ty;
+    return Ty;
+  };
+  switch (E.K) {
+  case Expr::IntLit:
+    return result(Type::Int);
+  case Expr::VarRef: {
+    const Type *Ty = lookup(E.Name);
+    if (!Ty) {
+      err(format("use of undeclared identifier '%s'", E.Name.c_str()));
+      return result(Type::Int);
+    }
+    return result(*Ty);
+  }
+  case Expr::Index: {
+    Type Base = checkExpr(*E.Kids[0]);
+    Type Idx = checkExpr(*E.Kids[1]);
+    if (Idx.K != Type::Int)
+      err("array subscript is not an integer");
+    if (Base.K == Type::IntPtr)
+      return result(Type::Int);
+    if (Base.K == Type::VecPtr)
+      return result(Type::M256i);
+    err("subscripted value is not a pointer");
+    return result(Type::Int);
+  }
+  case Expr::Unary: {
+    switch (E.UOp) {
+    case UnOp::Neg:
+    case UnOp::LNot:
+    case UnOp::BNot: {
+      Type Sub = checkExpr(*E.Kids[0]);
+      if (Sub.K != Type::Int)
+        err("unary operator requires an int operand");
+      return result(Type::Int);
+    }
+    case UnOp::PreInc:
+    case UnOp::PreDec:
+    case UnOp::PostInc:
+    case UnOp::PostDec: {
+      Type Sub = checkLValue(*E.Kids[0]);
+      if (Sub.K != Type::Int && !Sub.isPointer())
+        err("increment/decrement requires an int or pointer lvalue");
+      return result(Sub);
+    }
+    case UnOp::Deref: {
+      Type Sub = checkExpr(*E.Kids[0]);
+      if (Sub.K == Type::IntPtr)
+        return result(Type::Int);
+      if (Sub.K == Type::VecPtr)
+        return result(Type::M256i);
+      err("cannot dereference a non-pointer");
+      return result(Type::Int);
+    }
+    case UnOp::AddrOf: {
+      Type Sub = checkExpr(*E.Kids[0]);
+      if (E.Kids[0]->K != Expr::Index && E.Kids[0]->K != Expr::VarRef) {
+        err("cannot take the address of this expression");
+        return result(Type::IntPtr);
+      }
+      if (Sub.K == Type::Int)
+        return result(Type::IntPtr);
+      if (Sub.K == Type::M256i)
+        return result(Type::VecPtr);
+      err("address-of applied to unsupported operand");
+      return result(Type::IntPtr);
+    }
+    }
+    return result(Type::Int);
+  }
+  case Expr::Binary: {
+    Type L = checkExpr(*E.Kids[0]);
+    Type R = checkExpr(*E.Kids[1]);
+    if (E.BOp == BinOp::Comma)
+      return result(R);
+    // Pointer arithmetic: ptr +/- int.
+    if (L.isPointer() && (E.BOp == BinOp::Add || E.BOp == BinOp::Sub)) {
+      if (R.K != Type::Int)
+        err("pointer arithmetic requires an integer offset");
+      return result(L);
+    }
+    if (R.isPointer() && E.BOp == BinOp::Add) {
+      if (L.K != Type::Int)
+        err("pointer arithmetic requires an integer offset");
+      return result(R);
+    }
+    if (L.isPointer() && R.isPointer()) {
+      // Pointer comparison / difference.
+      if (E.BOp == BinOp::Sub || E.BOp == BinOp::Lt || E.BOp == BinOp::Gt ||
+          E.BOp == BinOp::Le || E.BOp == BinOp::Ge || E.BOp == BinOp::Eq ||
+          E.BOp == BinOp::Ne)
+        return result(Type::Int);
+      err("invalid operands to binary operator");
+      return result(Type::Int);
+    }
+    if (L.K == Type::M256i || R.K == Type::M256i) {
+      err("vector values require intrinsics, not scalar operators");
+      return result(Type::M256i);
+    }
+    return result(Type::Int);
+  }
+  case Expr::Assign: {
+    Type L = checkLValue(*E.Kids[0]);
+    Type R = checkExpr(*E.Kids[1]);
+    if (!E.IsPlainAssign && (L.K == Type::M256i || R.K == Type::M256i))
+      err("compound assignment on vector values is not allowed");
+    if (E.IsPlainAssign && L != R &&
+        !(L.isPointer() && R.K == Type::Int) /* ptr = 0 */)
+      err(format("assigning '%s' from incompatible type '%s'", L.str(),
+                 R.str()));
+    return result(L);
+  }
+  case Expr::Ternary: {
+    Type C = checkExpr(*E.Kids[0]);
+    if (C.K != Type::Int)
+      err("ternary condition must be an int");
+    Type T = checkExpr(*E.Kids[1]);
+    Type El = checkExpr(*E.Kids[2]);
+    if (T != El)
+      err("ternary arms have mismatched types");
+    return result(T);
+  }
+  case Expr::Call: {
+    const IntrinInfo &Info = lookupIntrinsic(E.Name);
+    if (Info.Op == IntrinOp::None) {
+      err(format("call to unknown function '%s'", E.Name.c_str()));
+      for (ExprPtr &A : E.Kids)
+        checkExpr(*A);
+      return result(Type::Int);
+    }
+    if (E.Kids.size() != Info.ParamTys.size()) {
+      err(format("'%s' expects %zu arguments, got %zu", E.Name.c_str(),
+                 Info.ParamTys.size(), E.Kids.size()));
+      for (ExprPtr &A : E.Kids)
+        checkExpr(*A);
+      return result(Info.RetTy);
+    }
+    for (size_t I = 0; I < E.Kids.size(); ++I) {
+      Type Got = checkExpr(*E.Kids[I]);
+      Type Want = Info.ParamTys[I];
+      if (Got == Want)
+        continue;
+      // Pointer casts are common ((__m256i*)&a[i]); accept any pointer where
+      // a pointer is expected.
+      if (Want.isPointer() && Got.isPointer())
+        continue;
+      err(format("argument %zu of '%s': expected '%s', got '%s'", I + 1,
+                 E.Name.c_str(), Want.str(), Got.str()));
+    }
+    return result(Info.RetTy);
+  }
+  case Expr::Cast: {
+    Type Sub = checkExpr(*E.Kids[0]);
+    Type To = E.CastTy;
+    if (To.isPointer() && !Sub.isPointer() && Sub.K != Type::Int)
+      err("invalid cast to pointer type");
+    if (To.K == Type::M256i && Sub.K != Type::M256i)
+      err("cannot cast scalar to vector");
+    return result(To);
+  }
+  }
+  return result(Type::Int);
+}
+
+void Sema::checkStmt(Stmt &S) {
+  switch (S.K) {
+  case Stmt::Decl:
+    for (Declarator &D : S.Decls) {
+      Type Ty = S.DeclTy;
+      if (D.ArraySize >= 0) {
+        if (S.DeclTy.K == Type::Int)
+          Ty = Type::IntPtr;
+        else if (S.DeclTy.K == Type::M256i)
+          Ty = Type::VecPtr;
+        else
+          err("array declarator requires int or __m256i element type");
+      }
+      if (D.Init) {
+        Type Init = checkExpr(*D.Init);
+        if (D.ArraySize >= 0)
+          err("array declarations cannot have initializers");
+        else if (Init != Ty && !(Ty.isPointer() && Init.K == Type::Int))
+          err(format("initializing '%s' with incompatible type '%s'",
+                     Ty.str(), Init.str()));
+      }
+      declare(D.Name, Ty);
+    }
+    return;
+  case Stmt::ExprSt:
+    checkExpr(*S.Cond);
+    return;
+  case Stmt::Block:
+    pushScope();
+    for (StmtPtr &Sub : S.Body)
+      checkStmt(*Sub);
+    popScope();
+    return;
+  case Stmt::If: {
+    Type C = checkExpr(*S.Cond);
+    if (C.K != Type::Int)
+      err("if condition must be an int");
+    if (S.thenArm()) {
+      pushScope();
+      checkStmt(*S.Body[0]);
+      popScope();
+    }
+    if (S.elseArm()) {
+      pushScope();
+      checkStmt(*S.Body[1]);
+      popScope();
+    }
+    return;
+  }
+  case Stmt::For: {
+    pushScope();
+    if (S.InitStmt)
+      checkStmt(*S.InitStmt);
+    if (S.Cond) {
+      Type C = checkExpr(*S.Cond);
+      if (C.K != Type::Int)
+        err("for condition must be an int");
+    }
+    if (S.StepExpr)
+      checkExpr(*S.StepExpr);
+    ++LoopDepth;
+    if (S.forBody()) {
+      pushScope();
+      checkStmt(*S.Body[0]);
+      popScope();
+    }
+    --LoopDepth;
+    popScope();
+    return;
+  }
+  case Stmt::Goto:
+    Gotos.push_back(S.Name);
+    return;
+  case Stmt::Label:
+    return;
+  case Stmt::Break:
+  case Stmt::Continue:
+    if (LoopDepth == 0)
+      err("break/continue outside of a loop");
+    return;
+  case Stmt::Return:
+    if (S.Cond) {
+      Type R = checkExpr(*S.Cond);
+      if (F.RetTy.K == Type::Void)
+        err("void function returns a value");
+      else if (R != F.RetTy)
+        err("return type mismatch");
+    } else if (F.RetTy.K != Type::Void) {
+      err("non-void function returns nothing");
+    }
+    return;
+  case Stmt::Empty:
+    return;
+  }
+}
+
+std::string Sema::run() {
+  pushScope();
+  for (const Param &P : F.Params)
+    declare(P.Name, P.Ty);
+  if (F.BodyBlock) {
+    collectLabels(*F.BodyBlock);
+    // The outermost block shares the parameter scope (C6.2.1): a local that
+    // redeclares a parameter is an error, so iterate its children directly
+    // rather than opening a fresh scope.
+    for (StmtPtr &Sub : F.BodyBlock->Body)
+      checkStmt(*Sub);
+  }
+  for (const std::string &G : Gotos)
+    if (!Labels.count(G))
+      err(format("goto targets unknown label '%s'", G.c_str()));
+  popScope();
+  return Error;
+}
+
+SemaResult lv::minic::checkFunction(Function &F) {
+  SemaResult R;
+  Sema S(F);
+  R.Error = S.run();
+  return R;
+}

@@ -1,0 +1,34 @@
+//===- minic/Sema.h - mini-C semantic checks -------------------*- C++ -*-===//
+///
+/// \file
+/// Semantic analysis: scoped symbol resolution, type checking (including
+/// intrinsic signatures), and goto/label validation. Annotates Expr::Ty in
+/// place. A candidate that fails Sema is the reproduction's "Cannot
+/// compile" outcome (Table 2 of the paper).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_MINIC_SEMA_H
+#define LV_MINIC_SEMA_H
+
+#include "minic/AST.h"
+
+#include <string>
+
+namespace lv {
+namespace minic {
+
+/// Result of semantic analysis.
+struct SemaResult {
+  std::string Error; ///< Empty when the function is well-formed.
+
+  bool ok() const { return Error.empty(); }
+};
+
+/// Checks and type-annotates \p F.
+SemaResult checkFunction(Function &F);
+
+} // namespace minic
+} // namespace lv
+
+#endif // LV_MINIC_SEMA_H

@@ -1,0 +1,455 @@
+//===- smt/Blast.cpp - term -> CNF bit-blasting ------------------------------===//
+
+#include "smt/Blast.h"
+
+#include <cassert>
+
+using namespace lv;
+using namespace lv::smt;
+
+BitBlaster::BitBlaster(const TermTable &TT, SatSolver &S) : TT(TT), S(S) {
+  TrueLit = Lit(S.newVar(), false);
+  S.addClause(TrueLit);
+}
+
+//===----------------------------------------------------------------------===//
+// Gates
+//===----------------------------------------------------------------------===//
+
+static uint64_t gateKey(int Op, Lit A, Lit B) {
+  // Commutative ops are normalized by the callers (sorted operands).
+  return (static_cast<uint64_t>(Op) << 60) ^
+         (static_cast<uint64_t>(static_cast<uint32_t>(A.X)) << 30) ^
+         static_cast<uint64_t>(static_cast<uint32_t>(B.X));
+}
+
+Lit BitBlaster::gAnd(Lit A, Lit B) {
+  bool CA, CB;
+  if (isConstLit(A, CA))
+    return CA ? B : falseLit();
+  if (isConstLit(B, CB))
+    return CB ? A : falseLit();
+  if (A == B)
+    return A;
+  if (A == ~B)
+    return falseLit();
+  if (B.X < A.X)
+    std::swap(A, B);
+  uint64_t Key = gateKey(1, A, B);
+  auto It = GateCache.find(Key);
+  if (It != GateCache.end())
+    return It->second;
+  Lit Z = freshLit();
+  S.addClause(~Z, A);
+  S.addClause(~Z, B);
+  S.addClause(~A, ~B, Z);
+  GateCache.emplace(Key, Z);
+  return Z;
+}
+
+Lit BitBlaster::gXor(Lit A, Lit B) {
+  bool CA, CB;
+  if (isConstLit(A, CA))
+    return CA ? ~B : B;
+  if (isConstLit(B, CB))
+    return CB ? ~A : A;
+  if (A == B)
+    return falseLit();
+  if (A == ~B)
+    return TrueLit;
+  // Normalize: strip polarity into a result flip.
+  bool Flip = false;
+  if (A.sign()) {
+    A = ~A;
+    Flip = !Flip;
+  }
+  if (B.sign()) {
+    B = ~B;
+    Flip = !Flip;
+  }
+  if (B.X < A.X)
+    std::swap(A, B);
+  uint64_t Key = gateKey(2, A, B);
+  auto It = GateCache.find(Key);
+  Lit Z;
+  if (It != GateCache.end()) {
+    Z = It->second;
+  } else {
+    Z = freshLit();
+    S.addClause(~Z, A, B);
+    S.addClause(~Z, ~A, ~B);
+    S.addClause(Z, ~A, B);
+    S.addClause(Z, A, ~B);
+    GateCache.emplace(Key, Z);
+  }
+  return Flip ? ~Z : Z;
+}
+
+Lit BitBlaster::gMux(Lit Sel, Lit T, Lit E) {
+  bool C;
+  if (isConstLit(Sel, C))
+    return C ? T : E;
+  if (T == E)
+    return T;
+  if (T == ~E) // mux(s, ~e, e) = s XOR e
+    return gXor(Sel, E);
+  // Three disjoint 21-bit fields: collision-free up to ~1M variables.
+  assert(Sel.X < (1 << 21) && T.X < (1 << 21) && E.X < (1 << 21));
+  uint64_t Key = (3ULL << 63) |
+                 (static_cast<uint64_t>(static_cast<uint32_t>(Sel.X)) << 42) |
+                 (static_cast<uint64_t>(static_cast<uint32_t>(T.X)) << 21) |
+                 static_cast<uint64_t>(static_cast<uint32_t>(E.X));
+  auto It = GateCache.find(Key);
+  if (It != GateCache.end())
+    return It->second;
+  Lit Z = freshLit();
+  S.addClause(~Sel, ~T, Z);
+  S.addClause(~Sel, T, ~Z);
+  S.addClause(Sel, ~E, Z);
+  S.addClause(Sel, E, ~Z);
+  GateCache.emplace(Key, Z);
+  return Z;
+}
+
+//===----------------------------------------------------------------------===//
+// Word helpers
+//===----------------------------------------------------------------------===//
+
+BitBlaster::Word BitBlaster::wConst(uint32_t V, int Width) {
+  Word W(static_cast<size_t>(Width));
+  for (int I = 0; I < Width; ++I)
+    W[static_cast<size_t>(I)] = constLit((V >> I) & 1);
+  return W;
+}
+
+BitBlaster::Word BitBlaster::wAdd(const Word &A, const Word &B, Lit CarryIn,
+                                  Lit *CarryOut, Lit *CarryPrev) {
+  size_t N = A.size();
+  assert(B.size() == N);
+  Word Sum(N);
+  Lit C = CarryIn;
+  Lit PrevC = CarryIn;
+  for (size_t I = 0; I < N; ++I) {
+    Lit AxB = gXor(A[I], B[I]);
+    Sum[I] = gXor(AxB, C);
+    PrevC = C;
+    // carry = (a & b) | (c & (a ^ b))
+    C = gOr(gAnd(A[I], B[I]), gAnd(C, AxB));
+  }
+  if (CarryOut)
+    *CarryOut = C;
+  if (CarryPrev)
+    *CarryPrev = PrevC;
+  return Sum;
+}
+
+BitBlaster::Word BitBlaster::wNeg(const Word &A) {
+  Word NotA(A.size());
+  for (size_t I = 0; I < A.size(); ++I)
+    NotA[I] = ~A[I];
+  return wAdd(NotA, wConst(0, static_cast<int>(A.size())), TrueLit, nullptr,
+              nullptr);
+}
+
+BitBlaster::Word BitBlaster::wMux(Lit Sel, const Word &T, const Word &E) {
+  Word R(T.size());
+  for (size_t I = 0; I < T.size(); ++I)
+    R[I] = gMux(Sel, T[I], E[I]);
+  return R;
+}
+
+Lit BitBlaster::wUlt(const Word &A, const Word &B) {
+  Lit Lt = falseLit();
+  for (size_t I = 0; I < A.size(); ++I) {
+    Lit Diff = gXor(A[I], B[I]);
+    Lt = gMux(Diff, B[I], Lt);
+  }
+  return Lt;
+}
+
+Lit BitBlaster::wEq(const Word &A, const Word &B) {
+  Lit Eq = TrueLit;
+  for (size_t I = 0; I < A.size(); ++I)
+    Eq = gAnd(Eq, gXnor(A[I], B[I]));
+  return Eq;
+}
+
+BitBlaster::Word BitBlaster::wMul(const Word &A, const Word &B,
+                                  int OutWidth) {
+  size_t N = static_cast<size_t>(OutWidth);
+  Word Acc = wConst(0, OutWidth);
+  for (size_t I = 0; I < A.size() && I < N; ++I) {
+    // Partial product: (B << I) & A[I], truncated to OutWidth.
+    bool CA;
+    if (isConstLit(A[I], CA) && !CA)
+      continue;
+    Word PP(N, falseLit());
+    for (size_t J = 0; I + J < N && J < B.size(); ++J)
+      PP[I + J] = gAnd(B[J], A[I]);
+    Acc = wAdd(Acc, PP, falseLit(), nullptr, nullptr);
+  }
+  return Acc;
+}
+
+void BitBlaster::wUDivRem(const Word &A, const Word &B, Word &Q, Word &R) {
+  size_t N = A.size();
+  Q.assign(N, falseLit());
+  R = wConst(0, static_cast<int>(N));
+  for (size_t Step = N; Step-- > 0;) {
+    // R = (R << 1) | A[Step]
+    Word R2(N);
+    R2[0] = A[Step];
+    for (size_t I = 1; I < N; ++I)
+      R2[I] = R[I - 1];
+    // If R2 >= B: R = R2 - B, Q[Step] = 1.
+    Lit Ge = ~wUlt(R2, B);
+    Word Diff = wAdd(R2, wNeg(B), falseLit(), nullptr, nullptr);
+    R = wMux(Ge, Diff, R2);
+    Q[Step] = Ge;
+  }
+}
+
+BitBlaster::Word BitBlaster::wAbs(const Word &A) {
+  Lit Sign = A.back();
+  return wMux(Sign, wNeg(A), A);
+}
+
+//===----------------------------------------------------------------------===//
+// Term blasting
+//===----------------------------------------------------------------------===//
+
+std::vector<Lit> BitBlaster::blastBv(TermId Id) {
+  auto It = BvCache.find(Id);
+  if (It != BvCache.end())
+    return It->second;
+  const Term &T = TT.get(Id);
+  Word W;
+  switch (T.K) {
+  case TK::Const:
+    W = wConst(T.CVal);
+    break;
+  case TK::Var: {
+    W.resize(32);
+    for (int I = 0; I < 32; ++I)
+      W[static_cast<size_t>(I)] = freshLit();
+    VarsSeen.push_back(Id);
+    break;
+  }
+  case TK::Add:
+    W = wAdd(blastBv(T.A), blastBv(T.B), falseLit(), nullptr, nullptr);
+    break;
+  case TK::Sub: {
+    Word B = blastBv(T.B);
+    Word NotB(B.size());
+    for (size_t I = 0; I < B.size(); ++I)
+      NotB[I] = ~B[I];
+    W = wAdd(blastBv(T.A), NotB, TrueLit, nullptr, nullptr);
+    break;
+  }
+  case TK::Mul:
+    W = wMul(blastBv(T.A), blastBv(T.B), 32);
+    break;
+  case TK::SDiv:
+  case TK::SRem: {
+    Word A = blastBv(T.A);
+    Word B = blastBv(T.B);
+    Word AbsA = wAbs(A), AbsB = wAbs(B);
+    Word Q, R;
+    wUDivRem(AbsA, AbsB, Q, R);
+    if (T.K == TK::SDiv) {
+      Lit QNeg = gXor(A.back(), B.back());
+      W = wMux(QNeg, wNeg(Q), Q);
+    } else {
+      // Remainder takes the dividend's sign (C truncated semantics).
+      W = wMux(A.back(), wNeg(R), R);
+    }
+    break;
+  }
+  case TK::BvAnd: {
+    Word A = blastBv(T.A), B = blastBv(T.B);
+    W.resize(32);
+    for (size_t I = 0; I < 32; ++I)
+      W[I] = gAnd(A[I], B[I]);
+    break;
+  }
+  case TK::BvOr: {
+    Word A = blastBv(T.A), B = blastBv(T.B);
+    W.resize(32);
+    for (size_t I = 0; I < 32; ++I)
+      W[I] = gOr(A[I], B[I]);
+    break;
+  }
+  case TK::BvXor: {
+    Word A = blastBv(T.A), B = blastBv(T.B);
+    W.resize(32);
+    for (size_t I = 0; I < 32; ++I)
+      W[I] = gXor(A[I], B[I]);
+    break;
+  }
+  case TK::BvNot: {
+    Word A = blastBv(T.A);
+    W.resize(32);
+    for (size_t I = 0; I < 32; ++I)
+      W[I] = ~A[I];
+    break;
+  }
+  case TK::Shl:
+  case TK::LShr:
+  case TK::AShr: {
+    Word A = blastBv(T.A);
+    uint32_t CAmt;
+    if (TT.isConst(T.B, CAmt)) {
+      CAmt &= 31;
+      W.assign(32, falseLit());
+      if (T.K == TK::AShr)
+        W.assign(32, A[31]);
+      for (int I = 0; I < 32; ++I) {
+        int Src = T.K == TK::Shl ? I - static_cast<int>(CAmt)
+                                 : I + static_cast<int>(CAmt);
+        if (Src >= 0 && Src < 32)
+          W[static_cast<size_t>(I)] = A[static_cast<size_t>(Src)];
+      }
+    } else {
+      // Barrel shifter over the low 5 amount bits.
+      Word Amt = blastBv(T.B);
+      W = A;
+      for (int Stage = 0; Stage < 5; ++Stage) {
+        int Sh = 1 << Stage;
+        Word Shifted(32);
+        for (int I = 0; I < 32; ++I) {
+          int Src = T.K == TK::Shl ? I - Sh : I + Sh;
+          Lit Fill = T.K == TK::AShr ? W[31] : falseLit();
+          Shifted[static_cast<size_t>(I)] =
+              (Src >= 0 && Src < 32) ? W[static_cast<size_t>(Src)] : Fill;
+        }
+        W = wMux(Amt[static_cast<size_t>(Stage)], Shifted, W);
+      }
+    }
+    break;
+  }
+  case TK::Ite:
+    W = wMux(blastBool(T.A), blastBv(T.B), blastBv(T.C));
+    break;
+  default:
+    assert(false && "blastBv on a bool term");
+    W = wConst(0);
+  }
+  return BvCache.emplace(Id, std::move(W)).first->second;
+}
+
+Lit BitBlaster::blastBool(TermId Id) {
+  auto It = BoolCache.find(Id);
+  if (It != BoolCache.end())
+    return It->second;
+  const Term &T = TT.get(Id);
+  Lit L;
+  switch (T.K) {
+  case TK::True:
+    L = TrueLit;
+    break;
+  case TK::False:
+    L = falseLit();
+    break;
+  case TK::BVar:
+    L = freshLit();
+    VarsSeen.push_back(Id);
+    break;
+  case TK::Not:
+    L = ~blastBool(T.A);
+    break;
+  case TK::And:
+    L = gAnd(blastBool(T.A), blastBool(T.B));
+    break;
+  case TK::Or:
+    L = gOr(blastBool(T.A), blastBool(T.B));
+    break;
+  case TK::BIte:
+    L = gMux(blastBool(T.A), blastBool(T.B), blastBool(T.C));
+    break;
+  case TK::Eq:
+    L = wEq(blastBv(T.A), blastBv(T.B));
+    break;
+  case TK::Ult:
+    L = wUlt(blastBv(T.A), blastBv(T.B));
+    break;
+  case TK::Slt: {
+    // Signed compare: flip sign bits, compare unsigned.
+    Word A = blastBv(T.A), B = blastBv(T.B);
+    Word A2 = A, B2 = B;
+    A2[31] = ~A2[31];
+    B2[31] = ~B2[31];
+    L = wUlt(A2, B2);
+    break;
+  }
+  case TK::AddOvf: {
+    Word A = blastBv(T.A), B = blastBv(T.B);
+    Word Sum = wAdd(A, B, falseLit(), nullptr, nullptr);
+    // Signed overflow: operands share a sign that differs from the result.
+    Lit SameSign = gXnor(A[31], B[31]);
+    L = gAnd(SameSign, gXor(Sum[31], A[31]));
+    break;
+  }
+  case TK::SubOvf: {
+    Word A = blastBv(T.A), B = blastBv(T.B);
+    Word NotB(B.size());
+    for (size_t I = 0; I < B.size(); ++I)
+      NotB[I] = ~B[I];
+    Word Diff = wAdd(A, NotB, TrueLit, nullptr, nullptr);
+    Lit DiffSign = gXor(A[31], B[31]);
+    L = gAnd(DiffSign, gXor(Diff[31], A[31]));
+    break;
+  }
+  case TK::MulOvf: {
+    // Full 64-bit product of sign-extended operands; overflow iff the top
+    // 33 bits are not a sign-extension of bit 31.
+    Word A = blastBv(T.A), B = blastBv(T.B);
+    Word A64 = A, B64 = B;
+    A64.resize(64, A[31]);
+    B64.resize(64, B[31]);
+    Word P = wMul(A64, B64, 64);
+    Lit Ovf = falseLit();
+    for (size_t I = 32; I < 64; ++I)
+      Ovf = gOr(Ovf, gXor(P[I], P[31]));
+    L = Ovf;
+    break;
+  }
+  default:
+    assert(false && "blastBool on a bv term");
+    L = falseLit();
+  }
+  return BoolCache.emplace(Id, L).first->second;
+}
+
+bool BitBlaster::modelOfVar(TermId Id, uint32_t &Out) const {
+  auto It = BvCache.find(Id);
+  if (It == BvCache.end())
+    return false;
+  uint32_t V = 0;
+  for (int I = 0; I < 32; ++I) {
+    Lit L = It->second[static_cast<size_t>(I)];
+    bool Bit;
+    if (isConstLit(L, Bit)) {
+      // constant
+    } else {
+      Bit = S.modelValue(L.var()) != L.sign();
+    }
+    if (Bit)
+      V |= 1u << I;
+  }
+  Out = V;
+  return true;
+}
+
+bool BitBlaster::modelOfBVar(TermId Id, bool &Out) const {
+  auto It = BoolCache.find(Id);
+  if (It == BoolCache.end())
+    return false;
+  Lit L = It->second;
+  bool Bit;
+  if (isConstLit(L, Bit)) {
+    Out = Bit;
+    return true;
+  }
+  Out = S.modelValue(L.var()) != L.sign();
+  return true;
+}

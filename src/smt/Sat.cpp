@@ -1,0 +1,403 @@
+//===- smt/Sat.cpp - CDCL SAT solver -----------------------------------------===//
+
+#include "smt/Sat.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace lv;
+using namespace lv::smt;
+
+Var SatSolver::newVar() {
+  Var V = numVars();
+  Assigns.push_back(LBool::Undef);
+  Model.push_back(LBool::Undef);
+  Level.push_back(0);
+  Reason.push_back(NoReason);
+  Activity.push_back(0.0);
+  Polarity.push_back(1); // default phase: false (MiniSat convention)
+  Seen.push_back(0);
+  HeapPos.push_back(-1);
+  Watches.emplace_back();
+  Watches.emplace_back();
+  heapInsert(V);
+  return V;
+}
+
+//===----------------------------------------------------------------------===//
+// Activity heap
+//===----------------------------------------------------------------------===//
+
+void SatSolver::siftUp(int I) {
+  Var V = Heap[static_cast<size_t>(I)];
+  while (I > 0) {
+    int P = (I - 1) >> 1;
+    if (!heapLess(V, Heap[static_cast<size_t>(P)]))
+      break;
+    Heap[static_cast<size_t>(I)] = Heap[static_cast<size_t>(P)];
+    HeapPos[static_cast<size_t>(Heap[static_cast<size_t>(I)])] = I;
+    I = P;
+  }
+  Heap[static_cast<size_t>(I)] = V;
+  HeapPos[static_cast<size_t>(V)] = I;
+}
+
+void SatSolver::siftDown(int I) {
+  Var V = Heap[static_cast<size_t>(I)];
+  int N = static_cast<int>(Heap.size());
+  for (;;) {
+    int L = 2 * I + 1;
+    if (L >= N)
+      break;
+    int R = L + 1;
+    int C = (R < N && heapLess(Heap[static_cast<size_t>(R)],
+                               Heap[static_cast<size_t>(L)]))
+                ? R
+                : L;
+    if (!heapLess(Heap[static_cast<size_t>(C)], V))
+      break;
+    Heap[static_cast<size_t>(I)] = Heap[static_cast<size_t>(C)];
+    HeapPos[static_cast<size_t>(Heap[static_cast<size_t>(I)])] = I;
+    I = C;
+  }
+  Heap[static_cast<size_t>(I)] = V;
+  HeapPos[static_cast<size_t>(V)] = I;
+}
+
+void SatSolver::heapInsert(Var V) {
+  if (HeapPos[static_cast<size_t>(V)] >= 0)
+    return;
+  Heap.push_back(V);
+  HeapPos[static_cast<size_t>(V)] = static_cast<int>(Heap.size()) - 1;
+  siftUp(static_cast<int>(Heap.size()) - 1);
+}
+
+void SatSolver::heapDecrease(Var V) {
+  int I = HeapPos[static_cast<size_t>(V)];
+  if (I >= 0)
+    siftUp(I);
+}
+
+Var SatSolver::heapPop() {
+  Var Top = Heap[0];
+  HeapPos[static_cast<size_t>(Top)] = -1;
+  Var Last = Heap.back();
+  Heap.pop_back();
+  if (!Heap.empty()) {
+    Heap[0] = Last;
+    HeapPos[static_cast<size_t>(Last)] = 0;
+    siftDown(0);
+  }
+  return Top;
+}
+
+void SatSolver::bumpVar(Var V) {
+  Activity[static_cast<size_t>(V)] += VarInc;
+  if (Activity[static_cast<size_t>(V)] > 1e100) {
+    for (double &A : Activity)
+      A *= 1e-100;
+    VarInc *= 1e-100;
+  }
+  heapDecrease(V);
+}
+
+//===----------------------------------------------------------------------===//
+// Clause management
+//===----------------------------------------------------------------------===//
+
+void SatSolver::attachClause(CRef C) {
+  const Clause &Cl = Clauses[static_cast<size_t>(C)];
+  assert(Cl.Lits.size() >= 2);
+  Watcher W0{C, Cl.Lits[1]};
+  Watcher W1{C, Cl.Lits[0]};
+  Watches[static_cast<size_t>((~Cl.Lits[0]).X)].push_back(W0);
+  Watches[static_cast<size_t>((~Cl.Lits[1]).X)].push_back(W1);
+}
+
+bool SatSolver::addClause(std::vector<Lit> Lits) {
+  if (!OkFlag)
+    return false;
+  assert(decisionLevel() == 0);
+  // Normalize: sort, dedupe, drop false lits, detect tautology/satisfied.
+  std::sort(Lits.begin(), Lits.end(),
+            [](Lit A, Lit B) { return A.X < B.X; });
+  std::vector<Lit> Out;
+  Lit Prev;
+  for (Lit L : Lits) {
+    if (value(L) == LBool::True)
+      return true; // already satisfied at level 0
+    if (value(L) == LBool::False)
+      continue; // drop
+    if (!Out.empty() && L == Prev)
+      continue;
+    if (!Out.empty() && L == ~Prev)
+      return true; // tautology
+    Out.push_back(L);
+    Prev = L;
+  }
+  if (Out.empty()) {
+    OkFlag = false;
+    return false;
+  }
+  if (Out.size() == 1) {
+    enqueue(Out[0], NoReason);
+    if (propagate() != NoReason) {
+      OkFlag = false;
+      return false;
+    }
+    return true;
+  }
+  Clauses.push_back(Clause{std::move(Out), /*Learnt=*/false});
+  attachClause(static_cast<CRef>(Clauses.size()) - 1);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Search
+//===----------------------------------------------------------------------===//
+
+void SatSolver::enqueue(Lit L, CRef From) {
+  assert(value(L) == LBool::Undef);
+  size_t V = static_cast<size_t>(L.var());
+  Assigns[V] = L.sign() ? LBool::False : LBool::True;
+  Level[V] = decisionLevel();
+  Reason[V] = From;
+  Polarity[V] = L.sign();
+  Trail.push_back(L);
+}
+
+SatSolver::CRef SatSolver::propagate() {
+  while (QHead < Trail.size()) {
+    Lit P = Trail[QHead++];
+    ++Propagations;
+    std::vector<Watcher> &Ws = Watches[static_cast<size_t>(P.X)];
+    size_t I = 0, J = 0;
+    while (I < Ws.size()) {
+      Watcher W = Ws[I++];
+      if (value(W.Blocker) == LBool::True) {
+        Ws[J++] = W;
+        continue;
+      }
+      Clause &C = Clauses[static_cast<size_t>(W.C)];
+      // Make sure the false literal is Lits[1].
+      Lit NotP = ~P;
+      if (C.Lits[0] == NotP)
+        std::swap(C.Lits[0], C.Lits[1]);
+      assert(C.Lits[1] == NotP);
+      // If the first literal is true, the clause is satisfied.
+      if (value(C.Lits[0]) == LBool::True) {
+        Ws[J++] = Watcher{W.C, C.Lits[0]};
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool Found = false;
+      for (size_t K = 2; K < C.Lits.size(); ++K) {
+        if (value(C.Lits[K]) != LBool::False) {
+          std::swap(C.Lits[1], C.Lits[K]);
+          Watches[static_cast<size_t>((~C.Lits[1]).X)].push_back(
+              Watcher{W.C, C.Lits[0]});
+          Found = true;
+          break;
+        }
+      }
+      if (Found)
+        continue;
+      // Unit or conflicting.
+      Ws[J++] = Watcher{W.C, C.Lits[0]};
+      if (value(C.Lits[0]) == LBool::False) {
+        // Conflict: restore remaining watchers and report.
+        while (I < Ws.size())
+          Ws[J++] = Ws[I++];
+        Ws.resize(J);
+        QHead = Trail.size();
+        return W.C;
+      }
+      enqueue(C.Lits[0], W.C);
+    }
+    Ws.resize(J);
+  }
+  return NoReason;
+}
+
+void SatSolver::analyze(CRef Confl, std::vector<Lit> &OutLearnt,
+                        int &OutBtLevel) {
+  OutLearnt.clear();
+  OutLearnt.push_back(Lit()); // placeholder for the asserting literal
+  int PathC = 0;
+  Lit P;
+  bool PValid = false;
+  size_t Index = Trail.size();
+
+  do {
+    assert(Confl != NoReason);
+    const Clause &C = Clauses[static_cast<size_t>(Confl)];
+    for (size_t K = 0; K < C.Lits.size(); ++K) {
+      // When expanding a reason clause, skip the implied literal P itself;
+      // the remaining literals are its antecedents.
+      Lit Q = C.Lits[K];
+      if (PValid && Q == P)
+        continue;
+      size_t V = static_cast<size_t>(Q.var());
+      if (Seen[V] || Level[V] == 0)
+        continue;
+      Seen[V] = 1;
+      bumpVar(Q.var());
+      if (Level[V] >= decisionLevel())
+        ++PathC;
+      else
+        OutLearnt.push_back(Q);
+    }
+    // Select next literal on the trail to expand.
+    while (!Seen[static_cast<size_t>(Trail[Index - 1].var())])
+      --Index;
+    P = Trail[--Index];
+    PValid = true;
+    Confl = Reason[static_cast<size_t>(P.var())];
+    Seen[static_cast<size_t>(P.var())] = 0;
+    --PathC;
+  } while (PathC > 0);
+  OutLearnt[0] = ~P;
+
+  // Clause minimization: drop tail literals implied by the rest of the
+  // clause (self-subsumption over their reason clauses). Removed literals
+  // keep their Seen mark until the final clearing below, which therefore
+  // iterates the pre-minimization literal set.
+  std::vector<Lit> ToClear = OutLearnt;
+  size_t W = 1;
+  for (size_t K = 1; K < OutLearnt.size(); ++K) {
+    Lit Q = OutLearnt[K];
+    CRef RC = Reason[static_cast<size_t>(Q.var())];
+    bool Redundant = false;
+    if (RC != NoReason) {
+      Redundant = true;
+      for (Lit RL : Clauses[static_cast<size_t>(RC)].Lits) {
+        if (RL == ~Q || RL == Q)
+          continue;
+        size_t RV = static_cast<size_t>(RL.var());
+        if (!Seen[RV] && Level[RV] != 0) {
+          Redundant = false;
+          break;
+        }
+      }
+    }
+    if (!Redundant)
+      OutLearnt[W++] = Q;
+  }
+  OutLearnt.resize(W);
+
+  // Compute backtrack level: max level among tail literals.
+  OutBtLevel = 0;
+  size_t MaxI = 1;
+  for (size_t K = 1; K < OutLearnt.size(); ++K) {
+    int L = Level[static_cast<size_t>(OutLearnt[K].var())];
+    if (L > OutBtLevel) {
+      OutBtLevel = L;
+      MaxI = K;
+    }
+  }
+  if (OutLearnt.size() > 1)
+    std::swap(OutLearnt[1], OutLearnt[MaxI]);
+
+  for (Lit L : ToClear)
+    Seen[static_cast<size_t>(L.var())] = 0;
+}
+
+void SatSolver::cancelUntil(int Lvl) {
+  if (decisionLevel() <= Lvl)
+    return;
+  size_t Bound = static_cast<size_t>(TrailLim[static_cast<size_t>(Lvl)]);
+  for (size_t I = Trail.size(); I > Bound; --I) {
+    size_t V = static_cast<size_t>(Trail[I - 1].var());
+    Assigns[V] = LBool::Undef;
+    Reason[V] = NoReason;
+    heapInsert(static_cast<Var>(V));
+  }
+  Trail.resize(Bound);
+  TrailLim.resize(static_cast<size_t>(Lvl));
+  QHead = Trail.size();
+}
+
+Lit SatSolver::pickBranchLit() {
+  while (!heapEmpty()) {
+    Var V = heapPop();
+    if (Assigns[static_cast<size_t>(V)] == LBool::Undef)
+      return Lit(V, Polarity[static_cast<size_t>(V)]);
+  }
+  return Lit();
+}
+
+/// Luby sequence for restart scheduling.
+static double luby(double Y, int X) {
+  int Size, Seq;
+  for (Size = 1, Seq = 0; Size < X + 1; ++Seq, Size = 2 * Size + 1)
+    ;
+  while (Size - 1 != X) {
+    Size = (Size - 1) >> 1;
+    --Seq;
+    X = X % Size;
+  }
+  return std::pow(Y, Seq);
+}
+
+SatResult SatSolver::solve(const SatBudget &Budget) {
+  if (!OkFlag)
+    return SatResult::Unsat;
+  if (propagate() != NoReason) {
+    OkFlag = false;
+    return SatResult::Unsat;
+  }
+
+  int RestartNum = 0;
+  uint64_t RestartLimit =
+      static_cast<uint64_t>(100 * luby(2.0, RestartNum));
+  uint64_t ConflictsAtRestart = 0;
+  std::vector<Lit> Learnt;
+
+  for (;;) {
+    CRef Confl = propagate();
+    if (Confl != NoReason) {
+      ++Conflicts;
+      ++ConflictsAtRestart;
+      if (decisionLevel() == 0) {
+        OkFlag = false;
+        return SatResult::Unsat;
+      }
+      int BtLevel;
+      analyze(Confl, Learnt, BtLevel);
+      cancelUntil(BtLevel);
+      if (Learnt.size() == 1) {
+        enqueue(Learnt[0], NoReason);
+      } else {
+        Clauses.push_back(Clause{Learnt, /*Learnt=*/true});
+        CRef C = static_cast<CRef>(Clauses.size()) - 1;
+        attachClause(C);
+        enqueue(Learnt[0], C);
+      }
+      decayActivities();
+      if (Conflicts >= Budget.MaxConflicts ||
+          Propagations >= Budget.MaxPropagations) {
+        cancelUntil(0);
+        return SatResult::Unknown;
+      }
+      continue;
+    }
+    // No conflict.
+    if (ConflictsAtRestart >= RestartLimit) {
+      ConflictsAtRestart = 0;
+      RestartLimit = static_cast<uint64_t>(100 * luby(2.0, ++RestartNum));
+      cancelUntil(0);
+      continue;
+    }
+    Lit Next = pickBranchLit();
+    if (Next.X < 0) {
+      // All variables assigned: SAT.
+      for (size_t V = 0; V < Assigns.size(); ++V)
+        Model[V] = Assigns[V];
+      cancelUntil(0);
+      return SatResult::Sat;
+    }
+    TrailLim.push_back(static_cast<int>(Trail.size()));
+    enqueue(Next, NoReason);
+  }
+}

@@ -1,0 +1,66 @@
+//===- smt/Solve.cpp - one-shot satisfiability queries -----------------------===//
+
+#include "smt/Solve.h"
+
+#include "smt/Blast.h"
+#include "support/Format.h"
+
+using namespace lv;
+using namespace lv::smt;
+
+SmtResult lv::smt::checkSat(const TermTable &TT, TermId Query,
+                            const SatBudget &Budget) {
+  SmtResult Out;
+  // Fast paths: the rewriter often reduces queries to a constant.
+  if (TT.isFalse(Query)) {
+    Out.R = SatResult::Unsat;
+    return Out;
+  }
+  if (TT.isTrue(Query)) {
+    Out.R = SatResult::Sat;
+    return Out;
+  }
+
+  SatSolver S;
+  BitBlaster B(TT, S);
+  Lit Root = B.blastBool(Query);
+  S.addClause(Root);
+  if (S.numClauses() > Budget.MaxClauses) {
+    // Formula too large to attempt: the memout analogue.
+    Out.R = SatResult::Unknown;
+    Out.ClauseCount = S.numClauses();
+    Out.VarCount = static_cast<uint64_t>(S.numVars());
+    return Out;
+  }
+  Out.R = S.solve(Budget);
+  Out.ConflictsUsed = S.conflicts();
+  Out.ClauseCount = S.numClauses();
+  Out.VarCount = static_cast<uint64_t>(S.numVars());
+  if (Out.R == SatResult::Sat) {
+    for (TermId V : B.seenVars()) {
+      if (TT.isBv(V)) {
+        uint32_t Val;
+        if (B.modelOfVar(V, Val))
+          Out.Model.emplace(V, Val);
+      } else {
+        bool Bit;
+        if (B.modelOfBVar(V, Bit))
+          Out.Model.emplace(V, Bit ? 1u : 0u);
+      }
+    }
+  }
+  return Out;
+}
+
+std::string
+lv::smt::printModel(const TermTable &TT,
+                    const std::unordered_map<TermId, uint32_t> &Model) {
+  std::string Out;
+  for (const auto &KV : Model) {
+    const std::string &Name = TT.varName(KV.first);
+    appendf(Out, "%s = %d\n",
+            Name.empty() ? format("v%d", KV.first).c_str() : Name.c_str(),
+            static_cast<int32_t>(KV.second));
+  }
+  return Out;
+}

@@ -1,0 +1,711 @@
+//===- smt/Term.cpp - hash-consed bit-vector/bool terms ---------------------===//
+
+#include "smt/Term.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace lv;
+using namespace lv::smt;
+
+bool lv::smt::isBvKind(TK K) {
+  switch (K) {
+  case TK::Const:
+  case TK::Var:
+  case TK::Add:
+  case TK::Sub:
+  case TK::Mul:
+  case TK::SDiv:
+  case TK::SRem:
+  case TK::BvAnd:
+  case TK::BvOr:
+  case TK::BvXor:
+  case TK::BvNot:
+  case TK::Shl:
+  case TK::LShr:
+  case TK::AShr:
+  case TK::Ite:
+    return true;
+  default:
+    return false;
+  }
+}
+
+TermTable::TermTable() {
+  Term T;
+  T.K = TK::True;
+  TrueId = intern(T);
+  T.K = TK::False;
+  FalseId = intern(T);
+}
+
+TermId TermTable::intern(Term T) {
+  auto It = Unique.find(T);
+  if (It != Unique.end())
+    return It->second;
+  TermId Id = static_cast<TermId>(Terms.size());
+  Terms.push_back(T);
+  VarNames.emplace_back();
+  Unique.emplace(T, Id);
+  return Id;
+}
+
+const std::string &TermTable::varName(TermId Id) const {
+  return VarNames[static_cast<size_t>(Id)];
+}
+
+TermId TermTable::mkBVar(const std::string &Name) {
+  Term T;
+  T.K = TK::BVar;
+  T.CVal = NextVarOrdinal++;
+  TermId Id = intern(T);
+  VarNames[static_cast<size_t>(Id)] = Name;
+  return Id;
+}
+
+TermId TermTable::mkVar(const std::string &Name) {
+  Term T;
+  T.K = TK::Var;
+  T.CVal = NextVarOrdinal++;
+  TermId Id = intern(T);
+  VarNames[static_cast<size_t>(Id)] = Name;
+  return Id;
+}
+
+TermId TermTable::mkConst(uint32_t V) {
+  Term T;
+  T.K = TK::Const;
+  T.CVal = V;
+  return intern(T);
+}
+
+//===----------------------------------------------------------------------===//
+// Bool constructors
+//===----------------------------------------------------------------------===//
+
+TermId TermTable::mkNot(TermId X) {
+  if (X == TrueId)
+    return FalseId;
+  if (X == FalseId)
+    return TrueId;
+  const Term &TX = get(X);
+  if (TX.K == TK::Not)
+    return TX.A; // !!x = x
+  Term T;
+  T.K = TK::Not;
+  T.A = X;
+  return intern(T);
+}
+
+TermId TermTable::mkAnd(TermId X, TermId Y) {
+  if (X == FalseId || Y == FalseId)
+    return FalseId;
+  if (X == TrueId)
+    return Y;
+  if (Y == TrueId)
+    return X;
+  if (X == Y)
+    return X;
+  // x && !x = false
+  if (get(X).K == TK::Not && get(X).A == Y)
+    return FalseId;
+  if (get(Y).K == TK::Not && get(Y).A == X)
+    return FalseId;
+  if (X > Y)
+    std::swap(X, Y);
+  Term T;
+  T.K = TK::And;
+  T.A = X;
+  T.B = Y;
+  return intern(T);
+}
+
+TermId TermTable::mkOr(TermId X, TermId Y) {
+  if (X == TrueId || Y == TrueId)
+    return TrueId;
+  if (X == FalseId)
+    return Y;
+  if (Y == FalseId)
+    return X;
+  if (X == Y)
+    return X;
+  if (get(X).K == TK::Not && get(X).A == Y)
+    return TrueId;
+  if (get(Y).K == TK::Not && get(Y).A == X)
+    return TrueId;
+  if (X > Y)
+    std::swap(X, Y);
+  Term T;
+  T.K = TK::Or;
+  T.A = X;
+  T.B = Y;
+  return intern(T);
+}
+
+TermId TermTable::mkBIte(TermId C, TermId T0, TermId E) {
+  if (C == TrueId)
+    return T0;
+  if (C == FalseId)
+    return E;
+  if (T0 == E)
+    return T0;
+  if (T0 == TrueId && E == FalseId)
+    return C;
+  if (T0 == FalseId && E == TrueId)
+    return mkNot(C);
+  if (get(C).K == TK::Not)
+    return mkBIte(get(C).A, E, T0);
+  Term T;
+  T.K = TK::BIte;
+  T.A = C;
+  T.B = T0;
+  T.C = E;
+  return intern(T);
+}
+
+TermId TermTable::mkEq(TermId X, TermId Y) {
+  if (X == Y)
+    return TrueId;
+  uint32_t CX, CY;
+  if (isConst(X, CX) && isConst(Y, CY))
+    return mkBool(CX == CY);
+  // (x + c1) == c2  ->  x == c2 - c1  (normalizes unrolled index checks)
+  if (isConst(Y, CY)) {
+    const Term &TX0 = get(X);
+    uint32_t C1;
+    if (TX0.K == TK::Add && isConst(TX0.B, C1))
+      return mkEq(TX0.A, mkConst(CY - C1));
+  }
+  // Ite-hoisting: the refinement queries compare guarded memory writes
+  // `ite(g_src, v, base)` against `ite(g_tgt, v', base')`. Hoisting the
+  // conditions out of the equality lets shared values cancel syntactically
+  // instead of dragging their circuits (multipliers!) into the SAT search.
+  {
+    const Term TX = get(X);
+    const Term TY = get(Y);
+    if (TX.K == TK::Ite && TY.K == TK::Ite && TX.B == TY.B &&
+        TX.C == TY.C) {
+      // Equal when the conditions agree, else when the arms coincide.
+      TermId Iff = mkOr(mkAnd(TX.A, TY.A), mkAnd(mkNot(TX.A), mkNot(TY.A)));
+      return mkOr(Iff, mkEq(TX.B, TX.C));
+    }
+    if (TX.K == TK::Ite && (TX.B == Y || TX.C == Y)) {
+      // ite(c, Y, b) == Y  ->  c || (b == Y); dual for the other arm.
+      if (TX.B == Y)
+        return mkOr(TX.A, mkEq(TX.C, Y));
+      return mkOr(mkNot(TX.A), mkEq(TX.B, Y));
+    }
+    if (TY.K == TK::Ite && (TY.B == X || TY.C == X)) {
+      if (TY.B == X)
+        return mkOr(TY.A, mkEq(TY.C, X));
+      return mkOr(mkNot(TY.A), mkEq(TY.B, X));
+    }
+  }
+  if (X > Y)
+    std::swap(X, Y);
+  Term T;
+  T.K = TK::Eq;
+  T.A = X;
+  T.B = Y;
+  return intern(T);
+}
+
+TermId TermTable::mkUlt(TermId X, TermId Y) {
+  if (X == Y)
+    return FalseId;
+  uint32_t CX, CY;
+  if (isConst(X, CX) && isConst(Y, CY))
+    return mkBool(CX < CY);
+  if (isConst(Y, CY) && CY == 0)
+    return FalseId; // x <u 0 is false
+  Term T;
+  T.K = TK::Ult;
+  T.A = X;
+  T.B = Y;
+  return intern(T);
+}
+
+TermId TermTable::mkSlt(TermId X, TermId Y) {
+  if (X == Y)
+    return FalseId;
+  uint32_t CX, CY;
+  if (isConst(X, CX) && isConst(Y, CY))
+    return mkBool(static_cast<int32_t>(CX) < static_cast<int32_t>(CY));
+  Term T;
+  T.K = TK::Slt;
+  T.A = X;
+  T.B = Y;
+  return intern(T);
+}
+
+static bool addOvf(int32_t A, int32_t B) {
+  int64_t R = static_cast<int64_t>(A) + B;
+  return R < INT32_MIN || R > INT32_MAX;
+}
+static bool subOvf(int32_t A, int32_t B) {
+  int64_t R = static_cast<int64_t>(A) - B;
+  return R < INT32_MIN || R > INT32_MAX;
+}
+static bool mulOvf(int32_t A, int32_t B) {
+  int64_t R = static_cast<int64_t>(A) * B;
+  return R < INT32_MIN || R > INT32_MAX;
+}
+
+TermId TermTable::mkAddOvf(TermId X, TermId Y) {
+  uint32_t CX, CY;
+  if (isConst(X, CX) && isConst(Y, CY))
+    return mkBool(addOvf(static_cast<int32_t>(CX), static_cast<int32_t>(CY)));
+  if (isConst(X, CX) && CX == 0)
+    return FalseId;
+  if (isConst(Y, CY) && CY == 0)
+    return FalseId;
+  if (X > Y)
+    std::swap(X, Y);
+  Term T;
+  T.K = TK::AddOvf;
+  T.A = X;
+  T.B = Y;
+  return intern(T);
+}
+
+TermId TermTable::mkSubOvf(TermId X, TermId Y) {
+  uint32_t CX, CY;
+  if (isConst(X, CX) && isConst(Y, CY))
+    return mkBool(subOvf(static_cast<int32_t>(CX), static_cast<int32_t>(CY)));
+  if (isConst(Y, CY) && CY == 0)
+    return FalseId;
+  if (X == Y)
+    return FalseId;
+  Term T;
+  T.K = TK::SubOvf;
+  T.A = X;
+  T.B = Y;
+  return intern(T);
+}
+
+TermId TermTable::mkMulOvf(TermId X, TermId Y) {
+  uint32_t CX, CY;
+  if (isConst(X, CX) && isConst(Y, CY))
+    return mkBool(mulOvf(static_cast<int32_t>(CX), static_cast<int32_t>(CY)));
+  if ((isConst(X, CX) && (CX == 0 || CX == 1)) ||
+      (isConst(Y, CY) && (CY == 0 || CY == 1)))
+    return FalseId;
+  if (X > Y)
+    std::swap(X, Y);
+  Term T;
+  T.K = TK::MulOvf;
+  T.A = X;
+  T.B = Y;
+  return intern(T);
+}
+
+//===----------------------------------------------------------------------===//
+// BV constructors
+//===----------------------------------------------------------------------===//
+
+TermId TermTable::mkAdd(TermId X, TermId Y) {
+  uint32_t CX, CY;
+  if (isConst(X, CX) && isConst(Y, CY))
+    return mkConst(CX + CY);
+  if (isConst(X, CX) && CX == 0)
+    return Y;
+  if (isConst(Y, CY) && CY == 0)
+    return X;
+  // Keep constants on the right and flatten (x + c1) + c2.
+  if (isConst(X))
+    std::swap(X, Y);
+  if (isConst(Y, CY)) {
+    const Term &TX = get(X);
+    uint32_t C1;
+    if (TX.K == TK::Add && isConst(TX.B, C1))
+      return mkAdd(TX.A, mkConst(C1 + CY));
+    if (TX.K == TK::Sub && isConst(TX.B, C1))
+      return mkAdd(TX.A, mkConst(CY - C1));
+  }
+  if (!isConst(Y) && X > Y)
+    std::swap(X, Y);
+  Term T;
+  T.K = TK::Add;
+  T.A = X;
+  T.B = Y;
+  return intern(T);
+}
+
+TermId TermTable::mkSub(TermId X, TermId Y) {
+  uint32_t CX, CY;
+  if (isConst(X, CX) && isConst(Y, CY))
+    return mkConst(CX - CY);
+  if (isConst(Y, CY) && CY == 0)
+    return X;
+  if (X == Y)
+    return mkConst(0);
+  if (isConst(Y, CY))
+    return mkAdd(X, mkConst(-CY)); // normalize x - c to x + (-c)
+  Term T;
+  T.K = TK::Sub;
+  T.A = X;
+  T.B = Y;
+  return intern(T);
+}
+
+TermId TermTable::mkMul(TermId X, TermId Y) {
+  uint32_t CX, CY;
+  if (isConst(X, CX) && isConst(Y, CY))
+    return mkConst(CX * CY);
+  if (isConst(X))
+    std::swap(X, Y);
+  if (isConst(Y, CY)) {
+    if (CY == 0)
+      return mkConst(0);
+    if (CY == 1)
+      return X;
+  }
+  if (!isConst(Y) && X > Y)
+    std::swap(X, Y);
+  Term T;
+  T.K = TK::Mul;
+  T.A = X;
+  T.B = Y;
+  return intern(T);
+}
+
+TermId TermTable::mkSDiv(TermId X, TermId Y) {
+  uint32_t CX, CY;
+  if (isConst(X, CX) && isConst(Y, CY) && CY != 0 &&
+      !(CX == 0x80000000u && CY == 0xffffffffu))
+    return mkConstS(static_cast<int32_t>(CX) / static_cast<int32_t>(CY));
+  if (isConst(Y, CY) && CY == 1)
+    return X;
+  Term T;
+  T.K = TK::SDiv;
+  T.A = X;
+  T.B = Y;
+  return intern(T);
+}
+
+TermId TermTable::mkSRem(TermId X, TermId Y) {
+  uint32_t CX, CY;
+  if (isConst(X, CX) && isConst(Y, CY) && CY != 0 &&
+      !(CX == 0x80000000u && CY == 0xffffffffu))
+    return mkConstS(static_cast<int32_t>(CX) % static_cast<int32_t>(CY));
+  if (isConst(Y, CY) && CY == 1)
+    return mkConst(0);
+  // x % 2^k  ->  ite(x >=s 0, x & (2^k-1), -((-x) & (2^k-1))).
+  // This keeps the common divisibility assumptions out of the divider
+  // circuit entirely.
+  if (isConst(Y, CY) && CY != 0 && (CY & (CY - 1)) == 0) {
+    TermId Mask = mkConst(CY - 1);
+    TermId NonNeg = mkSge(X, mkConst(0));
+    TermId PosCase = mkBvAnd(X, Mask);
+    TermId NegCase = mkNeg(mkBvAnd(mkNeg(X), Mask));
+    return mkIte(NonNeg, PosCase, NegCase);
+  }
+  Term T;
+  T.K = TK::SRem;
+  T.A = X;
+  T.B = Y;
+  return intern(T);
+}
+
+TermId TermTable::mkBvAnd(TermId X, TermId Y) {
+  uint32_t CX, CY;
+  if (isConst(X, CX) && isConst(Y, CY))
+    return mkConst(CX & CY);
+  if (X == Y)
+    return X;
+  if (isConst(X))
+    std::swap(X, Y);
+  if (isConst(Y, CY)) {
+    if (CY == 0)
+      return mkConst(0);
+    if (CY == 0xffffffffu)
+      return X;
+  }
+  if (!isConst(Y) && X > Y)
+    std::swap(X, Y);
+  Term T;
+  T.K = TK::BvAnd;
+  T.A = X;
+  T.B = Y;
+  return intern(T);
+}
+
+TermId TermTable::mkBvOr(TermId X, TermId Y) {
+  uint32_t CX, CY;
+  if (isConst(X, CX) && isConst(Y, CY))
+    return mkConst(CX | CY);
+  if (X == Y)
+    return X;
+  if (isConst(X))
+    std::swap(X, Y);
+  if (isConst(Y, CY)) {
+    if (CY == 0)
+      return X;
+    if (CY == 0xffffffffu)
+      return mkConst(0xffffffffu);
+  }
+  if (!isConst(Y) && X > Y)
+    std::swap(X, Y);
+  Term T;
+  T.K = TK::BvOr;
+  T.A = X;
+  T.B = Y;
+  return intern(T);
+}
+
+TermId TermTable::mkBvXor(TermId X, TermId Y) {
+  uint32_t CX, CY;
+  if (isConst(X, CX) && isConst(Y, CY))
+    return mkConst(CX ^ CY);
+  if (X == Y)
+    return mkConst(0);
+  if (isConst(X))
+    std::swap(X, Y);
+  if (isConst(Y, CY) && CY == 0)
+    return X;
+  if (!isConst(Y) && X > Y)
+    std::swap(X, Y);
+  Term T;
+  T.K = TK::BvXor;
+  T.A = X;
+  T.B = Y;
+  return intern(T);
+}
+
+TermId TermTable::mkBvNot(TermId X) {
+  uint32_t CX;
+  if (isConst(X, CX))
+    return mkConst(~CX);
+  if (get(X).K == TK::BvNot)
+    return get(X).A;
+  Term T;
+  T.K = TK::BvNot;
+  T.A = X;
+  return intern(T);
+}
+
+TermId TermTable::mkShl(TermId X, TermId Y) {
+  uint32_t CX, CY;
+  if (isConst(Y, CY)) {
+    CY &= 31;
+    if (isConst(X, CX))
+      return mkConst(CX << CY);
+    if (CY == 0)
+      return X;
+    Y = mkConst(CY);
+  }
+  Term T;
+  T.K = TK::Shl;
+  T.A = X;
+  T.B = Y;
+  return intern(T);
+}
+
+TermId TermTable::mkLShr(TermId X, TermId Y) {
+  uint32_t CX, CY;
+  if (isConst(Y, CY)) {
+    CY &= 31;
+    if (isConst(X, CX))
+      return mkConst(CX >> CY);
+    if (CY == 0)
+      return X;
+    Y = mkConst(CY);
+  }
+  Term T;
+  T.K = TK::LShr;
+  T.A = X;
+  T.B = Y;
+  return intern(T);
+}
+
+TermId TermTable::mkAShr(TermId X, TermId Y) {
+  uint32_t CX, CY;
+  if (isConst(Y, CY)) {
+    CY &= 31;
+    if (isConst(X, CX))
+      return mkConstS(static_cast<int32_t>(CX) >> CY);
+    if (CY == 0)
+      return X;
+    Y = mkConst(CY);
+  }
+  Term T;
+  T.K = TK::AShr;
+  T.A = X;
+  T.B = Y;
+  return intern(T);
+}
+
+TermId TermTable::mkIte(TermId C, TermId T0, TermId E) {
+  if (C == TrueId)
+    return T0;
+  if (C == FalseId)
+    return E;
+  if (T0 == E)
+    return T0;
+  if (get(C).K == TK::Not)
+    return mkIte(get(C).A, E, T0);
+  // Nested ite with the same condition.
+  if (get(T0).K == TK::Ite && get(T0).A == C)
+    return mkIte(C, get(T0).B, E);
+  if (get(E).K == TK::Ite && get(E).A == C)
+    return mkIte(C, T0, get(E).C);
+  Term T;
+  T.K = TK::Ite;
+  T.A = C;
+  T.B = T0;
+  T.C = E;
+  return intern(T);
+}
+
+//===----------------------------------------------------------------------===//
+// Evaluation
+//===----------------------------------------------------------------------===//
+
+uint32_t TermTable::evalRec(
+    TermId Id, const std::unordered_map<TermId, uint32_t> &Env,
+    std::unordered_map<TermId, uint32_t> &Memo) const {
+  auto Found = Memo.find(Id);
+  if (Found != Memo.end())
+    return Found->second;
+  const Term &T = get(Id);
+  uint32_t R = 0;
+  auto B = [&](TermId K) { return evalRec(K, Env, Memo); };
+  switch (T.K) {
+  case TK::True: R = 1; break;
+  case TK::False: R = 0; break;
+  case TK::BVar:
+  case TK::Var: {
+    auto It = Env.find(Id);
+    R = It == Env.end() ? 0u : It->second;
+    break;
+  }
+  case TK::Not: R = B(T.A) ? 0 : 1; break;
+  case TK::And: R = (B(T.A) && B(T.B)) ? 1 : 0; break;
+  case TK::Or: R = (B(T.A) || B(T.B)) ? 1 : 0; break;
+  case TK::BIte: R = B(T.A) ? B(T.B) : B(T.C); break;
+  case TK::Eq: R = B(T.A) == B(T.B) ? 1 : 0; break;
+  case TK::Ult: R = B(T.A) < B(T.B) ? 1 : 0; break;
+  case TK::Slt:
+    R = static_cast<int32_t>(B(T.A)) < static_cast<int32_t>(B(T.B)) ? 1 : 0;
+    break;
+  case TK::AddOvf:
+    R = addOvf(static_cast<int32_t>(B(T.A)), static_cast<int32_t>(B(T.B)));
+    break;
+  case TK::SubOvf:
+    R = subOvf(static_cast<int32_t>(B(T.A)), static_cast<int32_t>(B(T.B)));
+    break;
+  case TK::MulOvf:
+    R = mulOvf(static_cast<int32_t>(B(T.A)), static_cast<int32_t>(B(T.B)));
+    break;
+  case TK::Const: R = T.CVal; break;
+  case TK::Add: R = B(T.A) + B(T.B); break;
+  case TK::Sub: R = B(T.A) - B(T.B); break;
+  case TK::Mul: R = B(T.A) * B(T.B); break;
+  case TK::SDiv: {
+    int32_t N = static_cast<int32_t>(B(T.A));
+    int32_t D = static_cast<int32_t>(B(T.B));
+    R = (D == 0 || (N == INT32_MIN && D == -1))
+            ? 0u
+            : static_cast<uint32_t>(N / D);
+    break;
+  }
+  case TK::SRem: {
+    int32_t N = static_cast<int32_t>(B(T.A));
+    int32_t D = static_cast<int32_t>(B(T.B));
+    R = (D == 0 || (N == INT32_MIN && D == -1))
+            ? 0u
+            : static_cast<uint32_t>(N % D);
+    break;
+  }
+  case TK::BvAnd: R = B(T.A) & B(T.B); break;
+  case TK::BvOr: R = B(T.A) | B(T.B); break;
+  case TK::BvXor: R = B(T.A) ^ B(T.B); break;
+  case TK::BvNot: R = ~B(T.A); break;
+  case TK::Shl: R = B(T.A) << (B(T.B) & 31); break;
+  case TK::LShr: R = B(T.A) >> (B(T.B) & 31); break;
+  case TK::AShr:
+    R = static_cast<uint32_t>(static_cast<int32_t>(B(T.A)) >>
+                              (B(T.B) & 31));
+    break;
+  case TK::Ite: R = B(T.A) ? B(T.B) : B(T.C); break;
+  }
+  Memo.emplace(Id, R);
+  return R;
+}
+
+uint32_t
+TermTable::evalBv(TermId Id,
+                  const std::unordered_map<TermId, uint32_t> &Env) const {
+  std::unordered_map<TermId, uint32_t> Memo;
+  return evalRec(Id, Env, Memo);
+}
+
+bool TermTable::evalBool(
+    TermId Id, const std::unordered_map<TermId, uint32_t> &Env) const {
+  std::unordered_map<TermId, uint32_t> Memo;
+  return evalRec(Id, Env, Memo) != 0;
+}
+
+//===----------------------------------------------------------------------===//
+// Printing
+//===----------------------------------------------------------------------===//
+
+static const char *kindName(TK K) {
+  switch (K) {
+  case TK::True: return "true";
+  case TK::False: return "false";
+  case TK::BVar: return "bvar";
+  case TK::Not: return "not";
+  case TK::And: return "and";
+  case TK::Or: return "or";
+  case TK::BIte: return "bite";
+  case TK::Eq: return "=";
+  case TK::Ult: return "bvult";
+  case TK::Slt: return "bvslt";
+  case TK::AddOvf: return "saddo";
+  case TK::SubOvf: return "ssubo";
+  case TK::MulOvf: return "smulo";
+  case TK::Const: return "const";
+  case TK::Var: return "var";
+  case TK::Add: return "bvadd";
+  case TK::Sub: return "bvsub";
+  case TK::Mul: return "bvmul";
+  case TK::SDiv: return "bvsdiv";
+  case TK::SRem: return "bvsrem";
+  case TK::BvAnd: return "bvand";
+  case TK::BvOr: return "bvor";
+  case TK::BvXor: return "bvxor";
+  case TK::BvNot: return "bvnot";
+  case TK::Shl: return "bvshl";
+  case TK::LShr: return "bvlshr";
+  case TK::AShr: return "bvashr";
+  case TK::Ite: return "ite";
+  }
+  return "?";
+}
+
+std::string TermTable::print(TermId Id) const {
+  const Term &T = get(Id);
+  switch (T.K) {
+  case TK::True: return "true";
+  case TK::False: return "false";
+  case TK::Const:
+    return format("#x%08x", T.CVal);
+  case TK::Var:
+  case TK::BVar: {
+    const std::string &N = varName(Id);
+    return N.empty() ? format("v%u", T.CVal) : N;
+  }
+  default:
+    break;
+  }
+  std::string S = std::string("(") + kindName(T.K);
+  if (T.A != NoTerm)
+    S += " " + print(T.A);
+  if (T.B != NoTerm)
+    S += " " + print(T.B);
+  if (T.C != NoTerm)
+    S += " " + print(T.C);
+  return S + ")";
+}

@@ -1,0 +1,35 @@
+//===- support/Format.cpp - printf-style string formatting ---------------===//
+
+#include "support/Format.h"
+
+#include <cstdio>
+#include <vector>
+
+using namespace lv;
+
+std::string lv::formatv(const char *Fmt, va_list Args) {
+  va_list Copy;
+  va_copy(Copy, Args);
+  int Needed = std::vsnprintf(nullptr, 0, Fmt, Copy);
+  va_end(Copy);
+  if (Needed <= 0)
+    return std::string();
+  std::string Out(static_cast<size_t>(Needed), '\0');
+  std::vsnprintf(Out.data(), Out.size() + 1, Fmt, Args);
+  return Out;
+}
+
+std::string lv::format(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::string Out = formatv(Fmt, Args);
+  va_end(Args);
+  return Out;
+}
+
+void lv::appendf(std::string &Out, const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  Out += formatv(Fmt, Args);
+  va_end(Args);
+}

@@ -1,0 +1,36 @@
+//===- support/Format.h - printf-style string formatting -------*- C++ -*-===//
+//
+// Part of the llm-vectorizer project, reproducing "LLM-Vectorizer: LLM-based
+// Verified Loop Vectorizer" (CGO 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small printf-style formatting helpers returning std::string. The project
+/// avoids <iostream> in library code per the LLVM coding standards; all
+/// diagnostics and printers build strings through these helpers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_SUPPORT_FORMAT_H
+#define LV_SUPPORT_FORMAT_H
+
+#include <cstdarg>
+#include <string>
+
+namespace lv {
+
+/// Formats like printf into a std::string.
+std::string format(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// va_list variant of format().
+std::string formatv(const char *Fmt, va_list Args);
+
+/// Appends printf-formatted text to \p Out.
+void appendf(std::string &Out, const char *Fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+} // namespace lv
+
+#endif // LV_SUPPORT_FORMAT_H

@@ -1,0 +1,76 @@
+//===- support/Rng.h - deterministic pseudo-random numbers -----*- C++ -*-===//
+///
+/// \file
+/// SplitMix64-based deterministic RNG. Every stochastic component in the
+/// reproduction (checksum test inputs, the simulated LLM's sampling) draws
+/// from this generator so experiments are exactly repeatable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_SUPPORT_RNG_H
+#define LV_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace lv {
+
+/// Deterministic 64-bit RNG (SplitMix64). Cheap to seed and fork.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    uint64_t Z = (State += 0x9e3779b97f4a7c15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform in [0, Bound). Bound must be nonzero.
+  uint64_t below(uint64_t Bound) { return next() % Bound; }
+
+  /// Uniform 32-bit signed value in [Lo, Hi] inclusive.
+  int32_t rangeInt(int32_t Lo, int32_t Hi) {
+    return Lo + static_cast<int32_t>(below(
+                    static_cast<uint64_t>(static_cast<int64_t>(Hi) - Lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli draw with probability \p P.
+  bool chance(double P) { return uniform() < P; }
+
+  /// Derives an independent stream from this seed and a stream label.
+  Rng fork(uint64_t Label) const {
+    Rng Child(State ^ (0xd1342543de82ef95ULL * (Label + 1)));
+    (void)Child.next();
+    return Child;
+  }
+
+private:
+  uint64_t State;
+};
+
+/// FNV-1a over a string, used to derive per-test RNG streams.
+inline uint64_t hashString(const char *S) {
+  uint64_t H = 1469598103934665603ULL;
+  for (; *S; ++S) {
+    H ^= static_cast<uint8_t>(*S);
+    H *= 1099511628211ULL;
+  }
+  return H;
+}
+
+/// Mixes two hashes.
+inline uint64_t hashCombine(uint64_t A, uint64_t B) {
+  A ^= B + 0x9e3779b97f4a7c15ULL + (A << 6) + (A >> 2);
+  return A;
+}
+
+} // namespace lv
+
+#endif // LV_SUPPORT_RNG_H

@@ -1,0 +1,1371 @@
+//===- tsvc/Suite.cpp - TSVC benchmark dataset ---------------------------------===//
+
+#include "tsvc/Suite.h"
+
+#include <unordered_map>
+
+using namespace lv;
+using namespace lv::tsvc;
+
+const char *lv::tsvc::categoryName(Category C) {
+  switch (C) {
+  case Category::ControlFlow: return "Control Flow";
+  case Category::Dependence: return "Dependence";
+  case Category::DependenceControlFlow: return "Dependence+Control Flow";
+  case Category::NaivelyVectorizable: return "Naively Vectorizable";
+  case Category::Reduction: return "Reduction";
+  case Category::ReductionControlFlow: return "Reduction+Control Flow";
+  }
+  return "?";
+}
+
+namespace {
+
+using C = Category;
+
+struct RawTest {
+  const char *Name;
+  Category Cat;
+  const char *Source;
+};
+
+// clang-format off
+const RawTest Tests[] = {
+// ---------------------------------------------------------------- linear --
+{"s000", C::NaivelyVectorizable, R"(
+void s000(int n, int *a, int *b) {
+  for (int i = 0; i < n; i++) {
+    a[i] = b[i] + 1;
+  }
+})"},
+{"s111", C::Dependence, R"(
+void s111(int n, int *a, int *b) {
+  for (int i = 1; i < n; i += 2) {
+    a[i] = a[i - 1] + b[i];
+  }
+})"},
+{"s112", C::Dependence, R"(
+void s112(int n, int *a, int *b) {
+  for (int i = n - 2; i >= 0; i--) {
+    a[i + 1] = a[i] + b[i];
+  }
+})"},
+{"s113", C::Dependence, R"(
+void s113(int n, int *a, int *b) {
+  for (int i = 1; i < n; i++) {
+    a[i] = a[0] + b[i];
+  }
+})"},
+{"s114", C::Dependence, R"(
+void s114(int n, int *a, int *b) {
+  for (int i = 0; i < n; i++) {
+    a[i * 32 + i] = a[i * 32 + i] + b[i];
+  }
+})"},
+{"s115", C::Dependence, R"(
+void s115(int n, int *a, int *b) {
+  for (int j = 0; j < n; j++) {
+    for (int i = j + 1; i < n; i++) {
+      a[i] = a[i] - a[j] * b[i * 32 + j];
+    }
+  }
+})"},
+{"s116", C::Dependence, R"(
+void s116(int n, int *a) {
+  for (int i = 0; i < n - 5; i += 5) {
+    a[i] = a[i + 1] * a[i];
+    a[i + 1] = a[i + 2] * a[i + 1];
+    a[i + 2] = a[i + 3] * a[i + 2];
+    a[i + 3] = a[i + 4] * a[i + 3];
+    a[i + 4] = a[i + 5] * a[i + 4];
+  }
+})"},
+{"s118", C::Dependence, R"(
+void s118(int n, int *a, int *b) {
+  for (int i = 1; i < n; i++) {
+    for (int j = 0; j <= i - 1; j++) {
+      a[i] = a[i] + b[i * 32 + j] * a[i - j - 1];
+    }
+  }
+})"},
+{"s119", C::Dependence, R"(
+void s119(int n, int *a, int *b) {
+  for (int i = 1; i < n; i++) {
+    a[i] = a[i - 1] + b[i];
+  }
+})"},
+// ------------------------------------------------------------- induction --
+{"s121", C::Dependence, R"(
+void s121(int n, int *a, int *b) {
+  int j;
+  for (int i = 0; i < n - 1; i++) {
+    j = i + 1;
+    a[i] = a[j] + b[i];
+  }
+})"},
+{"s122", C::Dependence, R"(
+void s122(int n, int n1, int n3, int *a, int *b) {
+  int j = 1;
+  int k = 0;
+  for (int i = n1 - 1; i < n; i += n3) {
+    k = k + j;
+    a[i] = a[i] + b[n - k];
+  }
+})"},
+{"s124", C::DependenceControlFlow, R"(
+void s124(int *a, int *b, int *c, int *d, int *e, int n) {
+  int j;
+  j = -1;
+  for (int i = 0; i < n; i++) {
+    if (b[i] > 0) {
+      j++;
+      a[j] = b[i] + d[i] * e[i];
+    } else {
+      j++;
+      a[j] = c[i] + d[i] * e[i];
+    }
+  }
+})"},
+{"s125", C::NaivelyVectorizable, R"(
+void s125(int n, int *a, int *b, int *c) {
+  int k = -1;
+  for (int i = 0; i < n; i++) {
+    k++;
+    a[k] = b[i] + c[i];
+  }
+})"},
+{"s126", C::Dependence, R"(
+void s126(int n, int *a, int *b) {
+  int k = 1;
+  for (int i = 0; i < n; i++) {
+    for (int j = 1; j < n; j++) {
+      b[i * 32 + j] = b[i * 32 + j - 1] + a[k - 1];
+      k++;
+    }
+    k++;
+  }
+})"},
+{"s127", C::Dependence, R"(
+void s127(int n, int *a, int *b, int *c, int *d) {
+  int j = -1;
+  for (int i = 0; i < n / 2; i++) {
+    j++;
+    a[j] = b[i] + c[i] * d[i];
+    j++;
+    a[j] = b[i] + d[i] * d[i];
+  }
+})"},
+{"s128", C::Dependence, R"(
+void s128(int n, int *a, int *b, int *c, int *d) {
+  int j = 0;
+  int k;
+  for (int i = 0; i < n / 2; i++) {
+    k = j + 1;
+    a[i] = b[k] - d[i];
+    j = k + 1;
+    b[k] = a[i] + c[k];
+  }
+})"},
+// ----------------------------------------------------- global data flow ---
+{"s131", C::Dependence, R"(
+void s131(int n, int *a, int *b) {
+  int m = 1;
+  for (int i = 0; i < n - 1; i++) {
+    a[i] = a[i + m] + b[i];
+  }
+})"},
+{"s132", C::Dependence, R"(
+void s132(int n, int *a, int *b, int *c) {
+  int m = 0;
+  int j = m;
+  int k = m + 1;
+  for (int i = 1; i < n; i++) {
+    a[i * 32 + j] = a[(i - 1) * 32 + k] + b[i] * c[1];
+  }
+})"},
+{"s141", C::Dependence, R"(
+void s141(int n, int *a, int *b) {
+  int k;
+  for (int i = 0; i < n; i++) {
+    k = i * (i + 1) / 2 + i;
+    for (int j = i; j < n; j++) {
+      a[k] = a[k] + b[j];
+      k = k + j + 1;
+    }
+  }
+})"},
+{"s151", C::NaivelyVectorizable, R"(
+void s151(int n, int *a, int *b) {
+  for (int i = 0; i < n - 1; i++) {
+    a[i] = a[i + 1] + b[i];
+  }
+})"},
+{"s152", C::Dependence, R"(
+void s152(int n, int *a, int *b, int *c, int *d) {
+  for (int i = 0; i < n; i++) {
+    b[i] = d[i] * e_const(i);
+    a[i] = a[i] + b[i] * c[i];
+  }
+})"},
+// ----------------------------------------------------------- control flow --
+{"s161", C::DependenceControlFlow, R"(
+void s161(int n, int *a, int *b, int *c, int *d) {
+  for (int i = 0; i < n - 1; i++) {
+    if (b[i] < 0) {
+      c[i + 1] = a[i] + d[i] * d[i];
+    } else {
+      a[i] = c[i] + d[i] * e_val;
+    }
+  }
+})"},
+{"s162", C::Dependence, R"(
+void s162(int n, int k, int *a, int *b, int *c) {
+  if (k > 0) {
+    for (int i = 0; i < n - 1; i++) {
+      a[i] = a[i + k] + b[i] * c[i];
+    }
+  }
+})"},
+{"s171", C::Dependence, R"(
+void s171(int n, int inc, int *a, int *b) {
+  for (int i = 0; i < n; i++) {
+    a[i * inc] = a[i * inc] + b[i];
+  }
+})"},
+{"s172", C::Dependence, R"(
+void s172(int n, int n1, int n3, int *a, int *b) {
+  for (int i = n1 - 1; i < n; i += n3) {
+    a[i] = a[i] + b[i];
+  }
+})"},
+{"s173", C::NaivelyVectorizable, R"(
+void s173(int n, int *a, int *b) {
+  int k = n / 2;
+  for (int i = 0; i < n / 2; i++) {
+    a[i + k] = a[i] + b[i];
+  }
+})"},
+{"s174", C::NaivelyVectorizable, R"(
+void s174(int n, int m, int *a, int *b) {
+  for (int i = 0; i < m; i++) {
+    a[i + m] = a[i] + b[i];
+  }
+})"},
+{"s175", C::Dependence, R"(
+void s175(int n, int inc, int *a, int *b) {
+  for (int i = 0; i < n - 1; i += inc) {
+    a[i] = a[i + inc] + b[i];
+  }
+})"},
+{"s176", C::Dependence, R"(
+void s176(int n, int *a, int *b, int *c) {
+  int m = n / 2;
+  for (int j = 0; j < m; j++) {
+    for (int i = 0; i < m; i++) {
+      a[i] = a[i] + b[i + m - j - 1] * c[j];
+    }
+  }
+})"},
+// ------------------------------------------------------ statement reorder --
+{"s211", C::Dependence, R"(
+void s211(int n, int *a, int *b, int *c, int *d, int *e) {
+  for (int i = 1; i < n - 1; i++) {
+    a[i] = b[i - 1] + c[i] * d[i];
+    b[i] = b[i + 1] - e[i] * d[i];
+  }
+})"},
+{"s212", C::Dependence, R"(
+void s212(int n, int *a, int *b, int *c, int *d) {
+  for (int i = 0; i < n - 1; i++) {
+    a[i] *= c[i];
+    b[i] += a[i + 1] * d[i];
+  }
+})"},
+{"s1213", C::Dependence, R"(
+void s1213(int n, int *a, int *b, int *c, int *d) {
+  for (int i = 1; i < n - 1; i++) {
+    a[i] = b[i - 1] + c[i];
+    b[i] = a[i + 1] * d[i];
+  }
+})"},
+// ------------------------------------------------------- loop distribution --
+{"s221", C::Dependence, R"(
+void s221(int n, int *a, int *b, int *c, int *d) {
+  for (int i = 1; i < n; i++) {
+    a[i] = a[i] + c[i] * d[i];
+    b[i] = b[i - 1] + a[i] + d[i];
+  }
+})"},
+{"s222", C::Dependence, R"(
+void s222(int n, int *a, int *b, int *e) {
+  for (int i = 1; i < n; i++) {
+    a[i] = a[i] + b[i] * b[i];
+    e[i] = e[i - 1] * e[i - 1];
+    a[i] = a[i] - b[i] * b[i];
+  }
+})"},
+// ------------------------------------------------------- loop interchange --
+{"s231", C::Dependence, R"(
+void s231(int n, int *a, int *b) {
+  for (int i = 0; i < n; i++) {
+    for (int j = 1; j < n; j++) {
+      a[j * 32 + i] = a[(j - 1) * 32 + i] + b[j * 32 + i];
+    }
+  }
+})"},
+{"s232", C::Dependence, R"(
+void s232(int n, int *a, int *b) {
+  for (int j = 1; j < n; j++) {
+    for (int i = 1; i <= j; i++) {
+      a[j * 32 + i] = a[j * 32 + i - 1] * a[j * 32 + i - 1] + b[j * 32 + i];
+    }
+  }
+})"},
+{"s235", C::Dependence, R"(
+void s235(int n, int *a, int *b, int *c) {
+  for (int i = 0; i < n; i++) {
+    a[i] = a[i] + b[i] * c[i];
+    for (int j = 1; j < n; j++) {
+      a[j * 32 + i] = a[(j - 1) * 32 + i] + b[j * 32 + i] * a[i];
+    }
+  }
+})"},
+// --------------------------------------------------------- node splitting --
+{"s241", C::Dependence, R"(
+void s241(int n, int *a, int *b, int *c, int *d) {
+  for (int i = 0; i < n - 1; i++) {
+    a[i] = b[i] * c[i] * d[i];
+    b[i] = a[i] * a[i + 1] * d[i];
+  }
+})"},
+{"s242", C::Dependence, R"(
+void s242(int n, int s1, int s2, int *a, int *b, int *c, int *d) {
+  for (int i = 1; i < n; i++) {
+    a[i] = a[i - 1] + s1 + s2 + b[i] + c[i] + d[i];
+  }
+})"},
+{"s243", C::Dependence, R"(
+void s243(int n, int *a, int *b, int *c, int *d, int *e) {
+  for (int i = 0; i < n - 1; i++) {
+    a[i] = b[i] + c[i] * d[i];
+    b[i] = a[i] + d[i] * e[i];
+    a[i] = b[i] + a[i + 1] * d[i];
+  }
+})"},
+{"s244", C::Dependence, R"(
+void s244(int n, int *a, int *b, int *c, int *d) {
+  for (int i = 0; i < n - 1; i++) {
+    a[i] = b[i] + c[i] * d[i];
+    b[i] = c[i] + b[i];
+    a[i + 1] = b[i] + a[i + 1] * d[i];
+  }
+})"},
+{"s1244", C::Dependence, R"(
+void s1244(int n, int *a, int *b, int *c, int *d) {
+  for (int i = 0; i < n - 1; i++) {
+    a[i] = b[i] + c[i] * c[i] + b[i] * b[i] + c[i];
+    d[i] = a[i] + a[i + 1];
+  }
+})"},
+{"s2244", C::Dependence, R"(
+void s2244(int n, int *a, int *b, int *c, int *e) {
+  for (int i = 0; i < n - 1; i++) {
+    a[i + 1] = b[i] + e[i];
+    a[i] = b[i] + c[i];
+  }
+})"},
+// -------------------------------------------------------------- expansion --
+{"s251", C::NaivelyVectorizable, R"(
+void s251(int n, int *a, int *b, int *c, int *d) {
+  for (int i = 0; i < n; i++) {
+    int s = b[i] + c[i] * d[i];
+    a[i] = s * s;
+  }
+})"},
+{"s1251", C::NaivelyVectorizable, R"(
+void s1251(int n, int *a, int *b, int *c, int *d, int *e) {
+  for (int i = 0; i < n; i++) {
+    int s = b[i] + c[i];
+    b[i] = a[i] + d[i];
+    a[i] = s * e[i];
+  }
+})"},
+{"s2251", C::Dependence, R"(
+void s2251(int n, int *a, int *b, int *c, int *d, int *e) {
+  int s = 0;
+  for (int i = 0; i < n; i++) {
+    a[i] = s * e[i];
+    s = b[i] + c[i];
+    b[i] = a[i] + d[i];
+  }
+})"},
+{"s252", C::Dependence, R"(
+void s252(int n, int *a, int *b, int *c) {
+  int t = 0;
+  for (int i = 0; i < n; i++) {
+    int s = b[i] * c[i];
+    a[i] = s + t;
+    t = s;
+  }
+})"},
+{"s253", C::DependenceControlFlow, R"(
+void s253(int n, int *a, int *b, int *c, int *d) {
+  for (int i = 0; i < n; i++) {
+    if (a[i] > b[i]) {
+      int s = a[i] - b[i] * d[i];
+      c[i] = c[i] + s;
+      a[i] = s;
+    }
+  }
+})"},
+{"s254", C::Dependence, R"(
+void s254(int n, int *a, int *b) {
+  int x = b[n - 1];
+  for (int i = 0; i < n; i++) {
+    a[i] = (b[i] + x) / 2;
+    x = b[i];
+  }
+})"},
+{"s255", C::Dependence, R"(
+void s255(int n, int *a, int *b) {
+  int x = b[n - 1];
+  int y = b[n - 2];
+  for (int i = 0; i < n; i++) {
+    a[i] = (b[i] + x + y) / 3;
+    y = x;
+    x = b[i];
+  }
+})"},
+{"s256", C::Dependence, R"(
+void s256(int n, int *a, int *b, int *d) {
+  for (int i = 0; i < n; i++) {
+    for (int j = 1; j < n; j++) {
+      a[j] = (b[j * 32 + i] - a[j - 1]) * d[j * 32 + i];
+      b[j * 32 + i] = a[j] + d[j * 32 + i] + 5;
+    }
+  }
+})"},
+{"s258", C::DependenceControlFlow, R"(
+void s258(int n, int *a, int *b, int *c, int *d, int *e) {
+  int s = 0;
+  for (int i = 0; i < n; i++) {
+    if (a[i] > 0) {
+      s = d[i] * d[i];
+    }
+    b[i] = s * c[i] + d[i];
+    e[i] = (s + 1) * 3;
+  }
+})"},
+// ------------------------------------------------------ crossing thresholds
+{"s271", C::ControlFlow, R"(
+void s271(int n, int *a, int *b, int *c) {
+  for (int i = 0; i < n; i++) {
+    if (b[i] > 0) {
+      a[i] = a[i] + b[i] * c[i];
+    }
+  }
+})"},
+{"s272", C::ControlFlow, R"(
+void s272(int n, int t, int *a, int *b, int *c, int *d, int *e) {
+  for (int i = 0; i < n; i++) {
+    if (e[i] >= t) {
+      a[i] = a[i] + c[i] * d[i];
+      b[i] = b[i] + c[i] * c[i];
+    }
+  }
+})"},
+{"s273", C::ControlFlow, R"(
+void s273(int n, int *a, int *b, int *c, int *d, int *e) {
+  for (int i = 0; i < n; i++) {
+    a[i] = a[i] + d[i] * e[i];
+    if (a[i] < 0) {
+      b[i] = b[i] + d[i] * e[i];
+    }
+    c[i] = c[i] + a[i] * d[i];
+  }
+})"},
+{"s274", C::DependenceControlFlow, R"(
+void s274(int n, int *a, int *b, int *c, int *d, int *e) {
+  for (int i = 0; i < n; i++) {
+    a[i] = c[i] + e[i] * d[i];
+    if (a[i] > 0) {
+      b[i] = a[i] + b[i];
+    } else {
+      a[i] = d[i] * e[i];
+    }
+  }
+})"},
+{"s275", C::DependenceControlFlow, R"(
+void s275(int n, int *a, int *b, int *c) {
+  for (int i = 0; i < n; i++) {
+    if (a[i] > 0) {
+      for (int j = 1; j < n; j++) {
+        a[j * 32 + i] = a[(j - 1) * 32 + i] + b[j * 32 + i] * c[j * 32 + i];
+      }
+    }
+  }
+})"},
+{"s2275", C::ControlFlow, R"(
+void s2275(int n, int *a, int *b, int *c, int *d) {
+  for (int i = 0; i < n; i++) {
+    if (b[i] > 0) {
+      a[i] = a[i] + b[i] * c[i];
+    } else {
+      a[i] = a[i] + c[i] * c[i];
+    }
+    d[i] = b[i] + c[i];
+  }
+})"},
+{"s276", C::ControlFlow, R"(
+void s276(int n, int m, int *a, int *b, int *c, int *d) {
+  for (int i = 0; i < n; i++) {
+    if (i + 1 < m) {
+      a[i] = a[i] + b[i] * c[i];
+    } else {
+      a[i] = a[i] + b[i] * d[i];
+    }
+  }
+})"},
+{"s277", C::DependenceControlFlow, R"(
+void s277(int n, int *a, int *b, int *c, int *d, int *e) {
+  for (int i = 0; i < n - 1; i++) {
+    if (a[i] < 0) {
+      if (b[i] < 0) {
+        a[i] = a[i] + c[i] * d[i];
+      }
+      b[i + 1] = c[i] + d[i] * e[i];
+    }
+  }
+})"},
+{"s278", C::ControlFlow, R"(
+void s278(int n, int *a, int *b, int *c, int *d, int *e) {
+  for (int i = 0; i < n; i++) {
+    if (a[i] > 0) {
+      goto L20;
+    }
+    b[i] = -b[i] + d[i] * e[i];
+    goto L30;
+L20:
+    c[i] = -c[i] + d[i] * e[i];
+L30:
+    a[i] = b[i] + c[i] * d[i];
+  }
+})"},
+{"s279", C::ControlFlow, R"(
+void s279(int n, int *a, int *b, int *c, int *d, int *e) {
+  for (int i = 0; i < n; i++) {
+    if (a[i] > 0) {
+      goto L20;
+    }
+    b[i] = -b[i] + d[i] * d[i];
+    if (b[i] <= a[i]) {
+      goto L30;
+    }
+    c[i] = -c[i] + e[i] * e[i];
+    goto L30;
+L20:
+    c[i] = -c[i] + d[i] * e[i];
+L30:
+    a[i] = b[i] + c[i] * d[i];
+  }
+})"},
+{"s1279", C::ControlFlow, R"(
+void s1279(int n, int *a, int *b, int *c, int *d, int *e) {
+  for (int i = 0; i < n; i++) {
+    if (a[i] < 0) {
+      if (b[i] > a[i]) {
+        c[i] = c[i] + d[i] * e[i];
+      }
+    }
+  }
+})"},
+{"s2710", C::ControlFlow, R"(
+void s2710(int n, int t, int *a, int *b, int *c, int *d, int *e) {
+  for (int i = 0; i < n; i++) {
+    if (a[i] > b[i]) {
+      a[i] = a[i] + b[i] * d[i];
+      if (n > 10) {
+        c[i] = c[i] + d[i] * d[i];
+      } else {
+        c[i] = c[i] + e[i] * e[i] + 1;
+      }
+    } else {
+      b[i] = a[i] + e[i] * e[i];
+      if (t > 0) {
+        c[i] = a[i] + d[i] * d[i];
+      } else {
+        c[i] = c[i] + e[i] * e[i];
+      }
+    }
+  }
+})"},
+{"s2711", C::ControlFlow, R"(
+void s2711(int n, int *a, int *b, int *c) {
+  for (int i = 0; i < n; i++) {
+    if (b[i] != 0) {
+      a[i] = a[i] + b[i] * c[i];
+    }
+  }
+})"},
+{"s2712", C::ControlFlow, R"(
+void s2712(int n, int t, int *a, int *b, int *c) {
+  for (int i = 0; i < n; i++) {
+    if (a[i] > t) {
+      a[i] = a[i] + b[i] * c[i];
+    }
+  }
+})"},
+{"s281", C::Dependence, R"(
+void s281(int n, int *a, int *b, int *c) {
+  for (int i = 0; i < n; i++) {
+    int x = a[n - i - 1] + b[i] * c[i];
+    a[i] = x - 1;
+    b[i] = x;
+  }
+})"},
+{"s291", C::NaivelyVectorizable, R"(
+void s291(int n, int *a, int *b) {
+  int im1 = n - 1;
+  for (int i = 0; i < n; i++) {
+    a[i] = (b[i] + b[im1]) * 2;
+    im1 = i;
+  }
+})"},
+{"s292", C::NaivelyVectorizable, R"(
+void s292(int n, int *a, int *b) {
+  int im1 = n - 1;
+  int im2 = n - 2;
+  for (int i = 0; i < n; i++) {
+    a[i] = (b[i] + b[im1] + b[im2]) * 3;
+    im2 = im1;
+    im1 = i;
+  }
+})"},
+{"s293", C::NaivelyVectorizable, R"(
+void s293(int n, int *a) {
+  for (int i = 0; i < n; i++) {
+    a[i] = a[0];
+  }
+})"},
+// -------------------------------------------------------------- reductions
+{"s311", C::Reduction, R"(
+int s311(int n, int *a) {
+  int sum = 0;
+  for (int i = 0; i < n; i++) {
+    sum += a[i];
+  }
+  return sum;
+})"},
+{"s312", C::Reduction, R"(
+int s312(int n, int *a) {
+  int prod = 1;
+  for (int i = 0; i < n; i++) {
+    prod *= a[i];
+  }
+  return prod;
+})"},
+{"s313", C::Reduction, R"(
+int s313(int n, int *a, int *b) {
+  int dot = 0;
+  for (int i = 0; i < n; i++) {
+    dot += a[i] * b[i];
+  }
+  return dot;
+})"},
+{"s314", C::Reduction, R"(
+int s314(int n, int *a) {
+  int x = a[0];
+  for (int i = 0; i < n; i++) {
+    if (a[i] > x) {
+      x = a[i];
+    }
+  }
+  return x;
+})"},
+{"s315", C::Reduction, R"(
+int s315(int n, int *a) {
+  int x = a[0];
+  int index = 0;
+  for (int i = 0; i < n; i++) {
+    if (a[i] > x) {
+      x = a[i];
+      index = i;
+    }
+  }
+  return x + index + 1;
+})"},
+{"s316", C::Reduction, R"(
+int s316(int n, int *a) {
+  int x = a[0];
+  for (int i = 1; i < n; i++) {
+    if (a[i] < x) {
+      x = a[i];
+    }
+  }
+  return x;
+})"},
+{"s318", C::Reduction, R"(
+int s318(int n, int inc, int *a) {
+  int k = 0;
+  int index = 0;
+  int max = abs(a[0]);
+  k += inc;
+  for (int i = 1; i < n; i++) {
+    if (abs(a[k]) > max) {
+      index = i;
+      max = abs(a[k]);
+    }
+    k += inc;
+  }
+  return max + index + 1;
+})"},
+{"s319", C::Reduction, R"(
+int s319(int n, int *a, int *b, int *c, int *d, int *e) {
+  int sum = 0;
+  for (int i = 0; i < n; i++) {
+    a[i] = c[i] + d[i];
+    sum += a[i];
+    b[i] = c[i] + e[i];
+    sum += b[i];
+  }
+  return sum;
+})"},
+{"s3110", C::Reduction, R"(
+int s3110(int n, int *a) {
+  int max = a[0];
+  int xindex = 0;
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++) {
+      if (a[i * 32 + j] > max) {
+        max = a[i * 32 + j];
+        xindex = i;
+      }
+    }
+  }
+  return max + xindex + 1;
+})"},
+{"s3111", C::ReductionControlFlow, R"(
+int s3111(int n, int *a) {
+  int sum = 0;
+  for (int i = 0; i < n; i++) {
+    if (a[i] > 0) {
+      sum += a[i];
+    }
+  }
+  return sum;
+})"},
+{"s3112", C::Dependence, R"(
+int s3112(int n, int *a, int *b) {
+  int sum = 0;
+  for (int i = 0; i < n; i++) {
+    sum += a[i];
+    b[i] = sum;
+  }
+  return sum;
+})"},
+{"s3113", C::Reduction, R"(
+int s3113(int n, int *a) {
+  int max = abs(a[0]);
+  for (int i = 0; i < n; i++) {
+    if (abs(a[i]) > max) {
+      max = abs(a[i]);
+    }
+  }
+  return max;
+})"},
+// ------------------------------------------------------------- recurrences
+{"s321", C::Dependence, R"(
+void s321(int n, int *a, int *b) {
+  for (int i = 1; i < n; i++) {
+    a[i] = a[i - 1] + b[i];
+  }
+})"},
+{"s322", C::Dependence, R"(
+void s322(int n, int *a, int *b, int *c) {
+  for (int i = 2; i < n; i++) {
+    a[i] = a[i] + a[i - 1] * b[i] + a[i - 2] * c[i];
+  }
+})"},
+{"s323", C::Dependence, R"(
+void s323(int n, int *a, int *b, int *c, int *d, int *e) {
+  for (int i = 1; i < n; i++) {
+    a[i] = b[i - 1] + c[i] * d[i];
+    b[i] = a[i] + c[i] * e[i];
+  }
+})"},
+// ------------------------------------------------------------ search loops
+{"s331", C::Dependence, R"(
+int s331(int n, int *a) {
+  int j = -1;
+  for (int i = 0; i < n; i++) {
+    if (a[i] < 0) {
+      j = i;
+    }
+  }
+  return j + 1;
+})"},
+{"s332", C::ControlFlow, R"(
+int s332(int n, int t, int *a) {
+  int index = -2;
+  int value = -1;
+  for (int i = 0; i < n; i++) {
+    if (a[i] > t) {
+      index = i;
+      value = a[i];
+      break;
+    }
+  }
+  return value + index + 1;
+})"},
+// ----------------------------------------------------------------- packing
+{"s341", C::DependenceControlFlow, R"(
+void s341(int n, int *a, int *b) {
+  int j = -1;
+  for (int i = 0; i < n; i++) {
+    if (b[i] > 0) {
+      j++;
+      a[j] = b[i];
+    }
+  }
+})"},
+{"s342", C::DependenceControlFlow, R"(
+void s342(int n, int *a, int *b) {
+  int j = -1;
+  for (int i = 0; i < n; i++) {
+    if (a[i] > 0) {
+      j++;
+      a[i] = b[j];
+    }
+  }
+})"},
+{"s343", C::DependenceControlFlow, R"(
+void s343(int n, int *a, int *b) {
+  int k = -1;
+  for (int i = 0; i < n; i++) {
+    for (int j = 0; j < n; j++) {
+      if (b[i * 32 + j] > 0) {
+        k++;
+        a[k] = b[i * 32 + j];
+      }
+    }
+  }
+})"},
+// --------------------------------------------------------- loop rerolling
+{"s351", C::NaivelyVectorizable, R"(
+void s351(int n, int alpha, int *a, int *b) {
+  for (int i = 0; i < n; i += 5) {
+    a[i] += alpha * b[i];
+    a[i + 1] += alpha * b[i + 1];
+    a[i + 2] += alpha * b[i + 2];
+    a[i + 3] += alpha * b[i + 3];
+    a[i + 4] += alpha * b[i + 4];
+  }
+})"},
+{"s352", C::Reduction, R"(
+int s352(int n, int *a, int *b) {
+  int dot = 0;
+  for (int i = 0; i < n; i += 5) {
+    dot = dot + a[i] * b[i] + a[i + 1] * b[i + 1] + a[i + 2] * b[i + 2]
+        + a[i + 3] * b[i + 3] + a[i + 4] * b[i + 4];
+  }
+  return dot;
+})"},
+{"s353", C::Dependence, R"(
+void s353(int n, int alpha, int *a, int *b, int *ip) {
+  for (int i = 0; i < n; i += 5) {
+    a[i] += alpha * b[ip[i]];
+    a[i + 1] += alpha * b[ip[i + 1]];
+    a[i + 2] += alpha * b[ip[i + 2]];
+    a[i + 3] += alpha * b[ip[i + 3]];
+    a[i + 4] += alpha * b[ip[i + 4]];
+  }
+})"},
+// ----------------------------------------------------------- equivalencing
+{"s421", C::Dependence, R"(
+void s421(int n, int *a, int *b) {
+  for (int i = 0; i < n - 1; i++) {
+    a[i] = a[i + 1] + b[i];
+  }
+})"},
+{"s422", C::Dependence, R"(
+void s422(int n, int *a, int *b) {
+  for (int i = 0; i < n; i++) {
+    a[i + 4] = a[i + 8] + b[i];
+  }
+})"},
+{"s423", C::Dependence, R"(
+void s423(int n, int *a, int *b) {
+  for (int i = 0; i < n - 1; i++) {
+    a[i + 1] = a[i] + b[i];
+  }
+})"},
+{"s424", C::Dependence, R"(
+void s424(int n, int *a, int *b) {
+  for (int i = 0; i < n - 1; i++) {
+    a[i + 1] = a[i] + b[i + 1];
+  }
+})"},
+{"s431", C::NaivelyVectorizable, R"(
+void s431(int n, int *a, int *b) {
+  int k = 0;
+  for (int i = 0; i < n; i++) {
+    a[i] = a[i + k] + b[i];
+  }
+})"},
+{"s441", C::ControlFlow, R"(
+void s441(int n, int *a, int *b, int *c, int *d) {
+  for (int i = 0; i < n; i++) {
+    if (d[i] < 0) {
+      a[i] = a[i] + b[i] * c[i];
+    } else if (d[i] == 0) {
+      a[i] = a[i] + b[i] * b[i];
+    } else {
+      a[i] = a[i] + c[i] * c[i];
+    }
+  }
+})"},
+{"s442", C::ControlFlow, R"(
+void s442(int n, int *a, int *b, int *c, int *d, int *e, int *ix) {
+  for (int i = 0; i < n; i++) {
+    if (ix[i] == 1) {
+      a[i] = a[i] + b[i] * b[i];
+    } else if (ix[i] == 2) {
+      a[i] = a[i] + c[i] * c[i];
+    } else if (ix[i] == 3) {
+      a[i] = a[i] + d[i] * d[i];
+    } else {
+      a[i] = a[i] + e[i] * e[i];
+    }
+  }
+})"},
+{"s443", C::ControlFlow, R"(
+void s443(int n, int *a, int *b, int *c, int *d) {
+  for (int i = 0; i < n; i++) {
+    if (d[i] <= 0) {
+      a[i] = a[i] + b[i] * c[i];
+    } else {
+      a[i] = a[i] + b[i] * b[i];
+    }
+  }
+})"},
+{"s451", C::NaivelyVectorizable, R"(
+void s451(int n, int *a, int *b, int *c) {
+  for (int i = 0; i < n; i++) {
+    a[i] = b[i] * c[i] + b[i];
+  }
+})"},
+{"s452", C::NaivelyVectorizable, R"(
+void s452(int n, int *a, int *b, int *c) {
+  for (int i = 0; i < n; i++) {
+    a[i] = b[i] + c[i] * (i + 1);
+  }
+})"},
+{"s453", C::Dependence, R"(
+void s453(int *a, int *b, int n) {
+  int s = 0;
+  for (int i = 0; i < n; i++) {
+    s += 2;
+    a[i] = s * b[i];
+  }
+})"},
+{"s471", C::Dependence, R"(
+void s471(int n, int m, int *a, int *b, int *c, int *d, int *e, int *x) {
+  for (int i = 0; i < n; i++) {
+    x[i] = b[i] + d[i] * d[i];
+    b[i] = c[i] + d[i] * e[i];
+  }
+})"},
+{"s481", C::ControlFlow, R"(
+void s481(int n, int *a, int *b, int *c, int *d) {
+  for (int i = 0; i < n; i++) {
+    if (d[i] < 0) {
+      break;
+    }
+    a[i] = a[i] + b[i] * c[i];
+  }
+})"},
+{"s482", C::ControlFlow, R"(
+void s482(int n, int *a, int *b, int *c) {
+  for (int i = 0; i < n; i++) {
+    a[i] = a[i] + b[i] * c[i];
+    if (c[i] > b[i]) {
+      break;
+    }
+  }
+})"},
+{"s491", C::Dependence, R"(
+void s491(int n, int *a, int *b, int *c, int *d, int *ip) {
+  for (int i = 0; i < n; i++) {
+    a[ip[i]] = b[i] + c[i] * d[i];
+  }
+})"},
+// ---------------------------------------------------------------- indirect
+{"s4112", C::Dependence, R"(
+void s4112(int n, int s, int *a, int *b, int *ip) {
+  for (int i = 0; i < n; i++) {
+    a[i] = b[ip[i]] + s;
+  }
+})"},
+{"s4113", C::Dependence, R"(
+void s4113(int n, int *a, int *b, int *c, int *ip) {
+  for (int i = 0; i < n; i++) {
+    a[ip[i]] = b[ip[i]] + c[i];
+  }
+})"},
+{"s4114", C::Dependence, R"(
+void s4114(int n, int k, int *a, int *b, int *c, int *d, int *ip) {
+  for (int i = 0; i < n; i++) {
+    int j = ip[i];
+    a[i] = b[i] + c[n - j - 1] * d[i];
+  }
+})"},
+{"s4115", C::Reduction, R"(
+int s4115(int n, int *a, int *b, int *ip) {
+  int sum = 0;
+  for (int i = 0; i < n; i++) {
+    sum += a[i] * b[ip[i]];
+  }
+  return sum;
+})"},
+{"s4116", C::Reduction, R"(
+int s4116(int n, int inc, int j, int *a, int *ip) {
+  int sum = 0;
+  int off = inc + 1;
+  for (int i = 0; i < n - 1; i++) {
+    sum += a[off] * a[ip[i] * 32 + j - 1];
+    off += inc;
+  }
+  return sum;
+})"},
+{"s4117", C::Dependence, R"(
+void s4117(int n, int *a, int *b, int *c, int *d) {
+  for (int i = 0; i < n; i++) {
+    a[i] = b[i] + c[i / 2] * d[i];
+  }
+})"},
+{"s4121", C::NaivelyVectorizable, R"(
+void s4121(int n, int *a, int *b, int *c) {
+  for (int i = 0; i < n; i++) {
+    a[i] = a[i] + b[i] * c[i];
+  }
+})"},
+// ------------------------------------------------------------ vt baseline
+{"va", C::NaivelyVectorizable, R"(
+void va(int n, int *a, int *b) {
+  for (int i = 0; i < n; i++) {
+    a[i] = b[i];
+  }
+})"},
+{"vag", C::Dependence, R"(
+void vag(int n, int *a, int *b, int *ip) {
+  for (int i = 0; i < n; i++) {
+    a[i] = b[ip[i]];
+  }
+})"},
+{"vas", C::Dependence, R"(
+void vas(int n, int *a, int *b, int *ip) {
+  for (int i = 0; i < n; i++) {
+    a[ip[i]] = b[i];
+  }
+})"},
+{"vif", C::ControlFlow, R"(
+void vif(int n, int *a, int *b) {
+  for (int i = 0; i < n; i++) {
+    if (b[i] > 0) {
+      a[i] = b[i];
+    }
+  }
+})"},
+{"vpv", C::NaivelyVectorizable, R"(
+void vpv(int n, int *a, int *b) {
+  for (int i = 0; i < n; i++) {
+    a[i] = a[i] + b[i];
+  }
+})"},
+{"vtv", C::NaivelyVectorizable, R"(
+void vtv(int n, int *a, int *b) {
+  for (int i = 0; i < n; i++) {
+    a[i] = a[i] * b[i];
+  }
+})"},
+{"vpvtv", C::NaivelyVectorizable, R"(
+void vpvtv(int n, int *a, int *b, int *c) {
+  for (int i = 0; i < n; i++) {
+    a[i] = a[i] + b[i] * c[i];
+  }
+})"},
+{"vpvts", C::NaivelyVectorizable, R"(
+void vpvts(int n, int s, int *a, int *b) {
+  for (int i = 0; i < n; i++) {
+    a[i] = a[i] + b[i] * s;
+  }
+})"},
+{"vpvpv", C::NaivelyVectorizable, R"(
+void vpvpv(int n, int *a, int *b, int *c) {
+  for (int i = 0; i < n; i++) {
+    a[i] = a[i] + b[i] + c[i];
+  }
+})"},
+{"vtvtv", C::NaivelyVectorizable, R"(
+void vtvtv(int n, int *a, int *b, int *c) {
+  for (int i = 0; i < n; i++) {
+    a[i] = a[i] * b[i] * c[i];
+  }
+})"},
+{"vsumr", C::Reduction, R"(
+int vsumr(int n, int *a) {
+  int sum = 0;
+  for (int i = 0; i < n; i++) {
+    sum += a[i];
+  }
+  return sum;
+})"},
+{"vdotr", C::Reduction, R"(
+int vdotr(int n, int *a, int *b) {
+  int dot = 0;
+  for (int i = 0; i < n; i++) {
+    dot += a[i] * b[i];
+  }
+  return dot;
+})"},
+{"vbor", C::NaivelyVectorizable, R"(
+void vbor(int n, int *a, int *b, int *c, int *d, int *e, int *x) {
+  for (int i = 0; i < n; i++) {
+    int s1 = b[i] * c[i] + d[i] * e[i];
+    int s2 = b[i] * d[i] + c[i] * e[i];
+    x[i] = s1 + s2;
+  }
+})"},
+};
+// clang-format on
+
+/// Additional synthesized members filling out the 149-test dataset:
+/// parameterized variants in the style of the TSVC families above
+/// (different operators, offsets, guards), keeping the category mix close
+/// to the original suite.
+struct VariantSpec {
+  const char *Name;
+  Category Cat;
+  const char *Source;
+};
+
+// clang-format off
+const VariantSpec Variants[] ={
+{"s1112", C::NaivelyVectorizable, R"(
+void s1112(int n, int *a, int *b) {
+  for (int i = 0; i < n; i++) {
+    a[i] = b[i] + 1;
+    a[i] = a[i] + 2;
+  }
+})"},
+{"s1119", C::Dependence, R"(
+void s1119(int n, int *a, int *b) {
+  for (int i = 1; i < n; i++) {
+    for (int j = 0; j < n; j++) {
+      a[i * 32 + j] = a[(i - 1) * 32 + j] + b[i * 32 + j];
+    }
+  }
+})"},
+{"s1161", C::ControlFlow, R"(
+void s1161(int n, int *a, int *b, int *c, int *d) {
+  for (int i = 0; i < n - 1; i++) {
+    if (c[i] < 0) {
+      b[i] = a[i] + d[i] * d[i];
+    } else {
+      a[i] = c[i] + d[i] * d[i];
+    }
+  }
+})"},
+{"s1221", C::Dependence, R"(
+void s1221(int n, int *a, int *b) {
+  for (int i = 4; i < n; i++) {
+    b[i] = b[i - 4] + a[i];
+  }
+})"},
+{"s1281", C::Dependence, R"(
+void s1281(int n, int *a, int *b, int *c, int *d, int *e, int *x) {
+  for (int i = 0; i < n; i++) {
+    int w = b[i] * c[i] + a[i] * d[i] + e[i];
+    a[i] = w - 1;
+    b[i] = w;
+  }
+})"},
+{"vsum_gt", C::ReductionControlFlow, R"(
+int vsum_gt(int n, int t, int *a) {
+  int sum = 0;
+  for (int i = 0; i < n; i++) {
+    if (a[i] > t) {
+      sum += a[i];
+    }
+  }
+  return sum;
+})"},
+{"vsum_if2", C::ReductionControlFlow, R"(
+int vsum_if2(int n, int *a, int *b) {
+  int sum = 0;
+  for (int i = 0; i < n; i++) {
+    if (a[i] > b[i]) {
+      sum += a[i] - b[i];
+    } else {
+      sum += b[i] - a[i];
+    }
+  }
+  return sum;
+})"},
+{"vcnt", C::ReductionControlFlow, R"(
+int vcnt(int n, int *a) {
+  int cnt = 0;
+  for (int i = 0; i < n; i++) {
+    if (a[i] > 0) {
+      cnt += 1;
+    }
+  }
+  return cnt;
+})"},
+{"vabs", C::NaivelyVectorizable, R"(
+void vabs(int n, int *a, int *b) {
+  for (int i = 0; i < n; i++) {
+    a[i] = abs(b[i]);
+  }
+})"},
+{"vsel3", C::ControlFlow, R"(
+void vsel3(int n, int *a, int *b, int *c, int *d) {
+  for (int i = 0; i < n; i++) {
+    a[i] = b[i] > c[i] ? b[i] + d[i] : c[i] - d[i];
+  }
+})"},
+{"vshift", C::NaivelyVectorizable, R"(
+void vshift(int n, int *a, int *b) {
+  for (int i = 0; i < n; i++) {
+    a[i] = (b[i] << 2) + (b[i] >> 1);
+  }
+})"},
+{"vneg", C::NaivelyVectorizable, R"(
+void vneg(int n, int *a, int *b) {
+  for (int i = 0; i < n; i++) {
+    a[i] = -b[i];
+  }
+})"},
+{"vind2", C::Dependence, R"(
+void vind2(int n, int *a, int *b) {
+  int k = 0;
+  for (int i = 0; i < n; i++) {
+    k += 3;
+    a[i] = k * b[i];
+  }
+})"},
+{"vcf_guard_dep", C::DependenceControlFlow, R"(
+void vcf_guard_dep(int n, int *a, int *b, int *c) {
+  for (int i = 0; i < n; i++) {
+    a[i] = b[i] + c[i];
+    if (a[i] > 100) {
+      b[i] = a[i] - c[i];
+    }
+  }
+})"},
+{"vpreload", C::Dependence, R"(
+void vpreload(int n, int *a, int *b, int *c) {
+  for (int i = 0; i < n - 2; i++) {
+    a[i] = a[i + 2] * b[i] + c[i];
+  }
+})"},
+{"vwrap2", C::NaivelyVectorizable, R"(
+void vwrap2(int n, int *a, int *b) {
+  int last = b[n - 1];
+  for (int i = 0; i < n; i++) {
+    a[i] = b[i] + last;
+    last = b[i];
+  }
+})"},
+{"vif_chain3", C::ControlFlow, R"(
+void vif_chain3(int n, int *a, int *b) {
+  for (int i = 0; i < n; i++) {
+    if (b[i] > 100) {
+      a[i] = 3;
+    } else if (b[i] > 10) {
+      a[i] = 2;
+    } else if (b[i] > 0) {
+      a[i] = 1;
+    } else {
+      a[i] = 0;
+    }
+  }
+})"},
+{"viota", C::NaivelyVectorizable, R"(
+void viota(int n, int *a) {
+  for (int i = 0; i < n; i++) {
+    a[i] = i;
+  }
+})"},
+{"vgoto_guard", C::ControlFlow, R"(
+void vgoto_guard(int n, int *a, int *b) {
+  for (int i = 0; i < n; i++) {
+    if (b[i] < 0) {
+      goto Lskip;
+    }
+    a[i] = b[i] * 2;
+Lskip:
+    b[i] = b[i] + 1;
+  }
+})"},
+{"vflag_local", C::ControlFlow, R"(
+void vflag_local(int n, int *a, int *b, int *c) {
+  for (int i = 0; i < n; i++) {
+    int f = 0;
+    if (b[i] > c[i]) {
+      f = 1;
+    }
+    if (f) {
+      a[i] = b[i];
+    } else {
+      a[i] = c[i];
+    }
+  }
+})"},
+{"vguarded_ind", C::DependenceControlFlow, R"(
+void vguarded_ind(int n, int *a, int *b) {
+  int j = 0;
+  for (int i = 0; i < n; i++) {
+    if (b[i] > 0) {
+      a[j] = b[i];
+      j++;
+    }
+  }
+})"},
+};
+// clang-format on
+
+} // namespace
+
+const std::vector<TsvcTest> &lv::tsvc::suite() {
+  static const std::vector<TsvcTest> All = [] {
+    std::vector<TsvcTest> Out;
+    auto addAll = [&Out](auto &Arr) {
+      for (const auto &T : Arr) {
+        TsvcTest X;
+        X.Name = T.Name;
+        X.Cat = T.Cat;
+        // Resolve helper placeholders used by a couple of transcriptions.
+        std::string Src = T.Source;
+        size_t Pos;
+        while ((Pos = Src.find("e_const(i)")) != std::string::npos)
+          Src.replace(Pos, 10, "(i + 1)");
+        while ((Pos = Src.find("e_val")) != std::string::npos)
+          Src.replace(Pos, 5, "3");
+        X.Source = Src;
+        Out.push_back(std::move(X));
+      }
+    };
+    addAll(Tests);
+    addAll(Variants);
+    return Out;
+  }();
+  return All;
+}
+
+const TsvcTest *lv::tsvc::findTest(const std::string &Name) {
+  for (const TsvcTest &T : suite())
+    if (T.Name == Name)
+      return &T;
+  return nullptr;
+}

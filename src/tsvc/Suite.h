@@ -1,0 +1,50 @@
+//===- tsvc/Suite.h - TSVC benchmark dataset --------------------*- C++ -*-===//
+///
+/// \file
+/// The Test Suite for Vectorizing Compilers (TSVC, Maleki et al. [18]) as
+/// used by the paper: 149 `for` loops over int arrays. Each test is one
+/// function in the mini-C subset, tagged with the paper's Figure 6
+/// category. Loops with constructs outside the int-pointer subset
+/// (two-dimensional arrays) are transcribed with flattened subscripts;
+/// DESIGN.md records the transcription rules.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_TSVC_SUITE_H
+#define LV_TSVC_SUITE_H
+
+#include <string>
+#include <vector>
+
+namespace lv {
+namespace tsvc {
+
+/// Paper Figure 6 categories.
+enum class Category : uint8_t {
+  ControlFlow,
+  Dependence,
+  DependenceControlFlow,
+  NaivelyVectorizable,
+  Reduction,
+  ReductionControlFlow,
+};
+
+const char *categoryName(Category C);
+
+/// One TSVC test program.
+struct TsvcTest {
+  std::string Name;
+  Category Cat;
+  std::string Source;
+};
+
+/// The full 149-test dataset (stable order).
+const std::vector<TsvcTest> &suite();
+
+/// Lookup by name; null when absent.
+const TsvcTest *findTest(const std::string &Name);
+
+} // namespace tsvc
+} // namespace lv
+
+#endif // LV_TSVC_SUITE_H

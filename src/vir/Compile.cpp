@@ -1,0 +1,35 @@
+//===- vir/Compile.cpp - source -> VIR convenience pipeline -----------------===//
+
+#include "vir/Compile.h"
+
+#include "minic/Parser.h"
+#include "minic/Sema.h"
+#include "vir/Lower.h"
+
+using namespace lv;
+using namespace lv::vir;
+
+CompileResult lv::vir::compileFunction(const std::string &Source) {
+  CompileResult R;
+  minic::ParseResult P = minic::parseFunction(Source);
+  if (!P.ok()) {
+    R.FailedAt = CompileResult::ParseError;
+    R.Error = P.Error;
+    return R;
+  }
+  R.Ast = std::move(P.Fn);
+  minic::SemaResult S = minic::checkFunction(*R.Ast);
+  if (!S.ok()) {
+    R.FailedAt = CompileResult::SemaError;
+    R.Error = S.Error;
+    return R;
+  }
+  LowerResult L = lowerToVIR(*R.Ast);
+  if (!L.ok()) {
+    R.FailedAt = CompileResult::LowerError;
+    R.Error = L.Error;
+    return R;
+  }
+  R.Fn = std::move(L.Fn);
+  return R;
+}

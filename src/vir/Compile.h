@@ -1,0 +1,37 @@
+//===- vir/Compile.h - source -> VIR convenience pipeline ------*- C++ -*-===//
+///
+/// \file
+/// One-call frontend: parse mini-C source, run Sema, lower to VIR. The
+/// stage that failed is reported so callers can distinguish the paper's
+/// "Cannot compile" (parse/Sema) from lowering limitations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_VIR_COMPILE_H
+#define LV_VIR_COMPILE_H
+
+#include "minic/AST.h"
+#include "vir/IR.h"
+
+#include <string>
+
+namespace lv {
+namespace vir {
+
+/// Result of compiling one function from source text.
+struct CompileResult {
+  minic::FunctionPtr Ast; ///< Parsed AST (present iff parsing succeeded).
+  VFunctionPtr Fn;        ///< Lowered function (present iff all stages OK).
+  enum Stage { None, ParseError, SemaError, LowerError } FailedAt = None;
+  std::string Error;
+
+  bool ok() const { return Fn != nullptr; }
+};
+
+/// Parses, checks and lowers \p Source.
+CompileResult compileFunction(const std::string &Source);
+
+} // namespace vir
+} // namespace lv
+
+#endif // LV_VIR_COMPILE_H

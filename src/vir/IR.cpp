@@ -1,0 +1,453 @@
+//===- vir/IR.cpp - structured vector IR utilities --------------------------===//
+
+#include "vir/IR.h"
+
+#include "support/Format.h"
+
+#include <cassert>
+
+using namespace lv;
+using namespace lv::vir;
+
+Region Region::clone() const {
+  Region R;
+  R.Nodes.reserve(Nodes.size());
+  for (const NodePtr &N : Nodes)
+    R.Nodes.push_back(N->clone());
+  return R;
+}
+
+NodePtr Node::clone() const {
+  auto N = std::make_unique<Node>(K);
+  N->I = I;
+  N->CondReg = CondReg;
+  N->Init = Init.clone();
+  N->CondCalc = CondCalc.clone();
+  N->BodyR = BodyR.clone();
+  N->ElseR = ElseR.clone();
+  N->StepR = StepR.clone();
+  return N;
+}
+
+const char *lv::vir::opName(Op O) {
+  switch (O) {
+  case Op::ConstI32: return "const";
+  case Op::Copy: return "copy";
+  case Op::Add: return "add";
+  case Op::Sub: return "sub";
+  case Op::Mul: return "mul";
+  case Op::SDiv: return "sdiv";
+  case Op::SRem: return "srem";
+  case Op::Shl: return "shl";
+  case Op::AShr: return "ashr";
+  case Op::LShr: return "lshr";
+  case Op::And: return "and";
+  case Op::Or: return "or";
+  case Op::Xor: return "xor";
+  case Op::ICmp: return "icmp";
+  case Op::Select: return "select";
+  case Op::SAbs: return "sabs";
+  case Op::SMax: return "smax";
+  case Op::SMin: return "smin";
+  case Op::Load: return "load";
+  case Op::Store: return "store";
+  case Op::VBroadcast: return "vbroadcast";
+  case Op::VBuild: return "vbuild";
+  case Op::VAdd: return "vadd";
+  case Op::VSub: return "vsub";
+  case Op::VMul: return "vmul";
+  case Op::VMinS: return "vmins";
+  case Op::VMaxS: return "vmaxs";
+  case Op::VAnd: return "vand";
+  case Op::VOr: return "vor";
+  case Op::VXor: return "vxor";
+  case Op::VAndNot: return "vandnot";
+  case Op::VAbs: return "vabs";
+  case Op::VCmpGt: return "vcmpgt";
+  case Op::VCmpEq: return "vcmpeq";
+  case Op::VBlend: return "vblend";
+  case Op::VSelect: return "vselect";
+  case Op::VShlI: return "vshli";
+  case Op::VShrLI: return "vshrli";
+  case Op::VShrAI: return "vshrai";
+  case Op::VShlV: return "vshlv";
+  case Op::VShrLV: return "vshrlv";
+  case Op::VShrAV: return "vshrav";
+  case Op::VExtract: return "vextract";
+  case Op::VInsert: return "vinsert";
+  case Op::VPermute: return "vpermute";
+  case Op::VHAdd: return "vhadd";
+  case Op::VLoad: return "vload";
+  case Op::VStore: return "vstore";
+  case Op::VMaskLoad: return "vmaskload";
+  case Op::VMaskStore: return "vmaskstore";
+  }
+  return "?";
+}
+
+bool lv::vir::hasResult(Op O) {
+  switch (O) {
+  case Op::Store:
+  case Op::VStore:
+  case Op::VMaskStore:
+    return false;
+  default:
+    return true;
+  }
+}
+
+bool lv::vir::isVectorResult(Op O) {
+  switch (O) {
+  case Op::VBroadcast:
+  case Op::VBuild:
+  case Op::VAdd:
+  case Op::VSub:
+  case Op::VMul:
+  case Op::VMinS:
+  case Op::VMaxS:
+  case Op::VAnd:
+  case Op::VOr:
+  case Op::VXor:
+  case Op::VAndNot:
+  case Op::VAbs:
+  case Op::VCmpGt:
+  case Op::VCmpEq:
+  case Op::VBlend:
+  case Op::VSelect:
+  case Op::VShlI:
+  case Op::VShrLI:
+  case Op::VShrAI:
+  case Op::VShlV:
+  case Op::VShrLV:
+  case Op::VShrAV:
+  case Op::VInsert:
+  case Op::VPermute:
+  case Op::VHAdd:
+  case Op::VLoad:
+  case Op::VMaskLoad:
+    return true;
+  default:
+    return false;
+  }
+}
+
+static const char *predName(Pred P) {
+  switch (P) {
+  case Pred::EQ: return "eq";
+  case Pred::NE: return "ne";
+  case Pred::SLT: return "slt";
+  case Pred::SLE: return "sle";
+  case Pred::SGT: return "sgt";
+  case Pred::SGE: return "sge";
+  }
+  return "?";
+}
+
+namespace {
+
+/// IR printer with indentation.
+class Printer {
+public:
+  explicit Printer(const VFunction &F) : F(F) {}
+
+  std::string run();
+
+private:
+  const VFunction &F;
+  std::string Out;
+  int Indent = 0;
+
+  void line(const std::string &S) {
+    Out += std::string(static_cast<size_t>(Indent) * 2, ' ') + S + "\n";
+  }
+  std::string reg(int R) const {
+    if (R < 0)
+      return "<none>";
+    if (R < static_cast<int>(F.RegNames.size()) && !F.RegNames[R].empty())
+      return format("%%%d(%s)", R, F.RegNames[R].c_str());
+    return format("%%%d", R);
+  }
+  void printInstr(const Instr &I);
+  void printRegion(const Region &R);
+  void printNode(const Node &N);
+};
+
+} // namespace
+
+void Printer::printInstr(const Instr &I) {
+  std::string S;
+  if (I.Rd >= 0)
+    S += reg(I.Rd) + " = ";
+  S += opName(I.Opcode);
+  if (I.Opcode == Op::ICmp)
+    S += std::string(".") + predName(I.P);
+  if (I.Nsw)
+    S += " nsw";
+  switch (I.Opcode) {
+  case Op::ConstI32:
+    S += format(" %lld", static_cast<long long>(I.Imm));
+    break;
+  case Op::Load:
+  case Op::VLoad:
+  case Op::Store:
+  case Op::VStore:
+  case Op::VMaskLoad:
+  case Op::VMaskStore:
+    S += format(" @%s", F.Memories[static_cast<size_t>(I.Imm)].Name.c_str());
+    break;
+  case Op::VExtract:
+  case Op::VInsert:
+    S += format(" lane=%lld", static_cast<long long>(I.Imm));
+    break;
+  default:
+    break;
+  }
+  for (int A : I.Args)
+    S += " " + reg(A);
+  line(S);
+}
+
+void Printer::printNode(const Node &N) {
+  switch (N.K) {
+  case Node::Inst:
+    printInstr(N.I);
+    return;
+  case Node::If:
+    line("if " + reg(N.CondReg) + " {");
+    ++Indent;
+    printRegion(N.BodyR);
+    --Indent;
+    if (!N.ElseR.Nodes.empty()) {
+      line("} else {");
+      ++Indent;
+      printRegion(N.ElseR);
+      --Indent;
+    }
+    line("}");
+    return;
+  case Node::For:
+    line("for {");
+    ++Indent;
+    line("init {");
+    ++Indent;
+    printRegion(N.Init);
+    --Indent;
+    line("}");
+    line("cond -> " + reg(N.CondReg) + " {");
+    ++Indent;
+    printRegion(N.CondCalc);
+    --Indent;
+    line("}");
+    line("body {");
+    ++Indent;
+    printRegion(N.BodyR);
+    --Indent;
+    line("}");
+    line("step {");
+    ++Indent;
+    printRegion(N.StepR);
+    --Indent;
+    line("}");
+    --Indent;
+    line("}");
+    return;
+  case Node::Break:
+    line("break");
+    return;
+  case Node::Continue:
+    line("continue");
+    return;
+  case Node::Ret:
+    line(N.CondReg >= 0 ? "ret " + reg(N.CondReg) : "ret");
+    return;
+  }
+}
+
+void Printer::printRegion(const Region &R) {
+  for (const NodePtr &N : R.Nodes)
+    printNode(*N);
+}
+
+std::string Printer::run() {
+  std::string Header = "func @" + F.Name + "(";
+  for (size_t I = 0; I < F.Params.size(); ++I) {
+    if (I)
+      Header += ", ";
+    const VParam &P = F.Params[I];
+    Header += P.IsPointer ? "ptr " : "i32 ";
+    Header += P.Name;
+  }
+  Header += ")";
+  if (F.ReturnsValue)
+    Header += " -> i32";
+  line(Header + " {");
+  ++Indent;
+  for (size_t I = 0; I < F.Memories.size(); ++I) {
+    const RegionInfo &M = F.Memories[I];
+    if (M.IsParam)
+      line(format("memory @%s (param)", M.Name.c_str()));
+    else
+      line(format("memory @%s (local, %lld elems)", M.Name.c_str(),
+                  static_cast<long long>(M.LocalSize)));
+  }
+  printRegion(F.Body);
+  --Indent;
+  line("}");
+  return Out;
+}
+
+std::string lv::vir::printFunction(const VFunction &F) {
+  Printer P(F);
+  return P.run();
+}
+
+namespace {
+
+/// Structural verifier.
+class Verifier {
+public:
+  explicit Verifier(const VFunction &F) : F(F) {}
+
+  std::string run() {
+    checkRegion(F.Body, /*InLoop=*/false);
+    return Error;
+  }
+
+private:
+  const VFunction &F;
+  std::string Error;
+
+  void err(const std::string &M) { Error += M + "\n"; }
+
+  bool regOk(int R) const { return R >= 0 && R < F.numRegs(); }
+
+  VType typeOf(int R) const { return F.RegTypes[static_cast<size_t>(R)]; }
+
+  void checkInstr(const Instr &I);
+  void checkRegion(const Region &R, bool InLoop);
+  void checkNode(const Node &N, bool InLoop);
+};
+
+} // namespace
+
+/// Expected operand count for each opcode; -1 means variable.
+static int arity(Op O) {
+  switch (O) {
+  case Op::ConstI32:
+    return 0;
+  case Op::Copy:
+  case Op::SAbs:
+  case Op::VBroadcast:
+  case Op::VAbs:
+  case Op::Load:
+  case Op::VLoad:
+  case Op::VExtract:
+    return 1;
+  case Op::VBuild:
+    return Lanes;
+  case Op::Select:
+  case Op::VBlend:
+  case Op::VSelect:
+  case Op::VMaskStore:
+    return 3;
+  case Op::Store:
+  case Op::VStore:
+  case Op::VMaskLoad:
+  case Op::VInsert:
+    return 2;
+  default:
+    return 2;
+  }
+}
+
+void Verifier::checkInstr(const Instr &I) {
+  if (hasResult(I.Opcode)) {
+    if (!regOk(I.Rd)) {
+      err(format("%s: bad destination register", opName(I.Opcode)));
+      return;
+    }
+    if (I.Opcode == Op::Copy) {
+      // Copy is polymorphic: destination and source types must agree.
+      if (I.Args.size() == 1 && regOk(I.Args[0]) &&
+          typeOf(I.Rd) != typeOf(I.Args[0]))
+        err("copy: source/destination type mismatch");
+    } else {
+      VType Want = isVectorResult(I.Opcode) ? VType::V8I32 : VType::I32;
+      if (typeOf(I.Rd) != Want)
+        err(format("%s: destination type mismatch", opName(I.Opcode)));
+    }
+  } else if (I.Rd != -1) {
+    err(format("%s: store must not have a destination", opName(I.Opcode)));
+  }
+  int N = arity(I.Opcode);
+  if (static_cast<int>(I.Args.size()) != N)
+    err(format("%s: expected %d operands, got %zu", opName(I.Opcode), N,
+               I.Args.size()));
+  for (int A : I.Args)
+    if (!regOk(A))
+      err(format("%s: bad operand register %d", opName(I.Opcode), A));
+  switch (I.Opcode) {
+  case Op::Load:
+  case Op::Store:
+  case Op::VLoad:
+  case Op::VStore:
+  case Op::VMaskLoad:
+  case Op::VMaskStore:
+    if (I.Imm < 0 || I.Imm >= static_cast<int64_t>(F.Memories.size()))
+      err(format("%s: bad memory region %lld", opName(I.Opcode),
+                 static_cast<long long>(I.Imm)));
+    break;
+  case Op::VExtract:
+  case Op::VInsert:
+    if (I.Imm < 0 || I.Imm >= Lanes)
+      err(format("%s: lane out of range", opName(I.Opcode)));
+    break;
+  default:
+    break;
+  }
+}
+
+void Verifier::checkNode(const Node &N, bool InLoop) {
+  switch (N.K) {
+  case Node::Inst:
+    checkInstr(N.I);
+    return;
+  case Node::If:
+    if (!regOk(N.CondReg) || typeOf(N.CondReg) != VType::I32)
+      err("if: condition must be an i32 register");
+    checkRegion(N.BodyR, InLoop);
+    checkRegion(N.ElseR, InLoop);
+    return;
+  case Node::For:
+    if (!regOk(N.CondReg) || typeOf(N.CondReg) != VType::I32)
+      err("for: condition must be an i32 register");
+    checkRegion(N.Init, InLoop);
+    checkRegion(N.CondCalc, InLoop);
+    checkRegion(N.BodyR, /*InLoop=*/true);
+    checkRegion(N.StepR, InLoop);
+    return;
+  case Node::Break:
+  case Node::Continue:
+    if (!InLoop)
+      err("break/continue outside of a loop");
+    return;
+  case Node::Ret:
+    if (F.ReturnsValue) {
+      if (!regOk(N.CondReg) || typeOf(N.CondReg) != VType::I32)
+        err("ret: value must be an i32 register");
+    } else if (N.CondReg >= 0) {
+      err("ret: void function returns a value");
+    }
+    return;
+  }
+}
+
+void Verifier::checkRegion(const Region &R, bool InLoop) {
+  for (const NodePtr &N : R.Nodes)
+    checkNode(*N, InLoop);
+}
+
+std::string lv::vir::verify(const VFunction &F) {
+  Verifier V(F);
+  return V.run();
+}

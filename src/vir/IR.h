@@ -1,0 +1,183 @@
+//===- vir/IR.h - structured vector IR -------------------------*- C++ -*-===//
+///
+/// \file
+/// The vector IR (VIR): a typed register machine with structured control
+/// flow (SCF-style regions) and first-class 8xi32 vector operations. VIR
+/// plays the role LLVM IR plays in the paper: Clang's lowering of AVX2
+/// intrinsics corresponds to our minic->VIR lowering, and Alive2's bounded
+/// translation validation corresponds to the `tv` module's symbolic
+/// execution over VIR.
+///
+/// Design notes:
+///  * Registers are mutable slots (not SSA). Structured loops re-execute
+///    their body region; the interpreter and the symbolic executor both
+///    keep an environment RegId -> value, merging at `if` joins.
+///  * Pointers never reach VIR: lowering statically resolves every memory
+///    access to a (memory region, dynamic element offset) pair, which also
+///    implements the paper's non-aliasing device (each array parameter is
+///    its own region).
+///  * Scalar ops carry an NSW flag when they originate from C signed
+///    arithmetic (overflow produces poison); vector intrinsics wrap.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_VIR_IR_H
+#define LV_VIR_IR_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace lv {
+namespace vir {
+
+/// Register types. Conditions are I32 with values 0/1 (C semantics).
+enum class VType : uint8_t { I32, V8I32 };
+
+/// Number of lanes of the vector type.
+inline constexpr int Lanes = 8;
+
+/// Integer comparison predicates (signed; the subset C needs).
+enum class Pred : uint8_t { EQ, NE, SLT, SLE, SGT, SGE };
+
+/// Instruction opcodes.
+enum class Op : uint8_t {
+  // Scalar.
+  ConstI32,  ///< rd = Imm
+  Copy,      ///< rd = ra (any type)
+  Add, Sub, Mul, SDiv, SRem,      ///< rd = ra op rb; Nsw => poison on ovf
+  Shl, AShr, LShr, And, Or, Xor,  ///< rd = ra op rb
+  ICmp,      ///< rd = ra <Pred> rb ? 1 : 0
+  Select,    ///< rd = ra ? rb : rc
+  SAbs,      ///< rd = |ra| (INT_MIN -> poison, nsw-style)
+  SMax, SMin,///< rd = max/min(ra, rb)
+  Load,      ///< rd = Region[Imm at offset ra]
+  Store,     ///< Region[Imm at offset ra] = rb
+  // Vector.
+  VBroadcast,///< rd = splat(ra)
+  VBuild,    ///< rd = lanes(ra0..ra7)
+  VAdd, VSub, VMul, VMinS, VMaxS, VAnd, VOr, VXor, VAndNot, VAbs,
+  VCmpGt, VCmpEq,     ///< lane masks: all-ones / all-zeros
+  VBlend,    ///< rd = lanewise msb(rc) ? rb : ra  (blendv)
+  VSelect,   ///< rd = ra(scalar cond) ? rb : rc   (vector select on scalar)
+  VShlI, VShrLI, VShrAI, ///< rd = ra shifted by scalar rb
+  VShlV, VShrLV, VShrAV, ///< rd = ra shifted lanewise by rb
+  VExtract,  ///< rd = ra[Imm]
+  VInsert,   ///< rd = ra with lane Imm replaced by rb
+  VPermute,  ///< rd = ra permuted by index vector rb (lane idx mod 8)
+  VHAdd,     ///< rd = hadd(ra, rb) per AVX2 lane interleave
+  VLoad,     ///< rd = Region[Imm at offsets ra..ra+7]
+  VStore,    ///< Region[Imm at offsets ra..ra+7] = rb
+  VMaskLoad, ///< rd = masked load (mask rb lanes' MSB); inactive lanes 0
+  VMaskStore,///< masked store of rc under mask rb at offset ra
+};
+
+/// One VIR instruction. Operand registers in Args; Region/lane constants in
+/// Imm; comparison predicate in P.
+struct Instr {
+  Op Opcode = Op::ConstI32;
+  int Rd = -1;               ///< Destination register; -1 for stores.
+  std::vector<int> Args;     ///< Source registers.
+  int64_t Imm = 0;           ///< Constant / region id / lane index.
+  Pred P = Pred::EQ;
+  bool Nsw = false;          ///< Signed-overflow produces poison.
+};
+
+struct Node;
+using NodePtr = std::unique_ptr<Node>;
+
+/// A region is an ordered list of nodes.
+struct Region {
+  std::vector<NodePtr> Nodes;
+
+  Region() = default;
+  Region(Region &&) = default;
+  Region &operator=(Region &&) = default;
+
+  Region clone() const;
+};
+
+/// A structured IR node: a plain instruction or a control construct.
+struct Node {
+  enum Kind : uint8_t {
+    Inst,     ///< I
+    If,       ///< if (CondReg) Then else Else
+    For,      ///< Init; while (CondRegion; CondReg) { Body; Step; }
+    Break,    ///< break out of the innermost For
+    Continue, ///< continue the innermost For
+    Ret,      ///< return CondReg (or nothing if CondReg < 0)
+  };
+
+  Kind K = Inst;
+  Instr I;            ///< For Inst nodes.
+  int CondReg = -1;   ///< If/For condition register; Ret value register.
+  Region Init;        ///< For: runs once on entry.
+  Region CondCalc;    ///< For: recomputes CondReg before each iteration.
+  Region BodyR;       ///< If-then / For-body.
+  Region ElseR;       ///< If-else.
+  Region StepR;       ///< For: runs after each iteration.
+
+  explicit Node(Kind K) : K(K) {}
+
+  NodePtr clone() const;
+
+  static NodePtr mkInst(Instr I) {
+    auto N = std::make_unique<Node>(Inst);
+    N->I = std::move(I);
+    return N;
+  }
+};
+
+/// Description of one memory region (an array parameter or local array).
+struct RegionInfo {
+  std::string Name;
+  bool IsParam = true;     ///< False for local arrays.
+  int64_t LocalSize = 0;   ///< Element count for local arrays.
+};
+
+/// A function parameter after lowering.
+struct VParam {
+  std::string Name;
+  bool IsPointer = false;
+  int Reg = -1;      ///< Scalar params: the register holding the value.
+  int MemRegion = -1;///< Pointer params: the memory region id.
+};
+
+/// A lowered function.
+struct VFunction {
+  std::string Name;
+  bool ReturnsValue = false;
+  std::vector<VType> RegTypes;       ///< Indexed by register id.
+  std::vector<std::string> RegNames; ///< Debug names (may be empty).
+  std::vector<RegionInfo> Memories;
+  std::vector<VParam> Params;
+  Region Body;
+
+  int numRegs() const { return static_cast<int>(RegTypes.size()); }
+
+  /// Allocates a fresh register of type \p Ty.
+  int newReg(VType Ty, std::string Name = std::string()) {
+    RegTypes.push_back(Ty);
+    RegNames.push_back(std::move(Name));
+    return numRegs() - 1;
+  }
+};
+
+using VFunctionPtr = std::unique_ptr<VFunction>;
+
+/// Human-readable IR dump (for tests and debugging).
+std::string printFunction(const VFunction &F);
+
+/// Structural well-formedness check; returns diagnostics ("" when OK).
+std::string verify(const VFunction &F);
+
+/// Instruction properties.
+bool isVectorResult(Op O);
+bool hasResult(Op O);
+const char *opName(Op O);
+
+} // namespace vir
+} // namespace lv
+
+#endif // LV_VIR_IR_H

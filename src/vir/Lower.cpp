@@ -1,0 +1,895 @@
+//===- vir/Lower.cpp - mini-C AST -> VIR lowering ---------------------------===//
+
+#include "vir/Lower.h"
+
+#include "minic/GotoElim.h"
+#include "minic/Intrinsics.h"
+#include "minic/Sema.h"
+#include "support/Format.h"
+
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+using namespace lv;
+using namespace lv::vir;
+using minic::BinOp;
+using minic::Expr;
+using minic::IntrinInfo;
+using minic::IntrinOp;
+using minic::Stmt;
+using minic::UnOp;
+
+namespace {
+
+/// A pointer value tracked statically during lowering: which memory region
+/// it points into, a register holding the element offset (in i32 units),
+/// and whether it is an __m256i pointer (scaling pointer arithmetic by 8).
+struct PtrVal {
+  int MemRegion = -1;
+  int OffsetReg = -1;
+  bool IsVec = false;
+};
+
+/// What a name (or expression) lowers to.
+struct LVal {
+  enum Kind { ScalarReg, VectorReg, Pointer } K = ScalarReg;
+  int Reg = -1; ///< ScalarReg/VectorReg.
+  PtrVal Ptr;   ///< Pointer.
+};
+
+/// The lowering driver.
+class Lowerer {
+public:
+  explicit Lowerer(const minic::Function &Src) : Src(Src) {}
+
+  LowerResult run();
+
+private:
+  const minic::Function &Src;
+  VFunctionPtr Fn;
+  std::string Error;
+  std::vector<std::unordered_map<std::string, LVal>> Scopes;
+  std::vector<Region *> RegionStack;
+
+  void err(const std::string &M) {
+    if (Error.empty())
+      Error = M;
+  }
+  bool failed() const { return !Error.empty(); }
+
+  Region &cur() { return *RegionStack.back(); }
+
+  void emit(Instr I) { cur().Nodes.push_back(Node::mkInst(std::move(I))); }
+
+  int emitOp(Op O, std::vector<int> Args, int64_t Imm = 0,
+             bool Nsw = false) {
+    VType Ty = isVectorResult(O) ? VType::V8I32 : VType::I32;
+    int Rd = Fn->newReg(Ty);
+    Instr I;
+    I.Opcode = O;
+    I.Rd = Rd;
+    I.Args = std::move(Args);
+    I.Imm = Imm;
+    I.Nsw = Nsw;
+    emit(std::move(I));
+    return Rd;
+  }
+
+  int emitConst(int64_t V) { return emitOp(Op::ConstI32, {}, V); }
+
+  int emitICmp(Pred P, int A, int B) {
+    int Rd = Fn->newReg(VType::I32);
+    Instr I;
+    I.Opcode = Op::ICmp;
+    I.Rd = Rd;
+    I.Args = {A, B};
+    I.P = P;
+    emit(std::move(I));
+    return Rd;
+  }
+
+  void emitCopy(int Rd, int Rs) {
+    Instr I;
+    I.Opcode = Op::Copy;
+    I.Rd = Rd;
+    I.Args = {Rs};
+    emit(std::move(I));
+  }
+
+  void pushScope() { Scopes.emplace_back(); }
+  void popScope() { Scopes.pop_back(); }
+
+  void define(const std::string &Name, LVal V) { Scopes.back()[Name] = V; }
+
+  LVal *lookup(const std::string &Name) {
+    for (auto It = Scopes.rbegin(); It != Scopes.rend(); ++It) {
+      auto F = It->find(Name);
+      if (F != It->end())
+        return &F->second;
+    }
+    return nullptr;
+  }
+
+  /// Lowers an expression used as a pointer; returns false on failure.
+  bool lowerPointer(const Expr &E, PtrVal &Out);
+
+  /// Lowers an rvalue; returns the register (type per E.Ty), or -1.
+  int lowerExpr(const Expr &E);
+
+  /// Lowers an assignment target and stores \p ValueReg into it.
+  void lowerStoreTo(const Expr &Target, int ValueReg);
+
+  /// Reads the current value of an assignable expression.
+  int lowerReadOf(const Expr &Target);
+
+  int lowerIntrinsic(const Expr &E);
+  int lowerBinary(const Expr &E);
+  int lowerShortCircuit(const Expr &E);
+  int lowerTernary(const Expr &E);
+
+  void lowerStmt(const Stmt &S);
+  void lowerDecl(const Stmt &S);
+  void lowerList(const std::vector<minic::StmtPtr> &L);
+};
+
+} // namespace
+
+bool Lowerer::lowerPointer(const Expr &E, PtrVal &Out) {
+  switch (E.K) {
+  case Expr::VarRef: {
+    LVal *V = lookup(E.Name);
+    if (!V || V->K != LVal::Pointer) {
+      err(format("'%s' is not a pointer", E.Name.c_str()));
+      return false;
+    }
+    Out = V->Ptr;
+    return true;
+  }
+  case Expr::Cast:
+    // Pointer-to-pointer casts reinterpret: (__m256i*)&a[i] keeps the same
+    // region/offset but flips the element scale.
+    if (!lowerPointer(*E.Kids[0], Out))
+      return false;
+    Out.IsVec = E.CastTy.K == minic::Type::VecPtr;
+    return true;
+  case Expr::Unary:
+    if (E.UOp == UnOp::AddrOf) {
+      const Expr &Place = *E.Kids[0];
+      if (Place.K == Expr::Index) {
+        PtrVal Base;
+        if (!lowerPointer(*Place.Kids[0], Base))
+          return false;
+        int Idx = lowerExpr(*Place.Kids[1]);
+        if (Idx < 0)
+          return false;
+        int Scaled = Idx;
+        if (Base.IsVec) {
+          int Eight = emitConst(Lanes);
+          Scaled = emitOp(Op::Mul, {Idx, Eight});
+        }
+        Out.MemRegion = Base.MemRegion;
+        Out.OffsetReg = emitOp(Op::Add, {Base.OffsetReg, Scaled});
+        Out.IsVec = Base.IsVec;
+        return true;
+      }
+      if (Place.K == Expr::VarRef) {
+        // &p where p itself is a pointer-typed variable is not needed;
+        // &scalar is unsupported (no address-taken scalars in the subset).
+        err("address-of a scalar variable is not supported");
+        return false;
+      }
+      err("unsupported address-of expression");
+      return false;
+    }
+    err("unsupported pointer expression");
+    return false;
+  case Expr::Binary: {
+    // p + k / p - k / k + p.
+    const Expr *PtrSide = nullptr;
+    const Expr *IntSide = nullptr;
+    if (E.Kids[0]->Ty.isPointer()) {
+      PtrSide = E.Kids[0].get();
+      IntSide = E.Kids[1].get();
+    } else if (E.Kids[1]->Ty.isPointer()) {
+      PtrSide = E.Kids[1].get();
+      IntSide = E.Kids[0].get();
+    }
+    if (!PtrSide || (E.BOp != BinOp::Add && E.BOp != BinOp::Sub)) {
+      err("unsupported pointer arithmetic");
+      return false;
+    }
+    PtrVal Base;
+    if (!lowerPointer(*PtrSide, Base))
+      return false;
+    int K = lowerExpr(*IntSide);
+    if (K < 0)
+      return false;
+    if (Base.IsVec) {
+      int Eight = emitConst(Lanes);
+      K = emitOp(Op::Mul, {K, Eight});
+    }
+    Out.MemRegion = Base.MemRegion;
+    Out.OffsetReg = emitOp(E.BOp == BinOp::Add ? Op::Add : Op::Sub,
+                           {Base.OffsetReg, K});
+    Out.IsVec = Base.IsVec;
+    return true;
+  }
+  default:
+    err("unsupported pointer expression");
+    return false;
+  }
+}
+
+int Lowerer::lowerReadOf(const Expr &Target) {
+  switch (Target.K) {
+  case Expr::VarRef: {
+    LVal *V = lookup(Target.Name);
+    if (!V) {
+      err(format("use of undeclared '%s'", Target.Name.c_str()));
+      return -1;
+    }
+    if (V->K == LVal::Pointer) {
+      err("reading a pointer as a value is not supported");
+      return -1;
+    }
+    return V->Reg;
+  }
+  case Expr::Index: {
+    PtrVal Base;
+    if (!lowerPointer(*Target.Kids[0], Base))
+      return -1;
+    int Idx = lowerExpr(*Target.Kids[1]);
+    if (Idx < 0)
+      return -1;
+    if (Base.IsVec) {
+      int Eight = emitConst(Lanes);
+      Idx = emitOp(Op::Mul, {Idx, Eight});
+    }
+    int Off = emitOp(Op::Add, {Base.OffsetReg, Idx});
+    return emitOp(Base.IsVec ? Op::VLoad : Op::Load, {Off}, Base.MemRegion);
+  }
+  case Expr::Unary:
+    if (Target.UOp == UnOp::Deref) {
+      PtrVal P;
+      if (!lowerPointer(*Target.Kids[0], P))
+        return -1;
+      return emitOp(P.IsVec ? Op::VLoad : Op::Load, {P.OffsetReg},
+                    P.MemRegion);
+    }
+    [[fallthrough]];
+  default:
+    err("expression is not readable as an lvalue");
+    return -1;
+  }
+}
+
+void Lowerer::lowerStoreTo(const Expr &Target, int ValueReg) {
+  switch (Target.K) {
+  case Expr::VarRef: {
+    LVal *V = lookup(Target.Name);
+    if (!V) {
+      err(format("use of undeclared '%s'", Target.Name.c_str()));
+      return;
+    }
+    if (V->K == LVal::Pointer) {
+      err("pointer reassignment is not supported");
+      return;
+    }
+    emitCopy(V->Reg, ValueReg);
+    return;
+  }
+  case Expr::Index: {
+    PtrVal Base;
+    if (!lowerPointer(*Target.Kids[0], Base))
+      return;
+    int Idx = lowerExpr(*Target.Kids[1]);
+    if (Idx < 0)
+      return;
+    if (Base.IsVec) {
+      int Eight = emitConst(Lanes);
+      Idx = emitOp(Op::Mul, {Idx, Eight});
+    }
+    int Off = emitOp(Op::Add, {Base.OffsetReg, Idx});
+    Instr I;
+    I.Opcode = Base.IsVec ? Op::VStore : Op::Store;
+    I.Imm = Base.MemRegion;
+    I.Args = {Off, ValueReg};
+    emit(std::move(I));
+    return;
+  }
+  case Expr::Unary:
+    if (Target.UOp == UnOp::Deref) {
+      PtrVal P;
+      if (!lowerPointer(*Target.Kids[0], P))
+        return;
+      Instr I;
+      I.Opcode = P.IsVec ? Op::VStore : Op::Store;
+      I.Imm = P.MemRegion;
+      I.Args = {P.OffsetReg, ValueReg};
+      emit(std::move(I));
+      return;
+    }
+    [[fallthrough]];
+  default:
+    err("expression is not assignable");
+  }
+}
+
+int Lowerer::lowerIntrinsic(const Expr &E) {
+  const IntrinInfo &Info = minic::lookupIntrinsic(E.Name);
+  assert(Info.Op != IntrinOp::None && "Sema lets only known calls through");
+
+  auto vectorBin = [&](Op O) -> int {
+    int A = lowerExpr(*E.Kids[0]);
+    int B = lowerExpr(*E.Kids[1]);
+    if (A < 0 || B < 0)
+      return -1;
+    return emitOp(O, {A, B});
+  };
+
+  switch (Info.Op) {
+  case IntrinOp::LoadU: {
+    PtrVal P;
+    if (!lowerPointer(*E.Kids[0], P))
+      return -1;
+    return emitOp(Op::VLoad, {P.OffsetReg}, P.MemRegion);
+  }
+  case IntrinOp::StoreU: {
+    PtrVal P;
+    if (!lowerPointer(*E.Kids[0], P))
+      return -1;
+    int V = lowerExpr(*E.Kids[1]);
+    if (V < 0)
+      return -1;
+    Instr I;
+    I.Opcode = Op::VStore;
+    I.Imm = P.MemRegion;
+    I.Args = {P.OffsetReg, V};
+    emit(std::move(I));
+    return -2; // void
+  }
+  case IntrinOp::MaskLoad: {
+    PtrVal P;
+    if (!lowerPointer(*E.Kids[0], P))
+      return -1;
+    int M = lowerExpr(*E.Kids[1]);
+    if (M < 0)
+      return -1;
+    return emitOp(Op::VMaskLoad, {P.OffsetReg, M}, P.MemRegion);
+  }
+  case IntrinOp::MaskStore: {
+    PtrVal P;
+    if (!lowerPointer(*E.Kids[0], P))
+      return -1;
+    int M = lowerExpr(*E.Kids[1]);
+    int V = lowerExpr(*E.Kids[2]);
+    if (M < 0 || V < 0)
+      return -1;
+    Instr I;
+    I.Opcode = Op::VMaskStore;
+    I.Imm = P.MemRegion;
+    I.Args = {P.OffsetReg, M, V};
+    emit(std::move(I));
+    return -2;
+  }
+  case IntrinOp::Add: return vectorBin(Op::VAdd);
+  case IntrinOp::Sub: return vectorBin(Op::VSub);
+  case IntrinOp::MulLo: return vectorBin(Op::VMul);
+  case IntrinOp::MinS: return vectorBin(Op::VMinS);
+  case IntrinOp::MaxS: return vectorBin(Op::VMaxS);
+  case IntrinOp::AndV: return vectorBin(Op::VAnd);
+  case IntrinOp::OrV: return vectorBin(Op::VOr);
+  case IntrinOp::XorV: return vectorBin(Op::VXor);
+  case IntrinOp::AndNot: return vectorBin(Op::VAndNot);
+  case IntrinOp::CmpGt: return vectorBin(Op::VCmpGt);
+  case IntrinOp::CmpEq: return vectorBin(Op::VCmpEq);
+  case IntrinOp::ShlV: return vectorBin(Op::VShlV);
+  case IntrinOp::ShrLV: return vectorBin(Op::VShrLV);
+  case IntrinOp::ShrAV: return vectorBin(Op::VShrAV);
+  case IntrinOp::PermuteVar: return vectorBin(Op::VPermute);
+  case IntrinOp::HAdd: return vectorBin(Op::VHAdd);
+  case IntrinOp::AbsV: {
+    int A = lowerExpr(*E.Kids[0]);
+    return A < 0 ? -1 : emitOp(Op::VAbs, {A});
+  }
+  case IntrinOp::Set1: {
+    int A = lowerExpr(*E.Kids[0]);
+    return A < 0 ? -1 : emitOp(Op::VBroadcast, {A});
+  }
+  case IntrinOp::SetZero: {
+    int Z = emitConst(0);
+    return emitOp(Op::VBroadcast, {Z});
+  }
+  case IntrinOp::SetR:
+  case IntrinOp::Set: {
+    std::vector<int> LanesArgs(Lanes, -1);
+    for (int I = 0; I < Lanes; ++I) {
+      int A = lowerExpr(*E.Kids[static_cast<size_t>(I)]);
+      if (A < 0)
+        return -1;
+      // setr: arg i -> lane i; set: arg i -> lane 7-i.
+      int Lane = Info.Op == IntrinOp::SetR ? I : Lanes - 1 - I;
+      LanesArgs[static_cast<size_t>(Lane)] = A;
+    }
+    return emitOp(Op::VBuild, std::move(LanesArgs));
+  }
+  case IntrinOp::BlendV: {
+    int A = lowerExpr(*E.Kids[0]);
+    int B = lowerExpr(*E.Kids[1]);
+    int M = lowerExpr(*E.Kids[2]);
+    if (A < 0 || B < 0 || M < 0)
+      return -1;
+    return emitOp(Op::VBlend, {A, B, M});
+  }
+  case IntrinOp::ShlI:
+  case IntrinOp::ShrLI:
+  case IntrinOp::ShrAI: {
+    int V = lowerExpr(*E.Kids[0]);
+    int S = lowerExpr(*E.Kids[1]);
+    if (V < 0 || S < 0)
+      return -1;
+    Op O = Info.Op == IntrinOp::ShlI
+               ? Op::VShlI
+               : (Info.Op == IntrinOp::ShrLI ? Op::VShrLI : Op::VShrAI);
+    return emitOp(O, {V, S});
+  }
+  case IntrinOp::Extract: {
+    int V = lowerExpr(*E.Kids[0]);
+    if (V < 0)
+      return -1;
+    const Expr &LaneE = *E.Kids[1];
+    if (LaneE.K != Expr::IntLit || LaneE.Value < 0 || LaneE.Value >= Lanes) {
+      err("_mm256_extract_epi32 requires a constant lane in [0,8)");
+      return -1;
+    }
+    return emitOp(Op::VExtract, {V}, LaneE.Value);
+  }
+  case IntrinOp::ScalarAbs: {
+    int A = lowerExpr(*E.Kids[0]);
+    return A < 0 ? -1 : emitOp(Op::SAbs, {A});
+  }
+  case IntrinOp::ScalarMax: {
+    int A = lowerExpr(*E.Kids[0]);
+    int B = lowerExpr(*E.Kids[1]);
+    return (A < 0 || B < 0) ? -1 : emitOp(Op::SMax, {A, B});
+  }
+  case IntrinOp::ScalarMin: {
+    int A = lowerExpr(*E.Kids[0]);
+    int B = lowerExpr(*E.Kids[1]);
+    return (A < 0 || B < 0) ? -1 : emitOp(Op::SMin, {A, B});
+  }
+  case IntrinOp::None:
+    break;
+  }
+  err(format("cannot lower call to '%s'", E.Name.c_str()));
+  return -1;
+}
+
+int Lowerer::lowerShortCircuit(const Expr &E) {
+  // res = 0; if (lhs) res = rhs != 0;          (&&)
+  // res = 1; if (lhs) {} else res = rhs != 0;  (||)
+  bool IsAnd = E.BOp == BinOp::LAnd;
+  int Res = Fn->newReg(VType::I32);
+  int Init = emitConst(IsAnd ? 0 : 1);
+  emitCopy(Res, Init);
+  int L = lowerExpr(*E.Kids[0]);
+  if (L < 0)
+    return -1;
+  auto IfN = std::make_unique<Node>(Node::If);
+  IfN->CondReg = L;
+  Region *Target = IsAnd ? &IfN->BodyR : &IfN->ElseR;
+  RegionStack.push_back(Target);
+  int R = lowerExpr(*E.Kids[1]);
+  if (R < 0) {
+    RegionStack.pop_back();
+    return -1;
+  }
+  int Zero = emitConst(0);
+  int Bool = emitICmp(Pred::NE, R, Zero);
+  emitCopy(Res, Bool);
+  RegionStack.pop_back();
+  cur().Nodes.push_back(std::move(IfN));
+  return Res;
+}
+
+int Lowerer::lowerTernary(const Expr &E) {
+  int C = lowerExpr(*E.Kids[0]);
+  if (C < 0)
+    return -1;
+  VType Ty = E.Ty.K == minic::Type::M256i ? VType::V8I32 : VType::I32;
+  int Res = Fn->newReg(Ty);
+  auto IfN = std::make_unique<Node>(Node::If);
+  IfN->CondReg = C;
+  RegionStack.push_back(&IfN->BodyR);
+  int T = lowerExpr(*E.Kids[1]);
+  if (T >= 0)
+    emitCopy(Res, T);
+  RegionStack.pop_back();
+  RegionStack.push_back(&IfN->ElseR);
+  int F = lowerExpr(*E.Kids[2]);
+  if (F >= 0)
+    emitCopy(Res, F);
+  RegionStack.pop_back();
+  if (T < 0 || F < 0)
+    return -1;
+  cur().Nodes.push_back(std::move(IfN));
+  return Res;
+}
+
+int Lowerer::lowerBinary(const Expr &E) {
+  if (E.BOp == BinOp::LAnd || E.BOp == BinOp::LOr)
+    return lowerShortCircuit(E);
+  if (E.BOp == BinOp::Comma) {
+    lowerExpr(*E.Kids[0]);
+    return lowerExpr(*E.Kids[1]);
+  }
+  int A = lowerExpr(*E.Kids[0]);
+  int B = lowerExpr(*E.Kids[1]);
+  if (A < 0 || B < 0)
+    return -1;
+  switch (E.BOp) {
+  case BinOp::Add: return emitOp(Op::Add, {A, B}, 0, /*Nsw=*/true);
+  case BinOp::Sub: return emitOp(Op::Sub, {A, B}, 0, /*Nsw=*/true);
+  case BinOp::Mul: return emitOp(Op::Mul, {A, B}, 0, /*Nsw=*/true);
+  case BinOp::Div: return emitOp(Op::SDiv, {A, B});
+  case BinOp::Rem: return emitOp(Op::SRem, {A, B});
+  case BinOp::Shl: return emitOp(Op::Shl, {A, B});
+  case BinOp::Shr: return emitOp(Op::AShr, {A, B});
+  case BinOp::And: return emitOp(Op::And, {A, B});
+  case BinOp::Or: return emitOp(Op::Or, {A, B});
+  case BinOp::Xor: return emitOp(Op::Xor, {A, B});
+  case BinOp::Lt: return emitICmp(Pred::SLT, A, B);
+  case BinOp::Gt: return emitICmp(Pred::SGT, A, B);
+  case BinOp::Le: return emitICmp(Pred::SLE, A, B);
+  case BinOp::Ge: return emitICmp(Pred::SGE, A, B);
+  case BinOp::Eq: return emitICmp(Pred::EQ, A, B);
+  case BinOp::Ne: return emitICmp(Pred::NE, A, B);
+  case BinOp::LAnd:
+  case BinOp::LOr:
+  case BinOp::Comma:
+    break;
+  }
+  err("unhandled binary operator");
+  return -1;
+}
+
+int Lowerer::lowerExpr(const Expr &E) {
+  if (failed())
+    return -1;
+  switch (E.K) {
+  case Expr::IntLit:
+    return emitConst(E.Value);
+  case Expr::VarRef:
+  case Expr::Index:
+    return lowerReadOf(E);
+  case Expr::Unary: {
+    switch (E.UOp) {
+    case UnOp::Neg: {
+      int A = lowerExpr(*E.Kids[0]);
+      if (A < 0)
+        return -1;
+      int Zero = emitConst(0);
+      return emitOp(Op::Sub, {Zero, A}, 0, /*Nsw=*/true);
+    }
+    case UnOp::LNot: {
+      int A = lowerExpr(*E.Kids[0]);
+      if (A < 0)
+        return -1;
+      int Zero = emitConst(0);
+      return emitICmp(Pred::EQ, A, Zero);
+    }
+    case UnOp::BNot: {
+      int A = lowerExpr(*E.Kids[0]);
+      if (A < 0)
+        return -1;
+      int AllOnes = emitConst(-1);
+      return emitOp(Op::Xor, {A, AllOnes});
+    }
+    case UnOp::PreInc:
+    case UnOp::PreDec:
+    case UnOp::PostInc:
+    case UnOp::PostDec: {
+      const Expr &Place = *E.Kids[0];
+      int Old = lowerReadOf(Place);
+      if (Old < 0)
+        return -1;
+      int One = emitConst(1);
+      bool IsInc = E.UOp == UnOp::PreInc || E.UOp == UnOp::PostInc;
+      int New = emitOp(IsInc ? Op::Add : Op::Sub, {Old, One}, 0,
+                       /*Nsw=*/true);
+      lowerStoreTo(Place, New);
+      bool IsPre = E.UOp == UnOp::PreInc || E.UOp == UnOp::PreDec;
+      return IsPre ? New : Old;
+    }
+    case UnOp::Deref:
+      return lowerReadOf(E);
+    case UnOp::AddrOf:
+      err("address-of only allowed in pointer contexts");
+      return -1;
+    }
+    return -1;
+  }
+  case Expr::Binary:
+    return lowerBinary(E);
+  case Expr::Assign: {
+    int RHS;
+    if (E.IsPlainAssign) {
+      RHS = lowerExpr(*E.Kids[1]);
+    } else {
+      int Old = lowerReadOf(*E.Kids[0]);
+      int Val = lowerExpr(*E.Kids[1]);
+      if (Old < 0 || Val < 0)
+        return -1;
+      switch (E.BOp) {
+      case BinOp::Add: RHS = emitOp(Op::Add, {Old, Val}, 0, true); break;
+      case BinOp::Sub: RHS = emitOp(Op::Sub, {Old, Val}, 0, true); break;
+      case BinOp::Mul: RHS = emitOp(Op::Mul, {Old, Val}, 0, true); break;
+      case BinOp::Div: RHS = emitOp(Op::SDiv, {Old, Val}); break;
+      case BinOp::Rem: RHS = emitOp(Op::SRem, {Old, Val}); break;
+      case BinOp::Shl: RHS = emitOp(Op::Shl, {Old, Val}); break;
+      case BinOp::Shr: RHS = emitOp(Op::AShr, {Old, Val}); break;
+      case BinOp::And: RHS = emitOp(Op::And, {Old, Val}); break;
+      case BinOp::Or: RHS = emitOp(Op::Or, {Old, Val}); break;
+      case BinOp::Xor: RHS = emitOp(Op::Xor, {Old, Val}); break;
+      default:
+        err("unsupported compound assignment");
+        return -1;
+      }
+    }
+    if (RHS < 0)
+      return -1;
+    lowerStoreTo(*E.Kids[0], RHS);
+    return RHS;
+  }
+  case Expr::Ternary:
+    return lowerTernary(E);
+  case Expr::Call: {
+    int R = lowerIntrinsic(E);
+    return R == -2 ? -2 : R;
+  }
+  case Expr::Cast:
+    if (E.CastTy.K == minic::Type::Int)
+      return lowerExpr(*E.Kids[0]);
+    err("value cast to non-int type");
+    return -1;
+  }
+  return -1;
+}
+
+void Lowerer::lowerDecl(const Stmt &S) {
+  for (const minic::Declarator &D : S.Decls) {
+    if (D.ArraySize >= 0) {
+      RegionInfo RI;
+      RI.Name = D.Name;
+      RI.IsParam = false;
+      RI.LocalSize = D.ArraySize;
+      Fn->Memories.push_back(RI);
+      LVal V;
+      V.K = LVal::Pointer;
+      V.Ptr.MemRegion = static_cast<int>(Fn->Memories.size()) - 1;
+      V.Ptr.OffsetReg = emitConst(0);
+      V.Ptr.IsVec = S.DeclTy.K == minic::Type::M256i;
+      define(D.Name, V);
+      continue;
+    }
+    if (S.DeclTy.isPointer()) {
+      if (!D.Init) {
+        err(format("pointer '%s' must be initialized at declaration",
+                   D.Name.c_str()));
+        return;
+      }
+      PtrVal P;
+      if (!lowerPointer(*D.Init, P))
+        return;
+      LVal V;
+      V.K = LVal::Pointer;
+      V.Ptr = P;
+      define(D.Name, V);
+      continue;
+    }
+    VType Ty =
+        S.DeclTy.K == minic::Type::M256i ? VType::V8I32 : VType::I32;
+    int Reg = Fn->newReg(Ty, D.Name);
+    LVal V;
+    V.K = Ty == VType::V8I32 ? LVal::VectorReg : LVal::ScalarReg;
+    V.Reg = Reg;
+    define(D.Name, V);
+    if (D.Init) {
+      int Init = lowerExpr(*D.Init);
+      if (Init < 0)
+        return;
+      emitCopy(Reg, Init);
+    }
+  }
+}
+
+void Lowerer::lowerList(const std::vector<minic::StmtPtr> &L) {
+  for (const minic::StmtPtr &S : L) {
+    if (failed())
+      return;
+    lowerStmt(*S);
+  }
+}
+
+void Lowerer::lowerStmt(const Stmt &S) {
+  switch (S.K) {
+  case Stmt::Decl:
+    lowerDecl(S);
+    return;
+  case Stmt::ExprSt:
+    lowerExpr(*S.Cond);
+    return;
+  case Stmt::Block:
+    pushScope();
+    lowerList(S.Body);
+    popScope();
+    return;
+  case Stmt::If: {
+    int C = lowerExpr(*S.Cond);
+    if (C < 0)
+      return;
+    auto IfN = std::make_unique<Node>(Node::If);
+    IfN->CondReg = C;
+    if (S.thenArm()) {
+      pushScope();
+      RegionStack.push_back(&IfN->BodyR);
+      lowerStmt(*S.Body[0]);
+      RegionStack.pop_back();
+      popScope();
+    }
+    if (S.elseArm()) {
+      pushScope();
+      RegionStack.push_back(&IfN->ElseR);
+      lowerStmt(*S.Body[1]);
+      RegionStack.pop_back();
+      popScope();
+    }
+    cur().Nodes.push_back(std::move(IfN));
+    return;
+  }
+  case Stmt::For: {
+    pushScope();
+    auto ForN = std::make_unique<Node>(Node::For);
+    Node *ForPtr = ForN.get();
+    // Init region.
+    RegionStack.push_back(&ForPtr->Init);
+    if (S.InitStmt && S.InitStmt->K != Stmt::Empty)
+      lowerStmt(*S.InitStmt);
+    RegionStack.pop_back();
+    // Condition region.
+    RegionStack.push_back(&ForPtr->CondCalc);
+    int CondReg;
+    if (S.Cond) {
+      CondReg = lowerExpr(*S.Cond);
+    } else {
+      CondReg = emitConst(1);
+    }
+    RegionStack.pop_back();
+    if (CondReg < 0) {
+      popScope();
+      return;
+    }
+    ForPtr->CondReg = CondReg;
+    // Body.
+    RegionStack.push_back(&ForPtr->BodyR);
+    if (S.forBody()) {
+      pushScope();
+      lowerStmt(*S.Body[0]);
+      popScope();
+    }
+    RegionStack.pop_back();
+    // Step.
+    RegionStack.push_back(&ForPtr->StepR);
+    if (S.StepExpr)
+      lowerExpr(*S.StepExpr);
+    RegionStack.pop_back();
+    popScope();
+    cur().Nodes.push_back(std::move(ForN));
+    return;
+  }
+  case Stmt::Goto:
+  case Stmt::Label:
+    err("internal: goto/label survived elimination");
+    return;
+  case Stmt::Break:
+    cur().Nodes.push_back(std::make_unique<Node>(Node::Break));
+    return;
+  case Stmt::Continue:
+    cur().Nodes.push_back(std::make_unique<Node>(Node::Continue));
+    return;
+  case Stmt::Return: {
+    auto RetN = std::make_unique<Node>(Node::Ret);
+    if (S.Cond) {
+      int V = lowerExpr(*S.Cond);
+      if (V < 0)
+        return;
+      RetN->CondReg = V;
+    }
+    cur().Nodes.push_back(std::move(RetN));
+    return;
+  }
+  case Stmt::Empty:
+    return;
+  }
+}
+
+LowerResult Lowerer::run() {
+  LowerResult Result;
+
+  // Work on a goto-free, type-annotated clone.
+  minic::FunctionPtr Clone = Src.clone();
+  std::string GErr = minic::eliminateGotos(*Clone);
+  if (!GErr.empty()) {
+    Result.Error = GErr;
+    return Result;
+  }
+  minic::SemaResult SR = minic::checkFunction(*Clone);
+  if (!SR.ok()) {
+    Result.Error = SR.Error;
+    return Result;
+  }
+
+  Fn = std::make_unique<VFunction>();
+  Fn->Name = Clone->Name;
+  Fn->ReturnsValue = Clone->RetTy.K == minic::Type::Int;
+
+  pushScope();
+  for (const minic::Param &P : Clone->Params) {
+    VParam VP;
+    VP.Name = P.Name;
+    if (P.Ty.isPointer()) {
+      VP.IsPointer = true;
+      RegionInfo RI;
+      RI.Name = P.Name;
+      RI.IsParam = true;
+      Fn->Memories.push_back(RI);
+      VP.MemRegion = static_cast<int>(Fn->Memories.size()) - 1;
+    } else {
+      VP.Reg = Fn->newReg(VType::I32, P.Name);
+    }
+    Fn->Params.push_back(VP);
+  }
+
+  RegionStack.push_back(&Fn->Body);
+  // Pointer parameters need an offset register holding zero; emit those
+  // after entering the body region.
+  for (size_t I = 0; I < Fn->Params.size(); ++I) {
+    VParam &VP = Fn->Params[I];
+    if (!VP.IsPointer) {
+      LVal V;
+      V.K = LVal::ScalarReg;
+      V.Reg = VP.Reg;
+      define(VP.Name, V);
+      continue;
+    }
+    LVal V;
+    V.K = LVal::Pointer;
+    V.Ptr.MemRegion = VP.MemRegion;
+    V.Ptr.OffsetReg = emitConst(0);
+    V.Ptr.IsVec = false;
+    define(VP.Name, V);
+  }
+
+  if (Clone->BodyBlock)
+    lowerList(Clone->BodyBlock->Body);
+  RegionStack.pop_back();
+  popScope();
+
+  if (failed()) {
+    Result.Error = Error;
+    return Result;
+  }
+  std::string VErr = verify(*Fn);
+  if (!VErr.empty()) {
+    Result.Error = "IR verifier: " + VErr;
+    return Result;
+  }
+  Result.Fn = std::move(Fn);
+  return Result;
+}
+
+LowerResult lv::vir::lowerToVIR(const minic::Function &F) {
+  Lowerer L(F);
+  return L.run();
+}

@@ -1,0 +1,43 @@
+//===- vir/Lower.h - mini-C AST -> VIR lowering ----------------*- C++ -*-===//
+///
+/// \file
+/// Lowers a type-checked mini-C function to VIR. This is the project's
+/// counterpart of Clang emitting LLVM IR: AVX2 intrinsics become first-class
+/// vector instructions, pointers are statically resolved to (memory region,
+/// element offset) pairs — which also realizes the paper's non-aliasing
+/// assumption (each array parameter lives in its own region) — and forward
+/// gotos are eliminated first.
+///
+/// Short-circuit (&&, ||) and ternary expressions lower to structured `if`
+/// nodes, preserving C's conditional-evaluation semantics; this matters for
+/// the UB model (a guarded load must not execute when its guard is false).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_VIR_LOWER_H
+#define LV_VIR_LOWER_H
+
+#include "minic/AST.h"
+#include "vir/IR.h"
+
+#include <string>
+
+namespace lv {
+namespace vir {
+
+/// Result of lowering.
+struct LowerResult {
+  VFunctionPtr Fn;   ///< Null on failure.
+  std::string Error; ///< Diagnostics.
+
+  bool ok() const { return Fn != nullptr; }
+};
+
+/// Lowers \p F (which must already have passed Sema). The input is cloned;
+/// \p F is not modified.
+LowerResult lowerToVIR(const minic::Function &F);
+
+} // namespace vir
+} // namespace lv
+
+#endif // LV_VIR_LOWER_H

@@ -1,0 +1,173 @@
+//===- tests/test_cross.cpp - cross-layer consistency properties --------------===//
+//
+// Property suites tying the substrate layers together:
+//
+//  1. Interpreter vs symbolic executor: running a function concretely must
+//     agree with evaluating the symbolic final state under the same
+//     concrete inputs (the TV encoding is only trustworthy if it matches
+//     the executable semantics the checksum harness uses).
+//  2. Generator soundness at scale: every clean vectorization the
+//     simulated LLM produces for the TSVC suite must be checksum-plausible
+//     — wrong clean output would silently poison every experiment.
+//  3. Pipeline verdict consistency: Equivalent candidates must never be
+//     distinguishable by extra randomized checksum rounds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Checksum.h"
+#include "interp/Interp.h"
+#include "llm/Vectorizer.h"
+#include "minic/Parser.h"
+#include "minic/Printer.h"
+#include "smt/Term.h"
+#include "support/Rng.h"
+#include "tsvc/Suite.h"
+#include "tv/SymExec.h"
+#include "vir/Compile.h"
+
+#include <gtest/gtest.h>
+
+using namespace lv;
+
+namespace {
+
+/// Kernels with varied shapes for the interp-vs-symexec agreement suite.
+const char *CrossKernels[] = {
+    "void f(int n, int *a, int *b) { for (int i = 0; i < n; i++) "
+    "a[i] = b[i] * 3 + 1; }",
+    "void f(int n, int *a, int *b) { for (int i = 0; i < n; i++) { "
+    "if (b[i] > 2) a[i] = b[i]; else a[i] = -b[i]; } }",
+    "int f(int n, int *a) { int s = 0; for (int i = 0; i < n; i++) "
+    "s += a[i]; return s; }",
+    "void f(int n, int *a) { for (int i = 1; i < n; i++) "
+    "a[i] = a[i - 1] + 1; }",
+    "int f(int n, int *a, int *b) { int s = 0; for (int i = 0; i < n; "
+    "i++) { a[i] = b[i] & 7; if (a[i] == 3) continue; s += a[i]; } "
+    "return s; }",
+    "int f(int n, int *a) { for (int i = 0; i < n; i++) { if (a[i] < 0) "
+    "break; a[i] = a[i] >> 1; } return a[0]; }",
+};
+
+class CrossExecTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CrossExecTest, InterpreterMatchesSymbolicExecutor) {
+  auto [KernelIdx, Seed] = GetParam();
+  const char *Src = CrossKernels[static_cast<size_t>(KernelIdx)];
+  vir::CompileResult C = vir::compileFunction(Src);
+  ASSERT_TRUE(C.ok()) << C.Error;
+
+  // Concrete run.
+  Rng R(static_cast<uint64_t>(Seed) * 7919 + 3);
+  const int Cap = 12;
+  int N = static_cast<int>(R.below(Cap));
+  interp::MemoryImage Mem;
+  std::vector<std::vector<int32_t>> Inputs;
+  for (const vir::RegionInfo &M : C.Fn->Memories) {
+    (void)M;
+    std::vector<int32_t> Buf(Cap);
+    for (int32_t &V : Buf)
+      V = R.rangeInt(-20, 20);
+    Inputs.push_back(Buf);
+    Mem.Regions.push_back(Buf);
+  }
+  interp::ExecResult IR = interp::execute(*C.Fn, {N}, Mem);
+  if (!IR.ok())
+    GTEST_SKIP() << "concrete run trapped: " << IR.TrapMsg;
+
+  // Symbolic run, then evaluate under the same inputs.
+  smt::TermTable T;
+  tv::SharedInputs In(T);
+  tv::ExecOptions Opts;
+  Opts.UnrollBound = Cap + 2;
+  Opts.MemWindow = Cap;
+  tv::SymState SS = tv::executeSymbolic(*C.Fn, T, In, Opts);
+  ASSERT_TRUE(SS.ok()) << SS.Error;
+
+  std::unordered_map<smt::TermId, uint32_t> Env;
+  Env[In.scalar("n")] = static_cast<uint32_t>(N);
+  for (size_t MI = 0; MI < C.Fn->Memories.size(); ++MI) {
+    const std::vector<tv::SymVal> &Base =
+        In.arrayBase(C.Fn->Memories[MI].Name, Cap);
+    Env[In.arraySize(C.Fn->Memories[MI].Name)] = Cap;
+    for (int K = 0; K < Cap; ++K)
+      Env[Base[static_cast<size_t>(K)].Val] =
+          static_cast<uint32_t>(Inputs[MI][static_cast<size_t>(K)]);
+  }
+  // The concrete input must satisfy the unroll-exhaustion assumptions and
+  // be UB-free (the interpreter ran clean and in-bounds).
+  ASSERT_TRUE(T.evalBool(SS.Assum, Env));
+  EXPECT_FALSE(T.evalBool(SS.UB, Env))
+      << "symbolic UB on an input the interpreter executed cleanly";
+
+  // Final memory agreement, cell by cell.
+  for (size_t MI = 0; MI < C.Fn->Memories.size(); ++MI) {
+    for (int K = 0; K < Cap; ++K) {
+      tv::SymVal Cell =
+          SS.Mems[MI].read(T.mkConst(static_cast<uint32_t>(K)));
+      if (T.evalBool(Cell.Poison, Env))
+        continue; // poison cells have no concrete obligation
+      EXPECT_EQ(static_cast<int32_t>(T.evalBv(Cell.Val, Env)),
+                Mem.Regions[MI][static_cast<size_t>(K)])
+          << "kernel " << KernelIdx << " region " << MI << " cell " << K
+          << " n=" << N;
+    }
+  }
+  // Return value agreement.
+  if (C.Fn->ReturnsValue && IR.Returned) {
+    ASSERT_TRUE(T.evalBool(SS.RetCond, Env));
+    if (!T.evalBool(SS.RetVal.Poison, Env))
+      EXPECT_EQ(static_cast<int32_t>(T.evalBv(SS.RetVal.Val, Env)),
+                IR.RetVal);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Random, CrossExecTest,
+    ::testing::Combine(::testing::Range(0, 6), ::testing::Range(0, 8)));
+
+/// Every clean (fault-free, sound-by-construction) vectorization over the
+/// whole TSVC suite must pass checksum testing.
+TEST(GeneratorSoundness, CleanOutputsAreAlwaysPlausible) {
+  int Checked = 0;
+  for (const tsvc::TsvcTest &T : tsvc::suite()) {
+    minic::ParseResult P = minic::parseFunction(T.Source);
+    ASSERT_TRUE(P.ok()) << T.Name;
+    llm::GenResult G = llm::vectorizeFunction(*P.Fn, llm::FaultPlan());
+    if (!G.Fn || !G.SoundByConstruction)
+      continue;
+    ++Checked;
+    vir::CompileResult SC = vir::compileFunction(T.Source);
+    vir::CompileResult VC =
+        vir::compileFunction(minic::printFunction(*G.Fn));
+    ASSERT_TRUE(SC.ok()) << T.Name;
+    ASSERT_TRUE(VC.ok()) << T.Name << ": " << VC.Error << "\n"
+                         << minic::printFunction(*G.Fn);
+    interp::ChecksumOutcome O = interp::runChecksumTest(*SC.Fn, *VC.Fn);
+    EXPECT_EQ(O.Verdict, interp::TestVerdict::Plausible)
+        << T.Name << ": " << O.Detail << "\n"
+        << minic::printFunction(*G.Fn);
+  }
+  // The repertoire must cover a substantial part of the suite.
+  EXPECT_GE(Checked, 60) << "generator coverage regressed";
+}
+
+/// Wraparound peeling (s291/s292) specifically: generated code handles
+/// non-multiple-of-8 bounds through the peel + epilogue structure.
+TEST(GeneratorSoundness, WraparoundPeelHandlesAllBounds) {
+  const tsvc::TsvcTest *T = tsvc::findTest("s291");
+  ASSERT_NE(T, nullptr);
+  minic::ParseResult P = minic::parseFunction(T->Source);
+  llm::GenResult G = llm::vectorizeFunction(*P.Fn, llm::FaultPlan());
+  ASSERT_NE(G.Fn, nullptr) << "s291 must be vectorizable (peeling)";
+  vir::CompileResult SC = vir::compileFunction(T->Source);
+  vir::CompileResult VC = vir::compileFunction(minic::printFunction(*G.Fn));
+  ASSERT_TRUE(VC.ok()) << VC.Error;
+  interp::ChecksumConfig Cfg;
+  Cfg.NValues = {0, 1, 2, 7, 8, 9, 16, 64, 200};
+  interp::ChecksumOutcome O = interp::runChecksumTest(*SC.Fn, *VC.Fn, Cfg);
+  EXPECT_EQ(O.Verdict, interp::TestVerdict::Plausible)
+      << O.Detail << "\n" << minic::printFunction(*G.Fn);
+}
+
+} // namespace

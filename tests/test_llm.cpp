@@ -1,0 +1,319 @@
+//===- tests/test_llm.cpp - simulated-LLM tests --------------------------------===//
+//
+// Tests for the rule-based vectorizer strategies, the fault injection
+// catalog, and the competence model's determinism and difficulty tiers.
+// Strategy correctness is validated semantically: clean-plan outputs must
+// be checksum-plausible against the scalar source.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Checksum.h"
+#include "llm/Client.h"
+#include "llm/Vectorizer.h"
+#include "minic/Parser.h"
+#include "minic/Printer.h"
+#include "vir/Compile.h"
+
+#include <gtest/gtest.h>
+
+using namespace lv;
+using namespace lv::llm;
+
+namespace {
+
+/// Clean-plan vectorization must compile and be checksum-plausible.
+static void expectCleanVectorization(const char *ScalarSrc,
+                                     const char *ExpectStrategy = nullptr) {
+  minic::ParseResult P = minic::parseFunction(ScalarSrc);
+  ASSERT_TRUE(P.ok()) << P.Error;
+  GenResult G = vectorizeFunction(*P.Fn, FaultPlan());
+  ASSERT_TRUE(G.Fn != nullptr) << "no strategy for:\n" << ScalarSrc;
+  EXPECT_TRUE(G.SoundByConstruction);
+  if (ExpectStrategy)
+    EXPECT_EQ(G.Strategy, ExpectStrategy);
+  std::string VecSrc = minic::printFunction(*G.Fn);
+  SCOPED_TRACE("generated:\n" + VecSrc);
+  EXPECT_NE(VecSrc.find("_mm256_"), std::string::npos);
+
+  vir::CompileResult SC = vir::compileFunction(ScalarSrc);
+  ASSERT_TRUE(SC.ok()) << SC.Error;
+  vir::CompileResult VC = vir::compileFunction(VecSrc);
+  ASSERT_TRUE(VC.ok()) << VC.Error << "\n" << VecSrc;
+  interp::ChecksumOutcome O = interp::runChecksumTest(*SC.Fn, *VC.Fn);
+  EXPECT_EQ(O.Verdict, interp::TestVerdict::Plausible) << O.Detail;
+}
+
+TEST(Vectorizer, PlainWiden) {
+  expectCleanVectorization(
+      "void f(int n, int *a, int *b) { for (int i = 0; i < n; i++) "
+      "a[i] = b[i] * 3 + 1; }",
+      "widen");
+}
+
+TEST(Vectorizer, OffsetReads) {
+  expectCleanVectorization(
+      "void f(int n, int *a, int *b) { for (int i = 0; i < n; i++) "
+      "a[i] = b[i + 2] - b[i]; }");
+}
+
+TEST(Vectorizer, CompoundAssignment) {
+  expectCleanVectorization(
+      "void f(int n, int *a, int *c) { for (int i = 0; i < n; i++) "
+      "a[i] *= c[i]; }");
+}
+
+TEST(Vectorizer, S212ReorderedPreload) {
+  expectCleanVectorization(R"(
+    void s212(int n, int *a, int *b, int *c, int *d) {
+      for (int i = 0; i < n - 1; i++) {
+        a[i] *= c[i];
+        b[i] += a[i + 1] * d[i];
+      }
+    })");
+}
+
+TEST(Vectorizer, IfConversionWithMaskedOps) {
+  expectCleanVectorization(R"(
+    void f(int n, int *a, int *b, int *c) {
+      for (int i = 0; i < n; i++) {
+        if (b[i] > 0)
+          a[i] = b[i] + c[i];
+      }
+    })");
+}
+
+TEST(Vectorizer, IfElseBothArms) {
+  expectCleanVectorization(R"(
+    void f(int n, int *a, int *b, int *c) {
+      for (int i = 0; i < n; i++) {
+        if (b[i] > 0)
+          a[i] = b[i];
+        else
+          a[i] = c[i];
+      }
+    })");
+}
+
+TEST(Vectorizer, TernaryBlend) {
+  expectCleanVectorization(
+      "void f(int n, int *a, int *b) { for (int i = 0; i < n; i++) "
+      "a[i] = b[i] > 0 ? b[i] : -b[i]; }");
+}
+
+TEST(Vectorizer, Reduction) {
+  expectCleanVectorization(
+      "int f(int n, int *a) { int sum = 0; for (int i = 0; i < n; i++) "
+      "sum += a[i]; return sum; }",
+      "reduction");
+}
+
+TEST(Vectorizer, InductionRamp) {
+  expectCleanVectorization(R"(
+    void s453(int *a, int *b, int n) {
+      int s = 0;
+      for (int i = 0; i < n; i++) {
+        s += 2;
+        a[i] = s * b[i];
+      }
+    })");
+}
+
+TEST(Vectorizer, GotoRestructuring) {
+  expectCleanVectorization(R"(
+    void s278(int n, int *a, int *b, int *c, int *d, int *e) {
+      for (int i = 0; i < n; i++) {
+        if (a[i] > 0) {
+          goto L20;
+        }
+        b[i] = -b[i] + d[i] * e[i];
+        goto L30;
+L20:
+        c[i] = -c[i] + d[i] * e[i];
+L30:
+        a[i] = b[i] + c[i] * d[i];
+      }
+    })");
+}
+
+TEST(Vectorizer, GuardedInductionS124) {
+  expectCleanVectorization(R"(
+    void s124(int *a, int *b, int *c, int *d, int *e, int n) {
+      int j;
+      j = -1;
+      for (int i = 0; i < n; i++) {
+        if (b[i] > 0) {
+          j++;
+          a[j] = b[i] + d[i] * e[i];
+        } else {
+          j++;
+          a[j] = c[i] + d[i] * e[i];
+        }
+      }
+    })");
+}
+
+TEST(Vectorizer, AbsMinMaxCalls) {
+  expectCleanVectorization(
+      "void f(int n, int *a, int *b, int *c) { for (int i = 0; i < n; i++) "
+      "a[i] = max(abs(b[i]), min(c[i], 100)); }");
+}
+
+TEST(Vectorizer, RefusesTrueRecurrence) {
+  minic::ParseResult P = minic::parseFunction(
+      "void f(int n, int *a, int *b) { for (int i = 1; i < n; i++) "
+      "a[i] = a[i - 1] + b[i]; }");
+  ASSERT_TRUE(P.ok());
+  GenResult G = vectorizeFunction(*P.Fn, FaultPlan());
+  EXPECT_EQ(G.Fn, nullptr) << "sound strategies must refuse recurrences";
+  // Naive mode produces wrong-but-compiling code instead.
+  GenResult N = vectorizeFunction(*P.Fn, FaultPlan(), /*ForceNaive=*/true);
+  ASSERT_NE(N.Fn, nullptr);
+  EXPECT_FALSE(N.SoundByConstruction);
+  vir::CompileResult VC =
+      vir::compileFunction(minic::printFunction(*N.Fn));
+  EXPECT_TRUE(VC.ok()) << VC.Error;
+}
+
+TEST(Vectorizer, RefusesIndirectAccess) {
+  minic::ParseResult P = minic::parseFunction(
+      "void f(int n, int *a, int *b, int *ix) { "
+      "for (int i = 0; i < n; i++) a[ix[i]] = b[i]; }");
+  ASSERT_TRUE(P.ok());
+  GenResult G = vectorizeFunction(*P.Fn, FaultPlan());
+  EXPECT_EQ(G.Fn, nullptr);
+}
+
+/// Faults must produce compiling-but-wrong candidates (checksum-refutable
+/// or verification-refutable).
+static interp::TestVerdict checksumVerdictWithFault(const char *ScalarSrc,
+                                                    Fault F) {
+  minic::ParseResult P = minic::parseFunction(ScalarSrc);
+  EXPECT_TRUE(P.ok());
+  FaultPlan Plan;
+  Plan.Active.push_back(F);
+  GenResult G = vectorizeFunction(*P.Fn, Plan);
+  if (!G.Fn)
+    return interp::TestVerdict::Error;
+  vir::CompileResult SC = vir::compileFunction(ScalarSrc);
+  vir::CompileResult VC =
+      vir::compileFunction(minic::printFunction(*G.Fn));
+  EXPECT_TRUE(SC.ok());
+  if (!VC.ok())
+    return interp::TestVerdict::Error;
+  return interp::runChecksumTest(*SC.Fn, *VC.Fn).Verdict;
+}
+
+TEST(Faults, WrongInductionInitCaughtByChecksum) {
+  EXPECT_EQ(checksumVerdictWithFault(
+                R"(void s453(int *a, int *b, int n) {
+                     int s = 0;
+                     for (int i = 0; i < n; i++) { s += 2; a[i] = s * b[i]; }
+                   })",
+                Fault::WrongInductionInit),
+            interp::TestVerdict::NotEquivalent);
+}
+
+TEST(Faults, BadBoundOverrunsOrMismatches) {
+  interp::TestVerdict V = checksumVerdictWithFault(
+      "void f(int n, int *a, int *b) { for (int i = 0; i < n; i++) "
+      "a[i] = b[i] + 1; }",
+      Fault::BadBound);
+  // i < n with step 8 overruns for n not a multiple of 8; with our
+  // multiple-of-8 harness bounds it still matches — either verdict must be
+  // NotEquivalent or Plausible-but-UB; the checksum harness's larger n
+  // values keep it Plausible. Accept both, but the candidate must compile.
+  EXPECT_NE(V, interp::TestVerdict::Error);
+}
+
+TEST(Faults, SpeculativeLoadStaysChecksumPlausible) {
+  // The s124 phenomenon: the fault is invisible to testing.
+  EXPECT_EQ(checksumVerdictWithFault(
+                R"(void f(int n, int *a, int *b, int *c) {
+                     for (int i = 0; i < n; i++) {
+                       if (b[i] > 0)
+                         a[i] = b[i];
+                       else
+                         a[i] = c[i];
+                     }
+                   })",
+                Fault::SpeculativeLoad),
+            interp::TestVerdict::Plausible);
+}
+
+TEST(Faults, DropStatementCaught) {
+  EXPECT_EQ(checksumVerdictWithFault(
+                R"(void f(int n, int *a, int *b, int *c, int *d) {
+                     for (int i = 0; i < n; i++) {
+                       a[i] = b[i] + 1;
+                       c[i] = d[i] * 2;
+                     }
+                   })",
+                Fault::DropStatement),
+            interp::TestVerdict::NotEquivalent);
+}
+
+TEST(Client, DeterministicCompletions) {
+  SimulatedLLM M(42);
+  Prompt P;
+  P.ScalarSource =
+      "void f(int n, int *a, int *b) { for (int i = 0; i < n; i++) "
+      "a[i] = b[i] + 1; }";
+  Completion C1 = M.complete(P, 3);
+  Completion C2 = M.complete(P, 3);
+  EXPECT_EQ(C1.Source, C2.Source);
+  Completion C3 = M.complete(P, 4);
+  // Different sample index: may differ (not required, but the stream must
+  // be independent); just ensure both are non-empty.
+  EXPECT_FALSE(C1.Source.empty());
+  EXPECT_FALSE(C3.Source.empty());
+}
+
+TEST(Client, DifficultyTiers) {
+  EXPECT_EQ(SimulatedLLM::classifyDifficulty(
+                "void f(int n, int *a, int *b) { for (int i = 0; i < n; "
+                "i++) a[i] = b[i] + 1; }"),
+            Difficulty::Easy);
+  EXPECT_EQ(SimulatedLLM::classifyDifficulty(
+                "void f(int n, int *a, int *b) { for (int i = 1; i < n; "
+                "i++) a[i] = a[i - 1] + b[i]; }"),
+            Difficulty::Never);
+  Difficulty D = SimulatedLLM::classifyDifficulty(R"(
+      int f(int n, int *a, int *b) {
+        int sum = 0;
+        for (int i = 0; i < n; i++) {
+          if (b[i] > 0)
+            sum += a[i];
+        }
+        return sum;
+      })");
+  EXPECT_NE(D, Difficulty::Easy);
+  EXPECT_NE(D, Difficulty::Never);
+}
+
+TEST(Client, FeedbackImprovesSuccessOdds) {
+  // Statistical test over many samples: with failure feedback, the rate of
+  // clean (fault-free) completions must rise.
+  SimulatedLLM M(7);
+  Prompt Base;
+  Base.ScalarSource = R"(
+    void s453(int *a, int *b, int n) {
+      int s = 0;
+      for (int i = 0; i < n; i++) { s += 2; a[i] = s * b[i]; }
+    })";
+  Prompt WithFB = Base;
+  WithFB.FailureFeedback.push_back(
+      "output mismatch at n=8, array 'a' index 0: expected 2, got 4");
+  int CleanBase = 0, CleanFB = 0;
+  const int N = 120;
+  for (int I = 0; I < N; ++I) {
+    if (M.complete(Base, static_cast<uint64_t>(I)).Rationale.find(
+            "faults=none") != std::string::npos)
+      ++CleanBase;
+    if (M.complete(WithFB, static_cast<uint64_t>(I)).Rationale.find(
+            "faults=none") != std::string::npos)
+      ++CleanFB;
+  }
+  EXPECT_GT(CleanFB, CleanBase);
+}
+
+} // namespace

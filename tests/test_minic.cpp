@@ -1,0 +1,308 @@
+//===- tests/test_minic.cpp - frontend unit tests --------------------------===//
+//
+// Unit tests for the mini-C lexer, parser, printer and Sema, using the
+// paper's own code listings (s212, s124, s453) as fixtures.
+//
+//===----------------------------------------------------------------------===//
+
+#include "minic/Lexer.h"
+#include "minic/Parser.h"
+#include "minic/Printer.h"
+#include "minic/Sema.h"
+
+#include <gtest/gtest.h>
+
+using namespace lv;
+using namespace lv::minic;
+
+namespace {
+
+const char *S212Scalar = R"(
+void s212(int n, int *a, int *b, int *c, int *d) {
+  for (int i = 0; i < n - 1; i++) {
+    a[i] *= c[i];
+    b[i] += a[i + 1] * d[i];
+  }
+}
+)";
+
+const char *S212Vector = R"(
+#include <immintrin.h>
+void s212(int n, int *a, int *b, int *c, int *d) {
+  int i;
+  __m256i a_vec, b_vec, c_vec, a_next_vec, d_vec, prod_vec, sum_vec;
+  for (i = 0; i < n - 1 - (n - 1) % 8; i += 8) {
+    a_vec = _mm256_loadu_si256((__m256i *)&a[i]);
+    b_vec = _mm256_loadu_si256((__m256i *)&b[i]);
+    c_vec = _mm256_loadu_si256((__m256i *)&c[i]);
+    a_next_vec = _mm256_loadu_si256((__m256i *)&a[i + 1]);
+    d_vec = _mm256_loadu_si256((__m256i *)&d[i]);
+    prod_vec = _mm256_mullo_epi32(a_vec, c_vec);
+    _mm256_storeu_si256((__m256i *)&a[i], prod_vec);
+    prod_vec = _mm256_mullo_epi32(a_next_vec, d_vec);
+    sum_vec = _mm256_add_epi32(b_vec, prod_vec);
+    _mm256_storeu_si256((__m256i *)&b[i], sum_vec);
+  }
+  for (; i < n - 1; i++) {
+    a[i] *= c[i];
+    b[i] += a[i + 1] * d[i];
+  }
+}
+)";
+
+const char *S453Vector = R"(
+void s453(int *a, int *b, int n) {
+  __m256i s_vec = _mm256_setr_epi32(2, 4, 6, 8, 10, 12, 14, 16);
+  __m256i two_vec = _mm256_set1_epi32(16);
+  int i = 0;
+  for (; i <= n - 8; i += 8) {
+    __m256i b_vec = _mm256_loadu_si256((__m256i*)&b[i]);
+    __m256i a_vec = _mm256_mullo_epi32(s_vec, b_vec);
+    _mm256_storeu_si256((__m256i*)&a[i], a_vec);
+    s_vec = _mm256_add_epi32(s_vec, two_vec);
+  }
+}
+)";
+
+const char *S278Goto = R"(
+void s278(int n, int *a, int *b, int *c, int *d, int *e) {
+  for (int i = 0; i < n; i++) {
+    if (a[i] > 0) {
+      goto L20;
+    }
+    b[i] = -b[i] + d[i] * e[i];
+    goto L30;
+L20:
+    c[i] = -c[i] + d[i] * e[i];
+L30:
+    a[i] = b[i] + c[i] * d[i];
+  }
+}
+)";
+
+TEST(Lexer, BasicTokens) {
+  std::string Err;
+  auto Toks = lex("for (int i = 0; i < n; i++) a[i] += 2;", Err);
+  EXPECT_TRUE(Err.empty());
+  ASSERT_GE(Toks.size(), 10u);
+  EXPECT_EQ(Toks[0].K, Tok::KwFor);
+  EXPECT_EQ(Toks[1].K, Tok::LParen);
+  EXPECT_EQ(Toks[2].K, Tok::KwInt);
+  EXPECT_EQ(Toks[3].K, Tok::Ident);
+  EXPECT_EQ(Toks[3].Text, "i");
+  EXPECT_EQ(Toks.back().K, Tok::Eof);
+}
+
+TEST(Lexer, SkipsPreprocessorAndComments) {
+  std::string Err;
+  auto Toks = lex("#include <immintrin.h>\n// c\n/* block */ int x;", Err);
+  EXPECT_TRUE(Err.empty());
+  ASSERT_GE(Toks.size(), 3u);
+  EXPECT_EQ(Toks[0].K, Tok::KwInt);
+}
+
+TEST(Lexer, HexAndSuffixes) {
+  std::string Err;
+  auto Toks = lex("0xFF 10u 5L", Err);
+  EXPECT_TRUE(Err.empty());
+  EXPECT_EQ(Toks[0].Value, 255);
+  EXPECT_EQ(Toks[1].Value, 10);
+  EXPECT_EQ(Toks[2].Value, 5);
+}
+
+TEST(Lexer, ThreeCharOperators) {
+  std::string Err;
+  auto Toks = lex("a <<= 2; b >>= 1;", Err);
+  EXPECT_TRUE(Err.empty());
+  EXPECT_EQ(Toks[1].K, Tok::ShlEq);
+  EXPECT_EQ(Toks[5].K, Tok::ShrEq);
+}
+
+TEST(Lexer, ReportsBadCharacter) {
+  std::string Err;
+  lex("int x = @;", Err);
+  EXPECT_NE(Err.find("unexpected character"), std::string::npos);
+}
+
+TEST(Parser, ParsesS212Scalar) {
+  ParseResult R = parseFunction(S212Scalar);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Fn->Name, "s212");
+  ASSERT_EQ(R.Fn->Params.size(), 5u);
+  EXPECT_EQ(R.Fn->Params[0].Ty.K, Type::Int);
+  EXPECT_EQ(R.Fn->Params[1].Ty.K, Type::IntPtr);
+  ASSERT_EQ(R.Fn->BodyBlock->Body.size(), 1u);
+  EXPECT_EQ(R.Fn->BodyBlock->Body[0]->K, Stmt::For);
+}
+
+TEST(Parser, ParsesS212Vector) {
+  ParseResult R = parseFunction(S212Vector);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  // int i; __m256i decls; two for loops.
+  EXPECT_EQ(R.Fn->BodyBlock->Body.size(), 4u);
+  const Stmt &VecDecl = *R.Fn->BodyBlock->Body[1];
+  EXPECT_EQ(VecDecl.K, Stmt::Decl);
+  EXPECT_EQ(VecDecl.DeclTy.K, Type::M256i);
+  EXPECT_EQ(VecDecl.Decls.size(), 7u);
+}
+
+TEST(Parser, ParsesGotoAndLabels) {
+  ParseResult R = parseFunction(S278Goto);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  SemaResult S = checkFunction(*R.Fn);
+  EXPECT_TRUE(S.ok()) << S.Error;
+}
+
+TEST(Parser, RejectsMissingSemicolon) {
+  ParseResult R = parseFunction("void f(int n) { n = 1 }");
+  EXPECT_FALSE(R.ok());
+  EXPECT_NE(R.Error.find("expected ';'"), std::string::npos);
+}
+
+TEST(Parser, RejectsUnbalancedParens) {
+  ParseResult R = parseFunction("void f(int n) { if (n > 0 { n = 1; } }");
+  EXPECT_FALSE(R.ok());
+}
+
+TEST(Parser, TernaryAndPrecedence) {
+  ParseResult R =
+      parseFunction("int f(int a, int b) { return a > b ? a + 1 : b * 2; }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const Stmt &Ret = *R.Fn->BodyBlock->Body[0];
+  ASSERT_EQ(Ret.K, Stmt::Return);
+  EXPECT_EQ(Ret.Cond->K, Expr::Ternary);
+}
+
+TEST(Parser, CommaInForStep) {
+  ParseResult R = parseFunction(
+      "void f(int n, int *a) { int j = 0; "
+      "for (int i = 0; i < n; i++, j += 2) a[i] = j; }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+}
+
+TEST(Parser, LocalArrayDeclarator) {
+  ParseResult R = parseFunction("void f(void) { int tmp[8]; tmp[0] = 1; }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  const Stmt &D = *R.Fn->BodyBlock->Body[0];
+  ASSERT_EQ(D.K, Stmt::Decl);
+  EXPECT_EQ(D.Decls[0].ArraySize, 8);
+}
+
+TEST(Parser, RestrictPointersAccepted) {
+  ParseResult R =
+      parseFunction("void f(int n, int * restrict a) { a[0] = n; }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  EXPECT_EQ(R.Fn->Params[1].Ty.K, Type::IntPtr);
+}
+
+/// Printing then reparsing then printing again must be a fixed point.
+static void expectRoundTrip(const char *Source) {
+  ParseResult R1 = parseFunction(Source);
+  ASSERT_TRUE(R1.ok()) << R1.Error;
+  std::string P1 = printFunction(*R1.Fn);
+  ParseResult R2 = parseFunction(P1);
+  ASSERT_TRUE(R2.ok()) << "reparse failed:\n" << P1 << "\n" << R2.Error;
+  std::string P2 = printFunction(*R2.Fn);
+  EXPECT_EQ(P1, P2) << "printer not a fixed point for:\n" << Source;
+}
+
+TEST(Printer, RoundTripS212Scalar) { expectRoundTrip(S212Scalar); }
+TEST(Printer, RoundTripS212Vector) { expectRoundTrip(S212Vector); }
+TEST(Printer, RoundTripS453Vector) { expectRoundTrip(S453Vector); }
+TEST(Printer, RoundTripGoto) { expectRoundTrip(S278Goto); }
+
+TEST(Printer, ParenthesizesPrecedence) {
+  ParseResult R = parseFunction("int f(int a, int b) { return (a + b) * 2; }");
+  ASSERT_TRUE(R.ok()) << R.Error;
+  std::string P = printFunction(*R.Fn);
+  EXPECT_NE(P.find("(a + b) * 2"), std::string::npos) << P;
+}
+
+TEST(Printer, CloneProducesIdenticalText) {
+  ParseResult R = parseFunction(S212Vector);
+  ASSERT_TRUE(R.ok()) << R.Error;
+  FunctionPtr C = R.Fn->clone();
+  EXPECT_EQ(printFunction(*R.Fn), printFunction(*C));
+}
+
+TEST(Sema, AcceptsPaperListings) {
+  for (const char *Src : {S212Scalar, S212Vector, S453Vector}) {
+    ParseResult R = parseFunction(Src);
+    ASSERT_TRUE(R.ok()) << R.Error;
+    SemaResult S = checkFunction(*R.Fn);
+    EXPECT_TRUE(S.ok()) << S.Error;
+  }
+}
+
+TEST(Sema, RejectsUndeclaredVariable) {
+  ParseResult R = parseFunction("void f(int n) { x = n; }");
+  ASSERT_TRUE(R.ok());
+  SemaResult S = checkFunction(*R.Fn);
+  EXPECT_NE(S.Error.find("undeclared identifier 'x'"), std::string::npos);
+}
+
+TEST(Sema, RejectsUnknownIntrinsic) {
+  ParseResult R = parseFunction(
+      "void f(int *a) { __m256i v = _mm256_bogus_epi32(a); }");
+  ASSERT_TRUE(R.ok());
+  SemaResult S = checkFunction(*R.Fn);
+  EXPECT_NE(S.Error.find("unknown function"), std::string::npos);
+}
+
+TEST(Sema, RejectsIntrinsicArityMismatch) {
+  ParseResult R = parseFunction(
+      "void f(__m256i v) { __m256i w = _mm256_add_epi32(v); }");
+  ASSERT_TRUE(R.ok());
+  SemaResult S = checkFunction(*R.Fn);
+  EXPECT_NE(S.Error.find("expects 2 arguments"), std::string::npos);
+}
+
+TEST(Sema, RejectsVectorScalarMix) {
+  ParseResult R = parseFunction("void f(__m256i v, int n) { n = n + v; }");
+  ASSERT_TRUE(R.ok());
+  SemaResult S = checkFunction(*R.Fn);
+  EXPECT_FALSE(S.ok());
+}
+
+TEST(Sema, RejectsGotoUnknownLabel) {
+  ParseResult R = parseFunction("void f(int n) { goto L1; n = 0; }");
+  ASSERT_TRUE(R.ok());
+  SemaResult S = checkFunction(*R.Fn);
+  EXPECT_NE(S.Error.find("unknown label"), std::string::npos);
+}
+
+TEST(Sema, RejectsBreakOutsideLoop) {
+  ParseResult R = parseFunction("void f(int n) { break; }");
+  ASSERT_TRUE(R.ok());
+  SemaResult S = checkFunction(*R.Fn);
+  EXPECT_NE(S.Error.find("outside of a loop"), std::string::npos);
+}
+
+TEST(Sema, RejectsRedeclaration) {
+  ParseResult R = parseFunction("void f(int n) { int n = 0; n = n; }");
+  ASSERT_TRUE(R.ok());
+  SemaResult S = checkFunction(*R.Fn);
+  EXPECT_NE(S.Error.find("redeclaration"), std::string::npos);
+}
+
+TEST(Sema, AllowsShadowingInInnerScope) {
+  ParseResult R =
+      parseFunction("void f(int n) { { int m = n; m = m + 1; } }");
+  ASSERT_TRUE(R.ok());
+  SemaResult S = checkFunction(*R.Fn);
+  EXPECT_TRUE(S.ok()) << S.Error;
+}
+
+TEST(Sema, TypesAreAnnotated) {
+  ParseResult R = parseFunction("void f(int *a, int i) { a[i] = i + 1; }");
+  ASSERT_TRUE(R.ok());
+  SemaResult S = checkFunction(*R.Fn);
+  ASSERT_TRUE(S.ok()) << S.Error;
+  const Stmt &St = *R.Fn->BodyBlock->Body[0];
+  ASSERT_EQ(St.K, Stmt::ExprSt);
+  EXPECT_EQ(St.Cond->Ty.K, Type::Int);
+  EXPECT_EQ(St.Cond->Kids[0]->K, Expr::Index);
+  EXPECT_EQ(St.Cond->Kids[0]->Kids[0]->Ty.K, Type::IntPtr);
+}
+
+} // namespace

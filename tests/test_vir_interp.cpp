@@ -1,0 +1,388 @@
+//===- tests/test_vir_interp.cpp - lowering + interpreter tests ------------===//
+//
+// Validates AST->VIR lowering and the concrete interpreter against directly
+// computed expectations, including the paper's motivating kernels, AVX2
+// intrinsic semantics, goto restructuring, and the checksum harness.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Checksum.h"
+#include "interp/Interp.h"
+#include "vir/Compile.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+using namespace lv;
+using namespace lv::interp;
+using namespace lv::vir;
+
+namespace {
+
+/// Compiles or fails the test with the frontend diagnostic.
+static VFunctionPtr mustCompile(const std::string &Src) {
+  CompileResult R = compileFunction(Src);
+  if (!R.ok())
+    throw std::runtime_error("compile failed: " + R.Error);
+  return std::move(R.Fn);
+}
+
+/// Runs a function whose params are (int n, int *bufs...) over the given
+/// buffers; returns the result and mutates the buffers in place.
+static ExecResult runOn(const VFunction &F, std::vector<int32_t> Args,
+                        std::vector<std::vector<int32_t>> &Bufs) {
+  MemoryImage M;
+  for (auto &B : Bufs)
+    M.Regions.push_back(B);
+  // Local regions follow; the interpreter appends them as needed.
+  ExecResult R = execute(F, Args, M);
+  for (size_t I = 0; I < Bufs.size(); ++I)
+    Bufs[I] = M.Regions[I];
+  return R;
+}
+
+TEST(Lower, SimpleLoopStructure) {
+  VFunctionPtr F = mustCompile(
+      "void f(int n, int *a, int *b) { for (int i = 0; i < n; i++) "
+      "a[i] = b[i] + 1; }");
+  ASSERT_EQ(F->Memories.size(), 2u);
+  EXPECT_EQ(F->Memories[0].Name, "a");
+  EXPECT_TRUE(F->Memories[0].IsParam);
+  std::string Dump = printFunction(*F);
+  EXPECT_NE(Dump.find("for {"), std::string::npos);
+  EXPECT_NE(Dump.find("load @b"), std::string::npos);
+  EXPECT_NE(Dump.find("store @a"), std::string::npos);
+}
+
+TEST(Lower, RejectsPointerReassignment) {
+  CompileResult R = compileFunction(
+      "void f(int *a, int *b) { int *p = a; p = b; p[0] = 1; }");
+  EXPECT_FALSE(R.ok());
+  EXPECT_EQ(R.FailedAt, CompileResult::LowerError);
+}
+
+TEST(Lower, VectorIntrinsicsLower) {
+  VFunctionPtr F = mustCompile(R"(
+    void f(int n, int *a, int *b) {
+      for (int i = 0; i < n; i += 8) {
+        __m256i v = _mm256_loadu_si256((__m256i *)&b[i]);
+        __m256i one = _mm256_set1_epi32(1);
+        _mm256_storeu_si256((__m256i *)&a[i], _mm256_add_epi32(v, one));
+      }
+    })");
+  std::string Dump = printFunction(*F);
+  EXPECT_NE(Dump.find("vload @b"), std::string::npos);
+  EXPECT_NE(Dump.find("vbroadcast"), std::string::npos);
+  EXPECT_NE(Dump.find("vadd"), std::string::npos);
+  EXPECT_NE(Dump.find("vstore @a"), std::string::npos);
+}
+
+TEST(Interp, ScalarLoopComputes) {
+  VFunctionPtr F = mustCompile(
+      "void f(int n, int *a, int *b) { for (int i = 0; i < n; i++) "
+      "a[i] = b[i] * 2 + 1; }");
+  std::vector<std::vector<int32_t>> Bufs = {std::vector<int32_t>(16, 0),
+                                            std::vector<int32_t>(16, 0)};
+  std::iota(Bufs[1].begin(), Bufs[1].end(), 0);
+  ExecResult R = runOn(*F, {8}, Bufs);
+  ASSERT_TRUE(R.ok()) << R.TrapMsg;
+  for (int I = 0; I < 8; ++I)
+    EXPECT_EQ(Bufs[0][static_cast<size_t>(I)], I * 2 + 1);
+  EXPECT_EQ(Bufs[0][8], 0) << "must not write beyond n";
+}
+
+TEST(Interp, VectorAndScalarAgreeOnS212) {
+  const char *ScalarSrc = R"(
+    void s212(int n, int *a, int *b, int *c, int *d) {
+      for (int i = 0; i < n - 1; i++) {
+        a[i] *= c[i];
+        b[i] += a[i + 1] * d[i];
+      }
+    })";
+  const char *VecSrc = R"(
+    void s212(int n, int *a, int *b, int *c, int *d) {
+      int i;
+      for (i = 0; i < n - 1 - (n - 1) % 8; i += 8) {
+        __m256i a_vec = _mm256_loadu_si256((__m256i *)&a[i]);
+        __m256i b_vec = _mm256_loadu_si256((__m256i *)&b[i]);
+        __m256i c_vec = _mm256_loadu_si256((__m256i *)&c[i]);
+        __m256i a_next = _mm256_loadu_si256((__m256i *)&a[i + 1]);
+        __m256i d_vec = _mm256_loadu_si256((__m256i *)&d[i]);
+        __m256i prod = _mm256_mullo_epi32(a_vec, c_vec);
+        _mm256_storeu_si256((__m256i *)&a[i], prod);
+        prod = _mm256_mullo_epi32(a_next, d_vec);
+        _mm256_storeu_si256((__m256i *)&b[i], _mm256_add_epi32(b_vec, prod));
+      }
+      for (; i < n - 1; i++) {
+        a[i] *= c[i];
+        b[i] += a[i + 1] * d[i];
+      }
+    })";
+  VFunctionPtr S = mustCompile(ScalarSrc);
+  VFunctionPtr V = mustCompile(VecSrc);
+  ChecksumOutcome O = runChecksumTest(*S, *V);
+  EXPECT_EQ(O.Verdict, TestVerdict::Plausible) << O.Detail;
+}
+
+TEST(Interp, ChecksumCatchesWrongInduction) {
+  // The paper's s453 first attempt: s_vec starts at 2 broadcast, which is
+  // wrong (must be 2,4,6,...,16).
+  const char *ScalarSrc = R"(
+    void s453(int *a, int *b, int n) {
+      int s = 0;
+      for (int i = 0; i < n; i++) {
+        s += 2;
+        a[i] = s * b[i];
+      }
+    })";
+  const char *BadVec = R"(
+    void s453(int *a, int *b, int n) {
+      __m256i s_vec = _mm256_set1_epi32(0);
+      __m256i two_vec = _mm256_set1_epi32(2);
+      __m256i s_increment = _mm256_set1_epi32(16);
+      int i = 0;
+      for (; i <= n - 8; i += 8) {
+        s_vec = _mm256_add_epi32(s_vec, two_vec);
+        __m256i b_vec = _mm256_loadu_si256((__m256i*)&b[i]);
+        __m256i a_vec = _mm256_mullo_epi32(s_vec, b_vec);
+        _mm256_storeu_si256((__m256i*)&a[i], a_vec);
+        s_vec = _mm256_add_epi32(s_vec, s_increment);
+      }
+    })";
+  const char *GoodVec = R"(
+    void s453(int *a, int *b, int n) {
+      __m256i s_vec = _mm256_setr_epi32(2, 4, 6, 8, 10, 12, 14, 16);
+      __m256i two_vec = _mm256_set1_epi32(16);
+      int i = 0;
+      for (; i <= n - 8; i += 8) {
+        __m256i b_vec = _mm256_loadu_si256((__m256i*)&b[i]);
+        __m256i a_vec = _mm256_mullo_epi32(s_vec, b_vec);
+        _mm256_storeu_si256((__m256i*)&a[i], a_vec);
+        s_vec = _mm256_add_epi32(s_vec, two_vec);
+      }
+    })";
+  VFunctionPtr S = mustCompile(ScalarSrc);
+  VFunctionPtr Bad = mustCompile(BadVec);
+  VFunctionPtr Good = mustCompile(GoodVec);
+  ChecksumOutcome BadO = runChecksumTest(*S, *Bad);
+  EXPECT_EQ(BadO.Verdict, TestVerdict::NotEquivalent);
+  EXPECT_FALSE(BadO.Detail.empty());
+  ChecksumOutcome GoodO = runChecksumTest(*S, *Good);
+  EXPECT_EQ(GoodO.Verdict, TestVerdict::Plausible) << GoodO.Detail;
+}
+
+TEST(Interp, ChecksumMissesSpeculativeLoadUB) {
+  // s124-style: the blend-based candidate loads c[] unconditionally. With
+  // big concrete buffers nothing faults, so checksum testing must find it
+  // Plausible (the paper's motivating blind spot).
+  const char *ScalarSrc = R"(
+    void s124(int *a, int *b, int *c, int *d, int *e, int n) {
+      int j;
+      j = -1;
+      for (int i = 0; i < n; i++) {
+        if (b[i] > 0) {
+          j++;
+          a[j] = b[i] + d[i] * e[i];
+        } else {
+          j++;
+          a[j] = c[i] + d[i] * e[i];
+        }
+      }
+    })";
+  const char *VecSrc = R"(
+    void s124(int *a, int *b, int *c, int *d, int *e, int n) {
+      int j = 0;
+      __m256i zero = _mm256_setzero_si256();
+      for (int i = 0; i < n; i += 8) {
+        __m256i vbi = _mm256_loadu_si256((__m256i *)&b[i]);
+        __m256i vci = _mm256_loadu_si256((__m256i *)&c[i]);
+        __m256i vdi = _mm256_loadu_si256((__m256i *)&d[i]);
+        __m256i vei = _mm256_loadu_si256((__m256i *)&e[i]);
+        __m256i vprod = _mm256_mullo_epi32(vdi, vei);
+        __m256i vsum_b = _mm256_add_epi32(vbi, vprod);
+        __m256i vsum_c = _mm256_add_epi32(vci, vprod);
+        __m256i vmask = _mm256_cmpgt_epi32(vbi, zero);
+        __m256i va = _mm256_blendv_epi8(vsum_c, vsum_b, vmask);
+        _mm256_storeu_si256((__m256i *)&a[j], va);
+        j += 8;
+      }
+    })";
+  VFunctionPtr S = mustCompile(ScalarSrc);
+  VFunctionPtr V = mustCompile(VecSrc);
+  ChecksumOutcome O = runChecksumTest(*S, *V);
+  EXPECT_EQ(O.Verdict, TestVerdict::Plausible) << O.Detail;
+}
+
+TEST(Interp, GotoKernelExecutes) {
+  const char *Src = R"(
+    void s278(int n, int *a, int *b, int *c, int *d, int *e) {
+      for (int i = 0; i < n; i++) {
+        if (a[i] > 0) {
+          goto L20;
+        }
+        b[i] = -b[i] + d[i] * e[i];
+        goto L30;
+L20:
+        c[i] = -c[i] + d[i] * e[i];
+L30:
+        a[i] = b[i] + c[i] * d[i];
+      }
+    })";
+  VFunctionPtr F = mustCompile(Src);
+  std::vector<std::vector<int32_t>> Bufs(5, std::vector<int32_t>(8, 0));
+  // a = [1,-1,...], b=2, c=3, d=4, e=5.
+  for (size_t I = 0; I < 8; ++I) {
+    Bufs[0][I] = (I % 2 == 0) ? 1 : -1;
+    Bufs[1][I] = 2;
+    Bufs[2][I] = 3;
+    Bufs[3][I] = 4;
+    Bufs[4][I] = 5;
+  }
+  ExecResult R = runOn(*F, {8}, Bufs);
+  ASSERT_TRUE(R.ok()) << R.TrapMsg;
+  // a[i] > 0: c = -3 + 20 = 17; a = 2 + 17*4 = 70.
+  // a[i] <= 0: b = -2 + 20 = 18; a = 18 + 3*4 = 30.
+  EXPECT_EQ(Bufs[0][0], 70);
+  EXPECT_EQ(Bufs[0][1], 30);
+  EXPECT_EQ(Bufs[2][0], 17);
+  EXPECT_EQ(Bufs[1][1], 18);
+}
+
+TEST(Interp, ReductionReturnsValue) {
+  VFunctionPtr F = mustCompile(
+      "int vsumr(int n, int *a) { int sum = 0; "
+      "for (int i = 0; i < n; i++) sum += a[i]; return sum; }");
+  std::vector<std::vector<int32_t>> Bufs = {std::vector<int32_t>(16, 3)};
+  ExecResult R = runOn(*F, {10}, Bufs);
+  ASSERT_TRUE(R.ok());
+  EXPECT_TRUE(R.Returned);
+  EXPECT_EQ(R.RetVal, 30);
+}
+
+TEST(Interp, BreakAndContinue) {
+  VFunctionPtr F = mustCompile(R"(
+    int f(int n, int *a) {
+      int cnt = 0;
+      for (int i = 0; i < n; i++) {
+        if (a[i] < 0)
+          continue;
+        if (a[i] == 99)
+          break;
+        cnt++;
+      }
+      return cnt;
+    })");
+  std::vector<std::vector<int32_t>> Bufs = {
+      {5, -1, 7, 99, 4, 4, 4, 4, 4, 4}};
+  ExecResult R = runOn(*F, {10}, Bufs);
+  ASSERT_TRUE(R.ok());
+  EXPECT_EQ(R.RetVal, 2);
+}
+
+TEST(Interp, DivByZeroTraps) {
+  VFunctionPtr F = mustCompile("int f(int n) { return 10 / n; }");
+  std::vector<std::vector<int32_t>> Bufs;
+  ExecResult R = runOn(*F, {0}, Bufs);
+  EXPECT_EQ(R.St, ExecResult::Trap);
+  EXPECT_NE(R.TrapMsg.find("division by zero"), std::string::npos);
+}
+
+TEST(Interp, OutOfBoundsTraps) {
+  VFunctionPtr F = mustCompile("void f(int n, int *a) { a[n] = 1; }");
+  std::vector<std::vector<int32_t>> Bufs = {std::vector<int32_t>(4, 0)};
+  ExecResult R = runOn(*F, {100}, Bufs);
+  EXPECT_EQ(R.St, ExecResult::Trap);
+}
+
+TEST(Interp, InfiniteLoopRunsOutOfFuel) {
+  CompileResult C = compileFunction("void f(int n) { for (;;) { n = n; } }");
+  ASSERT_TRUE(C.ok()) << C.Error;
+  MemoryImage M;
+  ExecConfig Cfg;
+  Cfg.MaxSteps = 10'000;
+  ExecResult R = execute(*C.Fn, {1}, M, Cfg);
+  EXPECT_EQ(R.St, ExecResult::OutOfFuel);
+}
+
+TEST(Interp, BlendvBytewiseSemantics) {
+  // Mask lane 0x0000FF80 has MSBs set in bytes 1 (0xFF) only for byte 1
+  // (bit 15) => result mixes bytes from both sources.
+  VFunctionPtr F = mustCompile(R"(
+    void f(int *a) {
+      __m256i x = _mm256_set1_epi32(0x11111111);
+      __m256i y = _mm256_set1_epi32(0x22222222);
+      __m256i m = _mm256_set1_epi32(0x0000FF80);
+      __m256i r = _mm256_blendv_epi8(x, y, m);
+      _mm256_storeu_si256((__m256i *)&a[0], r);
+    })");
+  std::vector<std::vector<int32_t>> Bufs = {std::vector<int32_t>(8, 0)};
+  ExecResult R = runOn(*F, {}, Bufs);
+  ASSERT_TRUE(R.ok()) << R.TrapMsg;
+  // Byte0: mask 0x80 MSB=1 -> y; byte1: 0xFF -> y; bytes 2,3 -> x.
+  EXPECT_EQ(static_cast<uint32_t>(Bufs[0][0]), 0x11112222u);
+}
+
+TEST(Interp, MaskLoadSkipsInactiveLanes) {
+  // Mask only lane 0 active; region has just 1 element: must not trap.
+  VFunctionPtr F = mustCompile(R"(
+    void f(int *a, int *b) {
+      __m256i m = _mm256_setr_epi32(-1, 0, 0, 0, 0, 0, 0, 0);
+      __m256i v = _mm256_maskload_epi32(&b[0], m);
+      _mm256_maskstore_epi32(&a[0], m, v);
+    })");
+  std::vector<std::vector<int32_t>> Bufs = {std::vector<int32_t>(1, 0),
+                                            std::vector<int32_t>(1, 42)};
+  ExecResult R = runOn(*F, {}, Bufs);
+  ASSERT_TRUE(R.ok()) << R.TrapMsg;
+  EXPECT_EQ(Bufs[0][0], 42);
+}
+
+TEST(Interp, HAddInterleaves) {
+  VFunctionPtr F = mustCompile(R"(
+    void f(int *a) {
+      __m256i x = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 8);
+      __m256i y = _mm256_setr_epi32(10, 20, 30, 40, 50, 60, 70, 80);
+      _mm256_storeu_si256((__m256i *)&a[0], _mm256_hadd_epi32(x, y));
+    })");
+  std::vector<std::vector<int32_t>> Bufs = {std::vector<int32_t>(8, 0)};
+  ExecResult R = runOn(*F, {}, Bufs);
+  ASSERT_TRUE(R.ok()) << R.TrapMsg;
+  std::vector<int32_t> Want = {3, 7, 30, 70, 11, 15, 110, 150};
+  EXPECT_EQ(Bufs[0], Want);
+}
+
+TEST(Interp, CostModelFavorsVectorCode) {
+  const char *ScalarSrc =
+      "void f(int n, int *a, int *b) { for (int i = 0; i < n; i++) "
+      "a[i] = b[i] + 1; }";
+  const char *VecSrc = R"(
+    void f(int n, int *a, int *b) {
+      __m256i one = _mm256_set1_epi32(1);
+      for (int i = 0; i < n; i += 8) {
+        __m256i v = _mm256_loadu_si256((__m256i *)&b[i]);
+        _mm256_storeu_si256((__m256i *)&a[i], _mm256_add_epi32(v, one));
+      }
+    })";
+  VFunctionPtr S = mustCompile(ScalarSrc);
+  VFunctionPtr V = mustCompile(VecSrc);
+  CostModel CM;
+  ExecConfig Cfg;
+  Cfg.Costs = &CM;
+  const int N = 1024;
+  MemoryImage MS, MV;
+  MS.Regions = {std::vector<int32_t>(N + 8, 0),
+                std::vector<int32_t>(N + 8, 7)};
+  MV.Regions = MS.Regions;
+  ExecResult RS = execute(*S, {N}, MS, Cfg);
+  ExecResult RV = execute(*V, {N}, MV, Cfg);
+  ASSERT_TRUE(RS.ok());
+  ASSERT_TRUE(RV.ok());
+  double Speedup = RS.Cycles / RV.Cycles;
+  EXPECT_GT(Speedup, 3.0) << "vector code should be much faster";
+  EXPECT_LT(Speedup, 10.0) << "speedup must stay below the lane count + "
+                              "overhead headroom";
+  EXPECT_EQ(MS.Regions[0], MV.Regions[0]);
+}
+
+} // namespace

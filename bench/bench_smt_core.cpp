@@ -2,8 +2,14 @@
 //
 // google-benchmark microbenchmarks for the verification substrate: term
 // construction + rewriting throughput, bit-blasting + CDCL solving on
-// representative circuit equivalences, and the concrete interpreter's
-// throughput (which bounds the checksum harness's cost).
+// representative circuit equivalences, the incremental-vs-scratch solving
+// pattern behind the spatial-splitting stage, and the concrete
+// interpreter's throughput (which bounds the checksum harness's cost).
+//
+// Solver statistics (conflicts, propagations, restarts, learnt clauses,
+// mean LBD) are attached as benchmark counters, and the full result set is
+// mirrored to BENCH_smt_core.json so the perf trajectory is machine
+// readable across PRs.
 //
 //===----------------------------------------------------------------------===//
 
@@ -12,6 +18,8 @@
 #include "vir/Compile.h"
 
 #include <benchmark/benchmark.h>
+
+#include <fstream>
 
 using namespace lv;
 
@@ -28,26 +36,34 @@ static void BM_TermRewriting(benchmark::State &State) {
 BENCHMARK(BM_TermRewriting);
 
 static void BM_SolveAdderEquivalence(benchmark::State &State) {
+  uint64_t Conflicts = 0;
   for (auto _ : State) {
     smt::TermTable T;
     smt::TermId X = T.mkVar("x");
     smt::TermId Y = T.mkVar("y");
     // (x + y) - y != x must be UNSAT.
     smt::TermId Q = T.mkNe(T.mkSub(T.mkAdd(X, Y), Y), X);
-    benchmark::DoNotOptimize(smt::checkSat(T, Q).R);
+    smt::SmtResult R = smt::checkSat(T, Q);
+    benchmark::DoNotOptimize(R.R);
+    Conflicts += R.ConflictsUsed;
   }
+  State.counters["conflicts"] = static_cast<double>(Conflicts);
 }
 BENCHMARK(BM_SolveAdderEquivalence);
 
 static void BM_SolveShiftMulEquivalence(benchmark::State &State) {
+  uint64_t Conflicts = 0;
   for (auto _ : State) {
     smt::TermTable T;
     smt::TermId X = T.mkVar("x");
     // x*5 != (x<<2) + x must be UNSAT (a real vectorizer rewrite).
     smt::TermId Q = T.mkNe(T.mkMul(X, T.mkConst(5)),
                            T.mkAdd(T.mkShl(X, T.mkConst(2)), X));
-    benchmark::DoNotOptimize(smt::checkSat(T, Q).R);
+    smt::SmtResult R = smt::checkSat(T, Q);
+    benchmark::DoNotOptimize(R.R);
+    Conflicts += R.ConflictsUsed;
   }
+  State.counters["conflicts"] = static_cast<double>(Conflicts);
 }
 BENCHMARK(BM_SolveShiftMulEquivalence);
 
@@ -63,6 +79,125 @@ static void BM_SolveCounterexample(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_SolveCounterexample);
+
+//===----------------------------------------------------------------------===//
+// The spatial-splitting pattern: one shared encoding, many small queries.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Builds the shared "formula" — a shift-add multiplier equivalence over a
+/// bounded domain, standing in for the common symbolic encoding both sides
+/// of a refinement query share — plus NumCells cheap per-cell predicates.
+struct SplitFixture {
+  smt::TermTable T;
+  smt::TermId Domain;
+  std::vector<smt::TermId> CellQueries;
+
+  explicit SplitFixture(int NumCells) {
+    smt::TermId X = T.mkVar("x");
+    smt::TermId Y = T.mkVar("y");
+    Domain = T.mkAnd(T.mkUlt(X, T.mkConst(1u << 12)),
+                     T.mkUlt(Y, T.mkConst(1u << 12)));
+    // Shared structure: both "sides" compute x*9 + y differently.
+    smt::TermId Lhs = T.mkAdd(T.mkMul(X, T.mkConst(9)), Y);
+    smt::TermId Rhs =
+        T.mkAdd(T.mkAdd(T.mkShl(X, T.mkConst(3)), X), Y);
+    for (int C = 0; C < NumCells; ++C) {
+      // Per-cell disagreement at offset C: unsat cell queries, as in the
+      // splitting stage of an equivalent pair.
+      smt::TermId Off = T.mkConst(static_cast<uint32_t>(C));
+      CellQueries.push_back(
+          T.mkNe(T.mkAdd(Lhs, Off), T.mkAdd(Rhs, Off)));
+    }
+  }
+};
+
+constexpr int SplitCells = 8;
+
+} // namespace
+
+static void BM_SplitCellsScratch(benchmark::State &State) {
+  // Seed behaviour: every per-cell query re-blasts the shared encoding
+  // into a cold solver.
+  uint64_t Conflicts = 0, Props = 0;
+  for (auto _ : State) {
+    SplitFixture F(SplitCells);
+    for (smt::TermId Q : F.CellQueries) {
+      smt::SmtResult R = smt::checkSat(F.T, F.T.mkAnd(F.Domain, Q));
+      benchmark::DoNotOptimize(R.R);
+      Conflicts += R.ConflictsUsed;
+      Props += R.PropagationsUsed;
+    }
+  }
+  State.counters["conflicts"] = static_cast<double>(Conflicts);
+  State.counters["propagations"] = static_cast<double>(Props);
+  State.SetItemsProcessed(State.iterations() * SplitCells);
+}
+BENCHMARK(BM_SplitCellsScratch);
+
+static void BM_SplitCellsIncremental(benchmark::State &State) {
+  // Incremental backend: the shared encoding blasts once; per-cell
+  // queries run under assumption literals with learnt-clause reuse.
+  uint64_t Conflicts = 0, Props = 0;
+  uint64_t Restarts = 0, Learnt = 0;
+  double AvgLBD = 0;
+  for (auto _ : State) {
+    SplitFixture F(SplitCells);
+    smt::IncrementalSolver IS(F.T);
+    IS.assertAlways(F.Domain);
+    for (smt::TermId Q : F.CellQueries) {
+      smt::SmtResult R = IS.check(Q);
+      benchmark::DoNotOptimize(R.R);
+      Conflicts += R.ConflictsUsed;
+      Props += R.PropagationsUsed;
+    }
+    Restarts += IS.stats().Restarts;
+    Learnt += IS.stats().LearntTotal;
+    AvgLBD = IS.stats().avgLBD();
+  }
+  State.counters["conflicts"] = static_cast<double>(Conflicts);
+  State.counters["propagations"] = static_cast<double>(Props);
+  State.counters["restarts"] = static_cast<double>(Restarts);
+  State.counters["learnt"] = static_cast<double>(Learnt);
+  State.counters["avg_lbd"] = AvgLBD;
+  State.SetItemsProcessed(State.iterations() * SplitCells);
+}
+BENCHMARK(BM_SplitCellsIncremental);
+
+static void BM_LearntDBReduction(benchmark::State &State) {
+  // A long-budget hard instance (PHP 8/7): exercises LBD scoring,
+  // reduceDB and the clause-arena GC on the learnt set.
+  uint64_t Reduces = 0, Deleted = 0;
+  for (auto _ : State) {
+    const int N = 8;
+    smt::SatSolver S;
+    std::vector<std::vector<smt::Var>> P(
+        N, std::vector<smt::Var>(N - 1));
+    for (auto &Row : P)
+      for (smt::Var &V : Row)
+        V = S.newVar();
+    for (int I = 0; I < N; ++I) {
+      std::vector<smt::Lit> C;
+      for (int H = 0; H < N - 1; ++H)
+        C.push_back(smt::Lit(P[static_cast<size_t>(I)][static_cast<size_t>(H)],
+                             false));
+      S.addClause(C);
+    }
+    for (int H = 0; H < N - 1; ++H)
+      for (int I = 0; I < N; ++I)
+        for (int J = I + 1; J < N; ++J)
+          S.addClause(
+              smt::Lit(P[static_cast<size_t>(I)][static_cast<size_t>(H)], true),
+              smt::Lit(P[static_cast<size_t>(J)][static_cast<size_t>(H)], true));
+    benchmark::DoNotOptimize(S.solve());
+    Reduces += S.stats().ReduceDBs;
+    Deleted += S.stats().LearntDeleted;
+  }
+  State.counters["reduce_dbs"] = static_cast<double>(Reduces);
+  State.counters["learnt_deleted"] = static_cast<double>(Deleted);
+}
+BENCHMARK(BM_LearntDBReduction);
 
 static void BM_InterpThroughput(benchmark::State &State) {
   vir::CompileResult C = vir::compileFunction(
@@ -97,4 +232,26 @@ static void BM_VectorInterpThroughput(benchmark::State &State) {
 }
 BENCHMARK(BM_VectorInterpThroughput);
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  // Mirror results (name, iterations, ns/op, counters) to JSON so CI can
+  // track the perf trajectory. Injected as flags so explicit
+  // --benchmark_out on the command line still wins.
+  std::vector<char *> Args(argv, argv + argc);
+  std::string OutFlag = "--benchmark_out=BENCH_smt_core.json";
+  std::string FmtFlag = "--benchmark_out_format=json";
+  bool HasOut = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::string(argv[I]).rfind("--benchmark_out=", 0) == 0)
+      HasOut = true;
+  if (!HasOut) {
+    Args.push_back(&OutFlag[0]);
+    Args.push_back(&FmtFlag[0]);
+  }
+  int Argc = static_cast<int>(Args.size());
+  benchmark::Initialize(&Argc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -15,17 +15,133 @@
 // statistics showing *why* the domain-specific techniques scale better
 // (the paper's §3 argument).
 //
+// The funnel runs twice: once with the seed implementation of the
+// spatial-splitting stage (a frozen copy of the seed smt stack in
+// bench/seedref/ — per-Clause vector solver, by-value blaster — driven
+// scratch per cell exactly as the seed did) and once with the incremental
+// backend (one RefinementSession per test: symbolic execution and the
+// common encoding blast once, per-cell queries run in cheap forks of the
+// pristine base). The run verifies that every test reaches an identical
+// verdict and measures the SAT-work / wall-time reduction on the
+// spatial-splitting stage; everything is mirrored to BENCH_table3.json
+// for CI tracking.
+//
 //===----------------------------------------------------------------------===//
 
 #include "bench/Harness.h"
+#include "bench/seedref/SeedRef.h"
 #include "support/Format.h"
 
 #include <cstdio>
+#include <fstream>
 
 using namespace lv;
 using namespace lv::bench;
 using core::EquivResult;
 using core::Stage;
+
+namespace {
+
+/// Funnel tallies for one run.
+struct FunnelTally {
+  int ChecksumNotEq = 0, Plaus = 0;
+  int A2Eq = 0, A2Neq = 0, A2In = 0;
+  int CUEq = 0, CUNeq = 0, CUIn = 0;
+  int SpEq = 0, SpNeq = 0, SpIn = 0;
+  uint64_t A2Clauses = 0, CUClauses = 0, SpClauses = 0;
+  int A2N = 0, CUN = 0, SpN = 0;
+  // Spatial-splitting stage cost.
+  uint64_t SplitConflicts = 0;
+  uint64_t SplitPropagations = 0;
+  uint64_t SplitWallNanos = 0;
+  int SplitQueries = 0;
+
+  int allEq() const { return A2Eq + CUEq + SpEq; }
+  int allNeq() const { return ChecksumNotEq + A2Neq + CUNeq + SpNeq; }
+  uint64_t splitSatWork() const { return SplitConflicts + SplitPropagations; }
+};
+
+FunnelTally tally(const std::vector<FunnelRecord> &Funnel) {
+  FunnelTally T;
+  for (const FunnelRecord &R : Funnel) {
+    // Splitting-stage cost is charged whenever the stage ran, regardless
+    // of which stage decided.
+    for (const tv::TVResult &S : R.Result.SplitRes) {
+      T.SplitConflicts += S.Conflicts;
+      T.SplitPropagations += S.Propagations;
+      ++T.SplitQueries;
+    }
+    T.SplitWallNanos += R.Result.SplitNanos;
+
+    if (!R.HadPlausible) {
+      ++T.ChecksumNotEq;
+      continue;
+    }
+    // A plausible candidate entering the funnel may still be rejected by
+    // the fresh checksum run inside checkEquivalence; count it as decided
+    // by testing.
+    if (R.Result.DecidedBy == Stage::Checksum) {
+      ++T.ChecksumNotEq;
+      continue;
+    }
+    ++T.Plaus;
+    const tv::TVResult &A = R.Result.Alive2Res;
+    bool A2Decided = A.V == tv::TVVerdict::Equivalent ||
+                     A.V == tv::TVVerdict::Inequivalent;
+    if (A.Clauses > 0) {
+      T.A2Clauses += A.Clauses;
+      ++T.A2N;
+    }
+    if (A.V == tv::TVVerdict::Equivalent)
+      ++T.A2Eq;
+    else if (A.V == tv::TVVerdict::Inequivalent)
+      ++T.A2Neq;
+    else
+      ++T.A2In;
+    if (A2Decided)
+      continue;
+    const tv::TVResult &CU = R.Result.CUnrollRes;
+    bool CUDecided = CU.V == tv::TVVerdict::Equivalent ||
+                     CU.V == tv::TVVerdict::Inequivalent;
+    if (CU.Clauses > 0) {
+      T.CUClauses += CU.Clauses;
+      ++T.CUN;
+    }
+    if (CU.V == tv::TVVerdict::Equivalent)
+      ++T.CUEq;
+    else if (CU.V == tv::TVVerdict::Inequivalent)
+      ++T.CUNeq;
+    else
+      ++T.CUIn;
+    if (CUDecided)
+      continue;
+    for (const tv::TVResult &S : R.Result.SplitRes)
+      if (S.Clauses > 0) {
+        T.SpClauses += S.Clauses;
+        ++T.SpN;
+      }
+    if (R.Result.DecidedBy == Stage::Splitting) {
+      if (R.Result.Final == EquivResult::Equivalent)
+        ++T.SpEq;
+      else
+        ++T.SpNeq;
+    } else {
+      ++T.SpIn;
+    }
+  }
+  return T;
+}
+
+/// Before/After ratio; an idle "after" side means either no regression to
+/// measure (both zero -> 1.0) or an unmeasurably large win (capped so the
+/// JSON stays finite).
+double ratio(uint64_t Before, uint64_t After) {
+  if (After == 0)
+    return Before ? 1e9 : 1.0;
+  return static_cast<double>(Before) / static_cast<double>(After);
+}
+
+} // namespace
 
 int main() {
   printHeader("Table 3: equivalence-checking funnel");
@@ -40,106 +156,153 @@ int main() {
   Cfg.Alive2Budget = 500;
   Cfg.CUnrollBudget = 2'000;
   Cfg.SplitBudget = 300;
-  std::vector<FunnelRecord> Funnel = runFunnel(Corpus, Cfg);
 
-  int ChecksumNotEq = 0, Plaus = 0;
-  int A2Eq = 0, A2Neq = 0, A2In = 0;
-  int CUEq = 0, CUNeq = 0, CUIn = 0;
-  int SpEq = 0, SpNeq = 0, SpIn = 0;
-  uint64_t A2Clauses = 0, CUClauses = 0, SpClauses = 0;
-  int A2N = 0, CUN = 0, SpN = 0;
+  // Before: the seed implementation (frozen seed smt stack, scratch
+  // solver + full re-blast per cell).
+  Cfg.IncrementalSolving = false;
+  Cfg.SplitCellOverride = [](const vir::VFunction &S, const vir::VFunction &T,
+                             const tv::RefineOptions &RO) {
+    return seedref::checkRefinementSeed(S, T, RO);
+  };
+  std::printf("  [1/2] seed backend (frozen reference)...\n");
+  std::vector<FunnelRecord> Before = runFunnel(Corpus, Cfg);
+  // After: shared incremental sessions.
+  Cfg.IncrementalSolving = true;
+  Cfg.SplitCellOverride = nullptr;
+  std::printf("  [2/2] incremental backend...\n");
+  std::vector<FunnelRecord> After = runFunnel(Corpus, Cfg);
 
-  for (const FunnelRecord &R : Funnel) {
-    if (!R.HadPlausible) {
-      ++ChecksumNotEq;
-      continue;
-    }
-    // A plausible candidate entering the funnel may still be rejected by
-    // the fresh checksum run inside checkEquivalence; count it as decided
-    // by testing.
-    if (R.Result.DecidedBy == Stage::Checksum) {
-      ++ChecksumNotEq;
-      continue;
-    }
-    ++Plaus;
-    const tv::TVResult &A = R.Result.Alive2Res;
-    bool A2Decided = A.V == tv::TVVerdict::Equivalent ||
-                     A.V == tv::TVVerdict::Inequivalent;
-    if (A.Clauses > 0) {
-      A2Clauses += A.Clauses;
-      ++A2N;
-    }
-    if (A.V == tv::TVVerdict::Equivalent)
-      ++A2Eq;
-    else if (A.V == tv::TVVerdict::Inequivalent)
-      ++A2Neq;
-    else
-      ++A2In;
-    if (A2Decided)
-      continue;
-    const tv::TVResult &CU = R.Result.CUnrollRes;
-    bool CUDecided = CU.V == tv::TVVerdict::Equivalent ||
-                     CU.V == tv::TVVerdict::Inequivalent;
-    if (CU.Clauses > 0) {
-      CUClauses += CU.Clauses;
-      ++CUN;
-    }
-    if (CU.V == tv::TVVerdict::Equivalent)
-      ++CUEq;
-    else if (CU.V == tv::TVVerdict::Inequivalent)
-      ++CUNeq;
-    else
-      ++CUIn;
-    if (CUDecided)
-      continue;
-    for (const tv::TVResult &S : R.Result.SplitRes)
-      if (S.Clauses > 0) {
-        SpClauses += S.Clauses;
-        ++SpN;
-      }
-    if (R.Result.DecidedBy == Stage::Splitting) {
-      if (R.Result.Final == EquivResult::Equivalent)
-        ++SpEq;
-      else
-        ++SpNeq;
-    } else {
-      ++SpIn;
+  FunnelTally TB = tally(Before);
+  FunnelTally TA = tally(After);
+
+  // Verdict parity: the optimization must not change Table 3.
+  int VerdictMismatches = 0;
+  for (size_t I = 0; I < After.size(); ++I) {
+    if (Before[I].Result.Final != After[I].Result.Final ||
+        Before[I].Result.DecidedBy != After[I].Result.DecidedBy) {
+      ++VerdictMismatches;
+      std::printf("  VERDICT MISMATCH %s: seed %s/%s vs incremental "
+                  "%s/%s\n",
+                  After[I].Name.c_str(),
+                  core::outcomeName(Before[I].Result.Final),
+                  core::stageName(Before[I].Result.DecidedBy),
+                  core::outcomeName(After[I].Result.Final),
+                  core::stageName(After[I].Result.DecidedBy));
     }
   }
 
   std::printf("\n  %-12s %7s %7s %9s %9s   (paper)\n", "Technique", "Total",
               "Equiv", "NotEquiv", "Inconcl");
   std::printf("  %-12s %7d %7d %9d %9d   149/0/24/125\n", "Checksum", 149,
-              0, ChecksumNotEq, Plaus);
-  std::printf("  %-12s %7d %7d %9d %9d   125/26/17/82\n", "Alive2", Plaus,
-              A2Eq, A2Neq, A2In);
-  std::printf("  %-12s %7d %7d %9d %9d   82/28/18/36\n", "C-Unroll", A2In,
-              CUEq, CUNeq, CUIn);
-  std::printf("  %-12s %7d %7d %9d %9d   36/3/2/31\n", "Splitting", CUIn,
-              SpEq, SpNeq, SpIn);
-  int AllEq = A2Eq + CUEq + SpEq;
-  int AllNeq = ChecksumNotEq + A2Neq + CUNeq + SpNeq;
-  std::printf("  %-12s %7d %7d %9d %9d   149/57/61/31\n", "All", 149, AllEq,
-              AllNeq, SpIn);
+              0, TA.ChecksumNotEq, TA.Plaus);
+  std::printf("  %-12s %7d %7d %9d %9d   125/26/17/82\n", "Alive2",
+              TA.Plaus, TA.A2Eq, TA.A2Neq, TA.A2In);
+  std::printf("  %-12s %7d %7d %9d %9d   82/28/18/36\n", "C-Unroll",
+              TA.A2In, TA.CUEq, TA.CUNeq, TA.CUIn);
+  std::printf("  %-12s %7d %7d %9d %9d   36/3/2/31\n", "Splitting",
+              TA.CUIn, TA.SpEq, TA.SpNeq, TA.SpIn);
+  std::printf("  %-12s %7d %7d %9d %9d   149/57/61/31\n", "All", 149,
+              TA.allEq(), TA.allNeq(), TA.SpIn);
 
   std::printf("\n  mean SAT clauses per query (why the techniques scale):\n");
-  if (A2N)
+  if (TA.A2N)
     std::printf("    alive2-unroll: %10llu\n",
-                static_cast<unsigned long long>(A2Clauses /
-                                                static_cast<uint64_t>(A2N)));
-  if (CUN)
+                static_cast<unsigned long long>(
+                    TA.A2Clauses / static_cast<uint64_t>(TA.A2N)));
+  if (TA.CUN)
     std::printf("    c-unroll:      %10llu\n",
-                static_cast<unsigned long long>(CUClauses /
-                                                static_cast<uint64_t>(CUN)));
-  if (SpN)
+                static_cast<unsigned long long>(
+                    TA.CUClauses / static_cast<uint64_t>(TA.CUN)));
+  if (TA.SpN)
     std::printf("    splitting:     %10llu (per cell)\n",
-                static_cast<unsigned long long>(SpClauses /
-                                                static_cast<uint64_t>(SpN)));
+                static_cast<unsigned long long>(
+                    TA.SpClauses / static_cast<uint64_t>(TA.SpN)));
+
+  // Incremental-backend win on the spatial-splitting stage.
+  double SatWorkRatio = ratio(TB.splitSatWork(), TA.splitSatWork());
+  double WallRatio = ratio(TB.SplitWallNanos, TA.SplitWallNanos);
+  std::printf("\n  spatial-splitting stage, seed -> incremental "
+              "(%d -> %d per-cell queries):\n",
+              TB.SplitQueries, TA.SplitQueries);
+  std::printf("    conflicts:     %10llu -> %10llu\n",
+              static_cast<unsigned long long>(TB.SplitConflicts),
+              static_cast<unsigned long long>(TA.SplitConflicts));
+  std::printf("    propagations:  %10llu -> %10llu\n",
+              static_cast<unsigned long long>(TB.SplitPropagations),
+              static_cast<unsigned long long>(TA.SplitPropagations));
+  std::printf("    SAT work:      %10llu -> %10llu   (%.2fx)\n",
+              static_cast<unsigned long long>(TB.splitSatWork()),
+              static_cast<unsigned long long>(TA.splitSatWork()),
+              SatWorkRatio);
+  std::printf("    wall time:     %8.1fms -> %8.1fms   (%.2fx)\n",
+              static_cast<double>(TB.SplitWallNanos) / 1e6,
+              static_cast<double>(TA.SplitWallNanos) / 1e6, WallRatio);
 
   // Shape checks: verification grows across stages; the domain-specific
-  // stages verify + refute additional tests beyond plain Alive2.
-  bool ShapeOk = AllEq > A2Eq && (CUEq + CUNeq) > 0 && Plaus > AllEq;
+  // stages verify + refute additional tests beyond plain Alive2; the
+  // incremental backend halves splitting-stage cost without moving a
+  // single verdict.
+  bool ShapeOk = TA.allEq() > TA.A2Eq && (TA.CUEq + TA.CUNeq) > 0 &&
+                 TA.Plaus > TA.allEq();
+  // Vacuously OK when the splitting stage did no work in either backend
+  // (nothing reached stage 4): there is no cost to reduce.
+  bool NoSplitWork = TB.splitSatWork() == 0 && TA.splitSatWork() == 0 &&
+                     TB.SplitWallNanos == 0 && TA.SplitWallNanos == 0;
+  bool SpeedupOk = NoSplitWork || SatWorkRatio >= 2.0 || WallRatio >= 2.0;
+  bool VerdictsOk = VerdictMismatches == 0;
   std::printf("\n  funnel shape (stages add verdicts beyond Alive2): %s\n",
               ShapeOk ? "OK" : "MISMATCH");
-  return ShapeOk ? 0 : 1;
+  std::printf("  identical verdicts across backends: %s\n",
+              VerdictsOk ? "OK" : "MISMATCH");
+  std::printf("  >=2x splitting-stage reduction: %s\n",
+              SpeedupOk ? "OK" : "MISMATCH");
+
+  // Machine-readable mirror for the perf trajectory.
+  std::string J = "{\n";
+  appendf(J, "  \"name\": \"bench_table3_equivalence\",\n");
+  appendf(J, "  \"funnel\": {\n");
+  appendf(J,
+          "    \"checksum\": {\"total\": 149, \"equiv\": 0, \"noteq\": %d, "
+          "\"inconcl\": %d},\n",
+          TA.ChecksumNotEq, TA.Plaus);
+  appendf(J,
+          "    \"alive2\": {\"total\": %d, \"equiv\": %d, \"noteq\": %d, "
+          "\"inconcl\": %d},\n",
+          TA.Plaus, TA.A2Eq, TA.A2Neq, TA.A2In);
+  appendf(J,
+          "    \"c_unroll\": {\"total\": %d, \"equiv\": %d, \"noteq\": %d, "
+          "\"inconcl\": %d},\n",
+          TA.A2In, TA.CUEq, TA.CUNeq, TA.CUIn);
+  appendf(J,
+          "    \"splitting\": {\"total\": %d, \"equiv\": %d, \"noteq\": %d, "
+          "\"inconcl\": %d},\n",
+          TA.CUIn, TA.SpEq, TA.SpNeq, TA.SpIn);
+  appendf(J,
+          "    \"all\": {\"total\": 149, \"equiv\": %d, \"noteq\": %d, "
+          "\"inconcl\": %d}\n  },\n",
+          TA.allEq(), TA.allNeq(), TA.SpIn);
+  appendf(J, "  \"splitting_stage\": {\n");
+  appendf(J,
+          "    \"seed\": {\"queries\": %d, \"conflicts\": %llu, "
+          "\"propagations\": %llu, \"wall_ns\": %llu},\n",
+          TB.SplitQueries,
+          static_cast<unsigned long long>(TB.SplitConflicts),
+          static_cast<unsigned long long>(TB.SplitPropagations),
+          static_cast<unsigned long long>(TB.SplitWallNanos));
+  appendf(J,
+          "    \"incremental\": {\"queries\": %d, \"conflicts\": %llu, "
+          "\"propagations\": %llu, \"wall_ns\": %llu},\n",
+          TA.SplitQueries,
+          static_cast<unsigned long long>(TA.SplitConflicts),
+          static_cast<unsigned long long>(TA.SplitPropagations),
+          static_cast<unsigned long long>(TA.SplitWallNanos));
+  appendf(J,
+          "    \"sat_work_ratio\": %.3f,\n    \"wall_ratio\": %.3f\n  },\n",
+          SatWorkRatio, WallRatio);
+  appendf(J, "  \"verdict_mismatches\": %d,\n", VerdictMismatches);
+  appendf(J, "  \"shape_ok\": %s,\n  \"speedup_ok\": %s\n}\n",
+          ShapeOk ? "true" : "false", SpeedupOk ? "true" : "false");
+  std::ofstream("BENCH_table3.json") << J;
+
+  return ShapeOk && VerdictsOk && SpeedupOk ? 0 : 1;
 }

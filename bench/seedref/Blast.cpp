@@ -1,11 +1,17 @@
+//===-------------------------------------------------------------------------===//
+// FROZEN SEED REFERENCE — verbatim copy of the seed smt stack (commit
+// b2dc6cd), renamed into lv::seedref. Used only by bench_table3_equivalence
+// as the "before" side of the incremental-backend A/B measurement. Do NOT
+// optimize or refactor this code: its value is being the fixed baseline.
+//===-------------------------------------------------------------------------===//
 //===- smt/Blast.cpp - term -> CNF bit-blasting ------------------------------===//
 
-#include "smt/Blast.h"
+#include "bench/seedref/Blast.h"
 
 #include <cassert>
 
 using namespace lv;
-using namespace lv::smt;
+using namespace lv::seedref;
 
 BitBlaster::BitBlaster(const TermTable &TT, SatSolver &S) : TT(TT), S(S) {
   TrueLit = Lit(S.newVar(), false);
@@ -36,14 +42,14 @@ Lit BitBlaster::gAnd(Lit A, Lit B) {
   if (B.X < A.X)
     std::swap(A, B);
   uint64_t Key = gateKey(1, A, B);
-  Lit Z;
-  if (GateCache.find(Key, Z))
-    return Z;
-  Z = freshLit();
+  auto It = GateCache.find(Key);
+  if (It != GateCache.end())
+    return It->second;
+  Lit Z = freshLit();
   S.addClause(~Z, A);
   S.addClause(~Z, B);
   S.addClause(~A, ~B, Z);
-  GateCache.insert(Key, Z);
+  GateCache.emplace(Key, Z);
   return Z;
 }
 
@@ -70,14 +76,17 @@ Lit BitBlaster::gXor(Lit A, Lit B) {
   if (B.X < A.X)
     std::swap(A, B);
   uint64_t Key = gateKey(2, A, B);
+  auto It = GateCache.find(Key);
   Lit Z;
-  if (!GateCache.find(Key, Z)) {
+  if (It != GateCache.end()) {
+    Z = It->second;
+  } else {
     Z = freshLit();
     S.addClause(~Z, A, B);
     S.addClause(~Z, ~A, ~B);
     S.addClause(Z, ~A, B);
     S.addClause(Z, A, ~B);
-    GateCache.insert(Key, Z);
+    GateCache.emplace(Key, Z);
   }
   return Flip ? ~Z : Z;
 }
@@ -96,15 +105,15 @@ Lit BitBlaster::gMux(Lit Sel, Lit T, Lit E) {
                  (static_cast<uint64_t>(static_cast<uint32_t>(Sel.X)) << 42) |
                  (static_cast<uint64_t>(static_cast<uint32_t>(T.X)) << 21) |
                  static_cast<uint64_t>(static_cast<uint32_t>(E.X));
-  Lit Z;
-  if (GateCache.find(Key, Z))
-    return Z;
-  Z = freshLit();
+  auto It = GateCache.find(Key);
+  if (It != GateCache.end())
+    return It->second;
+  Lit Z = freshLit();
   S.addClause(~Sel, ~T, Z);
   S.addClause(~Sel, T, ~Z);
   S.addClause(Sel, ~E, Z);
   S.addClause(Sel, E, ~Z);
-  GateCache.insert(Key, Z);
+  GateCache.emplace(Key, Z);
   return Z;
 }
 
@@ -119,7 +128,7 @@ BitBlaster::Word BitBlaster::wConst(uint32_t V, int Width) {
   return W;
 }
 
-BitBlaster::Word BitBlaster::wAdd(WordView A, WordView B, Lit CarryIn,
+BitBlaster::Word BitBlaster::wAdd(const Word &A, const Word &B, Lit CarryIn,
                                   Lit *CarryOut, Lit *CarryPrev) {
   size_t N = A.size();
   assert(B.size() == N);
@@ -140,7 +149,7 @@ BitBlaster::Word BitBlaster::wAdd(WordView A, WordView B, Lit CarryIn,
   return Sum;
 }
 
-BitBlaster::Word BitBlaster::wNeg(WordView A) {
+BitBlaster::Word BitBlaster::wNeg(const Word &A) {
   Word NotA(A.size());
   for (size_t I = 0; I < A.size(); ++I)
     NotA[I] = ~A[I];
@@ -148,14 +157,14 @@ BitBlaster::Word BitBlaster::wNeg(WordView A) {
               nullptr);
 }
 
-BitBlaster::Word BitBlaster::wMux(Lit Sel, WordView T, WordView E) {
+BitBlaster::Word BitBlaster::wMux(Lit Sel, const Word &T, const Word &E) {
   Word R(T.size());
   for (size_t I = 0; I < T.size(); ++I)
     R[I] = gMux(Sel, T[I], E[I]);
   return R;
 }
 
-Lit BitBlaster::wUlt(WordView A, WordView B) {
+Lit BitBlaster::wUlt(const Word &A, const Word &B) {
   Lit Lt = falseLit();
   for (size_t I = 0; I < A.size(); ++I) {
     Lit Diff = gXor(A[I], B[I]);
@@ -164,14 +173,14 @@ Lit BitBlaster::wUlt(WordView A, WordView B) {
   return Lt;
 }
 
-Lit BitBlaster::wEq(WordView A, WordView B) {
+Lit BitBlaster::wEq(const Word &A, const Word &B) {
   Lit Eq = TrueLit;
   for (size_t I = 0; I < A.size(); ++I)
     Eq = gAnd(Eq, gXnor(A[I], B[I]));
   return Eq;
 }
 
-BitBlaster::Word BitBlaster::wMul(WordView A, WordView B,
+BitBlaster::Word BitBlaster::wMul(const Word &A, const Word &B,
                                   int OutWidth) {
   size_t N = static_cast<size_t>(OutWidth);
   Word Acc = wConst(0, OutWidth);
@@ -188,7 +197,7 @@ BitBlaster::Word BitBlaster::wMul(WordView A, WordView B,
   return Acc;
 }
 
-void BitBlaster::wUDivRem(WordView A, WordView B, Word &Q, Word &R) {
+void BitBlaster::wUDivRem(const Word &A, const Word &B, Word &Q, Word &R) {
   size_t N = A.size();
   Q.assign(N, falseLit());
   R = wConst(0, static_cast<int>(N));
@@ -206,7 +215,7 @@ void BitBlaster::wUDivRem(WordView A, WordView B, Word &Q, Word &R) {
   }
 }
 
-BitBlaster::Word BitBlaster::wAbs(WordView A) {
+BitBlaster::Word BitBlaster::wAbs(const Word &A) {
   Lit Sign = A.back();
   return wMux(Sign, wNeg(A), A);
 }
@@ -215,9 +224,10 @@ BitBlaster::Word BitBlaster::wAbs(WordView A) {
 // Term blasting
 //===----------------------------------------------------------------------===//
 
-const BitBlaster::PackedWord &BitBlaster::blastBv(TermId Id) {
-  if (const PackedWord *Cached = bvCached(Id))
-    return *Cached;
+std::vector<Lit> BitBlaster::blastBv(TermId Id) {
+  auto It = BvCache.find(Id);
+  if (It != BvCache.end())
+    return It->second;
   const Term &T = TT.get(Id);
   Word W;
   switch (T.K) {
@@ -235,7 +245,7 @@ const BitBlaster::PackedWord &BitBlaster::blastBv(TermId Id) {
     W = wAdd(blastBv(T.A), blastBv(T.B), falseLit(), nullptr, nullptr);
     break;
   case TK::Sub: {
-    const auto &B = blastBv(T.B);
+    Word B = blastBv(T.B);
     Word NotB(B.size());
     for (size_t I = 0; I < B.size(); ++I)
       NotB[I] = ~B[I];
@@ -247,8 +257,8 @@ const BitBlaster::PackedWord &BitBlaster::blastBv(TermId Id) {
     break;
   case TK::SDiv:
   case TK::SRem: {
-    const auto &A = blastBv(T.A);
-    const auto &B = blastBv(T.B);
+    Word A = blastBv(T.A);
+    Word B = blastBv(T.B);
     Word AbsA = wAbs(A), AbsB = wAbs(B);
     Word Q, R;
     wUDivRem(AbsA, AbsB, Q, R);
@@ -262,28 +272,28 @@ const BitBlaster::PackedWord &BitBlaster::blastBv(TermId Id) {
     break;
   }
   case TK::BvAnd: {
-    const auto &A = blastBv(T.A), &B = blastBv(T.B);
+    Word A = blastBv(T.A), B = blastBv(T.B);
     W.resize(32);
     for (size_t I = 0; I < 32; ++I)
       W[I] = gAnd(A[I], B[I]);
     break;
   }
   case TK::BvOr: {
-    const auto &A = blastBv(T.A), &B = blastBv(T.B);
+    Word A = blastBv(T.A), B = blastBv(T.B);
     W.resize(32);
     for (size_t I = 0; I < 32; ++I)
       W[I] = gOr(A[I], B[I]);
     break;
   }
   case TK::BvXor: {
-    const auto &A = blastBv(T.A), &B = blastBv(T.B);
+    Word A = blastBv(T.A), B = blastBv(T.B);
     W.resize(32);
     for (size_t I = 0; I < 32; ++I)
       W[I] = gXor(A[I], B[I]);
     break;
   }
   case TK::BvNot: {
-    const auto &A = blastBv(T.A);
+    Word A = blastBv(T.A);
     W.resize(32);
     for (size_t I = 0; I < 32; ++I)
       W[I] = ~A[I];
@@ -292,7 +302,7 @@ const BitBlaster::PackedWord &BitBlaster::blastBv(TermId Id) {
   case TK::Shl:
   case TK::LShr:
   case TK::AShr: {
-    const auto &A = blastBv(T.A);
+    Word A = blastBv(T.A);
     uint32_t CAmt;
     if (TT.isConst(T.B, CAmt)) {
       CAmt &= 31;
@@ -307,8 +317,8 @@ const BitBlaster::PackedWord &BitBlaster::blastBv(TermId Id) {
       }
     } else {
       // Barrel shifter over the low 5 amount bits.
-      const auto &Amt = blastBv(T.B);
-      W.assign(A.begin(), A.end());
+      Word Amt = blastBv(T.B);
+      W = A;
       for (int Stage = 0; Stage < 5; ++Stage) {
         int Sh = 1 << Stage;
         Word Shifted(32);
@@ -330,14 +340,13 @@ const BitBlaster::PackedWord &BitBlaster::blastBv(TermId Id) {
     assert(false && "blastBv on a bool term");
     W = wConst(0);
   }
-  assert(W.size() == 32 && "BV words are 32 bits");
-  return internBv(Id, W);
+  return BvCache.emplace(Id, std::move(W)).first->second;
 }
 
 Lit BitBlaster::blastBool(TermId Id) {
-  Lit Cached;
-  if (boolCached(Id, Cached))
-    return Cached;
+  auto It = BoolCache.find(Id);
+  if (It != BoolCache.end())
+    return It->second;
   const Term &T = TT.get(Id);
   Lit L;
   switch (T.K) {
@@ -371,16 +380,15 @@ Lit BitBlaster::blastBool(TermId Id) {
     break;
   case TK::Slt: {
     // Signed compare: flip sign bits, compare unsigned.
-    const auto &PA = blastBv(T.A);
-    const auto &PB = blastBv(T.B);
-    Word A2(PA.begin(), PA.end()), B2(PB.begin(), PB.end());
+    Word A = blastBv(T.A), B = blastBv(T.B);
+    Word A2 = A, B2 = B;
     A2[31] = ~A2[31];
     B2[31] = ~B2[31];
     L = wUlt(A2, B2);
     break;
   }
   case TK::AddOvf: {
-    const auto &A = blastBv(T.A), &B = blastBv(T.B);
+    Word A = blastBv(T.A), B = blastBv(T.B);
     Word Sum = wAdd(A, B, falseLit(), nullptr, nullptr);
     // Signed overflow: operands share a sign that differs from the result.
     Lit SameSign = gXnor(A[31], B[31]);
@@ -388,7 +396,7 @@ Lit BitBlaster::blastBool(TermId Id) {
     break;
   }
   case TK::SubOvf: {
-    const auto &A = blastBv(T.A), &B = blastBv(T.B);
+    Word A = blastBv(T.A), B = blastBv(T.B);
     Word NotB(B.size());
     for (size_t I = 0; I < B.size(); ++I)
       NotB[I] = ~B[I];
@@ -400,11 +408,10 @@ Lit BitBlaster::blastBool(TermId Id) {
   case TK::MulOvf: {
     // Full 64-bit product of sign-extended operands; overflow iff the top
     // 33 bits are not a sign-extension of bit 31.
-    const auto &PA = blastBv(T.A);
-    const auto &PB = blastBv(T.B);
-    Word A64(PA.begin(), PA.end()), B64(PB.begin(), PB.end());
-    A64.resize(64, A64[31]);
-    B64.resize(64, B64[31]);
+    Word A = blastBv(T.A), B = blastBv(T.B);
+    Word A64 = A, B64 = B;
+    A64.resize(64, A[31]);
+    B64.resize(64, B[31]);
     Word P = wMul(A64, B64, 64);
     Lit Ovf = falseLit();
     for (size_t I = 32; I < 64; ++I)
@@ -416,17 +423,16 @@ Lit BitBlaster::blastBool(TermId Id) {
     assert(false && "blastBool on a bv term");
     L = falseLit();
   }
-  return internBool(Id, L);
+  return BoolCache.emplace(Id, L).first->second;
 }
 
 bool BitBlaster::modelOfVar(TermId Id, uint32_t &Out) const {
-  const PackedWord *Cached = bvCached(Id);
-  if (!Cached)
+  auto It = BvCache.find(Id);
+  if (It == BvCache.end())
     return false;
-  const PackedWord &Bits = *Cached;
   uint32_t V = 0;
   for (int I = 0; I < 32; ++I) {
-    Lit L = Bits[static_cast<size_t>(I)];
+    Lit L = It->second[static_cast<size_t>(I)];
     bool Bit;
     if (isConstLit(L, Bit)) {
       // constant
@@ -441,9 +447,10 @@ bool BitBlaster::modelOfVar(TermId Id, uint32_t &Out) const {
 }
 
 bool BitBlaster::modelOfBVar(TermId Id, bool &Out) const {
-  Lit L;
-  if (!boolCached(Id, L))
+  auto It = BoolCache.find(Id);
+  if (It == BoolCache.end())
     return false;
+  Lit L = It->second;
   bool Bit;
   if (isConstLit(L, Bit)) {
     Out = Bit;

@@ -1,0 +1,106 @@
+//===-------------------------------------------------------------------------===//
+// FROZEN SEED REFERENCE — verbatim copy of the seed smt stack (commit
+// b2dc6cd), renamed into lv::seedref. Used only by bench_table3_equivalence
+// as the "before" side of the incremental-backend A/B measurement. Do NOT
+// optimize or refactor this code: its value is being the fixed baseline.
+//===-------------------------------------------------------------------------===//
+//===- smt/Blast.h - term -> CNF bit-blasting -------------------*- C++ -*-===//
+///
+/// \file
+/// Tseitin bit-blasting of bool/BV32 terms into a SatSolver: ripple-carry
+/// adders, shift-add multipliers (with 64-bit products for the signed
+/// multiplication-overflow predicate), barrel shifters for symbolic shift
+/// amounts, and a restoring divider for symbolic divisors. Gates are
+/// structurally hashed so shared subterms blast once.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_BENCH_SEEDREF_BLAST_H
+#define LV_BENCH_SEEDREF_BLAST_H
+
+#include "bench/seedref/Sat.h"
+#include "smt/Term.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace lv {
+namespace seedref {
+
+using smt::Term;
+using smt::TermId;
+using smt::TermTable;
+using smt::TK;
+
+/// Blasts terms into CNF over a SatSolver.
+class BitBlaster {
+public:
+  BitBlaster(const TermTable &TT, SatSolver &S);
+
+  /// Blasts a bool term; the returned literal is equivalent to the term.
+  Lit blastBool(TermId Id);
+
+  /// Blasts a BV term into 32 literals (LSB first). Returns by value: the
+  /// cache is an unordered_map whose references are invalidated by the
+  /// recursive blasts of sibling operands.
+  std::vector<Lit> blastBv(TermId Id);
+
+  /// After a Sat result, reads back the model value of a Var term that was
+  /// reachable from the blasted query.
+  bool modelOfVar(TermId Id, uint32_t &Out) const;
+  bool modelOfBVar(TermId Id, bool &Out) const;
+
+  /// Terms of kind Var/BVar encountered during blasting (for model dumps).
+  const std::vector<TermId> &seenVars() const { return VarsSeen; }
+
+private:
+  const TermTable &TT;
+  SatSolver &S;
+  Lit TrueLit;
+
+  std::unordered_map<TermId, Lit> BoolCache;
+  std::unordered_map<TermId, std::vector<Lit>> BvCache;
+  std::unordered_map<uint64_t, Lit> GateCache;
+  std::vector<TermId> VarsSeen;
+
+  Lit falseLit() const { return ~TrueLit; }
+  Lit constLit(bool B) const { return B ? TrueLit : ~TrueLit; }
+  bool isConstLit(Lit L, bool &B) const {
+    if (L == TrueLit) {
+      B = true;
+      return true;
+    }
+    if (L == ~TrueLit) {
+      B = false;
+      return true;
+    }
+    return false;
+  }
+
+  Lit freshLit() { return Lit(S.newVar(), false); }
+
+  // Simplifying gate constructors.
+  Lit gAnd(Lit A, Lit B);
+  Lit gOr(Lit A, Lit B) { return ~gAnd(~A, ~B); }
+  Lit gXor(Lit A, Lit B);
+  Lit gXnor(Lit A, Lit B) { return ~gXor(A, B); }
+  Lit gMux(Lit Sel, Lit T, Lit E);
+
+  // Word-level helpers over vectors of lits (LSB first).
+  using Word = std::vector<Lit>;
+  Word wConst(uint32_t V, int Width = 32);
+  Word wAdd(const Word &A, const Word &B, Lit CarryIn, Lit *CarryOut,
+            Lit *CarryPrev);
+  Word wNeg(const Word &A);
+  Word wMux(Lit Sel, const Word &T, const Word &E);
+  Lit wUlt(const Word &A, const Word &B);
+  Lit wEq(const Word &A, const Word &B);
+  Word wMul(const Word &A, const Word &B, int OutWidth);
+  void wUDivRem(const Word &A, const Word &B, Word &Q, Word &R);
+  Word wAbs(const Word &A);
+};
+
+} // namespace seedref
+} // namespace lv
+
+#endif // LV_BENCH_SEEDREF_BLAST_H

@@ -1,0 +1,179 @@
+//===-------------------------------------------------------------------------===//
+// FROZEN SEED REFERENCE — verbatim copy of the seed smt stack (commit
+// b2dc6cd), renamed into lv::seedref. Used only by bench_table3_equivalence
+// as the "before" side of the incremental-backend A/B measurement. Do NOT
+// optimize or refactor this code: its value is being the fixed baseline.
+//===-------------------------------------------------------------------------===//
+//===- tv/Refine.cpp - bounded translation validation -------------------------===//
+
+#include "tv/Refine.h"
+
+#include "bench/seedref/Solve.h"
+#include "bench/seedref/SeedRef.h"
+
+#include "support/Format.h"
+
+#include <algorithm>
+
+using namespace lv;
+using namespace lv::tv;
+using lv::seedref::SatBudget;
+using namespace lv::vir;
+using smt::TermId;
+using smt::TermTable;
+
+/// `t refines s`: violated when s is defined but t is poison or different.
+static TermId refineViolation(TermTable &T, const SymVal &S, const SymVal &V) {
+  return T.mkAnd(T.mkNot(S.Poison),
+                 T.mkOr(V.Poison, T.mkNe(S.Val, V.Val)));
+}
+
+/// Finds the memory for region \p Name in a state ('s param regions).
+static const SymMemory *findMem(const SymState &St, const VFunction &F,
+                                const std::string &Name) {
+  for (size_t I = 0; I < F.Memories.size(); ++I)
+    if (F.Memories[I].IsParam && F.Memories[I].Name == Name)
+      return &St.Mems[I];
+  return nullptr;
+}
+
+TVResult lv::seedref::checkRefinementSeed(const VFunction &Src,
+                                          const VFunction &Tgt,
+                                          const RefineOptions &Opts) {
+  TVResult Out;
+  TermTable T;
+  SharedInputs In(T);
+
+  SymState SS = executeSymbolic(Src, T, In, Opts.SrcExec);
+  SymState ST = executeSymbolic(Tgt, T, In, Opts.TgtExec);
+  if (!SS.ok() || !ST.ok()) {
+    Out.V = TVVerdict::Unsupported;
+    Out.Detail = !SS.ok() ? SS.Error : ST.Error;
+    return Out;
+  }
+
+  // Assumptions: unroll exhaustion on both sides, size domains, scalar
+  // parameter domain, and the alignment divisibility constraints.
+  TermId A = T.mkAnd(SS.Assum, ST.Assum);
+  for (const SymMemory &M : SS.Mems)
+    A = T.mkAnd(A, M.sizeDomain());
+  for (const SymMemory &M : ST.Mems)
+    A = T.mkAnd(A, M.sizeDomain());
+  for (const std::string &Name : In.scalarNames()) {
+    TermId P = In.scalar(Name);
+    A = T.mkAnd(A, T.mkAnd(T.mkSge(P, T.mkConst(0)),
+                           T.mkSle(P, T.mkConstS(Opts.ScalarMax))));
+  }
+  for (const DivAssumption &D : Opts.Divs) {
+    TermId P = In.scalar(D.Param);
+    TermId E = T.mkAdd(P, T.mkConstS(D.Offset));
+    A = T.mkAnd(A, T.mkAnd(T.mkSge(E, T.mkConst(0)),
+                           T.mkEq(T.mkSRem(E, T.mkConstS(D.Mod)),
+                                  T.mkConst(0))));
+  }
+
+  // Violations.
+  TermId Viol = ST.UB;
+  if (Src.ReturnsValue && Tgt.ReturnsValue) {
+    TermId RetMismatch =
+        T.mkOr(T.mkAnd(SS.RetCond, T.mkNot(ST.RetCond)),
+               T.mkAnd(ST.RetCond, T.mkNot(SS.RetCond)));
+    TermId RetDiff =
+        T.mkAnd(T.mkAnd(SS.RetCond, ST.RetCond),
+                refineViolation(T, SS.RetVal, ST.RetVal));
+    Viol = T.mkOr(Viol, T.mkOr(RetMismatch, RetDiff));
+  } else if (Src.ReturnsValue != Tgt.ReturnsValue) {
+    Out.V = TVVerdict::Inequivalent;
+    Out.Detail = "return type mismatch";
+    return Out;
+  }
+
+  for (size_t I = 0; I < Src.Memories.size(); ++I) {
+    if (!Src.Memories[I].IsParam)
+      continue;
+    const SymMemory &MS = SS.Mems[I];
+    const SymMemory *MT = findMem(ST, Tgt, Src.Memories[I].Name);
+    if (!MT) {
+      Out.V = TVVerdict::Inequivalent;
+      Out.Detail =
+          format("target lacks array parameter '%s'",
+                 Src.Memories[I].Name.c_str());
+      return Out;
+    }
+    int Lo = 0, Hi = std::min(Opts.CompareWindow, MS.capacity());
+    if (Opts.CellFilter >= 0) {
+      Lo = Opts.CellFilter;
+      Hi = std::min(Opts.CellFilter + 1, MS.capacity());
+    }
+    for (int J = Lo; J < Hi; ++J) {
+      TermId Off = T.mkConst(static_cast<uint32_t>(J));
+      SymVal CS = MS.read(Off);
+      SymVal CT = MT->read(Off);
+      if (CS.Val == CT.Val && CS.Poison == CT.Poison)
+        continue; // syntactically identical
+      Viol = T.mkOr(Viol, refineViolation(T, CS, CT));
+    }
+  }
+
+  TermId Query = T.mkAnd(A, T.mkAnd(T.mkNot(SS.UB), Viol));
+  Out.TermCount = T.size();
+  if (T.size() > Opts.MaxTerms) {
+    Out.V = TVVerdict::Inconclusive;
+    Out.Detail = format("term limit exceeded (%zu terms): encoding too "
+                        "large (out-of-memory analogue)",
+                        T.size());
+    return Out;
+  }
+  seedref::SatBudget SB;
+  SB.MaxConflicts = Opts.Budget.MaxConflicts;
+  SB.MaxPropagations = Opts.Budget.MaxPropagations;
+  SB.MaxClauses = Opts.Budget.MaxClauses;
+  seedref::SmtResult R = seedref::checkSat(T, Query, SB);
+  Out.Conflicts = R.ConflictsUsed;
+  Out.Propagations = R.PropagationsUsed;
+  Out.Clauses = R.ClauseCount;
+  Out.SatVars = R.VarCount;
+  switch (R.R) {
+  case seedref::SatResult::Unsat:
+    Out.V = TVVerdict::Equivalent;
+    Out.Detail = "refinement holds on the bounded domain";
+    return Out;
+  case seedref::SatResult::Unknown:
+    Out.V = TVVerdict::Inconclusive;
+    Out.Detail = format("solver budget exhausted (%llu conflicts)",
+                        static_cast<unsigned long long>(R.ConflictsUsed));
+    return Out;
+  case seedref::SatResult::Sat:
+    break;
+  }
+  Out.V = TVVerdict::Inequivalent;
+  // Render the counterexample: scalar params, array sizes, initial cells.
+  std::string CE;
+  for (const std::string &Name : In.scalarNames()) {
+    TermId P = In.scalar(Name);
+    auto It = R.Model.find(P);
+    if (It != R.Model.end())
+      appendf(CE, "%s = %d\n", Name.c_str(),
+              static_cast<int32_t>(It->second));
+  }
+  for (const std::string &Name : In.arrayNames()) {
+    TermId SZ = In.arraySize(Name);
+    auto It = R.Model.find(SZ);
+    if (It != R.Model.end())
+      appendf(CE, "alloc-size(%s) = %d\n", Name.c_str(),
+              static_cast<int32_t>(It->second));
+    const std::vector<SymVal> &Base =
+        In.arrayBase(Name, /*Cap=*/0); // existing entries only
+    std::string Cells;
+    for (size_t K = 0; K < Base.size() && K < 8; ++K) {
+      auto CIt = R.Model.find(Base[K].Val);
+      appendf(Cells, "%s%d", K ? ", " : "",
+              CIt == R.Model.end() ? 0 : static_cast<int32_t>(CIt->second));
+    }
+    if (!Cells.empty())
+      appendf(CE, "%s[0..] = {%s}\n", Name.c_str(), Cells.c_str());
+  }
+  Out.Counterexample = CE;
+  Out.Detail = "refinement violated; counterexample found";
+  return Out;
+}

@@ -1,18 +1,23 @@
-//===- smt/Sat.cpp - incremental CDCL SAT solver -----------------------------===//
+//===-------------------------------------------------------------------------===//
+// FROZEN SEED REFERENCE — verbatim copy of the seed smt stack (commit
+// b2dc6cd), renamed into lv::seedref. Used only by bench_table3_equivalence
+// as the "before" side of the incremental-backend A/B measurement. Do NOT
+// optimize or refactor this code: its value is being the fixed baseline.
+//===-------------------------------------------------------------------------===//
+//===- smt/Sat.cpp - CDCL SAT solver -----------------------------------------===//
 
-#include "smt/Sat.h"
+#include "bench/seedref/Sat.h"
 
 #include <algorithm>
 #include <cassert>
 #include <cmath>
 
 using namespace lv;
-using namespace lv::smt;
+using namespace lv::seedref;
 
 Var SatSolver::newVar() {
   Var V = numVars();
-  AssignLit.push_back(0);
-  AssignLit.push_back(0);
+  Assigns.push_back(LBool::Undef);
   Model.push_back(LBool::Undef);
   Level.push_back(0);
   Reason.push_back(NoReason);
@@ -20,10 +25,8 @@ Var SatSolver::newVar() {
   Polarity.push_back(1); // default phase: false (MiniSat convention)
   Seen.push_back(0);
   HeapPos.push_back(-1);
-  WatchHead.push_back(-1);
-  WatchHead.push_back(-1);
-  WatchTail.push_back(-1);
-  WatchTail.push_back(-1);
+  Watches.emplace_back();
+  Watches.emplace_back();
   heapInsert(V);
   return V;
 }
@@ -106,28 +109,16 @@ void SatSolver::bumpVar(Var V) {
 }
 
 //===----------------------------------------------------------------------===//
-// Clause arena
+// Clause management
 //===----------------------------------------------------------------------===//
 
-SatSolver::CRef SatSolver::allocClause(const std::vector<Lit> &Lits,
-                                       bool Learnt, uint32_t Lbd) {
-  CRef C = static_cast<CRef>(Arena.size());
-  Arena.push_back((static_cast<uint32_t>(Lits.size()) << 2) |
-                  (Learnt ? LearntBit : 0u));
-  Arena.push_back(Lbd);
-  for (Lit L : Lits)
-    Arena.push_back(static_cast<uint32_t>(L.X));
-  (Learnt ? Learnts : ProblemClauses).push_back(C);
-  Stats.ArenaWords = Arena.size();
-  return C;
-}
-
 void SatSolver::attachClause(CRef C) {
-  assert(clauseSize(C) >= 2);
-  Lit L0 = litAt(C, 0), L1 = litAt(C, 1);
-  bool Binary = clauseSize(C) == 2;
-  watchInsert((~L0).X, C, L1, Binary);
-  watchInsert((~L1).X, C, L0, Binary);
+  const Clause &Cl = Clauses[static_cast<size_t>(C)];
+  assert(Cl.Lits.size() >= 2);
+  Watcher W0{C, Cl.Lits[1]};
+  Watcher W1{C, Cl.Lits[0]};
+  Watches[static_cast<size_t>((~Cl.Lits[0]).X)].push_back(W0);
+  Watches[static_cast<size_t>((~Cl.Lits[1]).X)].push_back(W1);
 }
 
 bool SatSolver::addClause(std::vector<Lit> Lits) {
@@ -163,97 +154,9 @@ bool SatSolver::addClause(std::vector<Lit> Lits) {
     }
     return true;
   }
-  CRef C = allocClause(Out, /*Learnt=*/false, /*Lbd=*/0);
-  attachClause(C);
+  Clauses.push_back(Clause{std::move(Out), /*Learnt=*/false});
+  attachClause(static_cast<CRef>(Clauses.size()) - 1);
   return true;
-}
-
-bool SatSolver::locked(CRef C) const {
-  Lit L0 = litAt(C, 0);
-  size_t V = static_cast<size_t>(L0.var());
-  return value(L0) == LBool::True && Reason[V] == C;
-}
-
-void SatSolver::reduceDB() {
-  ++Stats.ReduceDBs;
-  // Best clauses first: low LBD, then short. The worst half is dropped,
-  // except "glue" clauses (LBD <= 2) and clauses locked as reasons.
-  std::sort(Learnts.begin(), Learnts.end(), [this](CRef A, CRef B) {
-    uint32_t LA = lbd(A), LB = lbd(B);
-    if (LA != LB)
-      return LA < LB;
-    return clauseSize(A) < clauseSize(B);
-  });
-  size_t Keep = Learnts.size() / 2;
-  std::vector<CRef> Kept;
-  Kept.reserve(Learnts.size());
-  for (size_t I = 0; I < Learnts.size(); ++I) {
-    CRef C = Learnts[I];
-    if (I >= Keep && lbd(C) > 2 && !locked(C)) {
-      markDeleted(C);
-      WastedWords += clauseSize(C) + 2;
-      ++Stats.LearntDeleted;
-    } else {
-      Kept.push_back(C);
-    }
-  }
-  Learnts = std::move(Kept);
-  Stats.LearntLive = Learnts.size();
-  // Purge watchers of deleted clauses (unlink into the free list).
-  for (size_t L = 0; L < WatchHead.size(); ++L) {
-    int32_t *Link = &WatchHead[L];
-    int32_t Last = -1;
-    while (*Link >= 0) {
-      int32_t N = *Link;
-      WatchNode &W = WatchPool[static_cast<size_t>(N)];
-      if (isDeleted(W.C)) {
-        *Link = W.Next;
-        W.Next = WatchFree;
-        WatchFree = N;
-      } else {
-        Last = N;
-        Link = &W.Next;
-      }
-    }
-    WatchTail[L] = Last;
-  }
-  if (WastedWords * 3 > Arena.size())
-    garbageCollect();
-}
-
-void SatSolver::garbageCollect() {
-  std::vector<uint32_t> NewArena;
-  NewArena.reserve(Arena.size() - WastedWords);
-  // Copy each surviving clause and leave a forwarding pointer in the old
-  // clause's LBD slot so Reason references can be rewritten.
-  auto Reloc = [&](CRef C) {
-    CRef NC = static_cast<CRef>(NewArena.size());
-    uint32_t N = clauseSize(C) + 2;
-    for (uint32_t I = 0; I < N; ++I)
-      NewArena.push_back(Arena[C + I]);
-    Arena[C + 1] = NC;
-    return NC;
-  };
-  for (CRef &C : ProblemClauses)
-    C = Reloc(C);
-  for (CRef &C : Learnts)
-    C = Reloc(C);
-  for (Lit L : Trail) {
-    size_t V = static_cast<size_t>(L.var());
-    if (Reason[V] != NoReason)
-      Reason[V] = Arena[Reason[V] + 1];
-  }
-  Arena.swap(NewArena);
-  WastedWords = 0;
-  Stats.ArenaWords = Arena.size();
-  WatchPool.clear();
-  WatchFree = -1;
-  std::fill(WatchHead.begin(), WatchHead.end(), -1);
-  std::fill(WatchTail.begin(), WatchTail.end(), -1);
-  for (CRef C : ProblemClauses)
-    attachClause(C);
-  for (CRef C : Learnts)
-    attachClause(C);
 }
 
 //===----------------------------------------------------------------------===//
@@ -263,8 +166,7 @@ void SatSolver::garbageCollect() {
 void SatSolver::enqueue(Lit L, CRef From) {
   assert(value(L) == LBool::Undef);
   size_t V = static_cast<size_t>(L.var());
-  AssignLit[static_cast<size_t>(L.X)] = 1;
-  AssignLit[static_cast<size_t>(L.X ^ 1)] = -1;
+  Assigns[V] = L.sign() ? LBool::False : LBool::True;
   Level[V] = decisionLevel();
   Reason[V] = From;
   Polarity[V] = L.sign();
@@ -274,68 +176,33 @@ void SatSolver::enqueue(Lit L, CRef From) {
 SatSolver::CRef SatSolver::propagate() {
   while (QHead < Trail.size()) {
     Lit P = Trail[QHead++];
-    ++Stats.Propagations;
-    // Walk P's watcher list in append order. Nodes never allocate during
-    // propagation: a moved watcher is unlinked and appended onto the new
-    // literal's list (tail insertion preserves the classic vector-list
-    // visit order, which is search-visible).
-    size_t PX = static_cast<size_t>(P.X);
-    int32_t *Link = &WatchHead[PX];
-    int32_t Prev = -1;
-    while (*Link >= 0) {
-      int32_t NI = *Link;
-      WatchNode &W = WatchPool[static_cast<size_t>(NI)];
-      // Blocking literal: skip the clause without touching its memory.
-      LBool BlockerVal = value(W.Blocker);
-      if (BlockerVal == LBool::True) {
-        Prev = NI;
-        Link = &W.Next;
+    ++Propagations;
+    std::vector<Watcher> &Ws = Watches[static_cast<size_t>(P.X)];
+    size_t I = 0, J = 0;
+    while (I < Ws.size()) {
+      Watcher W = Ws[I++];
+      if (value(W.Blocker) == LBool::True) {
+        Ws[J++] = W;
         continue;
       }
-      // Binary clause: the blocker IS the other literal — imply it
-      // directly, no clause memory touched, watch never moves.
-      if (W.Binary) {
-        if (BlockerVal == LBool::False) {
-          QHead = Trail.size();
-          return W.C;
-        }
-        enqueue(W.Blocker, W.C);
-        Prev = NI;
-        Link = &W.Next;
-        continue;
-      }
-      CRef C = W.C;
-      // Make sure the false literal is at slot 1.
+      Clause &C = Clauses[static_cast<size_t>(W.C)];
+      // Make sure the false literal is Lits[1].
       Lit NotP = ~P;
-      Lit L0 = litAt(C, 0);
-      if (L0 == NotP) {
-        setLitAt(C, 0, litAt(C, 1));
-        setLitAt(C, 1, NotP);
-        L0 = litAt(C, 0);
-      }
-      assert(litAt(C, 1) == NotP);
+      if (C.Lits[0] == NotP)
+        std::swap(C.Lits[0], C.Lits[1]);
+      assert(C.Lits[1] == NotP);
       // If the first literal is true, the clause is satisfied.
-      if (value(L0) == LBool::True) {
-        W.Blocker = L0;
-        Prev = NI;
-        Link = &W.Next;
+      if (value(C.Lits[0]) == LBool::True) {
+        Ws[J++] = Watcher{W.C, C.Lits[0]};
         continue;
       }
       // Look for a new literal to watch.
-      uint32_t Sz = clauseSize(C);
       bool Found = false;
-      for (uint32_t K = 2; K < Sz; ++K) {
-        Lit LK = litAt(C, K);
-        if (value(LK) != LBool::False) {
-          setLitAt(C, 1, LK);
-          setLitAt(C, K, NotP);
-          // Unlink from P's list, append onto (~LK)'s list.
-          *Link = W.Next;
-          if (W.Next < 0)
-            WatchTail[PX] = Prev;
-          W.Blocker = L0;
-          W.Next = -1;
-          watchAppendNode((~LK).X, NI);
+      for (size_t K = 2; K < C.Lits.size(); ++K) {
+        if (value(C.Lits[K]) != LBool::False) {
+          std::swap(C.Lits[1], C.Lits[K]);
+          Watches[static_cast<size_t>((~C.Lits[1]).X)].push_back(
+              Watcher{W.C, C.Lits[0]});
           Found = true;
           break;
         }
@@ -343,37 +210,24 @@ SatSolver::CRef SatSolver::propagate() {
       if (Found)
         continue;
       // Unit or conflicting.
-      W.Blocker = L0;
-      Prev = NI;
-      Link = &W.Next;
-      if (value(L0) == LBool::False) {
+      Ws[J++] = Watcher{W.C, C.Lits[0]};
+      if (value(C.Lits[0]) == LBool::False) {
+        // Conflict: restore remaining watchers and report.
+        while (I < Ws.size())
+          Ws[J++] = Ws[I++];
+        Ws.resize(J);
         QHead = Trail.size();
-        return C;
+        return W.C;
       }
-      enqueue(L0, C);
+      enqueue(C.Lits[0], W.C);
     }
+    Ws.resize(J);
   }
   return NoReason;
 }
 
-uint32_t SatSolver::computeLBD(const std::vector<Lit> &Lits) {
-  ++StampGen;
-  uint32_t N = 0;
-  for (Lit L : Lits) {
-    uint32_t Lvl =
-        static_cast<uint32_t>(Level[static_cast<size_t>(L.var())]);
-    if (Lvl >= LevelStamp.size())
-      LevelStamp.resize(Lvl + 1, 0);
-    if (LevelStamp[Lvl] != StampGen) {
-      LevelStamp[Lvl] = StampGen;
-      ++N;
-    }
-  }
-  return N;
-}
-
 void SatSolver::analyze(CRef Confl, std::vector<Lit> &OutLearnt,
-                        int &OutBtLevel, uint32_t &OutLbd) {
+                        int &OutBtLevel) {
   OutLearnt.clear();
   OutLearnt.push_back(Lit()); // placeholder for the asserting literal
   int PathC = 0;
@@ -383,11 +237,11 @@ void SatSolver::analyze(CRef Confl, std::vector<Lit> &OutLearnt,
 
   do {
     assert(Confl != NoReason);
-    uint32_t Sz = clauseSize(Confl);
-    for (uint32_t K = 0; K < Sz; ++K) {
+    const Clause &C = Clauses[static_cast<size_t>(Confl)];
+    for (size_t K = 0; K < C.Lits.size(); ++K) {
       // When expanding a reason clause, skip the implied literal P itself;
       // the remaining literals are its antecedents.
-      Lit Q = litAt(Confl, K);
+      Lit Q = C.Lits[K];
       if (PValid && Q == P)
         continue;
       size_t V = static_cast<size_t>(Q.var());
@@ -423,9 +277,7 @@ void SatSolver::analyze(CRef Confl, std::vector<Lit> &OutLearnt,
     bool Redundant = false;
     if (RC != NoReason) {
       Redundant = true;
-      uint32_t RSz = clauseSize(RC);
-      for (uint32_t RK = 0; RK < RSz; ++RK) {
-        Lit RL = litAt(RC, RK);
+      for (Lit RL : Clauses[static_cast<size_t>(RC)].Lits) {
         if (RL == ~Q || RL == Q)
           continue;
         size_t RV = static_cast<size_t>(RL.var());
@@ -453,8 +305,6 @@ void SatSolver::analyze(CRef Confl, std::vector<Lit> &OutLearnt,
   if (OutLearnt.size() > 1)
     std::swap(OutLearnt[1], OutLearnt[MaxI]);
 
-  OutLbd = computeLBD(OutLearnt);
-
   for (Lit L : ToClear)
     Seen[static_cast<size_t>(L.var())] = 0;
 }
@@ -464,10 +314,8 @@ void SatSolver::cancelUntil(int Lvl) {
     return;
   size_t Bound = static_cast<size_t>(TrailLim[static_cast<size_t>(Lvl)]);
   for (size_t I = Trail.size(); I > Bound; --I) {
-    Lit L = Trail[I - 1];
-    size_t V = static_cast<size_t>(L.var());
-    AssignLit[static_cast<size_t>(L.X)] = 0;
-    AssignLit[static_cast<size_t>(L.X ^ 1)] = 0;
+    size_t V = static_cast<size_t>(Trail[I - 1].var());
+    Assigns[V] = LBool::Undef;
     Reason[V] = NoReason;
     heapInsert(static_cast<Var>(V));
   }
@@ -479,7 +327,7 @@ void SatSolver::cancelUntil(int Lvl) {
 Lit SatSolver::pickBranchLit() {
   while (!heapEmpty()) {
     Var V = heapPop();
-    if (isUnassigned(V))
+    if (Assigns[static_cast<size_t>(V)] == LBool::Undef)
       return Lit(V, Polarity[static_cast<size_t>(V)]);
   }
   return Lit();
@@ -499,24 +347,12 @@ static double luby(double Y, int X) {
 }
 
 SatResult SatSolver::solve(const SatBudget &Budget) {
-  static const std::vector<Lit> NoAssumps;
-  return solve(NoAssumps, Budget);
-}
-
-SatResult SatSolver::solve(const std::vector<Lit> &Assumps,
-                           const SatBudget &Budget) {
   if (!OkFlag)
     return SatResult::Unsat;
-  assert(decisionLevel() == 0);
   if (propagate() != NoReason) {
     OkFlag = false;
     return SatResult::Unsat;
   }
-
-  // Budgets are per call: measure against the counters at entry so an
-  // incremental solver gets a fresh allowance for every query.
-  const uint64_t StartConflicts = Stats.Conflicts;
-  const uint64_t StartProps = Stats.Propagations;
 
   int RestartNum = 0;
   uint64_t RestartLimit =
@@ -527,39 +363,28 @@ SatResult SatSolver::solve(const std::vector<Lit> &Assumps,
   for (;;) {
     CRef Confl = propagate();
     if (Confl != NoReason) {
-      ++Stats.Conflicts;
+      ++Conflicts;
       ++ConflictsAtRestart;
       if (decisionLevel() == 0) {
         OkFlag = false;
         return SatResult::Unsat;
       }
       int BtLevel;
-      uint32_t Lbd;
-      analyze(Confl, Learnt, BtLevel, Lbd);
+      analyze(Confl, Learnt, BtLevel);
       cancelUntil(BtLevel);
       if (Learnt.size() == 1) {
         enqueue(Learnt[0], NoReason);
-        Lbd = 1;
       } else {
-        CRef C = allocClause(Learnt, /*Learnt=*/true, Lbd);
+        Clauses.push_back(Clause{Learnt, /*Learnt=*/true});
+        CRef C = static_cast<CRef>(Clauses.size()) - 1;
         attachClause(C);
         enqueue(Learnt[0], C);
-        Stats.LearntLive = Learnts.size();
       }
-      ++Stats.LearntTotal;
-      Stats.SumLBD += Lbd;
       decayActivities();
-      if (Stats.Conflicts - StartConflicts >= Budget.MaxConflicts ||
-          Stats.Propagations - StartProps >= Budget.MaxPropagations) {
+      if (Conflicts >= Budget.MaxConflicts ||
+          Propagations >= Budget.MaxPropagations) {
         cancelUntil(0);
         return SatResult::Unknown;
-      }
-      // Learnt-DB reduction: long-budget runs otherwise drown propagation
-      // in stale learnt clauses.
-      if (Stats.Conflicts >= NextReduce) {
-        reduceDB();
-        NextReduce =
-            Stats.Conflicts + 2000 + ReduceIncrement * Stats.ReduceDBs;
       }
       continue;
     }
@@ -567,39 +392,17 @@ SatResult SatSolver::solve(const std::vector<Lit> &Assumps,
     if (ConflictsAtRestart >= RestartLimit) {
       ConflictsAtRestart = 0;
       RestartLimit = static_cast<uint64_t>(100 * luby(2.0, ++RestartNum));
-      ++Stats.Restarts;
       cancelUntil(0);
       continue;
     }
-    // Take pending assumptions first, one decision level each.
-    Lit Next;
-    while (decisionLevel() < static_cast<int>(Assumps.size())) {
-      Lit P = Assumps[static_cast<size_t>(decisionLevel())];
-      LBool V = value(P);
-      if (V == LBool::True) {
-        // Already satisfied: open a dummy level to keep the
-        // assumption-index == decision-level correspondence.
-        TrailLim.push_back(static_cast<int>(Trail.size()));
-      } else if (V == LBool::False) {
-        // The clause DB (plus earlier assumptions) refutes this
-        // assumption: Unsat under assumptions, solver stays usable.
-        cancelUntil(0);
-        return SatResult::Unsat;
-      } else {
-        Next = P;
-        break;
-      }
-    }
-    if (Next.X < 0)
-      Next = pickBranchLit();
+    Lit Next = pickBranchLit();
     if (Next.X < 0) {
       // All variables assigned: SAT.
-      for (size_t V = 0; V < Model.size(); ++V)
-        Model[V] = static_cast<LBool>(AssignLit[2 * V]);
+      for (size_t V = 0; V < Assigns.size(); ++V)
+        Model[V] = Assigns[V];
       cancelUntil(0);
       return SatResult::Sat;
     }
-    ++Stats.Decisions;
     TrailLim.push_back(static_cast<int>(Trail.size()));
     enqueue(Next, NoReason);
   }

@@ -1,0 +1,170 @@
+//===-------------------------------------------------------------------------===//
+// FROZEN SEED REFERENCE — verbatim copy of the seed smt stack (commit
+// b2dc6cd), renamed into lv::seedref. Used only by bench_table3_equivalence
+// as the "before" side of the incremental-backend A/B measurement. Do NOT
+// optimize or refactor this code: its value is being the fixed baseline.
+//===-------------------------------------------------------------------------===//
+//===- smt/Sat.h - CDCL SAT solver ------------------------------*- C++ -*-===//
+///
+/// \file
+/// A compact CDCL SAT solver (two-watched-literal propagation, 1UIP clause
+/// learning with backjumping, VSIDS branching, phase saving, Luby restarts)
+/// with a conflict budget. Exceeding the budget yields Unknown — this is
+/// how the reproduction models Alive2/Z3 timeouts: harder refinement
+/// encodings blow the budget, cheaper domain-specific encodings (C-level
+/// unrolling, spatial splitting) fit, producing the paper's Table 3 funnel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_BENCH_SEEDREF_SAT_H
+#define LV_BENCH_SEEDREF_SAT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lv {
+namespace seedref {
+
+/// Propositional variable (0-based).
+using Var = int;
+
+/// Literal encoded as 2*var + (negated ? 1 : 0).
+struct Lit {
+  int X = -2;
+
+  Lit() = default;
+  Lit(Var V, bool Neg) : X(2 * V + (Neg ? 1 : 0)) {}
+
+  Var var() const { return X >> 1; }
+  bool sign() const { return X & 1; } ///< True when negated.
+  Lit operator~() const {
+    Lit L;
+    L.X = X ^ 1;
+    return L;
+  }
+  bool operator==(const Lit &O) const { return X == O.X; }
+  bool operator!=(const Lit &O) const { return X != O.X; }
+};
+
+/// Tri-state assignment.
+enum class LBool : int8_t { False = -1, Undef = 0, True = 1 };
+
+/// Solver result.
+enum class SatResult : uint8_t { Sat, Unsat, Unknown };
+
+/// Resource limits; conflicts are the primary budget knob. MaxClauses
+/// bounds the blasted formula size (the memout analogue): solving is
+/// refused when exceeded.
+struct SatBudget {
+  uint64_t MaxConflicts = 200'000;
+  uint64_t MaxPropagations = UINT64_MAX;
+  uint64_t MaxClauses = 3'000'000;
+};
+
+/// The solver.
+class SatSolver {
+public:
+  SatSolver() = default;
+
+  /// Creates a fresh variable.
+  Var newVar();
+
+  int numVars() const { return static_cast<int>(Activity.size()); }
+
+  /// Adds a clause; returns false if the formula became trivially UNSAT.
+  bool addClause(std::vector<Lit> Lits);
+
+  /// Convenience for small clauses.
+  bool addClause(Lit A) { return addClause(std::vector<Lit>{A}); }
+  bool addClause(Lit A, Lit B) { return addClause(std::vector<Lit>{A, B}); }
+  bool addClause(Lit A, Lit B, Lit C) {
+    return addClause(std::vector<Lit>{A, B, C});
+  }
+
+  /// Solves under the given budget.
+  SatResult solve(const SatBudget &Budget = SatBudget());
+
+  /// Model access after Sat.
+  bool modelValue(Var V) const {
+    return Model[static_cast<size_t>(V)] == LBool::True;
+  }
+
+  /// Statistics.
+  uint64_t conflicts() const { return Conflicts; }
+  uint64_t propagations() const { return Propagations; }
+  uint64_t numClauses() const { return Clauses.size(); }
+
+private:
+  struct Clause {
+    std::vector<Lit> Lits;
+    bool Learnt = false;
+  };
+  using CRef = int;
+  static constexpr CRef NoReason = -1;
+
+  struct Watcher {
+    CRef C = NoReason;
+    Lit Blocker;
+  };
+
+  std::vector<Clause> Clauses;
+  std::vector<std::vector<Watcher>> Watches; ///< Indexed by Lit.X.
+  std::vector<LBool> Assigns;                ///< Indexed by var.
+  std::vector<LBool> Model;
+  std::vector<int> Level;
+  std::vector<CRef> Reason;
+  std::vector<Lit> Trail;
+  std::vector<int> TrailLim;
+  size_t QHead = 0;
+
+  std::vector<double> Activity;
+  double VarInc = 1.0;
+  static constexpr double VarDecay = 0.95;
+  std::vector<char> Polarity; ///< Phase saving (last assigned sign).
+  std::vector<char> Seen;
+
+  // Indexed max-heap over variable activity.
+  std::vector<Var> Heap;
+  std::vector<int> HeapPos; ///< -1 when not in heap.
+
+  bool OkFlag = true;
+  uint64_t Conflicts = 0;
+  uint64_t Propagations = 0;
+
+  LBool value(Lit L) const {
+    LBool V = Assigns[static_cast<size_t>(L.var())];
+    if (V == LBool::Undef)
+      return LBool::Undef;
+    bool T = (V == LBool::True) != L.sign();
+    return T ? LBool::True : LBool::False;
+  }
+  int decisionLevel() const { return static_cast<int>(TrailLim.size()); }
+
+  void enqueue(Lit L, CRef From);
+  CRef propagate();
+  void analyze(CRef Confl, std::vector<Lit> &OutLearnt, int &OutBtLevel);
+  void cancelUntil(int Lvl);
+  Lit pickBranchLit();
+  void attachClause(CRef C);
+
+  // Heap helpers.
+  void heapInsert(Var V);
+  void heapDecrease(Var V); ///< Activity increased: sift up.
+  Var heapPop();
+  bool heapEmpty() const { return Heap.empty(); }
+  void siftUp(int I);
+  void siftDown(int I);
+  bool heapLess(Var A, Var B) const {
+    return Activity[static_cast<size_t>(A)] >
+           Activity[static_cast<size_t>(B)];
+  }
+
+  void bumpVar(Var V);
+  void decayActivities() { VarInc /= VarDecay; }
+};
+
+} // namespace seedref
+} // namespace lv
+
+#endif // LV_BENCH_SEEDREF_SAT_H

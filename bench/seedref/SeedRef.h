@@ -1,0 +1,19 @@
+//===-------------------------------------------------------------------------===//
+// FROZEN SEED REFERENCE — verbatim copy of the seed smt stack (commit
+// b2dc6cd), renamed into lv::seedref. Used only by bench_table3_equivalence
+// as the "before" side of the incremental-backend A/B measurement. Do NOT
+// optimize or refactor this code: its value is being the fixed baseline.
+//===-------------------------------------------------------------------------===//
+#ifndef LV_BENCH_SEEDREF_H
+#define LV_BENCH_SEEDREF_H
+#include "tv/Refine.h"
+namespace lv {
+namespace seedref {
+/// The seed's one-shot refinement check, driving the frozen seed smt stack
+/// (per-Clause vector solver, by-value BV blaster): the "before" reference.
+tv::TVResult checkRefinementSeed(const vir::VFunction &Src,
+                                 const vir::VFunction &Tgt,
+                                 const tv::RefineOptions &Opts);
+} // namespace seedref
+} // namespace lv
+#endif

@@ -1,0 +1,73 @@
+//===-------------------------------------------------------------------------===//
+// FROZEN SEED REFERENCE — verbatim copy of the seed smt stack (commit
+// b2dc6cd), renamed into lv::seedref. Used only by bench_table3_equivalence
+// as the "before" side of the incremental-backend A/B measurement. Do NOT
+// optimize or refactor this code: its value is being the fixed baseline.
+//===-------------------------------------------------------------------------===//
+//===- smt/Solve.cpp - one-shot satisfiability queries -----------------------===//
+
+#include "bench/seedref/Solve.h"
+
+#include "bench/seedref/Blast.h"
+#include "support/Format.h"
+
+using namespace lv;
+using namespace lv::seedref;
+
+SmtResult lv::seedref::checkSat(const TermTable &TT, TermId Query,
+                            const SatBudget &Budget) {
+  SmtResult Out;
+  // Fast paths: the rewriter often reduces queries to a constant.
+  if (TT.isFalse(Query)) {
+    Out.R = SatResult::Unsat;
+    return Out;
+  }
+  if (TT.isTrue(Query)) {
+    Out.R = SatResult::Sat;
+    return Out;
+  }
+
+  SatSolver S;
+  BitBlaster B(TT, S);
+  Lit Root = B.blastBool(Query);
+  S.addClause(Root);
+  if (S.numClauses() > Budget.MaxClauses) {
+    // Formula too large to attempt: the memout analogue.
+    Out.R = SatResult::Unknown;
+    Out.ClauseCount = S.numClauses();
+    Out.VarCount = static_cast<uint64_t>(S.numVars());
+    return Out;
+  }
+  Out.R = S.solve(Budget);
+  Out.ConflictsUsed = S.conflicts();
+  Out.PropagationsUsed = S.propagations();
+  Out.ClauseCount = S.numClauses();
+  Out.VarCount = static_cast<uint64_t>(S.numVars());
+  if (Out.R == SatResult::Sat) {
+    for (TermId V : B.seenVars()) {
+      if (TT.isBv(V)) {
+        uint32_t Val;
+        if (B.modelOfVar(V, Val))
+          Out.Model.emplace(V, Val);
+      } else {
+        bool Bit;
+        if (B.modelOfBVar(V, Bit))
+          Out.Model.emplace(V, Bit ? 1u : 0u);
+      }
+    }
+  }
+  return Out;
+}
+
+std::string
+lv::seedref::printModel(const TermTable &TT,
+                    const std::unordered_map<TermId, uint32_t> &Model) {
+  std::string Out;
+  for (const auto &KV : Model) {
+    const std::string &Name = TT.varName(KV.first);
+    appendf(Out, "%s = %d\n",
+            Name.empty() ? format("v%d", KV.first).c_str() : Name.c_str(),
+            static_cast<int32_t>(KV.second));
+  }
+  return Out;
+}

@@ -1,0 +1,62 @@
+//===-------------------------------------------------------------------------===//
+// FROZEN SEED REFERENCE — verbatim copy of the seed smt stack (commit
+// b2dc6cd), renamed into lv::seedref. Used only by bench_table3_equivalence
+// as the "before" side of the incremental-backend A/B measurement. Do NOT
+// optimize or refactor this code: its value is being the fixed baseline.
+//===-------------------------------------------------------------------------===//
+//===- smt/Solve.h - one-shot satisfiability queries ------------*- C++ -*-===//
+///
+/// \file
+/// Top-level query interface: satisfiability of a boolean term under a
+/// resource budget, with model extraction for counterexample reporting.
+/// The translation validator asks "can the refinement be violated?":
+/// Unsat => Equivalent, Sat => Inequivalent (model = distinguishing input),
+/// Unknown => Inconclusive (the paper's timeout outcome).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_BENCH_SEEDREF_SOLVE_H
+#define LV_BENCH_SEEDREF_SOLVE_H
+
+#include "bench/seedref/Sat.h"
+#include "smt/Term.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace lv {
+namespace seedref {
+
+using smt::Term;
+using smt::TermId;
+using smt::TermTable;
+using smt::TK;
+
+/// Result of a satisfiability query.
+struct SmtResult {
+  SatResult R = SatResult::Unknown;
+  /// Model for Var/BVar terms appearing in the query (valid when Sat).
+  std::unordered_map<TermId, uint32_t> Model;
+  // Statistics.
+  uint64_t ConflictsUsed = 0;
+  uint64_t PropagationsUsed = 0;
+  uint64_t ClauseCount = 0;
+  uint64_t VarCount = 0;
+
+  bool sat() const { return R == SatResult::Sat; }
+  bool unsat() const { return R == SatResult::Unsat; }
+  bool unknown() const { return R == SatResult::Unknown; }
+};
+
+/// Checks satisfiability of \p Query (a bool term in \p TT).
+SmtResult checkSat(const TermTable &TT, TermId Query,
+                   const SatBudget &Budget = SatBudget());
+
+/// Renders a model as "name=value" lines using the table's variable names.
+std::string printModel(const TermTable &TT,
+                       const std::unordered_map<TermId, uint32_t> &Model);
+
+} // namespace seedref
+} // namespace lv
+
+#endif // LV_BENCH_SEEDREF_SOLVE_H

@@ -8,6 +8,8 @@
 #include "vir/Compile.h"
 #include "vir/Lower.h"
 
+#include <chrono>
+#include <memory>
 #include <numeric>
 
 using namespace lv;
@@ -49,6 +51,25 @@ struct Alignment {
   int64_t Start = 0;
   tv::DivAssumption Div;   ///< (end - start) % V == 0.
   bool HasDiv = false;
+};
+
+/// Accumulates wall time into a stage counter. Scoped so the write lands
+/// before the enclosing function returns — the destructor must not race a
+/// `return Out;` that may or may not be NRVO'd into the same object.
+class StageTimer {
+public:
+  explicit StageTimer(uint64_t &Out)
+      : Out(Out), T0(std::chrono::steady_clock::now()) {}
+  ~StageTimer() {
+    Out += static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - T0)
+            .count());
+  }
+
+private:
+  uint64_t &Out;
+  std::chrono::steady_clock::time_point T0;
 };
 
 } // namespace
@@ -196,55 +217,88 @@ EquivResult lv::core::checkEquivalence(const std::string &ScalarSrc,
 
   // Stage 2: checkWithAlive2Unroll — guarded symbolic unrolling.
   if (Cfg.EnableAlive2) {
-    tv::RefineOptions RO;
-    RO.ScalarMax = Cfg.ScalarMax;
-    RO.SrcExec.UnrollBound =
-        static_cast<int>(Cfg.ScalarMax / Align.Step1) + 2;
-    RO.TgtExec.UnrollBound =
-        static_cast<int>(Cfg.ScalarMax / Align.Step2) + 2;
-    RO.SrcExec.MemWindow = Cfg.ScalarMax + 8;
-    RO.TgtExec.MemWindow = Cfg.ScalarMax + 8;
-    RO.CompareWindow = Cfg.ScalarMax + 8;
-    if (Align.HasDiv)
-      RO.Divs.push_back(Align.Div);
-    RO.Budget.MaxConflicts = Cfg.Alive2Budget;
-    RO.MaxTerms = Cfg.MaxTerms;
-    Out.Alive2Res = tv::checkRefinement(*SV, *VV, RO);
-    if (Out.Alive2Res.V == TVVerdict::Equivalent ||
-        Out.Alive2Res.V == TVVerdict::Inequivalent) {
-      Out.Final = Out.Alive2Res.V == TVVerdict::Equivalent
-                      ? EquivResult::Equivalent
-                      : EquivResult::Inequivalent;
-      Out.DecidedBy = Stage::Alive2Unroll;
-      Out.Detail = Out.Alive2Res.Detail;
-      Out.Counterexample = Out.Alive2Res.Counterexample;
-      return Out;
+    bool Decided = false;
+    {
+      StageTimer Timer(Out.Alive2Nanos);
+      tv::RefineOptions RO;
+      RO.ScalarMax = Cfg.ScalarMax;
+      RO.SrcExec.UnrollBound =
+          static_cast<int>(Cfg.ScalarMax / Align.Step1) + 2;
+      RO.TgtExec.UnrollBound =
+          static_cast<int>(Cfg.ScalarMax / Align.Step2) + 2;
+      RO.SrcExec.MemWindow = Cfg.ScalarMax + 8;
+      RO.TgtExec.MemWindow = Cfg.ScalarMax + 8;
+      RO.CompareWindow = Cfg.ScalarMax + 8;
+      if (Align.HasDiv)
+        RO.Divs.push_back(Align.Div);
+      RO.Budget.MaxConflicts = Cfg.Alive2Budget;
+      RO.MaxTerms = Cfg.MaxTerms;
+      Out.Alive2Res = tv::checkRefinement(*SV, *VV, RO);
+      if (Out.Alive2Res.V == TVVerdict::Equivalent ||
+          Out.Alive2Res.V == TVVerdict::Inequivalent) {
+        Out.Final = Out.Alive2Res.V == TVVerdict::Equivalent
+                        ? EquivResult::Equivalent
+                        : EquivResult::Inequivalent;
+        Out.DecidedBy = Stage::Alive2Unroll;
+        Out.Detail = Out.Alive2Res.Detail;
+        Out.Counterexample = Out.Alive2Res.Counterexample;
+        Decided = true;
+      }
     }
+    if (Decided)
+      return Out;
   }
 
-  // Stage 3: checkWithCUnroll — straight-line one aligned block.
+  // Stages 3-4 share one straight-lined encoding: both verify the same
+  // aligned block, stage 3 over the full compare window and stage 4
+  // cell-by-cell. With Cfg.IncrementalSolving one RefinementSession blasts
+  // that encoding once and all queries (the stage-3 attempt and every
+  // stage-4 cell) run against the same incremental SAT context.
   UnrollResult SU, VU;
+  vir::VFunctionPtr SUV, VUV;
+  std::string UnrollErr;
   if (Cfg.EnableCUnroll || Cfg.EnableSplitting) {
     SU = unrollStraightLine(*STv, Align.SrcCopies, /*DropLaterLoops=*/true);
     VU = unrollStraightLine(*VTv, Align.TgtCopies, /*DropLaterLoops=*/true);
-  }
-  if (Cfg.EnableCUnroll) {
     if (SU.ok() && VU.ok()) {
-      std::string E2;
-      vir::VFunctionPtr SUV = lowerAst(*SU.Fn, E2);
-      vir::VFunctionPtr VUV = SUV ? lowerAst(*VU.Fn, E2) : nullptr;
+      SUV = lowerAst(*SU.Fn, UnrollErr);
+      VUV = SUV ? lowerAst(*VU.Fn, UnrollErr) : nullptr;
+    } else {
+      UnrollErr = SU.ok() ? VU.Error : SU.Error;
+    }
+  }
+
+  tv::RefineOptions StraightRO;
+  StraightRO.ScalarMax = Cfg.ScalarMax;
+  StraightRO.SrcExec.MemWindow = static_cast<int>(Align.Start + Align.V) + 10;
+  StraightRO.TgtExec.MemWindow = StraightRO.SrcExec.MemWindow;
+  StraightRO.CompareWindow = StraightRO.SrcExec.MemWindow;
+  if (Align.HasDiv)
+    StraightRO.Divs.push_back(Align.Div);
+  StraightRO.MaxTerms = Cfg.MaxTerms;
+
+  std::unique_ptr<tv::RefinementSession> Shared;
+  auto sharedSession = [&]() -> tv::RefinementSession & {
+    if (!Shared)
+      Shared.reset(new tv::RefinementSession(*SUV, *VUV, StraightRO));
+    return *Shared;
+  };
+
+  // Stage 3: checkWithCUnroll — straight-line one aligned block.
+  if (Cfg.EnableCUnroll) {
+    bool Decided = false;
+    {
+      StageTimer Timer(Out.CUnrollNanos);
       if (SUV && VUV) {
-        tv::RefineOptions RO;
-        RO.ScalarMax = Cfg.ScalarMax;
-        RO.SrcExec.MemWindow =
-            static_cast<int>(Align.Start + Align.V) + 10;
-        RO.TgtExec.MemWindow = RO.SrcExec.MemWindow;
-        RO.CompareWindow = RO.SrcExec.MemWindow;
-        if (Align.HasDiv)
-          RO.Divs.push_back(Align.Div);
-        RO.Budget.MaxConflicts = Cfg.CUnrollBudget;
-        RO.MaxTerms = Cfg.MaxTerms;
-        Out.CUnrollRes = tv::checkRefinement(*SUV, *VUV, RO);
+        smt::SatBudget Budget = StraightRO.Budget;
+        Budget.MaxConflicts = Cfg.CUnrollBudget;
+        if (Cfg.IncrementalSolving) {
+          Out.CUnrollRes = sharedSession().checkFull(Budget);
+        } else {
+          tv::RefineOptions RO = StraightRO;
+          RO.Budget = Budget;
+          Out.CUnrollRes = tv::checkRefinement(*SUV, *VUV, RO);
+        }
         if (Out.CUnrollRes.V == TVVerdict::Equivalent ||
             Out.CUnrollRes.V == TVVerdict::Inequivalent) {
           Out.Final = Out.CUnrollRes.V == TVVerdict::Equivalent
@@ -253,72 +307,70 @@ EquivResult lv::core::checkEquivalence(const std::string &ScalarSrc,
           Out.DecidedBy = Stage::CUnroll;
           Out.Detail = Out.CUnrollRes.Detail;
           Out.Counterexample = Out.CUnrollRes.Counterexample;
-          return Out;
+          Decided = true;
         }
       } else {
         Out.CUnrollRes.V = TVVerdict::Unsupported;
-        Out.CUnrollRes.Detail = E2;
+        Out.CUnrollRes.Detail = UnrollErr;
       }
-    } else {
-      Out.CUnrollRes.V = TVVerdict::Unsupported;
-      Out.CUnrollRes.Detail = SU.ok() ? VU.Error : SU.Error;
     }
+    if (Decided)
+      return Out;
   }
 
   // Stage 4: checkWithSpatialSplitting — per-cell queries under the
   // conservative no-loop-carried-dependence precondition.
   if (Cfg.EnableSplitting) {
-    deps::LoopAnalysis LS = deps::analyzeFunction(*STv);
-    deps::LoopAnalysis LV2 = deps::analyzeFunction(*VTv);
-    bool TargetAligned = true;
-    for (const deps::ArrayAccess &A : LV2.Accesses)
-      if (!A.Sub.Valid || A.Sub.Coef != 1 || A.Sub.Offset != 0)
-        TargetAligned = false;
-    Out.SplittingEligible =
-        LS.spatialSplittingEligible() && TargetAligned && SU.ok() && VU.ok();
-    if (Out.SplittingEligible) {
-      std::string E3;
-      vir::VFunctionPtr SUV = lowerAst(*SU.Fn, E3);
-      vir::VFunctionPtr VUV = SUV ? lowerAst(*VU.Fn, E3) : nullptr;
-      if (SUV && VUV) {
+    bool Decided = false;
+    {
+      StageTimer Timer(Out.SplitNanos);
+      deps::LoopAnalysis LS = deps::analyzeFunction(*STv);
+      deps::LoopAnalysis LV2 = deps::analyzeFunction(*VTv);
+      bool TargetAligned = true;
+      for (const deps::ArrayAccess &A : LV2.Accesses)
+        if (!A.Sub.Valid || A.Sub.Coef != 1 || A.Sub.Offset != 0)
+          TargetAligned = false;
+      Out.SplittingEligible = LS.spatialSplittingEligible() &&
+                              TargetAligned && SU.ok() && VU.ok();
+      if (Out.SplittingEligible && SUV && VUV) {
+        smt::SatBudget Budget = StraightRO.Budget;
+        Budget.MaxConflicts = Cfg.SplitBudget;
         bool AllEq = true;
-        bool AnyInconcl = false;
-        for (int J = 0; J < static_cast<int>(Align.V); ++J) {
-          tv::RefineOptions RO;
-          RO.ScalarMax = Cfg.ScalarMax;
-          RO.SrcExec.MemWindow =
-              static_cast<int>(Align.Start + Align.V) + 10;
-          RO.TgtExec.MemWindow = RO.SrcExec.MemWindow;
-          RO.CellFilter = static_cast<int>(Align.Start) + J;
-          if (Align.HasDiv)
-            RO.Divs.push_back(Align.Div);
-          RO.Budget.MaxConflicts = Cfg.SplitBudget;
-          RO.MaxTerms = Cfg.MaxTerms;
-          TVResult RJ = tv::checkRefinement(*SUV, *VUV, RO);
+        for (int J = 0; J < static_cast<int>(Align.V) && !Decided; ++J) {
+          int Cell = static_cast<int>(Align.Start) + J;
+          TVResult RJ;
+          if (Cfg.IncrementalSolving) {
+            RJ = sharedSession().checkCell(Cell, Budget);
+          } else {
+            tv::RefineOptions RO = StraightRO;
+            RO.CellFilter = Cell;
+            RO.Budget = Budget;
+            RJ = Cfg.SplitCellOverride
+                     ? Cfg.SplitCellOverride(*SUV, *VUV, RO)
+                     : tv::checkRefinement(*SUV, *VUV, RO);
+          }
           Out.SplitRes.push_back(RJ);
           if (RJ.V == TVVerdict::Inequivalent) {
             Out.Final = EquivResult::Inequivalent;
             Out.DecidedBy = Stage::Splitting;
-            Out.Detail =
-                format("cell %d: %s", RO.CellFilter, RJ.Detail.c_str());
+            Out.Detail = format("cell %d: %s", Cell, RJ.Detail.c_str());
             Out.Counterexample = RJ.Counterexample;
-            return Out;
+            Decided = true;
           }
-          if (RJ.V != TVVerdict::Equivalent) {
+          if (RJ.V != TVVerdict::Equivalent)
             AllEq = false;
-            AnyInconcl = true;
-          }
         }
-        if (AllEq) {
+        if (!Decided && AllEq) {
           Out.Final = EquivResult::Equivalent;
           Out.DecidedBy = Stage::Splitting;
           Out.Detail = format("all %d per-cell queries verified",
                               static_cast<int>(Align.V));
-          return Out;
+          Decided = true;
         }
-        (void)AnyInconcl;
       }
     }
+    if (Decided)
+      return Out;
   }
 
   Out.Final = EquivResult::Inconclusive;

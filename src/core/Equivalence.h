@@ -25,6 +25,7 @@
 #include "interp/Checksum.h"
 #include "tv/Refine.h"
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -53,6 +54,20 @@ struct EquivConfig {
   bool EnableAlive2 = true;      ///< Ablation: skip stage 2.
   bool EnableCUnroll = true;     ///< Ablation: skip stage 3.
   bool EnableSplitting = true;   ///< Ablation: skip stage 4.
+  /// Share one incremental RefinementSession across stage 3 and all
+  /// stage-4 per-cell queries: symbolic execution and the common-encoding
+  /// blast happen once, each query runs in a throwaway fork of the
+  /// pristine base (verdicts identical to scratch solving by
+  /// construction). false restores the seed behaviour — a scratch solver
+  /// per query — and exists for ablation/benchmark comparison.
+  bool IncrementalSolving = true;
+  /// Bench/A-B hook: when set (and IncrementalSolving is false), stage-4
+  /// per-cell refinement queries route through this callback instead of
+  /// the built-in backend. bench_table3_equivalence uses it to drive a
+  /// frozen copy of the seed smt stack as the "before" measurement.
+  std::function<tv::TVResult(const vir::VFunction &, const vir::VFunction &,
+                             const tv::RefineOptions &)>
+      SplitCellOverride;
 };
 
 /// Full result with per-stage evidence.
@@ -72,6 +87,12 @@ struct EquivResult {
   tv::TVResult CUnrollRes;
   std::vector<tv::TVResult> SplitRes; ///< One per compared cell.
   bool SplittingEligible = false;
+
+  /// Wall time per formal stage (includes symbolic execution and blasting,
+  /// not just SAT search — the costs incremental solving amortizes).
+  uint64_t Alive2Nanos = 0;
+  uint64_t CUnrollNanos = 0;
+  uint64_t SplitNanos = 0;
 
   bool equivalent() const { return Final == Equivalent; }
 };

@@ -1,12 +1,26 @@
-//===- smt/Sat.h - CDCL SAT solver ------------------------------*- C++ -*-===//
+//===- smt/Sat.h - incremental CDCL SAT solver ------------------*- C++ -*-===//
 ///
 /// \file
-/// A compact CDCL SAT solver (two-watched-literal propagation, 1UIP clause
-/// learning with backjumping, VSIDS branching, phase saving, Luby restarts)
-/// with a conflict budget. Exceeding the budget yields Unknown — this is
-/// how the reproduction models Alive2/Z3 timeouts: harder refinement
-/// encodings blow the budget, cheaper domain-specific encodings (C-level
-/// unrolling, spatial splitting) fit, producing the paper's Table 3 funnel.
+/// A compact incremental CDCL SAT solver (two-watched-literal propagation
+/// with blocking literals, 1UIP clause learning with backjumping, VSIDS
+/// branching, phase saving, Luby restarts, glucose-style learnt-clause DB
+/// reduction) with a per-call conflict budget. Exceeding the budget yields
+/// Unknown — this is how the reproduction models Alive2/Z3 timeouts: harder
+/// refinement encodings blow the budget, cheaper domain-specific encodings
+/// (C-level unrolling, spatial splitting) fit, producing the paper's
+/// Table 3 funnel.
+///
+/// The solver is incremental: clauses may be added between solve() calls,
+/// and solve(assumptions) decides satisfiability under a set of assumption
+/// literals that are retracted afterwards. Each assumption occupies its own
+/// decision level below all search decisions, so learnt clauses derived
+/// under one set of assumptions remain valid for every later query — this
+/// is what lets the spatial-splitting stage share one solver across all
+/// per-cell queries.
+///
+/// Clauses live in a flat uint32 arena addressed by CRef offsets (header
+/// word, LBD word, then literals), so propagation walks contiguous memory
+/// instead of chasing per-clause std::vector allocations.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -47,13 +61,35 @@ enum class LBool : int8_t { False = -1, Undef = 0, True = 1 };
 /// Solver result.
 enum class SatResult : uint8_t { Sat, Unsat, Unknown };
 
-/// Resource limits; conflicts are the primary budget knob. MaxClauses
+/// Resource limits; conflicts are the primary budget knob. Budgets are
+/// per-solve-call: an incremental solver that has already spent conflicts
+/// on earlier queries gets a fresh allowance for each new query. MaxClauses
 /// bounds the blasted formula size (the memout analogue): solving is
 /// refused when exceeded.
 struct SatBudget {
   uint64_t MaxConflicts = 200'000;
   uint64_t MaxPropagations = UINT64_MAX;
   uint64_t MaxClauses = 3'000'000;
+};
+
+/// Aggregate solver statistics (cumulative across solve() calls).
+struct SatStats {
+  uint64_t Conflicts = 0;
+  uint64_t Propagations = 0;
+  uint64_t Restarts = 0;
+  uint64_t Decisions = 0;
+  uint64_t LearntTotal = 0;   ///< Clauses ever learnt.
+  uint64_t LearntLive = 0;    ///< Learnt clauses currently in the DB.
+  uint64_t LearntDeleted = 0; ///< Removed by reduceDB.
+  uint64_t ReduceDBs = 0;     ///< Reduction passes run.
+  uint64_t SumLBD = 0;        ///< Over all learnt clauses (for the mean).
+  uint64_t ArenaWords = 0;    ///< Current clause-arena footprint.
+
+  double avgLBD() const {
+    return LearntTotal ? static_cast<double>(SumLBD) /
+                             static_cast<double>(LearntTotal)
+                       : 0.0;
+  }
 };
 
 /// The solver.
@@ -79,32 +115,68 @@ public:
   /// Solves under the given budget.
   SatResult solve(const SatBudget &Budget = SatBudget());
 
+  /// Solves under \p Assumps: satisfiability of the clause DB with every
+  /// assumption literal forced true. Assumptions are retracted on return,
+  /// and Unsat-under-assumptions leaves the solver usable (only a conflict
+  /// at decision level zero marks the DB permanently UNSAT).
+  SatResult solve(const std::vector<Lit> &Assumps, const SatBudget &Budget);
+
   /// Model access after Sat.
   bool modelValue(Var V) const {
     return Model[static_cast<size_t>(V)] == LBool::True;
   }
 
   /// Statistics.
-  uint64_t conflicts() const { return Conflicts; }
-  uint64_t propagations() const { return Propagations; }
-  uint64_t numClauses() const { return Clauses.size(); }
+  uint64_t conflicts() const { return Stats.Conflicts; }
+  uint64_t propagations() const { return Stats.Propagations; }
+  uint64_t numClauses() const {
+    return ProblemClauses.size() + Learnts.size();
+  }
+  const SatStats &stats() const { return Stats; }
+
+  /// True unless a level-0 conflict proved the clause DB UNSAT outright.
+  bool ok() const { return OkFlag; }
 
 private:
-  struct Clause {
-    std::vector<Lit> Lits;
-    bool Learnt = false;
-  };
-  using CRef = int;
-  static constexpr CRef NoReason = -1;
+  /// Offset of a clause in the arena; header word, LBD word, literals.
+  using CRef = uint32_t;
+  static constexpr CRef NoReason = UINT32_MAX;
 
-  struct Watcher {
+  // Header encoding: [size:30][learnt:1][deleted:1].
+  static constexpr uint32_t LearntBit = 2;
+  static constexpr uint32_t DeletedBit = 1;
+
+  /// Watcher node in a flat pool; per-literal lists are intrusive singly
+  /// linked lists through Next. Flat storage keeps propagation cache
+  /// friendly and makes copying the solver (forking) a plain vector copy
+  /// instead of ~2*vars heap allocations. Binary clauses are specialized:
+  /// the watcher carries the other literal (Blocker) and Binary set, so
+  /// propagation implies it without touching clause memory, and the watch
+  /// never moves — gate CNF is roughly half binary clauses.
+  struct WatchNode {
     CRef C = NoReason;
     Lit Blocker;
+    int32_t Next = -1;
+    uint32_t Binary = 0;
   };
 
-  std::vector<Clause> Clauses;
-  std::vector<std::vector<Watcher>> Watches; ///< Indexed by Lit.X.
-  std::vector<LBool> Assigns;                ///< Indexed by var.
+  std::vector<uint32_t> Arena;
+  std::vector<CRef> ProblemClauses;
+  std::vector<CRef> Learnts;
+  uint64_t WastedWords = 0;
+
+  /// Assignment indexed per *literal* (Lit.X): 1 = true, -1 = false,
+  /// 0 = undef. One load answers value(L) — no sign branch on the hot
+  /// propagation path.
+  std::vector<int8_t> AssignLit;
+
+  // Per-literal lists are kept in append order (insertion at tail), the
+  // same visit order as classic vector watch lists — propagation visit
+  // order is search-visible, and keeping it stable keeps verdicts stable.
+  std::vector<WatchNode> WatchPool;
+  std::vector<int32_t> WatchHead; ///< Indexed by Lit.X; -1 = empty.
+  std::vector<int32_t> WatchTail; ///< Indexed by Lit.X; -1 = empty.
+  int32_t WatchFree = -1;         ///< Free list threaded through Next.
   std::vector<LBool> Model;
   std::vector<int> Level;
   std::vector<CRef> Reason;
@@ -118,29 +190,83 @@ private:
   std::vector<char> Polarity; ///< Phase saving (last assigned sign).
   std::vector<char> Seen;
 
+  // Level stamps for LBD computation (generation-tagged).
+  std::vector<uint32_t> LevelStamp;
+  uint32_t StampGen = 0;
+
   // Indexed max-heap over variable activity.
   std::vector<Var> Heap;
   std::vector<int> HeapPos; ///< -1 when not in heap.
 
   bool OkFlag = true;
-  uint64_t Conflicts = 0;
-  uint64_t Propagations = 0;
+  SatStats Stats;
+
+  // Learnt-DB reduction schedule.
+  uint64_t NextReduce = 2000;
+  static constexpr uint64_t ReduceIncrement = 1000;
+
+  // Arena accessors.
+  uint32_t clauseSize(CRef C) const { return Arena[C] >> 2; }
+  bool isLearnt(CRef C) const { return Arena[C] & LearntBit; }
+  bool isDeleted(CRef C) const { return Arena[C] & DeletedBit; }
+  void markDeleted(CRef C) { Arena[C] |= DeletedBit; }
+  uint32_t lbd(CRef C) const { return Arena[C + 1]; }
+  void setLbd(CRef C, uint32_t L) { Arena[C + 1] = L; }
+  Lit litAt(CRef C, uint32_t I) const {
+    Lit L;
+    L.X = static_cast<int>(Arena[C + 2 + I]);
+    return L;
+  }
+  void setLitAt(CRef C, uint32_t I, Lit L) {
+    Arena[C + 2 + I] = static_cast<uint32_t>(L.X);
+  }
+  CRef allocClause(const std::vector<Lit> &Lits, bool Learnt, uint32_t Lbd);
+
+  void watchInsert(int LitX, CRef C, Lit Blocker, bool Binary) {
+    int32_t N;
+    if (WatchFree >= 0) {
+      N = WatchFree;
+      WatchFree = WatchPool[static_cast<size_t>(N)].Next;
+    } else {
+      N = static_cast<int32_t>(WatchPool.size());
+      WatchPool.emplace_back();
+    }
+    WatchNode &W = WatchPool[static_cast<size_t>(N)];
+    W.C = C;
+    W.Blocker = Blocker;
+    W.Next = -1;
+    W.Binary = Binary;
+    watchAppendNode(LitX, N);
+  }
+
+  void watchAppendNode(int LitX, int32_t N) {
+    size_t L = static_cast<size_t>(LitX);
+    if (WatchTail[L] >= 0)
+      WatchPool[static_cast<size_t>(WatchTail[L])].Next = N;
+    else
+      WatchHead[L] = N;
+    WatchTail[L] = N;
+  }
 
   LBool value(Lit L) const {
-    LBool V = Assigns[static_cast<size_t>(L.var())];
-    if (V == LBool::Undef)
-      return LBool::Undef;
-    bool T = (V == LBool::True) != L.sign();
-    return T ? LBool::True : LBool::False;
+    return static_cast<LBool>(AssignLit[static_cast<size_t>(L.X)]);
+  }
+  bool isUnassigned(Var V) const {
+    return AssignLit[static_cast<size_t>(2 * V)] == 0;
   }
   int decisionLevel() const { return static_cast<int>(TrailLim.size()); }
 
   void enqueue(Lit L, CRef From);
   CRef propagate();
-  void analyze(CRef Confl, std::vector<Lit> &OutLearnt, int &OutBtLevel);
+  void analyze(CRef Confl, std::vector<Lit> &OutLearnt, int &OutBtLevel,
+               uint32_t &OutLbd);
   void cancelUntil(int Lvl);
   Lit pickBranchLit();
   void attachClause(CRef C);
+  uint32_t computeLBD(const std::vector<Lit> &Lits);
+  bool locked(CRef C) const;
+  void reduceDB();
+  void garbageCollect();
 
   // Heap helpers.
   void heapInsert(Var V);

@@ -1,41 +1,68 @@
-//===- smt/Solve.cpp - one-shot satisfiability queries -----------------------===//
+//===- smt/Solve.cpp - satisfiability queries --------------------------------===//
 
 #include "smt/Solve.h"
 
-#include "smt/Blast.h"
 #include "support/Format.h"
 
 using namespace lv;
 using namespace lv::smt;
 
-SmtResult lv::smt::checkSat(const TermTable &TT, TermId Query,
-                            const SatBudget &Budget) {
+void IncrementalSolver::assertAlways(TermId T) {
+  if (RootUnsat || TT.isTrue(T))
+    return;
+  if (TT.isFalse(T)) {
+    RootUnsat = true;
+    return;
+  }
+  Lit Root = B.blastBool(T);
+  if (!S.addClause(Root))
+    RootUnsat = true;
+}
+
+SmtResult IncrementalSolver::check(TermId Query, const SatBudget &Budget) {
   SmtResult Out;
-  // Fast paths: the rewriter often reduces queries to a constant.
+  if (RootUnsat || !S.ok()) {
+    Out.R = SatResult::Unsat;
+    return Out;
+  }
+  // Fast path: a query the rewriter reduced to false is unsat regardless
+  // of the asserted context. The converse is NOT a fast path — a
+  // trivially-true query still asks "is the asserted context
+  // satisfiable?", so it falls through to a real solve (blastBool yields
+  // the constant-true literal and the assumption is vacuous).
   if (TT.isFalse(Query)) {
     Out.R = SatResult::Unsat;
     return Out;
   }
-  if (TT.isTrue(Query)) {
-    Out.R = SatResult::Sat;
-    return Out;
-  }
 
-  SatSolver S;
-  BitBlaster B(TT, S);
+  const SatStats &St = S.stats();
+  const uint64_t C0 = St.Conflicts;
+  const uint64_t P0 = St.Propagations;
+  const uint64_t R0 = St.Restarts;
+
   Lit Root = B.blastBool(Query);
-  S.addClause(Root);
+  Out.ClauseCount = S.numClauses();
+  Out.VarCount = static_cast<uint64_t>(S.numVars());
   if (S.numClauses() > Budget.MaxClauses) {
     // Formula too large to attempt: the memout analogue.
     Out.R = SatResult::Unknown;
-    Out.ClauseCount = S.numClauses();
-    Out.VarCount = static_cast<uint64_t>(S.numVars());
     return Out;
   }
-  Out.R = S.solve(Budget);
-  Out.ConflictsUsed = S.conflicts();
+  if (!S.ok()) {
+    // Blasting itself derived a root-level contradiction.
+    Out.R = SatResult::Unsat;
+    return Out;
+  }
+  // The Tseitin root literal is *equivalent* to the query term, so solving
+  // under it as an assumption decides exactly F && Query — and leaves the
+  // clause DB reusable for the next query.
+  Out.R = S.solve(std::vector<Lit>{Root}, Budget);
+  Out.ConflictsUsed = St.Conflicts - C0;
+  Out.PropagationsUsed = St.Propagations - P0;
+  Out.RestartsUsed = St.Restarts - R0;
   Out.ClauseCount = S.numClauses();
-  Out.VarCount = static_cast<uint64_t>(S.numVars());
+  Out.LearntLive = St.LearntLive;
+  Out.AvgLBD = St.avgLBD();
   if (Out.R == SatResult::Sat) {
     for (TermId V : B.seenVars()) {
       if (TT.isBv(V)) {
@@ -50,6 +77,12 @@ SmtResult lv::smt::checkSat(const TermTable &TT, TermId Query,
     }
   }
   return Out;
+}
+
+SmtResult lv::smt::checkSat(const TermTable &TT, TermId Query,
+                            const SatBudget &Budget) {
+  IncrementalSolver IS(TT);
+  return IS.check(Query, Budget);
 }
 
 std::string

@@ -4,6 +4,7 @@
 
 #include "support/Format.h"
 
+#include <algorithm>
 #include <cassert>
 
 using namespace lv;
@@ -38,6 +39,16 @@ TermTable::TermTable() {
   TrueId = intern(T);
   T.K = TK::False;
   FalseId = intern(T);
+}
+
+void TermTable::reserve(size_t Expected) {
+  // Clamp: MaxTerms is an upper *bound* (memout analogue), not an estimate;
+  // reserving the full default 2M would cost ~50MB per session up front.
+  constexpr size_t MaxReserve = size_t(1) << 20;
+  size_t N = std::min(Expected, MaxReserve);
+  Terms.reserve(N);
+  VarNames.reserve(N);
+  Unique.reserve(N);
 }
 
 TermId TermTable::intern(Term T) {

@@ -66,6 +66,11 @@ class TermTable {
 public:
   TermTable();
 
+  /// Pre-reserves the term vector and hash-cons buckets for \p Expected
+  /// terms (clamped to 2^20) so symbolic execution does not pay rehash
+  /// churn while growing the DAG. Call with EquivConfig::MaxTerms.
+  void reserve(size_t Expected);
+
   //===--------------------------------------------------------------------===
   // Constructors (simplifying)
   //===--------------------------------------------------------------------===

@@ -28,6 +28,7 @@
 #include "tv/SymExec.h"
 #include "vir/IR.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -65,20 +66,66 @@ enum class TVVerdict : uint8_t {
   Unsupported,  ///< Encoder limitation (unmodeled construct analogue).
 };
 
-/// Result with diagnostics and query-size statistics.
+/// Result with diagnostics and query-size statistics. SAT statistics are
+/// per-query deltas (comparable between one-shot and incremental solving).
 struct TVResult {
   TVVerdict V = TVVerdict::Unsupported;
   std::string Counterexample; ///< Human-readable model when Inequivalent.
   std::string Detail;
   uint64_t Conflicts = 0;
+  uint64_t Propagations = 0;
+  uint64_t Restarts = 0;
   uint64_t Clauses = 0;
   uint64_t SatVars = 0;
+  uint64_t LearntLive = 0;  ///< Learnt-clause DB size after the query.
+  double AvgLBD = 0.0;      ///< Mean learnt-clause LBD (solver health).
+  uint64_t SolveNanos = 0;  ///< Wall time of encode+solve for this query.
   size_t TermCount = 0;
 
   bool equivalent() const { return V == TVVerdict::Equivalent; }
 };
 
-/// Checks that \p Tgt refines \p Src under \p Opts.
+/// A reusable refinement-checking context. Symbolic execution of both
+/// sides, the shared assumption prefix, and the bit-blasted encoding are
+/// built once into a pristine base solver; checkFull()/checkCell() then
+/// run each query in a cheap throwaway fork of that base (flat copies of
+/// the clause arena and blaster memos — see IncrementalSolver). The
+/// spatial-splitting stage (paper §3.3) asks one query per cell over the
+/// same symbolic states — with a session the per-query cost drops from
+/// "symbolic execution + full blast + solve" to "fork + cell-cone blast
+/// + solve". Because the base is never searched, a fork behaves exactly
+/// like a scratch solver over the same encoding: verdicts are identical
+/// to one-shot checkRefinement by construction (learnt clauses are
+/// deliberately NOT shared across queries — warm-solver state measurably
+/// distorts budget-bounded searches). Identical queries (same violation
+/// TermId, same budget) replay their memoized verdict without solving.
+///
+/// \p Src and \p Tgt must outlive the session.
+class RefinementSession {
+public:
+  RefinementSession(const vir::VFunction &Src, const vir::VFunction &Tgt,
+                    const RefineOptions &Opts);
+  ~RefinementSession();
+  RefinementSession(RefinementSession &&) noexcept;
+
+  /// Full compare-window query — the stage-2/3 shape (honours
+  /// Opts.CellFilter for compatibility with one-shot checkRefinement).
+  TVResult checkFull(const smt::SatBudget &Budget);
+
+  /// Single-cell query — the stage-4 spatial-splitting shape.
+  TVResult checkCell(int Cell, const smt::SatBudget &Budget);
+
+private:
+  struct Impl;
+  std::unique_ptr<Impl> I;
+
+  friend TVResult checkRefinement(const vir::VFunction &Src,
+                                  const vir::VFunction &Tgt,
+                                  const RefineOptions &Opts);
+};
+
+/// Checks that \p Tgt refines \p Src under \p Opts (one-shot wrapper
+/// around a fresh RefinementSession).
 TVResult checkRefinement(const vir::VFunction &Src, const vir::VFunction &Tgt,
                          const RefineOptions &Opts = RefineOptions());
 

@@ -7,6 +7,8 @@
 #include "vir/Compile.h"
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 using namespace lv;
 using namespace lv::bench;
@@ -27,31 +29,78 @@ bool TestCorpus::allFailCompile(int K) const {
   return true;
 }
 
-std::vector<TestCorpus> lv::bench::buildCorpus(int K, uint64_t Seed) {
+BenchOptions lv::bench::parseBenchArgs(int argc, char **argv) {
+  BenchOptions Opt;
+  for (int I = 1; I < argc; ++I) {
+    const char *Value = nullptr;
+    if (std::strcmp(argv[I], "--jobs") == 0 && I + 1 < argc)
+      Value = argv[++I];
+    else if (std::strncmp(argv[I], "--jobs=", 7) == 0)
+      Value = argv[I] + 7;
+    if (!Value)
+      continue; // unknown args are ignored (gtest/benchmark flags etc.)
+    Opt.Jobs = std::atoi(Value);
+    Opt.JobsSet = true;
+    if (Opt.Jobs < 1) {
+      // A recognized flag with a bad value must fail loudly, not quietly
+      // neuter a parallel-speedup gate.
+      std::fprintf(stderr, "invalid --jobs value '%s' (want integer >= 1)\n",
+                   Value);
+      std::exit(2);
+    }
+  }
+  return Opt;
+}
+
+std::vector<TestCorpus>
+lv::bench::buildCorpusFor(const std::vector<const tsvc::TsvcTest *> &Tests,
+                          int K, uint64_t Seed, int Jobs) {
+  svc::ServiceConfig SC;
+  SC.Workers = Jobs;
+  svc::VectorizerService Service(SC);
+  std::vector<svc::Request> Batch;
+  Batch.reserve(Tests.size());
+  for (const tsvc::TsvcTest *T : Tests) {
+    svc::Request R;
+    R.Mode = svc::RunMode::Sample;
+    R.Name = T->Name;
+    R.ScalarSource = T->Source;
+    R.Seed = Seed;
+    R.SampleCount = K;
+    Batch.push_back(std::move(R));
+  }
+  std::vector<svc::Ticket> Tickets = Service.submitBatch(std::move(Batch));
   std::vector<TestCorpus> Out;
-  llm::SimulatedLLM Model(Seed);
-  for (const tsvc::TsvcTest &T : tsvc::suite()) {
+  Out.reserve(Tests.size());
+  for (size_t I = 0; I < Tickets.size(); ++I) {
+    const svc::Outcome &O = Service.wait(Tickets[I]);
+    if (O.Failed) {
+      std::fprintf(stderr, "buildCorpus: task '%s' failed: %s\n",
+                   O.Name.c_str(), O.Error.c_str());
+      std::exit(1);
+    }
     TestCorpus TC;
-    TC.Test = &T;
-    vir::CompileResult SC = vir::compileFunction(T.Source);
-    llm::Prompt P;
-    P.ScalarSource = T.Source;
-    for (int I = 0; I < K; ++I) {
-      llm::Completion C = Model.complete(P, static_cast<uint64_t>(I));
+    TC.Test = Tests[I];
+    TC.Samples.reserve(O.Samples.size());
+    for (const svc::SampleVerdict &V : O.Samples) {
       CandidateRecord R;
-      R.Source = C.Source;
-      vir::CompileResult VC = vir::compileFunction(C.Source);
-      R.Compiles = VC.ok();
-      if (R.Compiles && SC.ok() &&
-          C.Source.find("_mm256_") != std::string::npos) {
-        interp::ChecksumOutcome O = interp::runChecksumTest(*SC.Fn, *VC.Fn);
-        R.Plausible = O.Verdict == interp::TestVerdict::Plausible;
-      }
+      R.Source = V.Source;
+      R.Compiles = V.Compiles;
+      R.Plausible = V.Plausible;
       TC.Samples.push_back(std::move(R));
     }
     Out.push_back(std::move(TC));
   }
   return Out;
+}
+
+std::vector<TestCorpus> lv::bench::buildCorpus(int K, uint64_t Seed,
+                                               int Jobs) {
+  std::vector<const tsvc::TsvcTest *> Tests;
+  Tests.reserve(tsvc::suite().size());
+  for (const tsvc::TsvcTest &T : tsvc::suite())
+    Tests.push_back(&T);
+  return buildCorpusFor(Tests, K, Seed, Jobs);
 }
 
 ChecksumTally lv::bench::tallyAt(const std::vector<TestCorpus> &Corpus,
@@ -70,17 +119,42 @@ ChecksumTally lv::bench::tallyAt(const std::vector<TestCorpus> &Corpus,
 
 std::vector<FunnelRecord>
 lv::bench::runFunnel(const std::vector<TestCorpus> &Corpus,
-                     const core::EquivConfig &Cfg) {
-  std::vector<FunnelRecord> Out;
-  for (const TestCorpus &TC : Corpus) {
-    FunnelRecord R;
+                     const core::EquivConfig &Cfg, int Jobs) {
+  svc::ServiceConfig SC;
+  SC.Workers = Jobs;
+  // A/B funnel runs re-verify the same pairs under different backends;
+  // cached replays would report the first backend's work as the second's.
+  SC.EnableVerdictCache = false;
+  svc::VectorizerService Service(SC);
+
+  std::vector<FunnelRecord> Out(Corpus.size());
+  std::vector<svc::Ticket> Tickets;
+  std::vector<size_t> TicketSlot;
+  for (size_t I = 0; I < Corpus.size(); ++I) {
+    const TestCorpus &TC = Corpus[I];
+    FunnelRecord &R = Out[I];
     R.Name = TC.Test->Name;
     int Idx = TC.firstPlausible(static_cast<int>(TC.Samples.size()));
     R.HadPlausible = Idx >= 0;
-    if (R.HadPlausible)
-      R.Result = core::checkEquivalence(
-          TC.Test->Source, TC.Samples[static_cast<size_t>(Idx)].Source, Cfg);
-    Out.push_back(std::move(R));
+    if (!R.HadPlausible)
+      continue;
+    svc::Request Req;
+    Req.Mode = svc::RunMode::Verify;
+    Req.Name = TC.Test->Name;
+    Req.ScalarSource = TC.Test->Source;
+    Req.CandidateSource = TC.Samples[static_cast<size_t>(Idx)].Source;
+    Req.Equiv = Cfg;
+    Tickets.push_back(Service.submit(std::move(Req)));
+    TicketSlot.push_back(I);
+  }
+  for (size_t I = 0; I < Tickets.size(); ++I) {
+    const svc::Outcome &O = Service.wait(Tickets[I]);
+    if (O.Failed) {
+      std::fprintf(stderr, "runFunnel: task '%s' failed: %s\n",
+                   O.Name.c_str(), O.Error.c_str());
+      std::exit(1);
+    }
+    Out[TicketSlot[I]].Result = O.Equiv;
   }
   return Out;
 }

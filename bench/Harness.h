@@ -14,6 +14,7 @@
 
 #include "core/Equivalence.h"
 #include "llm/Client.h"
+#include "svc/Service.h"
 #include "tsvc/Suite.h"
 
 #include <cstdint>
@@ -25,6 +26,18 @@ namespace bench {
 
 /// Global experiment seed (fixed for reproducibility).
 inline constexpr uint64_t ExperimentSeed = 0xC60;
+
+/// Shared bench flags. Every experiment binary accepts `--jobs N`
+/// (service worker count); results are verdict-identical at any N — see
+/// the svc determinism contract — so N only moves wall time. Worker
+/// count is recorded next to wall times in the BENCH_*.json mirrors.
+struct BenchOptions {
+  int Jobs = 1;
+  bool JobsSet = false; ///< --jobs appeared explicitly on the command line.
+};
+
+/// Parses shared flags; unknown arguments are ignored.
+BenchOptions parseBenchArgs(int argc, char **argv);
 
 /// One sampled completion with its checksum classification.
 struct CandidateRecord {
@@ -46,8 +59,16 @@ struct TestCorpus {
 
 /// Samples \p K completions for every TSVC test (single LLM invocation per
 /// sample, no feedback — the paper's "code completions" setting of §4.1.1)
-/// and classifies each with checksum testing.
-std::vector<TestCorpus> buildCorpus(int K, uint64_t Seed = ExperimentSeed);
+/// and classifies each with checksum testing. Dispatches one Sample-mode
+/// service request per test across \p Jobs workers; the corpus is
+/// bit-identical at any job count.
+std::vector<TestCorpus> buildCorpus(int K, uint64_t Seed = ExperimentSeed,
+                                    int Jobs = 1);
+
+/// buildCorpus restricted to an explicit test list (ablation slices).
+std::vector<TestCorpus>
+buildCorpusFor(const std::vector<const tsvc::TsvcTest *> &Tests, int K,
+               uint64_t Seed = ExperimentSeed, int Jobs = 1);
 
 /// Table-2 style classification for a given k.
 struct ChecksumTally {
@@ -64,9 +85,13 @@ struct FunnelRecord {
   core::EquivResult Result;
 };
 
-/// Runs Algorithm 1 on the first plausible candidate of each test.
+/// Runs Algorithm 1 on the first plausible candidate of each test, one
+/// Verify-mode service request per plausible test across \p Jobs workers.
+/// Verdict-identical at any job count. The verdict cache is disabled so
+/// A/B reruns with different backends measure real work.
 std::vector<FunnelRecord> runFunnel(const std::vector<TestCorpus> &Corpus,
-                                    const core::EquivConfig &Cfg);
+                                    const core::EquivConfig &Cfg,
+                                    int Jobs = 1);
 
 /// Pretty-printing helpers (stdout).
 void printHeader(const std::string &Title);

@@ -26,9 +26,9 @@ struct Counts {
 };
 
 Counts runSlice(const std::vector<TestCorpus> &Corpus,
-                const core::EquivConfig &Cfg) {
+                const core::EquivConfig &Cfg, int Jobs) {
   Counts C;
-  std::vector<FunnelRecord> F = runFunnel(Corpus, Cfg);
+  std::vector<FunnelRecord> F = runFunnel(Corpus, Cfg, Jobs);
   for (const FunnelRecord &R : F) {
     if (!R.HadPlausible)
       continue;
@@ -43,13 +43,17 @@ Counts runSlice(const std::vector<TestCorpus> &Corpus,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOptions Opt = parseBenchArgs(argc, argv);
   printHeader("Ablation: domain-specific verification techniques");
-  std::printf("  building candidate corpus for a 40-test slice...\n");
-  std::vector<TestCorpus> Full = buildCorpus(30);
-  std::vector<TestCorpus> Slice;
-  for (size_t I = 0; I < Full.size() && Slice.size() < 12; I += 11)
-    Slice.push_back(std::move(Full[I]));
+  std::printf("  building candidate corpus for the ablation slice "
+              "(--jobs %d)...\n",
+              Opt.Jobs);
+  // Same 12 tests the corpus slicing used to pick (every 11th), but the
+  // service now only samples those, not all 149.
+  std::vector<TestCorpus> Slice =
+      buildCorpusFor(tsvc::suiteSample(11, 12), 30, ExperimentSeed,
+                     Opt.Jobs);
 
   core::EquivConfig Base;
   Base.ScalarMax = 8;
@@ -77,7 +81,7 @@ int main() {
     Cfg.EnableAlive2 = Cf.A2;
     Cfg.EnableCUnroll = Cf.CU;
     Cfg.EnableSplitting = Cf.SP;
-    Counts C = runSlice(Slice, Cfg);
+    Counts C = runSlice(Slice, Cfg, Opt.Jobs);
     std::printf("  %-22s %8d %8d %8d\n", Cf.Name, C.Eq, C.Neq, C.Inc);
     if (std::string(Cf.Name) == "full pipeline")
       FullC = C;
@@ -93,7 +97,7 @@ int main() {
     Cfg.Alive2Budget = Budget;
     Cfg.CUnrollBudget = Budget * 2;
     Cfg.SplitBudget = Budget;
-    Counts C = runSlice(Slice, Cfg);
+    Counts C = runSlice(Slice, Cfg, Opt.Jobs);
     std::printf("  %-12llu %8d %8d %8d\n",
                 static_cast<unsigned long long>(Budget), C.Eq, C.Neq,
                 C.Inc);

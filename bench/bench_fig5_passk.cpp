@@ -25,9 +25,11 @@ static double passAtK(int N, int Correct, int K) {
   return 1.0 - P;
 }
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOptions Opt = parseBenchArgs(argc, argv);
   printHeader("Figure 5: pass@k over the TSVC dataset (n = 100)");
-  std::vector<TestCorpus> Corpus = buildCorpus(100);
+  std::vector<TestCorpus> Corpus = buildCorpus(100, ExperimentSeed,
+                                               Opt.Jobs);
 
   const int Ks[] = {1, 2, 3, 4, 5, 10, 20, 30, 40, 50, 100};
   std::printf("\n  %6s %10s\n", "k", "pass@k");

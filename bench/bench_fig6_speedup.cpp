@@ -58,7 +58,8 @@ double measureCycles(const minic::Function &F, int N) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOptions Opt = parseBenchArgs(argc, argv);
   printHeader("Table 1: compiler versions and flags");
   for (auto C : {compilers::CompilerId::GCC, compilers::CompilerId::Clang,
                  compilers::CompilerId::ICC}) {
@@ -69,8 +70,10 @@ int main() {
   }
 
   printHeader("Figure 6: speedup of verified LLM vectorizations");
-  std::printf("  building corpus and verifying candidates...\n");
-  std::vector<TestCorpus> Corpus = buildCorpus(100);
+  std::printf("  building corpus and verifying candidates (--jobs %d)...\n",
+              Opt.Jobs);
+  std::vector<TestCorpus> Corpus = buildCorpus(100, ExperimentSeed,
+                                               Opt.Jobs);
   core::EquivConfig VCfg;
   VCfg.ScalarMax = 8;
   VCfg.MaxTerms = 120'000;
@@ -78,7 +81,7 @@ int main() {
   VCfg.CUnrollBudget = 2'000;
   VCfg.SplitBudget = 300;
   VCfg.EnableSplitting = false; // funnel evidence lives in bench_table3
-  std::vector<FunnelRecord> Funnel = runFunnel(Corpus, VCfg);
+  std::vector<FunnelRecord> Funnel = runFunnel(Corpus, VCfg, Opt.Jobs);
 
   const int N = 2048;
   struct CatStats {

@@ -8,32 +8,61 @@
 //    9 needing multiple iterations, maximum 7 attempts; including the s453
 //    two-attempt repair walkthrough.
 //
+// All FSM runs go through svc::VectorizerService (Generate mode), one
+// request per test, so the whole section parallelizes with --jobs.
+//
 //===----------------------------------------------------------------------===//
 
-#include "agents/Fsm.h"
 #include "bench/Harness.h"
 #include "support/Format.h"
-#include "support/Rng.h"
 
 #include <cstdio>
 
 using namespace lv;
 using namespace lv::bench;
 
-int main() {
+/// One Generate-mode request per TSVC test with the given repair budget.
+static std::vector<svc::Request> fsmBatch(int MaxAttempts) {
+  std::vector<svc::Request> Out;
+  for (const tsvc::TsvcTest &T : tsvc::suite()) {
+    svc::Request R;
+    R.Mode = svc::RunMode::Generate;
+    R.Name = T.Name;
+    R.ScalarSource = T.Source;
+    R.Seed = ExperimentSeed;
+    R.Fsm.MaxAttempts = MaxAttempts;
+    Out.push_back(std::move(R));
+  }
+  return Out;
+}
+
+/// Task failures must stay loud in a gating bench (a Failed outcome has
+/// default-false Plausible and would otherwise just skew the tallies).
+static const svc::Outcome &checkOutcome(const svc::Outcome &O) {
+  if (O.Failed) {
+    std::fprintf(stderr, "bench_fsm_agents: task '%s' failed: %s\n",
+                 O.Name.c_str(), O.Error.c_str());
+    std::exit(1);
+  }
+  return O;
+}
+
+int main(int argc, char **argv) {
+  BenchOptions Opt = parseBenchArgs(argc, argv);
+  svc::ServiceConfig SC;
+  SC.Workers = Opt.Jobs;
+  svc::VectorizerService Service(SC);
+
   printHeader("Section 4.4.1: plausible tests with one LLM invocation");
-  std::vector<TestCorpus> OneShot = buildCorpus(1);
+  std::vector<TestCorpus> OneShot = buildCorpus(1, ExperimentSeed,
+                                                Opt.Jobs);
   int Bare = tallyAt(OneShot, 1).Plausible;
 
   int FsmOne = 0;
-  for (const tsvc::TsvcTest &T : tsvc::suite()) {
-    llm::SimulatedLLM M(ExperimentSeed);
-    agents::FsmConfig Cfg;
-    Cfg.MaxAttempts = 1;
-    agents::MultiAgentFsm Fsm(M, Cfg);
-    if (Fsm.run(T.Source).Plausible)
+  for (const svc::Outcome &O :
+       Service.waitBatch(Service.submitBatch(fsmBatch(1))))
+    if (checkOutcome(O).Fsm.Plausible)
       ++FsmOne;
-  }
   printRow3("bare single completion", "72", format("%d", Bare));
   printRow3("multi-agent FSM, 1 invocation", "96", format("%d", FsmOne));
   printRow3("new tests from agents+feedback", "24",
@@ -41,18 +70,15 @@ int main() {
 
   printHeader("Section 4.4.2: FSM with 10-attempt repair budget");
   int Solved = 0, MultiIter = 0, MaxAttempts = 0;
-  for (const tsvc::TsvcTest &T : tsvc::suite()) {
-    llm::SimulatedLLM M(ExperimentSeed);
-    agents::FsmConfig Cfg;
-    Cfg.MaxAttempts = 10;
-    agents::MultiAgentFsm Fsm(M, Cfg);
-    agents::FsmResult R = Fsm.run(T.Source);
-    if (!R.Plausible)
+  for (const svc::Outcome &O :
+       Service.waitBatch(Service.submitBatch(fsmBatch(10)))) {
+    checkOutcome(O);
+    if (!O.Fsm.Plausible)
       continue;
     ++Solved;
-    if (R.Attempts > 1) {
+    if (O.Fsm.Attempts > 1) {
       ++MultiIter;
-      MaxAttempts = std::max(MaxAttempts, R.Attempts);
+      MaxAttempts = std::max(MaxAttempts, O.Fsm.Attempts);
     }
   }
   printRow3("plausible within 10 attempts", "92", format("%d", Solved));
@@ -61,37 +87,50 @@ int main() {
 
   printHeader("Section 4.4.2: s453 repair walkthrough");
   {
-    // A seed whose first attempt injects the wrong-induction fault, so the
-    // transcript shows the paper's two-attempt repair.
-    const char *S453 = tsvc::findTest("s453")->Source.c_str();
+    // Seeds whose first attempt injects the wrong-induction fault, so the
+    // transcript shows the paper's two-attempt repair. Batched: one
+    // Generate request per candidate seed, scanned in seed order.
+    const tsvc::TsvcTest *S453 = tsvc::findTest("s453");
+    std::vector<svc::Request> Batch;
+    for (uint64_t Seed = 0; Seed < 64; ++Seed) {
+      svc::Request R;
+      R.Mode = svc::RunMode::Generate;
+      R.Name = format("s453@%llu", static_cast<unsigned long long>(Seed));
+      R.ScalarSource = S453->Source;
+      R.Seed = Seed;
+      Batch.push_back(std::move(R));
+    }
     bool Shown = false;
-    for (uint64_t Seed = 0; Seed < 64 && !Shown; ++Seed) {
-      llm::SimulatedLLM M(Seed);
-      agents::FsmConfig Cfg;
-      agents::MultiAgentFsm Fsm(M, Cfg);
-      agents::FsmResult R = Fsm.run(S453);
-      if (R.Plausible && R.Attempts >= 2) {
-        std::printf("  seed %llu repaired s453 in %d attempts\n",
-                    static_cast<unsigned long long>(Seed), R.Attempts);
-        for (const agents::Message &Msg : R.Transcript) {
-          std::string Brief = Msg.Content.substr(0, 100);
-          for (char &Ch : Brief)
-            if (Ch == '\n')
-              Ch = ' ';
-          std::printf("    %-16s -> %-16s %s...\n", Msg.From.c_str(),
-                      Msg.To.c_str(), Brief.c_str());
-        }
-        Shown = true;
+    std::vector<svc::Ticket> Tickets = Service.submitBatch(std::move(Batch));
+    for (uint64_t Seed = 0; Seed < Tickets.size() && !Shown; ++Seed) {
+      const svc::Outcome &O = checkOutcome(Service.wait(Tickets[Seed]));
+      if (!(O.Fsm.Plausible && O.Fsm.Attempts >= 2))
+        continue;
+      std::printf("  seed %llu repaired s453 in %d attempts\n",
+                  static_cast<unsigned long long>(Seed), O.Fsm.Attempts);
+      for (const agents::Message &Msg : O.Fsm.Transcript) {
+        std::string Brief = Msg.Content.substr(0, 100);
+        for (char &Ch : Brief)
+          if (Ch == '\n')
+            Ch = ' ';
+        std::printf("    %-16s -> %-16s %s...\n", Msg.From.c_str(),
+                    Msg.To.c_str(), Brief.c_str());
       }
+      Shown = true;
     }
     if (!Shown)
       std::printf("  (no multi-attempt seed in range; repair not "
                   "exercised)\n");
   }
 
+  svc::CacheStats CS = Service.cacheStats();
+  std::printf("\n  verdict cache: %llu hits / %llu misses (%zu entries)\n",
+              static_cast<unsigned long long>(CS.Hits),
+              static_cast<unsigned long long>(CS.Misses), CS.Entries);
+
   bool ShapeOk = FsmOne > Bare && Solved >= MultiIter && Solved > 60 &&
                  MaxAttempts <= 10;
-  std::printf("\n  shape (FSM beats bare completion; repairs within "
+  std::printf("  shape (FSM beats bare completion; repairs within "
               "budget): %s\n",
               ShapeOk ? "OK" : "MISMATCH");
   return ShapeOk ? 0 : 1;

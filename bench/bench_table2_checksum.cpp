@@ -5,23 +5,70 @@
 // TSVC dataset. Paper numbers: Plausible 72/107/125, Not-equivalent
 // 62/40/24, Cannot-compile 15/2/0.
 //
+// The corpus is built twice through svc::VectorizerService — once on one
+// worker, once on --jobs workers (default 4) — asserting bit-identical
+// classifications and measuring the end-to-end wall-time win from batched
+// parallel dispatch. Both arms and the worker counts land in
+// BENCH_table2.json.
+//
 //===----------------------------------------------------------------------===//
 
 #include "bench/Harness.h"
 #include "support/Format.h"
 
+#include <chrono>
 #include <cstdio>
+#include <fstream>
+#include <thread>
 
 using namespace lv;
 using namespace lv::bench;
 
-int main() {
+static uint64_t nowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+int main(int argc, char **argv) {
+  BenchOptions Opt = parseBenchArgs(argc, argv);
+  // The parallel arm defaults to 4 workers; an explicit --jobs (even
+  // --jobs 1) overrides it.
+  int ParJobs = Opt.JobsSet ? Opt.Jobs : 4;
+
   printHeader("Table 2: checksum-based testing at k completions");
   std::printf("  sampling 100 completions per test over %zu TSVC tests "
               "(seed 0x%llx)...\n",
               tsvc::suite().size(),
               static_cast<unsigned long long>(ExperimentSeed));
-  std::vector<TestCorpus> Corpus = buildCorpus(100);
+
+  std::printf("  [1/2] service at 1 worker...\n");
+  uint64_t T0 = nowNanos();
+  std::vector<TestCorpus> Corpus = buildCorpus(100, ExperimentSeed, 1);
+  uint64_t SeqNanos = nowNanos() - T0;
+  std::printf("  [2/2] service at %d workers...\n", ParJobs);
+  T0 = nowNanos();
+  std::vector<TestCorpus> CorpusPar = buildCorpus(100, ExperimentSeed,
+                                                  ParJobs);
+  uint64_t ParNanos = nowNanos() - T0;
+
+  // Determinism across worker counts: every sample must classify
+  // identically (sources are pure functions of (seed, test, k)).
+  int ParallelMismatches = 0;
+  for (size_t I = 0; I < Corpus.size(); ++I) {
+    if (Corpus[I].Samples.size() != CorpusPar[I].Samples.size()) {
+      ++ParallelMismatches;
+      continue;
+    }
+    for (size_t J = 0; J < Corpus[I].Samples.size(); ++J) {
+      const CandidateRecord &A = Corpus[I].Samples[J];
+      const CandidateRecord &B = CorpusPar[I].Samples[J];
+      if (A.Source != B.Source || A.Compiles != B.Compiles ||
+          A.Plausible != B.Plausible)
+        ++ParallelMismatches;
+    }
+  }
 
   struct Row {
     int K;
@@ -30,7 +77,6 @@ int main() {
   const Row Rows[] = {{1, 72, 62, 15}, {10, 107, 40, 2}, {100, 125, 24, 0}};
 
   std::printf("\n  %-18s %8s %8s %8s\n", "", "k=1", "k=10", "k=100");
-  std::string PlausLine, NotEqLine, NoCompLine;
   ChecksumTally Tallies[3];
   for (int I = 0; I < 3; ++I)
     Tallies[I] = tallyAt(Corpus, Rows[I].K);
@@ -58,7 +104,55 @@ int main() {
                  Tallies[1].Plausible <= Tallies[2].Plausible &&
                  Tallies[0].CannotCompile >= Tallies[1].CannotCompile &&
                  Tallies[1].CannotCompile >= Tallies[2].CannotCompile;
-  std::printf("\n  shape (plausible grows, compile failures decay): %s\n",
+  double Speedup = ParNanos
+                       ? static_cast<double>(SeqNanos) /
+                             static_cast<double>(ParNanos)
+                       : 1.0;
+  bool MatchOk = ParallelMismatches == 0;
+  // The speedup gate needs hardware to parallelize on; on a single
+  // hardware thread the parallel arm degenerates to the serial one and
+  // only the determinism check is meaningful.
+  unsigned HwThreads = std::thread::hardware_concurrency();
+  bool CanParallelize = HwThreads >= 2 && ParJobs > 1;
+  bool SpeedupOk = !CanParallelize || Speedup > 1.1;
+  std::printf("\n  end-to-end wall: %8.1fms at 1 worker, %8.1fms at %d "
+              "workers (%.2fx, %u hardware threads)\n",
+              static_cast<double>(SeqNanos) / 1e6,
+              static_cast<double>(ParNanos) / 1e6, ParJobs, Speedup,
+              HwThreads);
+  std::printf("  shape (plausible grows, compile failures decay): %s\n",
               ShapeOk ? "OK" : "MISMATCH");
-  return ShapeOk ? 0 : 1;
+  std::printf("  bit-identical classification across worker counts: %s\n",
+              MatchOk ? "OK" : "MISMATCH");
+  std::printf("  parallel dispatch wins (> 1.1x): %s\n",
+              !CanParallelize
+                  ? "SKIPPED (no parallelism: 1 hardware thread or "
+                    "--jobs 1)"
+                  : (SpeedupOk ? "OK" : "MISMATCH"));
+
+  std::string J = "{\n";
+  appendf(J, "  \"name\": \"bench_table2_checksum\",\n");
+  appendf(J, "  \"tallies\": {\n");
+  for (int I = 0; I < 3; ++I)
+    appendf(J,
+            "    \"k%d\": {\"plausible\": %d, \"noteq\": %d, "
+            "\"nocompile\": %d}%s\n",
+            Rows[I].K, Tallies[I].Plausible, Tallies[I].NotEquivalent,
+            Tallies[I].CannotCompile, I == 2 ? "" : ",");
+  appendf(J, "  },\n");
+  appendf(J,
+          "  \"arms\": [\n"
+          "    {\"jobs\": 1, \"wall_ns\": %llu},\n"
+          "    {\"jobs\": %d, \"wall_ns\": %llu}\n  ],\n",
+          static_cast<unsigned long long>(SeqNanos), ParJobs,
+          static_cast<unsigned long long>(ParNanos));
+  appendf(J,
+          "  \"speedup\": %.3f,\n  \"hardware_threads\": %u,\n"
+          "  \"parallel_mismatches\": %d,\n",
+          Speedup, HwThreads, ParallelMismatches);
+  appendf(J, "  \"shape_ok\": %s,\n  \"speedup_ok\": %s\n}\n",
+          ShapeOk ? "true" : "false", SpeedupOk ? "true" : "false");
+  std::ofstream("BENCH_table2.json") << J;
+
+  return ShapeOk && MatchOk && SpeedupOk ? 0 : 1;
 }

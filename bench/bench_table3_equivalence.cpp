@@ -143,12 +143,14 @@ double ratio(uint64_t Before, uint64_t After) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  BenchOptions Opt = parseBenchArgs(argc, argv);
   printHeader("Table 3: equivalence-checking funnel");
   std::printf("  sampling candidates and running Algorithm 1 over %zu "
-              "tests...\n",
-              tsvc::suite().size());
-  std::vector<TestCorpus> Corpus = buildCorpus(100);
+              "tests (--jobs %d)...\n",
+              tsvc::suite().size(), Opt.Jobs);
+  std::vector<TestCorpus> Corpus = buildCorpus(100, ExperimentSeed,
+                                               Opt.Jobs);
 
   core::EquivConfig Cfg;
   Cfg.ScalarMax = 8;
@@ -165,12 +167,12 @@ int main() {
     return seedref::checkRefinementSeed(S, T, RO);
   };
   std::printf("  [1/2] seed backend (frozen reference)...\n");
-  std::vector<FunnelRecord> Before = runFunnel(Corpus, Cfg);
+  std::vector<FunnelRecord> Before = runFunnel(Corpus, Cfg, Opt.Jobs);
   // After: shared incremental sessions.
   Cfg.IncrementalSolving = true;
   Cfg.SplitCellOverride = nullptr;
   std::printf("  [2/2] incremental backend...\n");
-  std::vector<FunnelRecord> After = runFunnel(Corpus, Cfg);
+  std::vector<FunnelRecord> After = runFunnel(Corpus, Cfg, Opt.Jobs);
 
   FunnelTally TB = tally(Before);
   FunnelTally TA = tally(After);
@@ -260,6 +262,7 @@ int main() {
   // Machine-readable mirror for the perf trajectory.
   std::string J = "{\n";
   appendf(J, "  \"name\": \"bench_table3_equivalence\",\n");
+  appendf(J, "  \"jobs\": %d,\n", Opt.Jobs);
   appendf(J, "  \"funnel\": {\n");
   appendf(J,
           "    \"checksum\": {\"total\": 149, \"equiv\": 0, \"noteq\": %d, "

@@ -8,9 +8,8 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "agents/Fsm.h"
-#include "core/Equivalence.h"
-#include "llm/Client.h"
+#include "support/Format.h"
+#include "svc/Service.h"
 #include "tsvc/Suite.h"
 
 #include <cstdio>
@@ -22,32 +21,54 @@ int main() {
   std::printf("scalar s453:\n%s\n\n", T->Source.c_str());
 
   // Search seeds until the first attempt misfires and the loop repairs it
-  // (the paper's two-attempt run).
-  for (uint64_t Seed = 0; Seed < 64; ++Seed) {
-    llm::SimulatedLLM Model(Seed);
-    agents::FsmConfig Cfg;
-    agents::MultiAgentFsm Fsm(Model, Cfg);
-    agents::FsmResult R = Fsm.run(T->Source);
-    if (!(R.Plausible && R.Attempts >= 2))
-      continue;
+  // (the paper's two-attempt run): Generate requests batched in waves of
+  // one worker-pool width, scanned in seed order for determinism — a hit
+  // in an early wave never pays for the later seeds.
+  svc::ServiceConfig SC;
+  SC.Workers = 4;
+  svc::VectorizerService Service(SC);
 
-    std::printf("seed %llu: repaired in %d attempts; transcript:\n\n",
-                static_cast<unsigned long long>(Seed), R.Attempts);
-    for (const agents::Message &M : R.Transcript)
-      std::printf("--- %s -> %s ---\n%s\n\n", M.From.c_str(), M.To.c_str(),
-                  M.Content.c_str());
+  for (uint64_t Wave = 0; Wave < 64; Wave += 4) {
+    std::vector<svc::Request> Batch;
+    for (uint64_t Seed = Wave; Seed < Wave + 4; ++Seed) {
+      svc::Request R;
+      R.Mode = svc::RunMode::Generate;
+      R.Name = format("s453@%llu", static_cast<unsigned long long>(Seed));
+      R.ScalarSource = T->Source;
+      R.Seed = Seed;
+      Batch.push_back(std::move(R));
+    }
+    std::vector<svc::Ticket> Tickets = Service.submitBatch(std::move(Batch));
 
-    std::printf("FSM states: ");
-    for (agents::State S : R.Transitions)
-      std::printf("%s ", agents::stateName(S));
-    std::printf("\n\n");
+    for (uint64_t Lane = 0; Lane < Tickets.size(); ++Lane) {
+      uint64_t Seed = Wave + Lane;
+      const svc::Outcome &O = Service.wait(Tickets[Lane]);
+      if (O.Failed) {
+        std::printf("seed %llu failed: %s\n",
+                    static_cast<unsigned long long>(Seed), O.Error.c_str());
+        return 1;
+      }
+      const agents::FsmResult &R = O.Fsm;
+      if (!(R.Plausible && R.Attempts >= 2))
+        continue;
 
-    core::EquivResult E = core::checkEquivalence(T->Source,
-                                                 R.FinalCandidate);
-    std::printf("formal verification of the repaired candidate: %s "
-                "(stage: %s)\n",
-                core::outcomeName(E.Final), core::stageName(E.DecidedBy));
-    return 0;
+      std::printf("seed %llu: repaired in %d attempts; transcript:\n\n",
+                  static_cast<unsigned long long>(Seed), R.Attempts);
+      for (const agents::Message &M : R.Transcript)
+        std::printf("--- %s -> %s ---\n%s\n\n", M.From.c_str(),
+                    M.To.c_str(), M.Content.c_str());
+
+      std::printf("FSM states: ");
+      for (agents::State S : R.Transitions)
+        std::printf("%s ", agents::stateName(S));
+      std::printf("\n\n");
+
+      core::EquivResult E = svc::verifyPair(T->Source, R.FinalCandidate);
+      std::printf("formal verification of the repaired candidate: %s "
+                  "(stage: %s)\n",
+                  core::outcomeName(E.Final), core::stageName(E.DecidedBy));
+      return 0;
+    }
   }
   std::printf("no seed in range produced a multi-attempt repair\n");
   return 1;

@@ -1,17 +1,16 @@
 //===- examples/quickstart.cpp - end-to-end LLM-Vectorizer walkthrough --------===//
 //
-// Quickstart: take a scalar C loop, let the multi-agent FSM obtain a
-// plausible AVX2 vectorization from the (simulated) LLM, then formally
-// check it with Algorithm 1. This is the complete workflow of the paper's
-// Figure 2 in about thirty lines of client code.
+// Quickstart: take a scalar C loop, let the vectorization service run the
+// paper's full Figure-2 workflow — multi-agent FSM against the (simulated)
+// LLM, checksum testing, then the Algorithm-1 verification funnel — in one
+// request. The same submit()/wait() API batches thousands of functions
+// across a worker pool; see src/svc/README.md.
 //
 //   $ ./quickstart
 //
 //===----------------------------------------------------------------------===//
 
-#include "agents/Fsm.h"
-#include "core/Equivalence.h"
-#include "llm/Client.h"
+#include "svc/Service.h"
 
 #include <cstdio>
 
@@ -27,24 +26,21 @@ void saxpyish(int n, int s, int *a, int *b) {
 
   std::printf("Input scalar loop:\n%s\n\n", Scalar);
 
-  // 1. Multi-agent FSM: user proxy -> vectorizer (LLM) -> compiler tester.
-  llm::SimulatedLLM Model(/*Seed=*/2024);
-  agents::FsmConfig FsmCfg;
-  agents::MultiAgentFsm Fsm(Model, FsmCfg);
-  agents::FsmResult R = Fsm.run(Scalar);
-  if (!R.Plausible) {
+  // One Pipeline request = FSM generation + formal verification.
+  svc::Outcome O =
+      svc::vectorizeAndVerify("saxpyish", Scalar, /*Seed=*/2024);
+  if (!O.Fsm.Plausible) {
     std::printf("no plausible vectorization found in %d attempts\n",
-                R.Attempts);
+                O.Fsm.Attempts);
     return 1;
   }
-  std::printf("plausible candidate after %d attempt(s):\n%s\n", R.Attempts,
-              R.FinalCandidate.c_str());
+  std::printf("plausible candidate after %d attempt(s):\n%s\n",
+              O.Fsm.Attempts, O.Fsm.FinalCandidate.c_str());
 
-  // 2. Formal verification: Algorithm 1 (checksum -> Alive2-style unroll
-  //    -> C-level unroll -> spatial splitting).
-  core::EquivResult E = core::checkEquivalence(Scalar, R.FinalCandidate);
   std::printf("\nverification: %s (decided by %s stage)\n",
-              core::outcomeName(E.Final), core::stageName(E.DecidedBy));
-  std::printf("detail: %s\n", E.Detail.c_str());
-  return E.Final == core::EquivResult::Equivalent ? 0 : 1;
+              core::outcomeName(O.Equiv.Final),
+              core::stageName(O.Equiv.DecidedBy));
+  std::printf("detail: %s\n", O.Equiv.Detail.c_str());
+  std::printf("wall: %.1fms\n", static_cast<double>(O.WallNanos) / 1e6);
+  return O.verified() ? 0 : 1;
 }

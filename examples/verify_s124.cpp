@@ -10,8 +10,8 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/Equivalence.h"
 #include "interp/Checksum.h"
+#include "svc/Service.h"
 #include "tsvc/Suite.h"
 #include "vir/Compile.h"
 
@@ -52,8 +52,9 @@ int main() {
               CO.plausible() ? "PLAUSIBLE" : "not equivalent",
               CO.Detail.c_str());
 
-  // Step 2: the full pipeline refutes it symbolically.
-  core::EquivResult E = core::checkEquivalence(T->Source, S124Vec);
+  // Step 2: the full pipeline refutes it symbolically (verifyPair is the
+  // single-call wrapper over a one-worker vectorization service).
+  core::EquivResult E = svc::verifyPair(T->Source, S124Vec);
   std::printf("\nsymbolic verification: %s (decided by %s)\n",
               core::outcomeName(E.Final), core::stageName(E.DecidedBy));
   if (!E.Counterexample.empty())

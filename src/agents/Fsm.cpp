@@ -5,6 +5,7 @@
 #include "deps/Analysis.h"
 #include "minic/Parser.h"
 #include "support/Format.h"
+#include "support/Rng.h"
 #include "vir/Compile.h"
 
 using namespace lv;
@@ -21,6 +22,16 @@ const char *lv::agents::stateName(State S) {
   case State::Failed: return "Failed";
   }
   return "?";
+}
+
+uint64_t FsmConfig::configHash() const {
+  uint64_t H = 0xF53ULL;
+  H = hashField(H, 1, static_cast<uint64_t>(MaxAttempts));
+  H = hashField(H, 2, ProvideDependenceFeedback ? 1 : 0);
+  H = hashField(H, 3, bitsOfDouble(Temperature));
+  H = hashField(H, 4, Checksum.configHash());
+  H = hashField(H, 5, Tester ? 1 : 0);
+  return H;
 }
 
 FsmResult MultiAgentFsm::run(const std::string &ScalarSource) {
@@ -90,7 +101,8 @@ FsmResult MultiAgentFsm::run(const std::string &ScalarSource) {
     // Test.
     R.Transitions.push_back(State::Test);
     interp::ChecksumOutcome O =
-        interp::runChecksumTest(*SC.Fn, *VC.Fn, Cfg.Checksum);
+        Cfg.Tester ? Cfg.Tester(C.Source, *SC.Fn, *VC.Fn, Cfg.Checksum)
+                   : interp::runChecksumTest(*SC.Fn, *VC.Fn, Cfg.Checksum);
     R.LastChecksum = O;
     if (O.Verdict == interp::TestVerdict::Plausible) {
       R.Transcript.push_back(

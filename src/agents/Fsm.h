@@ -22,6 +22,7 @@
 #include "llm/Client.h"
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -48,12 +49,28 @@ struct Message {
   std::string Content;
 };
 
+/// Signature of the compiler-tester's checksum runner: candidate source
+/// (for content addressing) plus both compiled functions. The vectorization
+/// service installs its content-addressed outcome cache through this hook;
+/// null runs interp::runChecksumTest directly.
+using ChecksumRunner = std::function<interp::ChecksumOutcome(
+    const std::string &CandidateSrc, const vir::VFunction &Scalar,
+    const vir::VFunction &Vec, const interp::ChecksumConfig &Cfg)>;
+
 /// FSM configuration.
 struct FsmConfig {
   int MaxAttempts = 10; ///< The paper's repair budget.
   bool ProvideDependenceFeedback = true; ///< Clang remarks in the prompt.
   double Temperature = 1.0;
   interp::ChecksumConfig Checksum;
+  /// Optional interception of the tester agent's checksum run (cache /
+  /// instrumentation hook). Only its presence participates in
+  /// configHash() — callbacks have no content identity.
+  ChecksumRunner Tester;
+
+  /// Canonical content hash (tagged per field; see support/Rng.h). Keys
+  /// the service-layer verdict cache; extend when adding fields.
+  uint64_t configHash() const;
 };
 
 /// Result of a run.

@@ -5,6 +5,7 @@
 #include "core/CUnroll.h"
 #include "deps/Analysis.h"
 #include "support/Format.h"
+#include "support/Rng.h"
 #include "vir/Compile.h"
 #include "vir/Lower.h"
 
@@ -26,6 +27,22 @@ const char *lv::core::stageName(Stage S) {
   case Stage::Splitting: return "spatial-splitting";
   }
   return "?";
+}
+
+uint64_t EquivConfig::configHash() const {
+  uint64_t H = 0xE901ULL;
+  H = hashField(H, 1, Checksum.configHash());
+  H = hashField(H, 2, static_cast<uint64_t>(static_cast<uint32_t>(ScalarMax)));
+  H = hashField(H, 3, Alive2Budget);
+  H = hashField(H, 4, CUnrollBudget);
+  H = hashField(H, 5, SplitBudget);
+  H = hashField(H, 6, MaxTerms);
+  H = hashField(H, 7, EnableAlive2 ? 1 : 0);
+  H = hashField(H, 8, EnableCUnroll ? 1 : 0);
+  H = hashField(H, 9, EnableSplitting ? 1 : 0);
+  H = hashField(H, 10, IncrementalSolving ? 1 : 0);
+  H = hashField(H, 11, SplitCellOverride ? 1 : 0);
+  return H;
 }
 
 const char *lv::core::outcomeName(EquivResult::Outcome O) {

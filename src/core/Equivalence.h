@@ -68,6 +68,13 @@ struct EquivConfig {
   std::function<tv::TVResult(const vir::VFunction &, const vir::VFunction &,
                              const tv::RefineOptions &)>
       SplitCellOverride;
+
+  /// Canonical content hash (tagged per field; see support/Rng.h). Keys
+  /// the svc:: verdict cache together with the scalar/candidate source
+  /// hashes; only the *presence* of SplitCellOverride participates
+  /// (callbacks have no content identity — the service bypasses the cache
+  /// entirely when one is installed). Extend when adding fields.
+  uint64_t configHash() const;
 };
 
 /// Full result with per-stage evidence.
@@ -101,6 +108,14 @@ const char *outcomeName(EquivResult::Outcome O);
 
 /// Runs Algorithm 1 on source text. \p VecSrc failing to compile yields
 /// CannotCompile (Table 2's row).
+///
+/// This is the single-task *kernel*: it owns every piece of mutable state
+/// it touches (TermTable, solvers, interpreter images), so concurrent
+/// calls never share anything. Batch callers should not invoke it in a
+/// hand-rolled loop — svc::VectorizerService is the canonical API for
+/// running the funnel over many functions (batching, a worker pool, and
+/// the content-addressed verdict cache); svc::verifyPair is the
+/// single-call convenience wrapper over a one-worker service.
 EquivResult checkEquivalence(const std::string &ScalarSrc,
                              const std::string &VecSrc,
                              const EquivConfig &Cfg = EquivConfig());

@@ -11,6 +11,19 @@ using namespace lv;
 using namespace lv::interp;
 using namespace lv::vir;
 
+uint64_t ChecksumConfig::configHash() const {
+  uint64_t H = 0xC5C5ULL;
+  H = hashField(H, 1, Seed);
+  H = hashField(H, 2, static_cast<uint64_t>(RunsPerN));
+  H = hashField(H, 3, NValues.size());
+  for (int N : NValues)
+    H = hashField(H, 4, static_cast<uint64_t>(static_cast<uint32_t>(N)));
+  H = hashField(H, 5, static_cast<uint64_t>(BufferLen));
+  H = hashField(H, 6, static_cast<uint64_t>(static_cast<uint32_t>(ValueMin)));
+  H = hashField(H, 7, static_cast<uint64_t>(static_cast<uint32_t>(ValueMax)));
+  return H;
+}
+
 namespace {
 
 /// Scalar arguments for one run, matched by parameter name.

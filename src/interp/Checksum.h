@@ -42,6 +42,11 @@ struct ChecksumConfig {
   int BufferLen = 512;                   ///< Allocation per array param.
   int32_t ValueMin = -1000;
   int32_t ValueMax = 1000;
+
+  /// Canonical content hash over every field (tagged per field, so values
+  /// swapped between same-typed fields change the hash). Keys the
+  /// service-layer verdict cache; extend when adding fields.
+  uint64_t configHash() const;
 };
 
 /// A concrete distinguishing example, reported back to the vectorizer agent

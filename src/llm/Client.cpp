@@ -16,6 +16,12 @@ using namespace lv::llm;
 
 LLMClient::~LLMClient() = default;
 
+ClientFactory lv::llm::simulatedClientFactory() {
+  return [](uint64_t Seed) -> std::unique_ptr<LLMClient> {
+    return std::unique_ptr<LLMClient>(new SimulatedLLM(Seed));
+  };
+}
+
 //===----------------------------------------------------------------------===//
 // Competence model
 //===----------------------------------------------------------------------===//

@@ -28,6 +28,8 @@
 #include "llm/Faults.h"
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -49,6 +51,13 @@ struct Completion {
 };
 
 /// Abstract LLM endpoint.
+///
+/// Ownership/threading contract: a client instance is owned by exactly one
+/// task at a time and is never shared across threads — the vectorization
+/// service constructs one client per task through a ClientFactory.
+/// Implementations therefore need no internal locking, but distinct
+/// instances built from the same seed must produce identical streams
+/// (complete() is a pure function of (seed, prompt, sample index)).
 class LLMClient {
 public:
   virtual ~LLMClient();
@@ -56,6 +65,15 @@ public:
   /// Produces completion number \p SampleIndex for \p P.
   virtual Completion complete(const Prompt &P, uint64_t SampleIndex) = 0;
 };
+
+/// Builds a fresh client for one task from the request's seed. The default
+/// factory (simulatedClientFactory) yields SimulatedLLM; swap in a factory
+/// producing remote-endpoint clients to point the service at a real model.
+using ClientFactory =
+    std::function<std::unique_ptr<LLMClient>(uint64_t Seed)>;
+
+/// Factory for the paper-reproduction client: SimulatedLLM(Seed).
+ClientFactory simulatedClientFactory();
 
 /// Difficulty tier assigned to a test by the competence model.
 enum class Difficulty : uint8_t { Easy, Medium, Hard, Never };

@@ -49,6 +49,11 @@ void TermTable::reserve(size_t Expected) {
   Terms.reserve(N);
   VarNames.reserve(N);
   Unique.reserve(N);
+  size_t Cap = size_t(1) << 12;
+  while (Cap < N)
+    Cap <<= 1;
+  if (Memo.size() < Cap)
+    memoGrow(Cap);
 }
 
 TermId TermTable::intern(Term T) {
@@ -64,6 +69,124 @@ TermId TermTable::intern(Term T) {
 
 const std::string &TermTable::varName(TermId Id) const {
   return VarNames[static_cast<size_t>(Id)];
+}
+
+//===----------------------------------------------------------------------===//
+// Rewrite memo
+//===----------------------------------------------------------------------===//
+
+TermId TermTable::memoGet(TK K, TermId A, TermId B, TermId C) const {
+  if (Memo.empty())
+    return NoTerm;
+  size_t Mask = Memo.size() - 1;
+  for (size_t I = memoIndex(K, A, B, C, Mask);; I = (I + 1) & Mask) {
+    const MemoEntry &E = Memo[I];
+    if (E.R == NoTerm)
+      return NoTerm;
+    if (E.K == K && E.A == A && E.B == B && E.C == C)
+      return E.R;
+  }
+}
+
+void TermTable::memoGrow(size_t NewCap) {
+  std::vector<MemoEntry> Old = std::move(Memo);
+  Memo.assign(NewCap, MemoEntry());
+  size_t Mask = NewCap - 1;
+  for (const MemoEntry &E : Old) {
+    if (E.R == NoTerm)
+      continue;
+    size_t I = memoIndex(E.K, E.A, E.B, E.C, Mask);
+    while (Memo[I].R != NoTerm)
+      I = (I + 1) & Mask;
+    Memo[I] = E;
+  }
+}
+
+void TermTable::memoPut(TK K, TermId A, TermId B, TermId C, TermId R) {
+  if (Memo.empty())
+    memoGrow(size_t(1) << 12);
+  else if (MemoLive * 10 >= Memo.size() * 6) // 60% load
+    memoGrow(Memo.size() * 2);
+  size_t Mask = Memo.size() - 1;
+  size_t I = memoIndex(K, A, B, C, Mask);
+  while (Memo[I].R != NoTerm) {
+    if (Memo[I].K == K && Memo[I].A == A && Memo[I].B == B && Memo[I].C == C)
+      return; // raced with a recursive rewrite of the same application
+    I = (I + 1) & Mask;
+  }
+  Memo[I] = MemoEntry{K, A, B, C, R};
+  ++MemoLive;
+}
+
+// Public constructors: memo probe first, rewrite chain on miss.
+TermId TermTable::mkNot(TermId X) {
+  return memoized(TK::Not, X, NoTerm, NoTerm, [&] { return rwNot(X); });
+}
+TermId TermTable::mkAnd(TermId X, TermId Y) {
+  return memoized(TK::And, X, Y, NoTerm, [&] { return rwAnd(X, Y); });
+}
+TermId TermTable::mkOr(TermId X, TermId Y) {
+  return memoized(TK::Or, X, Y, NoTerm, [&] { return rwOr(X, Y); });
+}
+TermId TermTable::mkBIte(TermId C, TermId T, TermId E) {
+  return memoized(TK::BIte, C, T, E, [&] { return rwBIte(C, T, E); });
+}
+TermId TermTable::mkEq(TermId X, TermId Y) {
+  return memoized(TK::Eq, X, Y, NoTerm, [&] { return rwEq(X, Y); });
+}
+TermId TermTable::mkUlt(TermId X, TermId Y) {
+  return memoized(TK::Ult, X, Y, NoTerm, [&] { return rwUlt(X, Y); });
+}
+TermId TermTable::mkSlt(TermId X, TermId Y) {
+  return memoized(TK::Slt, X, Y, NoTerm, [&] { return rwSlt(X, Y); });
+}
+TermId TermTable::mkAddOvf(TermId X, TermId Y) {
+  return memoized(TK::AddOvf, X, Y, NoTerm, [&] { return rwAddOvf(X, Y); });
+}
+TermId TermTable::mkSubOvf(TermId X, TermId Y) {
+  return memoized(TK::SubOvf, X, Y, NoTerm, [&] { return rwSubOvf(X, Y); });
+}
+TermId TermTable::mkMulOvf(TermId X, TermId Y) {
+  return memoized(TK::MulOvf, X, Y, NoTerm, [&] { return rwMulOvf(X, Y); });
+}
+TermId TermTable::mkAdd(TermId X, TermId Y) {
+  return memoized(TK::Add, X, Y, NoTerm, [&] { return rwAdd(X, Y); });
+}
+TermId TermTable::mkSub(TermId X, TermId Y) {
+  return memoized(TK::Sub, X, Y, NoTerm, [&] { return rwSub(X, Y); });
+}
+TermId TermTable::mkMul(TermId X, TermId Y) {
+  return memoized(TK::Mul, X, Y, NoTerm, [&] { return rwMul(X, Y); });
+}
+TermId TermTable::mkSDiv(TermId X, TermId Y) {
+  return memoized(TK::SDiv, X, Y, NoTerm, [&] { return rwSDiv(X, Y); });
+}
+TermId TermTable::mkSRem(TermId X, TermId Y) {
+  return memoized(TK::SRem, X, Y, NoTerm, [&] { return rwSRem(X, Y); });
+}
+TermId TermTable::mkBvAnd(TermId X, TermId Y) {
+  return memoized(TK::BvAnd, X, Y, NoTerm, [&] { return rwBvAnd(X, Y); });
+}
+TermId TermTable::mkBvOr(TermId X, TermId Y) {
+  return memoized(TK::BvOr, X, Y, NoTerm, [&] { return rwBvOr(X, Y); });
+}
+TermId TermTable::mkBvXor(TermId X, TermId Y) {
+  return memoized(TK::BvXor, X, Y, NoTerm, [&] { return rwBvXor(X, Y); });
+}
+TermId TermTable::mkBvNot(TermId X) {
+  return memoized(TK::BvNot, X, NoTerm, NoTerm, [&] { return rwBvNot(X); });
+}
+TermId TermTable::mkShl(TermId X, TermId Y) {
+  return memoized(TK::Shl, X, Y, NoTerm, [&] { return rwShl(X, Y); });
+}
+TermId TermTable::mkLShr(TermId X, TermId Y) {
+  return memoized(TK::LShr, X, Y, NoTerm, [&] { return rwLShr(X, Y); });
+}
+TermId TermTable::mkAShr(TermId X, TermId Y) {
+  return memoized(TK::AShr, X, Y, NoTerm, [&] { return rwAShr(X, Y); });
+}
+TermId TermTable::mkIte(TermId C, TermId T, TermId E) {
+  return memoized(TK::Ite, C, T, E, [&] { return rwIte(C, T, E); });
 }
 
 TermId TermTable::mkBVar(const std::string &Name) {
@@ -95,7 +218,7 @@ TermId TermTable::mkConst(uint32_t V) {
 // Bool constructors
 //===----------------------------------------------------------------------===//
 
-TermId TermTable::mkNot(TermId X) {
+TermId TermTable::rwNot(TermId X) {
   if (X == TrueId)
     return FalseId;
   if (X == FalseId)
@@ -109,7 +232,7 @@ TermId TermTable::mkNot(TermId X) {
   return intern(T);
 }
 
-TermId TermTable::mkAnd(TermId X, TermId Y) {
+TermId TermTable::rwAnd(TermId X, TermId Y) {
   if (X == FalseId || Y == FalseId)
     return FalseId;
   if (X == TrueId)
@@ -132,7 +255,7 @@ TermId TermTable::mkAnd(TermId X, TermId Y) {
   return intern(T);
 }
 
-TermId TermTable::mkOr(TermId X, TermId Y) {
+TermId TermTable::rwOr(TermId X, TermId Y) {
   if (X == TrueId || Y == TrueId)
     return TrueId;
   if (X == FalseId)
@@ -154,7 +277,7 @@ TermId TermTable::mkOr(TermId X, TermId Y) {
   return intern(T);
 }
 
-TermId TermTable::mkBIte(TermId C, TermId T0, TermId E) {
+TermId TermTable::rwBIte(TermId C, TermId T0, TermId E) {
   if (C == TrueId)
     return T0;
   if (C == FalseId)
@@ -175,7 +298,7 @@ TermId TermTable::mkBIte(TermId C, TermId T0, TermId E) {
   return intern(T);
 }
 
-TermId TermTable::mkEq(TermId X, TermId Y) {
+TermId TermTable::rwEq(TermId X, TermId Y) {
   if (X == Y)
     return TrueId;
   uint32_t CX, CY;
@@ -222,7 +345,7 @@ TermId TermTable::mkEq(TermId X, TermId Y) {
   return intern(T);
 }
 
-TermId TermTable::mkUlt(TermId X, TermId Y) {
+TermId TermTable::rwUlt(TermId X, TermId Y) {
   if (X == Y)
     return FalseId;
   uint32_t CX, CY;
@@ -237,7 +360,7 @@ TermId TermTable::mkUlt(TermId X, TermId Y) {
   return intern(T);
 }
 
-TermId TermTable::mkSlt(TermId X, TermId Y) {
+TermId TermTable::rwSlt(TermId X, TermId Y) {
   if (X == Y)
     return FalseId;
   uint32_t CX, CY;
@@ -263,7 +386,7 @@ static bool mulOvf(int32_t A, int32_t B) {
   return R < INT32_MIN || R > INT32_MAX;
 }
 
-TermId TermTable::mkAddOvf(TermId X, TermId Y) {
+TermId TermTable::rwAddOvf(TermId X, TermId Y) {
   uint32_t CX, CY;
   if (isConst(X, CX) && isConst(Y, CY))
     return mkBool(addOvf(static_cast<int32_t>(CX), static_cast<int32_t>(CY)));
@@ -280,7 +403,7 @@ TermId TermTable::mkAddOvf(TermId X, TermId Y) {
   return intern(T);
 }
 
-TermId TermTable::mkSubOvf(TermId X, TermId Y) {
+TermId TermTable::rwSubOvf(TermId X, TermId Y) {
   uint32_t CX, CY;
   if (isConst(X, CX) && isConst(Y, CY))
     return mkBool(subOvf(static_cast<int32_t>(CX), static_cast<int32_t>(CY)));
@@ -295,7 +418,7 @@ TermId TermTable::mkSubOvf(TermId X, TermId Y) {
   return intern(T);
 }
 
-TermId TermTable::mkMulOvf(TermId X, TermId Y) {
+TermId TermTable::rwMulOvf(TermId X, TermId Y) {
   uint32_t CX, CY;
   if (isConst(X, CX) && isConst(Y, CY))
     return mkBool(mulOvf(static_cast<int32_t>(CX), static_cast<int32_t>(CY)));
@@ -315,7 +438,7 @@ TermId TermTable::mkMulOvf(TermId X, TermId Y) {
 // BV constructors
 //===----------------------------------------------------------------------===//
 
-TermId TermTable::mkAdd(TermId X, TermId Y) {
+TermId TermTable::rwAdd(TermId X, TermId Y) {
   uint32_t CX, CY;
   if (isConst(X, CX) && isConst(Y, CY))
     return mkConst(CX + CY);
@@ -343,7 +466,7 @@ TermId TermTable::mkAdd(TermId X, TermId Y) {
   return intern(T);
 }
 
-TermId TermTable::mkSub(TermId X, TermId Y) {
+TermId TermTable::rwSub(TermId X, TermId Y) {
   uint32_t CX, CY;
   if (isConst(X, CX) && isConst(Y, CY))
     return mkConst(CX - CY);
@@ -360,7 +483,7 @@ TermId TermTable::mkSub(TermId X, TermId Y) {
   return intern(T);
 }
 
-TermId TermTable::mkMul(TermId X, TermId Y) {
+TermId TermTable::rwMul(TermId X, TermId Y) {
   uint32_t CX, CY;
   if (isConst(X, CX) && isConst(Y, CY))
     return mkConst(CX * CY);
@@ -381,7 +504,7 @@ TermId TermTable::mkMul(TermId X, TermId Y) {
   return intern(T);
 }
 
-TermId TermTable::mkSDiv(TermId X, TermId Y) {
+TermId TermTable::rwSDiv(TermId X, TermId Y) {
   uint32_t CX, CY;
   if (isConst(X, CX) && isConst(Y, CY) && CY != 0 &&
       !(CX == 0x80000000u && CY == 0xffffffffu))
@@ -395,7 +518,7 @@ TermId TermTable::mkSDiv(TermId X, TermId Y) {
   return intern(T);
 }
 
-TermId TermTable::mkSRem(TermId X, TermId Y) {
+TermId TermTable::rwSRem(TermId X, TermId Y) {
   uint32_t CX, CY;
   if (isConst(X, CX) && isConst(Y, CY) && CY != 0 &&
       !(CX == 0x80000000u && CY == 0xffffffffu))
@@ -419,7 +542,7 @@ TermId TermTable::mkSRem(TermId X, TermId Y) {
   return intern(T);
 }
 
-TermId TermTable::mkBvAnd(TermId X, TermId Y) {
+TermId TermTable::rwBvAnd(TermId X, TermId Y) {
   uint32_t CX, CY;
   if (isConst(X, CX) && isConst(Y, CY))
     return mkConst(CX & CY);
@@ -442,7 +565,7 @@ TermId TermTable::mkBvAnd(TermId X, TermId Y) {
   return intern(T);
 }
 
-TermId TermTable::mkBvOr(TermId X, TermId Y) {
+TermId TermTable::rwBvOr(TermId X, TermId Y) {
   uint32_t CX, CY;
   if (isConst(X, CX) && isConst(Y, CY))
     return mkConst(CX | CY);
@@ -465,7 +588,7 @@ TermId TermTable::mkBvOr(TermId X, TermId Y) {
   return intern(T);
 }
 
-TermId TermTable::mkBvXor(TermId X, TermId Y) {
+TermId TermTable::rwBvXor(TermId X, TermId Y) {
   uint32_t CX, CY;
   if (isConst(X, CX) && isConst(Y, CY))
     return mkConst(CX ^ CY);
@@ -484,7 +607,7 @@ TermId TermTable::mkBvXor(TermId X, TermId Y) {
   return intern(T);
 }
 
-TermId TermTable::mkBvNot(TermId X) {
+TermId TermTable::rwBvNot(TermId X) {
   uint32_t CX;
   if (isConst(X, CX))
     return mkConst(~CX);
@@ -496,7 +619,7 @@ TermId TermTable::mkBvNot(TermId X) {
   return intern(T);
 }
 
-TermId TermTable::mkShl(TermId X, TermId Y) {
+TermId TermTable::rwShl(TermId X, TermId Y) {
   uint32_t CX, CY;
   if (isConst(Y, CY)) {
     CY &= 31;
@@ -513,7 +636,7 @@ TermId TermTable::mkShl(TermId X, TermId Y) {
   return intern(T);
 }
 
-TermId TermTable::mkLShr(TermId X, TermId Y) {
+TermId TermTable::rwLShr(TermId X, TermId Y) {
   uint32_t CX, CY;
   if (isConst(Y, CY)) {
     CY &= 31;
@@ -530,7 +653,7 @@ TermId TermTable::mkLShr(TermId X, TermId Y) {
   return intern(T);
 }
 
-TermId TermTable::mkAShr(TermId X, TermId Y) {
+TermId TermTable::rwAShr(TermId X, TermId Y) {
   uint32_t CX, CY;
   if (isConst(Y, CY)) {
     CY &= 31;
@@ -547,7 +670,7 @@ TermId TermTable::mkAShr(TermId X, TermId Y) {
   return intern(T);
 }
 
-TermId TermTable::mkIte(TermId C, TermId T0, TermId E) {
+TermId TermTable::rwIte(TermId C, TermId T0, TermId E) {
   if (C == TrueId)
     return T0;
   if (C == FalseId)

@@ -139,6 +139,11 @@ public:
   /// Variable names for model/diagnostic printing.
   const std::string &varName(TermId Id) const;
 
+  /// Rewrite-memo statistics (hits short-circuit the simplification chain
+  /// of a constructor; misses ran it). Exposed for tests and benchmarks.
+  uint64_t rewriteMemoHits() const { return MemoHits; }
+  uint64_t rewriteMemoMisses() const { return MemoMisses; }
+
   /// Pretty-prints (s-expression style, for debugging and tests).
   std::string print(TermId Id) const;
 
@@ -177,6 +182,80 @@ private:
   uint32_t NextVarOrdinal = 0;
 
   TermId intern(Term T);
+
+  // Simplifying constructor bodies; the public mk* wrappers route through
+  // the rewrite memo before running these.
+  TermId rwNot(TermId X);
+  TermId rwAnd(TermId X, TermId Y);
+  TermId rwOr(TermId X, TermId Y);
+  TermId rwBIte(TermId C, TermId T, TermId E);
+  TermId rwEq(TermId X, TermId Y);
+  TermId rwUlt(TermId X, TermId Y);
+  TermId rwSlt(TermId X, TermId Y);
+  TermId rwAddOvf(TermId X, TermId Y);
+  TermId rwSubOvf(TermId X, TermId Y);
+  TermId rwMulOvf(TermId X, TermId Y);
+  TermId rwAdd(TermId X, TermId Y);
+  TermId rwSub(TermId X, TermId Y);
+  TermId rwMul(TermId X, TermId Y);
+  TermId rwSDiv(TermId X, TermId Y);
+  TermId rwSRem(TermId X, TermId Y);
+  TermId rwBvAnd(TermId X, TermId Y);
+  TermId rwBvOr(TermId X, TermId Y);
+  TermId rwBvXor(TermId X, TermId Y);
+  TermId rwBvNot(TermId X);
+  TermId rwShl(TermId X, TermId Y);
+  TermId rwLShr(TermId X, TermId Y);
+  TermId rwAShr(TermId X, TermId Y);
+  TermId rwIte(TermId C, TermId T, TermId E);
+
+  //===--------------------------------------------------------------------===
+  // Rewrite memo
+  //===--------------------------------------------------------------------===
+  //
+  // (kind, operands) -> constructor result. Distinct from hash-consing
+  // (`Unique`), which only dedups the *post-rewrite* term: the memo
+  // short-circuits the simplification chain itself when the same
+  // pre-rewrite application recurs — symbolic execution rebuilds the same
+  // guarded updates and index arithmetic constantly. Sound because every
+  // rewrite is a pure function of operand identities, and the table only
+  // grows. Open-addressing flat table so probes stay one cache line.
+
+  struct MemoEntry {
+    TK K;
+    TermId A = NoTerm, B = NoTerm, C = NoTerm;
+    TermId R = NoTerm; ///< NoTerm marks an empty slot.
+  };
+  std::vector<MemoEntry> Memo;
+  size_t MemoLive = 0;
+  uint64_t MemoHits = 0, MemoMisses = 0;
+
+  static size_t memoIndex(TK K, TermId A, TermId B, TermId C, size_t Mask) {
+    uint64_t H = static_cast<uint64_t>(K) * 0x9e3779b97f4a7c15ULL;
+    H = (H + static_cast<uint32_t>(A)) * 0x9e3779b97f4a7c15ULL;
+    H = (H + static_cast<uint32_t>(B)) * 0x9e3779b97f4a7c15ULL;
+    H = (H + static_cast<uint32_t>(C)) * 0x9e3779b97f4a7c15ULL;
+    return static_cast<size_t>(H ^ (H >> 32)) & Mask;
+  }
+
+  TermId memoGet(TK K, TermId A, TermId B, TermId C) const;
+  void memoPut(TK K, TermId A, TermId B, TermId C, TermId R);
+  void memoGrow(size_t NewCap);
+
+  /// Wraps one simplifying constructor body: replay a memoized result or
+  /// run \p Rewrite and record it.
+  template <class F>
+  TermId memoized(TK K, TermId A, TermId B, TermId C, F Rewrite) {
+    TermId Hit = memoGet(K, A, B, C);
+    if (Hit != NoTerm) {
+      ++MemoHits;
+      return Hit;
+    }
+    ++MemoMisses;
+    TermId R = Rewrite();
+    memoPut(K, A, B, C, R);
+    return R;
+  }
 };
 
 } // namespace smt

@@ -11,6 +11,7 @@
 #define LV_SUPPORT_RNG_H
 
 #include <cstdint>
+#include <cstring>
 
 namespace lv {
 
@@ -69,6 +70,22 @@ inline uint64_t hashString(const char *S) {
 inline uint64_t hashCombine(uint64_t A, uint64_t B) {
   A ^= B + 0x9e3779b97f4a7c15ULL + (A << 6) + (A >> 2);
   return A;
+}
+
+/// Mixes a tagged field into a canonical config hash. The tag encodes the
+/// field's *identity*, so two configs whose values were swapped between
+/// same-typed fields (the classic hand-rolled-hash bug) cannot collide.
+/// Every configHash() in the project goes through this helper.
+inline uint64_t hashField(uint64_t H, uint32_t Tag, uint64_t Value) {
+  return hashCombine(hashCombine(H, 0xF1E1DULL + Tag), Value);
+}
+
+/// Bit pattern of a double for hashing (hashing the value would conflate
+/// -0.0/0.0 and break on NaN; configs are compared representationally).
+inline uint64_t bitsOfDouble(double D) {
+  uint64_t U;
+  std::memcpy(&U, &D, sizeof(U));
+  return U;
 }
 
 } // namespace lv

@@ -1,0 +1,412 @@
+//===- svc/Service.cpp - batched, parallel vectorization service -------------===//
+
+#include "svc/Service.h"
+
+#include "support/Format.h"
+#include "support/Rng.h"
+#include "vir/Compile.h"
+
+#include <chrono>
+#include <stdexcept>
+
+using namespace lv;
+using namespace lv::svc;
+
+const char *lv::svc::runModeName(RunMode M) {
+  switch (M) {
+  case RunMode::Pipeline: return "pipeline";
+  case RunMode::Generate: return "generate";
+  case RunMode::Verify: return "verify";
+  case RunMode::Sample: return "sample";
+  }
+  return "?";
+}
+
+uint64_t lv::svc::taskSeed(uint64_t Seed, const std::string &Name) {
+  return hashCombine(Seed, hashString(Name.c_str()));
+}
+
+//===----------------------------------------------------------------------===//
+// VerdictCache
+//===----------------------------------------------------------------------===//
+
+VerdictCache::Key VerdictCache::makeKey(const std::string &ScalarSrc,
+                                        const std::string &CandidateSrc,
+                                        uint64_t ConfigHash) {
+  Key K;
+  K.Scalar = hashString(ScalarSrc.c_str());
+  K.Candidate = hashString(CandidateSrc.c_str());
+  K.Config = ConfigHash;
+  return K;
+}
+
+size_t VerdictCache::KeyHash::operator()(const Key &K) const {
+  return static_cast<size_t>(
+      hashCombine(hashCombine(K.Scalar, K.Candidate), K.Config));
+}
+
+bool VerdictCache::lookupEquiv(const Key &K, const std::string &ScalarSrc,
+                               const std::string &CandidateSrc,
+                               core::EquivResult &Out) {
+  std::lock_guard<std::mutex> L(M);
+  auto It = Equiv.find(K);
+  if (It == Equiv.end() || It->second.ScalarSrc != ScalarSrc ||
+      It->second.CandidateSrc != CandidateSrc) {
+    ++Misses;
+    return false;
+  }
+  ++Hits;
+  Out = It->second.Value;
+  return true;
+}
+
+void VerdictCache::storeEquiv(const Key &K, const std::string &ScalarSrc,
+                              const std::string &CandidateSrc,
+                              const core::EquivResult &R) {
+  std::lock_guard<std::mutex> L(M);
+  // A concurrent duplicate computed the same value; first insert wins.
+  Equiv.emplace(K, Entry<core::EquivResult>{ScalarSrc, CandidateSrc, R});
+}
+
+bool VerdictCache::lookupChecksum(const Key &K, const std::string &ScalarSrc,
+                                  const std::string &CandidateSrc,
+                                  interp::ChecksumOutcome &Out) {
+  std::lock_guard<std::mutex> L(M);
+  auto It = Checksum.find(K);
+  if (It == Checksum.end() || It->second.ScalarSrc != ScalarSrc ||
+      It->second.CandidateSrc != CandidateSrc) {
+    ++Misses;
+    return false;
+  }
+  ++Hits;
+  Out = It->second.Value;
+  return true;
+}
+
+void VerdictCache::storeChecksum(const Key &K, const std::string &ScalarSrc,
+                                 const std::string &CandidateSrc,
+                                 const interp::ChecksumOutcome &O) {
+  std::lock_guard<std::mutex> L(M);
+  Checksum.emplace(K,
+                   Entry<interp::ChecksumOutcome>{ScalarSrc, CandidateSrc, O});
+}
+
+void VerdictCache::noteBypass() {
+  std::lock_guard<std::mutex> L(M);
+  ++Bypassed;
+}
+
+CacheStats VerdictCache::stats() const {
+  std::lock_guard<std::mutex> L(M);
+  CacheStats S;
+  S.Hits = Hits;
+  S.Misses = Misses;
+  S.Bypassed = Bypassed;
+  S.Entries = Equiv.size() + Checksum.size();
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// VectorizerService
+//===----------------------------------------------------------------------===//
+
+VectorizerService::VectorizerService(ServiceConfig C) : Cfg(std::move(C)) {
+  NumWorkers = Cfg.Workers < 1 ? 1 : Cfg.Workers;
+  Cache = Cfg.SharedCache ? Cfg.SharedCache : &OwnCache;
+  if (!Cfg.MakeClient)
+    Cfg.MakeClient = llm::simulatedClientFactory();
+  Pool.reserve(static_cast<size_t>(NumWorkers));
+  for (int I = 0; I < NumWorkers; ++I)
+    Pool.emplace_back([this] { workerLoop(); });
+}
+
+VectorizerService::~VectorizerService() {
+  {
+    std::lock_guard<std::mutex> L(M);
+    Stopping = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &T : Pool)
+    T.join();
+}
+
+Ticket VectorizerService::submit(Request R) {
+  Ticket T;
+  {
+    std::lock_guard<std::mutex> L(M);
+    T = Tasks.size();
+    Tasks.push_back(std::unique_ptr<Task>(new Task()));
+    Tasks.back()->Req = std::move(R);
+    Pending.push_back(T);
+  }
+  WorkCv.notify_one();
+  return T;
+}
+
+std::vector<Ticket> VectorizerService::submitBatch(std::vector<Request> B) {
+  std::vector<Ticket> Out;
+  Out.reserve(B.size());
+  {
+    std::lock_guard<std::mutex> L(M);
+    for (Request &R : B) {
+      Out.push_back(Tasks.size());
+      Tasks.push_back(std::unique_ptr<Task>(new Task()));
+      Tasks.back()->Req = std::move(R);
+      Pending.push_back(Out.back());
+    }
+  }
+  WorkCv.notify_all();
+  return Out;
+}
+
+const Outcome &VectorizerService::wait(Ticket T) {
+  std::unique_lock<std::mutex> L(M);
+  Task &Tk = *Tasks.at(T);
+  DoneCv.wait(L, [&] { return Tk.Done; });
+  return Tk.Out;
+}
+
+std::vector<Outcome>
+VectorizerService::waitBatch(const std::vector<Ticket> &Tickets) {
+  std::vector<Outcome> Out;
+  Out.reserve(Tickets.size());
+  for (Ticket T : Tickets)
+    Out.push_back(wait(T));
+  return Out;
+}
+
+CacheStats VectorizerService::cacheStats() const { return Cache->stats(); }
+
+void VectorizerService::workerLoop() {
+  for (;;) {
+    Task *T;
+    {
+      std::unique_lock<std::mutex> L(M);
+      WorkCv.wait(L, [&] { return Stopping || !Pending.empty(); });
+      if (Stopping)
+        return; // queued-but-unstarted tasks are abandoned on shutdown
+      T = Tasks[Pending.front()].get(); // stable: deque of owning pointers
+      Pending.pop_front();
+    }
+    try {
+      runTask(*T);
+    } catch (const std::exception &E) {
+      // Keep the failure on the task; a throw escaping a worker thread
+      // would std::terminate the whole service.
+      T->Out.Failed = true;
+      T->Out.Error = E.what();
+    } catch (...) {
+      T->Out.Failed = true;
+      T->Out.Error = "unknown exception";
+    }
+    {
+      std::lock_guard<std::mutex> L(M);
+      T->Done = true;
+    }
+    DoneCv.notify_all();
+  }
+}
+
+core::EquivResult
+VectorizerService::checkCached(const std::string &ScalarSrc,
+                               const std::string &CandidateSrc,
+                               const core::EquivConfig &Cfg2, bool &Hit) {
+  Hit = false;
+  // Callbacks have no content identity: never cache around an override.
+  if (!Cfg.EnableVerdictCache || Cfg2.SplitCellOverride) {
+    if (Cfg2.SplitCellOverride)
+      Cache->noteBypass();
+    return core::checkEquivalence(ScalarSrc, CandidateSrc, Cfg2);
+  }
+  VerdictCache::Key K =
+      VerdictCache::makeKey(ScalarSrc, CandidateSrc, Cfg2.configHash());
+  core::EquivResult R;
+  if (Cache->lookupEquiv(K, ScalarSrc, CandidateSrc, R)) {
+    Hit = true;
+    return R;
+  }
+  R = core::checkEquivalence(ScalarSrc, CandidateSrc, Cfg2);
+  Cache->storeEquiv(K, ScalarSrc, CandidateSrc, R);
+  return R;
+}
+
+interp::ChecksumOutcome VectorizerService::testCached(
+    const std::string &ScalarSrc, const std::string &CandidateSrc,
+    const vir::VFunction &Scalar, const vir::VFunction &Vec,
+    const interp::ChecksumConfig &CCfg) {
+  if (!Cfg.EnableVerdictCache)
+    return interp::runChecksumTest(Scalar, Vec, CCfg);
+  VerdictCache::Key K =
+      VerdictCache::makeKey(ScalarSrc, CandidateSrc, CCfg.configHash());
+  interp::ChecksumOutcome O;
+  if (Cache->lookupChecksum(K, ScalarSrc, CandidateSrc, O))
+    return O;
+  O = interp::runChecksumTest(Scalar, Vec, CCfg);
+  Cache->storeChecksum(K, ScalarSrc, CandidateSrc, O);
+  return O;
+}
+
+void VectorizerService::runTask(Task &T) {
+  auto T0 = std::chrono::steady_clock::now();
+  const Request &R = T.Req;
+  Outcome &O = T.Out;
+  O.Name = R.Name;
+  O.Mode = R.Mode;
+
+  switch (R.Mode) {
+  case RunMode::Generate:
+  case RunMode::Pipeline: {
+    std::unique_ptr<llm::LLMClient> Client = Cfg.MakeClient(
+        Cfg.PerTaskSeedDerivation ? taskSeed(R.Seed, R.Name) : R.Seed);
+    agents::FsmConfig FC = R.Fsm;
+    if (!FC.Tester) {
+      // Route the tester agent's checksum runs through the outcome cache:
+      // the FSM's repair loop re-tests recurring candidates, and sampled
+      // corpora re-generate the same completion text constantly.
+      const std::string &ScalarSrc = R.ScalarSource;
+      FC.Tester = [this, &ScalarSrc](const std::string &CandidateSrc,
+                                     const vir::VFunction &Scalar,
+                                     const vir::VFunction &Vec,
+                                     const interp::ChecksumConfig &CCfg) {
+        return testCached(ScalarSrc, CandidateSrc, Scalar, Vec, CCfg);
+      };
+    }
+    agents::MultiAgentFsm Fsm(*Client, FC);
+    O.Fsm = Fsm.run(R.ScalarSource);
+    O.GenerateRan = true;
+    if (R.Mode == RunMode::Pipeline && O.Fsm.Plausible) {
+      O.Equiv = checkCached(R.ScalarSource, O.Fsm.FinalCandidate, R.Equiv,
+                            O.VerdictCacheHit);
+      O.VerifyRan = true;
+    }
+    break;
+  }
+
+  case RunMode::Verify:
+    O.Equiv = checkCached(R.ScalarSource, R.CandidateSource, R.Equiv,
+                          O.VerdictCacheHit);
+    O.VerifyRan = true;
+    break;
+
+  case RunMode::Sample: {
+    // The §4.1.1 "code completions" setting: K independent samples, no
+    // feedback, each classified by checksum testing.
+    std::unique_ptr<llm::LLMClient> Client = Cfg.MakeClient(
+        Cfg.PerTaskSeedDerivation ? taskSeed(R.Seed, R.Name) : R.Seed);
+    vir::CompileResult SC = vir::compileFunction(R.ScalarSource);
+    llm::Prompt P;
+    P.ScalarSource = R.ScalarSource;
+    O.Samples.reserve(static_cast<size_t>(R.SampleCount));
+    for (int I = 0; I < R.SampleCount; ++I) {
+      llm::Completion C = Client->complete(P, static_cast<uint64_t>(I));
+      SampleVerdict V;
+      V.Source = C.Source;
+      vir::CompileResult VC = vir::compileFunction(C.Source);
+      V.Compiles = VC.ok();
+      if (V.Compiles && SC.ok() &&
+          C.Source.find("_mm256_") != std::string::npos) {
+        interp::ChecksumOutcome CO = testCached(
+            R.ScalarSource, C.Source, *SC.Fn, *VC.Fn, R.Fsm.Checksum);
+        V.Plausible = CO.Verdict == interp::TestVerdict::Plausible;
+      }
+      O.Samples.push_back(std::move(V));
+    }
+    break;
+  }
+  }
+
+  O.WallNanos = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - T0)
+          .count());
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization (determinism-parity comparisons)
+//===----------------------------------------------------------------------===//
+
+static void appendTV(std::string &S, const char *Label,
+                     const tv::TVResult &R) {
+  appendf(S, "  %s: verdict=%d conflicts=%llu clauses=%llu detail=%s\n",
+          Label, static_cast<int>(R.V),
+          static_cast<unsigned long long>(R.Conflicts),
+          static_cast<unsigned long long>(R.Clauses), R.Detail.c_str());
+}
+
+std::string lv::svc::debugString(const Outcome &O) {
+  std::string S;
+  appendf(S, "outcome %s mode=%s\n", O.Name.c_str(), runModeName(O.Mode));
+  if (O.Failed)
+    appendf(S, " failed: %s\n", O.Error.c_str());
+  if (O.GenerateRan) {
+    appendf(S, " fsm: plausible=%d attempts=%d\n", O.Fsm.Plausible ? 1 : 0,
+            O.Fsm.Attempts);
+    S += " transitions:";
+    for (agents::State St : O.Fsm.Transitions)
+      S += std::string(" ") + agents::stateName(St);
+    S += "\n";
+    for (const agents::Message &Msg : O.Fsm.Transcript)
+      appendf(S, " msg %s->%s: %s\n", Msg.From.c_str(), Msg.To.c_str(),
+              Msg.Content.c_str());
+    appendf(S, " final-candidate:\n%s\n", O.Fsm.FinalCandidate.c_str());
+  }
+  if (O.VerifyRan) {
+    appendf(S, " equiv: %s decided-by=%s detail=%s\n",
+            core::outcomeName(O.Equiv.Final),
+            core::stageName(O.Equiv.DecidedBy), O.Equiv.Detail.c_str());
+    if (!O.Equiv.Counterexample.empty())
+      appendf(S, " cex: %s\n", O.Equiv.Counterexample.c_str());
+    appendTV(S, "alive2", O.Equiv.Alive2Res);
+    appendTV(S, "c-unroll", O.Equiv.CUnrollRes);
+    appendf(S, "  splitting-eligible=%d cells=%zu\n",
+            O.Equiv.SplittingEligible ? 1 : 0, O.Equiv.SplitRes.size());
+    for (size_t I = 0; I < O.Equiv.SplitRes.size(); ++I)
+      appendTV(S, format("cell%zu", I).c_str(), O.Equiv.SplitRes[I]);
+  }
+  for (const SampleVerdict &V : O.Samples) {
+    appendf(S, " sample compiles=%d plausible=%d:\n%s\n", V.Compiles ? 1 : 0,
+            V.Plausible ? 1 : 0, V.Source.c_str());
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Single-task wrappers
+//===----------------------------------------------------------------------===//
+
+Outcome lv::svc::runOne(Request R) {
+  VectorizerService S;
+  Ticket T = S.submit(std::move(R));
+  Outcome O = S.wait(T);
+  // The wrappers replace direct calls that let exceptions propagate;
+  // restore that contract instead of returning a default-looking Outcome.
+  if (O.Failed)
+    throw std::runtime_error("svc task '" + O.Name + "' failed: " + O.Error);
+  return O;
+}
+
+core::EquivResult lv::svc::verifyPair(const std::string &ScalarSrc,
+                                      const std::string &CandidateSrc,
+                                      const core::EquivConfig &Cfg) {
+  Request R;
+  R.Mode = RunMode::Verify;
+  R.ScalarSource = ScalarSrc;
+  R.CandidateSource = CandidateSrc;
+  R.Equiv = Cfg;
+  return runOne(std::move(R)).Equiv;
+}
+
+Outcome lv::svc::vectorizeAndVerify(const std::string &Name,
+                                    const std::string &ScalarSrc,
+                                    uint64_t Seed,
+                                    const agents::FsmConfig &Fsm,
+                                    const core::EquivConfig &Equiv) {
+  Request R;
+  R.Mode = RunMode::Pipeline;
+  R.Name = Name;
+  R.ScalarSource = ScalarSrc;
+  R.Seed = Seed;
+  R.Fsm = Fsm;
+  R.Equiv = Equiv;
+  return runOne(std::move(R));
+}

@@ -1,0 +1,296 @@
+//===- svc/Service.h - batched, parallel vectorization service -*- C++ -*-===//
+///
+/// \file
+/// `VectorizerService` — the canonical API for running the paper's funnel
+/// (generate via the multi-agent FSM, checksum-test, formally verify) over
+/// many functions. It replaces the hand-wired per-function call chain
+/// (`agents::MultiAgentFsm::run` + `core::checkEquivalence`) every driver
+/// used to repeat:
+///
+///   * **Batching.** submit()/submitBatch() enqueue work; wait() collects
+///     an Outcome per ticket, in any order.
+///   * **Parallelism.** A fixed-size worker pool runs independent
+///     functions concurrently. Each task owns its entire state — LLM
+///     client, interpreter images, TermTable, solvers — so nothing below
+///     the service needs to be thread-safe.
+///   * **Determinism.** A task's result is a pure function of its Request:
+///     the default client derives per-task RNG streams from (seed,
+///     function source, sample index) internally (see llm/Client.h), and
+///     checksum inputs come from the config seed. For client factories
+///     without internal prompt namespacing, ServiceConfig::
+///     PerTaskSeedDerivation seeds each task with taskSeed(seed, name)
+///     instead. Either way no task reads another task's state, so
+///     verdicts, stage attribution, and FSM transcripts are bit-identical
+///     at any worker count (tests/test_svc.cpp pins 1/2/8 workers).
+///   * **Caching.** A content-addressed verdict cache keyed by
+///     (scalar hash, candidate hash, configHash) lets repeated candidates
+///     — across FSM repair attempts, across tests, across bench arms
+///     sharing a service — skip re-execution of checksum testing and
+///     Algorithm 1. Hits replay the identical stored result, so caching
+///     never perturbs verdicts.
+///
+/// See src/svc/README.md for the threading/ownership model and the
+/// cache-key scheme.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_SVC_SERVICE_H
+#define LV_SVC_SERVICE_H
+
+#include "agents/Fsm.h"
+#include "core/Equivalence.h"
+#include "llm/Client.h"
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace lv {
+namespace svc {
+
+/// What the service runs for one request.
+enum class RunMode : uint8_t {
+  Pipeline, ///< FSM generation, then Algorithm-1 verification (Fig. 2).
+  Generate, ///< FSM generation only.
+  Verify,   ///< Algorithm 1 on a supplied candidate.
+  Sample,   ///< K feedback-free completions, checksum-classified (§4.1.1).
+};
+
+const char *runModeName(RunMode M);
+
+/// Derives a per-task RNG stream from the experiment seed and the task's
+/// stable name. Order- and thread-count-independent by construction.
+uint64_t taskSeed(uint64_t Seed, const std::string &Name);
+
+/// One unit of work: a scalar function plus everything needed to run the
+/// funnel on it. Subsumes the (source, FsmConfig, EquivConfig, seed)
+/// tuples the drivers used to thread by hand.
+struct Request {
+  std::string Name;         ///< Stable identity (test name); metadata + RNG.
+  std::string ScalarSource; ///< The C function to vectorize.
+  std::string CandidateSource; ///< Verify mode: the candidate to check.
+  RunMode Mode = RunMode::Pipeline;
+  agents::FsmConfig Fsm;    ///< FSM knobs; Fsm.Checksum also classifies
+                            ///< Sample-mode completions.
+  core::EquivConfig Equiv;
+  uint64_t Seed = 0xC60;    ///< LLM stream seed (Generate/Pipeline/Sample).
+  int SampleCount = 1;      ///< Sample mode: completions to draw.
+};
+
+/// One classified completion (Sample mode).
+struct SampleVerdict {
+  std::string Source;
+  bool Compiles = false;
+  bool Plausible = false;
+};
+
+/// Everything one request produced: the FSM transcript, the per-stage
+/// equivalence verdicts, and wall time. Subsumes the ad-hoc
+/// FsmResult/EquivResult pairs of the per-function call chain.
+struct Outcome {
+  std::string Name;
+  RunMode Mode = RunMode::Pipeline;
+
+  bool GenerateRan = false;
+  agents::FsmResult Fsm; ///< Transcript + transitions (Generate/Pipeline).
+
+  bool VerifyRan = false;
+  core::EquivResult Equiv; ///< Per-stage verdicts (Verify/Pipeline).
+
+  std::vector<SampleVerdict> Samples; ///< Sample mode.
+
+  uint64_t WallNanos = 0;      ///< Task wall time on its worker.
+  bool VerdictCacheHit = false; ///< Equivalence verdict served from cache.
+
+  /// Set when the task threw instead of completing (e.g. encoding memout
+  /// escalated to bad_alloc); the failure stays on this task instead of
+  /// tearing down the worker. Other fields reflect progress made before
+  /// the throw.
+  bool Failed = false;
+  std::string Error;
+
+  /// Convenience: the funnel's final word on this function.
+  bool verified() const {
+    return VerifyRan && Equiv.Final == core::EquivResult::Equivalent;
+  }
+};
+
+/// Deterministic serialization of everything semantically meaningful in an
+/// Outcome — verdicts, stage attribution, transcripts, sample
+/// classifications — excluding wall times and cache metadata (the only
+/// fields that may legitimately vary run to run). The determinism-parity
+/// tests compare these byte-for-byte across worker counts.
+std::string debugString(const Outcome &O);
+
+/// Cache counters. Hits/Misses cover both cached artifact kinds
+/// (equivalence verdicts and checksum outcomes); Bypassed counts lookups
+/// skipped because the config carried an unhashable callback.
+struct CacheStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Bypassed = 0;
+  size_t Entries = 0;
+};
+
+/// Content-addressed verdict cache. Keys are (scalar source hash,
+/// candidate source hash, configHash) triples; values are the full result
+/// objects, replayed verbatim on a hit. Thread-safe; shareable between
+/// service instances via ServiceConfig::SharedCache.
+class VerdictCache {
+public:
+  struct Key {
+    uint64_t Scalar = 0, Candidate = 0, Config = 0;
+    bool operator==(const Key &O) const {
+      return Scalar == O.Scalar && Candidate == O.Candidate &&
+             Config == O.Config;
+    }
+  };
+
+  static Key makeKey(const std::string &ScalarSrc,
+                     const std::string &CandidateSrc, uint64_t ConfigHash);
+
+  /// Lookups verify the stored sources against the probe (a 64-bit hash
+  /// collision must degrade to a miss, never replay a wrong verdict —
+  /// this is a verification tool).
+  bool lookupEquiv(const Key &K, const std::string &ScalarSrc,
+                   const std::string &CandidateSrc, core::EquivResult &Out);
+  void storeEquiv(const Key &K, const std::string &ScalarSrc,
+                  const std::string &CandidateSrc,
+                  const core::EquivResult &R);
+  bool lookupChecksum(const Key &K, const std::string &ScalarSrc,
+                      const std::string &CandidateSrc,
+                      interp::ChecksumOutcome &Out);
+  void storeChecksum(const Key &K, const std::string &ScalarSrc,
+                     const std::string &CandidateSrc,
+                     const interp::ChecksumOutcome &O);
+  void noteBypass();
+  CacheStats stats() const;
+
+private:
+  struct KeyHash {
+    size_t operator()(const Key &K) const;
+  };
+  template <class V> struct Entry {
+    std::string ScalarSrc, CandidateSrc; ///< Exactness check on hit.
+    V Value;
+  };
+
+  mutable std::mutex M;
+  std::unordered_map<Key, Entry<core::EquivResult>, KeyHash> Equiv;
+  std::unordered_map<Key, Entry<interp::ChecksumOutcome>, KeyHash> Checksum;
+  uint64_t Hits = 0, Misses = 0, Bypassed = 0;
+};
+
+/// Service configuration.
+struct ServiceConfig {
+  int Workers = 1;                ///< Worker threads (clamped to >= 1).
+  bool EnableVerdictCache = true; ///< Content-addressed result reuse.
+  llm::ClientFactory MakeClient;  ///< Null: SimulatedLLM(seed below).
+  VerdictCache *SharedCache = nullptr; ///< Null: service-owned cache.
+  /// Seed each task's client with taskSeed(Request.Seed, Request.Name)
+  /// instead of Request.Seed verbatim. Decorrelates streams between
+  /// same-seed requests whose prompts coincide — needed for client
+  /// factories that do not namespace by prompt internally. Off by
+  /// default: the simulated client derives its stream from
+  /// (seed, prompt, sample index) itself, and the paper-reproduction
+  /// benches pin their expected streams to the verbatim layout.
+  bool PerTaskSeedDerivation = false;
+};
+
+/// Handle for one submitted request.
+using Ticket = size_t;
+
+/// The batched, parallel, cache-aware funnel runner.
+class VectorizerService {
+public:
+  explicit VectorizerService(ServiceConfig Cfg = ServiceConfig());
+
+  /// Joins the pool. Tasks already running finish; tasks still queued are
+  /// abandoned unrun (their tickets must not be waited on afterwards —
+  /// destruction is the caller declaring it no longer wants the results).
+  ~VectorizerService();
+
+  VectorizerService(const VectorizerService &) = delete;
+  VectorizerService &operator=(const VectorizerService &) = delete;
+
+  /// Enqueues one request; workers pick it up immediately.
+  Ticket submit(Request R);
+
+  /// Enqueues a batch; tickets are in input order.
+  std::vector<Ticket> submitBatch(std::vector<Request> Batch);
+
+  /// Blocks until the ticket's task finished. The reference stays valid
+  /// for the service's lifetime.
+  const Outcome &wait(Ticket T);
+
+  /// Blocks until every listed task finished; outcomes in ticket order.
+  std::vector<Outcome> waitBatch(const std::vector<Ticket> &Tickets);
+
+  CacheStats cacheStats() const;
+  int workers() const { return NumWorkers; }
+
+private:
+  struct Task {
+    Request Req;
+    Outcome Out;
+    bool Done = false;
+  };
+
+  void workerLoop();
+  void runTask(Task &T);
+  core::EquivResult checkCached(const std::string &ScalarSrc,
+                                const std::string &CandidateSrc,
+                                const core::EquivConfig &Cfg, bool &Hit);
+  interp::ChecksumOutcome testCached(const std::string &ScalarSrc,
+                                     const std::string &CandidateSrc,
+                                     const vir::VFunction &Scalar,
+                                     const vir::VFunction &Vec,
+                                     const interp::ChecksumConfig &Cfg);
+
+  ServiceConfig Cfg;
+  int NumWorkers = 1;
+  VerdictCache OwnCache;
+  VerdictCache *Cache = nullptr;
+
+  std::mutex M;
+  std::condition_variable WorkCv; ///< Signals workers: queue or shutdown.
+  std::condition_variable DoneCv; ///< Signals waiters: a task finished.
+  std::deque<std::unique_ptr<Task>> Tasks; ///< Stable storage per ticket.
+  std::deque<size_t> Pending;
+  bool Stopping = false;
+  std::vector<std::thread> Pool;
+};
+
+//===----------------------------------------------------------------------===//
+// Thin single-task wrappers (the old per-function call chain, routed
+// through a one-worker service so every entry point shares one code path).
+//===----------------------------------------------------------------------===//
+
+/// Runs one request to completion on a throwaway single-worker service.
+Outcome runOne(Request R);
+
+/// Algorithm 1 on one (scalar, candidate) pair — drop-in for direct
+/// core::checkEquivalence call sites.
+core::EquivResult verifyPair(const std::string &ScalarSrc,
+                             const std::string &CandidateSrc,
+                             const core::EquivConfig &Cfg =
+                                 core::EquivConfig());
+
+/// FSM generation + verification for one function — the quickstart chain.
+Outcome vectorizeAndVerify(const std::string &Name,
+                           const std::string &ScalarSrc,
+                           uint64_t Seed,
+                           const agents::FsmConfig &Fsm = agents::FsmConfig(),
+                           const core::EquivConfig &Equiv =
+                               core::EquivConfig());
+
+} // namespace svc
+} // namespace lv
+
+#endif // LV_SVC_SERVICE_H

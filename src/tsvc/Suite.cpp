@@ -1369,3 +1369,14 @@ const TsvcTest *lv::tsvc::findTest(const std::string &Name) {
       return &T;
   return nullptr;
 }
+
+std::vector<const TsvcTest *> lv::tsvc::suiteSample(size_t Stride,
+                                                    size_t Max) {
+  std::vector<const TsvcTest *> Out;
+  if (Stride == 0)
+    Stride = 1;
+  const std::vector<TsvcTest> &All = suite();
+  for (size_t I = 0; I < All.size() && Out.size() < Max; I += Stride)
+    Out.push_back(&All[I]);
+  return Out;
+}

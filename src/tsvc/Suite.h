@@ -44,6 +44,10 @@ const std::vector<TsvcTest> &suite();
 /// Lookup by name; null when absent.
 const TsvcTest *findTest(const std::string &Name);
 
+/// Deterministic subsample: every \p Stride-th test in suite order, at
+/// most \p Max entries. The fast slices the ablation benchmarks run on.
+std::vector<const TsvcTest *> suiteSample(size_t Stride, size_t Max);
+
 } // namespace tsvc
 } // namespace lv
 

@@ -1,13 +1,17 @@
 //===- tests/test_pipeline.cpp - Algorithm 1 pipeline tests -------------------===//
 //
-// End-to-end tests of core::checkEquivalence: the staged funnel must decide
-// the paper's examples at the stages the paper attributes them to, and the
-// C-unroll transform must behave as §3.2 describes.
+// End-to-end tests of the Algorithm-1 funnel, driven through the
+// vectorization service's verifyPair wrapper (the canonical entry point):
+// the staged funnel must decide the paper's examples at the stages the
+// paper attributes them to, the wrapper must agree with the
+// core::checkEquivalence kernel it routes to, and the C-unroll transform
+// must behave as §3.2 describes.
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/CUnroll.h"
 #include "core/Equivalence.h"
+#include "svc/Service.h"
 #include "minic/Parser.h"
 #include "minic/Printer.h"
 
@@ -119,8 +123,33 @@ TEST(CUnrollTransform, ElevatesOuterLoop) {
   EXPECT_NE(Text.find("for (int i = 0"), std::string::npos) << Text;
 }
 
+TEST(Pipeline, WrapperAgreesWithKernel) {
+  // svc::verifyPair must be a pure routing layer over the
+  // core::checkEquivalence kernel: identical verdict, stage attribution,
+  // and diagnostics on the same pair.
+  const char *Scalar =
+      "void f(int n, int *a, int *b) { for (int i = 0; i < n; i++) "
+      "a[i] = b[i] + 1; }";
+  const char *Vec = R"(
+      void f(int n, int *a, int *b) {
+        __m256i one = _mm256_set1_epi32(1);
+        for (int i = 0; i < n; i += 8) {
+          __m256i v = _mm256_loadu_si256((__m256i *)&b[i]);
+          _mm256_storeu_si256((__m256i *)&a[i], _mm256_add_epi32(v, one));
+        }
+      })";
+  EquivResult Kernel = checkEquivalence(Scalar, Vec);
+  EquivResult Wrapped = svc::verifyPair(Scalar, Vec);
+  EXPECT_EQ(Kernel.Final, Wrapped.Final);
+  EXPECT_EQ(Kernel.DecidedBy, Wrapped.DecidedBy);
+  EXPECT_EQ(Kernel.Detail, Wrapped.Detail);
+  EXPECT_EQ(Kernel.Counterexample, Wrapped.Counterexample);
+  EXPECT_EQ(Kernel.Alive2Res.V, Wrapped.Alive2Res.V);
+  EXPECT_EQ(Kernel.Alive2Res.Conflicts, Wrapped.Alive2Res.Conflicts);
+}
+
 TEST(Pipeline, SimpleWidenDecidedAtAlive2Stage) {
-  EquivResult R = checkEquivalence(
+  EquivResult R = svc::verifyPair(
       "void f(int n, int *a, int *b) { for (int i = 0; i < n; i++) "
       "a[i] = b[i] + 1; }",
       R"(
@@ -140,7 +169,7 @@ TEST(Pipeline, S212DecidedAtCUnrollStage) {
   // s212-class queries; C-level unrolling of one aligned block closes it.
   EquivConfig Cfg;
   Cfg.Alive2Budget = 4'000; // keep the demonstration fast
-  EquivResult R = checkEquivalence(S212Scalar, S212Vector, Cfg);
+  EquivResult R = svc::verifyPair(S212Scalar, S212Vector, Cfg);
   EXPECT_EQ(R.Final, EquivResult::Equivalent)
       << R.Detail << "\n" << R.Counterexample;
   EXPECT_EQ(R.DecidedBy, Stage::CUnroll) << stageName(R.DecidedBy);
@@ -148,7 +177,7 @@ TEST(Pipeline, S212DecidedAtCUnrollStage) {
 }
 
 TEST(Pipeline, ChecksumRejectsObviouslyWrongCandidate) {
-  EquivResult R = checkEquivalence(
+  EquivResult R = svc::verifyPair(
       "void f(int n, int *a, int *b) { for (int i = 0; i < n; i++) "
       "a[i] = b[i] + 1; }",
       R"(
@@ -164,7 +193,7 @@ TEST(Pipeline, ChecksumRejectsObviouslyWrongCandidate) {
 }
 
 TEST(Pipeline, CannotCompileDetected) {
-  EquivResult R = checkEquivalence(
+  EquivResult R = svc::verifyPair(
       "void f(int n, int *a) { for (int i = 0; i < n; i++) a[i] = 1; }",
       "void f(int n, int *a) { _mm256x_bogus(a); }");
   EXPECT_EQ(R.Final, EquivResult::CannotCompile);
@@ -176,7 +205,7 @@ TEST(Pipeline, SplittingDecidesWhenEarlierStagesAreStarved) {
   EquivConfig Cfg;
   Cfg.EnableAlive2 = false;
   Cfg.EnableCUnroll = false;
-  EquivResult R = checkEquivalence(
+  EquivResult R = svc::verifyPair(
       "void f(int n, int *a, int *b, int *c) { for (int i = 0; i < n; i++) "
       "a[i] = b[i] * c[i]; }",
       R"(
@@ -199,7 +228,7 @@ TEST(Pipeline, SplittingIneligibleForOffsetReads) {
   EquivConfig Cfg;
   Cfg.EnableAlive2 = false;
   Cfg.EnableCUnroll = false;
-  EquivResult R = checkEquivalence(S212Scalar, S212Vector, Cfg);
+  EquivResult R = svc::verifyPair(S212Scalar, S212Vector, Cfg);
   EXPECT_EQ(R.Final, EquivResult::Inconclusive);
   EXPECT_FALSE(R.SplittingEligible);
 }
@@ -223,7 +252,7 @@ TEST(Pipeline, NestedLoopsViaOuterElevation) {
         }
       }
     })";
-  EquivResult R = checkEquivalence(Scalar, Vec);
+  EquivResult R = svc::verifyPair(Scalar, Vec);
   EXPECT_EQ(R.Final, EquivResult::Equivalent)
       << R.Detail << "\n" << R.Counterexample;
 }
@@ -247,7 +276,7 @@ TEST(Pipeline, NestedLoopsWithDifferentOuterHeadersInconclusive) {
         }
       }
     })";
-  EquivResult R = checkEquivalence(Scalar, Vec);
+  EquivResult R = svc::verifyPair(Scalar, Vec);
   EXPECT_EQ(R.Final, EquivResult::Inconclusive);
   EXPECT_NE(R.Detail.find("not syntactically identical"), std::string::npos)
       << R.Detail;

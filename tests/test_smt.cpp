@@ -45,6 +45,41 @@ TEST(Term, IdentityRules) {
   EXPECT_TRUE(T.isTrue(T.mkEq(X, X)));
 }
 
+TEST(Term, RewriteMemoReplaysIdenticalIds) {
+  // The rewrite memo ((kind, operands) -> constructor result) must replay
+  // without re-running the simplification chain or interning anything new.
+  TermTable T;
+  TermId X = T.mkVar("x"), Y = T.mkVar("y");
+  auto build = [&] {
+    TermId A = T.mkAdd(T.mkMul(X, Y), T.mkConst(4));
+    TermId B = T.mkIte(T.mkSlt(X, Y), A, T.mkSub(A, X));
+    return T.mkEq(B, T.mkAdd(X, T.mkConst(1)));
+  };
+  TermId First = build();
+  uint64_t MissesAfterFirst = T.rewriteMemoMisses();
+  size_t TermsAfterFirst = T.size();
+  TermId Second = build();
+  EXPECT_EQ(First, Second);
+  EXPECT_EQ(T.size(), TermsAfterFirst);
+  EXPECT_EQ(T.rewriteMemoMisses(), MissesAfterFirst); // pure replay
+  EXPECT_GT(T.rewriteMemoHits(), 0u);
+}
+
+TEST(Term, RewriteMemoSurvivesGrowth) {
+  // Push well past the initial memo capacity (4096) so the open-addressing
+  // table rehashes, then verify every application still replays.
+  TermTable T;
+  TermId X = T.mkVar("x");
+  std::vector<TermId> Sums;
+  for (int I = 0; I < 10000; ++I)
+    Sums.push_back(T.mkAdd(X, T.mkConst(static_cast<uint32_t>(I))));
+  uint64_t Hits = T.rewriteMemoHits();
+  for (int I = 0; I < 10000; ++I)
+    ASSERT_EQ(T.mkAdd(X, T.mkConst(static_cast<uint32_t>(I))),
+              Sums[static_cast<size_t>(I)]);
+  EXPECT_GE(T.rewriteMemoHits(), Hits + 10000);
+}
+
 TEST(Term, HashConsing) {
   TermTable T;
   TermId X = T.mkVar("x");

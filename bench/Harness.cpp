@@ -155,6 +155,9 @@ lv::bench::runFunnel(const std::vector<TestCorpus> &Corpus,
       std::exit(1);
     }
     Out[TicketSlot[I]].Result = O.Equiv;
+    Out[TicketSlot[I]].Alive2Work = O.Alive2Work;
+    Out[TicketSlot[I]].CUnrollWork = O.CUnrollWork;
+    Out[TicketSlot[I]].SplitWork = O.SplitWork;
   }
   return Out;
 }

@@ -83,6 +83,8 @@ struct FunnelRecord {
   std::string Name;
   bool HadPlausible = false;
   core::EquivResult Result;
+  /// Per-stage SAT-work aggregates from the service Outcome.
+  svc::StageSatWork Alive2Work, CUnrollWork, SplitWork;
 };
 
 /// Runs Algorithm 1 on the first plausible candidate of each test, one

@@ -15,16 +15,29 @@
 // statistics showing *why* the domain-specific techniques scale better
 // (the paper's §3 argument).
 //
-// The funnel runs twice: once with the seed implementation of the
-// spatial-splitting stage (a frozen copy of the seed smt stack in
-// bench/seedref/ — per-Clause vector solver, by-value blaster — driven
-// scratch per cell exactly as the seed did) and once with the incremental
-// backend (one RefinementSession per test: symbolic execution and the
-// common encoding blast once, per-cell queries run in cheap forks of the
-// pristine base). The run verifies that every test reaches an identical
-// verdict and measures the SAT-work / wall-time reduction on the
-// spatial-splitting stage; everything is mirrored to BENCH_table3.json
-// for CI tracking.
+// The funnel then runs as a *mode matrix* over the query-scoped-solving
+// configurations of the SAT backend:
+//
+//   seed              frozen copy of the seed smt stack (bench/seedref/),
+//                     scratch solver + full re-blast per cell — the fixed
+//                     "before" baseline
+//   fork              PR-3 behaviour: per-query forks of a pristine base
+//   fork_cone / _reuse / _cone_reuse
+//   shared            shared-learnt: queries solve directly on the base
+//                     (learnt clauses persist; heuristics rewound per
+//                     query), no per-query fork
+//   shared_cone / _reuse / _cone_reuse
+//
+// Because cone projection and trail reuse perturb search order — and
+// budget-bound verdicts are sensitive to search order — the matrix is a
+// verdict-parity harness first and a speedup report second: it counts,
+// for every arm, tests whose (Final, DecidedBy) differ from the fork
+// reference, and the exit gates require (a) seed/fork parity (the PR-2
+// invariant), (b) parity for the arm matching the EquivConfig defaults
+// (the configuration the svc funnel actually ships), and (c) the
+// shared-learnt propagation overhead — measured 2-4x at PR 3 — actually
+// removed: shared >= 1.5x the propagations of shared+cone. Everything is
+// mirrored to BENCH_table3.json for CI tracking.
 //
 //===----------------------------------------------------------------------===//
 
@@ -33,6 +46,7 @@
 #include "support/Format.h"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 
 using namespace lv;
@@ -50,15 +64,16 @@ struct FunnelTally {
   int SpEq = 0, SpNeq = 0, SpIn = 0;
   uint64_t A2Clauses = 0, CUClauses = 0, SpClauses = 0;
   int A2N = 0, CUN = 0, SpN = 0;
-  // Spatial-splitting stage cost.
-  uint64_t SplitConflicts = 0;
-  uint64_t SplitPropagations = 0;
+  // Spatial-splitting stage cost (per-stage SatWork aggregated by svc).
+  svc::StageSatWork SplitWork;
   uint64_t SplitWallNanos = 0;
   int SplitQueries = 0;
 
   int allEq() const { return A2Eq + CUEq + SpEq; }
   int allNeq() const { return ChecksumNotEq + A2Neq + CUNeq + SpNeq; }
-  uint64_t splitSatWork() const { return SplitConflicts + SplitPropagations; }
+  uint64_t splitSatWork() const {
+    return SplitWork.Conflicts + SplitWork.Propagations;
+  }
 };
 
 FunnelTally tally(const std::vector<FunnelRecord> &Funnel) {
@@ -66,11 +81,8 @@ FunnelTally tally(const std::vector<FunnelRecord> &Funnel) {
   for (const FunnelRecord &R : Funnel) {
     // Splitting-stage cost is charged whenever the stage ran, regardless
     // of which stage decided.
-    for (const tv::TVResult &S : R.Result.SplitRes) {
-      T.SplitConflicts += S.Conflicts;
-      T.SplitPropagations += S.Propagations;
-      ++T.SplitQueries;
-    }
+    T.SplitWork.add(R.SplitWork);
+    T.SplitQueries += static_cast<int>(R.Result.SplitRes.size());
     T.SplitWallNanos += R.Result.SplitNanos;
 
     if (!R.HadPlausible) {
@@ -141,10 +153,28 @@ double ratio(uint64_t Before, uint64_t After) {
   return static_cast<double>(Before) / static_cast<double>(After);
 }
 
+/// One matrix arm: a query-scoped-solving configuration of the funnel.
+struct Arm {
+  const char *Name;
+  bool Seed = false;   ///< Frozen seedref backend (fixed baseline).
+  bool Shared = false; ///< SharedLearntSolving.
+  bool Cone = false;   ///< ConeProjection.
+  bool Reuse = false;  ///< TrailReuse.
+
+  std::vector<FunnelRecord> Records;
+  FunnelTally T;
+  int Mismatches = 0; ///< Tests whose (Final, DecidedBy) differ from fork.
+};
+
 } // namespace
 
 int main(int argc, char **argv) {
   BenchOptions Opt = parseBenchArgs(argc, argv);
+  bool Quick = false; // --quick: seed/fork/shared/shared_cone arms only
+  for (int I = 1; I < argc; ++I)
+    if (std::strcmp(argv[I], "--quick") == 0)
+      Quick = true;
+
   printHeader("Table 3: equivalence-checking funnel");
   std::printf("  sampling candidates and running Algorithm 1 over %zu "
               "tests (--jobs %d)...\n",
@@ -152,46 +182,90 @@ int main(int argc, char **argv) {
   std::vector<TestCorpus> Corpus = buildCorpus(100, ExperimentSeed,
                                                Opt.Jobs);
 
-  core::EquivConfig Cfg;
-  Cfg.ScalarMax = 8;
-  Cfg.MaxTerms = 120'000;
-  Cfg.Alive2Budget = 500;
-  Cfg.CUnrollBudget = 2'000;
-  Cfg.SplitBudget = 300;
+  core::EquivConfig Base;
+  Base.ScalarMax = 8;
+  Base.MaxTerms = 120'000;
+  Base.Alive2Budget = 500;
+  Base.CUnrollBudget = 2'000;
+  Base.SplitBudget = 300;
 
-  // Before: the seed implementation (frozen seed smt stack, scratch
-  // solver + full re-blast per cell).
-  Cfg.IncrementalSolving = false;
-  Cfg.SplitCellOverride = [](const vir::VFunction &S, const vir::VFunction &T,
-                             const tv::RefineOptions &RO) {
-    return seedref::checkRefinementSeed(S, T, RO);
+  std::vector<Arm> Arms = {
+      {"seed", /*Seed=*/true},
+      {"fork"},
+      {"fork_cone", false, false, true, false},
+      {"fork_reuse", false, false, false, true},
+      {"fork_cone_reuse", false, false, true, true},
+      {"shared", false, true, false, false},
+      {"shared_cone", false, true, true, false},
+      {"shared_reuse", false, true, false, true},
+      {"shared_cone_reuse", false, true, true, true},
   };
-  std::printf("  [1/2] seed backend (frozen reference)...\n");
-  std::vector<FunnelRecord> Before = runFunnel(Corpus, Cfg, Opt.Jobs);
-  // After: shared incremental sessions.
-  Cfg.IncrementalSolving = true;
-  Cfg.SplitCellOverride = nullptr;
-  std::printf("  [2/2] incremental backend...\n");
-  std::vector<FunnelRecord> After = runFunnel(Corpus, Cfg, Opt.Jobs);
+  if (Quick)
+    Arms = {{"seed", true},
+            {"fork"},
+            {"shared", false, true, false, false},
+            {"shared_cone", false, true, true, false}};
 
-  FunnelTally TB = tally(Before);
-  FunnelTally TA = tally(After);
+  // The arm that matches the EquivConfig defaults — the configuration the
+  // svc funnel actually runs with. Its parity is a hard gate.
+  core::EquivConfig Defaults;
+  int DefaultArm = -1;
 
-  // Verdict parity: the optimization must not change Table 3.
-  int VerdictMismatches = 0;
-  for (size_t I = 0; I < After.size(); ++I) {
-    if (Before[I].Result.Final != After[I].Result.Final ||
-        Before[I].Result.DecidedBy != After[I].Result.DecidedBy) {
-      ++VerdictMismatches;
-      std::printf("  VERDICT MISMATCH %s: seed %s/%s vs incremental "
-                  "%s/%s\n",
-                  After[I].Name.c_str(),
-                  core::outcomeName(Before[I].Result.Final),
-                  core::stageName(Before[I].Result.DecidedBy),
-                  core::outcomeName(After[I].Result.Final),
-                  core::stageName(After[I].Result.DecidedBy));
+  for (size_t I = 0; I < Arms.size(); ++I) {
+    Arm &A = Arms[I];
+    core::EquivConfig Cfg = Base;
+    if (A.Seed) {
+      // Frozen seed smt stack: scratch solver + full re-blast per cell,
+      // with none of the query-scoped techniques.
+      Cfg.IncrementalSolving = false;
+      Cfg.SharedLearntSolving = false;
+      Cfg.ConeProjection = false;
+      Cfg.TrailReuse = false;
+      Cfg.SplitCellOverride = [](const vir::VFunction &S,
+                                 const vir::VFunction &T,
+                                 const tv::RefineOptions &RO) {
+        return seedref::checkRefinementSeed(S, T, RO);
+      };
+    } else {
+      Cfg.SharedLearntSolving = A.Shared;
+      Cfg.ConeProjection = A.Cone;
+      Cfg.TrailReuse = A.Reuse;
+      if (A.Shared == Defaults.SharedLearntSolving &&
+          A.Cone == Defaults.ConeProjection &&
+          A.Reuse == Defaults.TrailReuse)
+        DefaultArm = static_cast<int>(I);
     }
+    std::printf("  [%zu/%zu] %s...\n", I + 1, Arms.size(), A.Name);
+    A.Records = runFunnel(Corpus, Cfg, Opt.Jobs);
+    A.T = tally(A.Records);
   }
+
+  // Verdict parity: every arm against the fork reference (and the seed
+  // arm transitively — the PR-2 invariant is seed == fork).
+  const size_t ForkArm = 1;
+  int TotalMismatches = 0;
+  for (size_t I = 0; I < Arms.size(); ++I) {
+    if (I == ForkArm)
+      continue;
+    Arm &A = Arms[I];
+    for (size_t K = 0; K < A.Records.size(); ++K) {
+      if (A.Records[K].Result.Final !=
+              Arms[ForkArm].Records[K].Result.Final ||
+          A.Records[K].Result.DecidedBy !=
+              Arms[ForkArm].Records[K].Result.DecidedBy) {
+        ++A.Mismatches;
+        std::printf("  VERDICT MISMATCH [%s] %s: %s/%s vs fork %s/%s\n",
+                    A.Name, A.Records[K].Name.c_str(),
+                    core::outcomeName(A.Records[K].Result.Final),
+                    core::stageName(A.Records[K].Result.DecidedBy),
+                    core::outcomeName(Arms[ForkArm].Records[K].Result.Final),
+                    core::stageName(Arms[ForkArm].Records[K].Result.DecidedBy));
+      }
+    }
+    TotalMismatches += A.Mismatches;
+  }
+
+  const FunnelTally &TA = Arms[ForkArm].T; // funnel shape from fork arm
 
   std::printf("\n  %-12s %7s %7s %9s %9s   (paper)\n", "Technique", "Total",
               "Equiv", "NotEquiv", "Inconcl");
@@ -220,44 +294,75 @@ int main(int argc, char **argv) {
                 static_cast<unsigned long long>(
                     TA.SpClauses / static_cast<uint64_t>(TA.SpN)));
 
-  // Incremental-backend win on the spatial-splitting stage.
-  double SatWorkRatio = ratio(TB.splitSatWork(), TA.splitSatWork());
-  double WallRatio = ratio(TB.SplitWallNanos, TA.SplitWallNanos);
-  std::printf("\n  spatial-splitting stage, seed -> incremental "
-              "(%d -> %d per-cell queries):\n",
-              TB.SplitQueries, TA.SplitQueries);
-  std::printf("    conflicts:     %10llu -> %10llu\n",
-              static_cast<unsigned long long>(TB.SplitConflicts),
-              static_cast<unsigned long long>(TA.SplitConflicts));
-  std::printf("    propagations:  %10llu -> %10llu\n",
-              static_cast<unsigned long long>(TB.SplitPropagations),
-              static_cast<unsigned long long>(TA.SplitPropagations));
-  std::printf("    SAT work:      %10llu -> %10llu   (%.2fx)\n",
-              static_cast<unsigned long long>(TB.splitSatWork()),
-              static_cast<unsigned long long>(TA.splitSatWork()),
-              SatWorkRatio);
-  std::printf("    wall time:     %8.1fms -> %8.1fms   (%.2fx)\n",
-              static_cast<double>(TB.SplitWallNanos) / 1e6,
-              static_cast<double>(TA.SplitWallNanos) / 1e6, WallRatio);
+  // The mode matrix: splitting-stage cost per configuration.
+  std::printf("\n  spatial-splitting stage by mode (parity vs fork):\n");
+  std::printf("  %-18s %9s %12s %12s %10s %10s %9s\n", "mode", "queries",
+              "conflicts", "props", "reusedlits", "wall-ms", "mismatch");
+  for (const Arm &A : Arms) {
+    std::printf("  %-18s %9d %12llu %12llu %10llu %10.1f %9d\n", A.Name,
+                A.T.SplitQueries,
+                static_cast<unsigned long long>(A.T.SplitWork.Conflicts),
+                static_cast<unsigned long long>(A.T.SplitWork.Propagations),
+                static_cast<unsigned long long>(A.T.SplitWork.TrailReused),
+                static_cast<double>(A.T.SplitWallNanos) / 1e6,
+                A.Mismatches);
+  }
 
-  // Shape checks: verification grows across stages; the domain-specific
-  // stages verify + refute additional tests beyond plain Alive2; the
-  // incremental backend halves splitting-stage cost without moving a
-  // single verdict.
+  // Gates.
+  const Arm *SeedA = &Arms[0];
+  const Arm *SharedA = nullptr, *SharedConeA = nullptr;
+  for (const Arm &A : Arms) {
+    if (std::strcmp(A.Name, "shared") == 0)
+      SharedA = &A;
+    if (std::strcmp(A.Name, "shared_cone") == 0)
+      SharedConeA = &A;
+  }
+
   bool ShapeOk = TA.allEq() > TA.A2Eq && (TA.CUEq + TA.CUNeq) > 0 &&
                  TA.Plaus > TA.allEq();
-  // Vacuously OK when the splitting stage did no work in either backend
-  // (nothing reached stage 4): there is no cost to reduce.
-  bool NoSplitWork = TB.splitSatWork() == 0 && TA.splitSatWork() == 0 &&
-                     TB.SplitWallNanos == 0 && TA.SplitWallNanos == 0;
-  bool SpeedupOk = NoSplitWork || SatWorkRatio >= 2.0 || WallRatio >= 2.0;
-  bool VerdictsOk = VerdictMismatches == 0;
+  bool SeedParityOk = SeedA->Mismatches == 0;
+  bool DefaultParityOk = DefaultArm < 0 ||
+                         Arms[static_cast<size_t>(DefaultArm)].Mismatches == 0;
+
+  // Seed -> fork: the PR-2 win must not regress (vacuous when stage 4 had
+  // no work to do in either backend).
+  double SeedSatRatio = ratio(SeedA->T.splitSatWork(), TA.splitSatWork());
+  double SeedWallRatio = ratio(SeedA->T.SplitWallNanos, TA.SplitWallNanos);
+  bool NoSplitWork = SeedA->T.splitSatWork() == 0 && TA.splitSatWork() == 0 &&
+                     SeedA->T.SplitWallNanos == 0 && TA.SplitWallNanos == 0;
+  bool SpeedupOk = NoSplitWork || SeedSatRatio >= 2.0 || SeedWallRatio >= 2.0;
+
+  // Cone projection must remove the shared-learnt propagation overhead:
+  // >= 1.5x fewer propagations than the plain shared-learnt baseline.
+  // Vacuously OK when the splitting stage did no SAT work in either arm
+  // (nothing reached stage 4): there is no overhead to remove.
+  bool NoSharedWork = SharedA && SharedConeA &&
+                      SharedA->T.SplitWork.Propagations == 0 &&
+                      SharedConeA->T.SplitWork.Propagations == 0;
+  double ConePropRatio =
+      SharedA && SharedConeA
+          ? ratio(SharedA->T.SplitWork.Propagations,
+                  SharedConeA->T.SplitWork.Propagations)
+          : 0.0;
+  bool ConeGateOk = !SharedA || !SharedConeA || NoSharedWork ||
+                    ConePropRatio >= 1.5;
+
   std::printf("\n  funnel shape (stages add verdicts beyond Alive2): %s\n",
               ShapeOk ? "OK" : "MISMATCH");
-  std::printf("  identical verdicts across backends: %s\n",
-              VerdictsOk ? "OK" : "MISMATCH");
-  std::printf("  >=2x splitting-stage reduction: %s\n",
-              SpeedupOk ? "OK" : "MISMATCH");
+  std::printf("  seed == fork verdicts on all 149 pairs: %s\n",
+              SeedParityOk ? "OK" : "MISMATCH");
+  std::printf("  default config (%s) parity: %s\n",
+              DefaultArm >= 0 ? Arms[static_cast<size_t>(DefaultArm)].Name
+                              : "n/a",
+              DefaultParityOk ? "OK" : "MISMATCH");
+  std::printf("  full matrix bit-identical: %s (%d mismatching verdicts)\n",
+              TotalMismatches == 0 ? "OK" : "NO", TotalMismatches);
+  std::printf("  >=2x seed->fork splitting reduction: %s (%.2fx sat, "
+              "%.2fx wall)\n",
+              SpeedupOk ? "OK" : "MISMATCH", SeedSatRatio, SeedWallRatio);
+  std::printf("  >=1.5x shared-learnt propagation cut from cone: %s "
+              "(%.2fx)\n",
+              ConeGateOk ? "OK" : "MISMATCH", ConePropRatio);
 
   // Machine-readable mirror for the perf trajectory.
   std::string J = "{\n";
@@ -284,28 +389,63 @@ int main(int argc, char **argv) {
           "    \"all\": {\"total\": 149, \"equiv\": %d, \"noteq\": %d, "
           "\"inconcl\": %d}\n  },\n",
           TA.allEq(), TA.allNeq(), TA.SpIn);
-  appendf(J, "  \"splitting_stage\": {\n");
+  appendf(J, "  \"arms\": [\n");
+  for (size_t I = 0; I < Arms.size(); ++I) {
+    const Arm &A = Arms[I];
+    appendf(J,
+            "    {\"name\": \"%s\", \"queries\": %d, \"conflicts\": %llu, "
+            "\"propagations\": %llu, \"trail_reused\": %llu, "
+            "\"wall_ns\": %llu, \"mismatches\": %d}%s\n",
+            A.Name, A.T.SplitQueries,
+            static_cast<unsigned long long>(A.T.SplitWork.Conflicts),
+            static_cast<unsigned long long>(A.T.SplitWork.Propagations),
+            static_cast<unsigned long long>(A.T.SplitWork.TrailReused),
+            static_cast<unsigned long long>(A.T.SplitWallNanos),
+            A.Mismatches, I + 1 < Arms.size() ? "," : "");
+  }
+  appendf(J, "  ],\n");
+  // Per-stage SAT work of the default configuration (the numbers the svc
+  // Outcome aggregation feeds): alive2 / c-unroll / splitting.
+  if (DefaultArm >= 0) {
+    svc::StageSatWork A2, CU, SP;
+    for (const FunnelRecord &R :
+         Arms[static_cast<size_t>(DefaultArm)].Records) {
+      A2.add(R.Alive2Work);
+      CU.add(R.CUnrollWork);
+      SP.add(R.SplitWork);
+    }
+    appendf(J, "  \"default_mode\": \"%s\",\n",
+            Arms[static_cast<size_t>(DefaultArm)].Name);
+    appendf(J, "  \"default_stage_work\": {\n");
+    auto StageJson = [&](const char *Name, const svc::StageSatWork &W,
+                         const char *Sep) {
+      appendf(J,
+              "    \"%s\": {\"conflicts\": %llu, \"propagations\": %llu, "
+              "\"restarts\": %llu, \"trail_reused\": %llu}%s\n",
+              Name, static_cast<unsigned long long>(W.Conflicts),
+              static_cast<unsigned long long>(W.Propagations),
+              static_cast<unsigned long long>(W.Restarts),
+              static_cast<unsigned long long>(W.TrailReused), Sep);
+    };
+    StageJson("alive2", A2, ",");
+    StageJson("c_unroll", CU, ",");
+    StageJson("splitting", SP, "");
+    appendf(J, "  },\n");
+  }
+  appendf(J, "  \"seed_sat_ratio\": %.3f,\n  \"seed_wall_ratio\": %.3f,\n",
+          SeedSatRatio, SeedWallRatio);
+  appendf(J, "  \"cone_prop_ratio\": %.3f,\n", ConePropRatio);
+  appendf(J, "  \"total_mismatches\": %d,\n", TotalMismatches);
   appendf(J,
-          "    \"seed\": {\"queries\": %d, \"conflicts\": %llu, "
-          "\"propagations\": %llu, \"wall_ns\": %llu},\n",
-          TB.SplitQueries,
-          static_cast<unsigned long long>(TB.SplitConflicts),
-          static_cast<unsigned long long>(TB.SplitPropagations),
-          static_cast<unsigned long long>(TB.SplitWallNanos));
-  appendf(J,
-          "    \"incremental\": {\"queries\": %d, \"conflicts\": %llu, "
-          "\"propagations\": %llu, \"wall_ns\": %llu},\n",
-          TA.SplitQueries,
-          static_cast<unsigned long long>(TA.SplitConflicts),
-          static_cast<unsigned long long>(TA.SplitPropagations),
-          static_cast<unsigned long long>(TA.SplitWallNanos));
-  appendf(J,
-          "    \"sat_work_ratio\": %.3f,\n    \"wall_ratio\": %.3f\n  },\n",
-          SatWorkRatio, WallRatio);
-  appendf(J, "  \"verdict_mismatches\": %d,\n", VerdictMismatches);
-  appendf(J, "  \"shape_ok\": %s,\n  \"speedup_ok\": %s\n}\n",
-          ShapeOk ? "true" : "false", SpeedupOk ? "true" : "false");
+          "  \"shape_ok\": %s,\n  \"seed_parity_ok\": %s,\n"
+          "  \"default_parity_ok\": %s,\n  \"speedup_ok\": %s,\n"
+          "  \"cone_gate_ok\": %s\n}\n",
+          ShapeOk ? "true" : "false", SeedParityOk ? "true" : "false",
+          DefaultParityOk ? "true" : "false", SpeedupOk ? "true" : "false",
+          ConeGateOk ? "true" : "false");
   std::ofstream("BENCH_table3.json") << J;
 
-  return ShapeOk && VerdictsOk && SpeedupOk ? 0 : 1;
+  return ShapeOk && SeedParityOk && DefaultParityOk && SpeedupOk && ConeGateOk
+             ? 0
+             : 1;
 }

@@ -42,6 +42,9 @@ uint64_t EquivConfig::configHash() const {
   H = hashField(H, 9, EnableSplitting ? 1 : 0);
   H = hashField(H, 10, IncrementalSolving ? 1 : 0);
   H = hashField(H, 11, SplitCellOverride ? 1 : 0);
+  H = hashField(H, 12, SharedLearntSolving ? 1 : 0);
+  H = hashField(H, 13, ConeProjection ? 1 : 0);
+  H = hashField(H, 14, TrailReuse ? 1 : 0);
   return H;
 }
 
@@ -287,6 +290,11 @@ EquivResult lv::core::checkEquivalence(const std::string &ScalarSrc,
 
   tv::RefineOptions StraightRO;
   StraightRO.ScalarMax = Cfg.ScalarMax;
+  // Query-scoped solving applies to the shared stage-3/4 session — the
+  // hot path the knobs were built for (many queries over one encoding).
+  StraightRO.SharedLearnt = Cfg.SharedLearntSolving;
+  StraightRO.Solver.ConeProjection = Cfg.ConeProjection;
+  StraightRO.Solver.TrailReuse = Cfg.TrailReuse;
   StraightRO.SrcExec.MemWindow = static_cast<int>(Align.Start + Align.V) + 10;
   StraightRO.TgtExec.MemWindow = StraightRO.SrcExec.MemWindow;
   StraightRO.CompareWindow = StraightRO.SrcExec.MemWindow;

@@ -61,6 +61,22 @@ struct EquivConfig {
   /// construction). false restores the seed behaviour — a scratch solver
   /// per query — and exists for ablation/benchmark comparison.
   bool IncrementalSolving = true;
+  /// Query-scoped solving for the stage-3/4 session (see smt/README.md):
+  /// SharedLearntSolving runs queries directly on the shared base solver
+  /// (no per-query fork; learnt clauses carry across, heuristics rewind
+  /// per query); ConeProjection restricts each query's search to its
+  /// definitional cone; TrailReuse keeps the assumption trail prefix
+  /// across Luby restarts. All three perturb search order, and
+  /// budget-bound verdicts are order-sensitive, so the defaults follow
+  /// the bench_table3_equivalence parity matrix: fork-per-query is the
+  /// configuration with bit-identical verdicts on all 149 pairs (cone
+  /// projection is parity-clean there too but pays without winning in
+  /// fork mode), while shared-learnt + cone — the config that removes
+  /// the measured 2x shared-DB propagation overhead — still flips a
+  /// handful of budget-borderline verdicts and therefore stays opt-in.
+  bool SharedLearntSolving = false;
+  bool ConeProjection = false;
+  bool TrailReuse = false;
   /// Bench/A-B hook: when set (and IncrementalSolving is false), stage-4
   /// per-cell refinement queries route through this callback instead of
   /// the built-in backend. bench_table3_equivalence uses it to drive a

@@ -219,6 +219,10 @@ const BitBlaster::PackedWord &BitBlaster::blastBv(TermId Id) {
   if (const PackedWord *Cached = bvCached(Id))
     return *Cached;
   const Term &T = TT.get(Id);
+  // Operand recursion runs before this term's own gates are built, so
+  // restoring on exit attributes every fresh variable below to Id.
+  TermId SavedOwner = CurOwner;
+  CurOwner = Id;
   Word W;
   switch (T.K) {
   case TK::Const:
@@ -331,6 +335,7 @@ const BitBlaster::PackedWord &BitBlaster::blastBv(TermId Id) {
     W = wConst(0);
   }
   assert(W.size() == 32 && "BV words are 32 bits");
+  CurOwner = SavedOwner;
   return internBv(Id, W);
 }
 
@@ -339,6 +344,8 @@ Lit BitBlaster::blastBool(TermId Id) {
   if (boolCached(Id, Cached))
     return Cached;
   const Term &T = TT.get(Id);
+  TermId SavedOwner = CurOwner;
+  CurOwner = Id;
   Lit L;
   switch (T.K) {
   case TK::True:
@@ -416,6 +423,7 @@ Lit BitBlaster::blastBool(TermId Id) {
     assert(false && "blastBool on a bv term");
     L = falseLit();
   }
+  CurOwner = SavedOwner;
   return internBool(Id, L);
 }
 

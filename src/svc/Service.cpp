@@ -246,6 +246,17 @@ interp::ChecksumOutcome VectorizerService::testCached(
   return O;
 }
 
+/// Derives the per-stage SAT-work aggregates from the equivalence result.
+static void aggregateSatWork(Outcome &O) {
+  O.Alive2Work = StageSatWork();
+  O.CUnrollWork = StageSatWork();
+  O.SplitWork = StageSatWork();
+  O.Alive2Work.add(O.Equiv.Alive2Res);
+  O.CUnrollWork.add(O.Equiv.CUnrollRes);
+  for (const tv::TVResult &S : O.Equiv.SplitRes)
+    O.SplitWork.add(S);
+}
+
 void VectorizerService::runTask(Task &T) {
   auto T0 = std::chrono::steady_clock::now();
   const Request &R = T.Req;
@@ -278,6 +289,7 @@ void VectorizerService::runTask(Task &T) {
       O.Equiv = checkCached(R.ScalarSource, O.Fsm.FinalCandidate, R.Equiv,
                             O.VerdictCacheHit);
       O.VerifyRan = true;
+      aggregateSatWork(O);
     }
     break;
   }
@@ -286,6 +298,7 @@ void VectorizerService::runTask(Task &T) {
     O.Equiv = checkCached(R.ScalarSource, R.CandidateSource, R.Equiv,
                           O.VerdictCacheHit);
     O.VerifyRan = true;
+    aggregateSatWork(O);
     break;
 
   case RunMode::Sample: {

@@ -90,6 +90,30 @@ struct SampleVerdict {
   bool Plausible = false;
 };
 
+/// SAT work one formal stage performed, summed over its queries (per-query
+/// deltas from tv::TVResult, so fork-per-query and shared-learnt solving
+/// report comparable numbers). Aggregated per task into Outcome; the bench
+/// drivers sum tasks into the BENCH_*.json perf trajectory.
+struct StageSatWork {
+  uint64_t Conflicts = 0;
+  uint64_t Propagations = 0;
+  uint64_t Restarts = 0;
+  uint64_t TrailReused = 0;
+
+  void add(const tv::TVResult &R) {
+    Conflicts += R.Conflicts;
+    Propagations += R.Propagations;
+    Restarts += R.Restarts;
+    TrailReused += R.TrailReused;
+  }
+  void add(const StageSatWork &O) {
+    Conflicts += O.Conflicts;
+    Propagations += O.Propagations;
+    Restarts += O.Restarts;
+    TrailReused += O.TrailReused;
+  }
+};
+
 /// Everything one request produced: the FSM transcript, the per-stage
 /// equivalence verdicts, and wall time. Subsumes the ad-hoc
 /// FsmResult/EquivResult pairs of the per-function call chain.
@@ -102,6 +126,11 @@ struct Outcome {
 
   bool VerifyRan = false;
   core::EquivResult Equiv; ///< Per-stage verdicts (Verify/Pipeline).
+
+  /// Per-stage SAT-work aggregates derived from Equiv (valid when
+  /// VerifyRan; recomputed on cache replays, so they always describe the
+  /// work the stored verdict originally cost).
+  StageSatWork Alive2Work, CUnrollWork, SplitWork;
 
   std::vector<SampleVerdict> Samples; ///< Sample mode.
 

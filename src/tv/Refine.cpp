@@ -80,6 +80,7 @@ struct RefinementSession::Impl {
 
   Impl(const VFunction &Src, const VFunction &Tgt, const RefineOptions &O)
       : Opts(O), In(T), IS(T) {
+    IS.setOptions(Opts.Solver); // forks inherit via copy/assignFrom
     T.reserve(Opts.MaxTerms);
     SS = executeSymbolic(Src, T, In, Opts.SrcExec);
     ST = executeSymbolic(Tgt, T, In, Opts.TgtExec);
@@ -145,6 +146,12 @@ struct RefinementSession::Impl {
     // The common prefix A && !UB_src is asserted once; per-query
     // violations then run under an assumption literal against it.
     IS.assertAlways(T.mkAnd(A, T.mkNot(SS.UB)));
+    // Shared-learnt sessions rewind branching heuristics to this point
+    // before every query: sharing covers the clause DB (learnt lemmas),
+    // not VSIDS/phase warmth — warm heuristics are the main way one
+    // query's search distorts the next one's budget-bound verdict.
+    if (Opts.SharedLearnt)
+      IS.snapshotHeuristics();
     BaseTerms = T.size();
   }
 
@@ -186,8 +193,11 @@ TVResult RefinementSession::Impl::query(int CellLo, int CellHi,
   // so a syntactically identical violation (same TermId, thanks to
   // hash-consing) under the exact same budget replays its verdict — with
   // none of the SAT work. Budget equality covers every field: a retry
-  // with a loosened propagation/clause budget must re-solve.
-  if (Isolate) {
+  // with a loosened propagation/clause budget must re-solve. Shared-learnt
+  // sessions memoize too: replaying the first occurrence's verdict keeps
+  // duplicate cells verdict-identical to the fork modes (re-solving in a
+  // now-warmer solver would not be).
+  {
     auto It = QueryMemo.find(Viol);
     if (It != QueryMemo.end() &&
         It->second.Budget.MaxConflicts == Budget.MaxConflicts &&
@@ -196,6 +206,8 @@ TVResult RefinementSession::Impl::query(int CellLo, int CellHi,
       TVResult Cached = It->second.Result;
       // Report only work actually done by this replay.
       Cached.Conflicts = Cached.Propagations = Cached.Restarts = 0;
+      Cached.TrailReused = 0;
+      Cached.ConeVars = Cached.ConeClauses = 0;
       Cached.SolveNanos = static_cast<uint64_t>(
           std::chrono::duration_cast<std::chrono::nanoseconds>(
               std::chrono::steady_clock::now() - Start)
@@ -225,11 +237,15 @@ TVResult RefinementSession::Impl::query(int CellLo, int CellHi,
       Fork->assignFrom(IS);
     R = Fork->check(Viol, Budget);
   } else {
+    IS.restoreHeuristics(); // no-op outside shared-learnt sessions
     R = IS.check(Viol, Budget);
   }
   Out.Conflicts = R.ConflictsUsed;
   Out.Propagations = R.PropagationsUsed;
   Out.Restarts = R.RestartsUsed;
+  Out.TrailReused = R.TrailReused;
+  Out.ConeVars = R.ConeVars;
+  Out.ConeClauses = R.ConeClauses;
   Out.Clauses = R.ClauseCount;
   Out.SatVars = R.VarCount;
   Out.LearntLive = R.LearntLive;
@@ -283,8 +299,7 @@ TVResult RefinementSession::Impl::query(int CellLo, int CellHi,
     break;
   }
   }
-  if (Isolate)
-    QueryMemo[Viol] = MemoEntry{Budget, Out};
+  QueryMemo[Viol] = MemoEntry{Budget, Out};
   return Out;
 }
 
@@ -302,11 +317,11 @@ TVResult RefinementSession::checkFull(const smt::SatBudget &Budget) {
     Lo = I->Opts.CellFilter;
     Hi = I->Opts.CellFilter + 1;
   }
-  return I->query(Lo, Hi, Budget, /*Isolate=*/true);
+  return I->query(Lo, Hi, Budget, /*Isolate=*/!I->Opts.SharedLearnt);
 }
 
 TVResult RefinementSession::checkCell(int Cell, const smt::SatBudget &Budget) {
-  return I->query(Cell, Cell + 1, Budget, /*Isolate=*/true);
+  return I->query(Cell, Cell + 1, Budget, /*Isolate=*/!I->Opts.SharedLearnt);
 }
 
 //===----------------------------------------------------------------------===//

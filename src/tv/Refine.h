@@ -56,6 +56,15 @@ struct RefineOptions {
                         /*MaxClauses=*/3'000'000};
                                ///< SAT budget; exceeded => Inconclusive.
   size_t MaxTerms = 2'000'000; ///< Term-DAG cap (memout analogue).
+  /// Query-scoped solving knobs (cone projection, restart trail reuse)
+  /// applied to every SAT query of the session.
+  smt::SatOptions Solver;
+  /// Sessions only: run queries directly on the shared base solver (learnt
+  /// clauses, VSIDS state, and watcher positions carry across queries)
+  /// instead of forking a pristine copy per query. Cheaper when cone
+  /// projection keeps each query inside its own clause cone; perturbs
+  /// search order, so it ships gated by the bench_table3 parity matrix.
+  bool SharedLearnt = false;
 };
 
 /// Verdicts mirror the paper's Table 3 labels.
@@ -75,6 +84,9 @@ struct TVResult {
   uint64_t Conflicts = 0;
   uint64_t Propagations = 0;
   uint64_t Restarts = 0;
+  uint64_t TrailReused = 0; ///< Trail literals kept across restarts.
+  uint64_t ConeVars = 0;    ///< Query-cone size (0: projection off).
+  uint64_t ConeClauses = 0;
   uint64_t Clauses = 0;
   uint64_t SatVars = 0;
   uint64_t LearntLive = 0;  ///< Learnt-clause DB size after the query.
@@ -95,10 +107,15 @@ struct TVResult {
 /// "symbolic execution + full blast + solve" to "fork + cell-cone blast
 /// + solve". Because the base is never searched, a fork behaves exactly
 /// like a scratch solver over the same encoding: verdicts are identical
-/// to one-shot checkRefinement by construction (learnt clauses are
-/// deliberately NOT shared across queries — warm-solver state measurably
-/// distorts budget-bounded searches). Identical queries (same violation
-/// TermId, same budget) replay their memoized verdict without solving.
+/// to one-shot checkRefinement by construction (learnt clauses are NOT
+/// shared across queries — warm-solver state measurably distorts
+/// budget-bounded searches). RefineOptions::SharedLearnt flips the
+/// session to the non-forking mode instead: queries run directly on the
+/// base, sharing learnt clauses — profitable once
+/// RefineOptions::Solver.ConeProjection confines each query to its own
+/// clause cone (see smt/README.md "Query-scoped solving"). Identical
+/// queries (same violation TermId, same budget) replay their memoized
+/// verdict without solving in either mode.
 ///
 /// \p Src and \p Tgt must outlive the session.
 class RefinementSession {

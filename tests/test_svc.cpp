@@ -213,6 +213,17 @@ TEST(ConfigHash, EquivFieldsDoNotAlias) {
   core::EquivConfig E;
   E.Checksum.Seed ^= 1; // nested config participates
   EXPECT_NE(E.configHash(), core::EquivConfig().configHash());
+
+  // The query-scoped-solving booleans participate and do not alias.
+  core::EquivConfig F, G;
+  F.SharedLearntSolving = !F.SharedLearntSolving;
+  G.ConeProjection = !G.ConeProjection;
+  EXPECT_NE(F.configHash(), G.configHash());
+  EXPECT_NE(F.configHash(), core::EquivConfig().configHash());
+  core::EquivConfig H;
+  H.TrailReuse = !H.TrailReuse;
+  EXPECT_NE(H.configHash(), core::EquivConfig().configHash());
+  EXPECT_NE(H.configHash(), G.configHash());
 }
 
 TEST(ConfigHash, FsmFieldsDoNotAlias) {
@@ -233,7 +244,9 @@ TEST(ConfigHash, PinnedGoldenValues) {
   // conscious change — update these constants (and bump any persistent
   // cache format) when configHash legitimately changes.
   EXPECT_EQ(interp::ChecksumConfig().configHash(), 0x02f8dac96e790c46ULL);
-  EXPECT_EQ(core::EquivConfig().configHash(), 0xe50298e1da40f611ULL);
+  // PR 4: EquivConfig grew the query-scoped-solving fields
+  // (SharedLearntSolving, ConeProjection, TrailReuse).
+  EXPECT_EQ(core::EquivConfig().configHash(), 0x3db28f338b371800ULL);
   EXPECT_EQ(agents::FsmConfig().configHash(), 0x2f44ef3bea3ea3b4ULL);
 }
 

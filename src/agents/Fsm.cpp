@@ -66,6 +66,12 @@ FsmResult MultiAgentFsm::run(const std::string &ScalarSource) {
     return R;
   }
 
+  // Reference memo for the default tester path: the scalar runs once per
+  // (seed, bound) input set and its outputs are reused across every
+  // repair attempt of this run. (With an external Tester hook the hook
+  // owner — e.g. the vectorization service — supplies its own memo.)
+  interp::ScalarRefMemo ChecksumMemo;
+
   for (int Attempt = 0; Attempt < Cfg.MaxAttempts; ++Attempt) {
     R.Attempts = Attempt + 1;
     R.Transitions.push_back(State::Vectorize);
@@ -102,7 +108,8 @@ FsmResult MultiAgentFsm::run(const std::string &ScalarSource) {
     R.Transitions.push_back(State::Test);
     interp::ChecksumOutcome O =
         Cfg.Tester ? Cfg.Tester(C.Source, *SC.Fn, *VC.Fn, Cfg.Checksum)
-                   : interp::runChecksumTest(*SC.Fn, *VC.Fn, Cfg.Checksum);
+                   : interp::runChecksumTest(*SC.Fn, *VC.Fn, Cfg.Checksum,
+                                             &ChecksumMemo);
     R.LastChecksum = O;
     if (O.Verdict == interp::TestVerdict::Plausible) {
       R.Transcript.push_back(

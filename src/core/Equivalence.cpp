@@ -193,8 +193,12 @@ EquivResult lv::core::checkEquivalence(const std::string &ScalarSrc,
     return Out;
   }
 
-  // Stage 1: checksum testing (paper §2.1).
-  Out.ChecksumRes = interp::runChecksumTest(*SC.Fn, *VC.Fn, Cfg.Checksum);
+  // Stage 1: checksum testing (paper §2.1). Engine selection (bytecode VM
+  // vs tree-walk) rides on Cfg.Checksum.UseBytecode.
+  {
+    StageTimer Timer(Out.ChecksumNanos);
+    Out.ChecksumRes = interp::runChecksumTest(*SC.Fn, *VC.Fn, Cfg.Checksum);
+  }
   if (Out.ChecksumRes.Verdict == interp::TestVerdict::NotEquivalent) {
     Out.Final = EquivResult::Inequivalent;
     Out.DecidedBy = Stage::Checksum;

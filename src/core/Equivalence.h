@@ -111,8 +111,11 @@ struct EquivResult {
   std::vector<tv::TVResult> SplitRes; ///< One per compared cell.
   bool SplittingEligible = false;
 
-  /// Wall time per formal stage (includes symbolic execution and blasting,
-  /// not just SAT search — the costs incremental solving amortizes).
+  /// Wall time per stage. ChecksumNanos covers the stage-1 interpreter
+  /// runs (the Table-2 cost the bytecode VM attacks); the formal-stage
+  /// timers include symbolic execution and blasting, not just SAT search
+  /// — the costs incremental solving amortizes.
+  uint64_t ChecksumNanos = 0;
   uint64_t Alive2Nanos = 0;
   uint64_t CUnrollNanos = 0;
   uint64_t SplitNanos = 0;

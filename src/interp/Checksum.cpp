@@ -1,11 +1,26 @@
 //===- interp/Checksum.cpp - checksum-based testing --------------------------===//
+//
+// One core drives both entry points: runChecksumBatch iterates (N, run)
+// input sets in the outer loop and candidates in the inner loop, computing
+// each scalar reference at most once (into a ScalarRefMemo — caller-owned
+// or call-local) and restoring each candidate's memory image from the
+// input snapshot instead of reallocating it. runChecksumTest is the
+// single-candidate wrapper. Because every random draw is forked per
+// (N, run) from a base RNG whose state never advances, the reference for a
+// given input set is byte-identical no matter which candidate (or call)
+// triggered its computation — which is what makes memoization and batching
+// verdict-preserving.
+//
+//===----------------------------------------------------------------------===//
 
 #include "interp/Checksum.h"
 
+#include "interp/Bytecode.h"
 #include "support/Format.h"
 #include "support/Rng.h"
 
 #include <algorithm>
+#include <cstring>
 
 using namespace lv;
 using namespace lv::interp;
@@ -21,25 +36,48 @@ uint64_t ChecksumConfig::configHash() const {
   H = hashField(H, 5, static_cast<uint64_t>(BufferLen));
   H = hashField(H, 6, static_cast<uint64_t>(static_cast<uint32_t>(ValueMin)));
   H = hashField(H, 7, static_cast<uint64_t>(static_cast<uint32_t>(ValueMax)));
+  H = hashField(H, 8, UseBytecode ? 1 : 0);
   return H;
 }
 
 namespace {
 
-/// Scalar arguments for one run, matched by parameter name.
-struct ArgPlan {
-  std::vector<int32_t> ForFn(const VFunction &F) const {
-    std::vector<int32_t> Out;
-    for (const VParam &P : F.Params) {
-      if (P.IsPointer)
-        continue;
-      auto It = std::find_if(Named.begin(), Named.end(),
-                             [&](const auto &KV) { return KV.first == P.Name; });
-      Out.push_back(It == Named.end() ? 0 : It->second);
-    }
-    return Out;
+/// Scalar argument values for one run, matched by parameter name.
+static std::vector<int32_t>
+argsFor(const VFunction &F,
+        const std::vector<std::pair<std::string, int32_t>> &Named) {
+  std::vector<int32_t> Out;
+  for (const VParam &P : F.Params) {
+    if (P.IsPointer)
+      continue;
+    auto It = std::find_if(Named.begin(), Named.end(),
+                           [&](const auto &KV) { return KV.first == P.Name; });
+    Out.push_back(It == Named.end() ? 0 : It->second);
   }
-  std::vector<std::pair<std::string, int32_t>> Named;
+  return Out;
+}
+
+/// One function bound to an execution engine per ChecksumConfig::
+/// UseBytecode (the compiled program is cache-shared process-wide; the
+/// scratch register file is reused across this engine's runs).
+struct Engine {
+  const VFunction *Fn = nullptr;
+  std::shared_ptr<const BytecodeProgram> Prog; ///< Null => tree-walk.
+  BytecodeScratch Scratch;
+
+  static Engine make(const VFunction &F, bool Bytecode) {
+    Engine E;
+    E.Fn = &F;
+    if (Bytecode)
+      E.Prog = compileBytecodeCached(F);
+    return E;
+  }
+  ExecResult run(const std::vector<int32_t> &Args, MemoryImage &Mem) {
+    return Prog ? execBytecode(*Prog, Args, Mem, ExecConfig(), &Scratch)
+                : execute(*Fn, Args, Mem);
+  }
+  /// Content key of the bound function (memo identity).
+  std::string key() const { return Prog ? Prog->Key : bytecodeKey(*Fn); }
 };
 
 } // namespace
@@ -82,110 +120,225 @@ static MemoryImage makeInputs(const VFunction &F, int BufferLen, Rng &R,
   return M;
 }
 
-/// Copies param-region contents from \p Src into a fresh image shaped for
-/// \p F (regions are matched by name so local arrays don't shift indices).
-static MemoryImage remapInputs(const VFunction &F, const VFunction &SrcFn,
-                               const MemoryImage &Src) {
-  MemoryImage M;
-  for (size_t I = 0; I < F.Memories.size(); ++I) {
-    M.Regions.emplace_back();
-    if (!F.Memories[I].IsParam)
+/// Computes the memoized reference for input set \p RunIdx if it is not
+/// already present: forks the per-(N, run) RNG stream, draws the input
+/// image and argument plan, and executes the scalar once.
+static void ensureRef(const VFunction &Scalar, Engine &SEng,
+                      const ChecksumConfig &Cfg, const Rng &Base, int N,
+                      int Run, ScalarRefMemo::RefRun &E,
+                      ChecksumBatchResult &Agg, ScalarRefMemo &Memo) {
+  if (E.Computed)
+    return;
+  E.Computed = true;
+  Rng StreamR = Base.fork(hashCombine(static_cast<uint64_t>(N),
+                                      static_cast<uint64_t>(Run)));
+  E.Input = makeInputs(Scalar, Cfg.BufferLen, StreamR, Cfg.ValueMin,
+                       Cfg.ValueMax);
+  std::vector<std::pair<std::string, int32_t>> Named;
+  for (const VParam &P : Scalar.Params) {
+    if (P.IsPointer)
       continue;
-    for (size_t J = 0; J < SrcFn.Memories.size(); ++J) {
-      if (SrcFn.Memories[J].IsParam &&
-          SrcFn.Memories[J].Name == F.Memories[I].Name) {
-        M.Regions.back() = Src.Regions[J];
-        break;
-      }
-    }
+    int32_t V = P.Name == "n" ? N : StreamR.rangeInt(0, 16);
+    Named.emplace_back(P.Name, V);
   }
-  return M;
+  E.Args = argsFor(Scalar, Named);
+  E.RefOut = E.Input; // snapshot; the reference mutates the copy
+  ExecResult RefRes = SEng.run(E.Args, E.RefOut);
+  E.RefOk = RefRes.ok();
+  E.RetVal = RefRes.RetVal;
+  E.ScalarWork = RefRes.Work;
+  ++Memo.ScalarRuns;
+  ++Agg.ScalarRuns;
+  Agg.ScalarWork.add(RefRes.Work);
 }
 
-ChecksumOutcome lv::interp::runChecksumTest(const VFunction &Scalar,
-                                            const VFunction &Vec,
-                                            const ChecksumConfig &Cfg) {
-  ChecksumOutcome Out;
-  std::string Why;
-  if (!signaturesMatch(Scalar, Vec, Why)) {
-    Out.Verdict = TestVerdict::NotEquivalent;
-    Out.Detail = "signature mismatch: " + Why;
-    return Out;
+ChecksumBatchResult lv::interp::runChecksumBatch(
+    const VFunction &Scalar, const std::vector<const VFunction *> &Candidates,
+    const ChecksumConfig &Cfg, ScalarRefMemo *Memo) {
+  ChecksumBatchResult Res;
+  Res.Outcomes.resize(Candidates.size());
+
+  Engine SEng = Engine::make(Scalar, Cfg.UseBytecode);
+
+  // Validate (or initialize) the reference memo against this scalar and
+  // config; a mismatch resets it rather than replaying stale outputs.
+  ScalarRefMemo Local;
+  if (!Memo)
+    Memo = &Local;
+  uint64_t CfgHash = Cfg.configHash();
+  size_t NumRuns = Cfg.NValues.size() * static_cast<size_t>(Cfg.RunsPerN);
+  std::string SKey = SEng.key();
+  if (Memo->ConfigHash != CfgHash || Memo->ScalarKey != SKey ||
+      Memo->Runs.size() != NumRuns) {
+    Memo->ConfigHash = CfgHash;
+    Memo->ScalarKey = SKey;
+    Memo->Runs.assign(NumRuns, ScalarRefMemo::RefRun());
+    Memo->ScalarRuns = 0;
+  }
+
+  // Per-candidate state: engine, region maps, a persistent memory image
+  // restored (not reallocated) per run, and the running verdict.
+  struct CandState {
+    const VFunction *Fn = nullptr;
+    Engine Eng;
+    std::vector<int> InMap;  ///< Cand region -> scalar region (-1 none).
+    std::vector<int> OutMap; ///< Scalar region -> cand region (-1 skip).
+    MemoryImage Mem;
+    bool Decided = false;
+  };
+  std::vector<CandState> Cands(Candidates.size());
+  size_t Undecided = 0;
+  for (size_t C = 0; C < Candidates.size(); ++C) {
+    const VFunction &Vec = *Candidates[C];
+    CandState &St = Cands[C];
+    St.Fn = &Vec;
+    ChecksumOutcome &Out = Res.Outcomes[C];
+    std::string Why;
+    if (!signaturesMatch(Scalar, Vec, Why)) {
+      Out.Verdict = TestVerdict::NotEquivalent;
+      Out.Detail = "signature mismatch: " + Why;
+      St.Decided = true;
+      continue;
+    }
+    St.Eng = Engine::make(Vec, Cfg.UseBytecode);
+    St.InMap.assign(Vec.Memories.size(), -1);
+    for (size_t J = 0; J < Vec.Memories.size(); ++J) {
+      if (!Vec.Memories[J].IsParam)
+        continue;
+      for (size_t I = 0; I < Scalar.Memories.size(); ++I)
+        if (Scalar.Memories[I].IsParam &&
+            Scalar.Memories[I].Name == Vec.Memories[J].Name) {
+          St.InMap[J] = static_cast<int>(I);
+          break;
+        }
+    }
+    St.OutMap.assign(Scalar.Memories.size(), -1);
+    for (size_t I = 0; I < Scalar.Memories.size(); ++I) {
+      if (!Scalar.Memories[I].IsParam)
+        continue;
+      for (size_t J = 0; J < Vec.Memories.size(); ++J)
+        if (Vec.Memories[J].IsParam &&
+            Vec.Memories[J].Name == Scalar.Memories[I].Name) {
+          St.OutMap[I] = static_cast<int>(J);
+          break;
+        }
+    }
+    St.Mem.Regions.resize(Vec.Memories.size());
+    ++Undecided;
   }
 
   Rng R(Cfg.Seed);
-  for (int N : Cfg.NValues) {
-    for (int Run = 0; Run < Cfg.RunsPerN; ++Run) {
-      Rng StreamR = R.fork(hashCombine(static_cast<uint64_t>(N),
-                                       static_cast<uint64_t>(Run)));
-      MemoryImage RefMem = makeInputs(Scalar, Cfg.BufferLen, StreamR,
-                                      Cfg.ValueMin, Cfg.ValueMax);
-      MemoryImage CandMem = remapInputs(Vec, Scalar, RefMem);
+  size_t RunIdx = 0;
+  for (size_t NI = 0; NI < Cfg.NValues.size() && Undecided; ++NI) {
+    int N = Cfg.NValues[NI];
+    for (int Run = 0; Run < Cfg.RunsPerN && Undecided; ++Run, ++RunIdx) {
+      ScalarRefMemo::RefRun &E = Memo->Runs[RunIdx];
+      ensureRef(Scalar, SEng, Cfg, R, N, Run, E, Res, *Memo);
+      ++Res.InputSets;
 
-      ArgPlan Plan;
-      for (const VParam &P : Scalar.Params) {
-        if (P.IsPointer)
+      for (size_t C = 0; C < Cands.size(); ++C) {
+        CandState &St = Cands[C];
+        if (St.Decided)
           continue;
-        int32_t V =
-            P.Name == "n" ? N : StreamR.rangeInt(0, 16);
-        Plan.Named.emplace_back(P.Name, V);
-      }
-
-      ExecResult RefRes = execute(Scalar, Plan.ForFn(Scalar), RefMem);
-      if (!RefRes.ok()) {
-        // The reference itself misbehaves on this input: not usable as an
-        // oracle; skip the run (the harness stays Plausible).
-        continue;
-      }
-      ExecResult CandRes = execute(Vec, Plan.ForFn(Vec), CandMem);
-      if (!CandRes.ok()) {
-        Out.Verdict = TestVerdict::NotEquivalent;
-        Out.FirstMismatch.N = N;
-        Out.FirstMismatch.TrapMsg = CandRes.St == ExecResult::OutOfFuel
-                                        ? "candidate did not terminate"
-                                        : CandRes.TrapMsg;
-        Out.Detail = format("candidate failed at n=%d: %s", N,
-                            Out.FirstMismatch.TrapMsg.c_str());
-        return Out;
-      }
-      if (Scalar.ReturnsValue && RefRes.RetVal != CandRes.RetVal) {
-        Out.Verdict = TestVerdict::NotEquivalent;
-        Out.FirstMismatch = {"return value", N, RefRes.RetVal,
-                             CandRes.RetVal, ""};
-        Out.Detail = format("return value differs at n=%d: expected %d, "
-                            "got %d",
-                            N, RefRes.RetVal, CandRes.RetVal);
-        return Out;
-      }
-      // Compare every parameter region elementwise (by name).
-      for (size_t I = 0; I < Scalar.Memories.size(); ++I) {
-        if (!Scalar.Memories[I].IsParam)
+        ChecksumOutcome &Out = Res.Outcomes[C];
+        ++Out.Work.InputSets;
+        if (!E.RefOk) {
+          // The reference itself misbehaves on this input: not usable as
+          // an oracle; skip the run (the harness stays Plausible).
           continue;
-        const std::vector<int32_t> &RefBuf = RefMem.Regions[I];
-        const std::vector<int32_t> *CandBuf = nullptr;
-        for (size_t J = 0; J < Vec.Memories.size(); ++J)
-          if (Vec.Memories[J].IsParam &&
-              Vec.Memories[J].Name == Scalar.Memories[I].Name)
-            CandBuf = &CandMem.Regions[J];
-        if (!CandBuf)
-          continue;
-        for (size_t K = 0; K < RefBuf.size(); ++K) {
-          if (RefBuf[K] == (*CandBuf)[K])
-            continue;
+        }
+        // Restore the candidate image from the input snapshot. Local
+        // regions keep stale contents — the interpreter's prologue
+        // reinitializes them to zero exactly as on a fresh image.
+        for (size_t J = 0; J < St.Mem.Regions.size(); ++J) {
+          if (St.InMap[J] >= 0)
+            St.Mem.Regions[J] =
+                E.Input.Regions[static_cast<size_t>(St.InMap[J])];
+          else if (St.Fn->Memories[J].IsParam)
+            St.Mem.Regions[J].clear();
+        }
+        ExecResult CandRes = St.Eng.run(E.Args, St.Mem);
+        ++Out.Work.CandRuns;
+        Out.Work.Cand.add(CandRes.Work);
+        if (!CandRes.ok()) {
           Out.Verdict = TestVerdict::NotEquivalent;
-          Out.FirstMismatch = {
-              format("array '%s' index %zu", Scalar.Memories[I].Name.c_str(),
-                     K),
-              N, RefBuf[K], (*CandBuf)[K], ""};
-          Out.Detail = format(
-              "output mismatch at n=%d, %s: expected %d, got %d", N,
-              Out.FirstMismatch.Where.c_str(), RefBuf[K], (*CandBuf)[K]);
-          return Out;
+          Out.FirstMismatch.N = N;
+          Out.FirstMismatch.TrapMsg = CandRes.St == ExecResult::OutOfFuel
+                                          ? "candidate did not terminate"
+                                          : CandRes.TrapMsg;
+          Out.Detail = format("candidate failed at n=%d: %s", N,
+                              Out.FirstMismatch.TrapMsg.c_str());
+          Out.Work.CandTrap = CandRes.Cause;
+          Out.Work.CandHang = CandRes.St == ExecResult::OutOfFuel;
+          St.Decided = true;
+          --Undecided;
+          continue;
+        }
+        if (Scalar.ReturnsValue && E.RetVal != CandRes.RetVal) {
+          Out.Verdict = TestVerdict::NotEquivalent;
+          Out.FirstMismatch = {"return value", N, E.RetVal, CandRes.RetVal,
+                               ""};
+          Out.Detail = format("return value differs at n=%d: expected %d, "
+                              "got %d",
+                              N, E.RetVal, CandRes.RetVal);
+          St.Decided = true;
+          --Undecided;
+          continue;
+        }
+        // Compare every parameter region (by name): a memcmp fast path
+        // over the whole buffer, dropping into the elementwise scan only
+        // to locate and report the first differing index.
+        for (size_t I = 0; I < Scalar.Memories.size() && !St.Decided; ++I) {
+          if (St.OutMap[I] < 0)
+            continue;
+          const std::vector<int32_t> &RefBuf = E.RefOut.Regions[I];
+          const std::vector<int32_t> &CandBuf =
+              St.Mem.Regions[static_cast<size_t>(St.OutMap[I])];
+          if (RefBuf.size() == CandBuf.size() &&
+              std::memcmp(RefBuf.data(), CandBuf.data(),
+                          RefBuf.size() * sizeof(int32_t)) == 0)
+            continue;
+          for (size_t K = 0; K < RefBuf.size(); ++K) {
+            if (RefBuf[K] == CandBuf[K])
+              continue;
+            Out.Verdict = TestVerdict::NotEquivalent;
+            Out.FirstMismatch = {
+                format("array '%s' index %zu",
+                       Scalar.Memories[I].Name.c_str(), K),
+                N, RefBuf[K], CandBuf[K], ""};
+            Out.Detail = format(
+                "output mismatch at n=%d, %s: expected %d, got %d", N,
+                Out.FirstMismatch.Where.c_str(), RefBuf[K], CandBuf[K]);
+            St.Decided = true;
+            --Undecided;
+            break;
+          }
         }
       }
     }
   }
-  Out.Verdict = TestVerdict::Plausible;
-  Out.Detail = "all runs matched";
+
+  for (size_t C = 0; C < Cands.size(); ++C) {
+    if (Cands[C].Decided)
+      continue;
+    Res.Outcomes[C].Verdict = TestVerdict::Plausible;
+    Res.Outcomes[C].Detail = "all runs matched";
+  }
+  return Res;
+}
+
+ChecksumOutcome lv::interp::runChecksumTest(const VFunction &Scalar,
+                                            const VFunction &Vec,
+                                            const ChecksumConfig &Cfg,
+                                            ScalarRefMemo *Memo) {
+  std::vector<const VFunction *> One{&Vec};
+  ChecksumBatchResult R = runChecksumBatch(Scalar, One, Cfg, Memo);
+  ChecksumOutcome Out = std::move(R.Outcomes[0]);
+  // Single-candidate call: the reference-side work belongs to this
+  // outcome. Sets whose reference came from the memo are the savings.
+  Out.Work.ScalarRuns = R.ScalarRuns;
+  Out.Work.ScalarRunsSaved =
+      R.InputSets > R.ScalarRuns ? R.InputSets - R.ScalarRuns : 0;
+  Out.Work.Scalar = R.ScalarWork;
   return Out;
 }

@@ -12,6 +12,23 @@
 /// for the remainder, and latent UB (speculative loads) goes unnoticed —
 /// that blind spot is exactly what the symbolic verifier later closes.
 ///
+/// The harness has two entry points over one core:
+///
+///   * `runChecksumTest` — one candidate. With a `ScalarRefMemo` the
+///     scalar reference runs once per (seed, bound) input set and its
+///     outputs are reused across candidate invocations (the FSM repair
+///     loop and the service tester hook pass a per-task memo).
+///   * `runChecksumBatch` — many candidates against one scalar: the
+///     random image is built once per input set, the scalar runs once,
+///     and every candidate replays against the shared reference outputs
+///     via cheap image restore. Identical verdicts to the sequential path
+///     by construction (same RNG streams, same run order per candidate).
+///
+/// Both paths execute on the compiled bytecode VM (interp/Bytecode.h) by
+/// default; `ChecksumConfig::UseBytecode = false` selects the tree-walk
+/// engine (the seed behaviour, kept as the A/B baseline for
+/// bench_table2_checksum).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef LV_INTERP_CHECKSUM_H
@@ -22,6 +39,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace lv {
@@ -42,6 +60,11 @@ struct ChecksumConfig {
   int BufferLen = 512;                   ///< Allocation per array param.
   int32_t ValueMin = -1000;
   int32_t ValueMax = 1000;
+  /// Execute on the compiled bytecode VM instead of the tree-walk
+  /// interpreter. Verdicts and modeled cycles are identical by
+  /// construction (parity-gated in bench_table2_checksum over the whole
+  /// TSVC corpus); false restores the seed engine for A/B measurement.
+  bool UseBytecode = true;
 
   /// Canonical content hash over every field (tagged per field, so values
   /// swapped between same-typed fields change the hash). Keys the
@@ -59,21 +82,85 @@ struct Mismatch {
   std::string TrapMsg; ///< Non-empty when the candidate trapped/hung.
 };
 
+/// What one checksum test cost in interpreter work. Candidate-side
+/// counters are a pure function of (scalar, candidate, config) — the
+/// batch path shares scalar references across candidates, so scalar-side
+/// counters describe the runs *this call* paid for (zero on batch member
+/// outcomes; the batch result carries the shared reference work).
+struct ChecksumWork {
+  uint64_t InputSets = 0;       ///< (N, run) sets this candidate consumed.
+  uint64_t CandRuns = 0;        ///< Candidate executions.
+  uint64_t ScalarRuns = 0;      ///< Reference executions performed here.
+  uint64_t ScalarRunsSaved = 0; ///< References served from memo/batch.
+  InterpWork Cand;              ///< Candidate-side interpreter work.
+  InterpWork Scalar;            ///< Reference-side work paid for here.
+  TrapKind CandTrap = TrapKind::None; ///< Set when the candidate trapped.
+  bool CandHang = false;        ///< Candidate exceeded the step budget.
+};
+
 /// Outcome with diagnostics.
 struct ChecksumOutcome {
   TestVerdict Verdict = TestVerdict::Error;
   Mismatch FirstMismatch; ///< Valid when Verdict == NotEquivalent.
   std::string Detail;
+  ChecksumWork Work;      ///< Interpreter work counters (see above).
 
   bool plausible() const { return Verdict == TestVerdict::Plausible; }
 };
 
+/// Memoized scalar reference runs: per (N, run) input set, the random
+/// input image, the post-run reference outputs, and the argument plan.
+/// Owned by one task (FSM run / service task) — not thread-safe — and
+/// automatically invalidated when the scalar function or the checksum
+/// config changes. Passing one to runChecksumTest makes the scalar run
+/// once per input set *across* candidate invocations.
+struct ScalarRefMemo {
+  struct RefRun {
+    bool Computed = false;
+    bool RefOk = false;    ///< Reference executed cleanly (usable oracle).
+    int32_t RetVal = 0;
+    /// Resolved scalar-argument vector. Candidates share it: the harness
+    /// only runs candidates whose parameter list matches the scalar's
+    /// name for name, so by-name resolution yields the same values.
+    std::vector<int32_t> Args;
+    MemoryImage Input;     ///< Param regions before the reference ran.
+    MemoryImage RefOut;    ///< Full image after the reference ran.
+    InterpWork ScalarWork; ///< Work of the one reference execution.
+  };
+
+  std::string ScalarKey;  ///< Content key of the memoized scalar.
+  uint64_t ConfigHash = 0;
+  std::vector<RefRun> Runs; ///< NValues-major, RunsPerN-minor.
+  uint64_t ScalarRuns = 0;  ///< Reference executions recorded in here.
+};
+
 /// Runs checksum testing of candidate \p Vec against reference \p Scalar.
 /// Scalar parameters are matched by name; the parameter named "n" receives
-/// the loop bound.
+/// the loop bound. \p Memo (optional) memoizes the scalar reference runs
+/// across calls with the same scalar and config.
 ChecksumOutcome runChecksumTest(const vir::VFunction &Scalar,
                                 const vir::VFunction &Vec,
-                                const ChecksumConfig &Cfg = ChecksumConfig());
+                                const ChecksumConfig &Cfg = ChecksumConfig(),
+                                ScalarRefMemo *Memo = nullptr);
+
+/// Result of a batched run: one outcome per candidate (input order) plus
+/// the shared reference-side work the batch performed once.
+struct ChecksumBatchResult {
+  std::vector<ChecksumOutcome> Outcomes;
+  uint64_t InputSets = 0;  ///< (N, run) sets the batch processed.
+  uint64_t ScalarRuns = 0; ///< Reference executions actually performed.
+  InterpWork ScalarWork;   ///< Work of those reference executions.
+};
+
+/// Tests every candidate in \p Candidates against \p Scalar over one set
+/// of random input images: inputs are generated once per (N, run), the
+/// scalar runs once, and candidates replay against the snapshot via image
+/// restore. Verdict-identical to calling runChecksumTest per candidate.
+ChecksumBatchResult
+runChecksumBatch(const vir::VFunction &Scalar,
+                 const std::vector<const vir::VFunction *> &Candidates,
+                 const ChecksumConfig &Cfg = ChecksumConfig(),
+                 ScalarRefMemo *Memo = nullptr);
 
 } // namespace interp
 } // namespace lv

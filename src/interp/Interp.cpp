@@ -67,6 +67,91 @@ double CostModel::costOf(Op O) const {
   }
 }
 
+const char *lv::interp::opClassName(OpClass C) {
+  switch (C) {
+  case OpClass::Free: return "free";
+  case OpClass::ScalarAlu: return "salu";
+  case OpClass::ScalarMul: return "smul";
+  case OpClass::ScalarDiv: return "sdiv";
+  case OpClass::ScalarLoad: return "sload";
+  case OpClass::ScalarStore: return "sstore";
+  case OpClass::VectorAlu: return "valu";
+  case OpClass::VectorMul: return "vmul";
+  case OpClass::VectorLoad: return "vload";
+  case OpClass::VectorStore: return "vstore";
+  case OpClass::VectorShuffle: return "vshuf";
+  case OpClass::Branch: return "branch";
+  case OpClass::LoopIter: return "loop";
+  }
+  return "?";
+}
+
+const char *lv::interp::trapKindName(TrapKind K) {
+  switch (K) {
+  case TrapKind::None: return "none";
+  case TrapKind::DivByZero: return "div-by-zero";
+  case TrapKind::Overflow: return "overflow";
+  case TrapKind::OutOfBounds: return "out-of-bounds";
+  case TrapKind::Harness: return "harness";
+  case TrapKind::Unknown: return "unknown";
+  }
+  return "?";
+}
+
+OpClass lv::interp::opClassOf(Op O) {
+  switch (O) {
+  case Op::ConstI32:
+  case Op::Copy:
+    return OpClass::Free;
+  case Op::Mul:
+    return OpClass::ScalarMul;
+  case Op::SDiv:
+  case Op::SRem:
+    return OpClass::ScalarDiv;
+  case Op::Load:
+    return OpClass::ScalarLoad;
+  case Op::Store:
+    return OpClass::ScalarStore;
+  case Op::VMul:
+    return OpClass::VectorMul;
+  case Op::VLoad:
+  case Op::VMaskLoad:
+    return OpClass::VectorLoad;
+  case Op::VStore:
+  case Op::VMaskStore:
+    return OpClass::VectorStore;
+  case Op::VBuild:
+  case Op::VBlend:
+  case Op::VSelect:
+  case Op::VPermute:
+  case Op::VHAdd:
+  case Op::VExtract:
+  case Op::VInsert:
+    return OpClass::VectorShuffle;
+  case Op::VBroadcast:
+  case Op::VAdd:
+  case Op::VSub:
+  case Op::VMinS:
+  case Op::VMaxS:
+  case Op::VAnd:
+  case Op::VOr:
+  case Op::VXor:
+  case Op::VAndNot:
+  case Op::VAbs:
+  case Op::VCmpGt:
+  case Op::VCmpEq:
+  case Op::VShlI:
+  case Op::VShrLI:
+  case Op::VShrAI:
+  case Op::VShlV:
+  case Op::VShrLV:
+  case Op::VShrAV:
+    return OpClass::VectorAlu;
+  default:
+    return OpClass::ScalarAlu;
+  }
+}
+
 namespace {
 
 using VecVal = std::array<int32_t, Lanes>;
@@ -98,14 +183,17 @@ private:
   void setS(int R, int32_t V) { Scalars[static_cast<size_t>(R)] = V; }
   void setV(int R, const VecVal &V) { Vectors[static_cast<size_t>(R)] = V; }
 
-  Signal trap(const std::string &Msg) {
+  Signal trap(TrapKind K, const std::string &Msg) {
     Result.St = ExecResult::Trap;
+    Result.Cause = K;
     Result.TrapMsg = Msg;
     return Signal::Trapped;
   }
 
   bool charge(Op O) {
     ++Result.Steps;
+    ++Result.Work.Instrs;
+    ++Result.Work.Hist[static_cast<size_t>(opClassOf(O))];
     if (Cfg.Costs)
       Result.Cycles += Cfg.Costs->costOf(O);
     return Result.Steps <= Cfg.MaxSteps;
@@ -183,9 +271,9 @@ Signal Interp::execInstr(const Instr &I) {
     int32_t D = s(A(1));
     int32_t N = s(A(0));
     if (D == 0)
-      return trap("integer division by zero");
+      return trap(TrapKind::DivByZero, "integer division by zero");
     if (N == INT32_MIN && D == -1)
-      return trap("signed division overflow");
+      return trap(TrapKind::Overflow, "signed division overflow");
     // Compilers strength-reduce division by powers of two to shifts; the
     // cost model follows suit (refund the divider, charge ALU ops).
     if (Cfg.Costs && D > 0 && (D & (D - 1)) == 0)
@@ -197,9 +285,9 @@ Signal Interp::execInstr(const Instr &I) {
     int32_t D = s(A(1));
     int32_t N = s(A(0));
     if (D == 0)
-      return trap("integer remainder by zero");
+      return trap(TrapKind::DivByZero, "integer remainder by zero");
     if (N == INT32_MIN && D == -1)
-      return trap("signed remainder overflow");
+      return trap(TrapKind::Overflow, "signed remainder overflow");
     if (Cfg.Costs && D > 0 && (D & (D - 1)) == 0)
       Result.Cycles -= Cfg.Costs->ScalarDiv - 2 * Cfg.Costs->ScalarAlu;
     setS(I.Rd, N % D);
@@ -257,7 +345,8 @@ Signal Interp::execInstr(const Instr &I) {
     std::vector<int32_t> *R = region(I.Imm);
     int64_t Off = s(A(0));
     if (!R || Off < 0 || Off >= static_cast<int64_t>(R->size()))
-      return trap(format("out-of-bounds load @%s[%lld]",
+      return trap(TrapKind::OutOfBounds,
+                  format("out-of-bounds load @%s[%lld]",
                          F.Memories[static_cast<size_t>(I.Imm)].Name.c_str(),
                          static_cast<long long>(Off)));
     setS(I.Rd, (*R)[static_cast<size_t>(Off)]);
@@ -267,7 +356,8 @@ Signal Interp::execInstr(const Instr &I) {
     std::vector<int32_t> *R = region(I.Imm);
     int64_t Off = s(A(0));
     if (!R || Off < 0 || Off >= static_cast<int64_t>(R->size()))
-      return trap(format("out-of-bounds store @%s[%lld]",
+      return trap(TrapKind::OutOfBounds,
+                  format("out-of-bounds store @%s[%lld]",
                          F.Memories[static_cast<size_t>(I.Imm)].Name.c_str(),
                          static_cast<long long>(Off)));
     (*R)[static_cast<size_t>(Off)] = s(A(1));
@@ -424,7 +514,8 @@ Signal Interp::execInstr(const Instr &I) {
     std::vector<int32_t> *R = region(I.Imm);
     int64_t Off = s(A(0));
     if (!R || Off < 0 || Off + Lanes > static_cast<int64_t>(R->size()))
-      return trap(format("out-of-bounds vector load @%s[%lld..%lld]",
+      return trap(TrapKind::OutOfBounds,
+                  format("out-of-bounds vector load @%s[%lld..%lld]",
                          F.Memories[static_cast<size_t>(I.Imm)].Name.c_str(),
                          static_cast<long long>(Off),
                          static_cast<long long>(Off + Lanes - 1)));
@@ -438,7 +529,8 @@ Signal Interp::execInstr(const Instr &I) {
     std::vector<int32_t> *R = region(I.Imm);
     int64_t Off = s(A(0));
     if (!R || Off < 0 || Off + Lanes > static_cast<int64_t>(R->size()))
-      return trap(format("out-of-bounds vector store @%s[%lld..%lld]",
+      return trap(TrapKind::OutOfBounds,
+                  format("out-of-bounds vector store @%s[%lld..%lld]",
                          F.Memories[static_cast<size_t>(I.Imm)].Name.c_str(),
                          static_cast<long long>(Off),
                          static_cast<long long>(Off + Lanes - 1)));
@@ -457,7 +549,7 @@ Signal Interp::execInstr(const Instr &I) {
         continue; // inactive lanes do not touch memory
       int64_t At = Off + static_cast<int64_t>(L);
       if (!R || At < 0 || At >= static_cast<int64_t>(R->size()))
-        return trap("out-of-bounds masked load");
+        return trap(TrapKind::OutOfBounds, "out-of-bounds masked load");
       V[L] = (*R)[static_cast<size_t>(At)];
     }
     setV(I.Rd, V);
@@ -473,13 +565,13 @@ Signal Interp::execInstr(const Instr &I) {
         continue;
       int64_t At = Off + static_cast<int64_t>(L);
       if (!R || At < 0 || At >= static_cast<int64_t>(R->size()))
-        return trap("out-of-bounds masked store");
+        return trap(TrapKind::OutOfBounds, "out-of-bounds masked store");
       (*R)[static_cast<size_t>(At)] = V[L];
     }
     return Signal::Normal;
   }
   }
-  return trap("unknown opcode");
+  return trap(TrapKind::Unknown, "unknown opcode");
 }
 
 Signal Interp::execNode(const Node &N) {
@@ -491,6 +583,8 @@ Signal Interp::execNode(const Node &N) {
       Result.Cycles += Cfg.Costs->Branch;
     }
     ++Result.Steps;
+    ++Result.Work.Instrs;
+    ++Result.Work.Hist[static_cast<size_t>(OpClass::Branch)];
     if (Result.Steps > Cfg.MaxSteps) {
       Result.St = ExecResult::OutOfFuel;
       return Signal::Fuel;
@@ -507,6 +601,8 @@ Signal Interp::execNode(const Node &N) {
         return Sig;
       if (Cfg.Costs)
         Result.Cycles += Cfg.Costs->LoopIter;
+      ++Result.Work.Instrs;
+      ++Result.Work.Hist[static_cast<size_t>(OpClass::LoopIter)];
       if (s(N.CondReg) == 0)
         return Signal::Normal;
       Sig = execRegion(N.BodyR);
@@ -549,6 +645,7 @@ ExecResult Interp::run(const std::vector<int32_t> &ScalarArgs) {
       continue;
     if (ArgIdx >= ScalarArgs.size()) {
       Result.St = ExecResult::Trap;
+      Result.Cause = TrapKind::Harness;
       Result.TrapMsg = "missing scalar argument";
       return Result;
     }
@@ -560,6 +657,7 @@ ExecResult Interp::run(const std::vector<int32_t> &ScalarArgs) {
     if (M.IsParam) {
       if (I >= Mem.Regions.size()) {
         Result.St = ExecResult::Trap;
+        Result.Cause = TrapKind::Harness;
         Result.TrapMsg = format("missing memory for region @%s",
                                 M.Name.c_str());
         return Result;

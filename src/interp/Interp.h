@@ -51,6 +51,79 @@ struct CostModel {
   double costOf(vir::Op O) const;
 };
 
+/// Coarse instruction classes for the interpreter work histogram. Both
+/// execution engines (the tree-walk below and the bytecode VM in
+/// interp/Bytecode.h) tally exactly the same events into the same classes,
+/// so per-class counts are engine-independent and the parity suite can
+/// compare them bit for bit.
+enum class OpClass : uint8_t {
+  Free,          ///< ConstI32 / Copy — zero-cost register plumbing.
+  ScalarAlu,
+  ScalarMul,
+  ScalarDiv,     ///< SDiv / SRem.
+  ScalarLoad,
+  ScalarStore,
+  VectorAlu,
+  VectorMul,
+  VectorLoad,    ///< VLoad / VMaskLoad.
+  VectorStore,   ///< VStore / VMaskStore.
+  VectorShuffle, ///< Cross-lane ops: permute/blend/extract/insert/build.
+  Branch,        ///< One `if` dispatch.
+  LoopIter,      ///< One loop back-edge (cond re-check).
+};
+inline constexpr size_t kNumOpClasses = 13;
+
+const char *opClassName(OpClass C);
+
+/// Work class of \p O (pure; shared by both engines).
+OpClass opClassOf(vir::Op O);
+
+/// Interpreter work counters: what one execution actually did. `Instrs`
+/// counts charged events — executed instructions plus `if` dispatches and
+/// loop back-edges — i.e. everything both engines model identically.
+struct InterpWork {
+  uint64_t Instrs = 0;
+  uint64_t Hist[kNumOpClasses] = {};
+
+  uint64_t loads() const {
+    return Hist[static_cast<size_t>(OpClass::ScalarLoad)] +
+           Hist[static_cast<size_t>(OpClass::VectorLoad)];
+  }
+  uint64_t stores() const {
+    return Hist[static_cast<size_t>(OpClass::ScalarStore)] +
+           Hist[static_cast<size_t>(OpClass::VectorStore)];
+  }
+  uint64_t branches() const {
+    return Hist[static_cast<size_t>(OpClass::Branch)] +
+           Hist[static_cast<size_t>(OpClass::LoopIter)];
+  }
+  void add(const InterpWork &O) {
+    Instrs += O.Instrs;
+    for (size_t I = 0; I < kNumOpClasses; ++I)
+      Hist[I] += O.Hist[I];
+  }
+  bool operator==(const InterpWork &O) const {
+    if (Instrs != O.Instrs)
+      return false;
+    for (size_t I = 0; I < kNumOpClasses; ++I)
+      if (Hist[I] != O.Hist[I])
+        return false;
+    return true;
+  }
+};
+
+/// Why an execution trapped (machine-readable mirror of TrapMsg).
+enum class TrapKind : uint8_t {
+  None,
+  DivByZero,    ///< Integer division/remainder by zero.
+  Overflow,     ///< INT_MIN / -1 style signed overflow.
+  OutOfBounds,  ///< Scalar/vector/masked access outside the region.
+  Harness,      ///< Missing argument or memory region (caller error).
+  Unknown,      ///< Unrecognized opcode.
+};
+
+const char *trapKindName(TrapKind K);
+
 /// Concrete memory: one i32 buffer per VIR memory region.
 struct MemoryImage {
   std::vector<std::vector<int32_t>> Regions;
@@ -73,10 +146,12 @@ struct ExecConfig {
 struct ExecResult {
   enum Status { Ok, Trap, OutOfFuel } St = Ok;
   std::string TrapMsg;
+  TrapKind Cause = TrapKind::None; ///< Valid when St == Status::Trap.
   uint64_t Steps = 0;
   double Cycles = 0.0;
   bool Returned = false;
   int32_t RetVal = 0;
+  InterpWork Work; ///< Engine-independent work counters.
 
   bool ok() const { return St == Ok; }
 };

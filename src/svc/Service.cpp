@@ -233,15 +233,15 @@ VectorizerService::checkCached(const std::string &ScalarSrc,
 interp::ChecksumOutcome VectorizerService::testCached(
     const std::string &ScalarSrc, const std::string &CandidateSrc,
     const vir::VFunction &Scalar, const vir::VFunction &Vec,
-    const interp::ChecksumConfig &CCfg) {
+    const interp::ChecksumConfig &CCfg, interp::ScalarRefMemo *Memo) {
   if (!Cfg.EnableVerdictCache)
-    return interp::runChecksumTest(Scalar, Vec, CCfg);
+    return interp::runChecksumTest(Scalar, Vec, CCfg, Memo);
   VerdictCache::Key K =
       VerdictCache::makeKey(ScalarSrc, CandidateSrc, CCfg.configHash());
   interp::ChecksumOutcome O;
   if (Cache->lookupChecksum(K, ScalarSrc, CandidateSrc, O))
     return O;
-  O = interp::runChecksumTest(Scalar, Vec, CCfg);
+  O = interp::runChecksumTest(Scalar, Vec, CCfg, Memo);
   Cache->storeChecksum(K, ScalarSrc, CandidateSrc, O);
   return O;
 }
@@ -270,16 +270,23 @@ void VectorizerService::runTask(Task &T) {
     std::unique_ptr<llm::LLMClient> Client = Cfg.MakeClient(
         Cfg.PerTaskSeedDerivation ? taskSeed(R.Seed, R.Name) : R.Seed);
     agents::FsmConfig FC = R.Fsm;
+    // The task-scoped reference memo: the scalar runs once per input set
+    // across every repair attempt the FSM makes.
+    interp::ScalarRefMemo Memo;
     if (!FC.Tester) {
       // Route the tester agent's checksum runs through the outcome cache:
       // the FSM's repair loop re-tests recurring candidates, and sampled
       // corpora re-generate the same completion text constantly.
       const std::string &ScalarSrc = R.ScalarSource;
-      FC.Tester = [this, &ScalarSrc](const std::string &CandidateSrc,
-                                     const vir::VFunction &Scalar,
-                                     const vir::VFunction &Vec,
-                                     const interp::ChecksumConfig &CCfg) {
-        return testCached(ScalarSrc, CandidateSrc, Scalar, Vec, CCfg);
+      FC.Tester = [this, &ScalarSrc, &O,
+                   &Memo](const std::string &CandidateSrc,
+                          const vir::VFunction &Scalar,
+                          const vir::VFunction &Vec,
+                          const interp::ChecksumConfig &CCfg) {
+        interp::ChecksumOutcome CO =
+            testCached(ScalarSrc, CandidateSrc, Scalar, Vec, CCfg, &Memo);
+        O.ChecksumWork.add(CO);
+        return CO;
       };
     }
     agents::MultiAgentFsm Fsm(*Client, FC);
@@ -290,6 +297,8 @@ void VectorizerService::runTask(Task &T) {
                             O.VerdictCacheHit);
       O.VerifyRan = true;
       aggregateSatWork(O);
+      if (O.Equiv.Final != core::EquivResult::CannotCompile)
+        O.ChecksumWork.add(O.Equiv.ChecksumRes);
     }
     break;
   }
@@ -299,17 +308,32 @@ void VectorizerService::runTask(Task &T) {
                           O.VerdictCacheHit);
     O.VerifyRan = true;
     aggregateSatWork(O);
+    if (O.Equiv.Final != core::EquivResult::CannotCompile)
+      O.ChecksumWork.add(O.Equiv.ChecksumRes);
     break;
 
   case RunMode::Sample: {
     // The §4.1.1 "code completions" setting: K independent samples, no
-    // feedback, each classified by checksum testing.
+    // feedback, each classified by checksum testing. Classification is
+    // batched: all completions are generated and compiled first, cache
+    // hits replay stored outcomes, and the remaining distinct candidates
+    // run through one runChecksumBatch — the random images are built and
+    // the scalar reference executed once per input set for the whole
+    // candidate set instead of once per sample.
     std::unique_ptr<llm::LLMClient> Client = Cfg.MakeClient(
         Cfg.PerTaskSeedDerivation ? taskSeed(R.Seed, R.Name) : R.Seed);
     vir::CompileResult SC = vir::compileFunction(R.ScalarSource);
     llm::Prompt P;
     P.ScalarSource = R.ScalarSource;
     O.Samples.reserve(static_cast<size_t>(R.SampleCount));
+    struct PendingCand {
+      std::string Source;
+      vir::VFunctionPtr Fn;
+      std::vector<size_t> Samples; ///< Sample indices sharing this source.
+    };
+    std::vector<PendingCand> Pending;
+    std::unordered_map<std::string, size_t> PendIdx;
+    uint64_t CCfgHash = R.Fsm.Checksum.configHash();
     for (int I = 0; I < R.SampleCount; ++I) {
       llm::Completion C = Client->complete(P, static_cast<uint64_t>(I));
       SampleVerdict V;
@@ -318,11 +342,57 @@ void VectorizerService::runTask(Task &T) {
       V.Compiles = VC.ok();
       if (V.Compiles && SC.ok() &&
           C.Source.find("_mm256_") != std::string::npos) {
-        interp::ChecksumOutcome CO = testCached(
-            R.ScalarSource, C.Source, *SC.Fn, *VC.Fn, R.Fsm.Checksum);
-        V.Plausible = CO.Verdict == interp::TestVerdict::Plausible;
+        interp::ChecksumOutcome CO;
+        bool Hit = false;
+        if (Cfg.EnableVerdictCache) {
+          VerdictCache::Key K =
+              VerdictCache::makeKey(R.ScalarSource, C.Source, CCfgHash);
+          Hit = Cache->lookupChecksum(K, R.ScalarSource, C.Source, CO);
+        }
+        if (Hit) {
+          V.Plausible = CO.Verdict == interp::TestVerdict::Plausible;
+          O.ChecksumWork.add(CO);
+        } else {
+          auto It = PendIdx.find(C.Source);
+          if (It != PendIdx.end()) {
+            Pending[It->second].Samples.push_back(O.Samples.size());
+          } else {
+            PendIdx.emplace(C.Source, Pending.size());
+            Pending.push_back(
+                {C.Source, std::move(VC.Fn), {O.Samples.size()}});
+          }
+        }
       }
       O.Samples.push_back(std::move(V));
+    }
+    if (!Pending.empty()) {
+      std::vector<const vir::VFunction *> Fns;
+      Fns.reserve(Pending.size());
+      for (const PendingCand &PC : Pending)
+        Fns.push_back(PC.Fn.get());
+      interp::ChecksumBatchResult BR =
+          interp::runChecksumBatch(*SC.Fn, Fns, R.Fsm.Checksum);
+      uint64_t BatchSets = 0;
+      for (size_t I = 0; I < Pending.size(); ++I) {
+        const interp::ChecksumOutcome &CO = BR.Outcomes[I];
+        if (Cfg.EnableVerdictCache) {
+          VerdictCache::Key K = VerdictCache::makeKey(
+              R.ScalarSource, Pending[I].Source, CCfgHash);
+          Cache->storeChecksum(K, R.ScalarSource, Pending[I].Source, CO);
+        }
+        bool Plausible = CO.Verdict == interp::TestVerdict::Plausible;
+        for (size_t SI : Pending[I].Samples)
+          O.Samples[SI].Plausible = Plausible;
+        O.ChecksumWork.add(CO);
+        BatchSets += CO.Work.InputSets;
+      }
+      // Shared reference work, counted once at batch level; every input
+      // set a candidate consumed beyond the references actually executed
+      // was a saved scalar run.
+      O.ChecksumWork.ScalarRuns += BR.ScalarRuns;
+      O.ChecksumWork.addWork(BR.ScalarWork);
+      if (BatchSets > BR.ScalarRuns)
+        O.ChecksumWork.ScalarRunsSaved += BatchSets - BR.ScalarRuns;
     }
     break;
   }

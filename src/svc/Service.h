@@ -114,6 +114,61 @@ struct StageSatWork {
   }
 };
 
+/// Interpreter work one task's checksum testing performed, aggregated
+/// over every checksum invocation the task made (FSM tester runs, the
+/// Algorithm-1 stage-1 run, Sample-mode classification). The per-candidate
+/// counters come from interp::ChecksumWork — replayed verbatim on cache
+/// hits, so they always describe what the stored verdict originally cost;
+/// the batch path's shared scalar-reference work is added batch-level.
+/// Mirrors StageSatWork for the testing stage; bench_table2_checksum sums
+/// tasks into BENCH_table2.json.
+struct StageInterpWork {
+  uint64_t ChecksumCalls = 0; ///< Checksum invocations aggregated.
+  uint64_t InputSets = 0;     ///< (N, run) input sets consumed.
+  uint64_t CandRuns = 0;      ///< Candidate executions.
+  uint64_t ScalarRuns = 0;    ///< Scalar reference executions performed.
+  uint64_t ScalarRunsSaved = 0; ///< References reused via memo/batch.
+  uint64_t Instrs = 0;        ///< Charged interpreter events, both sides.
+  uint64_t Loads = 0;
+  uint64_t Stores = 0;
+  uint64_t Branches = 0;
+  uint64_t Traps = 0;         ///< Candidate runs that trapped.
+  uint64_t Hangs = 0;         ///< Candidate runs that exhausted fuel.
+
+  void add(const interp::ChecksumOutcome &O) {
+    ++ChecksumCalls;
+    InputSets += O.Work.InputSets;
+    CandRuns += O.Work.CandRuns;
+    ScalarRuns += O.Work.ScalarRuns;
+    ScalarRunsSaved += O.Work.ScalarRunsSaved;
+    addWork(O.Work.Cand);
+    addWork(O.Work.Scalar);
+    if (O.Work.CandTrap != interp::TrapKind::None)
+      ++Traps;
+    if (O.Work.CandHang)
+      ++Hangs;
+  }
+  void addWork(const interp::InterpWork &W) {
+    Instrs += W.Instrs;
+    Loads += W.loads();
+    Stores += W.stores();
+    Branches += W.branches();
+  }
+  void add(const StageInterpWork &O) {
+    ChecksumCalls += O.ChecksumCalls;
+    InputSets += O.InputSets;
+    CandRuns += O.CandRuns;
+    ScalarRuns += O.ScalarRuns;
+    ScalarRunsSaved += O.ScalarRunsSaved;
+    Instrs += O.Instrs;
+    Loads += O.Loads;
+    Stores += O.Stores;
+    Branches += O.Branches;
+    Traps += O.Traps;
+    Hangs += O.Hangs;
+  }
+};
+
 /// Everything one request produced: the FSM transcript, the per-stage
 /// equivalence verdicts, and wall time. Subsumes the ad-hoc
 /// FsmResult/EquivResult pairs of the per-function call chain.
@@ -131,6 +186,10 @@ struct Outcome {
   /// VerifyRan; recomputed on cache replays, so they always describe the
   /// work the stored verdict originally cost).
   StageSatWork Alive2Work, CUnrollWork, SplitWork;
+
+  /// Testing-stage interpreter work, aggregated over every checksum run
+  /// the task made (FSM tester, Algorithm-1 stage 1, Sample batches).
+  StageInterpWork ChecksumWork;
 
   std::vector<SampleVerdict> Samples; ///< Sample mode.
 
@@ -280,7 +339,8 @@ private:
                                      const std::string &CandidateSrc,
                                      const vir::VFunction &Scalar,
                                      const vir::VFunction &Vec,
-                                     const interp::ChecksumConfig &Cfg);
+                                     const interp::ChecksumConfig &Cfg,
+                                     interp::ScalarRefMemo *Memo = nullptr);
 
   ServiceConfig Cfg;
   int NumWorkers = 1;

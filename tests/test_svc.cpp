@@ -182,6 +182,28 @@ TEST(Service, CacheBypassedForUnhashableCallbacks) {
 // configHash
 //===----------------------------------------------------------------------===//
 
+TEST(Service, ChecksumWorkAggregatesInterpCounters) {
+  const char *Scalar =
+      "void f(int n, int *a, int *b) { for (int i = 0; i < n; i++) "
+      "a[i] = b[i] + 1; }";
+  VectorizerService S;
+  Request R;
+  R.Mode = RunMode::Verify;
+  R.ScalarSource = Scalar;
+  R.CandidateSource = Scalar;
+  R.Equiv = fastEquiv();
+  const Outcome &O = S.wait(S.submit(std::move(R)));
+  // Stage 1 ran: the testing-stage counters must reflect real work.
+  EXPECT_EQ(O.ChecksumWork.ChecksumCalls, 1u);
+  EXPECT_GT(O.ChecksumWork.InputSets, 0u);
+  EXPECT_GT(O.ChecksumWork.CandRuns, 0u);
+  EXPECT_GT(O.ChecksumWork.ScalarRuns, 0u);
+  EXPECT_GT(O.ChecksumWork.Instrs, 0u);
+  EXPECT_GT(O.ChecksumWork.Loads, 0u);
+  EXPECT_GT(O.ChecksumWork.Stores, 0u);
+  EXPECT_EQ(O.ChecksumWork.Traps, 0u);
+}
+
 TEST(ConfigHash, ChecksumFieldsDoNotAlias) {
   interp::ChecksumConfig A, B;
   // The classic reordering mistake: swapping two same-typed fields must
@@ -195,6 +217,11 @@ TEST(ConfigHash, ChecksumFieldsDoNotAlias) {
   EXPECT_EQ(C.configHash(), interp::ChecksumConfig().configHash());
   C.NValues.push_back(512);
   EXPECT_NE(C.configHash(), interp::ChecksumConfig().configHash());
+  // The execution-engine knob participates: tree-walk and bytecode
+  // outcomes must never share a cache slot.
+  interp::ChecksumConfig D;
+  D.UseBytecode = !D.UseBytecode;
+  EXPECT_NE(D.configHash(), interp::ChecksumConfig().configHash());
 }
 
 TEST(ConfigHash, EquivFieldsDoNotAlias) {
@@ -243,11 +270,11 @@ TEST(ConfigHash, PinnedGoldenValues) {
   // Golden pins: adding, removing, or reordering hashed fields must be a
   // conscious change — update these constants (and bump any persistent
   // cache format) when configHash legitimately changes.
-  EXPECT_EQ(interp::ChecksumConfig().configHash(), 0x02f8dac96e790c46ULL);
-  // PR 4: EquivConfig grew the query-scoped-solving fields
-  // (SharedLearntSolving, ConeProjection, TrailReuse).
-  EXPECT_EQ(core::EquivConfig().configHash(), 0x3db28f338b371800ULL);
-  EXPECT_EQ(agents::FsmConfig().configHash(), 0x2f44ef3bea3ea3b4ULL);
+  // PR 5: ChecksumConfig grew the UseBytecode engine knob (which also
+  // shifts the nested hashes in EquivConfig and FsmConfig).
+  EXPECT_EQ(interp::ChecksumConfig().configHash(), 0xf48e134cc157f574ULL);
+  EXPECT_EQ(core::EquivConfig().configHash(), 0xf9054e4e756eae57ULL);
+  EXPECT_EQ(agents::FsmConfig().configHash(), 0x5052f9edddaa4b60ULL);
 }
 
 TEST(Service, TaskSeedDerivation) {

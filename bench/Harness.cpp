@@ -3,12 +3,16 @@
 #include "bench/Harness.h"
 
 #include "interp/Checksum.h"
+#include "obs/Flight.h"
+#include "obs/Metrics.h"
 #include "support/Format.h"
 #include "vir/Compile.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
+#include <unistd.h>
 
 using namespace lv;
 using namespace lv::bench;
@@ -31,25 +35,110 @@ bool TestCorpus::allFailCompile(int K) const {
 
 BenchOptions lv::bench::parseBenchArgs(int argc, char **argv) {
   BenchOptions Opt;
+  // Matches `--flag value` and `--flag=value`; returns nullptr otherwise.
+  auto match = [&](int &I, const char *Flag) -> const char * {
+    size_t Len = std::strlen(Flag);
+    if (std::strcmp(argv[I], Flag) == 0 && I + 1 < argc)
+      return argv[++I];
+    if (std::strncmp(argv[I], Flag, Len) == 0 && argv[I][Len] == '=')
+      return argv[I] + Len + 1;
+    return nullptr;
+  };
   for (int I = 1; I < argc; ++I) {
-    const char *Value = nullptr;
-    if (std::strcmp(argv[I], "--jobs") == 0 && I + 1 < argc)
-      Value = argv[++I];
-    else if (std::strncmp(argv[I], "--jobs=", 7) == 0)
-      Value = argv[I] + 7;
-    if (!Value)
-      continue; // unknown args are ignored (gtest/benchmark flags etc.)
-    Opt.Jobs = std::atoi(Value);
-    Opt.JobsSet = true;
-    if (Opt.Jobs < 1) {
-      // A recognized flag with a bad value must fail loudly, not quietly
-      // neuter a parallel-speedup gate.
-      std::fprintf(stderr, "invalid --jobs value '%s' (want integer >= 1)\n",
-                   Value);
-      std::exit(2);
+    if (const char *Value = match(I, "--jobs")) {
+      Opt.Jobs = std::atoi(Value);
+      Opt.JobsSet = true;
+      if (Opt.Jobs < 1) {
+        // A recognized flag with a bad value must fail loudly, not quietly
+        // neuter a parallel-speedup gate.
+        std::fprintf(stderr,
+                     "invalid --jobs value '%s' (want integer >= 1)\n",
+                     Value);
+        std::exit(2);
+      }
+    } else if (const char *Value = match(I, "--trace")) {
+      Opt.TracePath = Value;
+    } else if (const char *Value = match(I, "--metrics")) {
+      Opt.MetricsPath = Value;
     }
+    // Other args are ignored (gtest/benchmark flags etc.)
+  }
+  if (!Opt.TracePath.empty()) {
+    obs::setTracingEnabled(true);
+    obs::setFlightEnabled(true);
   }
   return Opt;
+}
+
+bool lv::bench::writeObsArtifacts(const BenchOptions &Opt) {
+  bool Ok = true;
+  if (!Opt.TracePath.empty()) {
+    if (obs::writeTraceChromeJson(Opt.TracePath))
+      std::printf("trace written to %s\n", Opt.TracePath.c_str());
+    else {
+      std::fprintf(stderr, "failed to write trace to %s\n",
+                   Opt.TracePath.c_str());
+      Ok = false;
+    }
+  }
+  if (!Opt.MetricsPath.empty()) {
+    if (obs::writeMetricsJson(Opt.MetricsPath))
+      std::printf("metrics written to %s\n", Opt.MetricsPath.c_str());
+    else {
+      std::fprintf(stderr, "failed to write metrics to %s\n",
+                   Opt.MetricsPath.c_str());
+      Ok = false;
+    }
+  }
+  return Ok;
+}
+
+bool lv::bench::writeBenchJson(const std::string &BenchName,
+                               const BenchOptions &Opt,
+                               const std::string &PayloadMembers,
+                               const std::string &Path) {
+  char Host[256] = "unknown";
+  gethostname(Host, sizeof(Host) - 1);
+  std::string J = "{\n";
+  appendf(J, "  \"schema_version\": 2,\n");
+  appendf(J, "  \"bench\": \"%s\",\n", BenchName.c_str());
+  appendf(J, "  \"host\": {\"hostname\": \"%s\", \"hardware_threads\": %u},\n",
+          Host, std::thread::hardware_concurrency());
+  appendf(J, "  \"jobs\": %d,\n", Opt.Jobs);
+  J += PayloadMembers;
+  J += "\n}\n";
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "failed to open %s\n", Path.c_str());
+    return false;
+  }
+  size_t Written = std::fwrite(J.data(), 1, J.size(), F);
+  std::fclose(F);
+  if (Written != J.size())
+    return false;
+  std::printf("json mirror written to %s\n", Path.c_str());
+  return true;
+}
+
+uint64_t lv::bench::sumSpanArg(const std::vector<obs::TraceEvent> &Events,
+                               const char *Name, const char *Key) {
+  uint64_t Sum = 0;
+  for (const obs::TraceEvent &Ev : Events) {
+    if (std::strcmp(Ev.Name, Name) != 0)
+      continue;
+    for (const obs::TraceArg &A : Ev.Args)
+      if (std::strcmp(A.Key, Key) == 0)
+        Sum += A.Val;
+  }
+  return Sum;
+}
+
+size_t lv::bench::countSpans(const std::vector<obs::TraceEvent> &Events,
+                             const char *Name) {
+  size_t N = 0;
+  for (const obs::TraceEvent &Ev : Events)
+    N += std::strcmp(Ev.Name, Name) == 0 ? 1 : 0;
+  return N;
 }
 
 std::vector<TestCorpus>
@@ -158,6 +247,7 @@ lv::bench::runFunnel(const std::vector<TestCorpus> &Corpus,
     Out[TicketSlot[I]].Alive2Work = O.Alive2Work;
     Out[TicketSlot[I]].CUnrollWork = O.CUnrollWork;
     Out[TicketSlot[I]].SplitWork = O.SplitWork;
+    Out[TicketSlot[I]].ChecksumWork = O.ChecksumWork;
   }
   return Out;
 }

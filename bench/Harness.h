@@ -14,6 +14,7 @@
 
 #include "core/Equivalence.h"
 #include "llm/Client.h"
+#include "obs/Trace.h"
 #include "svc/Service.h"
 #include "tsvc/Suite.h"
 
@@ -31,13 +32,45 @@ inline constexpr uint64_t ExperimentSeed = 0xC60;
 /// (service worker count); results are verdict-identical at any N — see
 /// the svc determinism contract — so N only moves wall time. Worker
 /// count is recorded next to wall times in the BENCH_*.json mirrors.
+/// `--trace <file>` enables span tracing plus the flight recorder and
+/// writes Chrome trace-event JSON at exit; `--metrics <file>` scrapes the
+/// obs metrics registry to a file (both via writeObsArtifacts).
 struct BenchOptions {
   int Jobs = 1;
   bool JobsSet = false; ///< --jobs appeared explicitly on the command line.
+  std::string TracePath;   ///< --trace: Chrome trace-event JSON output.
+  std::string MetricsPath; ///< --metrics: metrics registry JSON output.
 };
 
-/// Parses shared flags; unknown arguments are ignored.
+/// Parses shared flags; unknown arguments are ignored. A `--trace` flag
+/// switches tracing and the flight recorder on for the whole run.
 BenchOptions parseBenchArgs(int argc, char **argv);
+
+/// Writes the trace and/or metrics artifacts requested by \p Opt (no-op
+/// for unset paths). Returns false when any requested write failed.
+bool writeObsArtifacts(const BenchOptions &Opt);
+
+/// The one shared BENCH_*.json writer: every bench emits
+///   {"schema_version": 2, "bench": <name>,
+///    "host": {"hostname", "hardware_threads"}, "jobs": N, <payload>}
+/// where \p PayloadMembers is the bench-specific body — pre-rendered JSON
+/// object members without the surrounding braces (the caller owns its
+/// schema; this writer owns the envelope). Returns false on I/O failure.
+/// (bench_smt_core is the one exception: google-benchmark emits its JSON
+/// directly via --benchmark_out.)
+bool writeBenchJson(const std::string &BenchName, const BenchOptions &Opt,
+                    const std::string &PayloadMembers,
+                    const std::string &Path);
+
+/// Sums integer argument \p Key over every snapshot event named \p Name
+/// (all categories). The bench parity gates use this to compare per-stage
+/// span sums against the StageSatWork/StageInterpWork tallies.
+uint64_t sumSpanArg(const std::vector<obs::TraceEvent> &Events,
+                    const char *Name, const char *Key);
+
+/// Number of snapshot events named \p Name.
+size_t countSpans(const std::vector<obs::TraceEvent> &Events,
+                  const char *Name);
 
 /// One sampled completion with its checksum classification.
 struct CandidateRecord {
@@ -85,6 +118,8 @@ struct FunnelRecord {
   core::EquivResult Result;
   /// Per-stage SAT-work aggregates from the service Outcome.
   svc::StageSatWork Alive2Work, CUnrollWork, SplitWork;
+  /// Testing-stage interpreter work from the service Outcome.
+  svc::StageInterpWork ChecksumWork;
 };
 
 /// Runs Algorithm 1 on the first plausible candidate of each test, one

@@ -17,14 +17,22 @@
 // (test, candidate) pair; bit-identical modeled cycle counts between the
 // engines across the corpus; >= 2x wall-clock reduction on the checksum
 // stage; and the svc::VectorizerService Sample-mode routing (batch + cache
-// composition) reproducing the same tallies. `--smoke` shrinks bounds and
-// runs the parity gates only (CI mode). Results land in BENCH_table2.json.
+// composition) reproducing the same tallies. The svc phase additionally
+// runs traced on clean obs state: per-stage span sums and metrics
+// counters must reproduce the StageInterpWork tally exactly, the
+// trace/metrics artifacts must be well-formed JSON, and (full mode) the
+// measured tracing overhead on the checksum stage must stay under 3%.
+// `--smoke` shrinks bounds and runs the parity gates only (CI mode).
+// Results land in BENCH_table2.json via the shared bench JSON writer.
 //
 //===----------------------------------------------------------------------===//
 
 #include "bench/Harness.h"
 #include "interp/Bytecode.h"
 #include "llm/Client.h"
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Format.h"
 #include "support/Rng.h"
 #include "vir/Compile.h"
@@ -33,7 +41,6 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <map>
 #include <memory>
 
@@ -82,6 +89,11 @@ int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I)
     if (std::strcmp(argv[I], "--smoke") == 0)
       Smoke = true;
+  // The A/B arms must run untraced (they are the baseline the tracing
+  // overhead is measured against); the dedicated phases below flip
+  // tracing back on.
+  const bool TraceRequested = obs::tracingEnabled();
+  obs::setTracingEnabled(false);
   int SvcJobs = Opt.JobsSet ? Opt.Jobs : (Smoke ? 1 : 4);
   const int K = Smoke ? 8 : 100;
 
@@ -197,6 +209,41 @@ int main(int argc, char **argv) {
     BcNanos = std::min(BcNanos, nowNanos() - T0);
   }
 
+  // Tracing-overhead measurement: the bytecode arm rerun with span
+  // tracing enabled, same min-of-reps estimator. Verdicts are
+  // deterministic, so re-writing BcOut is a no-op; the recorded spans are
+  // discarded afterwards so the svc-phase parity gates see a clean trace.
+  std::printf("  [obs] bytecode arm rerun with tracing on (x%d)...\n",
+              Reps);
+  obs::setTracingEnabled(true);
+  uint64_t BcTracedNanos = ~0ULL;
+  for (int Rep = 0; Rep < Reps; ++Rep) {
+    uint64_t T0 = nowNanos();
+    for (TestSet &S : Sets) {
+      std::vector<const vir::VFunction *> Fns;
+      std::vector<size_t> Which;
+      for (size_t I = 0; I < S.Cands.size(); ++I)
+        if (S.Cands[I].Eligible) {
+          Fns.push_back(S.Cands[I].Fn.get());
+          Which.push_back(I);
+        }
+      if (Fns.empty())
+        continue;
+      interp::ChecksumBatchResult BR =
+          interp::runChecksumBatch(*S.Scalar, Fns, BcCfg);
+      for (size_t I = 0; I < Which.size(); ++I)
+        S.Cands[Which[I]].BcOut = std::move(BR.Outcomes[I]);
+    }
+    BcTracedNanos = std::min(BcTracedNanos, nowNanos() - T0);
+  }
+  obs::setTracingEnabled(false);
+  obs::resetTrace();
+  double OverheadPct =
+      BcNanos ? (static_cast<double>(BcTracedNanos) -
+                 static_cast<double>(BcNanos)) /
+                    static_cast<double>(BcNanos) * 100.0
+              : 0.0;
+
   // Gate 1: bit-identical verdicts between the arms.
   int VerdictMismatches = 0;
   uint64_t TreeCandRuns = 0, TreeScalarRuns = 0;
@@ -276,7 +323,14 @@ int main(int argc, char **argv) {
 
   // [4/4] Service routing: Sample mode composes the batch path with the
   // checksum-outcome cache; tallies must reproduce the arm verdicts.
-  std::printf("  [svc] Sample mode at %d worker(s)...\n", SvcJobs);
+  // This phase runs traced on clean trace/metrics state: it is cache-free
+  // (fresh service, one distinct scalar per task, within-task duplicates
+  // deduplicated before the batch), so span sums and registry counters
+  // must equal the StageInterpWork tally exactly — the obs parity gates.
+  std::printf("  [svc] Sample mode at %d worker(s), traced...\n", SvcJobs);
+  obs::resetTrace();
+  obs::resetMetrics();
+  obs::setTracingEnabled(true);
   svc::StageInterpWork SvcWork;
   int SvcMismatches = 0;
   uint64_t SvcNanos = 0;
@@ -317,6 +371,8 @@ int main(int argc, char **argv) {
     }
     SvcNanos = nowNanos() - T0;
   }
+  obs::setTracingEnabled(TraceRequested);
+  std::vector<obs::TraceEvent> Events = obs::snapshotTrace();
 
   // Table-2 tallies from the (parity-gated) arm verdicts.
   std::vector<TestCorpus> Corpus;
@@ -375,6 +431,57 @@ int main(int argc, char **argv) {
                            : 1.0;
   bool SpeedupOk = Smoke || Speedup >= 2.0;
 
+  // Observability gates: the traced svc phase's span sums and registry
+  // counters must reproduce the StageInterpWork tally bit-for-bit, and
+  // both exported artifacts must be well-formed JSON with the expected
+  // top-level keys. Overhead is gated in full mode only (single smoke
+  // reps are too noisy to gate on).
+  bool SpanParityOk =
+      sumSpanArg(Events, "checksum.batch", "instrs") == SvcWork.Instrs &&
+      sumSpanArg(Events, "checksum.batch", "cand_runs") ==
+          SvcWork.CandRuns &&
+      sumSpanArg(Events, "checksum.batch", "scalar_runs") ==
+          SvcWork.ScalarRuns &&
+      sumSpanArg(Events, "checksum.batch", "input_sets") ==
+          SvcWork.InputSets &&
+      sumSpanArg(Events, "checksum.batch", "scalar_runs_saved") ==
+          SvcWork.ScalarRunsSaved &&
+      countSpans(Events, "task.sample") == Sets.size();
+  bool CounterParityOk =
+      obs::counterValue("interp.instrs") == SvcWork.Instrs &&
+      obs::counterValue("interp.cand_runs") == SvcWork.CandRuns &&
+      obs::counterValue("interp.scalar_runs") == SvcWork.ScalarRuns &&
+      obs::counterValue("interp.input_sets") == SvcWork.InputSets &&
+      obs::counterValue("interp.scalar_runs_saved") ==
+          SvcWork.ScalarRunsSaved &&
+      obs::counterValue("interp.traps") == SvcWork.Traps &&
+      obs::counterValue("interp.hangs") == SvcWork.Hangs &&
+      obs::counterValue("interp.checksum_batches") ==
+          countSpans(Events, "checksum.batch") &&
+      obs::counterValue("svc.tasks") == Sets.size();
+  std::string TraceJson = obs::traceChromeJson();
+  std::string MetricsStr = obs::metricsJson();
+  std::string JsonErr;
+  std::vector<std::string> Keys;
+  auto hasKey = [&](const char *K) {
+    for (const std::string &S : Keys)
+      if (S == K)
+        return true;
+    return false;
+  };
+  bool TraceJsonOk =
+      obs::json::validate(TraceJson, &JsonErr, &Keys) &&
+      hasKey("traceEvents");
+  if (!TraceJsonOk)
+    std::printf("  TRACE JSON INVALID: %s\n", JsonErr.c_str());
+  Keys.clear();
+  bool MetricsJsonOk = obs::json::validate(MetricsStr, &JsonErr, &Keys) &&
+                       hasKey("schema_version") && hasKey("counters") &&
+                       hasKey("histograms");
+  if (!MetricsJsonOk)
+    std::printf("  METRICS JSON INVALID: %s\n", JsonErr.c_str());
+  bool OverheadOk = Smoke || OverheadPct < 3.0;
+
   interp::BytecodeCacheStats BcStats = interp::bytecodeCacheStats();
   std::printf("\n  checksum-stage wall: %8.1fms tree-walk, %8.1fms "
               "bytecode+batch (%.2fx)\n",
@@ -407,9 +514,23 @@ int main(int argc, char **argv) {
   std::printf("  checksum stage speeds up (>= 2x): %s\n",
               Smoke ? "SKIPPED (smoke)"
                     : (SpeedupOk ? "OK" : "MISMATCH"));
+  std::printf("  tracing overhead on checksum stage: %.2f%% (%s)\n",
+              OverheadPct,
+              Smoke ? "report-only in smoke"
+                    : (OverheadOk ? "OK, < 3%" : "MISMATCH, >= 3%"));
+  std::printf("  span sums reproduce StageInterpWork tally: %s\n",
+              SpanParityOk ? "OK" : "MISMATCH");
+  std::printf("  metrics counters reproduce StageInterpWork tally: %s\n",
+              CounterParityOk ? "OK" : "MISMATCH");
+  std::printf("  trace/metrics JSON well-formed: %s / %s\n",
+              TraceJsonOk ? "OK" : "MISMATCH",
+              MetricsJsonOk ? "OK" : "MISMATCH");
+  obs::TraceStats TS = obs::traceStats();
+  std::printf("  trace: %zu events on %zu thread(s), %llu dropped\n",
+              TS.Events, TS.Threads,
+              static_cast<unsigned long long>(TS.Dropped));
 
-  std::string J = "{\n";
-  appendf(J, "  \"name\": \"bench_table2_checksum\",\n");
+  std::string J;
   appendf(J, "  \"smoke\": %s,\n  \"k\": %d,\n", Smoke ? "true" : "false",
           K);
   appendf(J, "  \"tallies\": {\n");
@@ -454,16 +575,37 @@ int main(int argc, char **argv) {
           BcStats.Entries, static_cast<unsigned long long>(BcStats.Hits),
           static_cast<unsigned long long>(BcStats.Misses));
   appendf(J,
+          "  \"obs\": {\"traced_wall_ns\": %llu, \"overhead_pct\": %.3f, "
+          "\"trace_events\": %zu, \"trace_threads\": %zu, "
+          "\"trace_dropped\": %llu},\n",
+          static_cast<unsigned long long>(BcTracedNanos), OverheadPct,
+          TS.Events, TS.Threads,
+          static_cast<unsigned long long>(TS.Dropped));
+  appendf(J,
           "  \"verdict_mismatches\": %d,\n  \"cycle_mismatches\": %d,\n"
           "  \"svc_mismatches\": %d,\n",
           VerdictMismatches, CycleMismatches, SvcMismatches);
   appendf(J,
           "  \"verdict_ok\": %s,\n  \"cycle_ok\": %s,\n  \"svc_ok\": "
-          "%s,\n  \"shape_ok\": %s,\n  \"speedup_ok\": %s\n}\n",
+          "%s,\n  \"shape_ok\": %s,\n  \"speedup_ok\": %s,\n",
           VerdictOk ? "true" : "false", CycleOk ? "true" : "false",
           SvcOk ? "true" : "false", ShapeOk ? "true" : "false",
           SpeedupOk ? "true" : "false");
-  std::ofstream("BENCH_table2.json") << J;
+  appendf(J,
+          "  \"span_parity_ok\": %s,\n  \"counter_parity_ok\": %s,\n"
+          "  \"trace_json_ok\": %s,\n  \"metrics_json_ok\": %s,\n"
+          "  \"overhead_ok\": %s",
+          SpanParityOk ? "true" : "false",
+          CounterParityOk ? "true" : "false",
+          TraceJsonOk ? "true" : "false", MetricsJsonOk ? "true" : "false",
+          OverheadOk ? "true" : "false");
+  bool JsonOk = writeBenchJson("bench_table2_checksum", Opt, J,
+                               "BENCH_table2.json");
+  bool ObsOk = writeObsArtifacts(Opt);
 
-  return VerdictOk && CycleOk && SvcOk && ShapeOk && SpeedupOk ? 0 : 1;
+  return VerdictOk && CycleOk && SvcOk && ShapeOk && SpeedupOk &&
+                 SpanParityOk && CounterParityOk && TraceJsonOk &&
+                 MetricsJsonOk && OverheadOk && JsonOk && ObsOk
+             ? 0
+             : 1;
 }

@@ -43,11 +43,13 @@
 
 #include "bench/Harness.h"
 #include "bench/seedref/SeedRef.h"
+#include "obs/Json.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Format.h"
 
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 
 using namespace lv;
 using namespace lv::bench;
@@ -175,6 +177,11 @@ int main(int argc, char **argv) {
     if (std::strcmp(argv[I], "--quick") == 0)
       Quick = true;
 
+  // Tracing is scoped to the fork arm only: corpus generation and the
+  // other arms would otherwise pollute the span-vs-tally parity sums.
+  const bool TraceRequested = obs::tracingEnabled();
+  obs::setTracingEnabled(false);
+
   printHeader("Table 3: equivalence-checking funnel");
   std::printf("  sampling candidates and running Algorithm 1 over %zu "
               "tests (--jobs %d)...\n",
@@ -211,6 +218,14 @@ int main(int argc, char **argv) {
   core::EquivConfig Defaults;
   int DefaultArm = -1;
 
+  // The fork arm doubles as the observability reference: it runs traced
+  // (fresh trace + metrics), and its span/counter sums are gated against
+  // the StageSatWork/StageInterpWork tallies below.
+  const size_t ForkArm = 1;
+  std::vector<obs::TraceEvent> Events;
+  std::vector<obs::CounterSample> Counters;
+  std::string TraceDoc, MetricsDoc;
+
   for (size_t I = 0; I < Arms.size(); ++I) {
     Arm &A = Arms[I];
     core::EquivConfig Cfg = Base;
@@ -236,13 +251,27 @@ int main(int argc, char **argv) {
         DefaultArm = static_cast<int>(I);
     }
     std::printf("  [%zu/%zu] %s...\n", I + 1, Arms.size(), A.Name);
+    if (I == ForkArm) {
+      obs::resetTrace();
+      obs::resetMetrics();
+      obs::setTracingEnabled(true);
+    }
     A.Records = runFunnel(Corpus, Cfg, Opt.Jobs);
     A.T = tally(A.Records);
+    if (I == ForkArm) {
+      obs::setTracingEnabled(false);
+      // Scrape immediately: the later arms keep feeding the (always-on)
+      // metrics registry, so the parity comparison needs a point-in-time
+      // snapshot of counters and both JSON documents.
+      Events = obs::snapshotTrace();
+      Counters = obs::snapshotCounters();
+      TraceDoc = obs::traceChromeJson();
+      MetricsDoc = obs::metricsJson();
+    }
   }
 
   // Verdict parity: every arm against the fork reference (and the seed
   // arm transitively — the PR-2 invariant is seed == fork).
-  const size_t ForkArm = 1;
   int TotalMismatches = 0;
   for (size_t I = 0; I < Arms.size(); ++I) {
     if (I == ForkArm)
@@ -347,6 +376,86 @@ int main(int argc, char **argv) {
   bool ConeGateOk = !SharedA || !SharedConeA || NoSharedWork ||
                     ConePropRatio >= 1.5;
 
+  // Observability gates on the traced fork arm: the per-stage span args
+  // and the tv.* counters must reproduce the StageSatWork/StageInterpWork
+  // tallies svc aggregated from the same TVResults (cache-free funnel, so
+  // every verify task emits exactly one set of stage spans).
+  svc::StageSatWork FA2, FCU, FSP;
+  svc::StageInterpWork FCK;
+  uint64_t FA2Nanos = 0, FCUNanos = 0, FSPNanos = 0, FCKNanos = 0;
+  size_t VerifyTasks = 0;
+  for (const FunnelRecord &R : Arms[ForkArm].Records) {
+    if (R.HadPlausible)
+      ++VerifyTasks;
+    FA2.add(R.Alive2Work);
+    FCU.add(R.CUnrollWork);
+    FSP.add(R.SplitWork);
+    FCK.add(R.ChecksumWork);
+    FA2Nanos += R.Result.Alive2Nanos;
+    FCUNanos += R.Result.CUnrollNanos;
+    FSPNanos += R.Result.SplitNanos;
+    FCKNanos += R.Result.ChecksumNanos;
+  }
+  auto satStageParity = [&](const char *Span, const svc::StageSatWork &W) {
+    return sumSpanArg(Events, Span, "conflicts") == W.Conflicts &&
+           sumSpanArg(Events, Span, "propagations") == W.Propagations &&
+           sumSpanArg(Events, Span, "restarts") == W.Restarts &&
+           sumSpanArg(Events, Span, "trail_reused") == W.TrailReused;
+  };
+  bool SpanParityOk =
+      satStageParity("stage.alive2", FA2) &&
+      satStageParity("stage.cunroll", FCU) &&
+      satStageParity("stage.split", FSP) &&
+      sumSpanArg(Events, "stage.checksum", "instrs") == FCK.Instrs &&
+      sumSpanArg(Events, "stage.checksum", "cand_runs") == FCK.CandRuns &&
+      sumSpanArg(Events, "stage.checksum", "scalar_runs") == FCK.ScalarRuns &&
+      countSpans(Events, "task.verify") == VerifyTasks;
+  // The EquivResult per-stage nanos are *sourced from* the spans (the Span
+  // DurOut accumulates the same duration the event records), so the span
+  // durations must sum to the record fields exactly.
+  auto sumSpanDur = [&](const char *Name) {
+    uint64_t Sum = 0;
+    for (const obs::TraceEvent &Ev : Events)
+      if (std::strcmp(Ev.Name, Name) == 0)
+        Sum += Ev.DurNs;
+    return Sum;
+  };
+  bool WallParityOk = sumSpanDur("stage.alive2") == FA2Nanos &&
+                      sumSpanDur("stage.cunroll") == FCUNanos &&
+                      sumSpanDur("stage.split") == FSPNanos &&
+                      sumSpanDur("stage.checksum") == FCKNanos;
+  // tv.* counters aggregate every solver query; in the funnel each query
+  // result lands in exactly one of the three stage works.
+  auto cval = [&](const char *Name) {
+    for (const obs::CounterSample &C : Counters)
+      if (C.Name == Name)
+        return C.Value;
+    return static_cast<uint64_t>(0);
+  };
+  bool CounterParityOk =
+      cval("tv.conflicts") == FA2.Conflicts + FCU.Conflicts + FSP.Conflicts &&
+      cval("tv.propagations") ==
+          FA2.Propagations + FCU.Propagations + FSP.Propagations &&
+      cval("tv.restarts") == FA2.Restarts + FCU.Restarts + FSP.Restarts &&
+      cval("tv.trail_reused") ==
+          FA2.TrailReused + FCU.TrailReused + FSP.TrailReused &&
+      cval("svc.tasks") == VerifyTasks;
+  std::string TraceErr, MetricsErr;
+  std::vector<std::string> TraceKeys, MetricsKeys;
+  auto hasKey = [](const std::vector<std::string> &Keys, const char *K) {
+    for (const std::string &S : Keys)
+      if (S == K)
+        return true;
+    return false;
+  };
+  bool TraceJsonOk = obs::json::validate(TraceDoc, &TraceErr, &TraceKeys) &&
+                     hasKey(TraceKeys, "traceEvents");
+  bool MetricsJsonOk =
+      obs::json::validate(MetricsDoc, &MetricsErr, &MetricsKeys) &&
+      hasKey(MetricsKeys, "schema_version") &&
+      hasKey(MetricsKeys, "counters") && hasKey(MetricsKeys, "histograms");
+  obs::TraceStats TS = obs::traceStats();
+
   std::printf("\n  funnel shape (stages add verdicts beyond Alive2): %s\n",
               ShapeOk ? "OK" : "MISMATCH");
   std::printf("  seed == fork verdicts on all 149 pairs: %s\n",
@@ -363,11 +472,23 @@ int main(int argc, char **argv) {
   std::printf("  >=1.5x shared-learnt propagation cut from cone: %s "
               "(%.2fx)\n",
               ConeGateOk ? "OK" : "MISMATCH", ConePropRatio);
+  std::printf("  stage span sums reproduce StageSat/InterpWork tallies: %s\n",
+              SpanParityOk ? "OK" : "MISMATCH");
+  std::printf("  stage span durations reproduce EquivResult nanos: %s\n",
+              WallParityOk ? "OK" : "MISMATCH");
+  std::printf("  tv.*/svc.* counters reproduce stage tallies: %s\n",
+              CounterParityOk ? "OK" : "MISMATCH");
+  std::printf("  trace/metrics JSON well-formed: %s / %s\n",
+              TraceJsonOk ? "OK" : TraceErr.c_str(),
+              MetricsJsonOk ? "OK" : MetricsErr.c_str());
+  std::printf("  trace: %llu events on %llu thread(s), %llu dropped\n",
+              static_cast<unsigned long long>(TS.Events),
+              static_cast<unsigned long long>(TS.Threads),
+              static_cast<unsigned long long>(TS.Dropped));
 
-  // Machine-readable mirror for the perf trajectory.
-  std::string J = "{\n";
-  appendf(J, "  \"name\": \"bench_table3_equivalence\",\n");
-  appendf(J, "  \"jobs\": %d,\n", Opt.Jobs);
+  // Machine-readable mirror for the perf trajectory (envelope comes from
+  // the shared writeBenchJson writer).
+  std::string J;
   appendf(J, "  \"funnel\": {\n");
   appendf(J,
           "    \"checksum\": {\"total\": 149, \"equiv\": 0, \"noteq\": %d, "
@@ -437,15 +558,39 @@ int main(int argc, char **argv) {
   appendf(J, "  \"cone_prop_ratio\": %.3f,\n", ConePropRatio);
   appendf(J, "  \"total_mismatches\": %d,\n", TotalMismatches);
   appendf(J,
+          "  \"obs\": {\"trace_events\": %llu, \"trace_threads\": %llu, "
+          "\"trace_dropped\": %llu, \"verify_tasks\": %llu},\n",
+          static_cast<unsigned long long>(TS.Events),
+          static_cast<unsigned long long>(TS.Threads),
+          static_cast<unsigned long long>(TS.Dropped),
+          static_cast<unsigned long long>(VerifyTasks));
+  appendf(J,
           "  \"shape_ok\": %s,\n  \"seed_parity_ok\": %s,\n"
           "  \"default_parity_ok\": %s,\n  \"speedup_ok\": %s,\n"
-          "  \"cone_gate_ok\": %s\n}\n",
+          "  \"cone_gate_ok\": %s,\n",
           ShapeOk ? "true" : "false", SeedParityOk ? "true" : "false",
           DefaultParityOk ? "true" : "false", SpeedupOk ? "true" : "false",
           ConeGateOk ? "true" : "false");
-  std::ofstream("BENCH_table3.json") << J;
+  appendf(J,
+          "  \"span_parity_ok\": %s,\n  \"wall_parity_ok\": %s,\n"
+          "  \"counter_parity_ok\": %s,\n  \"trace_json_ok\": %s,\n"
+          "  \"metrics_json_ok\": %s",
+          SpanParityOk ? "true" : "false", WallParityOk ? "true" : "false",
+          CounterParityOk ? "true" : "false", TraceJsonOk ? "true" : "false",
+          MetricsJsonOk ? "true" : "false");
+  bool JsonOk =
+      writeBenchJson("bench_table3_equivalence", Opt, J, "BENCH_table3.json");
 
-  return ShapeOk && SeedParityOk && DefaultParityOk && SpeedupOk && ConeGateOk
+  // --trace/--metrics artifacts: the trace buffers still hold only the
+  // fork arm's spans (later arms ran untraced); the metrics file covers
+  // the whole run.
+  obs::setTracingEnabled(TraceRequested);
+  bool ObsOk = writeObsArtifacts(Opt);
+
+  return ShapeOk && SeedParityOk && DefaultParityOk && SpeedupOk &&
+                 ConeGateOk && SpanParityOk && WallParityOk &&
+                 CounterParityOk && TraceJsonOk && MetricsJsonOk && JsonOk &&
+                 ObsOk
              ? 0
              : 1;
 }

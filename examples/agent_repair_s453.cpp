@@ -8,6 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/Harness.h"
 #include "support/Format.h"
 #include "svc/Service.h"
 #include "tsvc/Suite.h"
@@ -16,7 +17,8 @@
 
 using namespace lv;
 
-int main() {
+int main(int argc, char **argv) {
+  bench::BenchOptions Opt = bench::parseBenchArgs(argc, argv);
   const tsvc::TsvcTest *T = tsvc::findTest("s453");
   std::printf("scalar s453:\n%s\n\n", T->Source.c_str());
 
@@ -46,6 +48,7 @@ int main() {
       if (O.Failed) {
         std::printf("seed %llu failed: %s\n",
                     static_cast<unsigned long long>(Seed), O.Error.c_str());
+        bench::writeObsArtifacts(Opt);
         return 1;
       }
       const agents::FsmResult &R = O.Fsm;
@@ -67,9 +70,11 @@ int main() {
       std::printf("formal verification of the repaired candidate: %s "
                   "(stage: %s)\n",
                   core::outcomeName(E.Final), core::stageName(E.DecidedBy));
+      bench::writeObsArtifacts(Opt);
       return 0;
     }
   }
   std::printf("no seed in range produced a multi-attempt repair\n");
+  bench::writeObsArtifacts(Opt);
   return 1;
 }

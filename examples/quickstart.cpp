@@ -7,16 +7,19 @@
 // across a worker pool; see src/svc/README.md.
 //
 //   $ ./quickstart
+//   $ ./quickstart --trace trace.json      # timeline for chrome://tracing
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/Harness.h"
 #include "svc/Service.h"
 
 #include <cstdio>
 
 using namespace lv;
 
-int main() {
+int main(int argc, char **argv) {
+  bench::BenchOptions Opt = bench::parseBenchArgs(argc, argv);
   const char *Scalar = R"(
 void saxpyish(int n, int s, int *a, int *b) {
   for (int i = 0; i < n; i++) {
@@ -32,6 +35,7 @@ void saxpyish(int n, int s, int *a, int *b) {
   if (!O.Fsm.Plausible) {
     std::printf("no plausible vectorization found in %d attempts\n",
                 O.Fsm.Attempts);
+    bench::writeObsArtifacts(Opt);
     return 1;
   }
   std::printf("plausible candidate after %d attempt(s):\n%s\n",
@@ -42,5 +46,6 @@ void saxpyish(int n, int s, int *a, int *b) {
               core::stageName(O.Equiv.DecidedBy));
   std::printf("detail: %s\n", O.Equiv.Detail.c_str());
   std::printf("wall: %.1fms\n", static_cast<double>(O.WallNanos) / 1e6);
+  bench::writeObsArtifacts(Opt);
   return O.verified() ? 0 : 1;
 }

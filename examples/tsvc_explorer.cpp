@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/Harness.h"
 #include "compilers/Baselines.h"
 #include "deps/Analysis.h"
 #include "llm/Client.h"
@@ -20,6 +21,23 @@
 #include <cstring>
 
 using namespace lv;
+
+/// First argument that is not one of the shared bench flags (--jobs,
+/// --trace, --metrics, consumed by parseBenchArgs) or their values.
+static const char *positionalArg(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I) {
+    const char *A = argv[I];
+    if (std::strcmp(A, "--jobs") == 0 || std::strcmp(A, "--trace") == 0 ||
+        std::strcmp(A, "--metrics") == 0) {
+      ++I; // skip the flag's value
+      continue;
+    }
+    if (std::strncmp(A, "--", 2) == 0)
+      continue; // --flag=value or an unknown flag
+    return A;
+  }
+  return nullptr;
+}
 
 static const char *difficultyName(llm::Difficulty D) {
   switch (D) {
@@ -32,10 +50,11 @@ static const char *difficultyName(llm::Difficulty D) {
 }
 
 int main(int argc, char **argv) {
-  if (argc > 1) {
-    const tsvc::TsvcTest *T = tsvc::findTest(argv[1]);
+  bench::BenchOptions Opt = bench::parseBenchArgs(argc, argv);
+  if (const char *Name = positionalArg(argc, argv)) {
+    const tsvc::TsvcTest *T = tsvc::findTest(Name);
     if (!T) {
-      std::printf("unknown test '%s'\n", argv[1]);
+      std::printf("unknown test '%s'\n", Name);
       return 1;
     }
     std::printf("%s  [%s]\n%s\n", T->Name.c_str(),
@@ -59,6 +78,7 @@ int main(int argc, char **argv) {
                   O.Vectorized ? "vectorizes" : "does not vectorize: ",
                   O.Vectorized ? "" : O.Reason.c_str());
     }
+    bench::writeObsArtifacts(Opt);
     return 0;
   }
 
@@ -77,5 +97,6 @@ int main(int argc, char **argv) {
                 tsvc::categoryName(static_cast<tsvc::Category>(I)),
                 Counts[I]);
   std::printf("\nrun `tsvc_explorer <name>` for a deep dive.\n");
+  bench::writeObsArtifacts(Opt);
   return 0;
 }

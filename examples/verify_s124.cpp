@@ -10,6 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "bench/Harness.h"
 #include "interp/Checksum.h"
 #include "svc/Service.h"
 #include "tsvc/Suite.h"
@@ -39,7 +40,8 @@ void s124(int *a, int *b, int *c, int *d, int *e, int n) {
   }
 })";
 
-int main() {
+int main(int argc, char **argv) {
+  bench::BenchOptions Opt = bench::parseBenchArgs(argc, argv);
   const tsvc::TsvcTest *T = tsvc::findTest("s124");
   std::printf("scalar s124:\n%s\n", T->Source.c_str());
   std::printf("GPT-4-style candidate (paper Fig. 4b):\n%s\n", S124Vec);
@@ -61,6 +63,7 @@ int main() {
     std::printf("counterexample (note the tiny alloc-size of c — the "
                 "source never reads c on this input):\n%s\n",
                 E.Counterexample.c_str());
+  bench::writeObsArtifacts(Opt);
   return E.Final == core::EquivResult::Inequivalent && CO.plausible() ? 0
                                                                       : 1;
 }

@@ -4,12 +4,12 @@
 
 #include "core/CUnroll.h"
 #include "deps/Analysis.h"
+#include "obs/Trace.h"
 #include "support/Format.h"
 #include "support/Rng.h"
 #include "vir/Compile.h"
 #include "vir/Lower.h"
 
-#include <chrono>
 #include <memory>
 #include <numeric>
 
@@ -71,25 +71,6 @@ struct Alignment {
   int64_t Start = 0;
   tv::DivAssumption Div;   ///< (end - start) % V == 0.
   bool HasDiv = false;
-};
-
-/// Accumulates wall time into a stage counter. Scoped so the write lands
-/// before the enclosing function returns — the destructor must not race a
-/// `return Out;` that may or may not be NRVO'd into the same object.
-class StageTimer {
-public:
-  explicit StageTimer(uint64_t &Out)
-      : Out(Out), T0(std::chrono::steady_clock::now()) {}
-  ~StageTimer() {
-    Out += static_cast<uint64_t>(
-        std::chrono::duration_cast<std::chrono::nanoseconds>(
-            std::chrono::steady_clock::now() - T0)
-            .count());
-  }
-
-private:
-  uint64_t &Out;
-  std::chrono::steady_clock::time_point T0;
 };
 
 } // namespace
@@ -194,10 +175,18 @@ EquivResult lv::core::checkEquivalence(const std::string &ScalarSrc,
   }
 
   // Stage 1: checksum testing (paper §2.1). Engine selection (bytecode VM
-  // vs tree-walk) rides on Cfg.Checksum.UseBytecode.
+  // vs tree-walk) rides on Cfg.Checksum.UseBytecode. The span both feeds
+  // the trace and accumulates the stage wall into Out.ChecksumNanos —
+  // scoped so the write lands before the enclosing function returns (the
+  // destructor must not race a `return Out;` that may or may not be
+  // NRVO'd into the same object). Same pattern for every stage below.
   {
-    StageTimer Timer(Out.ChecksumNanos);
+    obs::Span Timer("equiv", "stage.checksum", &Out.ChecksumNanos);
     Out.ChecksumRes = interp::runChecksumTest(*SC.Fn, *VC.Fn, Cfg.Checksum);
+    const interp::ChecksumWork &W = Out.ChecksumRes.Work;
+    Timer.arg("instrs", W.Cand.Instrs + W.Scalar.Instrs);
+    Timer.arg("cand_runs", W.CandRuns);
+    Timer.arg("scalar_runs", W.ScalarRuns);
   }
   if (Out.ChecksumRes.Verdict == interp::TestVerdict::NotEquivalent) {
     Out.Final = EquivResult::Inequivalent;
@@ -243,7 +232,7 @@ EquivResult lv::core::checkEquivalence(const std::string &ScalarSrc,
   if (Cfg.EnableAlive2) {
     bool Decided = false;
     {
-      StageTimer Timer(Out.Alive2Nanos);
+      obs::Span Timer("equiv", "stage.alive2", &Out.Alive2Nanos);
       tv::RefineOptions RO;
       RO.ScalarMax = Cfg.ScalarMax;
       RO.SrcExec.UnrollBound =
@@ -268,6 +257,10 @@ EquivResult lv::core::checkEquivalence(const std::string &ScalarSrc,
         Out.Counterexample = Out.Alive2Res.Counterexample;
         Decided = true;
       }
+      Timer.arg("conflicts", Out.Alive2Res.Conflicts);
+      Timer.arg("propagations", Out.Alive2Res.Propagations);
+      Timer.arg("restarts", Out.Alive2Res.Restarts);
+      Timer.arg("trail_reused", Out.Alive2Res.TrailReused);
     }
     if (Decided)
       return Out;
@@ -317,7 +310,7 @@ EquivResult lv::core::checkEquivalence(const std::string &ScalarSrc,
   if (Cfg.EnableCUnroll) {
     bool Decided = false;
     {
-      StageTimer Timer(Out.CUnrollNanos);
+      obs::Span Timer("equiv", "stage.cunroll", &Out.CUnrollNanos);
       if (SUV && VUV) {
         smt::SatBudget Budget = StraightRO.Budget;
         Budget.MaxConflicts = Cfg.CUnrollBudget;
@@ -342,6 +335,10 @@ EquivResult lv::core::checkEquivalence(const std::string &ScalarSrc,
         Out.CUnrollRes.V = TVVerdict::Unsupported;
         Out.CUnrollRes.Detail = UnrollErr;
       }
+      Timer.arg("conflicts", Out.CUnrollRes.Conflicts);
+      Timer.arg("propagations", Out.CUnrollRes.Propagations);
+      Timer.arg("restarts", Out.CUnrollRes.Restarts);
+      Timer.arg("trail_reused", Out.CUnrollRes.TrailReused);
     }
     if (Decided)
       return Out;
@@ -352,7 +349,7 @@ EquivResult lv::core::checkEquivalence(const std::string &ScalarSrc,
   if (Cfg.EnableSplitting) {
     bool Decided = false;
     {
-      StageTimer Timer(Out.SplitNanos);
+      obs::Span Timer("equiv", "stage.split", &Out.SplitNanos);
       deps::LoopAnalysis LS = deps::analyzeFunction(*STv);
       deps::LoopAnalysis LV2 = deps::analyzeFunction(*VTv);
       bool TargetAligned = true;
@@ -397,6 +394,18 @@ EquivResult lv::core::checkEquivalence(const std::string &ScalarSrc,
           Decided = true;
         }
       }
+      uint64_t Conflicts = 0, Props = 0, Restarts = 0, Reused = 0;
+      for (const TVResult &RJ : Out.SplitRes) {
+        Conflicts += RJ.Conflicts;
+        Props += RJ.Propagations;
+        Restarts += RJ.Restarts;
+        Reused += RJ.TrailReused;
+      }
+      Timer.arg("cells", Out.SplitRes.size());
+      Timer.arg("conflicts", Conflicts);
+      Timer.arg("propagations", Props);
+      Timer.arg("restarts", Restarts);
+      Timer.arg("trail_reused", Reused);
     }
     if (Decided)
       return Out;

@@ -10,6 +10,7 @@
 
 #include "interp/Bytecode.h"
 
+#include "obs/Metrics.h"
 #include "support/Format.h"
 #include "support/Rng.h"
 
@@ -434,10 +435,12 @@ lv::interp::compileBytecodeCached(const VFunction &F) {
       for (const auto &E : It->second)
         if (E->Key == Key) {
           ++C.Hits;
+          obs::counter("interp.bc_cache_hits").inc();
           return E;
         }
     ++C.Misses;
   }
+  obs::counter("interp.bc_compiles").inc();
   // Compile outside the lock; losing a store race just duplicates work.
   auto Prog = std::make_shared<BytecodeProgram>(Flattener(F).run());
   Prog->Key = std::move(Key);

@@ -16,6 +16,8 @@
 #include "interp/Checksum.h"
 
 #include "interp/Bytecode.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Format.h"
 #include "support/Rng.h"
 
@@ -152,7 +154,7 @@ static void ensureRef(const VFunction &Scalar, Engine &SEng,
   Agg.ScalarWork.add(RefRes.Work);
 }
 
-ChecksumBatchResult lv::interp::runChecksumBatch(
+static ChecksumBatchResult runChecksumBatchCore(
     const VFunction &Scalar, const std::vector<const VFunction *> &Candidates,
     const ChecksumConfig &Cfg, ScalarRefMemo *Memo) {
   ChecksumBatchResult Res;
@@ -324,6 +326,58 @@ ChecksumBatchResult lv::interp::runChecksumBatch(
     Res.Outcomes[C].Verdict = TestVerdict::Plausible;
     Res.Outcomes[C].Detail = "all runs matched";
   }
+  return Res;
+}
+
+ChecksumBatchResult lv::interp::runChecksumBatch(
+    const VFunction &Scalar, const std::vector<const VFunction *> &Candidates,
+    const ChecksumConfig &Cfg, ScalarRefMemo *Memo) {
+  // The span args below are invariant under the runChecksumTest wrapper's
+  // later move of batch-level scalar work into the single outcome:
+  // outcome Scalar/ScalarRuns fields are still zero here, so summing
+  // outcomes *plus* the batch-level Res fields counts each unit of work
+  // exactly once under both call shapes. That makes Σ(span args) equal the
+  // StageInterpWork tallies svc aggregates — the bench parity gates check
+  // this equality.
+  uint64_t BatchNanos = 0;
+  ChecksumBatchResult Res;
+  {
+    obs::Span S("interp", "checksum.batch", &BatchNanos);
+    Res = runChecksumBatchCore(Scalar, Candidates, Cfg, Memo);
+    uint64_t Instrs = Res.ScalarWork.Instrs;
+    uint64_t CandRuns = 0, Sets = 0, Traps = 0, Hangs = 0;
+    for (const ChecksumOutcome &O : Res.Outcomes) {
+      Instrs += O.Work.Cand.Instrs + O.Work.Scalar.Instrs;
+      CandRuns += O.Work.CandRuns;
+      Sets += O.Work.InputSets;
+      Traps += O.Work.CandTrap != TrapKind::None ? 1 : 0;
+      Hangs += O.Work.CandHang ? 1 : 0;
+    }
+    uint64_t Saved = Sets > Res.ScalarRuns ? Sets - Res.ScalarRuns : 0;
+    S.arg("candidates", Res.Outcomes.size());
+    S.arg("instrs", Instrs);
+    S.arg("cand_runs", CandRuns);
+    S.arg("scalar_runs", Res.ScalarRuns);
+    S.arg("input_sets", Sets);
+    S.arg("scalar_runs_saved", Saved);
+    static obs::Counter &Batches = obs::counter("interp.checksum_batches");
+    static obs::Counter &CInstrs = obs::counter("interp.instrs");
+    static obs::Counter &CCand = obs::counter("interp.cand_runs");
+    static obs::Counter &CScalar = obs::counter("interp.scalar_runs");
+    static obs::Counter &CSets = obs::counter("interp.input_sets");
+    static obs::Counter &CSaved = obs::counter("interp.scalar_runs_saved");
+    static obs::Counter &CTraps = obs::counter("interp.traps");
+    static obs::Counter &CHangs = obs::counter("interp.hangs");
+    Batches.inc();
+    CInstrs.inc(Instrs);
+    CCand.inc(CandRuns);
+    CScalar.inc(Res.ScalarRuns);
+    CSets.inc(Sets);
+    CSaved.inc(Saved);
+    CTraps.inc(Traps);
+    CHangs.inc(Hangs);
+  }
+  obs::histogram("interp.checksum_ns").observe(BatchNanos);
   return Res;
 }
 

@@ -1,0 +1,255 @@
+//===- obs/Json.cpp - minimal JSON validation -----------------------------===//
+
+#include "obs/Json.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace lv {
+namespace obs {
+namespace json {
+
+namespace {
+
+constexpr int MaxDepth = 64;
+
+struct Parser {
+  const std::string &Text;
+  size_t Pos = 0;
+  std::string *Err;
+
+  explicit Parser(const std::string &Text, std::string *Err)
+      : Text(Text), Err(Err) {}
+
+  bool fail(const char *Msg) {
+    if (Err && Err->empty()) {
+      char Buf[128];
+      std::snprintf(Buf, sizeof(Buf), "%s at offset %zu", Msg, Pos);
+      *Err = Buf;
+    }
+    return false;
+  }
+
+  bool atEnd() const { return Pos >= Text.size(); }
+  char peek() const { return Text[Pos]; }
+
+  void skipWs() {
+    while (!atEnd()) {
+      char C = Text[Pos];
+      if (C == ' ' || C == '\t' || C == '\n' || C == '\r')
+        ++Pos;
+      else
+        break;
+    }
+  }
+
+  bool consume(char C, const char *Msg) {
+    skipWs();
+    if (atEnd() || Text[Pos] != C)
+      return fail(Msg);
+    ++Pos;
+    return true;
+  }
+
+  bool literal(const char *Word) {
+    size_t Len = 0;
+    while (Word[Len])
+      ++Len;
+    if (Text.compare(Pos, Len, Word) != 0)
+      return fail("invalid literal");
+    Pos += Len;
+    return true;
+  }
+
+  bool string(std::string *Out) {
+    if (atEnd() || Text[Pos] != '"')
+      return fail("expected string");
+    ++Pos;
+    while (true) {
+      if (atEnd())
+        return fail("unterminated string");
+      unsigned char C = static_cast<unsigned char>(Text[Pos]);
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (C < 0x20)
+        return fail("control character in string");
+      if (C == '\\') {
+        ++Pos;
+        if (atEnd())
+          return fail("unterminated escape");
+        char E = Text[Pos];
+        if (E == '"' || E == '\\' || E == '/' || E == 'b' || E == 'f' ||
+            E == 'n' || E == 'r' || E == 't') {
+          if (Out)
+            *Out += E; // Close enough for key extraction.
+          ++Pos;
+        } else if (E == 'u') {
+          ++Pos;
+          for (int I = 0; I < 4; ++I, ++Pos) {
+            if (atEnd() || !std::isxdigit(
+                               static_cast<unsigned char>(Text[Pos])))
+              return fail("invalid \\u escape");
+          }
+          if (Out)
+            *Out += '?';
+        } else {
+          return fail("invalid escape");
+        }
+      } else {
+        if (Out)
+          *Out += static_cast<char>(C);
+        ++Pos;
+      }
+    }
+  }
+
+  bool number() {
+    size_t Start = Pos;
+    if (!atEnd() && Text[Pos] == '-')
+      ++Pos;
+    if (atEnd() || !std::isdigit(static_cast<unsigned char>(Text[Pos])))
+      return fail("invalid number");
+    if (Text[Pos] == '0')
+      ++Pos;
+    else
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    if (!atEnd() && Text[Pos] == '.') {
+      ++Pos;
+      if (atEnd() || !std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        return fail("invalid fraction");
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    if (!atEnd() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      ++Pos;
+      if (!atEnd() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (atEnd() || !std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        return fail("invalid exponent");
+      while (!atEnd() && std::isdigit(static_cast<unsigned char>(Text[Pos])))
+        ++Pos;
+    }
+    return Pos > Start;
+  }
+
+  bool value(int Depth, std::vector<std::string> *TopKeys) {
+    if (Depth > MaxDepth)
+      return fail("nesting too deep");
+    skipWs();
+    if (atEnd())
+      return fail("unexpected end of input");
+    char C = peek();
+    if (C == '{')
+      return object(Depth, TopKeys);
+    if (C == '[')
+      return array(Depth);
+    if (C == '"')
+      return string(nullptr);
+    if (C == 't')
+      return literal("true");
+    if (C == 'f')
+      return literal("false");
+    if (C == 'n')
+      return literal("null");
+    if (C == '-' || std::isdigit(static_cast<unsigned char>(C)))
+      return number();
+    return fail("unexpected character");
+  }
+
+  bool object(int Depth, std::vector<std::string> *TopKeys) {
+    ++Pos; // '{'
+    skipWs();
+    if (!atEnd() && peek() == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      skipWs();
+      std::string Key;
+      if (!string(TopKeys ? &Key : nullptr))
+        return false;
+      if (TopKeys)
+        TopKeys->push_back(std::move(Key));
+      if (!consume(':', "expected ':'"))
+        return false;
+      if (!value(Depth + 1, nullptr))
+        return false;
+      skipWs();
+      if (atEnd())
+        return fail("unterminated object");
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == '}') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  bool array(int Depth) {
+    ++Pos; // '['
+    skipWs();
+    if (!atEnd() && peek() == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      if (!value(Depth + 1, nullptr))
+        return false;
+      skipWs();
+      if (atEnd())
+        return fail("unterminated array");
+      if (peek() == ',') {
+        ++Pos;
+        continue;
+      }
+      if (peek() == ']') {
+        ++Pos;
+        return true;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+};
+
+} // namespace
+
+bool validate(const std::string &Text, std::string *Err,
+              std::vector<std::string> *TopKeys) {
+  if (Err)
+    Err->clear();
+  Parser P(Text, Err);
+  if (!P.value(0, TopKeys))
+    return false;
+  P.skipWs();
+  if (!P.atEnd())
+    return P.fail("trailing content");
+  return true;
+}
+
+bool validateFile(const std::string &Path, std::string *Err,
+                  std::vector<std::string> *TopKeys) {
+  std::FILE *F = std::fopen(Path.c_str(), "rb");
+  if (!F) {
+    if (Err)
+      *Err = "cannot open " + Path;
+    return false;
+  }
+  std::string Text;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), F)) > 0)
+    Text.append(Buf, N);
+  std::fclose(F);
+  return validate(Text, Err, TopKeys);
+}
+
+} // namespace json
+} // namespace obs
+} // namespace lv

@@ -1,0 +1,38 @@
+//===- obs/Json.h - minimal JSON validation ---------------------*- C++ -*-===//
+///
+/// \file
+/// A dependency-free JSON well-formedness checker, just enough for the
+/// bench gates and tests to assert that emitted trace/metrics/bench
+/// artifacts parse and to extract their top-level object keys. Strict
+/// (RFC 8259 grammar, depth-limited) but non-materializing: it validates
+/// without building a DOM.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_OBS_JSON_H
+#define LV_OBS_JSON_H
+
+#include <string>
+#include <vector>
+
+namespace lv {
+namespace obs {
+namespace json {
+
+/// Validates \p Text as a single JSON value. On failure returns false and,
+/// when \p Err is non-null, describes the first error with its byte
+/// offset. When the document is a top-level object and \p TopKeys is
+/// non-null, the object's keys are appended in document order.
+bool validate(const std::string &Text, std::string *Err = nullptr,
+              std::vector<std::string> *TopKeys = nullptr);
+
+/// Reads \p Path and validates its contents; a missing/unreadable file is
+/// a validation failure.
+bool validateFile(const std::string &Path, std::string *Err = nullptr,
+                  std::vector<std::string> *TopKeys = nullptr);
+
+} // namespace json
+} // namespace obs
+} // namespace lv
+
+#endif // LV_OBS_JSON_H

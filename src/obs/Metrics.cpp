@@ -1,0 +1,179 @@
+//===- obs/Metrics.cpp - process-wide metrics registry --------------------===//
+
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace lv {
+namespace obs {
+
+namespace {
+
+/// Registry maps are only touched at instrument registration / scrape /
+/// reset; hot paths hold direct Counter&/Histogram& references. Values are
+/// unique_ptrs so handed-out references survive map rehashing.
+struct MetricsRegistry {
+  std::mutex Mu;
+  std::map<std::string, std::unique_ptr<Counter>> Counters;
+  std::map<std::string, std::unique_ptr<Histogram>> Histograms;
+};
+
+MetricsRegistry &metricsRegistry() {
+  static MetricsRegistry R;
+  return R;
+}
+
+void appendEscaped(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    Out += C;
+  }
+}
+
+} // namespace
+
+Counter &counter(const std::string &Name) {
+  MetricsRegistry &R = metricsRegistry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  auto &Slot = R.Counters[Name];
+  if (!Slot)
+    Slot = std::make_unique<Counter>();
+  return *Slot;
+}
+
+Histogram &histogram(const std::string &Name) {
+  MetricsRegistry &R = metricsRegistry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  auto &Slot = R.Histograms[Name];
+  if (!Slot)
+    Slot = std::make_unique<Histogram>();
+  return *Slot;
+}
+
+std::vector<CounterSample> snapshotCounters() {
+  std::vector<CounterSample> Out;
+  MetricsRegistry &R = metricsRegistry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  Out.reserve(R.Counters.size());
+  for (const auto &KV : R.Counters)
+    Out.push_back(CounterSample{KV.first, KV.second->value()});
+  return Out; // std::map iteration is already name-sorted.
+}
+
+std::vector<HistogramSample> snapshotHistograms() {
+  std::vector<HistogramSample> Out;
+  MetricsRegistry &R = metricsRegistry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  Out.reserve(R.Histograms.size());
+  for (const auto &KV : R.Histograms) {
+    HistogramSample S;
+    S.Name = KV.first;
+    S.Count = KV.second->count();
+    S.Sum = KV.second->sum();
+    for (int I = 0; I < Histogram::NumBuckets; ++I) {
+      uint64_t N = KV.second->bucket(I);
+      if (N)
+        S.Buckets.emplace_back(Histogram::bucketBound(I), N);
+    }
+    Out.push_back(std::move(S));
+  }
+  return Out;
+}
+
+uint64_t counterValue(const std::string &Name) {
+  MetricsRegistry &R = metricsRegistry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  auto It = R.Counters.find(Name);
+  return It == R.Counters.end() ? 0 : It->second->value();
+}
+
+std::string metricsJson() {
+  std::vector<CounterSample> Cs = snapshotCounters();
+  std::vector<HistogramSample> Hs = snapshotHistograms();
+
+  std::string Out;
+  Out.reserve(256 + Cs.size() * 48 + Hs.size() * 256);
+  char Num[32];
+  Out += "{\"schema_version\": 1,\n \"counters\": {";
+  bool First = true;
+  for (const CounterSample &C : Cs) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n  \"";
+    appendEscaped(Out, C.Name);
+    Out += "\": ";
+    std::snprintf(Num, sizeof(Num), "%llu",
+                  static_cast<unsigned long long>(C.Value));
+    Out += Num;
+  }
+  Out += "\n },\n \"histograms\": {";
+  First = true;
+  for (const HistogramSample &H : Hs) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n  \"";
+    appendEscaped(Out, H.Name);
+    Out += "\": {\"count\": ";
+    std::snprintf(Num, sizeof(Num), "%llu",
+                  static_cast<unsigned long long>(H.Count));
+    Out += Num;
+    Out += ", \"sum_ns\": ";
+    std::snprintf(Num, sizeof(Num), "%llu",
+                  static_cast<unsigned long long>(H.Sum));
+    Out += Num;
+    Out += ", \"buckets\": [";
+    bool FirstB = true;
+    for (const auto &B : H.Buckets) {
+      if (!FirstB)
+        Out += ", ";
+      FirstB = false;
+      Out += "[";
+      // The unbounded last bucket reports bound -1 (UINT64_MAX is not
+      // representable in strict JSON readers that parse into int64).
+      if (B.first == UINT64_MAX)
+        Out += "-1";
+      else {
+        std::snprintf(Num, sizeof(Num), "%llu",
+                      static_cast<unsigned long long>(B.first));
+        Out += Num;
+      }
+      Out += ", ";
+      std::snprintf(Num, sizeof(Num), "%llu",
+                    static_cast<unsigned long long>(B.second));
+      Out += Num;
+      Out += "]";
+    }
+    Out += "]}";
+  }
+  Out += "\n }\n}\n";
+  return Out;
+}
+
+bool writeMetricsJson(const std::string &Path) {
+  std::string Json = metricsJson();
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  size_t Written = std::fwrite(Json.data(), 1, Json.size(), F);
+  std::fclose(F);
+  return Written == Json.size();
+}
+
+void resetMetrics() {
+  MetricsRegistry &R = metricsRegistry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  for (auto &KV : R.Counters)
+    KV.second->reset();
+  for (auto &KV : R.Histograms)
+    KV.second->reset();
+}
+
+} // namespace obs
+} // namespace lv

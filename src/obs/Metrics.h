@@ -1,0 +1,142 @@
+//===- obs/Metrics.h - process-wide metrics registry ------------*- C++ -*-===//
+///
+/// \file
+/// Named lock-free counters and fixed-bucket latency histograms, registered
+/// once and aggregated at scrape time. Subsystems feed generic instruments
+/// (`smt/Sat` → `sat.*`, `tv/Refine` → `tv.*`, `interp/Checksum` →
+/// `interp.*`, `svc/Service` → `svc.*` and `equiv.*_ns`) instead of growing
+/// more hand-rolled tally structs; bench drivers scrape everything at once
+/// with metricsJson().
+///
+/// Instrument handles are stable for the process lifetime: look one up once
+/// (a map + mutex, registration-time only) and cache the reference —
+/// typically via a function-local static:
+///
+/// \code
+///   static obs::Counter &Solves = obs::counter("sat.solves");
+///   Solves.inc();
+/// \endcode
+///
+/// after which the hot path is a single relaxed atomic add. Counters and
+/// histograms never reset behind your back; resetMetrics() (bench phase
+/// boundaries, tests) zeroes values but keeps every handle valid.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_OBS_METRICS_H
+#define LV_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lv {
+namespace obs {
+
+/// Monotonic counter; inc()/add() are relaxed atomic adds.
+class Counter {
+public:
+  void inc(uint64_t N = 1) { Val.fetch_add(N, std::memory_order_relaxed); }
+  uint64_t value() const { return Val.load(std::memory_order_relaxed); }
+  void reset() { Val.store(0, std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> Val{0};
+};
+
+/// Fixed-bucket latency histogram over nanoseconds. Bucket I counts
+/// observations with value < 2^I ns (the last bucket is unbounded), which
+/// spans 1 ns .. ~9 s in 40 buckets — wide enough for a single SAT
+/// propagation and a full funnel task alike. observe() is two relaxed
+/// atomic adds plus one on the matching bucket; no locks, no allocation.
+class Histogram {
+public:
+  static constexpr int NumBuckets = 40;
+
+  void observe(uint64_t Nanos) {
+    Count.fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(Nanos, std::memory_order_relaxed);
+    Buckets[bucketFor(Nanos)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  uint64_t bucket(int I) const {
+    return Buckets[I].load(std::memory_order_relaxed);
+  }
+
+  /// Upper bound (exclusive) of bucket \p I in nanoseconds; the final
+  /// bucket reports UINT64_MAX.
+  static uint64_t bucketBound(int I) {
+    return I + 1 >= NumBuckets ? UINT64_MAX : (uint64_t(1) << (I + 1));
+  }
+
+  void reset() {
+    Count.store(0, std::memory_order_relaxed);
+    Sum.store(0, std::memory_order_relaxed);
+    for (auto &B : Buckets)
+      B.store(0, std::memory_order_relaxed);
+  }
+
+private:
+  static int bucketFor(uint64_t Nanos) {
+    int I = 0;
+    while (I + 1 < NumBuckets && Nanos >= (uint64_t(1) << (I + 1)))
+      ++I;
+    return I;
+  }
+
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Buckets[NumBuckets] = {};
+};
+
+/// Returns the process-wide counter registered under \p Name, creating it
+/// on first use. The reference stays valid for the process lifetime.
+Counter &counter(const std::string &Name);
+
+/// Returns the process-wide histogram registered under \p Name, creating
+/// it on first use. The reference stays valid for the process lifetime.
+Histogram &histogram(const std::string &Name);
+
+/// Point-in-time scrape of one counter.
+struct CounterSample {
+  std::string Name;
+  uint64_t Value = 0;
+};
+
+/// Point-in-time scrape of one histogram (non-empty buckets only).
+struct HistogramSample {
+  std::string Name;
+  uint64_t Count = 0;
+  uint64_t Sum = 0;
+  std::vector<std::pair<uint64_t, uint64_t>> Buckets; ///< (bound, count).
+};
+
+/// Name-sorted scrape of every registered instrument (deterministic, so
+/// exports diff cleanly across runs).
+std::vector<CounterSample> snapshotCounters();
+std::vector<HistogramSample> snapshotHistograms();
+
+/// Current value of the counter registered under \p Name (0 when absent —
+/// an unexercised code path simply never registered its instrument).
+uint64_t counterValue(const std::string &Name);
+
+/// Scrape as JSON: {"schema_version": 1, "counters": {...},
+/// "histograms": {...}} with histograms reporting count/sum_ns plus
+/// non-empty (bound, count) bucket pairs.
+std::string metricsJson();
+
+/// metricsJson() to a file. Returns false when the file cannot be written.
+bool writeMetricsJson(const std::string &Path);
+
+/// Zeroes every registered instrument; handles stay valid. For bench phase
+/// boundaries and tests — not thread-safe against concurrent observers in
+/// the sense that in-flight increments may land on either side.
+void resetMetrics();
+
+} // namespace obs
+} // namespace lv
+
+#endif // LV_OBS_METRICS_H

@@ -1,0 +1,270 @@
+//===- obs/Trace.cpp - per-request tracing --------------------------------===//
+
+#include "obs/Trace.h"
+#include "obs/Metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+namespace lv {
+namespace obs {
+
+namespace {
+
+/// Per-thread event cap. A full table-3 run with --trace records on the
+/// order of 10^4 spans per worker; 2^20 leaves two orders of magnitude of
+/// headroom while bounding worst-case memory at ~100 MB per runaway
+/// thread.
+constexpr size_t MaxEventsPerThread = size_t(1) << 20;
+
+/// One thread's trace buffer. Owned by the global registry (not the
+/// thread), so events survive thread exit — svc worker pools are torn
+/// down before the driver exports the trace.
+struct ThreadBuf {
+  /// Guards Events. Uncontended in steady state: the owning thread
+  /// appends; snapshot/reset (quiescent points) take it from outside.
+  std::mutex Mu;
+  std::vector<TraceEvent> Events;
+  uint64_t Dropped = 0;
+  uint32_t Tid = 0;
+  /// Span nesting depth; touched only by the owning thread.
+  uint32_t Depth = 0;
+};
+
+struct Registry {
+  std::mutex Mu;
+  std::vector<std::unique_ptr<ThreadBuf>> Bufs;
+};
+
+Registry &registry() {
+  static Registry R;
+  return R;
+}
+
+std::atomic<bool> Enabled{false};
+
+ThreadBuf &threadBuf() {
+  thread_local ThreadBuf *Buf = [] {
+    Registry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mu);
+    auto Owned = std::make_unique<ThreadBuf>();
+    Owned->Tid = static_cast<uint32_t>(R.Bufs.size());
+    ThreadBuf *Raw = Owned.get();
+    R.Bufs.push_back(std::move(Owned));
+    return Raw;
+  }();
+  return *Buf;
+}
+
+void appendJsonEscaped(std::string &Out, const std::string &S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Hex[8];
+        std::snprintf(Hex, sizeof(Hex), "\\u%04x", C);
+        Out += Hex;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+} // namespace
+
+bool tracingEnabled() { return Enabled.load(std::memory_order_relaxed); }
+
+void setTracingEnabled(bool E) {
+  Enabled.store(E, std::memory_order_relaxed);
+}
+
+uint64_t traceClockNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Span::Span(const char *Cat, const char *Name, uint64_t *DurOut)
+    : Cat(Cat), Name(Name), DurOut(DurOut) {
+  Active = Enabled.load(std::memory_order_relaxed);
+  if (!Active && !DurOut)
+    return; // Disabled, no duration requested: one load + branch, done.
+  T0 = traceClockNanos();
+  if (Active)
+    Depth = threadBuf().Depth++;
+}
+
+Span::~Span() {
+  if (!Active) {
+    if (DurOut)
+      *DurOut += traceClockNanos() - T0;
+    return;
+  }
+  uint64_t T1 = traceClockNanos();
+  uint64_t Dur = T1 - T0;
+  if (DurOut)
+    *DurOut += Dur;
+  ThreadBuf &Buf = threadBuf();
+  --Buf.Depth;
+  std::lock_guard<std::mutex> Lock(Buf.Mu);
+  if (Buf.Events.size() >= MaxEventsPerThread) {
+    ++Buf.Dropped;
+    counter("obs.trace_dropped").inc();
+    return;
+  }
+  TraceEvent Ev;
+  Ev.Cat = Cat;
+  Ev.Name = Name;
+  Ev.StartNs = T0;
+  Ev.DurNs = Dur;
+  Ev.Tid = Buf.Tid;
+  Ev.Depth = Buf.Depth;
+  Ev.Args = std::move(Args);
+  Ev.StrArgs = std::move(StrArgs);
+  Buf.Events.push_back(std::move(Ev));
+}
+
+void Span::arg(const char *Key, uint64_t Val) {
+  if (!Active)
+    return;
+  Args.push_back(TraceArg{Key, Val});
+}
+
+void Span::argStr(const char *Key, const std::string &Val) {
+  if (!Active)
+    return;
+  StrArgs.push_back(TraceStrArg{Key, Val});
+}
+
+TraceStats traceStats() {
+  TraceStats S;
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  S.Threads = R.Bufs.size();
+  for (auto &Buf : R.Bufs) {
+    std::lock_guard<std::mutex> BLock(Buf->Mu);
+    S.Events += Buf->Events.size();
+    S.Dropped += Buf->Dropped;
+  }
+  return S;
+}
+
+void resetTrace() {
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  for (auto &Buf : R.Bufs) {
+    std::lock_guard<std::mutex> BLock(Buf->Mu);
+    Buf->Events.clear();
+    Buf->Dropped = 0;
+  }
+}
+
+std::vector<TraceEvent> snapshotTrace() {
+  std::vector<TraceEvent> Out;
+  Registry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mu);
+  for (auto &Buf : R.Bufs) {
+    std::lock_guard<std::mutex> BLock(Buf->Mu);
+    Out.insert(Out.end(), Buf->Events.begin(), Buf->Events.end());
+  }
+  return Out;
+}
+
+std::string traceChromeJson() {
+  std::vector<TraceEvent> Events = snapshotTrace();
+  std::sort(Events.begin(), Events.end(),
+            [](const TraceEvent &A, const TraceEvent &B) {
+              if (A.StartNs != B.StartNs)
+                return A.StartNs < B.StartNs;
+              return A.Tid < B.Tid;
+            });
+  // Rebase so the timeline starts near zero; chrome://tracing renders
+  // microseconds.
+  uint64_t Base = Events.empty() ? 0 : Events.front().StartNs;
+
+  std::string Out;
+  Out.reserve(128 + Events.size() * 160);
+  Out += "{\"traceEvents\": [";
+  char Num[64];
+  bool First = true;
+  for (const TraceEvent &Ev : Events) {
+    if (!First)
+      Out += ",";
+    First = false;
+    Out += "\n  {\"name\": \"";
+    appendJsonEscaped(Out, Ev.Name);
+    Out += "\", \"cat\": \"";
+    appendJsonEscaped(Out, Ev.Cat);
+    Out += "\", \"ph\": \"X\", \"ts\": ";
+    std::snprintf(Num, sizeof(Num), "%.3f",
+                  static_cast<double>(Ev.StartNs - Base) / 1000.0);
+    Out += Num;
+    Out += ", \"dur\": ";
+    std::snprintf(Num, sizeof(Num), "%.3f",
+                  static_cast<double>(Ev.DurNs) / 1000.0);
+    Out += Num;
+    Out += ", \"pid\": 0, \"tid\": ";
+    std::snprintf(Num, sizeof(Num), "%u", Ev.Tid);
+    Out += Num;
+    Out += ", \"args\": {";
+    bool FirstArg = true;
+    for (const TraceArg &A : Ev.Args) {
+      if (!FirstArg)
+        Out += ", ";
+      FirstArg = false;
+      Out += "\"";
+      appendJsonEscaped(Out, A.Key);
+      Out += "\": ";
+      std::snprintf(Num, sizeof(Num), "%llu",
+                    static_cast<unsigned long long>(A.Val));
+      Out += Num;
+    }
+    for (const TraceStrArg &A : Ev.StrArgs) {
+      if (!FirstArg)
+        Out += ", ";
+      FirstArg = false;
+      Out += "\"";
+      appendJsonEscaped(Out, A.Key);
+      Out += "\": \"";
+      appendJsonEscaped(Out, A.Val);
+      Out += "\"";
+    }
+    Out += "}}";
+  }
+  Out += "\n]}\n";
+  return Out;
+}
+
+bool writeTraceChromeJson(const std::string &Path) {
+  std::string Json = traceChromeJson();
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  size_t Written = std::fwrite(Json.data(), 1, Json.size(), F);
+  std::fclose(F);
+  return Written == Json.size();
+}
+
+} // namespace obs
+} // namespace lv

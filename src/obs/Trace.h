@@ -1,0 +1,141 @@
+//===- obs/Trace.h - per-request tracing ------------------------*- C++ -*-===//
+///
+/// \file
+/// The tracing half of the `lv::obs` observability spine: nanosecond spans
+/// collected into per-thread buffers and exported as Chrome trace-event
+/// JSON, so a whole bench run — funnel stages, SAT queries, checksum
+/// batches — renders as a timeline in `chrome://tracing` or Perfetto.
+///
+/// Design contract (the "overhead contract", see src/obs/README.md):
+///
+///   * **Disabled is free.** With tracing disabled (the default), entering
+///     and leaving a span is one relaxed atomic load and a branch: no
+///     clock read, no allocation, no locking. Spans asked to accumulate a
+///     duration (`DurOut`) additionally pay two clock reads — exactly the
+///     cost of the `StageTimer` bookkeeping they replace.
+///   * **Enabled is cheap.** A recorded span costs two clock reads plus
+///     one append to a thread-local buffer guarded by an uncontended
+///     per-thread mutex. Argument strings allocate only while recording.
+///   * **Never perturbs verdicts.** Tracing touches no RNG stream, no
+///     solver state, and no interpreter state; enabling it cannot move a
+///     verdict, a cycle count, or a configHash.
+///
+/// Buffers are owned by a process-wide registry and outlive their threads,
+/// so spans recorded by `svc` worker pools survive service destruction and
+/// are still there when the driver exports the trace. Export/reset are
+/// meant for quiescent points (between bench phases); per-thread caps drop
+/// the newest events on overflow and count the drops (`obs.trace_dropped`
+/// metric + TraceStats::Dropped) — no silent truncation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_OBS_TRACE_H
+#define LV_OBS_TRACE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lv {
+namespace obs {
+
+/// One integer key/value attached to a span. Keys must be string literals
+/// (the event stores the pointer, not a copy).
+struct TraceArg {
+  const char *Key = nullptr;
+  uint64_t Val = 0;
+};
+
+/// One string key/value attached to a span.
+struct TraceStrArg {
+  const char *Key = nullptr;
+  std::string Val;
+};
+
+/// A completed span. Start times come from one process-wide monotonic
+/// clock, so events from different threads order correctly on a shared
+/// timeline; the exporter rebases them so the trace starts near t=0.
+struct TraceEvent {
+  const char *Cat = "";  ///< Category ("svc", "equiv", "tv", "interp").
+  const char *Name = ""; ///< Span name ("stage.alive2", "checksum.batch").
+  uint64_t StartNs = 0;  ///< Monotonic start.
+  uint64_t DurNs = 0;    ///< Wall duration.
+  uint32_t Tid = 0;      ///< Stable per-thread id (registration order).
+  uint32_t Depth = 0;    ///< Nesting depth on its thread at entry.
+  std::vector<TraceArg> Args;
+  std::vector<TraceStrArg> StrArgs;
+};
+
+/// Global enable flag (relaxed atomic; default off).
+bool tracingEnabled();
+void setTracingEnabled(bool Enabled);
+
+/// Monotonic nanosecond clock used for span timestamps.
+uint64_t traceClockNanos();
+
+/// RAII span. Construction samples the clock and the thread's nesting
+/// depth when tracing is enabled (or when \p DurOut is non-null);
+/// destruction accumulates the duration into \p DurOut and, when enabled,
+/// appends one TraceEvent to the calling thread's buffer.
+///
+/// \p Cat and \p Name must be string literals (or otherwise outlive the
+/// trace); dynamic identity goes into argStr().
+class Span {
+public:
+  explicit Span(const char *Cat, const char *Name,
+                uint64_t *DurOut = nullptr);
+  ~Span();
+
+  Span(const Span &) = delete;
+  Span &operator=(const Span &) = delete;
+
+  /// Attaches an integer argument (no-op when not recording).
+  void arg(const char *Key, uint64_t Val);
+  /// Attaches a string argument (copies — and therefore allocates — only
+  /// when recording).
+  void argStr(const char *Key, const std::string &Val);
+
+  /// True when this span will be recorded into the trace buffer.
+  bool active() const { return Active; }
+
+private:
+  const char *Cat;
+  const char *Name;
+  uint64_t *DurOut;
+  uint64_t T0 = 0;
+  uint32_t Depth = 0;
+  bool Active = false;
+  std::vector<TraceArg> Args;
+  std::vector<TraceStrArg> StrArgs;
+};
+
+/// Trace-buffer statistics.
+struct TraceStats {
+  size_t Events = 0;   ///< Recorded events across all thread buffers.
+  uint64_t Dropped = 0; ///< Events dropped by the per-thread cap.
+  size_t Threads = 0;  ///< Thread buffers ever registered.
+};
+
+TraceStats traceStats();
+
+/// Clears every thread buffer (the buffers themselves persist, so
+/// registered threads keep recording). Call at a quiescent point.
+void resetTrace();
+
+/// Copies every recorded event out of the thread buffers (unordered across
+/// threads; sort by StartNs if needed). Call at a quiescent point.
+std::vector<TraceEvent> snapshotTrace();
+
+/// Renders the recorded events as Chrome trace-event JSON
+/// (`{"traceEvents": [...]}`), timestamps rebased to the earliest event.
+/// Loadable directly in chrome://tracing and ui.perfetto.dev.
+std::string traceChromeJson();
+
+/// traceChromeJson() to a file. Returns false when the file cannot be
+/// written.
+bool writeTraceChromeJson(const std::string &Path);
+
+} // namespace obs
+} // namespace lv
+
+#endif // LV_OBS_TRACE_H

@@ -1,6 +1,7 @@
 //===- smt/Sat.cpp - incremental CDCL SAT solver -----------------------------===//
 
 #include "smt/Sat.h"
+#include "obs/Metrics.h"
 
 #include <algorithm>
 #include <cassert>
@@ -756,9 +757,35 @@ SatResult SatSolver::solve(const SatBudget &Budget) {
   return solve(NoAssumps, Budget);
 }
 
+namespace {
+/// Publishes per-call deltas of the cumulative SatStats to the obs
+/// metrics registry on every exit path (solve has several). Relaxed
+/// atomic adds only; never touches search state.
+struct SolveMetricsGuard {
+  const SatStats &S;
+  uint64_t C0, P0, R0, D0;
+  explicit SolveMetricsGuard(const SatStats &S)
+      : S(S), C0(S.Conflicts), P0(S.Propagations), R0(S.Restarts),
+        D0(S.Decisions) {}
+  ~SolveMetricsGuard() {
+    static obs::Counter &Solves = obs::counter("sat.solves");
+    static obs::Counter &Conflicts = obs::counter("sat.conflicts");
+    static obs::Counter &Props = obs::counter("sat.propagations");
+    static obs::Counter &Restarts = obs::counter("sat.restarts");
+    static obs::Counter &Decisions = obs::counter("sat.decisions");
+    Solves.inc();
+    Conflicts.inc(S.Conflicts - C0);
+    Props.inc(S.Propagations - P0);
+    Restarts.inc(S.Restarts - R0);
+    Decisions.inc(S.Decisions - D0);
+  }
+};
+} // namespace
+
 SatResult SatSolver::solve(const std::vector<Lit> &Assumps,
                            const SatBudget &Budget, const SatOptions &Opts,
                            const std::vector<Var> *ExternalCone) {
+  SolveMetricsGuard Metrics(Stats);
   if (!OkFlag)
     return SatResult::Unsat;
   assert(decisionLevel() == 0);

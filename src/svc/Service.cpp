@@ -2,11 +2,13 @@
 
 #include "svc/Service.h"
 
+#include "obs/Flight.h"
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Format.h"
 #include "support/Rng.h"
 #include "vir/Compile.h"
 
-#include <chrono>
 #include <stdexcept>
 
 using namespace lv;
@@ -177,6 +179,54 @@ VectorizerService::waitBatch(const std::vector<Ticket> &Tickets) {
 
 CacheStats VectorizerService::cacheStats() const { return Cache->stats(); }
 
+namespace {
+
+std::string outcomeSummary(const Outcome &O) {
+  if (O.Failed)
+    return O.Error.empty() ? "failed" : O.Error;
+  if (O.VerifyRan)
+    return core::outcomeName(O.Equiv.Final);
+  if (O.Mode == RunMode::Sample)
+    return format("%zu samples", O.Samples.size());
+  if (O.GenerateRan)
+    return "generated";
+  return "done";
+}
+
+/// Post-task observability: registry counters/histograms plus the flight
+/// recorder. Runs after the worker's try/catch, so failed tasks (their
+/// wall filled in by the unwinding task span) are covered too.
+void publishOutcome(const Outcome &O) {
+  static obs::Counter &Tasks = obs::counter("svc.tasks");
+  static obs::Counter &TasksFailed = obs::counter("svc.tasks_failed");
+  Tasks.inc();
+  if (O.Failed)
+    TasksFailed.inc();
+  obs::histogram("svc.task_ns").observe(O.WallNanos);
+  if (O.VerifyRan) {
+    // Per-stage wall nanos, sourced from the equiv stage spans.
+    obs::histogram("equiv.checksum_ns").observe(O.Equiv.ChecksumNanos);
+    obs::histogram("equiv.alive2_ns").observe(O.Equiv.Alive2Nanos);
+    obs::histogram("equiv.cunroll_ns").observe(O.Equiv.CUnrollNanos);
+    obs::histogram("equiv.split_ns").observe(O.Equiv.SplitNanos);
+  }
+  if (!obs::flightEnabled())
+    return;
+  obs::TaskRecord R;
+  R.Name = O.Name;
+  R.Mode = runModeName(O.Mode);
+  R.Summary = outcomeSummary(O);
+  R.WallNanos = O.WallNanos;
+  R.EndNanos = obs::traceClockNanos();
+  R.Failed = O.Failed;
+  if (O.Failed)
+    obs::noteTrap(R);
+  else
+    obs::recordTask(R);
+}
+
+} // namespace
+
 void VectorizerService::workerLoop() {
   for (;;) {
     Task *T;
@@ -199,6 +249,7 @@ void VectorizerService::workerLoop() {
       T->Out.Failed = true;
       T->Out.Error = "unknown exception";
     }
+    publishOutcome(T->Out);
     {
       std::lock_guard<std::mutex> L(M);
       T->Done = true;
@@ -257,12 +308,26 @@ static void aggregateSatWork(Outcome &O) {
     O.SplitWork.add(S);
 }
 
+static const char *taskSpanName(RunMode M) {
+  switch (M) {
+  case RunMode::Pipeline: return "task.pipeline";
+  case RunMode::Generate: return "task.generate";
+  case RunMode::Verify: return "task.verify";
+  case RunMode::Sample: return "task.sample";
+  }
+  return "task";
+}
+
 void VectorizerService::runTask(Task &T) {
-  auto T0 = std::chrono::steady_clock::now();
   const Request &R = T.Req;
   Outcome &O = T.Out;
   O.Name = R.Name;
   O.Mode = R.Mode;
+  // The span owns the task wall clock: its destructor accumulates into
+  // O.WallNanos even when a stage throws (workerLoop records the failed
+  // task afterwards, wall included).
+  obs::Span TaskSpan("svc", taskSpanName(R.Mode), &O.WallNanos);
+  TaskSpan.argStr("task", R.Name);
 
   switch (R.Mode) {
   case RunMode::Generate:
@@ -397,11 +462,6 @@ void VectorizerService::runTask(Task &T) {
     break;
   }
   }
-
-  O.WallNanos = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - T0)
-          .count());
 }
 
 //===----------------------------------------------------------------------===//

@@ -2,6 +2,8 @@
 
 #include "tv/Refine.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "smt/Solve.h"
 #include "support/Format.h"
 
@@ -157,16 +159,48 @@ struct RefinementSession::Impl {
 
   TVResult query(int CellLo, int CellHi, const smt::SatBudget &Budget,
                  bool Isolate);
+  TVResult queryBody(int CellLo, int CellHi, const smt::SatBudget &Budget,
+                     bool Isolate);
 };
+
+/// Every session query funnels through here (checkFull, checkCell, and
+/// the one-shot wrapper alike): one "tv.query" span plus registry
+/// counters whose deltas are exactly the fields StageSatWork::add(TVResult)
+/// aggregates — the bench parity gates rely on that equality.
+TVResult RefinementSession::Impl::query(int CellLo, int CellHi,
+                                        const smt::SatBudget &Budget,
+                                        bool Isolate) {
+  obs::Span S("tv", "tv.query");
+  TVResult Out = queryBody(CellLo, CellHi, Budget, Isolate);
+  S.arg("cell_lo", static_cast<uint64_t>(std::max(CellLo, 0)));
+  S.arg("cells", static_cast<uint64_t>(std::max(CellHi - CellLo, 0)));
+  S.arg("conflicts", Out.Conflicts);
+  S.arg("propagations", Out.Propagations);
+  S.arg("restarts", Out.Restarts);
+  S.arg("trail_reused", Out.TrailReused);
+  static obs::Counter &Queries = obs::counter("tv.queries");
+  static obs::Counter &Conflicts = obs::counter("tv.conflicts");
+  static obs::Counter &Props = obs::counter("tv.propagations");
+  static obs::Counter &Restarts = obs::counter("tv.restarts");
+  static obs::Counter &Reused = obs::counter("tv.trail_reused");
+  static obs::Histogram &QueryNs = obs::histogram("tv.query_ns");
+  Queries.inc();
+  Conflicts.inc(Out.Conflicts);
+  Props.inc(Out.Propagations);
+  Restarts.inc(Out.Restarts);
+  Reused.inc(Out.TrailReused);
+  QueryNs.observe(Out.SolveNanos);
+  return Out;
+}
 
 /// \p Isolate runs the query in a throwaway fork of the session's base
 /// solver. The base stays pristine (the common encoding is asserted but
 /// never searched), so every isolated query starts from exactly the state
 /// a scratch solver would have built — same verdicts as one-shot solving,
 /// minus the per-query symbolic execution and common-encoding blast.
-TVResult RefinementSession::Impl::query(int CellLo, int CellHi,
-                                        const smt::SatBudget &Budget,
-                                        bool Isolate) {
+TVResult RefinementSession::Impl::queryBody(int CellLo, int CellHi,
+                                            const smt::SatBudget &Budget,
+                                            bool Isolate) {
   if (HasImmediate)
     return Immediate;
   auto Start = std::chrono::steady_clock::now();
@@ -203,6 +237,7 @@ TVResult RefinementSession::Impl::query(int CellLo, int CellHi,
         It->second.Budget.MaxConflicts == Budget.MaxConflicts &&
         It->second.Budget.MaxPropagations == Budget.MaxPropagations &&
         It->second.Budget.MaxClauses == Budget.MaxClauses) {
+      obs::counter("tv.memo_hits").inc();
       TVResult Cached = It->second.Result;
       // Report only work actually done by this replay.
       Cached.Conflicts = Cached.Propagations = Cached.Restarts = 0;

@@ -45,6 +45,9 @@ uint64_t EquivConfig::configHash() const {
   H = hashField(H, 12, SharedLearntSolving ? 1 : 0);
   H = hashField(H, 13, ConeProjection ? 1 : 0);
   H = hashField(H, 14, TrailReuse ? 1 : 0);
+  H = hashField(H, 15, PortfolioSolving ? 1 : 0);
+  H = hashField(H, 16, static_cast<uint64_t>(
+                           static_cast<uint32_t>(SplitCellWorkers)));
   return H;
 }
 
@@ -292,6 +295,9 @@ EquivResult lv::core::checkEquivalence(const std::string &ScalarSrc,
   StraightRO.SharedLearnt = Cfg.SharedLearntSolving;
   StraightRO.Solver.ConeProjection = Cfg.ConeProjection;
   StraightRO.Solver.TrailReuse = Cfg.TrailReuse;
+  // Portfolio racing needs a fork-clean sound base; the shared-learnt
+  // mode already owns the shared base, so it wins when both are set.
+  StraightRO.Portfolio = Cfg.PortfolioSolving && !Cfg.SharedLearntSolving;
   StraightRO.SrcExec.MemWindow = static_cast<int>(Align.Start + Align.V) + 10;
   StraightRO.TgtExec.MemWindow = StraightRO.SrcExec.MemWindow;
   StraightRO.CompareWindow = StraightRO.SrcExec.MemWindow;
@@ -339,6 +345,15 @@ EquivResult lv::core::checkEquivalence(const std::string &ScalarSrc,
       Timer.arg("propagations", Out.CUnrollRes.Propagations);
       Timer.arg("restarts", Out.CUnrollRes.Restarts);
       Timer.arg("trail_reused", Out.CUnrollRes.TrailReused);
+      // Stage 3 runs through the same portfolio session as stage 4.
+      Timer.arg("portfolio_fast_wins",
+                Out.CUnrollRes.PortfolioArm == 1 ? 1 : 0);
+      Timer.arg("portfolio_sound_wins",
+                Out.CUnrollRes.PortfolioArm == 2 && Out.CUnrollRes.decided()
+                    ? 1
+                    : 0);
+      Timer.arg("portfolio_fallbacks",
+                Out.CUnrollRes.PortfolioArm == 2 ? 1 : 0);
     }
     if (Decided)
       return Out;
@@ -362,20 +377,10 @@ EquivResult lv::core::checkEquivalence(const std::string &ScalarSrc,
         smt::SatBudget Budget = StraightRO.Budget;
         Budget.MaxConflicts = Cfg.SplitBudget;
         bool AllEq = true;
-        for (int J = 0; J < static_cast<int>(Align.V) && !Decided; ++J) {
-          int Cell = static_cast<int>(Align.Start) + J;
-          TVResult RJ;
-          if (Cfg.IncrementalSolving) {
-            RJ = sharedSession().checkCell(Cell, Budget);
-          } else {
-            tv::RefineOptions RO = StraightRO;
-            RO.CellFilter = Cell;
-            RO.Budget = Budget;
-            RJ = Cfg.SplitCellOverride
-                     ? Cfg.SplitCellOverride(*SUV, *VUV, RO)
-                     : tv::checkRefinement(*SUV, *VUV, RO);
-          }
-          Out.SplitRes.push_back(RJ);
+        // Shared decision step: identical for the sequential loop and
+        // the batched fan-out (whose merge already reproduces the
+        // sequential early exit by truncating after an Inequivalent).
+        auto applyCell = [&](int Cell, TVResult RJ) {
           if (RJ.V == TVVerdict::Inequivalent) {
             Out.Final = EquivResult::Inequivalent;
             Out.DecidedBy = Stage::Splitting;
@@ -385,6 +390,34 @@ EquivResult lv::core::checkEquivalence(const std::string &ScalarSrc,
           }
           if (RJ.V != TVVerdict::Equivalent)
             AllEq = false;
+          Out.SplitRes.push_back(std::move(RJ));
+        };
+        if (Cfg.IncrementalSolving && Cfg.SplitCellWorkers > 1) {
+          // Parallel per-cell dispatch: pre-built violation terms, one
+          // isolated fork per solve, deterministic cell-order merge.
+          std::vector<int> Cells(static_cast<size_t>(Align.V));
+          for (size_t J = 0; J < Cells.size(); ++J)
+            Cells[J] = static_cast<int>(Align.Start) + static_cast<int>(J);
+          std::vector<TVResult> Batch =
+              sharedSession().checkCells(Cells, Budget, Cfg.SplitCellWorkers);
+          for (size_t J = 0; J < Batch.size() && !Decided; ++J)
+            applyCell(Cells[J], std::move(Batch[J]));
+        } else {
+          for (int J = 0; J < static_cast<int>(Align.V) && !Decided; ++J) {
+            int Cell = static_cast<int>(Align.Start) + J;
+            TVResult RJ;
+            if (Cfg.IncrementalSolving) {
+              RJ = sharedSession().checkCell(Cell, Budget);
+            } else {
+              tv::RefineOptions RO = StraightRO;
+              RO.CellFilter = Cell;
+              RO.Budget = Budget;
+              RJ = Cfg.SplitCellOverride
+                       ? Cfg.SplitCellOverride(*SUV, *VUV, RO)
+                       : tv::checkRefinement(*SUV, *VUV, RO);
+            }
+            applyCell(Cell, std::move(RJ));
+          }
         }
         if (!Decided && AllEq) {
           Out.Final = EquivResult::Equivalent;
@@ -395,17 +428,28 @@ EquivResult lv::core::checkEquivalence(const std::string &ScalarSrc,
         }
       }
       uint64_t Conflicts = 0, Props = 0, Restarts = 0, Reused = 0;
+      uint64_t FastWins = 0, SoundWins = 0, Fallbacks = 0;
       for (const TVResult &RJ : Out.SplitRes) {
         Conflicts += RJ.Conflicts;
         Props += RJ.Propagations;
         Restarts += RJ.Restarts;
         Reused += RJ.TrailReused;
+        if (RJ.PortfolioArm == 1)
+          ++FastWins;
+        else if (RJ.PortfolioArm == 2) {
+          ++Fallbacks;
+          if (RJ.decided())
+            ++SoundWins;
+        }
       }
       Timer.arg("cells", Out.SplitRes.size());
       Timer.arg("conflicts", Conflicts);
       Timer.arg("propagations", Props);
       Timer.arg("restarts", Restarts);
       Timer.arg("trail_reused", Reused);
+      Timer.arg("portfolio_fast_wins", FastWins);
+      Timer.arg("portfolio_sound_wins", SoundWins);
+      Timer.arg("portfolio_fallbacks", Fallbacks);
     }
     if (Decided)
       return Out;

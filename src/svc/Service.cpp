@@ -470,10 +470,13 @@ void VectorizerService::runTask(Task &T) {
 
 static void appendTV(std::string &S, const char *Label,
                      const tv::TVResult &R) {
-  appendf(S, "  %s: verdict=%d conflicts=%llu clauses=%llu detail=%s\n",
+  appendf(S, "  %s: verdict=%d conflicts=%llu clauses=%llu "
+             "portfolio=%d fastc=%llu detail=%s\n",
           Label, static_cast<int>(R.V),
           static_cast<unsigned long long>(R.Conflicts),
-          static_cast<unsigned long long>(R.Clauses), R.Detail.c_str());
+          static_cast<unsigned long long>(R.Clauses),
+          static_cast<int>(R.PortfolioArm),
+          static_cast<unsigned long long>(R.FastConflicts), R.Detail.c_str());
 }
 
 std::string lv::svc::debugString(const Outcome &O) {

@@ -8,7 +8,11 @@
 #include "support/Format.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <exception>
+#include <thread>
+#include <unordered_map>
 
 using namespace lv;
 using namespace lv::tv;
@@ -58,6 +62,28 @@ struct RefinementSession::Impl {
   /// Reusable fork target for isolated queries (capacity persists across
   /// queries, so re-forking is allocation-free).
   std::unique_ptr<smt::IncrementalSolver> Fork;
+  /// Portfolio sessions: the fast racer's base — a copy of the pristine
+  /// sound base running shared-learnt with cone projection and trail
+  /// reuse. Sequential queries search it directly (learnt clauses
+  /// accumulate across queries, heuristics rewound per query, exactly the
+  /// shared_cone_reuse mode); batched cell dispatch forks it instead so
+  /// cells stay order-independent. The sound base IS below is never
+  /// searched in either case, so fallback forks reproduce plain
+  /// fork-per-query verdicts bit-exactly.
+  std::unique_ptr<smt::IncrementalSolver> FastIS;
+  /// Unused fork slot for the sequential path's solveIsolated call (the
+  /// sequential fast racer searches FastIS directly).
+  std::unique_ptr<smt::IncrementalSolver> FastForkSeq;
+  /// Adaptive fast-arm gate: the largest conflict budget at which the
+  /// fast racer has already exhausted itself without deciding. Queries at
+  /// that budget or below skip the race and go straight to the sound
+  /// fork — the portfolio stops paying double on budget classes where the
+  /// fast arm is known to be inconclusive (e.g. spatial splitting, whose
+  /// per-cell budget is far below the cunroll budget the fast arm already
+  /// failed at). Skipping is sound: the sound fork's verdict is the
+  /// parity reference either way. Monotone and deterministic: one probe
+  /// per budget class, never reset within a session.
+  uint64_t FastFailedBudgetHi = 0;
   /// Verdicts of completed isolated queries, keyed by the violation
   /// TermId (hash-consing makes syntactic equality an id compare) and
   /// guarded by exact budget equality. An identical query against a
@@ -154,6 +180,17 @@ struct RefinementSession::Impl {
     // query's search distorts the next one's budget-bound verdict.
     if (Opts.SharedLearnt)
       IS.snapshotHeuristics();
+    else if (Opts.Portfolio) {
+      // Portfolio racing: the fast arm gets its own shared-learnt base
+      // (cone projection + trail reuse), copied from the still-pristine
+      // sound base so both racers start from the identical encoding.
+      FastIS.reset(new smt::IncrementalSolver(IS));
+      smt::SatOptions FastOpts;
+      FastOpts.ConeProjection = true;
+      FastOpts.TrailReuse = true;
+      FastIS->setOptions(FastOpts);
+      FastIS->snapshotHeuristics();
+    }
     BaseTerms = T.size();
   }
 
@@ -161,35 +198,82 @@ struct RefinementSession::Impl {
                  bool Isolate);
   TVResult queryBody(int CellLo, int CellHi, const smt::SatBudget &Budget,
                      bool Isolate);
+  std::vector<TVResult> queryBatch(const std::vector<int> &Cells,
+                                   const smt::SatBudget &Budget, int Workers);
+
+  /// Builds the violation term for cells [CellLo, CellHi) — BaseViol plus
+  /// a refinement obligation per non-syntactically-identical cell.
+  TermId buildViolation(int CellLo, int CellHi);
+  /// Memo probe under exact budget equality; fills \p Out with the zeroed
+  /// replay copy on a hit.
+  bool memoProbe(TermId Viol, const smt::SatBudget &Budget, TVResult &Out);
+  /// Copies solver statistics and renders the verdict/counterexample.
+  void finishResult(TVResult &Out, const smt::SmtResult &R);
+  /// The solve kernel shared by the sequential and batched paths: plain
+  /// fork-per-query, or the portfolio race when the session has a fast
+  /// base and \p RaceFast is set. The caller owns the fork buffers so
+  /// batch workers stay independent; \p FastDirect selects whether the
+  /// fast racer searches FastIS itself (sequential, warm shared-learnt)
+  /// or a fork of it (batched, order-independent). \p RaceFast false in a
+  /// portfolio session means the adaptive gate skipped the fast arm: the
+  /// sound fork decides alone and the result is marked PortfolioArm=2
+  /// with zero fast-arm work.
+  TVResult solveIsolated(TermId Viol, const smt::SatBudget &Budget,
+                         std::unique_ptr<smt::IncrementalSolver> &SoundFork,
+                         std::unique_ptr<smt::IncrementalSolver> &FastFork,
+                         bool FastDirect, bool RaceFast);
 };
 
-/// Every session query funnels through here (checkFull, checkCell, and
-/// the one-shot wrapper alike): one "tv.query" span plus registry
-/// counters whose deltas are exactly the fields StageSatWork::add(TVResult)
-/// aggregates — the bench parity gates rely on that equality.
-TVResult RefinementSession::Impl::query(int CellLo, int CellHi,
-                                        const smt::SatBudget &Budget,
-                                        bool Isolate) {
-  obs::Span S("tv", "tv.query");
-  TVResult Out = queryBody(CellLo, CellHi, Budget, Isolate);
-  S.arg("cell_lo", static_cast<uint64_t>(std::max(CellLo, 0)));
-  S.arg("cells", static_cast<uint64_t>(std::max(CellHi - CellLo, 0)));
-  S.arg("conflicts", Out.Conflicts);
-  S.arg("propagations", Out.Propagations);
-  S.arg("restarts", Out.Restarts);
-  S.arg("trail_reused", Out.TrailReused);
+/// Registry-counter emission for one completed query result. The counter
+/// deltas are exactly the fields StageSatWork::add(TVResult) aggregates —
+/// the bench parity gates rely on that equality — including the portfolio
+/// win/fallback tallies.
+static void emitQueryCounters(const TVResult &Out) {
   static obs::Counter &Queries = obs::counter("tv.queries");
   static obs::Counter &Conflicts = obs::counter("tv.conflicts");
   static obs::Counter &Props = obs::counter("tv.propagations");
   static obs::Counter &Restarts = obs::counter("tv.restarts");
   static obs::Counter &Reused = obs::counter("tv.trail_reused");
+  static obs::Counter &FastWins = obs::counter("tv.portfolio_fast_wins");
+  static obs::Counter &SoundWins = obs::counter("tv.portfolio_sound_wins");
+  static obs::Counter &Fallbacks = obs::counter("tv.portfolio_fallbacks");
   static obs::Histogram &QueryNs = obs::histogram("tv.query_ns");
   Queries.inc();
   Conflicts.inc(Out.Conflicts);
   Props.inc(Out.Propagations);
   Restarts.inc(Out.Restarts);
   Reused.inc(Out.TrailReused);
+  if (Out.PortfolioArm == 1) {
+    FastWins.inc();
+  } else if (Out.PortfolioArm == 2) {
+    Fallbacks.inc();
+    if (Out.decided())
+      SoundWins.inc();
+  }
   QueryNs.observe(Out.SolveNanos);
+}
+
+static void emitQuerySpanArgs(obs::Span &S, const TVResult &Out, int CellLo,
+                              int Cells) {
+  S.arg("cell_lo", static_cast<uint64_t>(std::max(CellLo, 0)));
+  S.arg("cells", static_cast<uint64_t>(std::max(Cells, 0)));
+  S.arg("conflicts", Out.Conflicts);
+  S.arg("propagations", Out.Propagations);
+  S.arg("restarts", Out.Restarts);
+  S.arg("trail_reused", Out.TrailReused);
+}
+
+/// Every session query funnels through here (checkFull, checkCell, and
+/// the one-shot wrapper alike): one "tv.query" span plus the registry
+/// counters. The batched cell path (queryBatch) emits the same span/
+/// counter shape per merged cell instead.
+TVResult RefinementSession::Impl::query(int CellLo, int CellHi,
+                                        const smt::SatBudget &Budget,
+                                        bool Isolate) {
+  obs::Span S("tv", "tv.query");
+  TVResult Out = queryBody(CellLo, CellHi, Budget, Isolate);
+  emitQuerySpanArgs(S, Out, CellLo, CellHi - CellLo);
+  emitQueryCounters(Out);
   return Out;
 }
 
@@ -198,15 +282,7 @@ TVResult RefinementSession::Impl::query(int CellLo, int CellHi,
 /// never searched), so every isolated query starts from exactly the state
 /// a scratch solver would have built — same verdicts as one-shot solving,
 /// minus the per-query symbolic execution and common-encoding blast.
-TVResult RefinementSession::Impl::queryBody(int CellLo, int CellHi,
-                                            const smt::SatBudget &Budget,
-                                            bool Isolate) {
-  if (HasImmediate)
-    return Immediate;
-  auto Start = std::chrono::steady_clock::now();
-  TVResult Out;
-
-  size_t TermsBefore = T.size();
+TermId RefinementSession::Impl::buildViolation(int CellLo, int CellHi) {
   TermId Viol = BaseViol;
   for (const auto &Pair : MemPairs) {
     const SymMemory &MS = *Pair.first;
@@ -222,59 +298,32 @@ TVResult RefinementSession::Impl::queryBody(int CellLo, int CellHi,
       Viol = T.mkOr(Viol, refineViolation(T, CS, CT));
     }
   }
+  return Viol;
+}
 
-  // Memo hit: an isolated query is deterministic from the pristine base,
-  // so a syntactically identical violation (same TermId, thanks to
-  // hash-consing) under the exact same budget replays its verdict — with
-  // none of the SAT work. Budget equality covers every field: a retry
-  // with a loosened propagation/clause budget must re-solve. Shared-learnt
-  // sessions memoize too: replaying the first occurrence's verdict keeps
-  // duplicate cells verdict-identical to the fork modes (re-solving in a
-  // now-warmer solver would not be).
-  {
-    auto It = QueryMemo.find(Viol);
-    if (It != QueryMemo.end() &&
-        It->second.Budget.MaxConflicts == Budget.MaxConflicts &&
-        It->second.Budget.MaxPropagations == Budget.MaxPropagations &&
-        It->second.Budget.MaxClauses == Budget.MaxClauses) {
-      obs::counter("tv.memo_hits").inc();
-      TVResult Cached = It->second.Result;
-      // Report only work actually done by this replay.
-      Cached.Conflicts = Cached.Propagations = Cached.Restarts = 0;
-      Cached.TrailReused = 0;
-      Cached.ConeVars = Cached.ConeClauses = 0;
-      Cached.SolveNanos = static_cast<uint64_t>(
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - Start)
-              .count());
-      return Cached;
-    }
-  }
+bool RefinementSession::Impl::memoProbe(TermId Viol,
+                                        const smt::SatBudget &Budget,
+                                        TVResult &Out) {
+  auto It = QueryMemo.find(Viol);
+  if (It == QueryMemo.end() ||
+      It->second.Budget.MaxConflicts != Budget.MaxConflicts ||
+      It->second.Budget.MaxPropagations != Budget.MaxPropagations ||
+      It->second.Budget.MaxClauses != Budget.MaxClauses)
+    return false;
+  Out = It->second.Result;
+  // Report only work actually done by this replay — and no portfolio
+  // race ran, so the replay does not count as a win or a fallback.
+  Out.Conflicts = Out.Propagations = Out.Restarts = 0;
+  Out.TrailReused = 0;
+  Out.ConeVars = Out.ConeClauses = 0;
+  Out.PortfolioArm = 0;
+  Out.FastConflicts = Out.FastPropagations = Out.FastRestarts = 0;
+  Out.FastTrailReused = Out.FastConeVars = Out.FastConeClauses = 0;
+  return true;
+}
 
-  // Memout check on this query's own footprint: the base encoding plus
-  // whatever this query built. The shared table holds earlier queries'
-  // terms too, but charging them here would make verdicts depend on query
-  // order (a scratch session never sees them).
-  size_t QueryTerms = BaseTerms + (T.size() - TermsBefore);
-  Out.TermCount = QueryTerms;
-  if (QueryTerms > Opts.MaxTerms) {
-    Out.V = TVVerdict::Inconclusive;
-    Out.Detail = format("term limit exceeded (%zu terms): encoding too "
-                        "large (out-of-memory analogue)",
-                        QueryTerms);
-    return Out;
-  }
-  smt::SmtResult R;
-  if (Isolate) {
-    if (!Fork)
-      Fork.reset(new smt::IncrementalSolver(IS));
-    else
-      Fork->assignFrom(IS);
-    R = Fork->check(Viol, Budget);
-  } else {
-    IS.restoreHeuristics(); // no-op outside shared-learnt sessions
-    R = IS.check(Viol, Budget);
-  }
+void RefinementSession::Impl::finishResult(TVResult &Out,
+                                           const smt::SmtResult &R) {
   Out.Conflicts = R.ConflictsUsed;
   Out.Propagations = R.PropagationsUsed;
   Out.Restarts = R.RestartsUsed;
@@ -285,10 +334,6 @@ TVResult RefinementSession::Impl::queryBody(int CellLo, int CellHi,
   Out.SatVars = R.VarCount;
   Out.LearntLive = R.LearntLive;
   Out.AvgLBD = R.AvgLBD;
-  Out.SolveNanos = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - Start)
-          .count());
   switch (R.R) {
   case smt::SatResult::Unsat:
     Out.V = TVVerdict::Equivalent;
@@ -334,7 +379,351 @@ TVResult RefinementSession::Impl::queryBody(int CellLo, int CellHi,
     break;
   }
   }
+}
+
+TVResult RefinementSession::Impl::solveIsolated(
+    TermId Viol, const smt::SatBudget &Budget,
+    std::unique_ptr<smt::IncrementalSolver> &SoundFork,
+    std::unique_ptr<smt::IncrementalSolver> &FastFork, bool FastDirect,
+    bool RaceFast) {
+  TVResult Out;
+  if (FastIS && RaceFast) {
+    // Portfolio race, fast racer first: shared-learnt + cone projection +
+    // trail reuse, under a probe slice of the query budget (the test
+    // hook can pinch it further to force the fallback path).
+    smt::SatBudget FastB = Budget;
+    uint64_t Div = Opts.PortfolioProbeDiv ? Opts.PortfolioProbeDiv : 1;
+    FastB.MaxConflicts = std::max<uint64_t>(FastB.MaxConflicts / Div, 1);
+    if (Opts.PortfolioFastMaxConflicts < FastB.MaxConflicts)
+      FastB.MaxConflicts = Opts.PortfolioFastMaxConflicts;
+    smt::SmtResult RF;
+    if (FastDirect) {
+      // Sequential dispatch: search the fast base itself so learnt
+      // clauses accumulate across queries (heuristics rewound per query).
+      FastIS->restoreHeuristics();
+      RF = FastIS->check(Viol, FastB);
+    } else {
+      // Batched dispatch: fork the fast base as snapshotted at fan-out so
+      // cells stay independent of solve order and worker count.
+      if (!FastFork)
+        FastFork.reset(new smt::IncrementalSolver(*FastIS));
+      else
+        FastFork->assignFrom(*FastIS);
+      FastFork->restoreHeuristics();
+      RF = FastFork->check(Viol, FastB);
+    }
+    Out.PortfolioArm = 1;
+    Out.FastConflicts = RF.ConflictsUsed;
+    Out.FastPropagations = RF.PropagationsUsed;
+    Out.FastRestarts = RF.RestartsUsed;
+    Out.FastTrailReused = RF.TrailReused;
+    Out.FastConeVars = RF.ConeVars;
+    Out.FastConeClauses = RF.ConeClauses;
+    if (RF.R != smt::SatResult::Unknown) {
+      // Both racers run complete searches, so a decided fast verdict is
+      // sound; accept it without paying for the sound racer at all.
+      finishResult(Out, RF);
+      return Out;
+    }
+    // Indeterminate fast racer (budget exhaustion — the only way the
+    // racers can "disagree"): fall back to the sound fork, whose verdict
+    // always stands and is bit-identical to plain fork-per-query solving
+    // because the sound base was never searched.
+    Out.PortfolioArm = 2;
+    if (!SoundFork)
+      SoundFork.reset(new smt::IncrementalSolver(IS));
+    else
+      SoundFork->assignFrom(IS);
+    smt::SmtResult RS = SoundFork->check(Viol, Budget);
+    // Headline counters total the work of both racers, keeping the
+    // StageSatWork/span/counter parity invariant honest about cost.
+    RS.ConflictsUsed += RF.ConflictsUsed;
+    RS.PropagationsUsed += RF.PropagationsUsed;
+    RS.RestartsUsed += RF.RestartsUsed;
+    RS.TrailReused += RF.TrailReused;
+    finishResult(Out, RS);
+    return Out;
+  }
+  // Adaptive skip (portfolio session, RaceFast false): the fast arm has
+  // already proven inconclusive at this budget class, so only the sound
+  // fork runs. Marked as a fallback with zero fast-arm work — FastConflicts
+  // distinguishes "raced and lost" from "skipped".
+  if (FastIS)
+    Out.PortfolioArm = 2;
+  if (!SoundFork)
+    SoundFork.reset(new smt::IncrementalSolver(IS));
+  else
+    SoundFork->assignFrom(IS);
+  smt::SmtResult R = SoundFork->check(Viol, Budget);
+  finishResult(Out, R);
+  return Out;
+}
+
+TVResult RefinementSession::Impl::queryBody(int CellLo, int CellHi,
+                                            const smt::SatBudget &Budget,
+                                            bool Isolate) {
+  if (HasImmediate)
+    return Immediate;
+  auto Start = std::chrono::steady_clock::now();
+  auto elapsed = [&Start]() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count());
+  };
+  TVResult Out;
+
+  size_t TermsBefore = T.size();
+  TermId Viol = buildViolation(CellLo, CellHi);
+
+  // Memo hit: an isolated query is deterministic from the pristine base,
+  // so a syntactically identical violation (same TermId, thanks to
+  // hash-consing) under the exact same budget replays its verdict — with
+  // none of the SAT work. Budget equality covers every field: a retry
+  // with a loosened propagation/clause budget must re-solve. Shared-learnt
+  // sessions memoize too: replaying the first occurrence's verdict keeps
+  // duplicate cells verdict-identical to the fork modes (re-solving in a
+  // now-warmer solver would not be).
+  if (memoProbe(Viol, Budget, Out)) {
+    obs::counter("tv.memo_hits").inc();
+    Out.SolveNanos = elapsed();
+    return Out;
+  }
+
+  // Memout check on this query's own footprint: the base encoding plus
+  // whatever this query built. The shared table holds earlier queries'
+  // terms too, but charging them here would make verdicts depend on query
+  // order (a scratch session never sees them).
+  size_t QueryTerms = BaseTerms + (T.size() - TermsBefore);
+  Out.TermCount = QueryTerms;
+  if (QueryTerms > Opts.MaxTerms) {
+    Out.V = TVVerdict::Inconclusive;
+    Out.Detail = format("term limit exceeded (%zu terms): encoding too "
+                        "large (out-of-memory analogue)",
+                        QueryTerms);
+    return Out;
+  }
+  if (Isolate) {
+    size_t TC = Out.TermCount;
+    bool RaceFast = FastIS && Budget.MaxConflicts > FastFailedBudgetHi;
+    Out = solveIsolated(Viol, Budget, Fork, FastForkSeq,
+                        /*FastDirect=*/true, RaceFast);
+    Out.TermCount = TC;
+    // Fast racer exhausted its budget without deciding: stop racing this
+    // budget class (and anything smaller) for the rest of the session.
+    if (RaceFast && Out.PortfolioArm == 2)
+      FastFailedBudgetHi = std::max(FastFailedBudgetHi, Budget.MaxConflicts);
+  } else {
+    IS.restoreHeuristics(); // no-op outside shared-learnt sessions
+    smt::SmtResult R = IS.check(Viol, Budget);
+    finishResult(Out, R);
+  }
+  Out.SolveNanos = elapsed();
   QueryMemo[Viol] = MemoEntry{Budget, Out};
+  return Out;
+}
+
+/// Batched stage-4 dispatch. Three phases keep it bit-identical to the
+/// sequential loop at any worker count:
+///
+///   A. Build every cell's violation term single-threaded, in cell order
+///      (the TermTable is not thread-safe, and this is the exact term-
+///      construction order of the sequential loop, so hash-consed TermIds
+///      and the per-query term accounting are reproduced). Memo hits and
+///      intra-batch duplicates are planned as replays here.
+///   B. Solve the remaining unique violations on \p Workers threads. The
+///      TermTable is *const* during solving, and every solve runs in the
+///      thread's own fork of state snapshotted before the fan-out (sound
+///      base, and fast base in portfolio sessions), so results do not
+///      depend on scheduling. Shared-learnt sessions cannot fork; they
+///      solve sequentially on the shared base in cell order instead.
+///   C. Merge in cell order: replay duplicates from the first occurrence
+///      (zeroed work fields, exactly like a memo hit), emit the same
+///      per-query span/counter shape as the sequential path, store memo
+///      entries, and truncate after the first Inequivalent cell —
+///      mirroring the sequential loop's early exit, so work solved past
+///      that point is discarded rather than reported.
+std::vector<TVResult>
+RefinementSession::Impl::queryBatch(const std::vector<int> &Cells,
+                                    const smt::SatBudget &Budget,
+                                    int Workers) {
+  obs::Span Fan("tv", "tv.cell_fanout");
+  auto nowNs = []() { return std::chrono::steady_clock::now(); };
+  auto deltaNs = [](std::chrono::steady_clock::time_point From) {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - From)
+            .count());
+  };
+
+  struct CellPlan {
+    int Cell = 0;
+    TermId Viol = smt::NoTerm;
+    size_t QueryTerms = 0;
+    int Dup = -1;      ///< Earlier plan index this cell replays.
+    int SolveIdx = -1; ///< Index into Solves when solving fresh.
+    bool HasReady = false;
+    bool MemoHit = false;
+    TVResult Ready; ///< Immediate/memo/memout result, or the solve result.
+    uint64_t BuildNanos = 0;
+  };
+  std::vector<CellPlan> Plans(Cells.size());
+  std::vector<size_t> Solves;
+  std::unordered_map<TermId, int> FirstOcc;
+
+  // Phase A: plan every cell (single-threaded term construction).
+  for (size_t I2 = 0; I2 < Cells.size(); ++I2) {
+    CellPlan &P = Plans[I2];
+    P.Cell = Cells[I2];
+    if (HasImmediate) {
+      P.Ready = Immediate;
+      P.HasReady = true;
+      continue;
+    }
+    auto BStart = nowNs();
+    size_t TermsBefore = T.size();
+    P.Viol = buildViolation(P.Cell, P.Cell + 1);
+    P.QueryTerms = BaseTerms + (T.size() - TermsBefore);
+    P.BuildNanos = deltaNs(BStart);
+    TVResult Hit;
+    if (memoProbe(P.Viol, Budget, Hit)) {
+      Hit.SolveNanos = P.BuildNanos;
+      P.Ready = Hit;
+      P.HasReady = true;
+      P.MemoHit = true;
+      continue;
+    }
+    auto F = FirstOcc.find(P.Viol);
+    if (F != FirstOcc.end()) {
+      P.Dup = F->second;
+      continue;
+    }
+    if (P.QueryTerms > Opts.MaxTerms) {
+      P.Ready.V = TVVerdict::Inconclusive;
+      P.Ready.TermCount = P.QueryTerms;
+      P.Ready.Detail =
+          format("term limit exceeded (%zu terms): encoding too "
+                 "large (out-of-memory analogue)",
+                 P.QueryTerms);
+      P.HasReady = true;
+      continue; // not a solve: a later duplicate re-plans on its own
+    }
+    FirstOcc.emplace(P.Viol, static_cast<int>(I2));
+    P.SolveIdx = static_cast<int>(Solves.size());
+    Solves.push_back(I2);
+  }
+
+  // Phase B: solve the unique violations. The adaptive fast-arm gate is
+  // sampled ONCE before the fan-out and never written during it, so every
+  // solve sees the same decision regardless of worker count or schedule.
+  const size_t NSolve = Solves.size();
+  int W = Workers < 1 ? 1 : Workers;
+  const bool RaceFast = FastIS && Budget.MaxConflicts > FastFailedBudgetHi;
+  if (Opts.SharedLearnt) {
+    // No forking in shared-learnt sessions: sequential solves on the
+    // shared base, in cell order, exactly like the sequential loop.
+    for (size_t K = 0; K < NSolve; ++K) {
+      CellPlan &P = Plans[Solves[K]];
+      auto SStart = nowNs();
+      IS.restoreHeuristics();
+      smt::SmtResult R = IS.check(P.Viol, Budget);
+      TVResult Res;
+      finishResult(Res, R);
+      Res.TermCount = P.QueryTerms;
+      Res.SolveNanos = P.BuildNanos + deltaNs(SStart);
+      P.Ready = Res;
+    }
+  } else if (NSolve > 0) {
+    std::atomic<size_t> Next{0};
+    std::vector<std::exception_ptr> Errs(NSolve);
+    auto workerFn = [&]() {
+      // Thread-owned fork buffers: reused across this thread's solves,
+      // never shared (the bases they fork from are only read).
+      std::unique_ptr<smt::IncrementalSolver> SoundFork, FastFork;
+      for (;;) {
+        size_t K = Next.fetch_add(1);
+        if (K >= NSolve)
+          return;
+        CellPlan &P = Plans[Solves[K]];
+        try {
+          auto SStart = nowNs();
+          TVResult Res = solveIsolated(P.Viol, Budget, SoundFork, FastFork,
+                                       /*FastDirect=*/false, RaceFast);
+          Res.TermCount = P.QueryTerms;
+          Res.SolveNanos = P.BuildNanos + deltaNs(SStart);
+          P.Ready = Res;
+        } catch (...) {
+          Errs[K] = std::current_exception();
+        }
+      }
+    };
+    size_t Spawn =
+        std::min(static_cast<size_t>(W), NSolve) - 1; // this thread helps
+    std::vector<std::thread> Threads;
+    Threads.reserve(Spawn);
+    for (size_t K = 0; K < Spawn; ++K)
+      Threads.emplace_back(workerFn);
+    workerFn();
+    for (std::thread &Th : Threads)
+      Th.join();
+    for (size_t K = 0; K < NSolve; ++K)
+      if (Errs[K])
+        std::rethrow_exception(Errs[K]);
+  }
+  // Deterministic gate update after the barrier: one batch shares one
+  // budget, so any fast-arm exhaustion in it retires the whole budget
+  // class. Computed from ALL planned solves (Phase B completes them all),
+  // so the outcome is identical at any worker count.
+  if (RaceFast)
+    for (size_t K = 0; K < NSolve; ++K)
+      if (Plans[Solves[K]].Ready.PortfolioArm == 2) {
+        FastFailedBudgetHi =
+            std::max(FastFailedBudgetHi, Budget.MaxConflicts);
+        break;
+      }
+
+  // Phase C: deterministic merge in cell order.
+  std::vector<TVResult> Out;
+  Out.reserve(Cells.size());
+  for (size_t I2 = 0; I2 < Plans.size(); ++I2) {
+    CellPlan &P = Plans[I2];
+    TVResult R;
+    if (P.HasReady) {
+      R = P.Ready;
+      if (P.MemoHit)
+        obs::counter("tv.memo_hits").inc();
+    } else if (P.Dup >= 0) {
+      // Zeroed replay of the first occurrence's solve — what the memo
+      // would have served had the cells run sequentially.
+      R = Plans[static_cast<size_t>(P.Dup)].Ready;
+      R.Conflicts = R.Propagations = R.Restarts = 0;
+      R.TrailReused = 0;
+      R.ConeVars = R.ConeClauses = 0;
+      R.PortfolioArm = 0;
+      R.FastConflicts = R.FastPropagations = R.FastRestarts = 0;
+      R.FastTrailReused = R.FastConeVars = R.FastConeClauses = 0;
+      R.SolveNanos = P.BuildNanos;
+      obs::counter("tv.memo_hits").inc();
+    } else {
+      R = P.Ready;
+      QueryMemo[P.Viol] = MemoEntry{Budget, R};
+    }
+    {
+      // Same per-query trace/counter shape as the sequential path; the
+      // span's own duration is merge-time (the true encode+solve wall is
+      // in the SolveNanos histogram and the fan-out span), but its args
+      // carry the real work counters the parity gates sum.
+      obs::Span S("tv", "tv.query");
+      emitQuerySpanArgs(S, R, P.Cell, 1);
+    }
+    emitQueryCounters(R);
+    Out.push_back(std::move(R));
+    if (Out.back().V == TVVerdict::Inequivalent)
+      break; // sequential early exit: later cells are never reported
+  }
+  Fan.arg("cells", static_cast<uint64_t>(Cells.size()));
+  Fan.arg("workers", static_cast<uint64_t>(W));
+  Fan.arg("solves", static_cast<uint64_t>(NSolve));
   return Out;
 }
 
@@ -357,6 +746,12 @@ TVResult RefinementSession::checkFull(const smt::SatBudget &Budget) {
 
 TVResult RefinementSession::checkCell(int Cell, const smt::SatBudget &Budget) {
   return I->query(Cell, Cell + 1, Budget, /*Isolate=*/!I->Opts.SharedLearnt);
+}
+
+std::vector<TVResult>
+RefinementSession::checkCells(const std::vector<int> &Cells,
+                              const smt::SatBudget &Budget, int Workers) {
+  return I->queryBatch(Cells, Budget, Workers);
 }
 
 //===----------------------------------------------------------------------===//

@@ -65,6 +65,37 @@ struct RefineOptions {
   /// projection keeps each query inside its own clause cone; perturbs
   /// search order, so it ships gated by the bench_table3 parity matrix.
   bool SharedLearnt = false;
+  /// Sessions only: portfolio racing (see smt/README.md "Portfolio
+  /// mode"). Every query first runs a *fast arm* — a dedicated
+  /// shared-learnt base with cone projection and trail reuse — under the
+  /// same budget; a decided fast verdict is accepted (both arms run
+  /// complete searches, so any Sat/Unsat they produce is sound), while an
+  /// indeterminate one falls back to the *sound arm*, a throwaway fork of
+  /// the pristine base exactly like plain fork-per-query solving. The
+  /// sound base is never searched, so fallback verdicts are bit-identical
+  /// to SharedLearnt=false solving by construction. An adaptive gate
+  /// stops racing a budget class once the fast arm has exhausted it
+  /// without deciding (skipping the race is equally sound: the sound
+  /// fork's verdict is the reference either way), so budget-bound stages
+  /// like spatial splitting degrade to pure fork cost instead of paying
+  /// for both arms on every query. Mutually exclusive with SharedLearnt
+  /// (the fast arm already owns the shared-learnt base); ignored when
+  /// both are set.
+  bool Portfolio = false;
+  /// Fast-arm probe divisor: the fast racer runs under MaxConflicts /
+  /// PortfolioProbeDiv (floor 1) of the query's conflict budget. On a
+  /// multi-core wall-clock race the sound arm's latency is unaffected by
+  /// the fast arm; this sequential emulation bounds the added latency of
+  /// a losing fast probe to ~1/Div of the query budget instead. Verdict-
+  /// neutral: a capped fast arm can only fall back more, and the sound
+  /// fork's verdict is the parity reference. Corpus data shows fast-arm
+  /// wins land well under 1/8 of the budget while losses always exhaust
+  /// it, so the probe keeps the wins and caps the double-pay.
+  uint64_t PortfolioProbeDiv = 8;
+  /// Test hook: caps the fast arm's conflict budget below the query
+  /// budget (UINT64_MAX: no cap). Tests force fast-arm budget exhaustion
+  /// with 0 to pin that the sound fork verdict wins every fallback.
+  uint64_t PortfolioFastMaxConflicts = UINT64_MAX;
 };
 
 /// Verdicts mirror the paper's Table 3 labels.
@@ -94,7 +125,26 @@ struct TVResult {
   uint64_t SolveNanos = 0;  ///< Wall time of encode+solve for this query.
   size_t TermCount = 0;
 
+  /// Portfolio-mode accounting (all zero outside portfolio sessions).
+  /// The headline counters above total the work of *both* racers, so
+  /// StageSatWork/span/counter parity is preserved; the Fast* fields
+  /// break out the fast racer's share (sound share = total - fast).
+  /// 0: not a portfolio query; 1: fast arm decided; 2: the sound arm
+  /// produced the verdict — either the fast racer ran and exhausted its
+  /// budget (FastConflicts > 0) or the adaptive gate skipped it outright
+  /// (all Fast* fields zero).
+  uint8_t PortfolioArm = 0;
+  uint64_t FastConflicts = 0;
+  uint64_t FastPropagations = 0;
+  uint64_t FastRestarts = 0;
+  uint64_t FastTrailReused = 0;
+  uint64_t FastConeVars = 0;   ///< Fast racer's query-cone size.
+  uint64_t FastConeClauses = 0;
+
   bool equivalent() const { return V == TVVerdict::Equivalent; }
+  bool decided() const {
+    return V == TVVerdict::Equivalent || V == TVVerdict::Inequivalent;
+  }
 };
 
 /// A reusable refinement-checking context. Symbolic execution of both
@@ -131,6 +181,23 @@ public:
 
   /// Single-cell query — the stage-4 spatial-splitting shape.
   TVResult checkCell(int Cell, const smt::SatBudget &Budget);
+
+  /// Batched stage-4 dispatch: per-cell queries for \p Cells solved with
+  /// \p Workers threads. The cell violation terms are all built
+  /// single-threaded first (the TermTable is not thread-safe, but it is
+  /// *const* during solving), duplicate violations collapse through the
+  /// query memo exactly as in the sequential loop, and each remaining
+  /// unique query solves in its own throwaway fork on whichever thread
+  /// picks it up. Results merge in cell order — and, mirroring the
+  /// sequential stage-4 loop's early exit, the returned vector is
+  /// truncated after the first Inequivalent cell. Because every solve
+  /// runs in an isolated fork of state snapshotted before the fan-out,
+  /// results are bit-identical at any worker count. Requires isolated
+  /// queries: SharedLearnt sessions fall back to Workers=1 semantics
+  /// (still batch-built, solved sequentially on the shared base).
+  std::vector<TVResult> checkCells(const std::vector<int> &Cells,
+                                   const smt::SatBudget &Budget,
+                                   int Workers);
 
 private:
   struct Impl;

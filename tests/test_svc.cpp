@@ -204,6 +204,49 @@ TEST(Service, ChecksumWorkAggregatesInterpCounters) {
   EXPECT_EQ(O.ChecksumWork.Traps, 0u);
 }
 
+TEST(Service, SplitCellWorkersVerdictParity) {
+  // Starve stages 2-3 so the pair falls through to spatial splitting,
+  // then fan the per-cell queries across 1, 2, and 8 workers. The
+  // batched dispatch must be schedule-free: byte-identical outcomes
+  // between the batched widths. Width 1 takes the sequential path,
+  // whose fast racer searches the warm shared solver directly rather
+  // than a per-cell fork, so its fast-arm statistics may legitimately
+  // differ — verdict-level fields must still agree.
+  const char *Scalar =
+      "void f(int n, int *a, int *b) { for (int i = 0; i < n; i++) "
+      "a[i] = b[i] + 1; }";
+  const char *Vec = R"(
+      void f(int n, int *a, int *b) {
+        __m256i one = _mm256_set1_epi32(1);
+        for (int i = 0; i < n; i += 8) {
+          __m256i v = _mm256_loadu_si256((__m256i *)&b[i]);
+          _mm256_storeu_si256((__m256i *)&a[i], _mm256_add_epi32(v, one));
+        }
+      })";
+  auto runAt = [&](int W) {
+    VectorizerService S;
+    Request R;
+    R.Mode = RunMode::Verify;
+    R.ScalarSource = Scalar;
+    R.CandidateSource = Vec;
+    R.Equiv = fastEquiv();
+    R.Equiv.Alive2Budget = 1;
+    R.Equiv.CUnrollBudget = 1;
+    R.Equiv.SplitBudget = 50'000;
+    R.Equiv.SplitCellWorkers = W;
+    Outcome O = S.wait(S.submit(std::move(R)));
+    return O;
+  };
+  Outcome One = runAt(1), Two = runAt(2), Eight = runAt(8);
+  ASSERT_FALSE(Two.Equiv.SplitRes.empty()) << "splitting stage must run";
+  EXPECT_EQ(debugString(Two), debugString(Eight))
+      << "2-vs-8 worker cell dispatch diverged";
+  EXPECT_EQ(One.Equiv.Final, Two.Equiv.Final);
+  EXPECT_EQ(One.Equiv.DecidedBy, Two.Equiv.DecidedBy);
+  EXPECT_EQ(One.Equiv.Detail, Two.Equiv.Detail);
+  EXPECT_EQ(One.Equiv.Counterexample, Two.Equiv.Counterexample);
+}
+
 TEST(ConfigHash, ChecksumFieldsDoNotAlias) {
   interp::ChecksumConfig A, B;
   // The classic reordering mistake: swapping two same-typed fields must
@@ -251,6 +294,15 @@ TEST(ConfigHash, EquivFieldsDoNotAlias) {
   H.TrailReuse = !H.TrailReuse;
   EXPECT_NE(H.configHash(), core::EquivConfig().configHash());
   EXPECT_NE(H.configHash(), G.configHash());
+
+  // The portfolio knobs participate and do not alias the other booleans.
+  core::EquivConfig I, J;
+  I.PortfolioSolving = !I.PortfolioSolving;
+  J.SplitCellWorkers = 8;
+  EXPECT_NE(I.configHash(), core::EquivConfig().configHash());
+  EXPECT_NE(J.configHash(), core::EquivConfig().configHash());
+  EXPECT_NE(I.configHash(), J.configHash());
+  EXPECT_NE(I.configHash(), H.configHash());
 }
 
 TEST(ConfigHash, FsmFieldsDoNotAlias) {
@@ -272,8 +324,11 @@ TEST(ConfigHash, PinnedGoldenValues) {
   // cache format) when configHash legitimately changes.
   // PR 5: ChecksumConfig grew the UseBytecode engine knob (which also
   // shifts the nested hashes in EquivConfig and FsmConfig).
+  // PR 7: EquivConfig grew PortfolioSolving (default true) and
+  // SplitCellWorkers — portfolio verdicts must never share a cache slot
+  // with the pre-portfolio default.
   EXPECT_EQ(interp::ChecksumConfig().configHash(), 0xf48e134cc157f574ULL);
-  EXPECT_EQ(core::EquivConfig().configHash(), 0xf9054e4e756eae57ULL);
+  EXPECT_EQ(core::EquivConfig().configHash(), 0x9fb625218de1d1d3ULL);
   EXPECT_EQ(agents::FsmConfig().configHash(), 0x5052f9edddaa4b60ULL);
 }
 

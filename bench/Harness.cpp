@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <mutex>
 #include <thread>
 #include <unistd.h>
 
@@ -60,6 +61,12 @@ BenchOptions lv::bench::parseBenchArgs(int argc, char **argv) {
       Opt.TracePath = Value;
     } else if (const char *Value = match(I, "--metrics")) {
       Opt.MetricsPath = Value;
+    } else if (const char *Value = match(I, "--store")) {
+      Opt.StorePath = Value;
+      if (Opt.StorePath.empty()) {
+        std::fprintf(stderr, "invalid --store value (want a directory)\n");
+        std::exit(2);
+      }
     }
     // Other args are ignored (gtest/benchmark flags etc.)
   }
@@ -93,6 +100,35 @@ bool lv::bench::writeObsArtifacts(const BenchOptions &Opt) {
   return Ok;
 }
 
+namespace {
+
+/// Process-wide tally of every service's cache/store counters (fed by
+/// noteServiceStats, drained into the writeBenchJson envelope).
+struct ServiceStatTally {
+  std::mutex M;
+  svc::CacheStats Cache;
+  store::StoreStats Store;
+};
+
+ServiceStatTally &statTally() {
+  static ServiceStatTally T;
+  return T;
+}
+
+} // namespace
+
+void lv::bench::noteServiceStats(const svc::VectorizerService &Service) {
+  svc::CacheStats C = Service.cacheStats();
+  ServiceStatTally &T = statTally();
+  std::lock_guard<std::mutex> L(T.M);
+  T.Cache.Hits += C.Hits;
+  T.Cache.Misses += C.Misses;
+  T.Cache.Bypassed += C.Bypassed;
+  T.Cache.Entries += C.Entries;
+  if (const store::ResultStore *S = Service.resultStore())
+    T.Store.add(S->stats());
+}
+
 bool lv::bench::writeBenchJson(const std::string &BenchName,
                                const BenchOptions &Opt,
                                const std::string &PayloadMembers,
@@ -105,6 +141,25 @@ bool lv::bench::writeBenchJson(const std::string &BenchName,
   appendf(J, "  \"host\": {\"hostname\": \"%s\", \"hardware_threads\": %u},\n",
           Host, std::thread::hardware_concurrency());
   appendf(J, "  \"jobs\": %d,\n", Opt.Jobs);
+  {
+    ServiceStatTally &T = statTally();
+    std::lock_guard<std::mutex> L(T.M);
+    appendf(J,
+            "  \"verdict_cache\": {\"hits\": %llu, \"misses\": %llu, "
+            "\"bypassed\": %llu},\n",
+            static_cast<unsigned long long>(T.Cache.Hits),
+            static_cast<unsigned long long>(T.Cache.Misses),
+            static_cast<unsigned long long>(T.Cache.Bypassed));
+    appendf(J,
+            "  \"store\": {\"hits\": %llu, \"misses\": %llu, "
+            "\"writes\": %llu, \"corrupt_skipped\": %llu, "
+            "\"version_skipped\": %llu},\n",
+            static_cast<unsigned long long>(T.Store.Hits),
+            static_cast<unsigned long long>(T.Store.Misses),
+            static_cast<unsigned long long>(T.Store.Writes),
+            static_cast<unsigned long long>(T.Store.CorruptSkipped),
+            static_cast<unsigned long long>(T.Store.VersionSkipped));
+  }
   J += PayloadMembers;
   J += "\n}\n";
   std::FILE *F = std::fopen(Path.c_str(), "w");
@@ -143,9 +198,11 @@ size_t lv::bench::countSpans(const std::vector<obs::TraceEvent> &Events,
 
 std::vector<TestCorpus>
 lv::bench::buildCorpusFor(const std::vector<const tsvc::TsvcTest *> &Tests,
-                          int K, uint64_t Seed, int Jobs) {
+                          int K, uint64_t Seed, int Jobs,
+                          const std::string &StorePath) {
   svc::ServiceConfig SC;
   SC.Workers = Jobs;
+  SC.StorePath = StorePath;
   svc::VectorizerService Service(SC);
   std::vector<svc::Request> Batch;
   Batch.reserve(Tests.size());
@@ -180,16 +237,17 @@ lv::bench::buildCorpusFor(const std::vector<const tsvc::TsvcTest *> &Tests,
     }
     Out.push_back(std::move(TC));
   }
+  noteServiceStats(Service);
   return Out;
 }
 
-std::vector<TestCorpus> lv::bench::buildCorpus(int K, uint64_t Seed,
-                                               int Jobs) {
+std::vector<TestCorpus> lv::bench::buildCorpus(int K, uint64_t Seed, int Jobs,
+                                               const std::string &StorePath) {
   std::vector<const tsvc::TsvcTest *> Tests;
   Tests.reserve(tsvc::suite().size());
   for (const tsvc::TsvcTest &T : tsvc::suite())
     Tests.push_back(&T);
-  return buildCorpusFor(Tests, K, Seed, Jobs);
+  return buildCorpusFor(Tests, K, Seed, Jobs, StorePath);
 }
 
 ChecksumTally lv::bench::tallyAt(const std::vector<TestCorpus> &Corpus,
@@ -208,12 +266,17 @@ ChecksumTally lv::bench::tallyAt(const std::vector<TestCorpus> &Corpus,
 
 std::vector<FunnelRecord>
 lv::bench::runFunnel(const std::vector<TestCorpus> &Corpus,
-                     const core::EquivConfig &Cfg, int Jobs) {
+                     const core::EquivConfig &Cfg, int Jobs,
+                     const std::string &StorePath,
+                     ServiceRunStats *StatsOut) {
   svc::ServiceConfig SC;
   SC.Workers = Jobs;
   // A/B funnel runs re-verify the same pairs under different backends;
   // cached replays would report the first backend's work as the second's.
-  SC.EnableVerdictCache = false;
+  // With a store attached the cache stays on — replaying persisted
+  // verdicts is exactly what a warm-start measurement measures.
+  SC.EnableVerdictCache = !StorePath.empty();
+  SC.StorePath = StorePath;
   svc::VectorizerService Service(SC);
 
   std::vector<FunnelRecord> Out(Corpus.size());
@@ -249,6 +312,14 @@ lv::bench::runFunnel(const std::vector<TestCorpus> &Corpus,
     Out[TicketSlot[I]].SplitWork = O.SplitWork;
     Out[TicketSlot[I]].ChecksumWork = O.ChecksumWork;
   }
+  if (StatsOut) {
+    StatsOut->Cache = Service.cacheStats();
+    if (const store::ResultStore *S = Service.resultStore())
+      StatsOut->Store = S->stats();
+    else
+      StatsOut->Store = store::StoreStats();
+  }
+  noteServiceStats(Service);
   return Out;
 }
 

@@ -15,6 +15,7 @@
 #include "core/Equivalence.h"
 #include "llm/Client.h"
 #include "obs/Trace.h"
+#include "store/Store.h"
 #include "svc/Service.h"
 #include "tsvc/Suite.h"
 
@@ -35,11 +36,17 @@ inline constexpr uint64_t ExperimentSeed = 0xC60;
 /// `--trace <file>` enables span tracing plus the flight recorder and
 /// writes Chrome trace-event JSON at exit; `--metrics <file>` scrapes the
 /// obs metrics registry to a file (both via writeObsArtifacts).
+/// `--store DIR` points the service layer at a persistent result store
+/// (store/Store.h): verdicts and compiled bytecode persist across
+/// processes, so a second run of the same bench starts warm. Verdicts are
+/// replay-identical by the store's exactness contract, so --store only
+/// moves wall time, never a verdict.
 struct BenchOptions {
   int Jobs = 1;
   bool JobsSet = false; ///< --jobs appeared explicitly on the command line.
   std::string TracePath;   ///< --trace: Chrome trace-event JSON output.
   std::string MetricsPath; ///< --metrics: metrics registry JSON output.
+  std::string StorePath;   ///< --store: persistent result-store directory.
 };
 
 /// Parses shared flags; unknown arguments are ignored. A `--trace` flag
@@ -52,15 +59,32 @@ bool writeObsArtifacts(const BenchOptions &Opt);
 
 /// The one shared BENCH_*.json writer: every bench emits
 ///   {"schema_version": 2, "bench": <name>,
-///    "host": {"hostname", "hardware_threads"}, "jobs": N, <payload>}
+///    "host": {"hostname", "hardware_threads"}, "jobs": N,
+///    "verdict_cache": {...}, "store": {...}, <payload>}
 /// where \p PayloadMembers is the bench-specific body — pre-rendered JSON
 /// object members without the surrounding braces (the caller owns its
-/// schema; this writer owns the envelope). Returns false on I/O failure.
-/// (bench_smt_core is the one exception: google-benchmark emits its JSON
-/// directly via --benchmark_out.)
+/// schema; this writer owns the envelope). The verdict_cache/store members
+/// aggregate every service instance reported via noteServiceStats, so
+/// cold/warm runs are auditable from the JSON alone. Returns false on I/O
+/// failure. (bench_smt_core is the one exception: google-benchmark emits
+/// its JSON directly via --benchmark_out.)
 bool writeBenchJson(const std::string &BenchName, const BenchOptions &Opt,
                     const std::string &PayloadMembers,
                     const std::string &Path);
+
+/// Folds one service's verdict-cache counters (and, when a store is
+/// attached, its store counters) into the process-wide tally exported in
+/// the writeBenchJson envelope. buildCorpus/runFunnel call this for the
+/// services they own; drivers with hand-built services call it before
+/// destroying them.
+void noteServiceStats(const svc::VectorizerService &Service);
+
+/// Per-run service statistics (for bench gates that need one specific
+/// run's counters rather than the process-wide envelope tally).
+struct ServiceRunStats {
+  svc::CacheStats Cache;
+  store::StoreStats Store; ///< Zero when no store was attached.
+};
 
 /// Sums integer argument \p Key over every snapshot event named \p Name
 /// (all categories). The bench parity gates use this to compare per-stage
@@ -96,12 +120,16 @@ struct TestCorpus {
 /// service request per test across \p Jobs workers; the corpus is
 /// bit-identical at any job count.
 std::vector<TestCorpus> buildCorpus(int K, uint64_t Seed = ExperimentSeed,
-                                    int Jobs = 1);
+                                    int Jobs = 1,
+                                    const std::string &StorePath = "");
 
 /// buildCorpus restricted to an explicit test list (ablation slices).
+/// \p StorePath (optional) attaches a persistent result store to the
+/// sampling service, so classification outcomes persist across runs.
 std::vector<TestCorpus>
 buildCorpusFor(const std::vector<const tsvc::TsvcTest *> &Tests, int K,
-               uint64_t Seed = ExperimentSeed, int Jobs = 1);
+               uint64_t Seed = ExperimentSeed, int Jobs = 1,
+               const std::string &StorePath = "");
 
 /// Table-2 style classification for a given k.
 struct ChecksumTally {
@@ -124,11 +152,16 @@ struct FunnelRecord {
 
 /// Runs Algorithm 1 on the first plausible candidate of each test, one
 /// Verify-mode service request per plausible test across \p Jobs workers.
-/// Verdict-identical at any job count. The verdict cache is disabled so
-/// A/B reruns with different backends measure real work.
+/// Verdict-identical at any job count. Without a store the verdict cache
+/// is disabled so A/B reruns with different backends measure real work;
+/// with \p StorePath set the cache (and its persistent backing) is enabled
+/// — that is the point of a warm-start measurement. \p StatsOut (optional)
+/// receives this run's cache/store counters.
 std::vector<FunnelRecord> runFunnel(const std::vector<TestCorpus> &Corpus,
                                     const core::EquivConfig &Cfg,
-                                    int Jobs = 1);
+                                    int Jobs = 1,
+                                    const std::string &StorePath = "",
+                                    ServiceRunStats *StatsOut = nullptr);
 
 /// Pretty-printing helpers (stdout).
 void printHeader(const std::string &Title);

@@ -26,9 +26,12 @@ struct Counts {
 };
 
 Counts runSlice(const std::vector<TestCorpus> &Corpus,
-                const core::EquivConfig &Cfg, int Jobs) {
+                const core::EquivConfig &Cfg, int Jobs,
+                const std::string &StorePath) {
   Counts C;
-  std::vector<FunnelRecord> F = runFunnel(Corpus, Cfg, Jobs);
+  // Each ablation config has a distinct configHash, so a shared store
+  // never leaks a verdict from one slice into another.
+  std::vector<FunnelRecord> F = runFunnel(Corpus, Cfg, Jobs, StorePath);
   for (const FunnelRecord &R : F) {
     if (!R.HadPlausible)
       continue;
@@ -53,7 +56,7 @@ int main(int argc, char **argv) {
   // service now only samples those, not all 149.
   std::vector<TestCorpus> Slice =
       buildCorpusFor(tsvc::suiteSample(11, 12), 30, ExperimentSeed,
-                     Opt.Jobs);
+                     Opt.Jobs, Opt.StorePath);
 
   core::EquivConfig Base;
   Base.ScalarMax = 8;
@@ -81,7 +84,7 @@ int main(int argc, char **argv) {
     Cfg.EnableAlive2 = Cf.A2;
     Cfg.EnableCUnroll = Cf.CU;
     Cfg.EnableSplitting = Cf.SP;
-    Counts C = runSlice(Slice, Cfg, Opt.Jobs);
+    Counts C = runSlice(Slice, Cfg, Opt.Jobs, Opt.StorePath);
     std::printf("  %-22s %8d %8d %8d\n", Cf.Name, C.Eq, C.Neq, C.Inc);
     if (std::string(Cf.Name) == "full pipeline")
       FullC = C;
@@ -97,7 +100,7 @@ int main(int argc, char **argv) {
     Cfg.Alive2Budget = Budget;
     Cfg.CUnrollBudget = Budget * 2;
     Cfg.SplitBudget = Budget;
-    Counts C = runSlice(Slice, Cfg, Opt.Jobs);
+    Counts C = runSlice(Slice, Cfg, Opt.Jobs, Opt.StorePath);
     std::printf("  %-12llu %8d %8d %8d\n",
                 static_cast<unsigned long long>(Budget), C.Eq, C.Neq,
                 C.Inc);

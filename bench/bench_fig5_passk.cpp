@@ -29,7 +29,7 @@ int main(int argc, char **argv) {
   BenchOptions Opt = parseBenchArgs(argc, argv);
   printHeader("Figure 5: pass@k over the TSVC dataset (n = 100)");
   std::vector<TestCorpus> Corpus = buildCorpus(100, ExperimentSeed,
-                                               Opt.Jobs);
+                                               Opt.Jobs, Opt.StorePath);
 
   const int Ks[] = {1, 2, 3, 4, 5, 10, 20, 30, 40, 50, 100};
   std::printf("\n  %6s %10s\n", "k", "pass@k");

@@ -73,7 +73,7 @@ int main(int argc, char **argv) {
   std::printf("  building corpus and verifying candidates (--jobs %d)...\n",
               Opt.Jobs);
   std::vector<TestCorpus> Corpus = buildCorpus(100, ExperimentSeed,
-                                               Opt.Jobs);
+                                               Opt.Jobs, Opt.StorePath);
   core::EquivConfig VCfg;
   VCfg.ScalarMax = 8;
   VCfg.MaxTerms = 120'000;
@@ -81,7 +81,8 @@ int main(int argc, char **argv) {
   VCfg.CUnrollBudget = 2'000;
   VCfg.SplitBudget = 300;
   VCfg.EnableSplitting = false; // funnel evidence lives in bench_table3
-  std::vector<FunnelRecord> Funnel = runFunnel(Corpus, VCfg, Opt.Jobs);
+  std::vector<FunnelRecord> Funnel =
+      runFunnel(Corpus, VCfg, Opt.Jobs, Opt.StorePath);
 
   const int N = 2048;
   struct CatStats {

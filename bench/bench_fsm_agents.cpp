@@ -49,14 +49,17 @@ static const svc::Outcome &checkOutcome(const svc::Outcome &O) {
 
 int main(int argc, char **argv) {
   BenchOptions Opt = parseBenchArgs(argc, argv);
-  svc::ServiceConfig SC;
-  SC.Workers = Opt.Jobs;
-  svc::VectorizerService Service(SC);
-
   printHeader("Section 4.4.1: plausible tests with one LLM invocation");
   std::vector<TestCorpus> OneShot = buildCorpus(1, ExperimentSeed,
-                                                Opt.Jobs);
+                                                Opt.Jobs, Opt.StorePath);
   int Bare = tallyAt(OneShot, 1).Plausible;
+
+  // Constructed after buildCorpus so the (optional) persistent store only
+  // ever has one live writer in this process.
+  svc::ServiceConfig SC;
+  SC.Workers = Opt.Jobs;
+  SC.StorePath = Opt.StorePath;
+  svc::VectorizerService Service(SC);
 
   int FsmOne = 0;
   for (const svc::Outcome &O :

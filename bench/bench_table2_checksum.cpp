@@ -41,6 +41,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <map>
 #include <memory>
 
@@ -321,6 +322,103 @@ int main(int argc, char **argv) {
     }
   }
 
+  // [store] Persistent warm-start: the same Sample batch served twice
+  // through a scratch result store — cold (every outcome written through)
+  // then warm (a fresh service, so every checksum classification replays
+  // from disk). Gates: both runs reproduce the bytecode arm's verdicts
+  // bit-for-bit, the cold run persisted records, and the warm run's
+  // checksum-stage span total collapses (every batch skipped — >= 5x
+  // under the cold wall by construction). With --store DIR a third run
+  // against the user's persistent directory feeds the CI cross-process
+  // warm-start smoke. Runs before the traced svc phase, which resets
+  // trace/metrics state at its start.
+  struct StoreRun {
+    std::string Verdicts; ///< Deterministic per-sample verdict lines.
+    svc::CacheStats Cache;
+    store::StoreStats St;
+    uint64_t ChecksumSpanNs = 0; ///< Sum of checksum.batch span walls.
+    uint64_t WallNs = 0;
+    int Mismatches = 0; ///< Samples disagreeing with the bytecode arm.
+  };
+  auto storeRun = [&](const std::string &Dir) {
+    StoreRun Out;
+    obs::resetTrace();
+    obs::setTracingEnabled(true);
+    {
+      svc::ServiceConfig SC;
+      SC.Workers = SvcJobs;
+      SC.StorePath = Dir;
+      svc::VectorizerService Service(SC);
+      std::vector<svc::Request> Batch;
+      for (const TestSet &S : Sets) {
+        svc::Request R;
+        R.Mode = svc::RunMode::Sample;
+        R.Name = S.Test->Name;
+        R.ScalarSource = S.Test->Source;
+        R.Seed = ExperimentSeed;
+        R.SampleCount = K;
+        R.Fsm.Checksum = BcCfg;
+        Batch.push_back(std::move(R));
+      }
+      uint64_t T0 = nowNanos();
+      std::vector<svc::Ticket> Tickets =
+          Service.submitBatch(std::move(Batch));
+      for (size_t TI = 0; TI < Tickets.size(); ++TI) {
+        const svc::Outcome &O = Service.wait(Tickets[TI]);
+        if (O.Failed) {
+          std::fprintf(stderr, "store-phase task '%s' failed: %s\n",
+                       O.Name.c_str(), O.Error.c_str());
+          std::exit(1);
+        }
+        const TestSet &S = Sets[TI];
+        for (size_t I = 0; I < O.Samples.size(); ++I) {
+          const UniqueCand &U =
+              S.Cands[static_cast<size_t>(S.SampleCand[I])];
+          bool Want = U.Eligible && U.BcOut.plausible();
+          if (O.Samples[I].Plausible != Want ||
+              O.Samples[I].Compiles != (U.Fn != nullptr))
+            ++Out.Mismatches;
+          appendf(Out.Verdicts, "%s %zu %d %d %llx\n", O.Name.c_str(), I,
+                  O.Samples[I].Compiles ? 1 : 0,
+                  O.Samples[I].Plausible ? 1 : 0,
+                  static_cast<unsigned long long>(
+                      hashString(O.Samples[I].Source.c_str())));
+        }
+      }
+      Out.WallNs = nowNanos() - T0;
+      Out.Cache = Service.cacheStats();
+      Out.St = Service.resultStore()->stats();
+      noteServiceStats(Service);
+    }
+    obs::setTracingEnabled(false);
+    for (const obs::TraceEvent &E : obs::snapshotTrace())
+      if (std::strcmp(E.Name, "checksum.batch") == 0)
+        Out.ChecksumSpanNs += E.DurNs;
+    obs::resetTrace();
+    return Out;
+  };
+  std::printf("  [store] cold/warm Sample batches on a scratch store...\n");
+  const std::string ScratchStore = "BENCH_table2.store.scratch";
+  std::error_code ScratchEC;
+  std::filesystem::remove_all(ScratchStore, ScratchEC);
+  StoreRun ColdRun = storeRun(ScratchStore);
+  StoreRun WarmRun = storeRun(ScratchStore);
+  bool StoreParityOk = ColdRun.Mismatches == 0 && WarmRun.Mismatches == 0 &&
+                       ColdRun.Verdicts == WarmRun.Verdicts;
+  bool StoreColdOk = ColdRun.St.Writes > 0;
+  bool StoreWarmOk = WarmRun.St.Hits > 0 && ColdRun.ChecksumSpanNs > 0 &&
+                     ColdRun.ChecksumSpanNs >= 5 * WarmRun.ChecksumSpanNs;
+  StoreRun PersistRun;
+  const bool HavePersist = !Opt.StorePath.empty();
+  bool PersistOk = true;
+  if (HavePersist) {
+    std::printf("  [store] run against --store %s...\n",
+                Opt.StorePath.c_str());
+    PersistRun = storeRun(Opt.StorePath);
+    PersistOk = PersistRun.Mismatches == 0 &&
+                PersistRun.Verdicts == ColdRun.Verdicts;
+  }
+
   // [4/4] Service routing: Sample mode composes the batch path with the
   // checksum-outcome cache; tallies must reproduce the arm verdicts.
   // This phase runs traced on clean trace/metrics state: it is cache-free
@@ -529,6 +627,28 @@ int main(int argc, char **argv) {
   std::printf("  trace: %zu events on %zu thread(s), %llu dropped\n",
               TS.Events, TS.Threads,
               static_cast<unsigned long long>(TS.Dropped));
+  std::printf("  store cold run: %.1fms wall, %.1fms checksum spans, "
+              "%llu writes, %llu hits\n",
+              static_cast<double>(ColdRun.WallNs) / 1e6,
+              static_cast<double>(ColdRun.ChecksumSpanNs) / 1e6,
+              static_cast<unsigned long long>(ColdRun.St.Writes),
+              static_cast<unsigned long long>(ColdRun.St.Hits));
+  std::printf("  store warm run: %.1fms wall, %.1fms checksum spans, "
+              "%llu hits, %llu misses\n",
+              static_cast<double>(WarmRun.WallNs) / 1e6,
+              static_cast<double>(WarmRun.ChecksumSpanNs) / 1e6,
+              static_cast<unsigned long long>(WarmRun.St.Hits),
+              static_cast<unsigned long long>(WarmRun.St.Misses));
+  std::printf("  warm-start verdict parity (cold == warm == arms): %s\n",
+              StoreParityOk ? "OK" : "MISMATCH");
+  std::printf("  warm checksum spans collapse (>= 5x under cold): %s\n",
+              StoreColdOk && StoreWarmOk ? "OK" : "MISMATCH");
+  if (HavePersist)
+    std::printf("  persistent store run (--store): %llu hits, %llu "
+                "writes, parity %s\n",
+                static_cast<unsigned long long>(PersistRun.St.Hits),
+                static_cast<unsigned long long>(PersistRun.St.Writes),
+                PersistOk ? "OK" : "MISMATCH");
 
   std::string J;
   appendf(J, "  \"smoke\": %s,\n  \"k\": %d,\n", Smoke ? "true" : "false",
@@ -594,18 +714,47 @@ int main(int argc, char **argv) {
   appendf(J,
           "  \"span_parity_ok\": %s,\n  \"counter_parity_ok\": %s,\n"
           "  \"trace_json_ok\": %s,\n  \"metrics_json_ok\": %s,\n"
-          "  \"overhead_ok\": %s",
+          "  \"overhead_ok\": %s,\n",
           SpanParityOk ? "true" : "false",
           CounterParityOk ? "true" : "false",
           TraceJsonOk ? "true" : "false", MetricsJsonOk ? "true" : "false",
           OverheadOk ? "true" : "false");
+  auto appendStoreRun = [&](const char *Name, const StoreRun &R,
+                            const char *Trail) {
+    appendf(J,
+            "    \"%s\": {\"wall_ns\": %llu, \"checksum_span_ns\": %llu, "
+            "\"mismatches\": %d, \"cache\": {\"hits\": %llu, \"misses\": "
+            "%llu}, \"store\": {\"hits\": %llu, \"misses\": %llu, "
+            "\"writes\": %llu, \"corrupt_skipped\": %llu, "
+            "\"version_skipped\": %llu}}%s\n",
+            Name, static_cast<unsigned long long>(R.WallNs),
+            static_cast<unsigned long long>(R.ChecksumSpanNs), R.Mismatches,
+            static_cast<unsigned long long>(R.Cache.Hits),
+            static_cast<unsigned long long>(R.Cache.Misses),
+            static_cast<unsigned long long>(R.St.Hits),
+            static_cast<unsigned long long>(R.St.Misses),
+            static_cast<unsigned long long>(R.St.Writes),
+            static_cast<unsigned long long>(R.St.CorruptSkipped),
+            static_cast<unsigned long long>(R.St.VersionSkipped), Trail);
+  };
+  appendf(J, "  \"warm_start\": {\n");
+  appendStoreRun("cold", ColdRun, ",");
+  appendStoreRun("warm", WarmRun, ",");
+  if (HavePersist)
+    appendStoreRun("persistent", PersistRun, ",");
+  appendf(J,
+          "    \"parity_ok\": %s,\n    \"cold_ok\": %s,\n"
+          "    \"warm_ok\": %s,\n    \"persistent_ok\": %s\n  }",
+          StoreParityOk ? "true" : "false", StoreColdOk ? "true" : "false",
+          StoreWarmOk ? "true" : "false", PersistOk ? "true" : "false");
   bool JsonOk = writeBenchJson("bench_table2_checksum", Opt, J,
                                "BENCH_table2.json");
   bool ObsOk = writeObsArtifacts(Opt);
+  bool StoreOk = StoreParityOk && StoreColdOk && StoreWarmOk && PersistOk;
 
   return VerdictOk && CycleOk && SvcOk && ShapeOk && SpeedupOk &&
                  SpanParityOk && CounterParityOk && TraceJsonOk &&
-                 MetricsJsonOk && OverheadOk && JsonOk && ObsOk
+                 MetricsJsonOk && OverheadOk && StoreOk && JsonOk && ObsOk
              ? 0
              : 1;
 }

@@ -59,13 +59,22 @@
 #include "obs/Trace.h"
 #include "support/Format.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 
 using namespace lv;
 using namespace lv::bench;
 using core::EquivResult;
 using core::Stage;
+
+static uint64_t nowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 namespace {
 
@@ -322,6 +331,68 @@ int main(int argc, char **argv) {
   Base.CUnrollBudget = 2'000;
   Base.SplitBudget = 300;
 
+  // [store] Persistent warm-start measurement: the funnel serves the same
+  // corpus twice through a scratch result store — the cold run populates
+  // it, the warm run (a fresh service over the same directory) replays
+  // every verdict from disk and never enters the checksum or solver
+  // stages. Gates: serialized EquivResults bit-identical across the two
+  // runs (the store's replay contract), the cold run persisted records,
+  // the warm run was pure hits, and the combined checksum+splitting span
+  // wall collapsed by >= 5x. Runs before the mode matrix so the traced
+  // portfolio arm still owns the trace buffers at artifact-write time.
+  struct StoreRun {
+    std::string Bits;    ///< Concatenated serializeEquivResult records.
+    std::string Summary; ///< "name final decided-by" lines (arm-comparable:
+                         ///< stable under wall-clock jitter, unlike Bits).
+    ServiceRunStats Stats;
+    uint64_t StageNs = 0; ///< stage.checksum + stage.split span walls.
+    uint64_t WallNs = 0;
+  };
+  auto storeRun = [&](const std::string &Dir) {
+    StoreRun Out;
+    obs::resetTrace();
+    obs::setTracingEnabled(true);
+    uint64_t T0 = nowNanos();
+    std::vector<FunnelRecord> Recs =
+        runFunnel(Corpus, Base, Opt.Jobs, Dir, &Out.Stats);
+    Out.WallNs = nowNanos() - T0;
+    obs::setTracingEnabled(false);
+    for (const obs::TraceEvent &E : obs::snapshotTrace())
+      if (std::strcmp(E.Name, "stage.checksum") == 0 ||
+          std::strcmp(E.Name, "stage.split") == 0)
+        Out.StageNs += E.DurNs;
+    obs::resetTrace();
+    for (const FunnelRecord &R : Recs) {
+      Out.Bits += R.Name;
+      Out.Bits += store::serializeEquivResult(R.Result);
+      appendf(Out.Summary, "%s %s %s\n", R.Name.c_str(),
+              core::outcomeName(R.Result.Final),
+              core::stageName(R.Result.DecidedBy));
+    }
+    return Out;
+  };
+  std::printf("  [store] cold/warm funnel on a scratch store...\n");
+  const std::string ScratchStore = "BENCH_table3.store.scratch";
+  std::error_code ScratchEC;
+  std::filesystem::remove_all(ScratchStore, ScratchEC);
+  StoreRun ColdRun = storeRun(ScratchStore);
+  StoreRun WarmRun = storeRun(ScratchStore);
+  bool StoreBitOk = !ColdRun.Bits.empty() && ColdRun.Bits == WarmRun.Bits;
+  bool StoreColdOk = ColdRun.Stats.Store.Writes > 0;
+  bool StoreWarmOk =
+      WarmRun.Stats.Store.Hits > 0 && WarmRun.Stats.Store.Misses == 0;
+  bool StoreSpeedOk =
+      ColdRun.StageNs > 0 && ColdRun.StageNs >= 5 * WarmRun.StageNs;
+  StoreRun PersistRun;
+  const bool HavePersist = !Opt.StorePath.empty();
+  bool PersistOk = true;
+  if (HavePersist) {
+    std::printf("  [store] run against --store %s...\n",
+                Opt.StorePath.c_str());
+    PersistRun = storeRun(Opt.StorePath);
+    PersistOk = PersistRun.Summary == ColdRun.Summary;
+  }
+
   // Name, Seed, Shared, Cone, Reuse, Portfolio, CellWorkers. Every arm
   // pins PortfolioSolving and SplitCellWorkers explicitly (the EquivConfig
   // defaults now enable racing, and the historical arms must keep
@@ -439,6 +510,19 @@ int main(int argc, char **argv) {
       }
     }
     TotalMismatches += A.Mismatches;
+  }
+
+  // The store runs used the unmodified Base config — the EquivConfig
+  // defaults — so their (Final, DecidedBy) funnel must match the default
+  // arm of the matrix exactly.
+  bool StoreArmParityOk = true;
+  if (DefaultArm >= 0) {
+    std::string ArmSummary;
+    for (const FunnelRecord &R : Arms[static_cast<size_t>(DefaultArm)].Records)
+      appendf(ArmSummary, "%s %s %s\n", R.Name.c_str(),
+              core::outcomeName(R.Result.Final),
+              core::stageName(R.Result.DecidedBy));
+    StoreArmParityOk = ColdRun.Summary == ArmSummary;
   }
 
   const FunnelTally &TA = Arms[ForkArm].T; // funnel shape from fork arm
@@ -718,6 +802,31 @@ int main(int argc, char **argv) {
               static_cast<unsigned long long>(TS.Events),
               static_cast<unsigned long long>(TS.Threads),
               static_cast<unsigned long long>(TS.Dropped));
+  std::printf("  store cold run: %.1fms wall, %.1fms checksum+split spans, "
+              "%llu writes\n",
+              static_cast<double>(ColdRun.WallNs) / 1e6,
+              static_cast<double>(ColdRun.StageNs) / 1e6,
+              static_cast<unsigned long long>(ColdRun.Stats.Store.Writes));
+  std::printf("  store warm run: %.1fms wall, %.1fms checksum+split spans, "
+              "%llu hits, %llu misses\n",
+              static_cast<double>(WarmRun.WallNs) / 1e6,
+              static_cast<double>(WarmRun.StageNs) / 1e6,
+              static_cast<unsigned long long>(WarmRun.Stats.Store.Hits),
+              static_cast<unsigned long long>(WarmRun.Stats.Store.Misses));
+  std::printf("  warm replay bit-identical EquivResults: %s\n",
+              StoreBitOk ? "OK" : "MISMATCH");
+  std::printf("  warm run pure store hits, cold run persisted: %s\n",
+              StoreWarmOk && StoreColdOk ? "OK" : "MISMATCH");
+  std::printf("  warm checksum+split spans collapse (>= 5x under cold): %s\n",
+              StoreSpeedOk ? "OK" : "MISMATCH");
+  std::printf("  store funnel matches default arm (Final/DecidedBy): %s\n",
+              StoreArmParityOk ? "OK" : "MISMATCH");
+  if (HavePersist)
+    std::printf("  persistent store run (--store): %llu hits, %llu writes, "
+                "parity %s\n",
+                static_cast<unsigned long long>(PersistRun.Stats.Store.Hits),
+                static_cast<unsigned long long>(PersistRun.Stats.Store.Writes),
+                PersistOk ? "OK" : "MISMATCH");
 
   // Machine-readable mirror for the perf trajectory (envelope comes from
   // the shared writeBenchJson writer).
@@ -837,10 +946,39 @@ int main(int argc, char **argv) {
   appendf(J,
           "  \"span_parity_ok\": %s,\n  \"wall_parity_ok\": %s,\n"
           "  \"counter_parity_ok\": %s,\n  \"trace_json_ok\": %s,\n"
-          "  \"metrics_json_ok\": %s",
+          "  \"metrics_json_ok\": %s,\n",
           SpanParityOk ? "true" : "false", WallParityOk ? "true" : "false",
           CounterParityOk ? "true" : "false", TraceJsonOk ? "true" : "false",
           MetricsJsonOk ? "true" : "false");
+  auto appendStoreRun = [&](const char *Name, const StoreRun &R) {
+    appendf(J,
+            "    \"%s\": {\"wall_ns\": %llu, \"stage_span_ns\": %llu, "
+            "\"cache\": {\"hits\": %llu, \"misses\": %llu}, "
+            "\"store\": {\"hits\": %llu, \"misses\": %llu, \"writes\": "
+            "%llu, \"corrupt_skipped\": %llu, \"version_skipped\": "
+            "%llu}},\n",
+            Name, static_cast<unsigned long long>(R.WallNs),
+            static_cast<unsigned long long>(R.StageNs),
+            static_cast<unsigned long long>(R.Stats.Cache.Hits),
+            static_cast<unsigned long long>(R.Stats.Cache.Misses),
+            static_cast<unsigned long long>(R.Stats.Store.Hits),
+            static_cast<unsigned long long>(R.Stats.Store.Misses),
+            static_cast<unsigned long long>(R.Stats.Store.Writes),
+            static_cast<unsigned long long>(R.Stats.Store.CorruptSkipped),
+            static_cast<unsigned long long>(R.Stats.Store.VersionSkipped));
+  };
+  appendf(J, "  \"warm_start\": {\n");
+  appendStoreRun("cold", ColdRun);
+  appendStoreRun("warm", WarmRun);
+  if (HavePersist)
+    appendStoreRun("persistent", PersistRun);
+  appendf(J,
+          "    \"bit_identical_ok\": %s,\n    \"cold_ok\": %s,\n"
+          "    \"warm_ok\": %s,\n    \"speed_ok\": %s,\n"
+          "    \"arm_parity_ok\": %s,\n    \"persistent_ok\": %s\n  }",
+          StoreBitOk ? "true" : "false", StoreColdOk ? "true" : "false",
+          StoreWarmOk ? "true" : "false", StoreSpeedOk ? "true" : "false",
+          StoreArmParityOk ? "true" : "false", PersistOk ? "true" : "false");
   bool JsonOk =
       writeBenchJson("bench_table3_equivalence", Opt, J, "BENCH_table3.json");
 
@@ -850,10 +988,13 @@ int main(int argc, char **argv) {
   obs::setTracingEnabled(TraceRequested);
   bool ObsOk = writeObsArtifacts(Opt);
 
+  bool StoreOk = StoreBitOk && StoreColdOk && StoreWarmOk && StoreSpeedOk &&
+                 StoreArmParityOk && PersistOk;
+
   return ShapeOk && SeedParityOk && DefaultParityOk && SpeedupOk &&
                  ConeGateOk && ParCellBitOk && PortfolioSplitOk &&
                  SpanParityOk && WallParityOk && CounterParityOk &&
-                 TraceJsonOk && MetricsJsonOk && JsonOk && ObsOk
+                 TraceJsonOk && MetricsJsonOk && StoreOk && JsonOk && ObsOk
              ? 0
              : 1;
 }

@@ -66,7 +66,16 @@ int main(int argc, char **argv) {
         std::printf("%s ", agents::stateName(S));
       std::printf("\n\n");
 
-      core::EquivResult E = svc::verifyPair(T->Source, R.FinalCandidate);
+      // The --store wiring rides only this verify call: the Generate
+      // service above never touches the verdict cache, and a single store
+      // owner per process keeps the log single-writer.
+      svc::Request VR;
+      VR.Mode = svc::RunMode::Verify;
+      VR.ScalarSource = T->Source;
+      VR.CandidateSource = R.FinalCandidate;
+      svc::ServiceConfig VSC;
+      VSC.StorePath = Opt.StorePath;
+      core::EquivResult E = svc::runOne(std::move(VR), VSC).Equiv;
       std::printf("formal verification of the repaired candidate: %s "
                   "(stage: %s)\n",
                   core::outcomeName(E.Final), core::stageName(E.DecidedBy));

@@ -29,9 +29,17 @@ void saxpyish(int n, int s, int *a, int *b) {
 
   std::printf("Input scalar loop:\n%s\n\n", Scalar);
 
-  // One Pipeline request = FSM generation + formal verification.
-  svc::Outcome O =
-      svc::vectorizeAndVerify("saxpyish", Scalar, /*Seed=*/2024);
+  // One Pipeline request = FSM generation + formal verification. With
+  // --store DIR the verdict (and the compiled bytecode) persists, so a
+  // rerun answers from disk.
+  svc::Request R;
+  R.Mode = svc::RunMode::Pipeline;
+  R.Name = "saxpyish";
+  R.ScalarSource = Scalar;
+  R.Seed = 2024;
+  svc::ServiceConfig SC;
+  SC.StorePath = Opt.StorePath;
+  svc::Outcome O = svc::runOne(std::move(R), SC);
   if (!O.Fsm.Plausible) {
     std::printf("no plausible vectorization found in %d attempts\n",
                 O.Fsm.Attempts);

@@ -54,9 +54,16 @@ int main(int argc, char **argv) {
               CO.plausible() ? "PLAUSIBLE" : "not equivalent",
               CO.Detail.c_str());
 
-  // Step 2: the full pipeline refutes it symbolically (verifyPair is the
-  // single-call wrapper over a one-worker vectorization service).
-  core::EquivResult E = svc::verifyPair(T->Source, S124Vec);
+  // Step 2: the full pipeline refutes it symbolically through a one-worker
+  // vectorization service (with --store DIR the refutation persists and a
+  // rerun replays it from disk).
+  svc::Request VR;
+  VR.Mode = svc::RunMode::Verify;
+  VR.ScalarSource = T->Source;
+  VR.CandidateSource = S124Vec;
+  svc::ServiceConfig VSC;
+  VSC.StorePath = Opt.StorePath;
+  core::EquivResult E = svc::runOne(std::move(VR), VSC).Equiv;
   std::printf("\nsymbolic verification: %s (decided by %s)\n",
               core::outcomeName(E.Final), core::stageName(E.DecidedBy));
   if (!E.Counterexample.empty())

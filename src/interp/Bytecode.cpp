@@ -411,7 +411,25 @@ ProgramCache &progCache() {
   return C;
 }
 
+/// Process-wide backing-store hooks (see setBytecodeStoreHooks). Guarded
+/// separately from the cache mutex so hook callbacks never run under it.
+struct StoreHookSlot {
+  std::mutex M;
+  BytecodeStoreHooks H;
+};
+
+StoreHookSlot &storeHooks() {
+  static StoreHookSlot S;
+  return S;
+}
+
 } // namespace
+
+void lv::interp::setBytecodeStoreHooks(BytecodeStoreHooks Hooks) {
+  StoreHookSlot &S = storeHooks();
+  std::lock_guard<std::mutex> L(S.M);
+  S.H = std::move(Hooks);
+}
 
 /// FNV-1a over the whole buffer (keys are binary and contain NULs).
 static uint64_t hashBytes(const std::string &S) {
@@ -440,10 +458,33 @@ lv::interp::compileBytecodeCached(const VFunction &F) {
         }
     ++C.Misses;
   }
+  // Consult the backing store (if installed) before paying a compile; an
+  // adopted program joins the memory cache so later calls hit in memory.
+  BytecodeStoreHooks Hooks;
+  {
+    StoreHookSlot &S = storeHooks();
+    std::lock_guard<std::mutex> L(S.M);
+    Hooks = S.H;
+  }
+  if (Hooks.Lookup) {
+    std::shared_ptr<const BytecodeProgram> FromStore = Hooks.Lookup(Key);
+    if (FromStore && FromStore->Key == Key) {
+      std::lock_guard<std::mutex> L(C.M);
+      auto &Bucket = C.Map[H];
+      for (const auto &E : Bucket)
+        if (E->Key == Key)
+          return E; // a concurrent adopt/compile won
+      Bucket.push_back(FromStore);
+      ++C.Entries;
+      return FromStore;
+    }
+  }
   obs::counter("interp.bc_compiles").inc();
   // Compile outside the lock; losing a store race just duplicates work.
   auto Prog = std::make_shared<BytecodeProgram>(Flattener(F).run());
   Prog->Key = std::move(Key);
+  if (Hooks.Write)
+    Hooks.Write(*Prog); // write-through (the store dedups by key)
   std::lock_guard<std::mutex> L(C.M);
   auto &Bucket = C.Map[H];
   for (const auto &E : Bucket)

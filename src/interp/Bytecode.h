@@ -30,6 +30,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -125,6 +126,19 @@ struct BytecodeCacheStats {
   size_t Entries = 0;
 };
 BytecodeCacheStats bytecodeCacheStats();
+
+/// Backing-store hooks for compileBytecodeCached: on an in-memory miss the
+/// Lookup hook is consulted (a hit is adopted into the memory cache and
+/// skips compilation); every fresh compile is offered to the Write hook.
+/// Installed process-wide by store::ResultStore::enableBytecodePersistence;
+/// both callbacks must be thread-safe. Default-constructed (null) hooks
+/// restore pure in-memory behaviour.
+struct BytecodeStoreHooks {
+  std::function<std::shared_ptr<const BytecodeProgram>(const std::string &)>
+      Lookup;
+  std::function<void(const BytecodeProgram &)> Write;
+};
+void setBytecodeStoreHooks(BytecodeStoreHooks Hooks);
 
 /// Reusable register-file storage. Optional: passing one to execBytecode
 /// across runs (the checksum harness replays the same candidate

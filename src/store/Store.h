@@ -1,0 +1,186 @@
+//===- store/Store.h - persistent content-addressed result store -*- C++ -*-===//
+///
+/// \file
+/// On-disk persistence for the two process-lifetime caches that make
+/// repeat traffic cheap: `svc::VerdictCache` entries (full `EquivResult`
+/// and `ChecksumOutcome` objects, keyed by (scalar hash, candidate hash,
+/// configHash)) and compiled bytecode programs (keyed by
+/// `interp::bytecodeKey`). A verified verdict never expires, so a store
+/// directory turns every bench rerun, CI job, and service restart from a
+/// cold start into a warm one.
+///
+/// Layout: one append-only record log (`<dir>/records.log`) holding a
+/// versioned header followed by CRC-framed records, plus an in-memory
+/// index rebuilt on open. The contract mirrors the in-memory caches:
+///
+///   * **Never a wrong verdict.** Lookups verify the stored source texts
+///     against the probe, so a 64-bit key collision degrades to a miss.
+///     Damaged bytes degrade the same way: a record that fails its CRC or
+///     parses short drops the rest of the log (append-only means
+///     everything after a torn write is suspect) and the file is
+///     truncated back to the last good record.
+///   * **Kill-safe.** Records are framed and appended with a flush per
+///     record; a process killed mid-append leaves at most one torn record
+///     at the tail, which the next open drops. Fresh stores are created
+///     via temp file + atomic rename, so a header is never partially
+///     visible.
+///   * **Version-pinned.** The header embeds the schema version and the
+///     three default `configHash()` golden values (checksum / equivalence
+///     / FSM). A store written by an incompatible build is set aside
+///     (renamed to `records.log.skipped`) and replaced by a fresh one —
+///     logged via the `store.version_skipped` counter, never an error.
+///
+/// See src/store/README.md for the byte-level record format and the key
+/// discipline shared with svc::VerdictCache.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_STORE_STORE_H
+#define LV_STORE_STORE_H
+
+#include "core/Equivalence.h"
+#include "interp/Bytecode.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace lv {
+namespace store {
+
+/// Store counters. Hits/Misses cover backing-store lookups of all three
+/// record kinds; Writes counts records appended this session;
+/// CorruptSkipped / VersionSkipped count load-time salvage events (also
+/// exported as `store.corrupt_skipped` / `store.version_skipped`).
+struct StoreStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t Writes = 0;
+  uint64_t CorruptSkipped = 0;  ///< Damaged tail records dropped on load.
+  uint64_t VersionSkipped = 0;  ///< Incompatible stores set aside on load.
+  uint64_t LoadedEquiv = 0;     ///< Equivalence records loaded on open.
+  uint64_t LoadedChecksum = 0;  ///< Checksum records loaded on open.
+  uint64_t LoadedPrograms = 0;  ///< Bytecode programs loaded on open.
+
+  void add(const StoreStats &O) {
+    Hits += O.Hits;
+    Misses += O.Misses;
+    Writes += O.Writes;
+    CorruptSkipped += O.CorruptSkipped;
+    VersionSkipped += O.VersionSkipped;
+    LoadedEquiv += O.LoadedEquiv;
+    LoadedChecksum += O.LoadedChecksum;
+    LoadedPrograms += O.LoadedPrograms;
+  }
+};
+
+/// The persistent store. Thread-safe (one mutex over index + log handle);
+/// shareable between service instances via svc::ServiceConfig::SharedStore
+/// exactly like the in-memory cache.
+class ResultStore {
+public:
+  /// On-disk schema version; bump when any serialized layout changes.
+  static constexpr uint32_t SchemaVersion = 1;
+
+  /// Opens (or creates) the store under \p Dir, replaying the record log
+  /// into the in-memory index (`store.load` span). A missing directory is
+  /// created; an unreadable or incompatible one degrades to an empty
+  /// in-memory store (ok() stays true as long as appends can be written —
+  /// a store must never turn a warm start into a failed run).
+  explicit ResultStore(const std::string &Dir);
+  ~ResultStore();
+
+  ResultStore(const ResultStore &) = delete;
+  ResultStore &operator=(const ResultStore &) = delete;
+
+  const std::string &dir() const { return Dir; }
+
+  /// True when the log file is open for appending (lookups work either
+  /// way; a read-only filesystem just loses write-through).
+  bool ok() const { return Log != nullptr; }
+
+  /// Lookups verify stored sources against the probe — the same
+  /// collision-degrades-to-miss discipline as svc::VerdictCache.
+  bool lookupEquiv(uint64_t ScalarH, uint64_t CandH, uint64_t CfgH,
+                   const std::string &ScalarSrc, const std::string &CandSrc,
+                   core::EquivResult &Out);
+  void storeEquiv(uint64_t ScalarH, uint64_t CandH, uint64_t CfgH,
+                  const std::string &ScalarSrc, const std::string &CandSrc,
+                  const core::EquivResult &R);
+  bool lookupChecksum(uint64_t ScalarH, uint64_t CandH, uint64_t CfgH,
+                      const std::string &ScalarSrc,
+                      const std::string &CandSrc,
+                      interp::ChecksumOutcome &Out);
+  void storeChecksum(uint64_t ScalarH, uint64_t CandH, uint64_t CfgH,
+                     const std::string &ScalarSrc, const std::string &CandSrc,
+                     const interp::ChecksumOutcome &O);
+
+  /// Program lookup by full `interp::bytecodeKey` content key (the key is
+  /// an injective serialization, so exactness is inherent — no source
+  /// re-check needed).
+  std::shared_ptr<const interp::BytecodeProgram>
+  lookupProgram(const std::string &Key);
+  void storeProgram(const interp::BytecodeProgram &P);
+
+  /// Routes `interp::compileBytecodeCached` misses through this store
+  /// (process-global hook; at most one store owns it at a time — a second
+  /// enable steals it, the owner's destructor releases it).
+  void enableBytecodePersistence();
+  void disableBytecodePersistence();
+
+  StoreStats stats() const;
+
+private:
+  struct Key3 {
+    uint64_t Scalar = 0, Candidate = 0, Config = 0;
+    bool operator==(const Key3 &O) const {
+      return Scalar == O.Scalar && Candidate == O.Candidate &&
+             Config == O.Config;
+    }
+  };
+  struct Key3Hash {
+    size_t operator()(const Key3 &K) const;
+  };
+  template <class V> struct Entry {
+    std::string ScalarSrc, CandSrc; ///< Exactness check on hit.
+    V Value;
+  };
+
+  void load();
+  bool parseHeader(const std::string &Bytes, size_t &Off);
+  void appendRecord(uint8_t Kind, const std::string &Payload);
+  void setAside(const char *Why);
+  void openFresh();
+
+  std::string Dir;
+  std::string LogPath;
+  mutable std::mutex M;
+  std::FILE *Log = nullptr; ///< Append handle; null when writes failed.
+  std::unordered_map<Key3, Entry<core::EquivResult>, Key3Hash> Equiv;
+  std::unordered_map<Key3, Entry<interp::ChecksumOutcome>, Key3Hash> Checksum;
+  std::unordered_map<std::string,
+                     std::shared_ptr<const interp::BytecodeProgram>>
+      Programs;
+  StoreStats Stats;
+  bool OwnsBytecodeHook = false;
+};
+
+/// Canonical binary serializations, exposed so tests and the bench gates
+/// can assert *bit*-identity of replayed verdicts (string equality of the
+/// serialized form is exactly the store's round-trip contract).
+std::string serializeEquivResult(const core::EquivResult &R);
+bool deserializeEquivResult(const std::string &Bytes, core::EquivResult &Out);
+std::string serializeChecksumOutcome(const interp::ChecksumOutcome &O);
+bool deserializeChecksumOutcome(const std::string &Bytes,
+                                interp::ChecksumOutcome &Out);
+std::string serializeProgram(const interp::BytecodeProgram &P);
+bool deserializeProgram(const std::string &Bytes,
+                        interp::BytecodeProgram &Out);
+
+} // namespace store
+} // namespace lv
+
+#endif // LV_STORE_STORE_H

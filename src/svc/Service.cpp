@@ -5,6 +5,7 @@
 #include "obs/Flight.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "store/Store.h"
 #include "support/Format.h"
 #include "support/Rng.h"
 #include "vir/Compile.h"
@@ -52,14 +53,22 @@ bool VerdictCache::lookupEquiv(const Key &K, const std::string &ScalarSrc,
                                core::EquivResult &Out) {
   std::lock_guard<std::mutex> L(M);
   auto It = Equiv.find(K);
-  if (It == Equiv.end() || It->second.ScalarSrc != ScalarSrc ||
-      It->second.CandidateSrc != CandidateSrc) {
-    ++Misses;
-    return false;
+  if (It != Equiv.end() && It->second.ScalarSrc == ScalarSrc &&
+      It->second.CandidateSrc == CandidateSrc) {
+    ++Hits;
+    Out = It->second.Value;
+    return true;
   }
-  ++Hits;
-  Out = It->second.Value;
-  return true;
+  if (Backing && Backing->lookupEquiv(K.Scalar, K.Candidate, K.Config,
+                                      ScalarSrc, CandidateSrc, Out)) {
+    // A persisted verdict replays exactly like an in-process one: hydrate
+    // the memory map so later lookups stay local, count it as a hit.
+    Equiv.emplace(K, Entry<core::EquivResult>{ScalarSrc, CandidateSrc, Out});
+    ++Hits;
+    return true;
+  }
+  ++Misses;
+  return false;
 }
 
 void VerdictCache::storeEquiv(const Key &K, const std::string &ScalarSrc,
@@ -67,7 +76,11 @@ void VerdictCache::storeEquiv(const Key &K, const std::string &ScalarSrc,
                               const core::EquivResult &R) {
   std::lock_guard<std::mutex> L(M);
   // A concurrent duplicate computed the same value; first insert wins.
-  Equiv.emplace(K, Entry<core::EquivResult>{ScalarSrc, CandidateSrc, R});
+  auto Ins =
+      Equiv.emplace(K, Entry<core::EquivResult>{ScalarSrc, CandidateSrc, R});
+  if (Ins.second && Backing)
+    Backing->storeEquiv(K.Scalar, K.Candidate, K.Config, ScalarSrc,
+                        CandidateSrc, R);
 }
 
 bool VerdictCache::lookupChecksum(const Key &K, const std::string &ScalarSrc,
@@ -75,27 +88,42 @@ bool VerdictCache::lookupChecksum(const Key &K, const std::string &ScalarSrc,
                                   interp::ChecksumOutcome &Out) {
   std::lock_guard<std::mutex> L(M);
   auto It = Checksum.find(K);
-  if (It == Checksum.end() || It->second.ScalarSrc != ScalarSrc ||
-      It->second.CandidateSrc != CandidateSrc) {
-    ++Misses;
-    return false;
+  if (It != Checksum.end() && It->second.ScalarSrc == ScalarSrc &&
+      It->second.CandidateSrc == CandidateSrc) {
+    ++Hits;
+    Out = It->second.Value;
+    return true;
   }
-  ++Hits;
-  Out = It->second.Value;
-  return true;
+  if (Backing && Backing->lookupChecksum(K.Scalar, K.Candidate, K.Config,
+                                         ScalarSrc, CandidateSrc, Out)) {
+    Checksum.emplace(
+        K, Entry<interp::ChecksumOutcome>{ScalarSrc, CandidateSrc, Out});
+    ++Hits;
+    return true;
+  }
+  ++Misses;
+  return false;
 }
 
 void VerdictCache::storeChecksum(const Key &K, const std::string &ScalarSrc,
                                  const std::string &CandidateSrc,
                                  const interp::ChecksumOutcome &O) {
   std::lock_guard<std::mutex> L(M);
-  Checksum.emplace(K,
-                   Entry<interp::ChecksumOutcome>{ScalarSrc, CandidateSrc, O});
+  auto Ins = Checksum.emplace(
+      K, Entry<interp::ChecksumOutcome>{ScalarSrc, CandidateSrc, O});
+  if (Ins.second && Backing)
+    Backing->storeChecksum(K.Scalar, K.Candidate, K.Config, ScalarSrc,
+                           CandidateSrc, O);
 }
 
 void VerdictCache::noteBypass() {
   std::lock_guard<std::mutex> L(M);
   ++Bypassed;
+}
+
+void VerdictCache::setBacking(store::ResultStore *Store) {
+  std::lock_guard<std::mutex> L(M);
+  Backing = Store;
 }
 
 CacheStats VerdictCache::stats() const {
@@ -115,6 +143,22 @@ CacheStats VerdictCache::stats() const {
 VectorizerService::VectorizerService(ServiceConfig C) : Cfg(std::move(C)) {
   NumWorkers = Cfg.Workers < 1 ? 1 : Cfg.Workers;
   Cache = Cfg.SharedCache ? Cfg.SharedCache : &OwnCache;
+  if (Cfg.EnableVerdictCache) {
+    // Persistence is a tier below the verdict cache: without the cache
+    // there is nothing to read results through into (and A/B benches that
+    // disable the cache must not silently replay persisted work either).
+    if (Cfg.SharedStore) {
+      Store = Cfg.SharedStore;
+    } else if (!Cfg.StorePath.empty()) {
+      OwnStore.reset(new store::ResultStore(Cfg.StorePath));
+      Store = OwnStore.get();
+      // The bytecode-compile hook is process-global, so only a privately
+      // owned store claims it; a SharedStore's owner decides.
+      Store->enableBytecodePersistence();
+    }
+    if (Store)
+      Cache->setBacking(Store);
+  }
   if (!Cfg.MakeClient)
     Cfg.MakeClient = llm::simulatedClientFactory();
   Pool.reserve(static_cast<size_t>(NumWorkers));
@@ -130,6 +174,10 @@ VectorizerService::~VectorizerService() {
   WorkCv.notify_all();
   for (std::thread &T : Pool)
     T.join();
+  // Detach before OwnStore is destroyed; a shared cache must not keep a
+  // dangling pointer to a store this service owned.
+  if (Store)
+    Cache->setBacking(nullptr);
 }
 
 Ticket VectorizerService::submit(Request R) {
@@ -521,7 +569,13 @@ std::string lv::svc::debugString(const Outcome &O) {
 //===----------------------------------------------------------------------===//
 
 Outcome lv::svc::runOne(Request R) {
-  VectorizerService S;
+  return runOne(std::move(R), ServiceConfig());
+}
+
+Outcome lv::svc::runOne(Request R, const ServiceConfig &SC) {
+  ServiceConfig C = SC;
+  C.Workers = 1;
+  VectorizerService S(std::move(C));
   Ticket T = S.submit(std::move(R));
   Outcome O = S.wait(T);
   // The wrappers replace direct calls that let exceptions propagate;

@@ -52,6 +52,11 @@
 #include <vector>
 
 namespace lv {
+
+namespace store {
+class ResultStore;
+}
+
 namespace svc {
 
 /// What the service runs for one request.
@@ -286,6 +291,14 @@ public:
   void noteBypass();
   CacheStats stats() const;
 
+  /// Attaches (or detaches, with null) a persistent backing store: memory
+  /// misses read through to it (a backing hit hydrates the memory map and
+  /// counts as a cache hit, so warm replays are indistinguishable from
+  /// in-process hits), and first-time stores write through. The store must
+  /// outlive the attachment; VectorizerService detaches before tearing its
+  /// own store down.
+  void setBacking(store::ResultStore *Store);
+
 private:
   struct KeyHash {
     size_t operator()(const Key &K) const;
@@ -299,6 +312,7 @@ private:
   std::unordered_map<Key, Entry<core::EquivResult>, KeyHash> Equiv;
   std::unordered_map<Key, Entry<interp::ChecksumOutcome>, KeyHash> Checksum;
   uint64_t Hits = 0, Misses = 0, Bypassed = 0;
+  store::ResultStore *Backing = nullptr; ///< Optional persistent tier.
 };
 
 /// Service configuration.
@@ -307,6 +321,16 @@ struct ServiceConfig {
   bool EnableVerdictCache = true; ///< Content-addressed result reuse.
   llm::ClientFactory MakeClient;  ///< Null: SimulatedLLM(seed below).
   VerdictCache *SharedCache = nullptr; ///< Null: service-owned cache.
+  /// Directory of a persistent result store (see store/Store.h). When set
+  /// (and the verdict cache is enabled), the service opens the store at
+  /// construction, reads verdicts through on cache misses, writes fresh
+  /// verdicts through, and persists compiled bytecode programs — so a new
+  /// process replays bit-identical results instead of recomputing them.
+  /// Empty: no persistence (the seed behaviour).
+  std::string StorePath;
+  /// Already-open store shared between service instances (overrides
+  /// StorePath; must outlive the service). Null: open StorePath privately.
+  store::ResultStore *SharedStore = nullptr;
   /// Seed each task's client with taskSeed(Request.Seed, Request.Name)
   /// instead of Request.Seed verbatim. Decorrelates streams between
   /// same-seed requests whose prompts coincide — needed for client
@@ -349,6 +373,10 @@ public:
   CacheStats cacheStats() const;
   int workers() const { return NumWorkers; }
 
+  /// The attached persistent store (own or shared); null when the service
+  /// runs without persistence.
+  store::ResultStore *resultStore() const { return Store; }
+
 private:
   struct Task {
     Request Req;
@@ -372,6 +400,8 @@ private:
   int NumWorkers = 1;
   VerdictCache OwnCache;
   VerdictCache *Cache = nullptr;
+  std::unique_ptr<store::ResultStore> OwnStore; ///< Opened from StorePath.
+  store::ResultStore *Store = nullptr;
 
   std::mutex M;
   std::condition_variable WorkCv; ///< Signals workers: queue or shutdown.
@@ -389,6 +419,11 @@ private:
 
 /// Runs one request to completion on a throwaway single-worker service.
 Outcome runOne(Request R);
+
+/// runOne on a throwaway service built from \p SC (Workers forced to 1) —
+/// lets the example drivers thread --store and other service knobs through
+/// the single-task convenience path.
+Outcome runOne(Request R, const ServiceConfig &SC);
 
 /// Algorithm 1 on one (scalar, candidate) pair — drop-in for direct
 /// core::checkEquivalence call sites.

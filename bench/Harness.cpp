@@ -108,6 +108,7 @@ struct ServiceStatTally {
   std::mutex M;
   svc::CacheStats Cache;
   store::StoreStats Store;
+  svc::VectorizerService::ResilienceStats Resilience;
 };
 
 ServiceStatTally &statTally() {
@@ -127,6 +128,13 @@ void lv::bench::noteServiceStats(const svc::VectorizerService &Service) {
   T.Cache.Entries += C.Entries;
   if (const store::ResultStore *S = Service.resultStore())
     T.Store.add(S->stats());
+  svc::VectorizerService::ResilienceStats R = Service.resilienceStats();
+  T.Resilience.Retries += R.Retries;
+  T.Resilience.Timeouts += R.Timeouts;
+  T.Resilience.Degraded += R.Degraded;
+  T.Resilience.ClientTransient += R.ClientTransient;
+  T.Resilience.ClientPermanent += R.ClientPermanent;
+  T.Resilience.Internal += R.Internal;
 }
 
 bool lv::bench::writeBenchJson(const std::string &BenchName,
@@ -153,12 +161,25 @@ bool lv::bench::writeBenchJson(const std::string &BenchName,
     appendf(J,
             "  \"store\": {\"hits\": %llu, \"misses\": %llu, "
             "\"writes\": %llu, \"corrupt_skipped\": %llu, "
-            "\"version_skipped\": %llu},\n",
+            "\"version_skipped\": %llu, \"append_failed\": %llu, "
+            "\"read_failed\": %llu},\n",
             static_cast<unsigned long long>(T.Store.Hits),
             static_cast<unsigned long long>(T.Store.Misses),
             static_cast<unsigned long long>(T.Store.Writes),
             static_cast<unsigned long long>(T.Store.CorruptSkipped),
-            static_cast<unsigned long long>(T.Store.VersionSkipped));
+            static_cast<unsigned long long>(T.Store.VersionSkipped),
+            static_cast<unsigned long long>(T.Store.AppendFailed),
+            static_cast<unsigned long long>(T.Store.ReadFailed));
+    appendf(J,
+            "  \"resilience\": {\"retries\": %llu, \"timeouts\": %llu, "
+            "\"degraded\": %llu, \"client_transient\": %llu, "
+            "\"client_permanent\": %llu, \"internal\": %llu},\n",
+            static_cast<unsigned long long>(T.Resilience.Retries),
+            static_cast<unsigned long long>(T.Resilience.Timeouts),
+            static_cast<unsigned long long>(T.Resilience.Degraded),
+            static_cast<unsigned long long>(T.Resilience.ClientTransient),
+            static_cast<unsigned long long>(T.Resilience.ClientPermanent),
+            static_cast<unsigned long long>(T.Resilience.Internal));
   }
   J += PayloadMembers;
   J += "\n}\n";
@@ -219,10 +240,18 @@ lv::bench::buildCorpusFor(const std::vector<const tsvc::TsvcTest *> &Tests,
   std::vector<TestCorpus> Out;
   Out.reserve(Tests.size());
   for (size_t I = 0; I < Tickets.size(); ++I) {
-    const svc::Outcome &O = Service.wait(Tickets[I]);
+    // Poll via the timed wait: a wedged task surfaces as a liveness note
+    // instead of a silent hang (nothing here ever abandons the task —
+    // waitFor's null return just means "still running, ask again").
+    const svc::Outcome *OP;
+    while (!(OP = Service.waitFor(Tickets[I], 60'000'000'000ULL)))
+      std::fprintf(stderr, "buildCorpus: still waiting on '%s'\n",
+                   Tests[I]->Name.c_str());
+    const svc::Outcome &O = *OP;
     if (O.Failed) {
-      std::fprintf(stderr, "buildCorpus: task '%s' failed: %s\n",
-                   O.Name.c_str(), O.Error.c_str());
+      std::fprintf(stderr, "buildCorpus: task '%s' failed (%s): %s\n",
+                   O.Name.c_str(), svc::failureKindName(O.Failure),
+                   O.Error.c_str());
       std::exit(1);
     }
     TestCorpus TC;
@@ -300,10 +329,15 @@ lv::bench::runFunnel(const std::vector<TestCorpus> &Corpus,
     TicketSlot.push_back(I);
   }
   for (size_t I = 0; I < Tickets.size(); ++I) {
-    const svc::Outcome &O = Service.wait(Tickets[I]);
+    const svc::Outcome *OP;
+    while (!(OP = Service.waitFor(Tickets[I], 60'000'000'000ULL)))
+      std::fprintf(stderr, "runFunnel: still waiting on '%s'\n",
+                   Out[TicketSlot[I]].Name.c_str());
+    const svc::Outcome &O = *OP;
     if (O.Failed) {
-      std::fprintf(stderr, "runFunnel: task '%s' failed: %s\n",
-                   O.Name.c_str(), O.Error.c_str());
+      std::fprintf(stderr, "runFunnel: task '%s' failed (%s): %s\n",
+                   O.Name.c_str(), svc::failureKindName(O.Failure),
+                   O.Error.c_str());
       std::exit(1);
     }
     Out[TicketSlot[I]].Result = O.Equiv;

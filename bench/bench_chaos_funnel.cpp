@@ -1,0 +1,332 @@
+//===- bench/bench_chaos_funnel.cpp - fault-injection funnel gates ------------===//
+//
+// The chaos harness: drives the TSVC pipeline funnel through
+// svc::VectorizerService under escalating injected transport faults
+// (llm/Chaos.h) and storage faults (store::ChaosFileHooks), gating the
+// fault-tolerance contract of src/svc/README.md "Failure model":
+//
+//   * no crash at any fault rate — every injected fault ends as a
+//     classified Outcome, never an escaped exception;
+//   * zero-chaos runs are debugString-bit-identical at 1/2/8 workers
+//     (chaos plumbing must not perturb the determinism contract);
+//   * absorbed transient faults are invisible: a task that succeeded
+//     after retries is bit-identical (modulo the resilience tally line)
+//     to the fault-free run of the same schedule;
+//   * every failed task carries a non-None FailureKind;
+//   * no task outlives its deadline by more than the cooperative-
+//     checkpoint grace, and the whole batch lands within a harness
+//     budget enforced via waitBatchFor;
+//   * a store whose log dies mid-run degrades to memory-only with the
+//     failure counted, without changing a single verdict.
+//
+// `--smoke` shrinks the suite slice and fault ladder for CI.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/Harness.h"
+#include "store/Store.h"
+#include "support/Format.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+using namespace lv;
+using namespace lv::bench;
+
+namespace {
+
+int GateFailures = 0;
+
+void gate(bool Ok, const std::string &What) {
+  std::printf("  [%s] %s\n", Ok ? "PASS" : "FAIL", What.c_str());
+  if (!Ok)
+    ++GateFailures;
+}
+
+/// debugString minus the ` resilience:` tally line — the one line the
+/// failure model *expects* to differ between an absorbed-fault run and a
+/// fault-free run (retry counts live there).
+std::string stripResilience(const std::string &S) {
+  std::string Out;
+  size_t Pos = 0;
+  while (Pos < S.size()) {
+    size_t Eol = S.find('\n', Pos);
+    if (Eol == std::string::npos)
+      Eol = S.size() - 1;
+    if (S.compare(Pos, 13, " resilience: ") != 0)
+      Out.append(S, Pos, Eol - Pos + 1);
+    Pos = Eol + 1;
+  }
+  return Out;
+}
+
+struct ArmResult {
+  std::vector<svc::Outcome> Outcomes;
+  svc::VectorizerService::ResilienceStats Stats;
+  bool BudgetHit = false; ///< A task outlived the harness wait budget.
+};
+
+struct ArmSpec {
+  int Workers = 2;
+  llm::ChaosConfig Chaos;
+  uint64_t DeadlineNanos = 0;
+  int ClientRetries = 2;
+  uint64_t BackoffNanos = 0; ///< 0 in gates: backoff only stretches wall.
+  uint64_t HarnessBudgetNanos = 600'000'000'000ULL;
+  std::string StorePath;
+};
+
+/// One pipeline run of \p Tests under \p Spec. Collection goes through
+/// waitBatchFor so a task that somehow outlives its deadline turns into a
+/// gate failure instead of a hang (we then wait() it out — the budgets
+/// below it are finite — so teardown stays clean).
+ArmResult runArm(const std::vector<const tsvc::TsvcTest *> &Tests,
+                 const ArmSpec &Spec, const core::EquivConfig &Equiv,
+                 int MaxAttempts) {
+  svc::ServiceConfig SC;
+  SC.Workers = Spec.Workers;
+  SC.Chaos = Spec.Chaos;
+  SC.ClientRetries = Spec.ClientRetries;
+  SC.RetryBackoffNanos = Spec.BackoffNanos;
+  SC.StorePath = Spec.StorePath;
+  svc::VectorizerService Service(SC);
+
+  std::vector<svc::Request> Batch;
+  Batch.reserve(Tests.size());
+  for (const tsvc::TsvcTest *T : Tests) {
+    svc::Request R;
+    R.Mode = svc::RunMode::Pipeline;
+    R.Name = T->Name;
+    R.ScalarSource = T->Source;
+    R.Seed = ExperimentSeed;
+    R.Fsm.MaxAttempts = MaxAttempts;
+    R.Equiv = Equiv;
+    R.DeadlineNanos = Spec.DeadlineNanos;
+    Batch.push_back(std::move(R));
+  }
+  std::vector<svc::Ticket> Tickets = Service.submitBatch(std::move(Batch));
+
+  ArmResult Out;
+  std::vector<const svc::Outcome *> Ptrs =
+      Service.waitBatchFor(Tickets, Spec.HarnessBudgetNanos);
+  for (size_t I = 0; I < Tickets.size(); ++I) {
+    const svc::Outcome *O = Ptrs[I];
+    if (!O) {
+      Out.BudgetHit = true;
+      O = &Service.wait(Tickets[I]);
+    }
+    Out.Outcomes.push_back(*O);
+  }
+  Out.Stats = Service.resilienceStats();
+  noteServiceStats(Service);
+  return Out;
+}
+
+std::string armJson(const char *Name, const ArmResult &A) {
+  uint64_t Failed = 0;
+  for (const svc::Outcome &O : A.Outcomes)
+    Failed += O.Failed ? 1 : 0;
+  std::string J;
+  appendf(J,
+          "    {\"arm\": \"%s\", \"tasks\": %zu, \"failed\": %llu, "
+          "\"retries\": %llu, \"timeouts\": %llu, \"degraded\": %llu, "
+          "\"client_transient\": %llu, \"client_permanent\": %llu, "
+          "\"internal\": %llu}",
+          Name, A.Outcomes.size(), static_cast<unsigned long long>(Failed),
+          static_cast<unsigned long long>(A.Stats.Retries),
+          static_cast<unsigned long long>(A.Stats.Timeouts),
+          static_cast<unsigned long long>(A.Stats.Degraded),
+          static_cast<unsigned long long>(A.Stats.ClientTransient),
+          static_cast<unsigned long long>(A.Stats.ClientPermanent),
+          static_cast<unsigned long long>(A.Stats.Internal));
+  return J;
+}
+
+/// Failure-classification invariants every arm must satisfy.
+void gateClassified(const char *Arm, const ArmResult &A) {
+  bool Consistent = true;
+  for (const svc::Outcome &O : A.Outcomes)
+    if (O.Failed != (O.Failure != svc::FailureKind::None))
+      Consistent = false;
+  gate(Consistent,
+       format("%s: Failed <=> classified FailureKind on every task", Arm));
+  gate(!A.BudgetHit, format("%s: batch landed within the harness budget",
+                            Arm));
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  BenchOptions Opt = parseBenchArgs(argc, argv);
+  bool Smoke = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::strcmp(argv[I], "--smoke") == 0)
+      Smoke = true;
+
+  // Slice and budgets. The equivalence budgets are deliberately modest:
+  // chaos gates exercise the failure plumbing, not verdict power, and
+  // every arm shares one config so comparisons stay apples-to-apples.
+  std::vector<const tsvc::TsvcTest *> Tests =
+      Smoke ? tsvc::suiteSample(20, 6) : tsvc::suiteSample(6, 25);
+  core::EquivConfig Equiv;
+  Equiv.Alive2Budget = Smoke ? 2'000 : 10'000;
+  Equiv.CUnrollBudget = Smoke ? 2'000 : 10'000;
+  Equiv.SplitBudget = Smoke ? 1'000 : 5'000;
+  Equiv.MaxTerms = 200'000;
+  int MaxAttempts = Smoke ? 2 : 4;
+  uint64_t Deadline = Smoke ? 2'000'000'000ULL : 10'000'000'000ULL;
+  uint64_t Grace = Smoke ? 5'000'000'000ULL : 15'000'000'000ULL;
+
+  printHeader("arm 0: fault-free baseline + worker-count parity");
+  ArmSpec Base;
+  Base.Workers = 1;
+  ArmResult Baseline = runArm(Tests, Base, Equiv, MaxAttempts);
+  gateClassified("baseline", Baseline);
+  {
+    bool NoneFailed = true;
+    for (const svc::Outcome &O : Baseline.Outcomes)
+      NoneFailed = NoneFailed && !O.Failed;
+    gate(NoneFailed, "baseline: zero-chaos run has no failed tasks");
+  }
+  for (int W : {2, 8}) {
+    ArmSpec S = Base;
+    S.Workers = W;
+    ArmResult R = runArm(Tests, S, Equiv, MaxAttempts);
+    bool Identical = R.Outcomes.size() == Baseline.Outcomes.size();
+    for (size_t I = 0; Identical && I < R.Outcomes.size(); ++I)
+      Identical = svc::debugString(R.Outcomes[I]) ==
+                  svc::debugString(Baseline.Outcomes[I]);
+    gate(Identical,
+         format("parity: %d workers debugString-identical to 1 worker", W));
+  }
+
+  printHeader("arm 1: scripted transient fault, absorbed by retry");
+  // Call 0 of every task's client faults once; with retries available the
+  // task re-runs the FSM on the same client, whose schedule has consumed
+  // the fault, so the surviving run replays the fault-free stream.
+  ArmSpec Script;
+  Script.Workers = 2;
+  Script.Chaos.TransientCallScript = {0};
+  ArmResult Absorbed = runArm(Tests, Script, Equiv, MaxAttempts);
+  gateClassified("absorbed", Absorbed);
+  {
+    bool AllRetried = true, AllIdentical = true;
+    for (size_t I = 0; I < Absorbed.Outcomes.size(); ++I) {
+      const svc::Outcome &O = Absorbed.Outcomes[I];
+      AllRetried = AllRetried && !O.Failed && O.Retries == 1;
+      AllIdentical = AllIdentical &&
+                     stripResilience(svc::debugString(O)) ==
+                         stripResilience(
+                             svc::debugString(Baseline.Outcomes[I]));
+    }
+    gate(AllRetried, "absorbed: every task succeeded with exactly 1 retry");
+    gate(AllIdentical, "absorbed: every task bit-identical to fault-free "
+                       "run modulo the resilience line");
+  }
+
+  printHeader("arm 2: escalating random faults + per-task deadlines");
+  std::vector<double> Ladder =
+      Smoke ? std::vector<double>{0.4} : std::vector<double>{0.1, 0.3, 0.6};
+  std::vector<ArmResult> LadderResults;
+  for (double Rate : Ladder) {
+    ArmSpec S;
+    S.Workers = Smoke ? 2 : 4;
+    S.Chaos.TransientRate = 0.5 * Rate;
+    S.Chaos.PermanentRate = 0.15 * Rate;
+    S.Chaos.TruncateRate = 0.2 * Rate;
+    S.Chaos.GarbageRate = 0.2 * Rate;
+    S.Chaos.LatencyRate = 0.2 * Rate;
+    // A latency fault parks the client well past the deadline: the
+    // cancellable sleep is how TimedOut gets exercised deterministically.
+    S.Chaos.LatencyNanos = Deadline * 4;
+    S.DeadlineNanos = Deadline;
+    ArmResult R = runArm(Tests, S, Equiv, MaxAttempts);
+    std::string Arm = format("chaos rate=%.2f", Rate);
+    gateClassified(Arm.c_str(), R);
+    bool DeadlineHeld = true;
+    for (const svc::Outcome &O : R.Outcomes)
+      if (O.Failure == svc::FailureKind::TimedOut &&
+          O.WallNanos > Deadline + Grace) {
+        DeadlineHeld = false;
+        std::fprintf(stderr,
+                     "    overrun: %s wall=%.2fs deadline=%.2fs err=%s\n",
+                     O.Name.c_str(), O.WallNanos * 1e-9, Deadline * 1e-9,
+                     O.Error.c_str());
+      }
+    gate(DeadlineHeld,
+         Arm + ": no timed-out task overran deadline + checkpoint grace");
+    LadderResults.push_back(std::move(R));
+  }
+
+  printHeader("arm 3: storage faults degrade to memory-only");
+  namespace fs = std::filesystem;
+  std::string Dir =
+      (fs::temp_directory_path() / "lv_chaos_bench_store").string();
+  std::error_code EC;
+  fs::remove_all(Dir, EC);
+  {
+    // Let the first append through, fail every later one: the run keeps
+    // going memory-only and verdicts match the storeless baseline.
+    std::atomic<int> Appends{0};
+    store::ChaosFileHooks H;
+    H.FailAppend = [&Appends] { return ++Appends > 1; };
+    store::setChaosFileHooks(H);
+    ArmSpec S;
+    S.Workers = 2;
+    S.StorePath = Dir;
+    ArmResult R = runArm(Tests, S, Equiv, MaxAttempts);
+    store::setChaosFileHooks(store::ChaosFileHooks());
+    gateClassified("store-chaos", R);
+    bool Identical = true;
+    for (size_t I = 0; I < R.Outcomes.size(); ++I)
+      Identical = Identical && svc::debugString(R.Outcomes[I]) ==
+                                   svc::debugString(Baseline.Outcomes[I]);
+    gate(Identical, "store-chaos: verdicts identical to storeless baseline");
+    gate(Appends.load() > 1, "store-chaos: append failures were injected");
+  }
+  {
+    // A load failure on reopen must serve from empty without touching the
+    // (partial) log left by the previous phase.
+    store::ChaosFileHooks H;
+    std::atomic<bool> Once{true};
+    H.FailLoad = [&Once] { return Once.exchange(false); };
+    store::setChaosFileHooks(H);
+    store::ResultStore Reopened(Dir);
+    store::setChaosFileHooks(store::ChaosFileHooks());
+    gate(Reopened.stats().ReadFailed == 1 && !Reopened.ok(),
+         "store-chaos: failed load counted and store degraded");
+    store::ResultStore Clean(Dir);
+    gate(Clean.ok() && Clean.stats().ReadFailed == 0,
+         "store-chaos: log survived the failed load and reopens cleanly");
+  }
+  fs::remove_all(Dir, EC);
+
+  // JSON mirror.
+  std::string Payload = "  \"smoke\": ";
+  Payload += Smoke ? "true" : "false";
+  appendf(Payload, ",\n  \"tests\": %zu,\n  \"gate_failures\": %d,\n",
+          Tests.size(), GateFailures);
+  Payload += "  \"arms\": [\n";
+  Payload += armJson("baseline", Baseline) + ",\n";
+  Payload += armJson("absorbed", Absorbed);
+  for (size_t I = 0; I < LadderResults.size(); ++I) {
+    Payload += ",\n";
+    Payload += armJson(format("chaos_%.2f", Ladder[I]).c_str(),
+                       LadderResults[I]);
+  }
+  Payload += "\n  ]";
+  writeBenchJson("chaos_funnel", Opt, Payload, "BENCH_chaos.json");
+  writeObsArtifacts(Opt);
+
+  if (GateFailures) {
+    std::fprintf(stderr, "bench_chaos_funnel: %d gate(s) FAILED\n",
+                 GateFailures);
+    return 1;
+  }
+  std::printf("\nbench_chaos_funnel: all gates passed\n");
+  return 0;
+}

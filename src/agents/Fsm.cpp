@@ -4,6 +4,7 @@
 
 #include "deps/Analysis.h"
 #include "minic/Parser.h"
+#include "support/Cancel.h"
 #include "support/Format.h"
 #include "support/Rng.h"
 #include "vir/Compile.h"
@@ -36,6 +37,28 @@ uint64_t FsmConfig::configHash() const {
 
 FsmResult MultiAgentFsm::run(const std::string &ScalarSource) {
   FsmResult R;
+  try {
+    runImpl(R, ScalarSource);
+  } catch (const llm::ClientError &E) {
+    // The endpoint failed mid-dialogue: keep the transcript made so far
+    // and report the abort instead of unwinding (the service retries
+    // transient aborts on the same client, whose completion stream is
+    // index-pure — a successful retry replays the fault-free dialogue).
+    R.Abort = E.Transient ? FsmAbort::ClientTransient
+                          : FsmAbort::ClientPermanent;
+    R.AbortMsg = E.what();
+    R.Transcript.push_back(
+        {"vectorizer", "user-proxy", std::string("client error: ") + E.what()});
+    R.Transitions.push_back(State::Failed);
+  } catch (const support::CancelledError &E) {
+    R.Abort = FsmAbort::Cancelled;
+    R.AbortMsg = E.what();
+    R.Transitions.push_back(State::Failed);
+  }
+  return R;
+}
+
+void MultiAgentFsm::runImpl(FsmResult &R, const std::string &ScalarSource) {
   R.Transitions.push_back(State::Init);
 
   // The user proxy prepares the task, optionally with Clang-style
@@ -63,7 +86,7 @@ FsmResult MultiAgentFsm::run(const std::string &ScalarSource) {
         {"compiler-tester", "user-proxy",
          "the scalar input does not compile: " + SC.Error});
     R.Transitions.push_back(State::Failed);
-    return R;
+    return;
   }
 
   // Reference memo for the default tester path: the scalar runs once per
@@ -73,6 +96,10 @@ FsmResult MultiAgentFsm::run(const std::string &ScalarSource) {
   interp::ScalarRefMemo ChecksumMemo;
 
   for (int Attempt = 0; Attempt < Cfg.MaxAttempts; ++Attempt) {
+    // Cooperative deadline checkpoint: a task past its budget stops
+    // between attempts (the client call and the tester below have their
+    // own checks for the long in-attempt stretches).
+    support::throwIfCancelled("agents.fsm.attempt");
     R.Attempts = Attempt + 1;
     R.Transitions.push_back(State::Vectorize);
     llm::Completion C =
@@ -118,7 +145,7 @@ FsmResult MultiAgentFsm::run(const std::string &ScalarSource) {
            "plausible"});
       R.Transitions.push_back(State::Done);
       R.Plausible = true;
-      return R;
+      return;
     }
     // Feedback with the concrete distinguishing example (paper §4.4.2).
     R.Transitions.push_back(State::Feedback);
@@ -131,5 +158,4 @@ FsmResult MultiAgentFsm::run(const std::string &ScalarSource) {
     P.FailureFeedback.push_back(FB);
   }
   R.Transitions.push_back(State::Failed);
-  return R;
 }

@@ -73,6 +73,19 @@ struct FsmConfig {
   uint64_t configHash() const;
 };
 
+/// Why a run stopped before the FSM itself concluded. The FSM absorbs
+/// infrastructure failures instead of letting them unwind through run():
+/// the partial transcript/transitions stay on the result, and the service
+/// layer decides whether to retry (transient), fail the task (permanent),
+/// or classify it timed-out (cancelled) — see src/svc/README.md
+/// "Failure model".
+enum class FsmAbort : uint8_t {
+  None,            ///< Ran to a normal Done/Failed conclusion.
+  ClientTransient, ///< llm::ClientError, Transient — retryable.
+  ClientPermanent, ///< llm::ClientError, permanent.
+  Cancelled,       ///< Task deadline expired (support::CancelledError).
+};
+
 /// Result of a run.
 struct FsmResult {
   bool Plausible = false;
@@ -81,6 +94,8 @@ struct FsmResult {
   interp::ChecksumOutcome LastChecksum;
   std::vector<Message> Transcript;
   std::vector<State> Transitions;
+  FsmAbort Abort = FsmAbort::None; ///< Infrastructure abort, if any.
+  std::string AbortMsg;            ///< The aborting error's message.
 };
 
 /// The orchestrator.
@@ -89,10 +104,14 @@ public:
   MultiAgentFsm(llm::LLMClient &Client, FsmConfig Cfg)
       : Client(Client), Cfg(Cfg) {}
 
-  /// Runs the dialogue for one scalar function.
+  /// Runs the dialogue for one scalar function. Client errors and task
+  /// cancellation do not throw: they surface as FsmResult::Abort with the
+  /// progress made so far intact.
   FsmResult run(const std::string &ScalarSource);
 
 private:
+  void runImpl(FsmResult &R, const std::string &ScalarSource);
+
   llm::LLMClient &Client;
   FsmConfig Cfg;
 };

@@ -5,6 +5,7 @@
 #include "core/CUnroll.h"
 #include "deps/Analysis.h"
 #include "obs/Trace.h"
+#include "support/Cancel.h"
 #include "support/Format.h"
 #include "support/Rng.h"
 #include "vir/Compile.h"
@@ -157,24 +158,25 @@ static vir::VFunctionPtr lowerAst(const minic::Function &F,
   return std::move(R.Fn);
 }
 
-EquivResult lv::core::checkEquivalence(const std::string &ScalarSrc,
-                                       const std::string &VecSrc,
-                                       const EquivConfig &Cfg) {
-  EquivResult Out;
+/// The staged funnel body, writing into \p Out so a cancellation unwind
+/// keeps the per-stage evidence gathered before the deadline landed.
+static void checkEquivalenceImpl(const std::string &ScalarSrc,
+                                 const std::string &VecSrc,
+                                 const EquivConfig &Cfg, EquivResult &Out) {
 
   vir::CompileResult SC = vir::compileFunction(ScalarSrc);
   if (!SC.ok()) {
     Out.Final = EquivResult::CannotCompile;
     Out.DecidedBy = Stage::Checksum;
     Out.Detail = "scalar source failed to compile: " + SC.Error;
-    return Out;
+    return;
   }
   vir::CompileResult VC = vir::compileFunction(VecSrc);
   if (!VC.ok()) {
     Out.Final = EquivResult::CannotCompile;
     Out.DecidedBy = Stage::Checksum;
     Out.Detail = "candidate failed to compile: " + VC.Error;
-    return Out;
+    return;
   }
 
   // Stage 1: checksum testing (paper §2.1). Engine selection (bytecode VM
@@ -195,13 +197,13 @@ EquivResult lv::core::checkEquivalence(const std::string &ScalarSrc,
     Out.Final = EquivResult::Inequivalent;
     Out.DecidedBy = Stage::Checksum;
     Out.Detail = Out.ChecksumRes.Detail;
-    return Out;
+    return;
   }
   if (Out.ChecksumRes.Verdict == interp::TestVerdict::Error) {
     Out.Final = EquivResult::Inequivalent;
     Out.DecidedBy = Stage::Checksum;
     Out.Detail = "checksum harness: " + Out.ChecksumRes.Detail;
-    return Out;
+    return;
   }
 
   // Prepare TV-side ASTs: elevate nested loops (paper §3.1 "Nested loops").
@@ -212,14 +214,14 @@ EquivResult lv::core::checkEquivalence(const std::string &ScalarSrc,
   if (!NestOk) {
     Out.Final = EquivResult::Inconclusive;
     Out.Detail = "nested-loop handling: " + NestWhy;
-    return Out;
+    return;
   }
 
   Alignment Align = computeAlignment(*STv, *VTv);
   if (!Align.Valid) {
     Out.Final = EquivResult::Inconclusive;
     Out.Detail = "loop alignment failed (non-canonical loop shapes)";
-    return Out;
+    return;
   }
 
   std::string LowerErr;
@@ -228,10 +230,11 @@ EquivResult lv::core::checkEquivalence(const std::string &ScalarSrc,
   if (!SV || !VV) {
     Out.Final = EquivResult::Inconclusive;
     Out.Detail = "TV lowering failed: " + LowerErr;
-    return Out;
+    return;
   }
 
   // Stage 2: checkWithAlive2Unroll — guarded symbolic unrolling.
+  support::throwIfCancelled("equiv.stage2");
   if (Cfg.EnableAlive2) {
     bool Decided = false;
     {
@@ -266,7 +269,7 @@ EquivResult lv::core::checkEquivalence(const std::string &ScalarSrc,
       Timer.arg("trail_reused", Out.Alive2Res.TrailReused);
     }
     if (Decided)
-      return Out;
+      return;
   }
 
   // Stages 3-4 share one straight-lined encoding: both verify the same
@@ -313,6 +316,7 @@ EquivResult lv::core::checkEquivalence(const std::string &ScalarSrc,
   };
 
   // Stage 3: checkWithCUnroll — straight-line one aligned block.
+  support::throwIfCancelled("equiv.stage3");
   if (Cfg.EnableCUnroll) {
     bool Decided = false;
     {
@@ -356,11 +360,12 @@ EquivResult lv::core::checkEquivalence(const std::string &ScalarSrc,
                 Out.CUnrollRes.PortfolioArm == 2 ? 1 : 0);
     }
     if (Decided)
-      return Out;
+      return;
   }
 
   // Stage 4: checkWithSpatialSplitting — per-cell queries under the
   // conservative no-loop-carried-dependence precondition.
+  support::throwIfCancelled("equiv.stage4");
   if (Cfg.EnableSplitting) {
     bool Decided = false;
     {
@@ -404,6 +409,7 @@ EquivResult lv::core::checkEquivalence(const std::string &ScalarSrc,
             applyCell(Cells[J], std::move(Batch[J]));
         } else {
           for (int J = 0; J < static_cast<int>(Align.V) && !Decided; ++J) {
+            support::throwIfCancelled("equiv.cell");
             int Cell = static_cast<int>(Align.Start) + J;
             TVResult RJ;
             if (Cfg.IncrementalSolving) {
@@ -452,10 +458,29 @@ EquivResult lv::core::checkEquivalence(const std::string &ScalarSrc,
       Timer.arg("portfolio_fallbacks", Fallbacks);
     }
     if (Decided)
-      return Out;
+      return;
   }
 
   Out.Final = EquivResult::Inconclusive;
   Out.Detail = "all stages inconclusive";
+}
+
+EquivResult lv::core::checkEquivalence(const std::string &ScalarSrc,
+                                       const std::string &VecSrc,
+                                       const EquivConfig &Cfg) {
+  EquivResult Out;
+  try {
+    checkEquivalenceImpl(ScalarSrc, VecSrc, Cfg, Out);
+  } catch (const support::CancelledError &E) {
+    // The task deadline expired mid-stage. Every stage span is scoped, so
+    // the unwind already flushed the per-stage nanos; the evidence up to
+    // the cancel point stays on the result, the verdict degrades to
+    // Inconclusive, and Cancelled marks the result as reflecting the
+    // deadline rather than the pair (the caller must not cache it).
+    Out.Final = EquivResult::Inconclusive;
+    Out.DecidedBy = Stage::None;
+    Out.Detail = std::string("cancelled: ") + E.what();
+    Out.Cancelled = true;
+  }
   return Out;
 }

@@ -147,6 +147,14 @@ struct EquivResult {
   uint64_t CUnrollNanos = 0;
   uint64_t SplitNanos = 0;
 
+  /// The run was cut short by task cancellation (deadline expiry): the
+  /// verdict is Inconclusive and the per-stage evidence is partial. A
+  /// cancelled result reflects the deadline, not the pair, so it must
+  /// never enter the verdict cache or the persistent store — the service
+  /// enforces that, and the store serialization deliberately omits this
+  /// field (schema unchanged; cancelled results are simply never written).
+  bool Cancelled = false;
+
   bool equivalent() const { return Final == Equivalent; }
 };
 

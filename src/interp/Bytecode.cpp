@@ -11,6 +11,7 @@
 #include "interp/Bytecode.h"
 
 #include "obs/Metrics.h"
+#include "support/Cancel.h"
 #include "support/Format.h"
 #include "support/Rng.h"
 
@@ -592,6 +593,9 @@ ExecResult lv::interp::execBytecode(const BytecodeProgram &P,
   double Cycles = 0.0;
   uint64_t *Hist = Res.Work.Hist;
   const uint64_t MaxSteps = Cfg.MaxSteps;
+  // Captured once: the task's cancel token (null outside task scope). The
+  // periodic mask keeps the hot path at one branch per charge.
+  const support::CancelToken *CT = support::currentCancelToken();
   auto flush = [&]() {
     Res.Steps = Steps;
     // Every charged event increments Steps except loop back-edges, which
@@ -690,6 +694,8 @@ ExecResult lv::interp::execBytecode(const BytecodeProgram &P,
       Res.St = ExecResult::OutOfFuel;                                        \
       return Res;                                                            \
     }                                                                        \
+    if ((Steps & 0xFFFFFULL) == 0 && CT && CT->expired())                    \
+      throw support::CancelledError("interp.bytecode");                      \
   } while (0)
 
   LV_DISPATCH();

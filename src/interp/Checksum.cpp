@@ -18,6 +18,7 @@
 #include "interp/Bytecode.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "support/Cancel.h"
 #include "support/Format.h"
 #include "support/Rng.h"
 
@@ -234,6 +235,9 @@ static ChecksumBatchResult runChecksumBatchCore(
   for (size_t NI = 0; NI < Cfg.NValues.size() && Undecided; ++NI) {
     int N = Cfg.NValues[NI];
     for (int Run = 0; Run < Cfg.RunsPerN && Undecided; ++Run, ++RunIdx) {
+      // Cooperative deadline checkpoint, once per input set (the
+      // in-run granularity is the VM/tree-walk periodic check).
+      support::throwIfCancelled("interp.checksum");
       ScalarRefMemo::RefRun &E = Memo->Runs[RunIdx];
       ensureRef(Scalar, SEng, Cfg, R, N, Run, E, Res, *Memo);
       ++Res.InputSets;

@@ -2,6 +2,7 @@
 
 #include "interp/Interp.h"
 
+#include "support/Cancel.h"
 #include "support/Format.h"
 
 #include <cassert>
@@ -174,6 +175,8 @@ private:
   const VFunction &F;
   MemoryImage &Mem;
   const ExecConfig &Cfg;
+  /// The task's cancel token, captured at construction (null = no-op).
+  const support::CancelToken *CT = support::currentCancelToken();
   std::vector<int32_t> Scalars;
   std::vector<VecVal> Vectors;
   ExecResult Result;
@@ -196,6 +199,9 @@ private:
     ++Result.Work.Hist[static_cast<size_t>(opClassOf(O))];
     if (Cfg.Costs)
       Result.Cycles += Cfg.Costs->costOf(O);
+    // Periodic cooperative deadline check (mirrors the bytecode VM's).
+    if ((Result.Steps & 0xFFFFFULL) == 0 && CT && CT->expired())
+      throw support::CancelledError("interp.treewalk");
     return Result.Steps <= Cfg.MaxSteps;
   }
 

@@ -1,0 +1,110 @@
+//===- llm/Chaos.cpp - deterministic transport-fault injection ----------------===//
+
+#include "llm/Chaos.h"
+
+#include "obs/Metrics.h"
+#include "support/Cancel.h"
+#include "support/Format.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <utility>
+
+using namespace lv;
+using namespace lv::llm;
+
+namespace {
+
+/// The decorator. Owns the inner client and one call counter; never
+/// shared across threads (the LLMClient ownership contract), so the
+/// counter needs no synchronization.
+class ChaosClient : public LLMClient {
+public:
+  ChaosClient(std::unique_ptr<LLMClient> Inner, ChaosConfig Cfg,
+              uint64_t TaskSeed)
+      : Inner(std::move(Inner)), Cfg(std::move(Cfg)), TaskSeed(TaskSeed) {}
+
+  Completion complete(const Prompt &P, uint64_t SampleIndex) override {
+    uint64_t CI = CallIndex++;
+
+    if (std::find(Cfg.TransientCallScript.begin(),
+                  Cfg.TransientCallScript.end(),
+                  CI) != Cfg.TransientCallScript.end()) {
+      obs::counter("chaos.transient").inc();
+      throw ClientError(
+          format("injected transient client error (scripted, call %llu)",
+                 static_cast<unsigned long long>(CI)),
+          /*Transient=*/true);
+    }
+
+    // One RNG per call, keyed by (chaos seed, task seed, call index); the
+    // draws happen in a fixed order regardless of which rates are zero,
+    // so arming one fault mode never reshuffles another's schedule.
+    Rng R(hashCombine(hashCombine(Cfg.ChaosSeed, TaskSeed), CI));
+    bool Transient = R.chance(Cfg.TransientRate);
+    bool Permanent = R.chance(Cfg.PermanentRate);
+    bool Latency = R.chance(Cfg.LatencyRate);
+    bool Truncate = R.chance(Cfg.TruncateRate);
+    bool Garbage = R.chance(Cfg.GarbageRate);
+
+    if (Latency && Cfg.LatencyNanos) {
+      // Stalls like a saturated endpoint; aborts into the task's deadline
+      // (TimedOut) instead of holding the worker for the full stall.
+      obs::counter("chaos.latency").inc();
+      support::cancellableSleepNanos(Cfg.LatencyNanos, "llm.chaos.latency");
+    }
+    if (Transient) {
+      obs::counter("chaos.transient").inc();
+      throw ClientError(
+          format("injected transient client error (call %llu)",
+                 static_cast<unsigned long long>(CI)),
+          /*Transient=*/true);
+    }
+    if (Permanent) {
+      obs::counter("chaos.permanent").inc();
+      throw ClientError(
+          format("injected permanent client error (call %llu)",
+                 static_cast<unsigned long long>(CI)),
+          /*Transient=*/false);
+    }
+
+    Completion C = Inner->complete(P, SampleIndex);
+    if (Truncate) {
+      obs::counter("chaos.truncate").inc();
+      C.Source = C.Source.substr(0, C.Source.size() / 2);
+      C.Rationale += " [chaos: truncated]";
+    } else if (Garbage) {
+      obs::counter("chaos.garbage").inc();
+      C.Source = format("\x01\x02 chaos garbage payload (call %llu) \x03",
+                        static_cast<unsigned long long>(CI));
+      C.Rationale += " [chaos: garbage]";
+    }
+    return C;
+  }
+
+private:
+  std::unique_ptr<LLMClient> Inner;
+  ChaosConfig Cfg;
+  uint64_t TaskSeed;
+  uint64_t CallIndex = 0;
+};
+
+} // namespace
+
+std::unique_ptr<LLMClient> lv::llm::wrapChaos(std::unique_ptr<LLMClient> Inner,
+                                              const ChaosConfig &Cfg,
+                                              uint64_t TaskSeed) {
+  if (!Cfg.enabled())
+    return Inner;
+  return std::unique_ptr<LLMClient>(
+      new ChaosClient(std::move(Inner), Cfg, TaskSeed));
+}
+
+ClientFactory lv::llm::chaosClientFactory(ClientFactory Inner,
+                                          ChaosConfig Cfg) {
+  if (!Inner)
+    Inner = simulatedClientFactory();
+  return [Inner, Cfg](uint64_t Seed) {
+    return wrapChaos(Inner(Seed), Cfg, Seed);
+  };
+}

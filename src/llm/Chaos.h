@@ -1,0 +1,85 @@
+//===- llm/Chaos.h - deterministic transport-fault injection ----*- C++ -*-===//
+///
+/// \file
+/// Seeded infrastructure-fault injection for LLM clients: a decorator that
+/// wraps any `LLMClient` (or `ClientFactory`) and injects the failure
+/// modes a real model endpoint exhibits — transient errors, permanent
+/// errors, truncated or garbage completions, artificial latency — from a
+/// schedule that is a pure function of `(ChaosSeed, TaskSeed, CallIndex)`.
+///
+/// Orthogonality: this layer models the *transport* failing; the semantic
+/// fault catalog in llm/Faults.h models a healthy transport delivering
+/// wrong code. The two compose — a chaos-wrapped SimulatedLLM still draws
+/// its competence faults underneath.
+///
+/// Determinism and the retry contract: each wrapped client keeps one
+/// monotonically increasing call index, and the fault draws for call i
+/// depend only on (chaosSeed, taskSeed, i). The service retries a task on
+/// the *same* client instance, so a retry advances past the consumed
+/// faulty indices; because the inner client's completions are index-pure
+/// (see LLMClient's contract), a task whose transient faults were fully
+/// absorbed by retries replays the exact completion stream of a fault-free
+/// run — the verdict-parity invariant bench_chaos_funnel gates. Truncation
+/// and garbage faults deliberately break that parity (the FSM sees — and
+/// must survive — a different completion), so the parity arm runs with
+/// those rates at zero.
+///
+/// The analogous hook for persistent-store I/O faults is
+/// `store::ChaosFileHooks` (store/Store.h); the failure taxonomy both feed
+/// is documented in src/svc/README.md ("Failure model").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_LLM_CHAOS_H
+#define LV_LLM_CHAOS_H
+
+#include "llm/Client.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace lv {
+namespace llm {
+
+/// Fault schedule knobs. All rates are per-call Bernoulli probabilities
+/// drawn in a fixed order (transient, permanent, latency, truncate,
+/// garbage), so a given (ChaosSeed, TaskSeed, CallIndex) triple always
+/// yields the same fault set regardless of which rates are zero.
+struct ChaosConfig {
+  uint64_t ChaosSeed = 0xC405;
+
+  double TransientRate = 0; ///< Throw ClientError(Transient=true).
+  double PermanentRate = 0; ///< Throw ClientError(Transient=false).
+  double TruncateRate = 0;  ///< Deliver the front half of the completion.
+  double GarbageRate = 0;   ///< Deliver non-code bytes.
+  double LatencyRate = 0;   ///< Sleep LatencyNanos before completing.
+  uint64_t LatencyNanos = 0;
+
+  /// Test hook: explicit call indices that throw a transient error,
+  /// overriding TransientRate for those indices. Lets the retry-contract
+  /// tests place faults exactly (e.g. "first call fails, rest succeed").
+  std::vector<uint64_t> TransientCallScript;
+
+  /// Any fault mode armed?
+  bool enabled() const {
+    return TransientRate > 0 || PermanentRate > 0 || TruncateRate > 0 ||
+           GarbageRate > 0 || LatencyRate > 0 || !TransientCallScript.empty();
+  }
+};
+
+/// Wraps an already-built client with the chaos decorator. \p TaskSeed
+/// keys the per-task schedule (the service passes taskSeed(seed, name),
+/// so every task sees an independent deterministic schedule).
+std::unique_ptr<LLMClient> wrapChaos(std::unique_ptr<LLMClient> Inner,
+                                     const ChaosConfig &Cfg,
+                                     uint64_t TaskSeed);
+
+/// Decorates a factory: each client the inner factory builds is wrapped,
+/// with the factory's seed argument as the task seed.
+ClientFactory chaosClientFactory(ClientFactory Inner, ChaosConfig Cfg);
+
+} // namespace llm
+} // namespace lv
+
+#endif // LV_LLM_CHAOS_H

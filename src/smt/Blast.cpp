@@ -113,9 +113,11 @@ Lit BitBlaster::gMux(Lit Sel, Lit T, Lit E) {
 //===----------------------------------------------------------------------===//
 
 BitBlaster::Word BitBlaster::wConst(uint32_t V, int Width) {
+  // Width can exceed 32 (e.g. double-width wMul accumulators); bits past
+  // the value's width are zero, and shifting a uint32_t by >= 32 is UB.
   Word W(static_cast<size_t>(Width));
   for (int I = 0; I < Width; ++I)
-    W[static_cast<size_t>(I)] = constLit((V >> I) & 1);
+    W[static_cast<size_t>(I)] = constLit(I < 32 && ((V >> I) & 1));
   return W;
 }
 
@@ -218,6 +220,7 @@ BitBlaster::Word BitBlaster::wAbs(WordView A) {
 const BitBlaster::PackedWord &BitBlaster::blastBv(TermId Id) {
   if (const PackedWord *Cached = bvCached(Id))
     return *Cached;
+  checkCancelTick();
   const Term &T = TT.get(Id);
   // Operand recursion runs before this term's own gates are built, so
   // restoring on exit attributes every fresh variable below to Id.
@@ -343,6 +346,7 @@ Lit BitBlaster::blastBool(TermId Id) {
   Lit Cached;
   if (boolCached(Id, Cached))
     return Cached;
+  checkCancelTick();
   const Term &T = TT.get(Id);
   TermId SavedOwner = CurOwner;
   CurOwner = Id;

@@ -13,6 +13,7 @@
 #define LV_SMT_BLAST_H
 
 #include "smt/Sat.h"
+#include "support/Cancel.h"
 #include "smt/Term.h"
 
 #include <array>
@@ -96,7 +97,8 @@ public:
   BitBlaster(const BitBlaster &O, SatSolver &NewS)
       : TT(O.TT), S(NewS), TrueLit(O.TrueLit), BoolCache(O.BoolCache),
         BvPool(O.BvPool), BvCache(O.BvCache), GateCache(O.GateCache),
-        VarsSeen(O.VarsSeen), VarOwner(O.VarOwner), CurOwner(O.CurOwner) {}
+        VarsSeen(O.VarsSeen), VarOwner(O.VarOwner), CurOwner(O.CurOwner),
+        CT(O.CT) {}
 
   /// Re-forks in place: like the fork constructor, but reuses this
   /// instance's existing buffer capacity (repeated forking stays pure
@@ -111,6 +113,7 @@ public:
     VarsSeen = O.VarsSeen;
     VarOwner = O.VarOwner;
     CurOwner = O.CurOwner;
+    CT = O.CT;
   }
 
   /// Blasts a bool term; the returned literal is equivalent to the term.
@@ -182,6 +185,16 @@ private:
   /// are constructed, so the save/restore discipline attributes every
   /// fresh variable to the right term).
   TermId CurOwner = NoTerm;
+  /// Captured at construction and preserved across fork()/assignFrom so
+  /// blasters running on tv worker threads still honour the owning
+  /// task's deadline. Null when no CancelScope is active.
+  const support::CancelToken *CT = support::currentCancelToken();
+  uint64_t BlastSteps = 0; ///< Fresh-blast tick for periodic cancel checks.
+
+  void checkCancelTick() {
+    if ((++BlastSteps & 0xFFF) == 0 && CT && CT->expired())
+      throw support::CancelledError("smt.blast");
+  }
 
   bool boolCached(TermId Id, Lit &Out) const {
     size_t I = static_cast<size_t>(Id);

@@ -2,6 +2,7 @@
 
 #include "smt/Sat.h"
 #include "obs/Metrics.h"
+#include "support/Cancel.h"
 
 #include <algorithm>
 #include <cassert>
@@ -819,6 +820,14 @@ SatResult SatSolver::solve(const std::vector<Lit> &Assumps,
   const uint64_t StartConflicts = Stats.Conflicts;
   const uint64_t StartProps = Stats.Propagations;
 
+  // A task deadline must be able to stop a long solve between conflicts
+  // and between decisions; budgets alone only bound the conflict path.
+  // Expiry exits through the ordinary Unknown path (solver stays usable,
+  // caller's next stage checkpoint raises the cancellation) rather than
+  // throwing from inside the search loop. Clock reads are amortised.
+  const support::CancelToken *CT = support::currentCancelToken();
+  uint64_t CancelTick = 0;
+
   int RestartNum = 0;
   uint64_t RestartLimit =
       static_cast<uint64_t>(100 * luby(2.0, RestartNum));
@@ -851,7 +860,8 @@ SatResult SatSolver::solve(const std::vector<Lit> &Assumps,
       Stats.SumLBD += Lbd;
       decayActivities();
       if (Stats.Conflicts - StartConflicts >= Budget.MaxConflicts ||
-          Stats.Propagations - StartProps >= Budget.MaxPropagations) {
+          Stats.Propagations - StartProps >= Budget.MaxPropagations ||
+          ((Stats.Conflicts & 0x3F) == 0 && CT && CT->expired())) {
         cancelUntil(0);
         return ProjectedExit(SatResult::Unknown);
       }
@@ -924,6 +934,10 @@ SatResult SatSolver::solve(const std::vector<Lit> &Assumps,
         Model[V] = static_cast<LBool>(AssignLit[2 * V]);
       cancelUntil(0);
       return SatResult::Sat;
+    }
+    if ((++CancelTick & 0x3FF) == 0 && CT && CT->expired()) {
+      cancelUntil(0);
+      return ProjectedExit(SatResult::Unknown);
     }
     ++Stats.Decisions;
     TrailLim.push_back(static_cast<int>(Trail.size()));

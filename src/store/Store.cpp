@@ -399,7 +399,34 @@ bool getProgram(Rd &R, interp::BytecodeProgram &P) {
 std::mutex HookM;
 ResultStore *HookOwner = nullptr;
 
+// Chaos file-fault hooks (see ChaosFileHooks in Store.h).
+std::mutex ChaosM;
+lv::store::ChaosFileHooks ChaosHooks;
+
+bool chaosFailAppend() {
+  std::function<bool()> F;
+  {
+    std::lock_guard<std::mutex> L(ChaosM);
+    F = ChaosHooks.FailAppend;
+  }
+  return F && F();
+}
+
+bool chaosFailLoad() {
+  std::function<bool()> F;
+  {
+    std::lock_guard<std::mutex> L(ChaosM);
+    F = ChaosHooks.FailLoad;
+  }
+  return F && F();
+}
+
 } // namespace
+
+void lv::store::setChaosFileHooks(ChaosFileHooks H) {
+  std::lock_guard<std::mutex> L(ChaosM);
+  ChaosHooks = std::move(H);
+}
 
 std::string lv::store::serializeEquivResult(const core::EquivResult &R) {
   std::string Out;
@@ -530,6 +557,16 @@ void ResultStore::load() {
   obs::Span LoadSpan("store", "store.load");
   LoadSpan.argStr("dir", Dir);
 
+  if (chaosFailLoad()) {
+    // Injected unreadable log. Degrade to a memory-only empty store and
+    // leave the file alone: openFresh() would rename a new header over a
+    // log that is merely unreadable right now, destroying good records a
+    // later open could still replay.
+    Stats.ReadFailed++;
+    obs::counter("store.read_failed").inc();
+    return;
+  }
+
   std::string Bytes;
   {
     std::FILE *F = std::fopen(LogPath.c_str(), "rb");
@@ -648,10 +685,15 @@ void ResultStore::appendRecord(uint8_t Kind, const std::string &Payload) {
   W.u32(crc32(reinterpret_cast<const uint8_t *>(Payload.data()),
               Payload.size()));
   Frame += Payload;
-  if (std::fwrite(Frame.data(), 1, Frame.size(), Log) != Frame.size()) {
+  // An injected failure short-circuits before fwrite, so nothing lands in
+  // the log (a simulated EIO must not leave real bytes behind).
+  if (chaosFailAppend() ||
+      std::fwrite(Frame.data(), 1, Frame.size(), Log) != Frame.size()) {
     // Disk full / I/O error: stop persisting, keep serving from memory.
     std::fclose(Log);
     Log = nullptr;
+    Stats.AppendFailed++;
+    obs::counter("store.append_failed").inc();
     return;
   }
   // Flush per record: a kill leaves at most the final record torn, which

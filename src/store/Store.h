@@ -43,6 +43,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -61,6 +62,10 @@ struct StoreStats {
   uint64_t Writes = 0;
   uint64_t CorruptSkipped = 0;  ///< Damaged tail records dropped on load.
   uint64_t VersionSkipped = 0;  ///< Incompatible stores set aside on load.
+  uint64_t AppendFailed = 0;    ///< Appends lost to I/O failure (then
+                                ///< memory-only; `store.append_failed`).
+  uint64_t ReadFailed = 0;      ///< Loads aborted by read failure (then
+                                ///< memory-only; `store.read_failed`).
   uint64_t LoadedEquiv = 0;     ///< Equivalence records loaded on open.
   uint64_t LoadedChecksum = 0;  ///< Checksum records loaded on open.
   uint64_t LoadedPrograms = 0;  ///< Bytecode programs loaded on open.
@@ -71,11 +76,32 @@ struct StoreStats {
     Writes += O.Writes;
     CorruptSkipped += O.CorruptSkipped;
     VersionSkipped += O.VersionSkipped;
+    AppendFailed += O.AppendFailed;
+    ReadFailed += O.ReadFailed;
     LoadedEquiv += O.LoadedEquiv;
     LoadedChecksum += O.LoadedChecksum;
     LoadedPrograms += O.LoadedPrograms;
   }
 };
+
+/// Fault-injection hooks for persistent-store I/O, the storage analogue of
+/// llm/Chaos.h's transport faults (see src/svc/README.md "Failure model").
+/// Process-global: set before opening/driving stores under test, clear by
+/// setting empty hooks. Each callback is polled once per candidate I/O and
+/// returns true to inject a failure:
+///   * FailAppend — the next record append fails as if fwrite hit EIO /
+///     disk-full: the log closes, the store degrades to memory-only
+///     (`StoreStats::AppendFailed`, `store.append_failed`). Nothing is
+///     written for the failed record, so the on-disk log stays clean.
+///   * FailLoad — the next open fails to read the log: the store starts
+///     memory-only and empty (`StoreStats::ReadFailed`, `store.read_failed`)
+///     WITHOUT touching the existing file — a transient read failure must
+///     never clobber a good log with a fresh one.
+struct ChaosFileHooks {
+  std::function<bool()> FailAppend;
+  std::function<bool()> FailLoad;
+};
+void setChaosFileHooks(ChaosFileHooks H);
 
 /// The persistent store. Thread-safe (one mutex over index + log handle);
 /// shareable between service instances via svc::ServiceConfig::SharedStore

@@ -10,6 +10,7 @@
 #include "support/Rng.h"
 #include "vir/Compile.h"
 
+#include <chrono>
 #include <stdexcept>
 
 using namespace lv;
@@ -21,6 +22,18 @@ const char *lv::svc::runModeName(RunMode M) {
   case RunMode::Generate: return "generate";
   case RunMode::Verify: return "verify";
   case RunMode::Sample: return "sample";
+  }
+  return "?";
+}
+
+const char *lv::svc::failureKindName(FailureKind K) {
+  switch (K) {
+  case FailureKind::None: return "none";
+  case FailureKind::ClientTransient: return "client-transient";
+  case FailureKind::ClientPermanent: return "client-permanent";
+  case FailureKind::TimedOut: return "timed-out";
+  case FailureKind::StageDegraded: return "stage-degraded";
+  case FailureKind::Internal: return "internal";
   }
   return "?";
 }
@@ -225,13 +238,43 @@ VectorizerService::waitBatch(const std::vector<Ticket> &Tickets) {
   return Out;
 }
 
+const Outcome *VectorizerService::waitFor(Ticket T, uint64_t TimeoutNanos) {
+  std::unique_lock<std::mutex> L(M);
+  Task &Tk = *Tasks.at(T);
+  if (!DoneCv.wait_for(L, std::chrono::nanoseconds(TimeoutNanos),
+                       [&] { return Tk.Done; }))
+    return nullptr; // timed-out sentinel: the task keeps running
+  return &Tk.Out;
+}
+
+std::vector<const Outcome *>
+VectorizerService::waitBatchFor(const std::vector<Ticket> &Tickets,
+                                uint64_t TimeoutNanos) {
+  // One absolute deadline shared by the whole batch: ticket i gets
+  // whatever budget the first i-1 waits left over.
+  uint64_t Deadline = support::steadyNowNanos() + TimeoutNanos;
+  std::vector<const Outcome *> Out;
+  Out.reserve(Tickets.size());
+  for (Ticket T : Tickets) {
+    uint64_t Now = support::steadyNowNanos();
+    Out.push_back(waitFor(T, Now < Deadline ? Deadline - Now : 0));
+  }
+  return Out;
+}
+
 CacheStats VectorizerService::cacheStats() const { return Cache->stats(); }
+
+VectorizerService::ResilienceStats VectorizerService::resilienceStats() const {
+  std::lock_guard<std::mutex> L(M);
+  return RStats;
+}
 
 namespace {
 
 std::string outcomeSummary(const Outcome &O) {
   if (O.Failed)
-    return O.Error.empty() ? "failed" : O.Error;
+    return std::string(failureKindName(O.Failure)) + ": " +
+           (O.Error.empty() ? "failed" : O.Error);
   if (O.VerifyRan)
     return core::outcomeName(O.Equiv.Final);
   if (O.Mode == RunMode::Sample)
@@ -247,9 +290,15 @@ std::string outcomeSummary(const Outcome &O) {
 void publishOutcome(const Outcome &O) {
   static obs::Counter &Tasks = obs::counter("svc.tasks");
   static obs::Counter &TasksFailed = obs::counter("svc.tasks_failed");
+  static obs::Counter &Timeouts = obs::counter("svc.timeouts");
+  static obs::Counter &Degraded = obs::counter("svc.degraded");
   Tasks.inc();
   if (O.Failed)
     TasksFailed.inc();
+  if (O.Failure == FailureKind::TimedOut)
+    Timeouts.inc();
+  if (O.Failure == FailureKind::StageDegraded)
+    Degraded.inc();
   obs::histogram("svc.task_ns").observe(O.WallNanos);
   if (O.VerifyRan) {
     // Per-stage wall nanos, sourced from the equiv stage spans.
@@ -290,16 +339,31 @@ void VectorizerService::workerLoop() {
       runTask(*T);
     } catch (const std::exception &E) {
       // Keep the failure on the task; a throw escaping a worker thread
-      // would std::terminate the whole service.
+      // would std::terminate the whole service. runTask classifies its
+      // own failures — anything reaching here escaped that net.
       T->Out.Failed = true;
       T->Out.Error = E.what();
+      if (T->Out.Failure == FailureKind::None)
+        T->Out.Failure = FailureKind::Internal;
     } catch (...) {
       T->Out.Failed = true;
       T->Out.Error = "unknown exception";
+      if (T->Out.Failure == FailureKind::None)
+        T->Out.Failure = FailureKind::Internal;
     }
     publishOutcome(T->Out);
     {
       std::lock_guard<std::mutex> L(M);
+      const Outcome &O = T->Out;
+      RStats.Retries += static_cast<uint64_t>(O.Retries);
+      switch (O.Failure) {
+      case FailureKind::None: break;
+      case FailureKind::ClientTransient: ++RStats.ClientTransient; break;
+      case FailureKind::ClientPermanent: ++RStats.ClientPermanent; break;
+      case FailureKind::TimedOut: ++RStats.Timeouts; break;
+      case FailureKind::StageDegraded: ++RStats.Degraded; break;
+      case FailureKind::Internal: ++RStats.Internal; break;
+      }
       T->Done = true;
     }
     DoneCv.notify_all();
@@ -325,7 +389,10 @@ VectorizerService::checkCached(const std::string &ScalarSrc,
     return R;
   }
   R = core::checkEquivalence(ScalarSrc, CandidateSrc, Cfg2);
-  Cache->storeEquiv(K, ScalarSrc, CandidateSrc, R);
+  // A cancelled result reflects this task's deadline, not the pair: caching
+  // it would poison every later lookup with a spurious Inconclusive.
+  if (!R.Cancelled)
+    Cache->storeEquiv(K, ScalarSrc, CandidateSrc, R);
   return R;
 }
 
@@ -366,22 +433,77 @@ static const char *taskSpanName(RunMode M) {
   return "task";
 }
 
+void VectorizerService::backoffSleep(int Attempt) {
+  if (!Cfg.RetryBackoffNanos)
+    return;
+  // Deterministic exponential backoff: attempt k sleeps Base << k. The
+  // sleep is cancellable, so backoff never outlives the task deadline
+  // (expiry unwinds into the TimedOut classification like any stage).
+  int Shift = Attempt < 20 ? Attempt : 20;
+  support::cancellableSleepNanos(Cfg.RetryBackoffNanos << Shift,
+                                 "svc.retry_backoff");
+}
+
 void VectorizerService::runTask(Task &T) {
   const Request &R = T.Req;
   Outcome &O = T.Out;
   O.Name = R.Name;
   O.Mode = R.Mode;
+  O.DeadlineNanos = R.DeadlineNanos;
   // The span owns the task wall clock: its destructor accumulates into
   // O.WallNanos even when a stage throws (workerLoop records the failed
   // task afterwards, wall included).
   obs::Span TaskSpan("svc", taskSpanName(R.Mode), &O.WallNanos);
   TaskSpan.argStr("task", R.Name);
 
+  // Arm the cooperative per-task deadline. The scope installs the token
+  // thread-locally so every checkpoint below this frame — FSM attempt
+  // loop, interpreter fuel checks, SAT budget loops, chaos latency
+  // sleeps — polls it without any config plumbing (and therefore without
+  // perturbing the configHash-keyed caches).
+  support::CancelToken Token;
+  if (R.DeadlineNanos)
+    Token.setDeadlineAfter(R.DeadlineNanos);
+  support::CancelScope Scope(&Token);
+
+  try {
+    runStages(T, Token);
+  } catch (const support::CancelledError &E) {
+    // Deadline expiry in a stage without its own partial-result recovery.
+    O.Failed = true;
+    O.Failure = FailureKind::TimedOut;
+    O.Error = std::string("timed out: ") + E.what();
+  } catch (const llm::ClientError &E) {
+    // Client error that escaped the retry loops (permanent, or thrown
+    // outside a retryable stage).
+    O.Failed = true;
+    O.Failure = E.Transient ? FailureKind::ClientTransient
+                            : FailureKind::ClientPermanent;
+    O.Error = E.what();
+  } catch (const std::exception &E) {
+    // Graceful degradation: if any stage already produced usable output,
+    // the outcome keeps it and the failure is classified as degraded
+    // rather than opaque-internal.
+    O.Failed = true;
+    O.Failure = (O.GenerateRan || O.VerifyRan || !O.Samples.empty())
+                    ? FailureKind::StageDegraded
+                    : FailureKind::Internal;
+    O.Error = E.what();
+  }
+}
+
+void VectorizerService::runStages(Task &T, support::CancelToken &Token) {
+  const Request &R = T.Req;
+  Outcome &O = T.Out;
+
   switch (R.Mode) {
   case RunMode::Generate:
   case RunMode::Pipeline: {
     std::unique_ptr<llm::LLMClient> Client = Cfg.MakeClient(
         Cfg.PerTaskSeedDerivation ? taskSeed(R.Seed, R.Name) : R.Seed);
+    if (Cfg.Chaos.enabled())
+      Client = llm::wrapChaos(std::move(Client), Cfg.Chaos,
+                              taskSeed(R.Seed, R.Name));
     agents::FsmConfig FC = R.Fsm;
     // The task-scoped reference memo: the scalar runs once per input set
     // across every repair attempt the FSM makes.
@@ -403,15 +525,55 @@ void VectorizerService::runTask(Task &T) {
       };
     }
     agents::MultiAgentFsm Fsm(*Client, FC);
-    O.Fsm = Fsm.run(R.ScalarSource);
+    // Bounded retries for transient client aborts. The SAME client runs
+    // every attempt: the chaos decorator's call index has advanced past
+    // the consumed fault and the inner completion stream is index-pure,
+    // so a successful retry replays the fault-free dialogue exactly —
+    // per-attempt state (FSM result, checksum tallies) resets so the
+    // surviving outcome is bit-identical to a run that never faulted.
+    for (int Attempt = 0;; ++Attempt) {
+      O.Fsm = agents::FsmResult();
+      O.ChecksumWork = StageInterpWork();
+      O.Fsm = Fsm.run(R.ScalarSource);
+      if (O.Fsm.Abort != agents::FsmAbort::ClientTransient ||
+          Attempt >= Cfg.ClientRetries || Token.expired())
+        break;
+      ++O.Retries;
+      obs::counter("svc.retries").inc();
+      backoffSleep(Attempt);
+    }
     O.GenerateRan = true;
-    if (R.Mode == RunMode::Pipeline && O.Fsm.Plausible) {
+    switch (O.Fsm.Abort) {
+    case agents::FsmAbort::None:
+      break;
+    case agents::FsmAbort::ClientTransient:
+      O.Failed = true;
+      O.Failure = FailureKind::ClientTransient;
+      O.Error = "client error (retries exhausted): " + O.Fsm.AbortMsg;
+      break;
+    case agents::FsmAbort::ClientPermanent:
+      O.Failed = true;
+      O.Failure = FailureKind::ClientPermanent;
+      O.Error = "client error: " + O.Fsm.AbortMsg;
+      break;
+    case agents::FsmAbort::Cancelled:
+      O.Failed = true;
+      O.Failure = FailureKind::TimedOut;
+      O.Error = "timed out: " + O.Fsm.AbortMsg;
+      break;
+    }
+    if (!O.Failed && R.Mode == RunMode::Pipeline && O.Fsm.Plausible) {
       O.Equiv = checkCached(R.ScalarSource, O.Fsm.FinalCandidate, R.Equiv,
                             O.VerdictCacheHit);
       O.VerifyRan = true;
       aggregateSatWork(O);
       if (O.Equiv.Final != core::EquivResult::CannotCompile)
         O.ChecksumWork.add(O.Equiv.ChecksumRes);
+      if (O.Equiv.Cancelled) {
+        O.Failed = true;
+        O.Failure = FailureKind::TimedOut;
+        O.Error = "timed out: " + O.Equiv.Detail;
+      }
     }
     break;
   }
@@ -423,6 +585,13 @@ void VectorizerService::runTask(Task &T) {
     aggregateSatWork(O);
     if (O.Equiv.Final != core::EquivResult::CannotCompile)
       O.ChecksumWork.add(O.Equiv.ChecksumRes);
+    if (O.Equiv.Cancelled) {
+      // The deadline cut the check short: the partial evidence stays on
+      // the outcome, the verdict is classified instead of trusted.
+      O.Failed = true;
+      O.Failure = FailureKind::TimedOut;
+      O.Error = "timed out: " + O.Equiv.Detail;
+    }
     break;
 
   case RunMode::Sample: {
@@ -435,77 +604,101 @@ void VectorizerService::runTask(Task &T) {
     // candidate set instead of once per sample.
     std::unique_ptr<llm::LLMClient> Client = Cfg.MakeClient(
         Cfg.PerTaskSeedDerivation ? taskSeed(R.Seed, R.Name) : R.Seed);
+    if (Cfg.Chaos.enabled())
+      Client = llm::wrapChaos(std::move(Client), Cfg.Chaos,
+                              taskSeed(R.Seed, R.Name));
     vir::CompileResult SC = vir::compileFunction(R.ScalarSource);
-    llm::Prompt P;
-    P.ScalarSource = R.ScalarSource;
-    O.Samples.reserve(static_cast<size_t>(R.SampleCount));
-    struct PendingCand {
-      std::string Source;
-      vir::VFunctionPtr Fn;
-      std::vector<size_t> Samples; ///< Sample indices sharing this source.
-    };
-    std::vector<PendingCand> Pending;
-    std::unordered_map<std::string, size_t> PendIdx;
-    uint64_t CCfgHash = R.Fsm.Checksum.configHash();
-    for (int I = 0; I < R.SampleCount; ++I) {
-      llm::Completion C = Client->complete(P, static_cast<uint64_t>(I));
-      SampleVerdict V;
-      V.Source = C.Source;
-      vir::CompileResult VC = vir::compileFunction(C.Source);
-      V.Compiles = VC.ok();
-      if (V.Compiles && SC.ok() &&
-          C.Source.find("_mm256_") != std::string::npos) {
-        interp::ChecksumOutcome CO;
-        bool Hit = false;
-        if (Cfg.EnableVerdictCache) {
-          VerdictCache::Key K =
-              VerdictCache::makeKey(R.ScalarSource, C.Source, CCfgHash);
-          Hit = Cache->lookupChecksum(K, R.ScalarSource, C.Source, CO);
-        }
-        if (Hit) {
-          V.Plausible = CO.Verdict == interp::TestVerdict::Plausible;
-          O.ChecksumWork.add(CO);
-        } else {
-          auto It = PendIdx.find(C.Source);
-          if (It != PendIdx.end()) {
-            Pending[It->second].Samples.push_back(O.Samples.size());
+    // One attempt of the whole sampling pass; completions are drawn by
+    // explicit index, so a retry on the same client replays the exact
+    // fault-free sample stream (see the Generate-mode retry note).
+    auto SampleAttempt = [&] {
+      llm::Prompt P;
+      P.ScalarSource = R.ScalarSource;
+      O.Samples.reserve(static_cast<size_t>(R.SampleCount));
+      struct PendingCand {
+        std::string Source;
+        vir::VFunctionPtr Fn;
+        std::vector<size_t> Samples; ///< Sample indices sharing this source.
+      };
+      std::vector<PendingCand> Pending;
+      std::unordered_map<std::string, size_t> PendIdx;
+      uint64_t CCfgHash = R.Fsm.Checksum.configHash();
+      for (int I = 0; I < R.SampleCount; ++I) {
+        llm::Completion C = Client->complete(P, static_cast<uint64_t>(I));
+        SampleVerdict V;
+        V.Source = C.Source;
+        vir::CompileResult VC = vir::compileFunction(C.Source);
+        V.Compiles = VC.ok();
+        if (V.Compiles && SC.ok() &&
+            C.Source.find("_mm256_") != std::string::npos) {
+          interp::ChecksumOutcome CO;
+          bool Hit = false;
+          if (Cfg.EnableVerdictCache) {
+            VerdictCache::Key K =
+                VerdictCache::makeKey(R.ScalarSource, C.Source, CCfgHash);
+            Hit = Cache->lookupChecksum(K, R.ScalarSource, C.Source, CO);
+          }
+          if (Hit) {
+            V.Plausible = CO.Verdict == interp::TestVerdict::Plausible;
+            O.ChecksumWork.add(CO);
           } else {
-            PendIdx.emplace(C.Source, Pending.size());
-            Pending.push_back(
-                {C.Source, std::move(VC.Fn), {O.Samples.size()}});
+            auto It = PendIdx.find(C.Source);
+            if (It != PendIdx.end()) {
+              Pending[It->second].Samples.push_back(O.Samples.size());
+            } else {
+              PendIdx.emplace(C.Source, Pending.size());
+              Pending.push_back(
+                  {C.Source, std::move(VC.Fn), {O.Samples.size()}});
+            }
           }
         }
+        O.Samples.push_back(std::move(V));
       }
-      O.Samples.push_back(std::move(V));
-    }
-    if (!Pending.empty()) {
-      std::vector<const vir::VFunction *> Fns;
-      Fns.reserve(Pending.size());
-      for (const PendingCand &PC : Pending)
-        Fns.push_back(PC.Fn.get());
-      interp::ChecksumBatchResult BR =
-          interp::runChecksumBatch(*SC.Fn, Fns, R.Fsm.Checksum);
-      uint64_t BatchSets = 0;
-      for (size_t I = 0; I < Pending.size(); ++I) {
-        const interp::ChecksumOutcome &CO = BR.Outcomes[I];
-        if (Cfg.EnableVerdictCache) {
-          VerdictCache::Key K = VerdictCache::makeKey(
-              R.ScalarSource, Pending[I].Source, CCfgHash);
-          Cache->storeChecksum(K, R.ScalarSource, Pending[I].Source, CO);
+      if (!Pending.empty()) {
+        std::vector<const vir::VFunction *> Fns;
+        Fns.reserve(Pending.size());
+        for (const PendingCand &PC : Pending)
+          Fns.push_back(PC.Fn.get());
+        interp::ChecksumBatchResult BR =
+            interp::runChecksumBatch(*SC.Fn, Fns, R.Fsm.Checksum);
+        uint64_t BatchSets = 0;
+        for (size_t I = 0; I < Pending.size(); ++I) {
+          const interp::ChecksumOutcome &CO = BR.Outcomes[I];
+          if (Cfg.EnableVerdictCache) {
+            VerdictCache::Key K = VerdictCache::makeKey(
+                R.ScalarSource, Pending[I].Source, CCfgHash);
+            Cache->storeChecksum(K, R.ScalarSource, Pending[I].Source, CO);
+          }
+          bool Plausible = CO.Verdict == interp::TestVerdict::Plausible;
+          for (size_t SI : Pending[I].Samples)
+            O.Samples[SI].Plausible = Plausible;
+          O.ChecksumWork.add(CO);
+          BatchSets += CO.Work.InputSets;
         }
-        bool Plausible = CO.Verdict == interp::TestVerdict::Plausible;
-        for (size_t SI : Pending[I].Samples)
-          O.Samples[SI].Plausible = Plausible;
-        O.ChecksumWork.add(CO);
-        BatchSets += CO.Work.InputSets;
+        // Shared reference work, counted once at batch level; every input
+        // set a candidate consumed beyond the references actually executed
+        // was a saved scalar run.
+        O.ChecksumWork.ScalarRuns += BR.ScalarRuns;
+        O.ChecksumWork.addWork(BR.ScalarWork);
+        if (BatchSets > BR.ScalarRuns)
+          O.ChecksumWork.ScalarRunsSaved += BatchSets - BR.ScalarRuns;
       }
-      // Shared reference work, counted once at batch level; every input
-      // set a candidate consumed beyond the references actually executed
-      // was a saved scalar run.
-      O.ChecksumWork.ScalarRuns += BR.ScalarRuns;
-      O.ChecksumWork.addWork(BR.ScalarWork);
-      if (BatchSets > BR.ScalarRuns)
-        O.ChecksumWork.ScalarRunsSaved += BatchSets - BR.ScalarRuns;
+    };
+    for (int Attempt = 0;; ++Attempt) {
+      try {
+        SampleAttempt();
+        break;
+      } catch (const llm::ClientError &E) {
+        if (!E.Transient || Attempt >= Cfg.ClientRetries || Token.expired())
+          throw; // runTask classifies it
+        // Drop the attempt's partial progress so the retry rebuilds the
+        // sample list from index 0 (cache hits replay identical verdicts).
+        O.Samples.clear();
+        O.ChecksumWork = StageInterpWork();
+        ++O.Retries;
+        obs::counter("svc.retries").inc();
+        backoffSleep(Attempt);
+      }
     }
     break;
   }
@@ -532,6 +725,10 @@ std::string lv::svc::debugString(const Outcome &O) {
   appendf(S, "outcome %s mode=%s\n", O.Name.c_str(), runModeName(O.Mode));
   if (O.Failed)
     appendf(S, " failed: %s\n", O.Error.c_str());
+  // Always printed: parity comparisons that expect retry tallies to
+  // differ (absorbed-fault vs fault-free runs) strip exactly this line.
+  appendf(S, " resilience: failure=%s retries=%d\n",
+          failureKindName(O.Failure), O.Retries);
   if (O.GenerateRan) {
     appendf(S, " fsm: plausible=%d attempts=%d\n", O.Fsm.Plausible ? 1 : 0,
             O.Fsm.Attempts);

@@ -39,7 +39,9 @@
 
 #include "agents/Fsm.h"
 #include "core/Equivalence.h"
+#include "llm/Chaos.h"
 #include "llm/Client.h"
+#include "support/Cancel.h"
 
 #include <condition_variable>
 #include <cstdint>
@@ -69,6 +71,21 @@ enum class RunMode : uint8_t {
 
 const char *runModeName(RunMode M);
 
+/// Failure taxonomy: how a task failed, when it did. Every Failed outcome
+/// carries exactly one kind; see src/svc/README.md "Failure model" for
+/// the full semantics, counters, and retry policy per kind.
+enum class FailureKind : uint8_t {
+  None,            ///< Not failed.
+  ClientTransient, ///< Retryable client error; retries were exhausted.
+  ClientPermanent, ///< Non-retryable client error.
+  TimedOut,        ///< Request.DeadlineNanos expired (cooperative cancel).
+  StageDegraded,   ///< A stage threw but earlier stages produced usable
+                   ///< partial results (kept on the Outcome).
+  Internal,        ///< Unexpected failure before any stage produced output.
+};
+
+const char *failureKindName(FailureKind K);
+
 /// Derives a per-task RNG stream from the experiment seed and the task's
 /// stable name. Order- and thread-count-independent by construction.
 uint64_t taskSeed(uint64_t Seed, const std::string &Name);
@@ -86,6 +103,11 @@ struct Request {
   core::EquivConfig Equiv;
   uint64_t Seed = 0xC60;    ///< LLM stream seed (Generate/Pipeline/Sample).
   int SampleCount = 1;      ///< Sample mode: completions to draw.
+  /// Per-task deadline (0 = none). Enforced cooperatively: the worker
+  /// arms a support::CancelToken that the FSM attempt loop, interpreter
+  /// fuel checks, and SAT budget loops poll; an expired task unwinds into
+  /// a classified TimedOut outcome with its partial progress intact.
+  uint64_t DeadlineNanos = 0;
 };
 
 /// One classified completion (Sample mode).
@@ -234,6 +256,14 @@ struct Outcome {
   bool Failed = false;
   std::string Error;
 
+  /// Failure taxonomy + resilience tallies. Failure is None unless Failed;
+  /// Retries counts transient-error retries consumed (a retried task that
+  /// eventually succeeded has Failed=false, Retries>0, and — by the retry
+  /// determinism contract — results bit-identical to a fault-free run).
+  FailureKind Failure = FailureKind::None;
+  int Retries = 0;
+  uint64_t DeadlineNanos = 0; ///< Echo of Request.DeadlineNanos.
+
   /// Convenience: the funnel's final word on this function.
   bool verified() const {
     return VerifyRan && Equiv.Final == core::EquivResult::Equivalent;
@@ -339,6 +369,20 @@ struct ServiceConfig {
   /// (seed, prompt, sample index) itself, and the paper-reproduction
   /// benches pin their expected streams to the verbatim layout.
   bool PerTaskSeedDerivation = false;
+  /// Retry budget for transient client errors (llm::ClientError with
+  /// Transient set), per task. The whole failed stage re-runs on the SAME
+  /// client instance, so a deterministic chaos schedule advances past the
+  /// consumed fault and a successful retry is bit-identical to a
+  /// fault-free run (see llm/Chaos.h).
+  int ClientRetries = 2;
+  /// Base backoff before retry k: RetryBackoffNanos << k (cancellable
+  /// sleep, so backoff never outlives the task deadline). 0 disables.
+  uint64_t RetryBackoffNanos = 1'000'000;
+  /// Transport-fault injection (llm/Chaos.h). When enabled, every task's
+  /// client is wrapped in the chaos decorator keyed by
+  /// taskSeed(Request.Seed, Request.Name) — per-task deterministic
+  /// schedules regardless of PerTaskSeedDerivation.
+  llm::ChaosConfig Chaos;
 };
 
 /// Handle for one submitted request.
@@ -370,12 +414,35 @@ public:
   /// Blocks until every listed task finished; outcomes in ticket order.
   std::vector<Outcome> waitBatch(const std::vector<Ticket> &Tickets);
 
+  /// wait() with a timeout: returns the outcome, or null when the task
+  /// has not finished within \p TimeoutNanos (the timed-out sentinel —
+  /// the task keeps running; poll again, wait(), or walk away). First
+  /// step toward the async poll API of ROADMAP item 1.
+  const Outcome *waitFor(Ticket T, uint64_t TimeoutNanos);
+
+  /// waitFor over a batch against ONE shared deadline \p TimeoutNanos
+  /// from now: entry i is null when ticket i had not finished by that
+  /// deadline, in ticket order.
+  std::vector<const Outcome *> waitBatchFor(const std::vector<Ticket> &Tickets,
+                                            uint64_t TimeoutNanos);
+
   CacheStats cacheStats() const;
   int workers() const { return NumWorkers; }
 
   /// The attached persistent store (own or shared); null when the service
   /// runs without persistence.
   store::ResultStore *resultStore() const { return Store; }
+
+  /// Resilience tallies aggregated over every finished task.
+  struct ResilienceStats {
+    uint64_t Retries = 0;  ///< Transient retries consumed (incl. absorbed).
+    uint64_t Timeouts = 0; ///< Tasks failed TimedOut.
+    uint64_t Degraded = 0; ///< Tasks failed StageDegraded.
+    uint64_t ClientTransient = 0; ///< Tasks failed ClientTransient.
+    uint64_t ClientPermanent = 0; ///< Tasks failed ClientPermanent.
+    uint64_t Internal = 0;        ///< Tasks failed Internal.
+  };
+  ResilienceStats resilienceStats() const;
 
 private:
   struct Task {
@@ -386,6 +453,8 @@ private:
 
   void workerLoop();
   void runTask(Task &T);
+  void runStages(Task &T, support::CancelToken &Token);
+  void backoffSleep(int Attempt);
   core::EquivResult checkCached(const std::string &ScalarSrc,
                                 const std::string &CandidateSrc,
                                 const core::EquivConfig &Cfg, bool &Hit);
@@ -403,11 +472,12 @@ private:
   std::unique_ptr<store::ResultStore> OwnStore; ///< Opened from StorePath.
   store::ResultStore *Store = nullptr;
 
-  std::mutex M;
+  mutable std::mutex M;
   std::condition_variable WorkCv; ///< Signals workers: queue or shutdown.
   std::condition_variable DoneCv; ///< Signals waiters: a task finished.
   std::deque<std::unique_ptr<Task>> Tasks; ///< Stable storage per ticket.
   std::deque<size_t> Pending;
+  ResilienceStats RStats; ///< Guarded by M.
   bool Stopping = false;
   std::vector<std::thread> Pool;
 };

@@ -5,6 +5,7 @@
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
 #include "smt/Solve.h"
+#include "support/Cancel.h"
 #include "support/Format.h"
 
 #include <algorithm>
@@ -270,6 +271,9 @@ static void emitQuerySpanArgs(obs::Span &S, const TVResult &Out, int CellLo,
 TVResult RefinementSession::Impl::query(int CellLo, int CellHi,
                                         const smt::SatBudget &Budget,
                                         bool Isolate) {
+  // Per-query deadline checkpoint: a cancelled task stops before the next
+  // solve, bounding deadline overshoot to one query's budget.
+  support::throwIfCancelled("tv.query");
   obs::Span S("tv", "tv.query");
   TVResult Out = queryBody(CellLo, CellHi, Budget, Isolate);
   emitQuerySpanArgs(S, Out, CellLo, CellHi - CellLo);
@@ -623,6 +627,7 @@ RefinementSession::Impl::queryBatch(const std::vector<int> &Cells,
     // No forking in shared-learnt sessions: sequential solves on the
     // shared base, in cell order, exactly like the sequential loop.
     for (size_t K = 0; K < NSolve; ++K) {
+      support::throwIfCancelled("tv.cell_solve");
       CellPlan &P = Plans[Solves[K]];
       auto SStart = nowNs();
       IS.restoreHeuristics();
@@ -636,6 +641,11 @@ RefinementSession::Impl::queryBatch(const std::vector<int> &Cells,
   } else if (NSolve > 0) {
     std::atomic<size_t> Next{0};
     std::vector<std::exception_ptr> Errs(NSolve);
+    // Thread-locals do not cross the fan-out: capture the task's token
+    // here and poll it in every worker, so a deadline expiring mid-batch
+    // drains the remaining solves immediately (the CancelledError lands
+    // in Errs and is rethrown after the join below).
+    support::CancelToken *ParentTok = support::currentCancelToken();
     auto workerFn = [&]() {
       // Thread-owned fork buffers: reused across this thread's solves,
       // never shared (the bases they fork from are only read).
@@ -646,6 +656,8 @@ RefinementSession::Impl::queryBatch(const std::vector<int> &Cells,
           return;
         CellPlan &P = Plans[Solves[K]];
         try {
+          if (ParentTok && ParentTok->expired())
+            throw support::CancelledError("tv.cell_solve");
           auto SStart = nowNs();
           TVResult Res = solveIsolated(P.Viol, Budget, SoundFork, FastFork,
                                        /*FastDirect=*/false, RaceFast);

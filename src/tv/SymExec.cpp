@@ -2,6 +2,7 @@
 
 #include "tv/SymExec.h"
 
+#include "support/Cancel.h"
 #include "support/Format.h"
 
 #include <cassert>
@@ -606,6 +607,9 @@ TermId SymExec::execNode(const Node &N, TermId Alive) {
     Loops.push_back(LoopCtx{T.mkFalse(), T.mkFalse()});
     size_t Depth = Loops.size() - 1;
     for (int K = 0; K < Opts.UnrollBound && Error.empty(); ++K) {
+      // Each unrolled iteration builds thousands of terms; a task past
+      // its deadline must stop between iterations, not after the bound.
+      support::throwIfCancelled("tv.symexec");
       execRegionGuardedMerge(N.CondCalc, L);
       SymVal C = s(N.CondReg);
       addUB(L, C.Poison);

@@ -383,4 +383,82 @@ TEST(Store, CrossProcessWarmStartIsByteIdentical) {
   }
 }
 
+// A failed append mid-run (simulated disk death via the chaos file hook)
+// degrades the store to memory-only: the failure is counted, later
+// lookups still hit the in-memory index, and the on-disk log keeps only
+// the records appended before the failure — intact and replayable.
+TEST(Store, AppendFailureMidRunDegradesToMemoryOnly) {
+  std::string Dir = scratchDir("chaos_append");
+  int Appends = 0;
+  ChaosFileHooks H;
+  H.FailAppend = [&Appends] { return ++Appends > 1; };
+  setChaosFileHooks(H);
+  {
+    ResultStore S(Dir);
+    seed(S, 3); // 9 appends attempted; only the first lands on disk
+    setChaosFileHooks(ChaosFileHooks());
+    EXPECT_FALSE(S.ok()) << "the log must close on the first failed append";
+    EXPECT_EQ(S.stats().AppendFailed, 1u)
+        << "only the first failure counts; the closed log rejects the rest";
+    // Memory-only service continues: every seeded entry still replays.
+    core::EquivResult R;
+    for (int I = 0; I < 3; ++I) {
+      std::string Scalar = "scalar-" + std::to_string(I);
+      std::string Cand = "cand-" + std::to_string(I);
+      EXPECT_TRUE(S.lookupEquiv(hashString(Scalar.c_str()),
+                                hashString(Cand.c_str()), 7, Scalar, Cand,
+                                R))
+          << "in-memory entry " << I << " lost after append failure";
+    }
+  }
+  // The surviving log holds exactly the pre-failure record and reopens
+  // cleanly (no torn tail, no corruption salvage).
+  ResultStore Reopened(Dir);
+  EXPECT_TRUE(Reopened.ok());
+  EXPECT_EQ(Reopened.stats().CorruptSkipped, 0u);
+  EXPECT_EQ(Reopened.stats().LoadedEquiv, 1u);
+  EXPECT_EQ(Reopened.stats().LoadedChecksum, 0u);
+  core::EquivResult R;
+  EXPECT_TRUE(Reopened.lookupEquiv(hashString("scalar-0"),
+                                   hashString("cand-0"), 7, "scalar-0",
+                                   "cand-0", R));
+  EXPECT_EQ(serializeEquivResult(R), serializeEquivResult(mkEquiv(0)));
+}
+
+// A read failure on open must start the store memory-only and empty
+// WITHOUT touching the existing log: a transient read error clobbering a
+// good log would turn a hiccup into permanent cache loss.
+TEST(Store, LoadFailureLeavesLogUntouched) {
+  std::string Dir = scratchDir("chaos_load");
+  {
+    ResultStore S(Dir);
+    seed(S, 2);
+  }
+  std::string Before = readFile(logPath(Dir));
+  ASSERT_FALSE(Before.empty());
+
+  bool Once = true;
+  ChaosFileHooks H;
+  H.FailLoad = [&Once] {
+    bool Fire = Once;
+    Once = false;
+    return Fire;
+  };
+  setChaosFileHooks(H);
+  {
+    ResultStore S(Dir);
+    setChaosFileHooks(ChaosFileHooks());
+    EXPECT_FALSE(S.ok());
+    EXPECT_EQ(S.stats().ReadFailed, 1u);
+    EXPECT_EQ(S.stats().LoadedEquiv, 0u) << "a failed load serves empty";
+  }
+  EXPECT_EQ(readFile(logPath(Dir)), Before)
+      << "a failed load must not rewrite or set aside the log";
+  // Next open (hook cleared) replays everything.
+  ResultStore S2(Dir);
+  EXPECT_TRUE(S2.ok());
+  EXPECT_EQ(S2.stats().LoadedEquiv, 2u);
+  EXPECT_EQ(S2.stats().ReadFailed, 0u);
+}
+
 } // namespace

@@ -109,6 +109,7 @@ struct ServiceStatTally {
   svc::CacheStats Cache;
   store::StoreStats Store;
   svc::VectorizerService::ResilienceStats Resilience;
+  support::BreakerStats Breaker;
 };
 
 ServiceStatTally &statTally() {
@@ -135,6 +136,14 @@ void lv::bench::noteServiceStats(const svc::VectorizerService &Service) {
   T.Resilience.ClientTransient += R.ClientTransient;
   T.Resilience.ClientPermanent += R.ClientPermanent;
   T.Resilience.Internal += R.Internal;
+  T.Resilience.Shed += R.Shed;
+  T.Resilience.JournalReplayed += R.JournalReplayed;
+  support::BreakerStats B = Service.breakerStats();
+  T.Breaker.Admitted += B.Admitted;
+  T.Breaker.Rejected += B.Rejected;
+  T.Breaker.Trips += B.Trips;
+  T.Breaker.Probes += B.Probes;
+  T.Breaker.Reclosed += B.Reclosed;
 }
 
 bool lv::bench::writeBenchJson(const std::string &BenchName,
@@ -173,13 +182,24 @@ bool lv::bench::writeBenchJson(const std::string &BenchName,
     appendf(J,
             "  \"resilience\": {\"retries\": %llu, \"timeouts\": %llu, "
             "\"degraded\": %llu, \"client_transient\": %llu, "
-            "\"client_permanent\": %llu, \"internal\": %llu},\n",
+            "\"client_permanent\": %llu, \"internal\": %llu, "
+            "\"shed\": %llu, \"journal_replayed\": %llu},\n",
             static_cast<unsigned long long>(T.Resilience.Retries),
             static_cast<unsigned long long>(T.Resilience.Timeouts),
             static_cast<unsigned long long>(T.Resilience.Degraded),
             static_cast<unsigned long long>(T.Resilience.ClientTransient),
             static_cast<unsigned long long>(T.Resilience.ClientPermanent),
-            static_cast<unsigned long long>(T.Resilience.Internal));
+            static_cast<unsigned long long>(T.Resilience.Internal),
+            static_cast<unsigned long long>(T.Resilience.Shed),
+            static_cast<unsigned long long>(T.Resilience.JournalReplayed));
+    appendf(J,
+            "  \"breaker\": {\"admitted\": %llu, \"rejected\": %llu, "
+            "\"trips\": %llu, \"probes\": %llu, \"reclosed\": %llu},\n",
+            static_cast<unsigned long long>(T.Breaker.Admitted),
+            static_cast<unsigned long long>(T.Breaker.Rejected),
+            static_cast<unsigned long long>(T.Breaker.Trips),
+            static_cast<unsigned long long>(T.Breaker.Probes),
+            static_cast<unsigned long long>(T.Breaker.Reclosed));
   }
   J += PayloadMembers;
   J += "\n}\n";

@@ -67,6 +67,7 @@ std::string stripResilience(const std::string &S) {
 struct ArmResult {
   std::vector<svc::Outcome> Outcomes;
   svc::VectorizerService::ResilienceStats Stats;
+  support::BreakerStats Breaker;
   bool BudgetHit = false; ///< A task outlived the harness wait budget.
 };
 
@@ -78,7 +79,57 @@ struct ArmSpec {
   uint64_t BackoffNanos = 0; ///< 0 in gates: backoff only stretches wall.
   uint64_t HarnessBudgetNanos = 600'000'000'000ULL;
   std::string StorePath;
+  // Overload / recovery knobs (PR 10).
+  size_t MaxQueueDepth = 0; ///< 0 = unbounded.
+  svc::ServiceConfig::AdmissionPolicy Admission =
+      svc::ServiceConfig::AdmissionPolicy::Shed;
+  support::BreakerConfig Breaker;
+  uint64_t HedgeAfterCalls = 0;
+  std::string JournalPath;
+  bool UsePriorities = false; ///< Priority = submit index % 3.
 };
+
+/// --store DIR: every arm that does not pin its own store directory (the
+/// storage-chaos arm does) runs against this one, so a killed run's torn
+/// on-disk state is exactly what the CI re-run must salvage.
+std::string DefaultStorePath;
+
+svc::ServiceConfig makeConfig(const ArmSpec &Spec) {
+  svc::ServiceConfig SC;
+  SC.Workers = Spec.Workers;
+  SC.Chaos = Spec.Chaos;
+  SC.ClientRetries = Spec.ClientRetries;
+  SC.RetryBackoffNanos = Spec.BackoffNanos;
+  SC.StorePath = Spec.StorePath.empty() ? DefaultStorePath : Spec.StorePath;
+  SC.MaxQueueDepth = Spec.MaxQueueDepth;
+  SC.Admission = Spec.Admission;
+  SC.Breaker = Spec.Breaker;
+  SC.HedgeAfterCalls = Spec.HedgeAfterCalls;
+  SC.JournalPath = Spec.JournalPath;
+  return SC;
+}
+
+std::vector<svc::Request>
+makeBatch(const std::vector<const tsvc::TsvcTest *> &Tests,
+          const ArmSpec &Spec, const core::EquivConfig &Equiv,
+          int MaxAttempts) {
+  std::vector<svc::Request> Batch;
+  Batch.reserve(Tests.size());
+  for (size_t I = 0; I < Tests.size(); ++I) {
+    svc::Request R;
+    R.Mode = svc::RunMode::Pipeline;
+    R.Name = Tests[I]->Name;
+    R.ScalarSource = Tests[I]->Source;
+    R.Seed = ExperimentSeed;
+    R.Fsm.MaxAttempts = MaxAttempts;
+    R.Equiv = Equiv;
+    R.DeadlineNanos = Spec.DeadlineNanos;
+    if (Spec.UsePriorities)
+      R.Priority = static_cast<int>(I % 3);
+    Batch.push_back(std::move(R));
+  }
+  return Batch;
+}
 
 /// One pipeline run of \p Tests under \p Spec. Collection goes through
 /// waitBatchFor so a task that somehow outlives its deadline turns into a
@@ -87,34 +138,15 @@ struct ArmSpec {
 ArmResult runArm(const std::vector<const tsvc::TsvcTest *> &Tests,
                  const ArmSpec &Spec, const core::EquivConfig &Equiv,
                  int MaxAttempts) {
-  svc::ServiceConfig SC;
-  SC.Workers = Spec.Workers;
-  SC.Chaos = Spec.Chaos;
-  SC.ClientRetries = Spec.ClientRetries;
-  SC.RetryBackoffNanos = Spec.BackoffNanos;
-  SC.StorePath = Spec.StorePath;
-  svc::VectorizerService Service(SC);
-
-  std::vector<svc::Request> Batch;
-  Batch.reserve(Tests.size());
-  for (const tsvc::TsvcTest *T : Tests) {
-    svc::Request R;
-    R.Mode = svc::RunMode::Pipeline;
-    R.Name = T->Name;
-    R.ScalarSource = T->Source;
-    R.Seed = ExperimentSeed;
-    R.Fsm.MaxAttempts = MaxAttempts;
-    R.Equiv = Equiv;
-    R.DeadlineNanos = Spec.DeadlineNanos;
-    Batch.push_back(std::move(R));
-  }
-  std::vector<svc::Ticket> Tickets = Service.submitBatch(std::move(Batch));
+  svc::VectorizerService Service(makeConfig(Spec));
+  std::vector<svc::Ticket> Tickets =
+      Service.submitBatch(makeBatch(Tests, Spec, Equiv, MaxAttempts));
 
   ArmResult Out;
-  std::vector<const svc::Outcome *> Ptrs =
+  std::vector<svc::VectorizerService::TaskStatus> Sts =
       Service.waitBatchFor(Tickets, Spec.HarnessBudgetNanos);
   for (size_t I = 0; I < Tickets.size(); ++I) {
-    const svc::Outcome *O = Ptrs[I];
+    const svc::Outcome *O = Sts[I].Out;
     if (!O) {
       Out.BudgetHit = true;
       O = &Service.wait(Tickets[I]);
@@ -122,6 +154,7 @@ ArmResult runArm(const std::vector<const tsvc::TsvcTest *> &Tests,
     Out.Outcomes.push_back(*O);
   }
   Out.Stats = Service.resilienceStats();
+  Out.Breaker = Service.breakerStats();
   noteServiceStats(Service);
   return Out;
 }
@@ -135,14 +168,19 @@ std::string armJson(const char *Name, const ArmResult &A) {
           "    {\"arm\": \"%s\", \"tasks\": %zu, \"failed\": %llu, "
           "\"retries\": %llu, \"timeouts\": %llu, \"degraded\": %llu, "
           "\"client_transient\": %llu, \"client_permanent\": %llu, "
-          "\"internal\": %llu}",
+          "\"internal\": %llu, \"shed\": %llu, \"journal_replayed\": %llu, "
+          "\"breaker_trips\": %llu, \"breaker_rejected\": %llu}",
           Name, A.Outcomes.size(), static_cast<unsigned long long>(Failed),
           static_cast<unsigned long long>(A.Stats.Retries),
           static_cast<unsigned long long>(A.Stats.Timeouts),
           static_cast<unsigned long long>(A.Stats.Degraded),
           static_cast<unsigned long long>(A.Stats.ClientTransient),
           static_cast<unsigned long long>(A.Stats.ClientPermanent),
-          static_cast<unsigned long long>(A.Stats.Internal));
+          static_cast<unsigned long long>(A.Stats.Internal),
+          static_cast<unsigned long long>(A.Stats.Shed),
+          static_cast<unsigned long long>(A.Stats.JournalReplayed),
+          static_cast<unsigned long long>(A.Breaker.Trips),
+          static_cast<unsigned long long>(A.Breaker.Rejected));
   return J;
 }
 
@@ -162,6 +200,7 @@ void gateClassified(const char *Arm, const ArmResult &A) {
 
 int main(int argc, char **argv) {
   BenchOptions Opt = parseBenchArgs(argc, argv);
+  DefaultStorePath = Opt.StorePath;
   bool Smoke = false;
   for (int I = 1; I < argc; ++I)
     if (std::strcmp(argv[I], "--smoke") == 0)
@@ -305,11 +344,174 @@ int main(int argc, char **argv) {
   }
   fs::remove_all(Dir, EC);
 
+  printHeader("arm 4: 4x overload — deterministic priority shedding");
+  // The batch is 4x the admission queue: admission happens under one lock
+  // hold, so exactly N - depth tasks lose (evict-weakest by priority, ties
+  // keep the earlier submission) and the shed set is a pure function of
+  // batch content — identical at every worker count.
+  ArmSpec Over;
+  Over.UsePriorities = true;
+  Over.MaxQueueDepth = Tests.size() / 4 > 0 ? Tests.size() / 4 : 1;
+  size_t ExpectShed = Tests.size() - Over.MaxQueueDepth;
+  Over.Workers = 1;
+  ArmResult OverBase = runArm(Tests, Over, Equiv, MaxAttempts);
+  gateClassified("overload", OverBase);
+  auto shedNames = [](const ArmResult &A) {
+    std::vector<std::string> N;
+    for (const svc::Outcome &O : A.Outcomes)
+      if (O.Failure == svc::FailureKind::Shed)
+        N.push_back(O.Name);
+    return N;
+  };
+  std::vector<std::string> ShedSet = shedNames(OverBase);
+  gate(ShedSet.size() == ExpectShed,
+       format("overload: exactly %zu of %zu tasks shed (queue depth %zu)",
+              ExpectShed, Tests.size(), Over.MaxQueueDepth));
+  {
+    bool SurvivorsClean = true;
+    for (size_t I = 0; I < OverBase.Outcomes.size(); ++I)
+      if (OverBase.Outcomes[I].Failure != svc::FailureKind::Shed)
+        SurvivorsClean = SurvivorsClean &&
+                         svc::debugString(OverBase.Outcomes[I]) ==
+                             svc::debugString(Baseline.Outcomes[I]);
+    gate(SurvivorsClean,
+         "overload: surviving tasks bit-identical to the unloaded baseline");
+  }
+  for (int W : {2, 8}) {
+    ArmSpec S = Over;
+    S.Workers = W;
+    ArmResult R = runArm(Tests, S, Equiv, MaxAttempts);
+    gate(shedNames(R) == ShedSet,
+         format("overload: %d workers shed the identical task set", W));
+  }
+  {
+    // Block policy under the same overload: nobody is shed, nobody is
+    // lost, and the submitter never deadlocks against the workers.
+    ArmSpec Block = Over;
+    Block.Workers = 2;
+    Block.Admission = svc::ServiceConfig::AdmissionPolicy::Block;
+    ArmResult R = runArm(Tests, Block, Equiv, MaxAttempts);
+    gateClassified("overload-block", R);
+    bool NoneShed = true, Identical = true;
+    for (size_t I = 0; I < R.Outcomes.size(); ++I) {
+      NoneShed =
+          NoneShed && R.Outcomes[I].Failure != svc::FailureKind::Shed;
+      Identical = Identical && svc::debugString(R.Outcomes[I]) ==
+                                   svc::debugString(Baseline.Outcomes[I]);
+    }
+    gate(NoneShed, "overload-block: blocking admission sheds nothing");
+    gate(Identical, "overload-block: results bit-identical to baseline");
+  }
+
+  printHeader("arm 5: circuit breaker + hedging");
+  ArmResult Tripped;
+  {
+    // Fault rates high enough that consecutive failures trip the breaker;
+    // rejected calls surface as transient client errors and classify like
+    // any fast-failing endpoint.
+    ArmSpec S;
+    S.Workers = 2;
+    S.Chaos.TransientRate = 0.9;
+    S.ClientRetries = 1;
+    S.Breaker.Enabled = true;
+    S.Breaker.TripFailures = 2;
+    S.Breaker.OpenRejects = 3;
+    Tripped = runArm(Tests, S, Equiv, MaxAttempts);
+    gateClassified("breaker", Tripped);
+    gate(Tripped.Breaker.Trips > 0, "breaker: tripped under sustained faults");
+    gate(Tripped.Breaker.Rejected > 0,
+         "breaker: open state rejected calls without touching the backend");
+  }
+  {
+    // Hedging with a fault-free backend: both arms return identical bytes
+    // (index-pure completions), so racing them changes latency only.
+    ArmSpec S;
+    S.Workers = 2;
+    S.HedgeAfterCalls = 1;
+    ArmResult R = runArm(Tests, S, Equiv, MaxAttempts);
+    gateClassified("hedged", R);
+    bool Identical = true;
+    for (size_t I = 0; I < R.Outcomes.size(); ++I)
+      Identical = Identical && svc::debugString(R.Outcomes[I]) ==
+                                   svc::debugString(Baseline.Outcomes[I]);
+    gate(Identical, "hedged: results bit-identical to unhedged baseline");
+  }
+
+  printHeader("arm 6: kill/resume — crash-recovery batch journal");
+  std::string JDir =
+      (fs::temp_directory_path() / "lv_chaos_bench_journal").string();
+  fs::remove_all(JDir, EC);
+  size_t CompletedBeforeKill = 0;
+  {
+    // Interrupted phase: journaled run, killed mid-batch. drain(0) is the
+    // in-process stand-in for SIGKILL: it stops the service at an
+    // arbitrary point with completions already journaled (CI additionally
+    // kills the whole process with a real SIGKILL and re-runs).
+    ArmSpec S;
+    S.Workers = 2;
+    S.JournalPath = JDir;
+    // Injected latency keeps every task slow even when a warm --store
+    // makes the compute near-instant — without it the whole batch can
+    // finish before drain() lands and there is no "mid-batch" left to
+    // gate. Latency never changes content, but the chaos config is part
+    // of the journal salt, so the resume phase must share it.
+    S.Chaos.LatencyRate = 1.0;
+    S.Chaos.LatencyNanos = 150'000'000;
+    svc::VectorizerService Service(makeConfig(S));
+    std::vector<svc::Ticket> Tickets =
+        Service.submitBatch(makeBatch(Tests, S, Equiv, MaxAttempts));
+    Service.wait(Tickets[0]); // ensure at least one completion journaled
+    svc::VectorizerService::DrainResult DR =
+        Service.drain(/*DeadlineNanos=*/0);
+    std::vector<svc::VectorizerService::TaskStatus> Sts =
+        Service.waitBatchFor(Tickets, 0);
+    bool AllSettled = true;
+    for (const svc::VectorizerService::TaskStatus &St : Sts) {
+      AllSettled = AllSettled && St.Out != nullptr;
+      if (St.Out && !St.Out->Failed)
+        ++CompletedBeforeKill;
+    }
+    gate(AllSettled, "kill: drain settles every task (done/cancelled/shed)");
+    gate(CompletedBeforeKill >= 1 && CompletedBeforeKill < Tests.size(),
+         format("kill: interrupted mid-batch (%zu of %zu complete, "
+                "%zu cancelled, %zu shed)",
+                CompletedBeforeKill, Tests.size(), DR.Cancelled, DR.Shed));
+    noteServiceStats(Service);
+  }
+  ArmResult Resumed;
+  {
+    // Resume phase: a fresh service on the same journal directory replays
+    // completed tasks and re-runs only the remainder.
+    ArmSpec S;
+    S.Workers = 2;
+    S.JournalPath = JDir;
+    S.Chaos.LatencyRate = 1.0; // same salt as the interrupted phase
+    S.Chaos.LatencyNanos = 150'000'000;
+    Resumed = runArm(Tests, S, Equiv, MaxAttempts);
+    gateClassified("resume", Resumed);
+    gate(Resumed.Stats.JournalReplayed == CompletedBeforeKill,
+         format("resume: replayed exactly the %zu journaled completions",
+                CompletedBeforeKill));
+    bool Identical = true;
+    for (size_t I = 0; I < Resumed.Outcomes.size(); ++I)
+      Identical = Identical && svc::debugString(Resumed.Outcomes[I]) ==
+                                   svc::debugString(Baseline.Outcomes[I]);
+    gate(Identical,
+         "resume: resumed batch byte-identical to the uninterrupted run");
+  }
+  fs::remove_all(JDir, EC);
+
   // JSON mirror.
   std::string Payload = "  \"smoke\": ";
   Payload += Smoke ? "true" : "false";
   appendf(Payload, ",\n  \"tests\": %zu,\n  \"gate_failures\": %d,\n",
           Tests.size(), GateFailures);
+  appendf(Payload,
+          "  \"kill_resume\": {\"completed_before_kill\": %zu, "
+          "\"replayed\": %llu, \"rerun\": %zu},\n",
+          CompletedBeforeKill,
+          static_cast<unsigned long long>(Resumed.Stats.JournalReplayed),
+          Tests.size() - CompletedBeforeKill);
   Payload += "  \"arms\": [\n";
   Payload += armJson("baseline", Baseline) + ",\n";
   Payload += armJson("absorbed", Absorbed);
@@ -318,6 +520,10 @@ int main(int argc, char **argv) {
     Payload += armJson(format("chaos_%.2f", Ladder[I]).c_str(),
                        LadderResults[I]);
   }
+  Payload += ",\n";
+  Payload += armJson("overload", OverBase) + ",\n";
+  Payload += armJson("breaker", Tripped) + ",\n";
+  Payload += armJson("kill_resume", Resumed);
   Payload += "\n  ]";
   writeBenchJson("chaos_funnel", Opt, Payload, "BENCH_chaos.json");
   writeObsArtifacts(Opt);

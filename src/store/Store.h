@@ -157,6 +157,10 @@ public:
   void enableBytecodePersistence();
   void disableBytecodePersistence();
 
+  /// Forces buffered log bytes to the OS (appendRecord already flushes per
+  /// record; drain calls this so teardown is explicit about durability).
+  void flush();
+
   StoreStats stats() const;
 
 private:

@@ -1,0 +1,178 @@
+//===- support/Breaker.h - counter-based circuit breaker --------*- C++ -*-===//
+///
+/// \file
+/// A circuit breaker for the LLM client seam, deliberately keyed off
+/// *call counts* instead of wall time so that breaker behaviour is a pure
+/// function of the sequence of call results — runs at different worker
+/// counts (or on different hardware) that see the same per-task fault
+/// schedule drive the breaker through the same transitions.
+///
+/// State machine (classic three-state, counters only):
+///
+///   Closed   -- TripFailures consecutive failures -->        Open
+///   Open     -- OpenRejects rejected admissions  -->         HalfOpen
+///   HalfOpen -- probe call succeeds -->                      Closed
+///   HalfOpen -- probe call fails -->                         Open
+///
+/// "Failure" means a fault the taxonomy already classifies as a client
+/// fault (transient or permanent); a success resets the consecutive-
+/// failure counter. In Open state every admission is rejected without
+/// touching the backend; after OpenRejects rejections the next admission
+/// is let through as the half-open probe. Exactly one probe is in flight
+/// at a time (admit() hands out the probe slot under the mutex).
+///
+/// Thread safety: one mutex guards all counters; the breaker is shared by
+/// every task of a service, which is precisely the point — it is the one
+/// deliberate piece of cross-task coupling in the failure path, and is
+/// therefore OFF by default and excluded from the bit-identity parity
+/// gates (see svc/README.md "Overload & recovery" for the determinism
+/// argument).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef LV_SUPPORT_BREAKER_H
+#define LV_SUPPORT_BREAKER_H
+
+#include <cstdint>
+#include <mutex>
+
+namespace lv {
+namespace support {
+
+/// Tuning knobs for CircuitBreaker. Defaults keep it disabled; enabling
+/// it is a per-service serving-policy decision, not a config-hash input
+/// (breaker state never changes a verdict, only whether a call is
+/// attempted).
+struct BreakerConfig {
+  bool Enabled = false;
+  /// Consecutive client failures that trip Closed -> Open.
+  uint32_t TripFailures = 5;
+  /// Admissions rejected while Open before the next one becomes the
+  /// half-open probe.
+  uint32_t OpenRejects = 8;
+};
+
+/// Monotonic tallies for reporting (bench JSON envelope, tests).
+struct BreakerStats {
+  uint64_t Admitted = 0; ///< calls let through (incl. probes)
+  uint64_t Rejected = 0; ///< calls refused while Open
+  uint64_t Trips = 0;    ///< Closed/HalfOpen -> Open transitions
+  uint64_t Probes = 0;   ///< half-open probe calls issued
+  uint64_t Reclosed = 0; ///< HalfOpen -> Closed recoveries
+};
+
+class CircuitBreaker {
+public:
+  enum class State { Closed, Open, HalfOpen };
+
+  explicit CircuitBreaker(const BreakerConfig &C = BreakerConfig()) : Cfg(C) {}
+
+  /// Asks permission to issue one backend call. Returns false when the
+  /// breaker is Open and the call must be rejected; a true return from
+  /// HalfOpen state is the probe call. Every admitted call MUST be
+  /// followed by exactly one onSuccess()/onFailure().
+  bool admit() {
+    if (!Cfg.Enabled)
+      return true;
+    std::lock_guard<std::mutex> L(M);
+    switch (St) {
+    case State::Closed:
+      ++Stats.Admitted;
+      return true;
+    case State::Open:
+      if (++RejectsWhileOpen >= Cfg.OpenRejects && !ProbeInFlight) {
+        St = State::HalfOpen;
+        ProbeInFlight = true;
+        ++Stats.Probes;
+        ++Stats.Admitted;
+        return true;
+      }
+      ++Stats.Rejected;
+      return false;
+    case State::HalfOpen:
+      if (!ProbeInFlight) {
+        ProbeInFlight = true;
+        ++Stats.Probes;
+        ++Stats.Admitted;
+        return true;
+      }
+      ++Stats.Rejected;
+      return false;
+    }
+    return true; // unreachable
+  }
+
+  /// Reports a successful admitted call.
+  void onSuccess() {
+    if (!Cfg.Enabled)
+      return;
+    std::lock_guard<std::mutex> L(M);
+    ConsecutiveFailures = 0;
+    if (St == State::HalfOpen) {
+      St = State::Closed;
+      ProbeInFlight = false;
+      RejectsWhileOpen = 0;
+      ++Stats.Reclosed;
+    }
+  }
+
+  /// Reports a failed admitted call (client fault, transient or
+  /// permanent).
+  void onFailure() {
+    if (!Cfg.Enabled)
+      return;
+    std::lock_guard<std::mutex> L(M);
+    if (St == State::HalfOpen) {
+      // Probe failed: back to Open, restart the reject countdown.
+      St = State::Open;
+      ProbeInFlight = false;
+      RejectsWhileOpen = 0;
+      ConsecutiveFailures = 0;
+      ++Stats.Trips;
+      return;
+    }
+    if (St == State::Closed && ++ConsecutiveFailures >= Cfg.TripFailures) {
+      St = State::Open;
+      RejectsWhileOpen = 0;
+      ConsecutiveFailures = 0;
+      ++Stats.Trips;
+    }
+  }
+
+  /// Reports an admitted call that completed without evidence either way
+  /// (e.g. cancelled by its task's deadline before the backend answered).
+  /// Frees a held probe slot without counting success or failure.
+  void onAbandoned() {
+    if (!Cfg.Enabled)
+      return;
+    std::lock_guard<std::mutex> L(M);
+    if (St == State::HalfOpen && ProbeInFlight)
+      ProbeInFlight = false;
+  }
+
+  State state() const {
+    std::lock_guard<std::mutex> L(M);
+    return St;
+  }
+
+  BreakerStats stats() const {
+    std::lock_guard<std::mutex> L(M);
+    return Stats;
+  }
+
+  const BreakerConfig &config() const { return Cfg; }
+
+private:
+  BreakerConfig Cfg;
+  mutable std::mutex M;
+  State St = State::Closed;
+  uint32_t ConsecutiveFailures = 0;
+  uint32_t RejectsWhileOpen = 0;
+  bool ProbeInFlight = false;
+  BreakerStats Stats;
+};
+
+} // namespace support
+} // namespace lv
+
+#endif // LV_SUPPORT_BREAKER_H

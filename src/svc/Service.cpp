@@ -2,14 +2,18 @@
 
 #include "svc/Service.h"
 
+#include "llm/Resilience.h"
 #include "obs/Flight.h"
 #include "obs/Metrics.h"
 #include "obs/Trace.h"
+#include "store/Framing.h"
+#include "store/Journal.h"
 #include "store/Store.h"
 #include "support/Format.h"
 #include "support/Rng.h"
 #include "vir/Compile.h"
 
+#include <algorithm>
 #include <chrono>
 #include <stdexcept>
 
@@ -34,6 +38,7 @@ const char *lv::svc::failureKindName(FailureKind K) {
   case FailureKind::TimedOut: return "timed-out";
   case FailureKind::StageDegraded: return "stage-degraded";
   case FailureKind::Internal: return "internal";
+  case FailureKind::Shed: return "shed";
   }
   return "?";
 }
@@ -153,7 +158,37 @@ CacheStats VerdictCache::stats() const {
 // VectorizerService
 //===----------------------------------------------------------------------===//
 
-VectorizerService::VectorizerService(ServiceConfig C) : Cfg(std::move(C)) {
+namespace {
+void publishOutcome(const Outcome &O); // defined with the worker loop below
+} // namespace
+
+/// Hashes the serving-policy knobs that can alter a *completed* outcome's
+/// bytes (chaos schedule, seed derivation, retry budget, breaker, hedging)
+/// so journal task keys never collide across configs whose outcomes could
+/// differ — a journal shared between a chaos run and a clean run must not
+/// replay one into the other.
+static uint64_t servingSalt(const ServiceConfig &C) {
+  uint64_t H = 0x5A17;
+  H = hashField(H, 1, C.PerTaskSeedDerivation ? 1 : 0);
+  H = hashField(H, 2, static_cast<uint64_t>(C.ClientRetries));
+  H = hashField(H, 3, C.Chaos.ChaosSeed);
+  H = hashField(H, 4, bitsOfDouble(C.Chaos.TransientRate));
+  H = hashField(H, 5, bitsOfDouble(C.Chaos.PermanentRate));
+  H = hashField(H, 6, bitsOfDouble(C.Chaos.TruncateRate));
+  H = hashField(H, 7, bitsOfDouble(C.Chaos.GarbageRate));
+  H = hashField(H, 8, bitsOfDouble(C.Chaos.LatencyRate));
+  H = hashField(H, 9, C.Chaos.TransientCallScript.size());
+  for (uint64_t I : C.Chaos.TransientCallScript)
+    H = hashCombine(H, I);
+  H = hashField(H, 10, C.Breaker.Enabled ? 1 : 0);
+  H = hashField(H, 11, C.Breaker.TripFailures);
+  H = hashField(H, 12, C.Breaker.OpenRejects);
+  H = hashField(H, 13, C.HedgeAfterCalls);
+  return H;
+}
+
+VectorizerService::VectorizerService(ServiceConfig C)
+    : Cfg(std::move(C)), Breaker(Cfg.Breaker) {
   NumWorkers = Cfg.Workers < 1 ? 1 : Cfg.Workers;
   Cache = Cfg.SharedCache ? Cfg.SharedCache : &OwnCache;
   if (Cfg.EnableVerdictCache) {
@@ -171,6 +206,10 @@ VectorizerService::VectorizerService(ServiceConfig C) : Cfg(std::move(C)) {
     }
     if (Store)
       Cache->setBacking(Store);
+  }
+  if (!Cfg.JournalPath.empty()) {
+    Journal.reset(new store::BatchJournal(Cfg.JournalPath));
+    JournalSalt = servingSalt(Cfg);
   }
   if (!Cfg.MakeClient)
     Cfg.MakeClient = llm::simulatedClientFactory();
@@ -193,31 +232,168 @@ VectorizerService::~VectorizerService() {
     Cache->setBacking(nullptr);
 }
 
+uint64_t VectorizerService::taskKey(const Request &R) const {
+  return hashCombine(requestKey(R), JournalSalt);
+}
+
+/// Marks \p T shed (M held). The outcome is complete immediately — a shed
+/// task is an answered task whose answer is "the service refused it".
+void VectorizerService::shedLocked(Task &T, const char *Why) {
+  T.Out.Name = T.Req.Name;
+  T.Out.Mode = T.Req.Mode;
+  T.Out.DeadlineNanos = T.Req.DeadlineNanos;
+  T.Out.Failed = true;
+  T.Out.Failure = FailureKind::Shed;
+  T.Out.Error = std::string("shed: ") + Why;
+  T.Done = true;
+  ++RStats.Shed;
+}
+
+/// Post-lock publication of shed tasks: counters + flight recorder (the
+/// shed decision itself must stay inside the admission critical section,
+/// but obs sinks have their own locks and don't belong under M).
+void VectorizerService::publishShed(const std::vector<Ticket> &Shed) {
+  if (Shed.empty())
+    return;
+  for (Ticket T : Shed) {
+    obs::counter("svc.shed").inc();
+    publishOutcome(Tasks[T]->Out); // Tasks entries are append-only: safe
+                                   // to read Out after Done without M.
+  }
+  DoneCv.notify_all();
+}
+
+/// The admission decision for one request, M held via \p L. Returns the
+/// ticket (always valid; a shed request's task is Done immediately).
+Ticket VectorizerService::admitLocked(std::unique_lock<std::mutex> &L,
+                                      Request R, std::vector<Ticket> &ShedOut) {
+  Ticket T = Tasks.size();
+  Tasks.push_back(std::unique_ptr<Task>(new Task()));
+  Task &Tk = *Tasks.back();
+  Tk.Req = std::move(R);
+
+  // A draining service sheds everything new.
+  if (Draining || Stopping) {
+    shedLocked(Tk, "service draining");
+    ShedOut.push_back(T);
+    return T;
+  }
+
+  // Crash recovery: a task whose identity is already journaled replays
+  // the stored outcome instead of running. Replay is exact (identity
+  // string verified) and complete (the serialized form covers every
+  // semantically meaningful field), so the batch converges on the same
+  // bytes an uninterrupted run would produce.
+  if (Journal) {
+    Tk.JournalKey = taskKey(Tk.Req);
+    std::string Payload;
+    if (Journal->lookupDone(Tk.JournalKey, requestIdentity(Tk.Req),
+                            Payload) &&
+        deserializeOutcome(Payload, Tk.Out)) {
+      Tk.Out.JournalReplayed = true;
+      Tk.Done = true;
+      ++RStats.JournalReplayed;
+      obs::counter("svc.journal_replayed").inc();
+      DoneCv.notify_all();
+      return T;
+    }
+  }
+
+  // Bounded admission queue.
+  if (Cfg.MaxQueueDepth > 0 && Pending.size() >= Cfg.MaxQueueDepth) {
+    if (Cfg.Admission == ServiceConfig::AdmissionPolicy::Block) {
+      // Backpressure: wait for a slot (workers drain Pending without
+      // needing this lock's waiter — wait() releases M).
+      auto HasSlot = [&] {
+        return Stopping || Draining || Pending.size() < Cfg.MaxQueueDepth;
+      };
+      if (Cfg.AdmissionBlockNanos == 0) {
+        AdmitCv.wait(L, HasSlot);
+      } else if (!AdmitCv.wait_for(
+                     L, std::chrono::nanoseconds(Cfg.AdmissionBlockNanos),
+                     HasSlot)) {
+        shedLocked(Tk, "admission queue full (block deadline)");
+        ShedOut.push_back(T);
+        return T;
+      }
+      if (Stopping || Draining) {
+        shedLocked(Tk, "service draining");
+        ShedOut.push_back(T);
+        return T;
+      }
+    } else {
+      // Deterministic priority shedding: find the weakest pending task —
+      // lowest priority, latest submission on ties (so ties keep older
+      // work). The incoming request must strictly beat it to enter.
+      auto Weakest = std::min_element(
+          Pending.begin(), Pending.end(), [&](size_t A, size_t B) {
+            int PA = Tasks[A]->Req.Priority, PB = Tasks[B]->Req.Priority;
+            if (PA != PB)
+              return PA < PB;
+            return A > B; // later submission is weaker
+          });
+      if (Weakest != Pending.end() &&
+          Tk.Req.Priority > Tasks[*Weakest]->Req.Priority) {
+        Task &Victim = *Tasks[*Weakest];
+        shedLocked(Victim, "evicted by higher-priority admission");
+        ShedOut.push_back(*Weakest);
+        Pending.erase(Weakest);
+      } else {
+        shedLocked(Tk, "admission queue full");
+        ShedOut.push_back(T);
+        return T;
+      }
+    }
+  }
+
+  Pending.push_back(T);
+  // Wake a worker now, not at the end of the batch: Block-policy
+  // admission of a *later* batch member may sleep on AdmitCv waiting for
+  // workers to drain this very task — a batch-end notify would deadlock
+  // against it.
+  WorkCv.notify_one();
+  return T;
+}
+
 Ticket VectorizerService::submit(Request R) {
+  std::vector<Ticket> Shed;
   Ticket T;
   {
-    std::lock_guard<std::mutex> L(M);
-    T = Tasks.size();
-    Tasks.push_back(std::unique_ptr<Task>(new Task()));
-    Tasks.back()->Req = std::move(R);
-    Pending.push_back(T);
+    std::unique_lock<std::mutex> L(M);
+    T = admitLocked(L, std::move(R), Shed);
   }
+  publishShed(Shed);
   WorkCv.notify_one();
   return T;
 }
 
 std::vector<Ticket> VectorizerService::submitBatch(std::vector<Request> B) {
   std::vector<Ticket> Out;
+  std::vector<Ticket> Shed;
   Out.reserve(B.size());
-  {
-    std::lock_guard<std::mutex> L(M);
-    for (Request &R : B) {
-      Out.push_back(Tasks.size());
-      Tasks.push_back(std::unique_ptr<Task>(new Task()));
-      Tasks.back()->Req = std::move(R);
-      Pending.push_back(Out.back());
-    }
+
+  // Journal the batch membership up front (batch identity = member task
+  // keys), so a post-kill inspection can tell a finished batch from one
+  // that died mid-flight.
+  if (Journal) {
+    std::vector<uint64_t> Keys;
+    Keys.reserve(B.size());
+    for (const Request &R : B)
+      Keys.push_back(taskKey(R));
+    Journal->beginBatch(Keys);
   }
+
+  {
+    // The whole batch is admitted under one mutex hold (Shed policy;
+    // Block waits release it), so admission decisions are a pure function
+    // of batch content + queue state, never of worker scheduling — the
+    // overload arm's shed-set identity across worker counts rests on
+    // this.
+    std::unique_lock<std::mutex> L(M);
+    for (Request &R : B)
+      Out.push_back(admitLocked(L, std::move(R), Shed));
+  }
+  publishShed(Shed);
   WorkCv.notify_all();
   return Out;
 }
@@ -247,19 +423,78 @@ const Outcome *VectorizerService::waitFor(Ticket T, uint64_t TimeoutNanos) {
   return &Tk.Out;
 }
 
-std::vector<const Outcome *>
+std::vector<VectorizerService::TaskStatus>
 VectorizerService::waitBatchFor(const std::vector<Ticket> &Tickets,
                                 uint64_t TimeoutNanos) {
   // One absolute deadline shared by the whole batch: ticket i gets
   // whatever budget the first i-1 waits left over.
   uint64_t Deadline = support::steadyNowNanos() + TimeoutNanos;
-  std::vector<const Outcome *> Out;
+  std::vector<TaskStatus> Out;
   Out.reserve(Tickets.size());
   for (Ticket T : Tickets) {
     uint64_t Now = support::steadyNowNanos();
-    Out.push_back(waitFor(T, Now < Deadline ? Deadline - Now : 0));
+    TaskStatus S;
+    S.Out = waitFor(T, Now < Deadline ? Deadline - Now : 0);
+    if (S.Out)
+      S.State = S.Out->Failure == FailureKind::Shed ? TaskState::Shed
+                                                    : TaskState::Done;
+    Out.push_back(S);
   }
   return Out;
+}
+
+VectorizerService::DrainResult
+VectorizerService::drain(uint64_t DeadlineNanos) {
+  DrainResult DR;
+  std::vector<Ticket> Shed;
+  {
+    std::unique_lock<std::mutex> L(M);
+    Draining = true;
+    AdmitCv.notify_all(); // blocked submitters wake up and shed
+
+    size_t DoneBefore = 0;
+    for (const std::unique_ptr<Task> &T : Tasks)
+      if (T->Done)
+        ++DoneBefore;
+
+    // Grace period: queued + in-flight work may still finish.
+    if (DeadlineNanos > 0)
+      DoneCv.wait_for(L, std::chrono::nanoseconds(DeadlineNanos),
+                      [&] { return Pending.empty() && Inflight == 0; });
+
+    size_t DoneInGrace = 0;
+    for (const std::unique_ptr<Task> &T : Tasks)
+      if (T->Done)
+        ++DoneInGrace;
+    DR.Completed = DoneInGrace - DoneBefore;
+
+    // Past the deadline: work that never started is shed ...
+    while (!Pending.empty()) {
+      size_t Idx = Pending.front();
+      Pending.pop_front();
+      shedLocked(*Tasks[Idx], "drain deadline");
+      Shed.push_back(Idx);
+      ++DR.Shed;
+    }
+    // ... and work in flight is cancelled through its token; the workers
+    // unwind at the next cooperative checkpoint into TimedOut outcomes
+    // with their partial evidence intact.
+    for (const std::unique_ptr<Task> &T : Tasks)
+      if (T->Started && !T->Done) {
+        T->Token.requestCancel();
+        ++DR.Cancelled;
+      }
+    DoneCv.wait(L, [&] { return Inflight == 0; });
+  }
+  publishShed(Shed);
+
+  // Durability before teardown: everything the batch produced is on disk
+  // when drain returns.
+  if (Journal)
+    Journal->flush();
+  if (Store)
+    Store->flush();
+  return DR;
 }
 
 CacheStats VectorizerService::cacheStats() const { return Cache->stats(); }
@@ -325,16 +560,40 @@ void publishOutcome(const Outcome &O) {
 } // namespace
 
 void VectorizerService::workerLoop() {
+  // RAII in-flight slot: released exactly once per dequeued task, on every
+  // exit path (normal completion, classified failure, a throw from the
+  // publication code below). Losing a slot would wedge MaxInflight gating
+  // and leave drain() waiting on Inflight forever.
+  struct SlotGuard {
+    VectorizerService *S;
+    ~SlotGuard() {
+      {
+        std::lock_guard<std::mutex> L(S->M);
+        --S->Inflight;
+      }
+      S->WorkCv.notify_all();  // an inflight-capped worker may proceed
+      S->AdmitCv.notify_all(); // a blocked submitter may re-check
+      S->DoneCv.notify_all();  // drain() waits on Inflight == 0
+    }
+  };
   for (;;) {
     Task *T;
     {
       std::unique_lock<std::mutex> L(M);
-      WorkCv.wait(L, [&] { return Stopping || !Pending.empty(); });
+      WorkCv.wait(L, [&] {
+        return Stopping ||
+               (!Pending.empty() &&
+                (Cfg.MaxInflight == 0 || Inflight < Cfg.MaxInflight));
+      });
       if (Stopping)
         return; // queued-but-unstarted tasks are abandoned on shutdown
       T = Tasks[Pending.front()].get(); // stable: deque of owning pointers
       Pending.pop_front();
+      T->Started = true;
+      ++Inflight;
     }
+    AdmitCv.notify_all(); // a queue slot freed up
+    SlotGuard Slot{this};
     try {
       runTask(*T);
     } catch (const std::exception &E) {
@@ -352,6 +611,14 @@ void VectorizerService::workerLoop() {
         T->Out.Failure = FailureKind::Internal;
     }
     publishOutcome(T->Out);
+    // Journal the completion before announcing it: a crash after the
+    // notify but before the append would let a caller observe a result
+    // that a restart then recomputes — harmless, but the reverse order
+    // keeps "observed => durable" simple. Only settled work is recorded;
+    // failures re-run on resume.
+    if (Journal && !T->Out.Failed)
+      Journal->recordDone(T->JournalKey, requestIdentity(T->Req),
+                          serializeOutcome(T->Out));
     {
       std::lock_guard<std::mutex> L(M);
       const Outcome &O = T->Out;
@@ -363,6 +630,7 @@ void VectorizerService::workerLoop() {
       case FailureKind::TimedOut: ++RStats.Timeouts; break;
       case FailureKind::StageDegraded: ++RStats.Degraded; break;
       case FailureKind::Internal: ++RStats.Internal; break;
+      case FailureKind::Shed: ++RStats.Shed; break; // defensive: sheds bypass workers
       }
       T->Done = true;
     }
@@ -460,8 +728,9 @@ void VectorizerService::runTask(Task &T) {
   // thread-locally so every checkpoint below this frame — FSM attempt
   // loop, interpreter fuel checks, SAT budget loops, chaos latency
   // sleeps — polls it without any config plumbing (and therefore without
-  // perturbing the configHash-keyed caches).
-  support::CancelToken Token;
+  // perturbing the configHash-keyed caches). The token lives on the Task
+  // (not this stack frame) so drain() can cancel in-flight work.
+  support::CancelToken &Token = T.Token;
   if (R.DeadlineNanos)
     Token.setDeadlineAfter(R.DeadlineNanos);
   support::CancelScope Scope(&Token);
@@ -492,6 +761,32 @@ void VectorizerService::runTask(Task &T) {
   }
 }
 
+std::unique_ptr<llm::LLMClient>
+VectorizerService::makeTaskClient(const Request &R) {
+  uint64_t TS = taskSeed(R.Seed, R.Name);
+  // ChaosSalt 0 keeps the primary arm's fault schedule byte-for-byte what
+  // it was before hedging existed; the secondary arm gets an independent
+  // schedule so the two arms don't fault in lockstep (a hedge that always
+  // fails with its primary absorbs nothing).
+  auto Build = [&](uint64_t ChaosSalt) {
+    std::unique_ptr<llm::LLMClient> C =
+        Cfg.MakeClient(Cfg.PerTaskSeedDerivation ? TS : R.Seed);
+    if (Cfg.Chaos.enabled())
+      C = llm::wrapChaos(std::move(C), Cfg.Chaos,
+                         ChaosSalt ? hashCombine(TS, ChaosSalt) : TS);
+    // Breaker sits above chaos: injected faults count toward the trip
+    // threshold, and a rejected call never consumes a chaos call index.
+    return llm::wrapBreaker(std::move(C), &Breaker);
+  };
+  std::unique_ptr<llm::LLMClient> Primary = Build(0);
+  if (Cfg.HedgeAfterCalls == 0)
+    return Primary;
+  // Both arms share the factory seed, so the inner completion streams are
+  // identical (index-pure): whichever arm wins returns the same bytes.
+  return llm::wrapHedge(std::move(Primary), Build(0x48ED6E),
+                        Cfg.HedgeAfterCalls);
+}
+
 void VectorizerService::runStages(Task &T, support::CancelToken &Token) {
   const Request &R = T.Req;
   Outcome &O = T.Out;
@@ -499,11 +794,7 @@ void VectorizerService::runStages(Task &T, support::CancelToken &Token) {
   switch (R.Mode) {
   case RunMode::Generate:
   case RunMode::Pipeline: {
-    std::unique_ptr<llm::LLMClient> Client = Cfg.MakeClient(
-        Cfg.PerTaskSeedDerivation ? taskSeed(R.Seed, R.Name) : R.Seed);
-    if (Cfg.Chaos.enabled())
-      Client = llm::wrapChaos(std::move(Client), Cfg.Chaos,
-                              taskSeed(R.Seed, R.Name));
+    std::unique_ptr<llm::LLMClient> Client = makeTaskClient(R);
     agents::FsmConfig FC = R.Fsm;
     // The task-scoped reference memo: the scalar runs once per input set
     // across every repair attempt the FSM makes.
@@ -602,11 +893,7 @@ void VectorizerService::runStages(Task &T, support::CancelToken &Token) {
     // run through one runChecksumBatch — the random images are built and
     // the scalar reference executed once per input set for the whole
     // candidate set instead of once per sample.
-    std::unique_ptr<llm::LLMClient> Client = Cfg.MakeClient(
-        Cfg.PerTaskSeedDerivation ? taskSeed(R.Seed, R.Name) : R.Seed);
-    if (Cfg.Chaos.enabled())
-      Client = llm::wrapChaos(std::move(Client), Cfg.Chaos,
-                              taskSeed(R.Seed, R.Name));
+    std::unique_ptr<llm::LLMClient> Client = makeTaskClient(R);
     vir::CompileResult SC = vir::compileFunction(R.ScalarSource);
     // One attempt of the whole sampling pass; completions are drawn by
     // explicit index, so a retry on the same client replays the exact
@@ -703,6 +990,206 @@ void VectorizerService::runStages(Task &T, support::CancelToken &Token) {
     break;
   }
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Outcome wire format (crash-recovery batch journal)
+//===----------------------------------------------------------------------===//
+
+uint64_t lv::svc::requestKey(const Request &R) {
+  uint64_t H = 0x52454B59; // "REKY"
+  H = hashField(H, 1, hashString(R.Name.c_str()));
+  H = hashField(H, 2, static_cast<uint64_t>(R.Mode));
+  H = hashField(H, 3, hashString(R.ScalarSource.c_str()));
+  H = hashField(H, 4, hashString(R.CandidateSource.c_str()));
+  H = hashField(H, 5, R.Seed);
+  H = hashField(H, 6, static_cast<uint64_t>(R.SampleCount));
+  H = hashField(H, 7, R.Fsm.configHash());
+  H = hashField(H, 8, R.Equiv.configHash());
+  return H;
+}
+
+std::string lv::svc::requestIdentity(const Request &R) {
+  std::string S;
+  store::framing::Wr W{S};
+  W.str(R.Name);
+  W.u8(static_cast<uint8_t>(R.Mode));
+  W.str(R.ScalarSource);
+  W.str(R.CandidateSource);
+  W.u64(R.Seed);
+  W.i32(R.SampleCount);
+  W.u64(R.Fsm.configHash());
+  W.u64(R.Equiv.configHash());
+  return S;
+}
+
+namespace {
+
+void putSatWork(store::framing::Wr &W, const StageSatWork &SW) {
+  W.u64(SW.Conflicts);
+  W.u64(SW.Propagations);
+  W.u64(SW.Restarts);
+  W.u64(SW.TrailReused);
+  W.u64(SW.PortfolioFastWins);
+  W.u64(SW.PortfolioSoundWins);
+  W.u64(SW.PortfolioFallbacks);
+  W.u64(SW.FastConflicts);
+  W.u64(SW.FastPropagations);
+}
+
+void getSatWork(store::framing::Rd &R, StageSatWork &SW) {
+  SW.Conflicts = R.u64();
+  SW.Propagations = R.u64();
+  SW.Restarts = R.u64();
+  SW.TrailReused = R.u64();
+  SW.PortfolioFastWins = R.u64();
+  SW.PortfolioSoundWins = R.u64();
+  SW.PortfolioFallbacks = R.u64();
+  SW.FastConflicts = R.u64();
+  SW.FastPropagations = R.u64();
+}
+
+} // namespace
+
+std::string lv::svc::serializeOutcome(const Outcome &O) {
+  std::string S;
+  store::framing::Wr W{S};
+  W.str(O.Name);
+  W.u8(static_cast<uint8_t>(O.Mode));
+
+  W.u8(O.GenerateRan ? 1 : 0);
+  W.u8(O.Fsm.Plausible ? 1 : 0);
+  W.i32(O.Fsm.Attempts);
+  W.str(O.Fsm.FinalCandidate);
+  W.str(store::serializeChecksumOutcome(O.Fsm.LastChecksum));
+  W.u32(static_cast<uint32_t>(O.Fsm.Transcript.size()));
+  for (const agents::Message &Msg : O.Fsm.Transcript) {
+    W.str(Msg.From);
+    W.str(Msg.To);
+    W.str(Msg.Content);
+  }
+  W.u32(static_cast<uint32_t>(O.Fsm.Transitions.size()));
+  for (agents::State St : O.Fsm.Transitions)
+    W.u8(static_cast<uint8_t>(St));
+  W.u8(static_cast<uint8_t>(O.Fsm.Abort));
+  W.str(O.Fsm.AbortMsg);
+
+  W.u8(O.VerifyRan ? 1 : 0);
+  W.str(store::serializeEquivResult(O.Equiv));
+  // Work aggregates are serialized, not recomputed on replay: cache-replay
+  // aggregates describe what the stored verdict originally cost, and the
+  // journal keeps that contract so resumed bench tallies match.
+  putSatWork(W, O.Alive2Work);
+  putSatWork(W, O.CUnrollWork);
+  putSatWork(W, O.SplitWork);
+  W.u64(O.ChecksumWork.ChecksumCalls);
+  W.u64(O.ChecksumWork.InputSets);
+  W.u64(O.ChecksumWork.CandRuns);
+  W.u64(O.ChecksumWork.ScalarRuns);
+  W.u64(O.ChecksumWork.ScalarRunsSaved);
+  W.u64(O.ChecksumWork.Instrs);
+  W.u64(O.ChecksumWork.Loads);
+  W.u64(O.ChecksumWork.Stores);
+  W.u64(O.ChecksumWork.Branches);
+  W.u64(O.ChecksumWork.Traps);
+  W.u64(O.ChecksumWork.Hangs);
+
+  W.u32(static_cast<uint32_t>(O.Samples.size()));
+  for (const SampleVerdict &V : O.Samples) {
+    W.str(V.Source);
+    W.u8(V.Compiles ? 1 : 0);
+    W.u8(V.Plausible ? 1 : 0);
+  }
+
+  W.u8(O.Failed ? 1 : 0);
+  W.str(O.Error);
+  W.u8(static_cast<uint8_t>(O.Failure));
+  W.i32(O.Retries);
+  W.u64(O.DeadlineNanos);
+  return S;
+}
+
+bool lv::svc::deserializeOutcome(const std::string &Bytes, Outcome &Out) {
+  store::framing::Rd R(Bytes);
+  Outcome O;
+  O.Name = R.str();
+  uint8_t Mode = R.u8();
+  if (Mode > static_cast<uint8_t>(RunMode::Sample))
+    return false;
+  O.Mode = static_cast<RunMode>(Mode);
+
+  O.GenerateRan = R.u8() != 0;
+  O.Fsm.Plausible = R.u8() != 0;
+  O.Fsm.Attempts = R.i32();
+  O.Fsm.FinalCandidate = R.str();
+  if (!store::deserializeChecksumOutcome(R.str(), O.Fsm.LastChecksum))
+    return false;
+  uint32_t NMsg = R.u32();
+  if (R.Fail)
+    return false;
+  for (uint32_t I = 0; I < NMsg && !R.Fail; ++I) {
+    agents::Message Msg;
+    Msg.From = R.str();
+    Msg.To = R.str();
+    Msg.Content = R.str();
+    O.Fsm.Transcript.push_back(std::move(Msg));
+  }
+  uint32_t NTrans = R.u32();
+  if (R.Fail)
+    return false;
+  for (uint32_t I = 0; I < NTrans && !R.Fail; ++I) {
+    uint8_t St = R.u8();
+    if (St > static_cast<uint8_t>(agents::State::Failed))
+      return false;
+    O.Fsm.Transitions.push_back(static_cast<agents::State>(St));
+  }
+  uint8_t Abort = R.u8();
+  if (Abort > static_cast<uint8_t>(agents::FsmAbort::Cancelled))
+    return false;
+  O.Fsm.Abort = static_cast<agents::FsmAbort>(Abort);
+  O.Fsm.AbortMsg = R.str();
+
+  O.VerifyRan = R.u8() != 0;
+  if (!store::deserializeEquivResult(R.str(), O.Equiv))
+    return false;
+  getSatWork(R, O.Alive2Work);
+  getSatWork(R, O.CUnrollWork);
+  getSatWork(R, O.SplitWork);
+  O.ChecksumWork.ChecksumCalls = R.u64();
+  O.ChecksumWork.InputSets = R.u64();
+  O.ChecksumWork.CandRuns = R.u64();
+  O.ChecksumWork.ScalarRuns = R.u64();
+  O.ChecksumWork.ScalarRunsSaved = R.u64();
+  O.ChecksumWork.Instrs = R.u64();
+  O.ChecksumWork.Loads = R.u64();
+  O.ChecksumWork.Stores = R.u64();
+  O.ChecksumWork.Branches = R.u64();
+  O.ChecksumWork.Traps = R.u64();
+  O.ChecksumWork.Hangs = R.u64();
+
+  uint32_t NSamples = R.u32();
+  if (R.Fail)
+    return false;
+  for (uint32_t I = 0; I < NSamples && !R.Fail; ++I) {
+    SampleVerdict V;
+    V.Source = R.str();
+    V.Compiles = R.u8() != 0;
+    V.Plausible = R.u8() != 0;
+    O.Samples.push_back(std::move(V));
+  }
+
+  O.Failed = R.u8() != 0;
+  O.Error = R.str();
+  uint8_t FK = R.u8();
+  if (FK > static_cast<uint8_t>(FailureKind::Shed))
+    return false;
+  O.Failure = static_cast<FailureKind>(FK);
+  O.Retries = R.i32();
+  O.DeadlineNanos = R.u64();
+  if (R.Fail || !R.done())
+    return false;
+  Out = std::move(O);
+  return true;
 }
 
 //===----------------------------------------------------------------------===//

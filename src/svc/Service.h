@@ -41,6 +41,7 @@
 #include "core/Equivalence.h"
 #include "llm/Chaos.h"
 #include "llm/Client.h"
+#include "support/Breaker.h"
 #include "support/Cancel.h"
 
 #include <condition_variable>
@@ -56,6 +57,7 @@
 namespace lv {
 
 namespace store {
+class BatchJournal;
 class ResultStore;
 }
 
@@ -82,6 +84,9 @@ enum class FailureKind : uint8_t {
   StageDegraded,   ///< A stage threw but earlier stages produced usable
                    ///< partial results (kept on the Outcome).
   Internal,        ///< Unexpected failure before any stage produced output.
+  Shed,            ///< Refused admission (queue full, lower priority than
+                   ///< the competition, or the service was draining). The
+                   ///< task never ran; nothing is cached or journaled.
 };
 
 const char *failureKindName(FailureKind K);
@@ -108,6 +113,12 @@ struct Request {
   /// fuel checks, and SAT budget loops poll; an expired task unwinds into
   /// a classified TimedOut outcome with its partial progress intact.
   uint64_t DeadlineNanos = 0;
+  /// Admission priority under overload (higher = keep). When the bounded
+  /// queue is full under the Shed policy, the lowest-priority pending
+  /// task loses its slot; ties keep the earlier submission. Priority is
+  /// serving metadata, not task identity — it does not participate in
+  /// cache keys or the journal task key.
+  int Priority = 0;
 };
 
 /// One classified completion (Sample mode).
@@ -248,6 +259,10 @@ struct Outcome {
 
   uint64_t WallNanos = 0;      ///< Task wall time on its worker.
   bool VerdictCacheHit = false; ///< Equivalence verdict served from cache.
+  /// Served from the crash-recovery batch journal instead of running
+  /// (run-variant metadata like WallNanos — excluded from debugString, so
+  /// resumed batches stay byte-identical to uninterrupted ones).
+  bool JournalReplayed = false;
 
   /// Set when the task threw instead of completing (e.g. encoding memout
   /// escalated to bad_alloc); the failure stays on this task instead of
@@ -383,6 +398,55 @@ struct ServiceConfig {
   /// taskSeed(Request.Seed, Request.Name) — per-task deterministic
   /// schedules regardless of PerTaskSeedDerivation.
   llm::ChaosConfig Chaos;
+
+  //===------------------------------------------------------------------===//
+  // Overload protection + crash recovery (see svc/README.md "Overload &
+  // recovery"). All defaults preserve the pre-overload behaviour exactly:
+  // unbounded admission, no breaker, no hedging, no journal.
+  //===------------------------------------------------------------------===//
+
+  /// What a full admission queue does with new work.
+  enum class AdmissionPolicy : uint8_t {
+    Shed, ///< Deterministic priority eviction: the lowest-priority pending
+          ///< task is shed (ties keep the earlier submission); an incoming
+          ///< request that does not beat the weakest pending one is shed
+          ///< itself. Decisions depend only on queue content, never on
+          ///< worker scheduling, so the shed set is identical at any
+          ///< worker count for a burst into an idle service.
+    Block, ///< submit() blocks until a slot frees or AdmissionBlockNanos
+           ///< elapses (then the request is shed). Backpressure for
+           ///< callers that prefer waiting to losing work.
+  };
+
+  /// Pending tasks the admission queue holds (0 = unbounded, the seed
+  /// behaviour). Tasks already running do not count against the depth.
+  size_t MaxQueueDepth = 0;
+  /// Concurrently *running* tasks (0 = no cap beyond Workers). Lets a
+  /// wide pool be throttled without resizing it, e.g. while draining.
+  size_t MaxInflight = 0;
+  AdmissionPolicy Admission = AdmissionPolicy::Shed;
+  /// Block policy: how long submit() may wait for a queue slot before
+  /// shedding the request anyway. 0 = wait forever.
+  uint64_t AdmissionBlockNanos = 0;
+
+  /// Circuit breaker over every task's LLM client (support/Breaker.h).
+  /// Per-service shared state, counter-driven; disabled by default — an
+  /// enabled breaker deliberately couples tasks through the failure path,
+  /// so the worker-count bit-identity gates run with it off.
+  support::BreakerConfig Breaker;
+  /// Hedged generate requests: per-client calls numbered >=
+  /// HedgeAfterCalls race a second index-pure completion stream and keep
+  /// the first arrival (0 = disabled). Content-deterministic as long as
+  /// content chaos (Truncate/Garbage) is off — both arms return identical
+  /// bytes on success.
+  uint64_t HedgeAfterCalls = 0;
+
+  /// Directory of the crash-recovery batch journal (store/Journal.h).
+  /// When set, completed (non-failed) task outcomes are journaled as they
+  /// finish, and submissions whose task key is already journaled replay
+  /// the stored outcome instead of running — so a process killed
+  /// mid-batch re-runs only the remainder after restart. Empty: off.
+  std::string JournalPath;
 };
 
 /// Handle for one submitted request.
@@ -401,10 +465,15 @@ public:
   VectorizerService(const VectorizerService &) = delete;
   VectorizerService &operator=(const VectorizerService &) = delete;
 
-  /// Enqueues one request; workers pick it up immediately.
+  /// Enqueues one request; workers pick it up immediately. Under a full
+  /// bounded queue the request (or a weaker pending one) is shed per the
+  /// admission policy — the ticket is always valid, and a shed task is
+  /// immediately Done with FailureKind::Shed.
   Ticket submit(Request R);
 
-  /// Enqueues a batch; tickets are in input order.
+  /// Enqueues a batch; tickets are in input order. With a journal
+  /// attached, batch membership is journaled and already-completed tasks
+  /// replay their stored outcomes instead of running.
   std::vector<Ticket> submitBatch(std::vector<Request> Batch);
 
   /// Blocks until the ticket's task finished. The reference stays valid
@@ -420,11 +489,25 @@ public:
   /// step toward the async poll API of ROADMAP item 1.
   const Outcome *waitFor(Ticket T, uint64_t TimeoutNanos);
 
+  /// Per-task disposition of a timed batch wait: a slow task and a shed
+  /// one are different answers, and callers should not have to parse
+  /// debugString to tell them apart.
+  enum class TaskState : uint8_t {
+    Done,    ///< Finished (successfully or with any non-shed failure).
+    Pending, ///< Still queued or running when the wait deadline fired.
+    Shed,    ///< Refused admission; the Outcome carries FailureKind::Shed.
+  };
+  struct TaskStatus {
+    TaskState State = TaskState::Pending;
+    const Outcome *Out = nullptr; ///< Null exactly when State == Pending.
+  };
+
   /// waitFor over a batch against ONE shared deadline \p TimeoutNanos
-  /// from now: entry i is null when ticket i had not finished by that
-  /// deadline, in ticket order.
-  std::vector<const Outcome *> waitBatchFor(const std::vector<Ticket> &Tickets,
-                                            uint64_t TimeoutNanos);
+  /// from now: entry i reports ticket i's state at (or before) that
+  /// deadline, in ticket order. Pending tasks keep running — poll again,
+  /// wait(), or walk away.
+  std::vector<TaskStatus> waitBatchFor(const std::vector<Ticket> &Tickets,
+                                       uint64_t TimeoutNanos);
 
   CacheStats cacheStats() const;
   int workers() const { return NumWorkers; }
@@ -441,19 +524,51 @@ public:
     uint64_t ClientTransient = 0; ///< Tasks failed ClientTransient.
     uint64_t ClientPermanent = 0; ///< Tasks failed ClientPermanent.
     uint64_t Internal = 0;        ///< Tasks failed Internal.
+    uint64_t Shed = 0;            ///< Tasks shed at admission or drain.
+    uint64_t JournalReplayed = 0; ///< Tasks served from the batch journal.
   };
   ResilienceStats resilienceStats() const;
+
+  /// The per-service circuit breaker's tallies (all zero when disabled).
+  support::BreakerStats breakerStats() const { return Breaker.stats(); }
+
+  /// The attached batch journal; null when JournalPath was empty.
+  store::BatchJournal *journal() const { return Journal.get(); }
+
+  /// What drain() did with the work it found.
+  struct DrainResult {
+    size_t Completed = 0; ///< Tasks that finished inside the deadline.
+    size_t Cancelled = 0; ///< In-flight tasks cancelled at the deadline.
+    size_t Shed = 0;      ///< Queued tasks shed at the deadline.
+  };
+
+  /// Graceful teardown: stops admission (later submits are shed), gives
+  /// queued + in-flight work \p DeadlineNanos to finish, then sheds what
+  /// never started and cancels what is still running via the per-task
+  /// CancelTokens (cancelled tasks classify TimedOut, with partial
+  /// evidence intact, exactly like a per-task deadline). Flushes the
+  /// journal and the result store before returning, so a process exit
+  /// right after drain() loses nothing. Idempotent; the destructor may
+  /// still be used alone (drain is opt-in politeness, not a prerequisite).
+  DrainResult drain(uint64_t DeadlineNanos);
 
 private:
   struct Task {
     Request Req;
     Outcome Out;
     bool Done = false;
+    bool Started = false;          ///< Dequeued by a worker (under M).
+    support::CancelToken Token;    ///< Cancellation seam; drain() + the
+                                   ///< per-task deadline both use it.
+    uint64_t JournalKey = 0;       ///< taskKey(Req); 0 when journaling off.
   };
 
   void workerLoop();
   void runTask(Task &T);
   void runStages(Task &T, support::CancelToken &Token);
+  /// Builds a task's LLM client stack: factory client, then the chaos,
+  /// breaker, and hedging decorators as configured (innermost first).
+  std::unique_ptr<llm::LLMClient> makeTaskClient(const Request &R);
   void backoffSleep(int Attempt);
   core::EquivResult checkCached(const std::string &ScalarSrc,
                                 const std::string &CandidateSrc,
@@ -465,22 +580,66 @@ private:
                                      const interp::ChecksumConfig &Cfg,
                                      interp::ScalarRefMemo *Memo = nullptr);
 
+  /// Admits \p R under the mutex (already held): journal replay, drain
+  /// shedding, and bounded-queue policy. Appends any evicted victim's
+  /// ticket to \p ShedOut so the caller can publish it outside the lock.
+  Ticket admitLocked(std::unique_lock<std::mutex> &L, Request R,
+                     std::vector<Ticket> &ShedOut);
+  /// Marks an un-run task shed (under M) — outcome, stats, wakeups.
+  void shedLocked(Task &T, const char *Why);
+  /// Publishes counters/flight records for tasks shed while M was held.
+  void publishShed(const std::vector<Ticket> &Shed);
+  /// The journal identity of a request under this service's config.
+  uint64_t taskKey(const Request &R) const;
+
   ServiceConfig Cfg;
   int NumWorkers = 1;
   VerdictCache OwnCache;
   VerdictCache *Cache = nullptr;
   std::unique_ptr<store::ResultStore> OwnStore; ///< Opened from StorePath.
   store::ResultStore *Store = nullptr;
+  support::CircuitBreaker Breaker; ///< Internally locked; shared by tasks.
+  std::unique_ptr<store::BatchJournal> Journal; ///< From JournalPath.
+  uint64_t JournalSalt = 0; ///< Serving-config hash mixed into task keys.
 
   mutable std::mutex M;
-  std::condition_variable WorkCv; ///< Signals workers: queue or shutdown.
-  std::condition_variable DoneCv; ///< Signals waiters: a task finished.
+  std::condition_variable WorkCv;  ///< Signals workers: queue or shutdown.
+  std::condition_variable DoneCv;  ///< Signals waiters: a task finished.
+  std::condition_variable AdmitCv; ///< Signals Block-policy submitters.
   std::deque<std::unique_ptr<Task>> Tasks; ///< Stable storage per ticket.
   std::deque<size_t> Pending;
+  size_t Inflight = 0;    ///< Started-but-unfinished tasks (guarded by M).
   ResilienceStats RStats; ///< Guarded by M.
   bool Stopping = false;
+  bool Draining = false;  ///< drain() ran: all new admissions shed.
   std::vector<std::thread> Pool;
 };
+
+//===----------------------------------------------------------------------===//
+// Outcome wire format (crash-recovery batch journal)
+//===----------------------------------------------------------------------===//
+
+/// Content hash of a request's *task identity* — everything that
+/// determines its outcome (name, mode, sources, seed, sample count,
+/// config hashes) and nothing that doesn't (deadline, priority: only
+/// completed outcomes are journaled, and completed outcomes are pure
+/// functions of the identity fields). Serving-policy knobs that can alter
+/// outcomes (chaos schedule, seed derivation, hedging) are mixed in by
+/// the service on top of this (see ServiceConfig::JournalPath).
+uint64_t requestKey(const Request &R);
+
+/// Exactness string compared on journal hits, so a 64-bit key collision
+/// degrades to a re-run instead of replaying a wrong outcome — the same
+/// discipline as VerdictCache and ResultStore.
+std::string requestIdentity(const Request &R);
+
+/// Full binary serialization of an Outcome (store/Framing.h wire format):
+/// everything debugString covers plus the work aggregates — so a journal
+/// replay is byte-identical to the original run in every semantically
+/// meaningful field. WallNanos/VerdictCacheHit/JournalReplayed are
+/// run-variant and are not round-tripped.
+std::string serializeOutcome(const Outcome &O);
+bool deserializeOutcome(const std::string &Bytes, Outcome &Out);
 
 //===----------------------------------------------------------------------===//
 // Thin single-task wrappers (the old per-function call chain, routed

@@ -289,9 +289,11 @@ TEST(Chaos, WaitForReturnsSentinelThenOutcome) {
   ASSERT_NE(Done, nullptr);
   EXPECT_FALSE(Done->Failed);
 
-  std::vector<const Outcome *> Batch = S.waitBatchFor({T}, 1'000'000);
+  std::vector<VectorizerService::TaskStatus> Batch =
+      S.waitBatchFor({T}, 1'000'000);
   ASSERT_EQ(Batch.size(), 1u);
-  EXPECT_EQ(Batch[0], Done) << "a finished task is returned immediately";
+  EXPECT_EQ(Batch[0].State, VectorizerService::TaskState::Done);
+  EXPECT_EQ(Batch[0].Out, Done) << "a finished task is returned immediately";
 }
 
 } // namespace
